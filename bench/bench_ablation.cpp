@@ -1,0 +1,113 @@
+// Experiment E12 (ablation; DESIGN.md §4): the two design decisions the
+// reproduction had to make where the paper's text underdetermines the
+// algorithm, each measured against its alternative.
+//
+//  A. Run construction policy — kDatabaseDomain (an inconsistent X value
+//     breaks runs; the sound reading) vs kRemainingDomain (runs span
+//     removed values; broader but unsound rules). Measured: rule count,
+//     and how many database instances VIOLATE each rule set.
+//
+//  B. Active-domain clipping — clipping query conditions to the observed
+//     [min, max] before subsumption (what makes the paper's Example 1
+//     derivation go through) vs raw containment. Measured: which of the
+//     paper's examples still derive an intensional answer.
+
+#include <cstdio>
+#include <iostream>
+
+#include "induction/ils.h"
+#include "induction/rule_induction.h"
+#include "inference/engine.h"
+#include "testbed/fleet_generator.h"
+#include "testbed/ship_db.h"
+
+int main() {
+  std::printf("=== E12: design-choice ablations ===\n\n");
+
+  // ---- A: run policy ----------------------------------------------------
+  std::printf("-- A. run policy on data with inconsistent values --\n");
+  // Bands with planted inconsistencies: every 10th X also maps to the
+  // other band, so it is removed in step 2 and (under kDatabaseDomain)
+  // splits the runs.
+  iqs::Relation noisy("NOISY",
+                      iqs::Schema({{"X", iqs::ValueType::kInt, false},
+                                   {"Y", iqs::ValueType::kString, false}}));
+  constexpr int kN = 200;
+  for (int x = 0; x < kN; ++x) {
+    const char* band = x < kN / 2 ? "A" : "B";
+    (void)noisy.Insert(
+        iqs::Tuple({iqs::Value::Int(x), iqs::Value::String(band)}));
+    if (x % 10 == 5) {
+      (void)noisy.Insert(iqs::Tuple(
+          {iqs::Value::Int(x),
+           iqs::Value::String(band[0] == 'A' ? "B" : "A")}));
+    }
+  }
+  for (iqs::RunPolicy policy :
+       {iqs::RunPolicy::kDatabaseDomain, iqs::RunPolicy::kRemainingDomain}) {
+    iqs::InductionConfig config;
+    config.min_support = 2;
+    config.run_policy = policy;
+    auto rules = iqs::InduceScheme(noisy, "X", "Y", config);
+    if (!rules.ok()) return 1;
+    // Count instance-level violations: rows satisfying a rule's LHS but
+    // not its RHS.
+    size_t violations = 0;
+    for (const iqs::Rule& rule : *rules) {
+      for (const iqs::Tuple& row : noisy.rows()) {
+        if (rule.lhs[0].Satisfies(row.at(0)) &&
+            !rule.rhs.clause.Satisfies(row.at(1))) {
+          ++violations;
+        }
+      }
+    }
+    std::printf("  %-18s %3zu rules, %3zu instance violations\n",
+                policy == iqs::RunPolicy::kDatabaseDomain
+                    ? "kDatabaseDomain"
+                    : "kRemainingDomain",
+                rules->size(), violations);
+  }
+  std::printf(
+      "  shape check: the sound policy has 0 violations by construction;\n"
+      "  the merged policy trades fewer/wider rules for violated\n"
+      "  instances (why the paper's R2/R3 split around SSN671 matters).\n\n");
+
+  // ---- B: active-domain clipping ----------------------------------------
+  std::printf("-- B. active-domain clipping on the paper's examples --\n");
+  auto db = iqs::BuildShipDatabase();
+  auto catalog = iqs::BuildShipCatalog();
+  if (!db.ok() || !catalog.ok()) return 1;
+  iqs::InductiveLearningSubsystem ils(db->get(), catalog->get());
+  iqs::InductionConfig config;
+  config.min_support = 3;
+  auto rules = ils.InduceAll(config);
+  if (!rules.ok()) return 1;
+
+  for (bool clipping : {true, false}) {
+    iqs::DataDictionary dictionary(catalog->get());
+    (void)dictionary.BuildFrames();
+    if (clipping) {
+      (void)dictionary.ComputeActiveDomains(**db);
+    }
+    dictionary.SetInducedRules(*rules);
+    iqs::InferenceEngine engine(&dictionary);
+    // Example 1's condition: Displacement > 8000 (open-ended).
+    iqs::QueryDescription query;
+    query.object_types = {"SUBMARINE", "CLASS"};
+    query.conditions.push_back(iqs::Clause(
+        "CLASS.Displacement",
+        iqs::Interval::AtLeast(iqs::Value::Int(8000), true)));
+    auto answer = engine.Infer(query, iqs::InferenceMode::kForward);
+    if (!answer.ok()) return 1;
+    bool derived = !answer->ForwardTypes().empty();
+    std::printf("  clipping %-3s -> Example 1 %s\n", clipping ? "on" : "off",
+                derived ? "derives 'Ship type SSBN'"
+                        : "derives NOTHING (condition unbounded above, "
+                          "never contained in [7250, 30000])");
+  }
+  std::printf(
+      "  shape check: without clipping to the observed [2145, 30000],\n"
+      "  open-ended conditions are never subsumed by induced (closed)\n"
+      "  ranges and the paper's Example 1 inference cannot fire.\n");
+  return 0;
+}

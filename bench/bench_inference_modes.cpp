@@ -1,0 +1,102 @@
+// Experiment E8 (DESIGN.md): the §4 containment semantics, measured.
+// Forward answers characterize a SUPERSET of the extensional answer
+// (coverage of answers = 100%); backward answers characterize SUBSETS
+// (their descriptions select only answer tuples, but may miss some).
+// Runs a battery of queries on the ship database and reports, per mode,
+// the two directions' hit rates.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/system.h"
+#include "testbed/ship_db.h"
+
+int main() {
+  auto system_or = iqs::BuildShipSystem();
+  if (!system_or.ok()) {
+    std::cerr << system_or.status() << "\n";
+    return 1;
+  }
+  std::unique_ptr<iqs::IqsSystem> system = std::move(system_or).value();
+  iqs::InductionConfig config;
+  config.min_support = 3;
+  if (auto s = system->Induce(config); !s.ok()) return 1;
+
+  const char* queries[] = {
+      // Displacement thresholds sweeping across the SSBN/SSN boundary.
+      "SELECT SUBMARINE.Id, SUBMARINE.Class, CLASS.Type, CLASS.Displacement "
+      "FROM SUBMARINE, CLASS WHERE SUBMARINE.Class = CLASS.Class AND "
+      "CLASS.Displacement > 8000",
+      "SELECT SUBMARINE.Id, SUBMARINE.Class, CLASS.Type, CLASS.Displacement "
+      "FROM SUBMARINE, CLASS WHERE SUBMARINE.Class = CLASS.Class AND "
+      "CLASS.Displacement > 7000",
+      "SELECT SUBMARINE.Id, SUBMARINE.Class, CLASS.Type, CLASS.Displacement "
+      "FROM SUBMARINE, CLASS WHERE SUBMARINE.Class = CLASS.Class AND "
+      "CLASS.Displacement < 4000",
+      // Type conditions (Example 2 family).
+      "SELECT SUBMARINE.Name, SUBMARINE.Class FROM SUBMARINE, CLASS WHERE "
+      "SUBMARINE.Class = CLASS.Class AND CLASS.Type = 'SSBN'",
+      "SELECT SUBMARINE.Name, SUBMARINE.Class FROM SUBMARINE, CLASS WHERE "
+      "SUBMARINE.Class = CLASS.Class AND CLASS.Type = 'SSN'",
+      // Sonar conditions (Example 3 family).
+      "SELECT SUBMARINE.Name, SUBMARINE.Class, CLASS.Type FROM SUBMARINE, "
+      "CLASS, INSTALL WHERE SUBMARINE.Class = CLASS.Class AND SUBMARINE.Id "
+      "= INSTALL.Ship AND INSTALL.Sonar = 'BQS-04'",
+      "SELECT SUBMARINE.Name, SUBMARINE.Class, CLASS.Type FROM SUBMARINE, "
+      "CLASS, INSTALL WHERE SUBMARINE.Class = CLASS.Class AND SUBMARINE.Id "
+      "= INSTALL.Ship AND INSTALL.Sonar = 'BQQ-5'",
+      // Class range.
+      "SELECT SUBMARINE.Id, SUBMARINE.Class FROM SUBMARINE WHERE "
+      "SUBMARINE.Class BETWEEN '0204' AND '0208'",
+  };
+
+  std::printf("=== E8: forward/backward containment on %zu queries ===\n\n",
+              std::size(queries));
+  std::printf("%5s %6s %9s %9s %11s %11s  %s\n", "query", "rows", "fwd stmts",
+              "bwd stmts", "fwd cover", "bwd cover", "(cover = fraction of "
+              "answer rows satisfying the statement)");
+  size_t unsound_forward = 0;
+  for (size_t i = 0; i < std::size(queries); ++i) {
+    auto result = system->Query(queries[i], iqs::InferenceMode::kCombined);
+    if (!result.ok()) {
+      std::printf("%5zu  query failed: %s\n", i + 1,
+                  result.status().ToString().c_str());
+      continue;
+    }
+    size_t fwd = 0, bwd = 0;
+    double fwd_cover = 1.0, bwd_cover_best = 0.0;
+    bool has_bwd_cover = false;
+    for (const iqs::IntensionalStatement& s :
+         result->intensional.statements()) {
+      if (s.direction == iqs::AnswerDirection::kContains) {
+        ++fwd;
+        auto c = system->processor().Coverage(*result, s);
+        if (c.ok()) {
+          fwd_cover = *c;
+          if (*c < 1.0) ++unsound_forward;
+        }
+      } else {
+        ++bwd;
+        auto c = system->processor().Coverage(*result, s);
+        if (c.ok()) {
+          has_bwd_cover = true;
+          if (*c > bwd_cover_best) bwd_cover_best = *c;
+        }
+      }
+    }
+    std::printf("%5zu %6zu %9zu %9zu %10.0f%% ", i + 1,
+                result->extensional.size(), fwd, bwd, fwd_cover * 100.0);
+    if (has_bwd_cover) {
+      std::printf("%10.0f%%\n", bwd_cover_best * 100.0);
+    } else {
+      std::printf("%10s\n", "n/a");
+    }
+  }
+  std::printf(
+      "\nshape check: forward coverage is 100%% on every query (forward\n"
+      "statements are sound: answers ⊆ description); backward coverage is\n"
+      "<= 100%% and quantifies the partialness the paper notes in\n"
+      "Example 2. Unsound forward statements found: %zu (expected 0).\n",
+      unsound_forward);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Experiment E7 (DESIGN.md): the Nc pruning tradeoff of §5.2.1 step 4 —
+// "Nc provides a tradeoff between the applicability of the rules and the
+// overhead of storing and searching these rules". Sweeps Nc over the
+// ship database and over a larger synthetic fleet, reporting rule count
+// (storage/search overhead) against the completeness of the Example-2
+// backward answer (applicability).
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/system.h"
+#include "testbed/fleet_generator.h"
+#include "testbed/ship_db.h"
+
+namespace {
+
+// Best backward coverage of the Example 2 answer at the current rule
+// base (fraction of SSBN ships some exact statement accounts for,
+// unioned across statements).
+double Example2Coverage(const iqs::IqsSystem& system) {
+  auto result =
+      system.Query(iqs::Example2Sql(), iqs::InferenceMode::kBackward);
+  if (!result.ok()) return 0.0;
+  const iqs::Relation& answers = result->extensional;
+  if (answers.empty()) return 1.0;
+  auto class_idx = answers.schema().IndexOf("Class");
+  if (!class_idx.ok()) return 0.0;
+  size_t covered = 0;
+  for (const iqs::Tuple& row : answers.rows()) {
+    bool hit = false;
+    for (const iqs::IntensionalStatement& s :
+         result->intensional.statements()) {
+      if (s.direction != iqs::AnswerDirection::kContainedIn) continue;
+      for (const iqs::Fact& f : s.facts) {
+        if (f.kind == iqs::Fact::Kind::kRange &&
+            f.clause.BaseAttribute() == "Class" &&
+            f.clause.Satisfies(row.at(*class_idx))) {
+          hit = true;
+        }
+      }
+    }
+    covered += hit ? 1 : 0;
+  }
+  return static_cast<double>(covered) / static_cast<double>(answers.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E7: Nc pruning tradeoff ===\n\n");
+  std::printf("-- Appendix C ship database (24 ships) --\n");
+  std::printf("%4s %12s %26s\n", "Nc", "rules kept",
+              "Example-2 class coverage");
+  for (int64_t nc = 1; nc <= 6; ++nc) {
+    auto system_or = iqs::BuildShipSystem();
+    if (!system_or.ok()) return 1;
+    std::unique_ptr<iqs::IqsSystem> system = std::move(system_or).value();
+    iqs::InductionConfig config;
+    config.min_support = nc;
+    if (auto s = system->Induce(config); !s.ok()) return 1;
+    double coverage = Example2Coverage(*system);
+    std::printf("%4lld %12zu %25.0f%%\n", static_cast<long long>(nc),
+                system->dictionary().induced_rules().size(),
+                coverage * 100.0);
+  }
+  std::printf(
+      "\nshape check: rule count decreases monotonically with Nc; the\n"
+      "backward answer is complete at Nc = 1 (the paper's R_new for class\n"
+      "1301 is kept) and loses the 1301 Typhoon from Nc = 2 on — the\n"
+      "applicability-vs-overhead tradeoff of §5.2.1.\n\n");
+
+  std::printf("-- synthetic fleet (12 types x 50 ships) --\n");
+  std::printf("%4s %12s\n", "Nc", "rules kept");
+  for (int64_t nc : {1, 2, 3, 5, 8, 13, 21}) {
+    auto db = iqs::GenerateFleet(50, 7);
+    auto catalog = iqs::BuildFleetCatalog();
+    if (!db.ok() || !catalog.ok()) return 1;
+    auto system_or = iqs::IqsSystem::Create(std::move(db).value(),
+                                            std::move(catalog).value(), {});
+    if (!system_or.ok()) return 1;
+    iqs::InductionConfig config;
+    config.min_support = nc;
+    if (auto s = (*system_or)->Induce(config); !s.ok()) return 1;
+    std::printf("%4lld %12zu\n", static_cast<long long>(nc),
+                (*system_or)->dictionary().induced_rules().size());
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Experiment E1 (DESIGN.md): regenerate the paper's §6 rule set R1–R17
+// from the Appendix C ship database with the §5.2.1 algorithm at Nc = 3,
+// and report the exact deltas between the algorithmic output and the
+// paper's printed list.
+
+#include <cstdio>
+#include <iostream>
+#include <set>
+
+#include "induction/ils.h"
+#include "testbed/ship_db.h"
+
+namespace {
+
+// The paper's printed rule bodies R1..R17 (§6), normalized to this
+// library's rendering (the paper's "SSN623" in R1 is a typo for
+// "SSBN623" — the ids in Appendix C are SSBN-prefixed; R12's "=" is a
+// typo for "<=").
+const char* kPaperRules[] = {
+    "if SSBN623 <= Id <= SSBN635 then x isa C0103",
+    "if SSN648 <= Id <= SSN666 then x isa C0204",
+    "if SSN673 <= Id <= SSN686 then x isa C0204",
+    "if SSN692 <= Id <= SSN704 then x isa C0201",
+    "if 0101 <= Class <= 0103 then x isa SSBN",
+    "if 0201 <= Class <= 0215 then x isa SSN",
+    "if Skate <= ClassName <= Thresher then x isa SSN",
+    "if 2145 <= Displacement <= 6955 then x isa SSN",
+    "if 7250 <= Displacement <= 30000 then x isa SSBN",
+    "if BQQ-2 <= Sonar <= BQQ-8 then x isa BQQ",
+    "if BQS-04 <= Sonar <= BQS-15 then x isa BQS",
+    "if SSN582 <= x.Id <= SSN601 then y isa BQS",
+    "if SSN604 <= x.Id <= SSN671 then y isa BQQ",
+    "if x.Class = 0203 then y isa BQQ",
+    "if 0205 <= x.Class <= 0207 then y isa BQQ",
+    "if 0208 <= x.Class <= 0215 then y isa BQS",
+    "if y.Sonar = BQS-04 then x isa SSN",
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== E1: regenerating the paper's rule set (Nc = 3) ===\n\n");
+  auto db = iqs::BuildShipDatabase();
+  auto catalog = iqs::BuildShipCatalog();
+  if (!db.ok() || !catalog.ok()) {
+    std::cerr << "setup failed\n";
+    return 1;
+  }
+  iqs::InductiveLearningSubsystem ils(db->get(), catalog->get());
+  iqs::InductionConfig config;
+  config.min_support = 3;
+  auto rules = ils.InduceAll(config);
+  if (!rules.ok()) {
+    std::cerr << "induction failed: " << rules.status() << "\n";
+    return 1;
+  }
+
+  std::set<std::string> induced;
+  std::printf("-- algorithmic output (%zu rules) --\n", rules->size());
+  for (const iqs::Rule& r : rules->rules()) {
+    induced.insert(r.Body());
+    std::printf("%s\n", r.ToString().c_str());
+  }
+
+  std::set<std::string> paper(std::begin(kPaperRules), std::end(kPaperRules));
+  size_t matched = 0;
+  std::printf("\n-- comparison with the paper's printed R1-R17 --\n");
+  for (const char* body : kPaperRules) {
+    bool found = induced.count(body) > 0;
+    matched += found ? 1 : 0;
+    std::printf("  [%s] %s\n", found ? "MATCH" : "ABSENT", body);
+  }
+  std::printf("\n-- rules induced but not printed in the paper --\n");
+  for (const std::string& body : induced) {
+    if (paper.count(body) == 0) {
+      std::printf("  [EXTRA] %s\n", body.c_str());
+    }
+  }
+  std::printf(
+      "\nsummary: %zu/17 paper rules reproduced verbatim at Nc = 3.\n"
+      "Deltas (analyzed in EXPERIMENTS.md):\n"
+      "  * paper R14 has support 1 (one class-0203 installation) and is\n"
+      "    pruned at the paper's own Nc = 3; it reappears at Nc = 1;\n"
+      "  * paper R17's point rule widens to the run [BQQ-8, BQS-04]: the\n"
+      "    two sonar values are adjacent consistent values in the\n"
+      "    database domain, so step 3 merges them (support 5);\n"
+      "  * two runs the printed list omits satisfy the stated algorithm:\n"
+      "    ids SSBN130..SSBN629 -> BQQ (support 3) and sonars\n"
+      "    BQS-13..TACTAS -> SSN (support 3).\n",
+      matched);
+  return 0;
+}

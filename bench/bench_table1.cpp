@@ -1,0 +1,91 @@
+// Experiment E6 (DESIGN.md): Table 1 — "Classification Characteristics
+// of Navy Battleships". Generates a synthetic fleet from Table 1's
+// displacement ranges, re-induces the characteristics from the data, and
+// verifies the recovered ranges; then exercises the two learning paths
+// (interval rules on the non-overlapping subsurface category, decision
+// tree on the overlapping surface category).
+
+#include <cstdio>
+#include <iostream>
+
+#include "induction/decision_tree.h"
+#include "induction/rule_induction.h"
+#include "testbed/fleet_generator.h"
+
+int main() {
+  constexpr size_t kShipsPerType = 40;
+  constexpr uint64_t kSeed = 19910401;  // ICDE '91
+  auto db = iqs::GenerateFleet(kShipsPerType, kSeed);
+  if (!db.ok()) {
+    std::cerr << "generation failed: " << db.status() << "\n";
+    return 1;
+  }
+
+  std::printf("=== E6: recovering Table 1 from a synthetic fleet ===\n");
+  std::printf("fleet: %zu ships per type, seed %llu\n\n", kShipsPerType,
+              static_cast<unsigned long long>(kSeed));
+  auto characteristics = iqs::InduceCharacteristics(**db);
+  if (!characteristics.ok()) {
+    std::cerr << characteristics.status() << "\n";
+    return 1;
+  }
+  std::printf("%-12s %-5s %-38s %10s %10s   %s\n", "Category", "Type",
+              "Type Name", "induced lo", "induced hi", "Table 1");
+  size_t exact = 0;
+  for (size_t i = 0; i < characteristics->size(); ++i) {
+    const auto& c = (*characteristics)[i];
+    const auto& spec = iqs::Table1Specs()[i];
+    bool match = c.displacement_lo == spec.displacement_lo &&
+                 c.displacement_hi == spec.displacement_hi;
+    exact += match ? 1 : 0;
+    std::printf("%-12s %-5s %-38s %10lld %10lld   %d - %d %s\n",
+                spec.category, spec.type, spec.type_name,
+                static_cast<long long>(c.displacement_lo),
+                static_cast<long long>(c.displacement_hi),
+                spec.displacement_lo, spec.displacement_hi,
+                match ? "[MATCH]" : "[DIFF]");
+  }
+  std::printf("\n%zu/12 ranges recovered exactly.\n\n", exact);
+
+  // The subsurface types do not overlap: the §5.2.1 algorithm produces
+  // exactly the two Figure-5 style rules.
+  auto ships = (*db)->Get("BATTLESHIP");
+  if (!ships.ok()) return 1;
+  iqs::Relation subsurface("SUBSURFACE", (*ships)->schema());
+  iqs::Relation surface("SURFACE", (*ships)->schema());
+  auto cat = (*ships)->schema().IndexOf("Category");
+  for (const iqs::Tuple& t : (*ships)->rows()) {
+    (t.at(*cat) == iqs::Value::String("Subsurface") ? subsurface : surface)
+        .AppendUnchecked(t);
+  }
+  iqs::InductionConfig config;
+  config.min_support = 3;
+  auto sub_rules =
+      iqs::InduceScheme(subsurface, "Displacement", "Type", config);
+  std::printf("-- interval rules, subsurface category (disjoint ranges) --\n");
+  for (const iqs::Rule& r : sub_rules.value()) {
+    std::printf("  %s\n", r.ToString().c_str());
+  }
+
+  // Surface ranges overlap heavily (CG vs CGN vs DDG vs DD...): interval
+  // rules fragment, the decision tree quantifies the achievable
+  // classification accuracy.
+  auto sur_rules = iqs::InduceScheme(surface, "Displacement", "Type", config);
+  std::printf(
+      "\n-- interval rules, surface category (overlapping ranges): %zu "
+      "rules survive Nc=3 --\n",
+      sur_rules->size());
+  auto tree =
+      iqs::DecisionTree::Train(surface, "Type", {"Displacement"}, {});
+  if (tree.ok()) {
+    auto accuracy = tree->Accuracy(surface);
+    std::printf(
+        "-- decision tree on surface Displacement -> Type: %zu nodes, "
+        "depth %d, training accuracy %.1f%% --\n",
+        tree->node_count(), tree->depth(), accuracy.value_or(0) * 100.0);
+    std::printf(
+        "(overlap bounds any displacement-only classifier: BB=45000 sits "
+        "inside CV's range, CGN/CG/DDG/DD interleave)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Experiment E9 (DESIGN.md): the paper's concluding claim — "type
+// inference with induced rules is a more effective technique to derive
+// intensional answers than using integrity constraints". Side-by-side
+// comparison of the induced-rule system against the Motro-style baseline
+// that only sees the declared Appendix-B constraints.
+
+#include <cstdio>
+#include <iostream>
+
+#include "baseline/constraint_answerer.h"
+#include "core/system.h"
+#include "testbed/ship_db.h"
+
+int main() {
+  auto system_or = iqs::BuildShipSystem();
+  if (!system_or.ok()) {
+    std::cerr << system_or.status() << "\n";
+    return 1;
+  }
+  std::unique_ptr<iqs::IqsSystem> system = std::move(system_or).value();
+  iqs::InductionConfig config;
+  config.min_support = 3;
+  if (auto s = system->Induce(config); !s.ok()) return 1;
+  iqs::ConstraintBaseline baseline(&system->dictionary());
+
+  std::printf("=== E9: induced rules vs declared integrity constraints ===\n");
+  std::printf("knowledge bases: %zu declared constraint rules (Appendix B) "
+              "vs %zu induced rules (ILS, Nc = 3)\n\n",
+              system->dictionary().declared_rules().size(),
+              system->dictionary().induced_rules().size());
+
+  struct QuerySpec {
+    const char* label;
+    std::string sql;
+  };
+  const QuerySpec queries[] = {
+      {"Example 1 (displacement > 8000)", iqs::Example1Sql()},
+      {"Example 2 (type = SSBN)", iqs::Example2Sql()},
+      {"Example 3 (sonar = BQS-04)", iqs::Example3Sql()},
+      {"ids SSBN623..SSBN635",
+       "SELECT Id FROM SUBMARINE WHERE SUBMARINE.Id BETWEEN 'SSBN623' AND "
+       "'SSBN635'"},
+      {"class names Skate..Thresher",
+       "SELECT ClassName FROM CLASS WHERE CLASS.ClassName BETWEEN 'Skate' "
+       "AND 'Thresher'"},
+      {"sonars BQS-04..BQS-15",
+       "SELECT Sonar FROM SONAR WHERE SONAR.Sonar BETWEEN 'BQS-04' AND "
+       "'BQS-15'"},
+  };
+
+  std::printf("%-34s %11s %11s %11s %11s\n", "query", "base stmts",
+              "base types", "indu stmts", "indu types");
+  size_t baseline_wins = 0, induced_wins = 0;
+  for (const QuerySpec& q : queries) {
+    auto stmt = iqs::ParseSelect(q.sql);
+    if (!stmt.ok()) return 1;
+    auto description = system->processor().Describe(*stmt);
+    if (!description.ok()) return 1;
+    auto comparison =
+        baseline.Compare(*description, iqs::InferenceMode::kCombined);
+    if (!comparison.ok()) return 1;
+    std::printf("%-34s %11zu %11zu %11zu %11zu\n", q.label,
+                comparison->baseline_statements,
+                comparison->baseline_type_facts,
+                comparison->induced_statements,
+                comparison->induced_type_facts);
+    if (comparison->induced_type_facts > comparison->baseline_type_facts) {
+      ++induced_wins;
+    }
+    if (comparison->baseline_type_facts > comparison->induced_type_facts) {
+      ++baseline_wins;
+    }
+  }
+  std::printf(
+      "\nshape check: induced rules derive more type facts on %zu/%zu\n"
+      "queries (baseline ahead on %zu). The baseline keeps one unique\n"
+      "capability — detecting provably empty answers from declared domain\n"
+      "constraints:\n",
+      induced_wins, std::size(queries), baseline_wins);
+  iqs::QueryDescription impossible;
+  impossible.object_types = {"CLASS"};
+  impossible.conditions.push_back(iqs::Clause(
+      "CLASS.Displacement",
+      iqs::Interval::AtLeast(iqs::Value::Int(50000), true)));
+  auto detected = baseline.DetectEmptyAnswer(impossible);
+  std::printf("  Displacement > 50000: %s\n",
+              detected.has_value() ? detected->c_str()
+                                   : "(not detected — unexpected)");
+  return 0;
+}

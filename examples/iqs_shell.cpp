@@ -1,0 +1,233 @@
+// Interactive shell for the intensional query system: SQL and QUEL side
+// by side on the ship test bed, with intensional answers after every
+// SELECT. Reads statements from stdin (or a here-doc), one per line.
+//
+//   $ ./build/examples/iqs_shell
+//   iqs> SELECT Name FROM SUBMARINE, CLASS WHERE SUBMARINE.CLASS =
+//        CLASS.CLASS AND CLASS.DISPLACEMENT > 8000
+//   ... extensional table + "Ship type SSBN has Displacement > 8000."
+//   iqs> quel range of r is CLASS
+//   iqs> quel retrieve (r.Class, r.Type) where r.Displacement > 8000
+//   iqs> rules          -- print the induced rule base
+//   iqs> frames         -- print the dictionary's frame hierarchy
+//   iqs> mode backward  -- switch inference mode
+//   iqs> help
+//
+// Also serves as a scriptable driver: echo "rules" | ./iqs_shell
+
+#include <iostream>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/summarizer.h"
+#include "core/system.h"
+#include "ker/validator.h"
+#include "quel/quel_session.h"
+#include "testbed/ship_db.h"
+
+namespace {
+
+void PrintHelp() {
+  std::cout <<
+      "commands:\n"
+      "  SELECT ...            run a SQL query (extensional + intensional)\n"
+      "  quel <statement>      run a QUEL statement (range/retrieve/\n"
+      "                        delete/append)\n"
+      "  mode forward|backward|combined   set the inference mode\n"
+      "  rules                 print the induced rule base\n"
+      "  declared              print the declared constraint rules\n"
+      "  frames                print the dictionary frames\n"
+      "  hierarchy             print the type hierarchies\n"
+      "  tables                list relations\n"
+      "  show <relation>       print a relation\n"
+      "  induce <Nc>           re-run induction with the given threshold\n"
+      "  summary on|off        also print the aggregate answer summary\n"
+      "  validate              check the database against the KER schema\n"
+      "  index <rel> <attr>    register a sorted index (speeds up WHERE)\n"
+      "  help / quit\n";
+}
+
+}  // namespace
+
+int main() {
+  auto system_or = iqs::BuildShipSystem();
+  if (!system_or.ok()) {
+    std::cerr << "setup failed: " << system_or.status() << "\n";
+    return 1;
+  }
+  std::unique_ptr<iqs::IqsSystem> system = std::move(system_or).value();
+  iqs::InductionConfig config;
+  config.min_support = 3;
+  if (auto s = system->Induce(config); !s.ok()) {
+    std::cerr << "induction failed: " << s << "\n";
+    return 1;
+  }
+  iqs::QuelSession quel(&system->database());
+  iqs::InferenceMode mode = iqs::InferenceMode::kCombined;
+  bool with_summary = false;
+
+  std::cout << "IQS shell — ship test bed loaded, "
+            << system->dictionary().induced_rules().size()
+            << " induced rules (Nc = 3). Type 'help'.\n";
+  std::string line;
+  while (true) {
+    std::cout << "iqs> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed(iqs::StripWhitespace(line));
+    if (trimmed.empty()) continue;
+    std::string lower = iqs::ToLower(trimmed);
+
+    if (lower == "quit" || lower == "exit") break;
+    if (lower == "help") {
+      PrintHelp();
+      continue;
+    }
+    if (lower == "rules") {
+      std::cout << system->dictionary().induced_rules().ToString();
+      continue;
+    }
+    if (lower == "declared") {
+      std::cout << system->dictionary().declared_rules().ToString();
+      continue;
+    }
+    if (lower == "frames") {
+      for (const std::string& name : system->dictionary().FrameNames()) {
+        auto frame = system->dictionary().GetFrame(name);
+        if (frame.ok()) std::cout << (*frame)->ToString();
+      }
+      continue;
+    }
+    if (lower == "hierarchy") {
+      for (const std::string& root :
+           system->catalog().hierarchy().Roots()) {
+        auto tree = system->catalog().hierarchy().RenderTree(root);
+        if (tree.ok()) std::cout << *tree;
+      }
+      continue;
+    }
+    if (lower == "tables") {
+      for (const std::string& name : system->database().RelationNames()) {
+        auto rel = system->database().Get(name);
+        std::cout << "  " << name << "  ("
+                  << (rel.ok() ? (*rel)->size() : 0) << " rows)\n";
+      }
+      continue;
+    }
+    if (iqs::StartsWith(lower, "show ")) {
+      auto rel = system->database().Get(trimmed.substr(5));
+      if (!rel.ok()) {
+        std::cout << rel.status() << "\n";
+      } else {
+        std::cout << (*rel)->ToTable();
+      }
+      continue;
+    }
+    if (iqs::StartsWith(lower, "mode ")) {
+      std::string which = lower.substr(5);
+      if (which == "forward") {
+        mode = iqs::InferenceMode::kForward;
+      } else if (which == "backward") {
+        mode = iqs::InferenceMode::kBackward;
+      } else if (which == "combined") {
+        mode = iqs::InferenceMode::kCombined;
+      } else {
+        std::cout << "unknown mode '" << which << "'\n";
+        continue;
+      }
+      std::cout << "inference mode: " << iqs::InferenceModeName(mode) << "\n";
+      continue;
+    }
+    if (iqs::StartsWith(lower, "induce")) {
+      iqs::InductionConfig c;
+      c.min_support = 3;
+      std::string arg(iqs::StripWhitespace(trimmed.substr(6)));
+      if (!arg.empty()) {
+        auto nc = iqs::Value::FromText(iqs::ValueType::kInt, arg);
+        if (!nc.ok() || nc->is_null()) {
+          std::cout << "usage: induce <Nc>\n";
+          continue;
+        }
+        c.min_support = nc->AsInt();
+      }
+      if (auto s = system->Induce(c); !s.ok()) {
+        std::cout << s << "\n";
+        continue;
+      }
+      std::cout << system->dictionary().induced_rules().size()
+                << " rules at Nc = " << c.min_support << "\n";
+      continue;
+    }
+    if (iqs::StartsWith(lower, "summary")) {
+      std::string arg(iqs::StripWhitespace(lower.substr(7)));
+      with_summary = arg != "off";
+      std::cout << "aggregate summary: " << (with_summary ? "on" : "off")
+                << "\n";
+      continue;
+    }
+    if (lower == "validate") {
+      auto issues =
+          iqs::ValidateDatabase(system->database(), system->catalog());
+      if (!issues.ok()) {
+        std::cout << issues.status() << "\n";
+        continue;
+      }
+      if (issues->empty()) {
+        std::cout << "database conforms to the KER schema\n";
+      } else {
+        for (const iqs::ValidationIssue& issue : *issues) {
+          std::cout << "  " << issue.ToString() << "\n";
+        }
+      }
+      continue;
+    }
+    if (iqs::StartsWith(lower, "index ")) {
+      std::vector<std::string> parts =
+          iqs::Split(std::string(iqs::StripWhitespace(trimmed.substr(6))),
+                     ' ');
+      if (parts.size() != 2) {
+        std::cout << "usage: index <relation> <attribute>\n";
+        continue;
+      }
+      if (auto s = system->database().CreateIndex(parts[0], parts[1]);
+          !s.ok()) {
+        std::cout << s << "\n";
+      } else {
+        std::cout << "index registered on " << parts[0] << "." << parts[1]
+                  << "\n";
+      }
+      continue;
+    }
+    if (iqs::StartsWith(lower, "quel ")) {
+      auto result = quel.ExecuteText(trimmed.substr(5));
+      if (!result.ok()) {
+        std::cout << result.status() << "\n";
+        continue;
+      }
+      if (result->relation.schema().size() > 0) {
+        std::cout << result->relation.ToTable();
+      }
+      if (result->affected > 0) {
+        std::cout << result->affected << " tuple(s) affected\n";
+      }
+      continue;
+    }
+    if (iqs::StartsWith(lower, "select")) {
+      auto result = system->Query(trimmed, mode);
+      if (!result.ok()) {
+        std::cout << result.status() << "\n";
+        continue;
+      }
+      std::cout << result->extensional.ToTable() << "\n"
+                << system->Explain(*result);
+      if (with_summary) {
+        std::cout << "-- aggregate summary --\n"
+                  << iqs::SummarizeAnswer(result->extensional,
+                                          system->dictionary())
+                         .ToString();
+      }
+      continue;
+    }
+    std::cout << "unrecognized input; type 'help'\n";
+  }
+  return 0;
+}

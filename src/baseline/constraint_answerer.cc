@@ -1,0 +1,62 @@
+#include "baseline/constraint_answerer.h"
+
+#include "rules/subsumption.h"
+
+namespace iqs {
+
+Result<IntensionalAnswer> ConstraintBaseline::Answer(
+    const QueryDescription& query, InferenceMode mode) const {
+  return engine_.InferWith(query, mode, dictionary_->declared_rules());
+}
+
+std::optional<std::string> ConstraintBaseline::DetectEmptyAnswer(
+    const QueryDescription& query) const {
+  for (const std::string& type_name : query.object_types) {
+    auto def = dictionary_->catalog().GetObjectType(type_name);
+    if (!def.ok()) continue;
+    for (const KerConstraint& constraint : (*def)->constraints) {
+      if (constraint.kind != KerConstraint::Kind::kDomainRange) continue;
+      if (!constraint.allowed_set.empty()) continue;  // set constraints
+      for (const Clause& condition : query.conditions) {
+        if (!SameAttribute(constraint.domain_clause.attribute(),
+                           condition.attribute(),
+                           AttributeMatch::kBaseName)) {
+          continue;
+        }
+        if (!constraint.domain_clause.interval().Intersects(
+                condition.interval())) {
+          return "condition '" + condition.ToConditionString() +
+                 "' contradicts the declared constraint '" +
+                 constraint.ToString() + "' of " + (*def)->name +
+                 "; the answer is empty";
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Result<ConstraintBaseline::Comparison> ConstraintBaseline::Compare(
+    const QueryDescription& query, InferenceMode mode) const {
+  Comparison out;
+  IQS_ASSIGN_OR_RETURN(IntensionalAnswer baseline, Answer(query, mode));
+  IQS_ASSIGN_OR_RETURN(
+      IntensionalAnswer induced,
+      engine_.InferWith(query, mode, dictionary_->induced_rules()));
+  auto count_type_facts = [](const IntensionalAnswer& answer) {
+    size_t count = 0;
+    for (const IntensionalStatement& s : answer.statements()) {
+      for (const Fact& f : s.facts) {
+        if (f.kind == Fact::Kind::kType) ++count;
+      }
+    }
+    return count;
+  };
+  out.baseline_statements = baseline.size();
+  out.induced_statements = induced.size();
+  out.baseline_type_facts = count_type_facts(baseline);
+  out.induced_type_facts = count_type_facts(induced);
+  return out;
+}
+
+}  // namespace iqs

@@ -1,0 +1,79 @@
+#ifndef IQS_COMMON_RESULT_H_
+#define IQS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace iqs {
+
+// Result<T> holds either a value of type T or a non-OK Status, in the style
+// of absl::StatusOr / arrow::Result. Accessing the value of an errored
+// Result is a programming error and asserts.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or from an error Status keeps call
+  // sites terse: `return value;` / `return Status::NotFound(...)`.
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value
+};
+
+// Evaluates `expr` (a Result<T>), propagating its error or assigning the
+// unwrapped value to `lhs`. `lhs` may declare a variable:
+//   IQS_ASSIGN_OR_RETURN(auto rel, db.Get("SUBMARINE"));
+#define IQS_ASSIGN_OR_RETURN(lhs, expr)                          \
+  IQS_ASSIGN_OR_RETURN_IMPL_(IQS_CONCAT_(iqs_result_, __LINE__), \
+                             lhs, expr)
+
+#define IQS_CONCAT_INNER_(a, b) a##b
+#define IQS_CONCAT_(a, b) IQS_CONCAT_INNER_(a, b)
+#define IQS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+}  // namespace iqs
+
+#endif  // IQS_COMMON_RESULT_H_

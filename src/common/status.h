@@ -1,0 +1,93 @@
+#ifndef IQS_COMMON_STATUS_H_
+#define IQS_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace iqs {
+
+// Error categories used throughout the library. The set is deliberately
+// small; most call sites only distinguish Ok from not-Ok and surface the
+// message to the user.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // named relation / attribute / type does not exist
+  kAlreadyExists,     // duplicate definition
+  kParseError,        // SQL or KER DDL text did not parse
+  kTypeError,         // value/domain mismatch
+  kConstraintViolation,  // a with-constraint rejected a tuple
+  kInternal,          // invariant breach inside the library
+};
+
+// Returns a short stable name such as "NotFound" for diagnostics.
+const char* StatusCodeName(StatusCode code);
+
+// Status carries the outcome of an operation that can fail. The library
+// does not use exceptions (see DESIGN.md); every fallible API returns a
+// Status or a Result<T>.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Propagates a non-OK status to the caller. Usable in any function that
+// returns Status or Result<T> (Result is constructible from Status).
+#define IQS_RETURN_IF_ERROR(expr)                    \
+  do {                                               \
+    ::iqs::Status iqs_status_ = (expr);              \
+    if (!iqs_status_.ok()) return iqs_status_;       \
+  } while (0)
+
+}  // namespace iqs
+
+#endif  // IQS_COMMON_STATUS_H_

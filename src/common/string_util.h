@@ -1,0 +1,38 @@
+#ifndef IQS_COMMON_STRING_UTIL_H_
+#define IQS_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iqs {
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+// Splits `s` on `sep`, keeping empty fields. Split("a,,b", ',') ->
+// {"a", "", "b"}. Split("", ',') -> {""}.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// ASCII-only case conversions (locale independent).
+std::string ToUpper(std::string_view s);
+std::string ToLower(std::string_view s);
+
+// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Left-pads (or truncates nothing) `s` with spaces to `width`.
+std::string PadRight(std::string_view s, size_t width);
+
+// Renders a double without trailing zeros ("3.5", "42").
+std::string FormatDouble(double d);
+
+}  // namespace iqs
+
+#endif  // IQS_COMMON_STRING_UTIL_H_

@@ -1,0 +1,52 @@
+#ifndef IQS_CORE_ANSWER_FORMATTER_H_
+#define IQS_CORE_ANSWER_FORMATTER_H_
+
+#include <string>
+
+#include "core/query_processor.h"
+
+namespace iqs {
+
+// Domain vocabulary for natural-language rendering of intensional
+// answers. The paper's ship test bed reads "Ship type SSBN has
+// displacement greater than 8000"; a payroll application would configure
+// noun "Employee".
+struct FormatterOptions {
+  std::string entity_noun = "Instance";
+  // Verb phrase linking entities of two roles in a combined answer
+  // ("is equipped with" for INSTALL).
+  std::string relationship_phrase = "is associated with";
+};
+
+// Renders intensional answers as sentences in the style of the paper's
+// A_I examples, plus a structured trace of every statement.
+class AnswerFormatter {
+ public:
+  // `dictionary` must outlive the formatter.
+  AnswerFormatter(const DataDictionary* dictionary, FormatterOptions options)
+      : dictionary_(dictionary), options_(std::move(options)) {}
+
+  // A one-paragraph, paper-style summary sentence, e.g.
+  //   "Ship type SSBN has Displacement > 8000."          (forward)
+  //   "Instances with 0101 <= Class <= 0103 are SSBN."   (backward)
+  //   "Ship type SSN with 0208 <= Class <= 0215 is equipped with
+  //    Sonar = BQS-04."                                  (combined)
+  std::string Summary(const QueryResult& result) const;
+
+  // Full rendering: the summary plus one line per statement with
+  // provenance and containment direction.
+  std::string Render(const QueryResult& result) const;
+
+  // The most specific forward-derived type per role variable (supertypes
+  // of another derived type are dropped): {"x" -> "SSN", "y" -> "BQS"}.
+  std::vector<std::pair<std::string, std::string>> MostSpecificTypes(
+      const IntensionalAnswer& answer) const;
+
+ private:
+  const DataDictionary* dictionary_;
+  FormatterOptions options_;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_CORE_ANSWER_FORMATTER_H_

@@ -1,0 +1,134 @@
+#include "core/persistence.h"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "ker/ddl_parser.h"
+#include "relational/csv.h"
+#include "rules/rule_relation.h"
+
+namespace iqs {
+
+namespace {
+
+constexpr char kSchemaFile[] = "schema.ker";
+constexpr char kManifestFile[] = "manifest.csv";
+
+Schema ManifestSchema() {
+  return Schema({{"Relation", ValueType::kString, false},
+                 {"File", ValueType::kString, false},
+                 {"Attribute", ValueType::kString, false},
+                 {"Type", ValueType::kString, false},
+                 {"IsKey", ValueType::kInt, false},
+                 {"Position", ValueType::kInt, false}});
+}
+
+std::string FileNameFor(const std::string& relation) {
+  return relation + ".csv";
+}
+
+}  // namespace
+
+Status SaveSystem(IqsSystem* system, const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::InvalidArgument("cannot create directory '" + directory +
+                                   "': " + ec.message());
+  }
+  // Rules travel inside the database as meta-relations.
+  IQS_RETURN_IF_ERROR(system->StoreRulesInDatabase());
+
+  // Schema as KER DDL.
+  {
+    std::ofstream schema_file(
+        (std::filesystem::path(directory) / kSchemaFile).string());
+    if (!schema_file) {
+      return Status::Internal("cannot write schema.ker");
+    }
+    schema_file << system->catalog().ToDdl();
+  }
+
+  // Manifest + one CSV per relation.
+  Relation manifest("MANIFEST", ManifestSchema());
+  for (const std::string& name : system->database().RelationNames()) {
+    IQS_ASSIGN_OR_RETURN(const Relation* rel, system->database().Get(name));
+    for (size_t i = 0; i < rel->schema().size(); ++i) {
+      const AttributeDef& attr = rel->schema().attribute(i);
+      manifest.AppendUnchecked(
+          Tuple({Value::String(rel->name()),
+                 Value::String(FileNameFor(rel->name())),
+                 Value::String(attr.name),
+                 Value::String(ValueTypeName(attr.type)),
+                 Value::Int(attr.is_key ? 1 : 0),
+                 Value::Int(static_cast<int64_t>(i))}));
+    }
+    IQS_RETURN_IF_ERROR(WriteCsvFile(
+        *rel,
+        (std::filesystem::path(directory) / FileNameFor(rel->name()))
+            .string()));
+  }
+  return WriteCsvFile(
+      manifest, (std::filesystem::path(directory) / kManifestFile).string());
+}
+
+Result<std::unique_ptr<IqsSystem>> LoadSystem(const std::string& directory,
+                                              FormatterOptions options) {
+  std::filesystem::path dir(directory);
+  // Schema.
+  std::ifstream schema_file((dir / kSchemaFile).string());
+  if (!schema_file) {
+    return Status::NotFound("no schema.ker in '" + directory + "'");
+  }
+  std::ostringstream schema_text;
+  schema_text << schema_file.rdbuf();
+  auto catalog = std::make_unique<KerCatalog>();
+  IQS_RETURN_IF_ERROR(ParseDdl(schema_text.str(), catalog.get()));
+
+  // Manifest -> ordered relation descriptors.
+  IQS_ASSIGN_OR_RETURN(
+      Relation manifest,
+      ReadCsvFile("MANIFEST", ManifestSchema(),
+                  (dir / kManifestFile).string()));
+  struct Descriptor {
+    std::string file;
+    std::map<int64_t, AttributeDef> attrs;  // position -> definition
+  };
+  std::vector<std::string> order;
+  std::map<std::string, Descriptor> descriptors;
+  for (const Tuple& row : manifest.rows()) {
+    const std::string& relation = row.at(0).AsString();
+    if (descriptors.count(relation) == 0) order.push_back(relation);
+    Descriptor& d = descriptors[relation];
+    d.file = row.at(1).AsString();
+    IQS_ASSIGN_OR_RETURN(ValueType type,
+                         ValueTypeFromName(row.at(3).AsString()));
+    d.attrs[row.at(5).AsInt()] =
+        AttributeDef{row.at(2).AsString(), type, row.at(4).AsInt() != 0};
+  }
+
+  auto db = std::make_unique<Database>();
+  for (const std::string& relation : order) {
+    const Descriptor& d = descriptors[relation];
+    std::vector<AttributeDef> attrs;
+    for (const auto& [position, attr] : d.attrs) attrs.push_back(attr);
+    IQS_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(attrs)));
+    IQS_ASSIGN_OR_RETURN(
+        Relation rel,
+        ReadCsvFile(relation, schema, (dir / d.file).string()));
+    IQS_RETURN_IF_ERROR(db->AddRelation(std::move(rel)));
+  }
+
+  bool has_rules = db->Contains(kRuleRelName);
+  IQS_ASSIGN_OR_RETURN(std::unique_ptr<IqsSystem> system,
+                       IqsSystem::Create(std::move(db), std::move(catalog),
+                                         std::move(options)));
+  if (has_rules) {
+    IQS_RETURN_IF_ERROR(system->LoadRulesFromDatabase());
+  }
+  return system;
+}
+
+}  // namespace iqs

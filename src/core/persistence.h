@@ -1,0 +1,39 @@
+#ifndef IQS_CORE_PERSISTENCE_H_
+#define IQS_CORE_PERSISTENCE_H_
+
+#include <string>
+
+#include "core/system.h"
+
+namespace iqs {
+
+// Whole-system persistence: the paper's relocation story (§5.2.2 — "a
+// database and its associated rule relations can be relocated together.
+// When the database is used in a location, the associated schema and
+// rules are loaded into the system") as a single save/load pair.
+//
+// Layout of a saved system directory:
+//   schema.ker          KER DDL (KerCatalog::ToDdl / ParseDdl round trip)
+//   manifest.csv        relation name -> csv file, in creation order,
+//                       with each column's name and type (so relations
+//                       whose object type has a different column order,
+//                       or no object type at all, reload faithfully)
+//   <relation>.csv      one file per relation, rule relations included
+//
+// The induced rules travel inside the database as the four rule
+// meta-relations; LoadSystem decodes them back into the dictionary.
+
+// Serializes `system` into `directory` (created if missing). The induced
+// rules are stored into the database first.
+Status SaveSystem(IqsSystem* system, const std::string& directory);
+
+// Rebuilds a system from `directory`: parses schema.ker, loads every
+// relation in the manifest, assembles the dictionary, and imports the
+// rule relations when present. `options` supplies the display vocabulary
+// (it is not persisted).
+Result<std::unique_ptr<IqsSystem>> LoadSystem(const std::string& directory,
+                                              FormatterOptions options = {});
+
+}  // namespace iqs
+
+#endif  // IQS_CORE_PERSISTENCE_H_

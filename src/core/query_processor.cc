@@ -1,0 +1,189 @@
+#include "core/query_processor.h"
+
+#include "common/string_util.h"
+#include "rules/subsumption.h"
+
+namespace iqs {
+
+namespace {
+
+// Finds the relation (by real name) owning `ref` among the FROM tables.
+Result<std::pair<std::string, const Relation*>> OwnerTable(
+    const Database& db, const std::vector<TableRef>& from,
+    const ColumnRef& ref) {
+  if (!ref.qualifier.empty()) {
+    for (const TableRef& table : from) {
+      if (EqualsIgnoreCase(table.effective_name(), ref.qualifier) ||
+          EqualsIgnoreCase(table.name, ref.qualifier)) {
+        IQS_ASSIGN_OR_RETURN(const Relation* rel, db.Get(table.name));
+        if (!rel->schema().Contains(ref.name)) {
+          return Status::NotFound("table '" + table.name +
+                                  "' has no column '" + ref.name + "'");
+        }
+        return std::make_pair(table.name, rel);
+      }
+    }
+    return Status::NotFound("no FROM table matches qualifier '" +
+                            ref.qualifier + "'");
+  }
+  std::pair<std::string, const Relation*> found{"", nullptr};
+  for (const TableRef& table : from) {
+    IQS_ASSIGN_OR_RETURN(const Relation* rel, db.Get(table.name));
+    if (rel->schema().Contains(ref.name)) {
+      if (found.second != nullptr) {
+        return Status::InvalidArgument("column '" + ref.name +
+                                       "' is ambiguous in the FROM list");
+      }
+      found = {table.name, rel};
+    }
+  }
+  if (found.second == nullptr) {
+    return Status::NotFound("no FROM table has column '" + ref.name + "'");
+  }
+  return found;
+}
+
+// Coerces a literal operand for a clause over `type`, preserving numeric
+// spellings against CHAR columns.
+Result<Value> CoerceForClause(const SqlOperand& operand, ValueType type) {
+  const Value& v = operand.literal;
+  if (v.is_null() || v.type() == type) return v;
+  if (type == ValueType::kString) {
+    return Value::String(operand.raw.empty() ? v.ToString() : operand.raw);
+  }
+  if (type == ValueType::kReal && v.type() == ValueType::kInt) {
+    return Value::Real(static_cast<double>(v.AsInt()));
+  }
+  if (type == ValueType::kDate && v.type() == ValueType::kString) {
+    return Value::FromText(ValueType::kDate, v.AsString());
+  }
+  return v;  // numeric comparisons across int/real are fine as-is
+}
+
+}  // namespace
+
+Result<QueryDescription> IntensionalQueryProcessor::Describe(
+    const SelectStatement& stmt) const {
+  QueryDescription description;
+  for (const TableRef& table : stmt.from) {
+    IQS_ASSIGN_OR_RETURN(const Relation* rel, db_->Get(table.name));
+    description.object_types.push_back(rel->name());
+  }
+  for (const SqlExpr* conjunct : TopLevelConjuncts(stmt.where.get())) {
+    if (conjunct->kind == SqlExpr::Kind::kComparison) {
+      // Column-vs-literal restrictions only; joins and literal-vs-literal
+      // comparisons are not answer-set characterizations.
+      const SqlOperand* col = nullptr;
+      const SqlOperand* lit = nullptr;
+      CompareOp op = conjunct->op;
+      if (conjunct->lhs.kind == SqlOperand::Kind::kColumn &&
+          conjunct->rhs.kind == SqlOperand::Kind::kLiteral) {
+        col = &conjunct->lhs;
+        lit = &conjunct->rhs;
+      } else if (conjunct->lhs.kind == SqlOperand::Kind::kLiteral &&
+                 conjunct->rhs.kind == SqlOperand::Kind::kColumn) {
+        col = &conjunct->rhs;
+        lit = &conjunct->lhs;
+        switch (op) {  // mirror the operator
+          case CompareOp::kLt: op = CompareOp::kGt; break;
+          case CompareOp::kLe: op = CompareOp::kGe; break;
+          case CompareOp::kGt: op = CompareOp::kLt; break;
+          case CompareOp::kGe: op = CompareOp::kLe; break;
+          default: break;
+        }
+      } else {
+        continue;
+      }
+      if (op == CompareOp::kNe) continue;  // not a single interval
+      IQS_ASSIGN_OR_RETURN(auto owner,
+                           OwnerTable(*db_, stmt.from, col->column));
+      IQS_ASSIGN_OR_RETURN(size_t idx, owner.second->schema().IndexOf(
+                                           col->column.name));
+      ValueType type = owner.second->schema().attribute(idx).type;
+      IQS_ASSIGN_OR_RETURN(Value constant, CoerceForClause(*lit, type));
+      IQS_ASSIGN_OR_RETURN(Interval interval,
+                           Interval::FromCompare(op, std::move(constant)));
+      description.conditions.push_back(Clause(
+          owner.first + "." + owner.second->schema().attribute(idx).name,
+          std::move(interval)));
+    } else if (conjunct->kind == SqlExpr::Kind::kBetween) {
+      if (conjunct->lhs.kind != SqlOperand::Kind::kColumn) continue;
+      if (conjunct->low.kind != SqlOperand::Kind::kLiteral ||
+          conjunct->high.kind != SqlOperand::Kind::kLiteral) {
+        continue;
+      }
+      IQS_ASSIGN_OR_RETURN(auto owner,
+                           OwnerTable(*db_, stmt.from, conjunct->lhs.column));
+      IQS_ASSIGN_OR_RETURN(size_t idx, owner.second->schema().IndexOf(
+                                           conjunct->lhs.column.name));
+      ValueType type = owner.second->schema().attribute(idx).type;
+      IQS_ASSIGN_OR_RETURN(Value lo, CoerceForClause(conjunct->low, type));
+      IQS_ASSIGN_OR_RETURN(Value hi, CoerceForClause(conjunct->high, type));
+      IQS_ASSIGN_OR_RETURN(Interval interval,
+                           Interval::Closed(std::move(lo), std::move(hi)));
+      description.conditions.push_back(Clause(
+          owner.first + "." + owner.second->schema().attribute(idx).name,
+          std::move(interval)));
+    }
+  }
+  return description;
+}
+
+Result<QueryResult> IntensionalQueryProcessor::Process(
+    const std::string& sql, InferenceMode mode) const {
+  return ProcessWith(sql, mode, dictionary_->induced_rules());
+}
+
+Result<QueryResult> IntensionalQueryProcessor::ProcessWith(
+    const std::string& sql, InferenceMode mode, const RuleSet& rules) const {
+  QueryResult result;
+  IQS_ASSIGN_OR_RETURN(result.statement, ParseSelect(sql));
+  IQS_ASSIGN_OR_RETURN(result.extensional, executor_.Execute(result.statement));
+  IQS_ASSIGN_OR_RETURN(result.description, Describe(result.statement));
+  IQS_ASSIGN_OR_RETURN(result.intensional,
+                       engine_.InferWith(result.description, mode, rules));
+  return result;
+}
+
+Result<double> IntensionalQueryProcessor::Coverage(
+    const QueryResult& result,
+    const IntensionalStatement& statement) const {
+  const Relation& answers = result.extensional;
+  if (answers.empty()) return 1.0;
+  // Resolve each range fact against the output columns; unresolvable
+  // facts (attributes not selected) are skipped.
+  struct Bound {
+    size_t column;
+    const Clause* clause;
+  };
+  std::vector<Bound> bounds;
+  for (const Fact& fact : statement.facts) {
+    if (fact.kind != Fact::Kind::kRange) continue;
+    for (size_t i = 0; i < answers.schema().size(); ++i) {
+      if (SameAttribute(answers.schema().attribute(i).name,
+                        fact.clause.attribute(), AttributeMatch::kBaseName)) {
+        bounds.push_back(Bound{i, &fact.clause});
+        break;
+      }
+    }
+  }
+  if (bounds.empty()) {
+    return Status::NotFound(
+        "no statement attribute appears in the extensional answer");
+  }
+  size_t covered = 0;
+  for (const Tuple& row : answers.rows()) {
+    bool ok = true;
+    for (const Bound& b : bounds) {
+      if (!b.clause->Satisfies(row.at(b.column))) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) ++covered;
+  }
+  return static_cast<double>(covered) /
+         static_cast<double>(answers.size());
+}
+
+}  // namespace iqs

@@ -1,0 +1,76 @@
+#ifndef IQS_CORE_QUERY_PROCESSOR_H_
+#define IQS_CORE_QUERY_PROCESSOR_H_
+
+#include <string>
+
+#include "dictionary/data_dictionary.h"
+#include "inference/engine.h"
+#include "relational/database.h"
+#include "sql/sql_executor.h"
+#include "sql/sql_parser.h"
+
+namespace iqs {
+
+// Everything the system knows about one processed query: the parsed
+// statement, the extensional answer (from the traditional query
+// processor), the description handed to the inference processor, and the
+// derived intensional answer.
+struct QueryResult {
+  SelectStatement statement;
+  Relation extensional;
+  QueryDescription description;
+  IntensionalAnswer intensional;
+};
+
+// The intensional query processing system (paper §5.1, Figure 6): a
+// traditional query processor (SqlExecutor) paired with the inference
+// processor (InferenceEngine) over the intelligent data dictionary.
+class IntensionalQueryProcessor {
+ public:
+  // `db` and `dictionary` must outlive the processor.
+  IntensionalQueryProcessor(const Database* db,
+                            const DataDictionary* dictionary)
+      : db_(db),
+        dictionary_(dictionary),
+        executor_(db),
+        engine_(dictionary) {}
+
+  // Executes `sql` and derives the intensional answer with the requested
+  // inference mode, using the dictionary's induced rules.
+  Result<QueryResult> Process(const std::string& sql,
+                              InferenceMode mode = InferenceMode::kCombined)
+      const;
+
+  // Same, against an explicit rule set (used by the integrity-constraint
+  // baseline).
+  Result<QueryResult> ProcessWith(const std::string& sql, InferenceMode mode,
+                                  const RuleSet& rules) const;
+
+  // Derives the inference-facing description of a parsed query: each
+  // top-level conjunct comparing a column with a literal (or BETWEEN)
+  // becomes an interval clause over "<Relation>.<attr>" (aliases resolved
+  // to relation names); join conditions and non-conjunctive structure are
+  // omitted — they shape the view, not the restriction.
+  Result<QueryDescription> Describe(const SelectStatement& stmt) const;
+
+  // Fraction of extensional-answer rows satisfying every resolvable range
+  // fact of `statement` — 1.0 for a sound forward statement; < 1.0
+  // quantifies the incompleteness of a backward statement (the paper's
+  // Example 2 discussion: class 1301 is an SSBN the backward answer
+  // misses).
+  Result<double> Coverage(const QueryResult& result,
+                          const IntensionalStatement& statement) const;
+
+  const SqlExecutor& executor() const { return executor_; }
+  const InferenceEngine& engine() const { return engine_; }
+
+ private:
+  const Database* db_;
+  const DataDictionary* dictionary_;
+  SqlExecutor executor_;
+  InferenceEngine engine_;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_CORE_QUERY_PROCESSOR_H_

@@ -1,0 +1,94 @@
+#include "core/semantic_optimizer.h"
+
+#include <map>
+
+#include "common/string_util.h"
+#include "rules/subsumption.h"
+
+namespace iqs {
+
+bool ImpliedCondition::Admits(const Value& v) const {
+  for (const Interval& interval : intervals) {
+    if (interval.Contains(v)) return true;
+  }
+  return false;
+}
+
+std::string ImpliedCondition::ToString() const {
+  std::string out = attribute + " in ";
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    if (i > 0) out += " u ";
+    out += intervals[i].ToString();
+  }
+  if (!complete) out += "  [incomplete family]";
+  return out;
+}
+
+std::vector<ImpliedCondition> SemanticOptimizer::Derive(
+    const QueryDescription& query, const RuleSet& rules) const {
+  std::vector<ImpliedCondition> out;
+  for (const Clause& condition : query.conditions) {
+    if (!condition.IsPoint()) continue;
+    const Value& y = *condition.interval().lo();
+    // Group matching rules by scheme: each scheme contributes one
+    // implied condition over its own X attribute.
+    std::map<std::string, ImpliedCondition> by_scheme;
+    for (const Rule& rule : rules.rules()) {
+      if (rule.lhs.size() != 1) continue;
+      if (!SameAttribute(rule.rhs.clause.attribute(), condition.attribute(),
+                         AttributeMatch::kBaseName)) {
+        continue;
+      }
+      if (!rule.rhs.clause.IsPoint() ||
+          *rule.rhs.clause.interval().lo() != y) {
+        continue;
+      }
+      ImpliedCondition& implied = by_scheme[rule.scheme];
+      if (implied.attribute.empty()) {
+        implied.attribute = rule.lhs[0].attribute();
+      }
+      implied.intervals.push_back(rule.lhs[0].interval());
+      implied.rule_ids.push_back(rule.id);
+      implied.complete = implied.complete && rule.family_complete;
+    }
+    for (auto& [scheme, implied] : by_scheme) {
+      // A restriction over the condition's own attribute is vacuous.
+      if (SameAttribute(implied.attribute, condition.attribute(),
+                        AttributeMatch::kBaseName)) {
+        continue;
+      }
+      out.push_back(std::move(implied));
+    }
+  }
+  return out;
+}
+
+std::vector<ImpliedCondition> SemanticOptimizer::Derive(
+    const QueryDescription& query) const {
+  return Derive(query, dictionary_->induced_rules());
+}
+
+Result<SemanticOptimizer::ScanEstimate> SemanticOptimizer::EstimateScan(
+    const ImpliedCondition& implied, const Relation& relation) const {
+  // Resolve the implied attribute against the relation by base name.
+  size_t column = relation.schema().size();
+  for (size_t i = 0; i < relation.schema().size(); ++i) {
+    if (SameAttribute(relation.schema().attribute(i).name, implied.attribute,
+                      AttributeMatch::kBaseName)) {
+      column = i;
+      break;
+    }
+  }
+  if (column == relation.schema().size()) {
+    return Status::NotFound("attribute '" + implied.attribute +
+                            "' does not resolve in " + relation.name());
+  }
+  ScanEstimate out;
+  out.total = relation.size();
+  for (const Tuple& row : relation.rows()) {
+    if (implied.Admits(row.at(column))) ++out.admitted;
+  }
+  return out;
+}
+
+}  // namespace iqs

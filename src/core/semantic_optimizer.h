@@ -1,0 +1,70 @@
+#ifndef IQS_CORE_SEMANTIC_OPTIMIZER_H_
+#define IQS_CORE_SEMANTIC_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "dictionary/data_dictionary.h"
+#include "inference/engine.h"
+
+namespace iqs {
+
+// Semantic query optimization with induced rules — the companion use of
+// the same knowledge base the paper cites in §1 ("integrity constraints
+// were used to improve query processing performance [KING81, HAMM80]")
+// and develops in the authors' CHU90. Where intensional answering runs
+// rules FORWARD over a query's conditions, the optimizer runs them in
+// CONVERSE: a condition `Y = y` implies `X ∈ (union of the ranges of
+// y's rule family)` — but only when the family is *complete* (no pruned
+// run, no inconsistent value; Rule::family_complete). The implied
+// restriction can then drive an index scan on X instead of a full scan.
+//
+// Incomplete families still yield implied conditions, flagged
+// `complete = false`: using them trades completeness for speed (the
+// Example-2 situation — class 1301 would be missed).
+
+// One derived restriction: attribute ∈ union of intervals.
+struct ImpliedCondition {
+  std::string attribute;            // the family's X attribute
+  std::vector<Interval> intervals;  // one per family rule, ascending
+  std::vector<int> rule_ids;        // provenance
+  bool complete = true;
+
+  bool Admits(const Value& v) const;
+  std::string ToString() const;
+};
+
+class SemanticOptimizer {
+ public:
+  // `dictionary` must outlive the optimizer.
+  explicit SemanticOptimizer(const DataDictionary* dictionary)
+      : dictionary_(dictionary) {}
+
+  // Derives the restrictions implied by the query's point conditions
+  // through the given rules. For a condition `A = v`, every rule scheme
+  // whose consequent is `A = v` (base-name match) contributes the union
+  // of its matching rules' LHS intervals over the scheme's X attribute.
+  std::vector<ImpliedCondition> Derive(const QueryDescription& query,
+                                       const RuleSet& rules) const;
+
+  // Same, using the dictionary's induced rules.
+  std::vector<ImpliedCondition> Derive(const QueryDescription& query) const;
+
+  // Scan-saving estimate for `implied` against a relation: how many rows
+  // of `relation` the implied restriction admits (an index-driven plan
+  // reads only these) vs the relation's size. Requires the implied
+  // attribute to resolve in the relation.
+  struct ScanEstimate {
+    size_t admitted = 0;
+    size_t total = 0;
+  };
+  Result<ScanEstimate> EstimateScan(const ImpliedCondition& implied,
+                                    const Relation& relation) const;
+
+ private:
+  const DataDictionary* dictionary_;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_CORE_SEMANTIC_OPTIMIZER_H_

@@ -1,0 +1,95 @@
+#include "core/summarizer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+#include "rules/subsumption.h"
+
+namespace iqs {
+
+std::string AnswerSummary::ToString() const {
+  std::string out = std::to_string(rows) + " rows.\n";
+  if (!by_type.empty()) {
+    out += "by type:";
+    for (const TypeBreakdownEntry& e : by_type) {
+      out += " " + e.type_name + " " + std::to_string(e.count) + "/" +
+             std::to_string(rows);
+    }
+    out += "\n";
+  }
+  for (const ColumnSummary& c : columns) {
+    out += c.attribute + ": " + std::to_string(c.distinct) +
+           " distinct value(s)";
+    if (!c.min.is_null()) {
+      if (c.min == c.max) {
+        out += ", all " + c.min.ToString();
+      } else {
+        out += " in [" + c.min.ToString() + ", " + c.max.ToString() + "]";
+      }
+    }
+    if (c.non_null < rows) {
+      out += " (" + std::to_string(rows - c.non_null) + " null)";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+AnswerSummary SummarizeAnswer(const Relation& answers,
+                              const DataDictionary& dictionary) {
+  AnswerSummary summary;
+  summary.rows = answers.size();
+
+  // Column statistics.
+  for (size_t i = 0; i < answers.schema().size(); ++i) {
+    ColumnSummary column;
+    column.attribute = answers.schema().attribute(i).name;
+    std::set<Value> distinct;
+    for (const Tuple& row : answers.rows()) {
+      const Value& v = row.at(i);
+      if (v.is_null()) continue;
+      ++column.non_null;
+      distinct.insert(v);
+      if (column.min.is_null() || v < column.min) column.min = v;
+      if (column.max.is_null() || v > column.max) column.max = v;
+    }
+    column.distinct = distinct.size();
+    summary.columns.push_back(std::move(column));
+  }
+
+  // Type membership via derivation specifications.
+  const TypeHierarchy& hierarchy = dictionary.catalog().hierarchy();
+  for (const std::string& type_name : hierarchy.AllTypes()) {
+    auto node = hierarchy.Get(type_name);
+    if (!node.ok() || !(*node)->derivation.has_value()) continue;
+    const Clause& derivation = *(*node)->derivation;
+    // Resolve the derivation attribute against the answer schema.
+    size_t column = answers.schema().size();
+    for (size_t i = 0; i < answers.schema().size(); ++i) {
+      if (SameAttribute(answers.schema().attribute(i).name,
+                        derivation.attribute(), AttributeMatch::kBaseName)) {
+        column = i;
+        break;
+      }
+    }
+    if (column == answers.schema().size()) continue;
+    TypeBreakdownEntry entry;
+    entry.type_name = (*node)->name;
+    auto supers = hierarchy.SupertypesOf(type_name);
+    entry.depth = supers.ok() ? static_cast<int>(supers->size()) : 0;
+    for (const Tuple& row : answers.rows()) {
+      if (derivation.Satisfies(row.at(column))) ++entry.count;
+    }
+    if (entry.count > 0) summary.by_type.push_back(std::move(entry));
+  }
+  // Shallow types first, then by declaration order (stable sort).
+  std::stable_sort(summary.by_type.begin(), summary.by_type.end(),
+                   [](const TypeBreakdownEntry& a,
+                      const TypeBreakdownEntry& b) {
+                     return a.depth < b.depth;
+                   });
+  return summary;
+}
+
+}  // namespace iqs

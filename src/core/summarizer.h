@@ -1,0 +1,59 @@
+#ifndef IQS_CORE_SUMMARIZER_H_
+#define IQS_CORE_SUMMARIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "dictionary/data_dictionary.h"
+#include "relational/relation.h"
+
+namespace iqs {
+
+// Aggregate characterization of an extensional answer — the other kind
+// of "summarized answer" the paper's introduction motivates (citing
+// Shum & Muntz's aggregate responses, VLDB '88). Where type inference
+// characterizes answers by *rules*, the summarizer characterizes them by
+// *statistics over the answer itself*: per-type membership counts (using
+// the hierarchy's derivation specifications) and per-attribute ranges.
+//
+//   AnswerSummary s = SummarizeAnswer(answers, dictionary);
+//   s.ToString() ->
+//     7 rows.
+//     by type: SSBN 7/7 (C0103 3, C0102 2, C0101 1, C1301 1)
+//     Class: 7 values in [0101, 1301]
+//     ...
+
+// Count of answer rows belonging to one type of the hierarchy.
+struct TypeBreakdownEntry {
+  std::string type_name;
+  size_t count = 0;
+  int depth = 0;  // distance from the hierarchy root (1 = direct subtype)
+};
+
+// Observed statistics of one answer column.
+struct ColumnSummary {
+  std::string attribute;
+  size_t non_null = 0;
+  size_t distinct = 0;
+  Value min;  // null when the column is empty
+  Value max;
+};
+
+struct AnswerSummary {
+  size_t rows = 0;
+  std::vector<TypeBreakdownEntry> by_type;  // depth-1 types first
+  std::vector<ColumnSummary> columns;
+
+  std::string ToString() const;
+};
+
+// Builds the summary. Type membership is decided per row by evaluating
+// each type's derivation specification against the answer's columns
+// (base-name attribute matching); types whose derivation attribute is
+// not part of the answer are skipped. Zero-count types are omitted.
+AnswerSummary SummarizeAnswer(const Relation& answers,
+                              const DataDictionary& dictionary);
+
+}  // namespace iqs
+
+#endif  // IQS_CORE_SUMMARIZER_H_

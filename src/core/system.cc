@@ -1,0 +1,54 @@
+#include "core/system.h"
+
+namespace iqs {
+
+Result<std::unique_ptr<IqsSystem>> IqsSystem::Create(
+    std::unique_ptr<Database> db, std::unique_ptr<KerCatalog> catalog,
+    FormatterOptions formatter_options) {
+  if (db == nullptr || catalog == nullptr) {
+    return Status::InvalidArgument("database and catalog are required");
+  }
+  auto system = std::unique_ptr<IqsSystem>(new IqsSystem());
+  system->db_ = std::move(db);
+  system->catalog_ = std::move(catalog);
+  system->dictionary_ =
+      std::make_unique<DataDictionary>(system->catalog_.get());
+  IQS_RETURN_IF_ERROR(system->dictionary_->BuildFrames());
+  IQS_RETURN_IF_ERROR(
+      system->dictionary_->ComputeActiveDomains(*system->db_));
+  system->ils_ = std::make_unique<InductiveLearningSubsystem>(
+      system->db_.get(), system->catalog_.get());
+  system->processor_ = std::make_unique<IntensionalQueryProcessor>(
+      system->db_.get(), system->dictionary_.get());
+  system->formatter_ = std::make_unique<AnswerFormatter>(
+      system->dictionary_.get(), std::move(formatter_options));
+  return system;
+}
+
+Status IqsSystem::Induce(const InductionConfig& config) {
+  IQS_ASSIGN_OR_RETURN(RuleSet rules, ils_->InduceAll(config));
+  dictionary_->SetInducedRules(std::move(rules));
+  return Status::Ok();
+}
+
+Result<QueryResult> IqsSystem::Query(const std::string& sql,
+                                     InferenceMode mode) const {
+  return processor_->Process(sql, mode);
+}
+
+std::string IqsSystem::Explain(const QueryResult& result) const {
+  return formatter_->Render(result);
+}
+
+Status IqsSystem::StoreRulesInDatabase() {
+  IQS_ASSIGN_OR_RETURN(RuleRelations relations,
+                       dictionary_->ExportInducedRules());
+  return StoreRuleRelations(relations, db_.get());
+}
+
+Status IqsSystem::LoadRulesFromDatabase() {
+  IQS_ASSIGN_OR_RETURN(RuleRelations relations, LoadRuleRelations(*db_));
+  return dictionary_->ImportInducedRules(relations);
+}
+
+}  // namespace iqs

@@ -1,0 +1,70 @@
+#ifndef IQS_CORE_SYSTEM_H_
+#define IQS_CORE_SYSTEM_H_
+
+#include <memory>
+#include <string>
+
+#include "core/answer_formatter.h"
+#include "core/query_processor.h"
+#include "induction/ils.h"
+
+namespace iqs {
+
+// The assembled intensional query processing system (paper Figure 6):
+// EDB + KER schema + intelligent data dictionary + inductive learning
+// subsystem + inference processor + traditional query processor, wired
+// together behind one facade. This is the type a downstream user
+// instantiates.
+//
+//   auto system = IqsSystem::Create(BuildShipDatabase(), BuildShipSchema());
+//   system->Induce(InductionConfig{});
+//   auto result = system->Query("SELECT ... WHERE Displacement > 8000");
+class IqsSystem {
+ public:
+  // Builds the dictionary (frames + active domains) over the given
+  // database and schema. Returns a heap-allocated system because internal
+  // components hold stable pointers to each other.
+  static Result<std::unique_ptr<IqsSystem>> Create(
+      std::unique_ptr<Database> db, std::unique_ptr<KerCatalog> catalog,
+      FormatterOptions formatter_options = {});
+
+  // Runs the ILS over the database and installs the induced rules in the
+  // dictionary.
+  Status Induce(const InductionConfig& config);
+
+  // Executes `sql`, returning extensional + intensional answers.
+  Result<QueryResult> Query(const std::string& sql,
+                            InferenceMode mode = InferenceMode::kCombined)
+      const;
+
+  // Paper-style prose for a query result.
+  std::string Explain(const QueryResult& result) const;
+
+  // Persists the induced rules as rule relations inside the database
+  // itself (paper §5.2.2), or restores them from there.
+  Status StoreRulesInDatabase();
+  Status LoadRulesFromDatabase();
+
+  Database& database() { return *db_; }
+  const Database& database() const { return *db_; }
+  const KerCatalog& catalog() const { return *catalog_; }
+  DataDictionary& dictionary() { return *dictionary_; }
+  const DataDictionary& dictionary() const { return *dictionary_; }
+  const InductiveLearningSubsystem& ils() const { return *ils_; }
+  const IntensionalQueryProcessor& processor() const { return *processor_; }
+  const AnswerFormatter& formatter() const { return *formatter_; }
+
+ private:
+  IqsSystem() = default;
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<KerCatalog> catalog_;
+  std::unique_ptr<DataDictionary> dictionary_;
+  std::unique_ptr<InductiveLearningSubsystem> ils_;
+  std::unique_ptr<IntensionalQueryProcessor> processor_;
+  std::unique_ptr<AnswerFormatter> formatter_;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_CORE_SYSTEM_H_

@@ -1,0 +1,95 @@
+#ifndef IQS_DICTIONARY_DATA_DICTIONARY_H_
+#define IQS_DICTIONARY_DATA_DICTIONARY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dictionary/frame.h"
+#include "ker/catalog.h"
+#include "relational/database.h"
+#include "rules/rule.h"
+#include "rules/rule_relation.h"
+#include "rules/subsumption.h"
+
+namespace iqs {
+
+// The intelligent (extended) data dictionary (paper §5.1/§5.3): a
+// knowledge base holding
+//  * the database schema as a hierarchy of frames (built from the KER
+//    catalog),
+//  * the semantic knowledge: declared with-constraint rules and the rules
+//    induced by the ILS,
+//  * the active domains (observed [min, max] per attribute) the inference
+//    engine clips query conditions with.
+class DataDictionary {
+ public:
+  // `catalog` must outlive the dictionary.
+  explicit DataDictionary(const KerCatalog* catalog);
+
+  DataDictionary(const DataDictionary&) = delete;
+  DataDictionary& operator=(const DataDictionary&) = delete;
+  DataDictionary(DataDictionary&&) = default;
+  DataDictionary& operator=(DataDictionary&&) = default;
+
+  const KerCatalog& catalog() const { return *catalog_; }
+
+  // ---- frames --------------------------------------------------------------
+
+  // (Re)builds the frame hierarchy from the catalog, propagating slot
+  // inheritance down each type hierarchy.
+  Status BuildFrames();
+
+  Result<const Frame*> GetFrame(const std::string& name) const;
+  std::vector<std::string> FrameNames() const;
+
+  // ---- rules ---------------------------------------------------------------
+
+  // Rules declared in with-constraints (snapshot taken at construction).
+  const RuleSet& declared_rules() const { return declared_; }
+  // Rules produced by the ILS.
+  const RuleSet& induced_rules() const { return induced_; }
+
+  void SetInducedRules(RuleSet rules) { induced_ = std::move(rules); }
+
+  // Declared followed by induced rules, renumbered 1..n — what the
+  // inference engine works with.
+  RuleSet AllRules() const;
+
+  // ---- active domains --------------------------------------------------
+
+  // Scans every relation of `db` and records, per attribute, the observed
+  // [min, max]. Both bare ("Displacement") and qualified
+  // ("CLASS.Displacement") spellings are served; attributes with the same
+  // bare name in several relations merge to the union interval (a wider
+  // clip domain is conservative for forward inference).
+  Status ComputeActiveDomains(const Database& db);
+
+  const std::vector<AttributeDomain>& active_domains() const {
+    return active_domains_;
+  }
+
+  // ---- persistence (rule relations, paper §5.2.2) ------------------------
+
+  // Encodes the induced rules as rule relations for relocation with the
+  // database.
+  Result<RuleRelations> ExportInducedRules() const;
+
+  // Replaces the induced rules with the decoded content, re-attaching
+  // isa readings from the catalog's derivation specifications.
+  Status ImportInducedRules(const RuleRelations& relations);
+
+  std::string ToString() const;
+
+ private:
+  const KerCatalog* catalog_;
+  std::map<std::string, Frame> frames_;  // lower-cased key
+  std::vector<std::string> frame_order_;
+  RuleSet declared_;
+  RuleSet induced_;
+  std::vector<AttributeDomain> active_domains_;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_DICTIONARY_DATA_DICTIONARY_H_

@@ -1,0 +1,36 @@
+#include "dictionary/frame.h"
+
+#include "common/string_util.h"
+
+namespace iqs {
+
+const FrameSlot* Frame::FindSlot(const std::string& slot_name) const {
+  for (const FrameSlot& slot : slots) {
+    if (EqualsIgnoreCase(slot.name, slot_name)) return &slot;
+  }
+  return nullptr;
+}
+
+std::string Frame::ToString() const {
+  std::string out = "frame " + name;
+  if (!parent.empty()) out += " isa " + parent;
+  if (is_relationship) out += "  (relationship)";
+  out += "\n";
+  if (derivation.has_value()) {
+    out += "  derivation: " + derivation->ToConditionString() + "\n";
+  }
+  for (const FrameSlot& slot : slots) {
+    out += slot.is_key ? "  slot key " : "  slot     ";
+    out += PadRight(slot.name, 16) + " domain " + slot.domain;
+    if (!slot.inherited_from.empty()) {
+      out += "  (inherited from " + slot.inherited_from + ")";
+    }
+    out += "\n";
+  }
+  if (!children.empty()) {
+    out += "  contains " + Join(children, ", ") + "\n";
+  }
+  return out;
+}
+
+}  // namespace iqs

@@ -1,0 +1,43 @@
+#ifndef IQS_DICTIONARY_FRAME_H_
+#define IQS_DICTIONARY_FRAME_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rules/clause.h"
+
+namespace iqs {
+
+// One slot of a frame: an attribute with its domain, annotated with the
+// frame it was inherited from (empty for own slots). Inheritance follows
+// the paper §2: "A subtype inherits all the properties of its supertypes,
+// unless some of the properties have been redefined in the subtype."
+struct FrameSlot {
+  std::string name;
+  std::string domain;
+  bool is_key = false;
+  std::string inherited_from;  // defining supertype; empty when own
+
+  friend bool operator==(const FrameSlot&, const FrameSlot&) = default;
+};
+
+// The frame-based knowledge representation of the extended data dictionary
+// (paper §5.3): "Each object type is represented as a frame and the object
+// hierarchy is represented as a hierarchy of frames."
+struct Frame {
+  std::string name;
+  std::string parent;  // supertype frame; empty for roots
+  std::vector<std::string> children;
+  std::vector<FrameSlot> slots;  // own slots first, then inherited
+  std::optional<Clause> derivation;  // subtype derivation specification
+  bool is_relationship = false;
+
+  const FrameSlot* FindSlot(const std::string& slot_name) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_DICTIONARY_FRAME_H_

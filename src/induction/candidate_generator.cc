@@ -1,0 +1,62 @@
+#include "induction/candidate_generator.h"
+
+#include "common/string_util.h"
+
+namespace iqs {
+
+std::vector<std::string> ClassificationAttributes(
+    const KerCatalog& catalog, const std::string& object_type) {
+  // The derivation specifications of the whole hierarchy forest are
+  // scanned, not just this type's own subtypes: in a normalized schema a
+  // subtype of SUBMARINE (conceptually) derives over an attribute stored
+  // in CLASS ("SSBN isa SUBMARINE with Type = 'SSBN'", where Type is
+  // CLASS.Type), so the classification attribute belongs to CLASS.
+  std::vector<std::string> out;
+  auto def = catalog.GetObjectType(object_type);
+  if (!def.ok()) return out;
+  for (const std::string& type_name : catalog.hierarchy().AllTypes()) {
+    auto node = catalog.hierarchy().Get(type_name);
+    if (!node.ok() || !(*node)->derivation.has_value()) continue;
+    std::string attr = (*node)->derivation->BaseAttribute();
+    const KerAttribute* owned = (*def)->FindAttribute(attr);
+    if (owned == nullptr) continue;
+    bool seen = false;
+    for (const std::string& existing : out) {
+      if (EqualsIgnoreCase(existing, owned->name)) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(owned->name);
+  }
+  return out;
+}
+
+Result<std::vector<SchemeCandidate>> IntraObjectCandidates(
+    const KerCatalog& catalog, const std::string& object_type) {
+  IQS_ASSIGN_OR_RETURN(const ObjectTypeDef* def,
+                       catalog.GetObjectType(object_type));
+  std::vector<std::string> targets =
+      ClassificationAttributes(catalog, object_type);
+  std::vector<SchemeCandidate> out;
+  for (const std::string& y : targets) {
+    for (const KerAttribute& x : def->attributes) {
+      if (EqualsIgnoreCase(x.name, y)) continue;
+      out.push_back(SchemeCandidate{x.name, y});
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> KeyAttributes(const KerCatalog& catalog,
+                                       const std::string& object_type) {
+  std::vector<std::string> out;
+  auto def = catalog.GetObjectType(object_type);
+  if (!def.ok()) return out;
+  for (const KerAttribute& a : (*def)->attributes) {
+    if (a.is_key) out.push_back(a.name);
+  }
+  return out;
+}
+
+}  // namespace iqs

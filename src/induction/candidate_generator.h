@@ -1,0 +1,44 @@
+#ifndef IQS_INDUCTION_CANDIDATE_GENERATOR_H_
+#define IQS_INDUCTION_CANDIDATE_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "ker/catalog.h"
+
+namespace iqs {
+
+// Schema-guided candidate selection (paper §3.2): "we propose to use
+// machine learning to acquire database characteristics and use the
+// database schema to guide the rule induction process". Candidates are
+// attribute pairs (X, Y) whose correlation the schema designer declared
+// meaningful by building the type hierarchy around Y.
+
+// One candidate rule scheme X --> Y.
+struct SchemeCandidate {
+  std::string x_attr;
+  std::string y_attr;
+
+  friend bool operator==(const SchemeCandidate&,
+                         const SchemeCandidate&) = default;
+};
+
+// The classification attributes of `object_type`: attributes of the type
+// that appear in the derivation specifications of its subtypes (e.g. Type
+// for CLASS, whose subtypes SSBN/SSN derive with Type = "...").
+std::vector<std::string> ClassificationAttributes(
+    const KerCatalog& catalog, const std::string& object_type);
+
+// Intra-object candidates for `object_type`: every classification
+// attribute Y paired with every other attribute X of the type, in
+// attribute declaration order.
+Result<std::vector<SchemeCandidate>> IntraObjectCandidates(
+    const KerCatalog& catalog, const std::string& object_type);
+
+// Key attributes of `object_type` (usually one).
+std::vector<std::string> KeyAttributes(const KerCatalog& catalog,
+                                       const std::string& object_type);
+
+}  // namespace iqs
+
+#endif  // IQS_INDUCTION_CANDIDATE_GENERATOR_H_

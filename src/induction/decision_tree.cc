@@ -1,0 +1,356 @@
+#include "induction/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace iqs {
+
+namespace {
+
+double Entropy(const std::map<Value, size_t>& counts, size_t total) {
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const auto& [value, count] : counts) {
+    if (count == 0) continue;
+    double p = static_cast<double>(count) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+struct SplitChoice {
+  double gain = -1.0;
+  size_t feature_pos = 0;  // index into feature_indices_
+  bool categorical = false;
+  Value threshold;
+  std::vector<Value> categories;
+};
+
+}  // namespace
+
+Result<DecisionTree> DecisionTree::Train(
+    const Relation& relation, const std::string& target,
+    const std::vector<std::string>& features, const Config& config) {
+  DecisionTree tree;
+  tree.schema_ = relation.schema();
+  tree.target_ = target;
+  IQS_ASSIGN_OR_RETURN(tree.target_index_, relation.schema().IndexOf(target));
+  for (const std::string& f : features) {
+    IQS_ASSIGN_OR_RETURN(size_t idx, relation.schema().IndexOf(f));
+    if (idx == tree.target_index_) {
+      return Status::InvalidArgument("target '" + target +
+                                     "' cannot also be a feature");
+    }
+    tree.feature_indices_.push_back(idx);
+  }
+  if (tree.feature_indices_.empty()) {
+    return Status::InvalidArgument("at least one feature is required");
+  }
+
+  std::vector<const Tuple*> rows;
+  rows.reserve(relation.size());
+  for (const Tuple& t : relation.rows()) {
+    if (!t.at(tree.target_index_).is_null()) rows.push_back(&t);
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("no rows with a non-null target");
+  }
+
+  // Recursive builder.
+  auto build = [&](auto&& self, std::vector<const Tuple*> subset,
+                   int depth) -> std::unique_ptr<Node> {
+    auto node = std::make_unique<Node>();
+    std::map<Value, size_t> counts;
+    for (const Tuple* t : subset) counts[t->at(tree.target_index_)] += 1;
+    // Majority prediction (ties break to the smaller value, which is
+    // deterministic).
+    size_t best_count = 0;
+    for (const auto& [value, count] : counts) {
+      if (count > best_count) {
+        best_count = count;
+        node->prediction = value;
+      }
+    }
+    node->samples = subset.size();
+    bool pure = counts.size() == 1;
+    if (pure || depth >= config.max_depth ||
+        subset.size() < config.min_samples_split) {
+      node->is_leaf = true;
+      return node;
+    }
+    double parent_entropy = Entropy(counts, subset.size());
+
+    SplitChoice best;
+    for (size_t fpos = 0; fpos < tree.feature_indices_.size(); ++fpos) {
+      size_t fidx = tree.feature_indices_[fpos];
+      // Distinct non-null feature values with per-value class counts.
+      std::map<Value, std::map<Value, size_t>> per_value;
+      size_t non_null = 0;
+      for (const Tuple* t : subset) {
+        const Value& v = t->at(fidx);
+        if (v.is_null()) continue;
+        per_value[v][t->at(tree.target_index_)] += 1;
+        ++non_null;
+      }
+      if (per_value.size() < 2) continue;
+
+      bool is_string = per_value.begin()->first.type() == ValueType::kString;
+      if (is_string && per_value.size() <= config.categorical_splits) {
+        // n-way categorical split.
+        double children_entropy = 0.0;
+        std::vector<Value> categories;
+        for (const auto& [v, cls_counts] : per_value) {
+          size_t n = 0;
+          for (const auto& [cls, c] : cls_counts) n += c;
+          children_entropy += static_cast<double>(n) /
+                              static_cast<double>(non_null) *
+                              Entropy(cls_counts, n);
+          categories.push_back(v);
+        }
+        double gain = parent_entropy - children_entropy;
+        if (gain > best.gain) {
+          best = SplitChoice{gain, fpos, true, Value(), std::move(categories)};
+        }
+        continue;
+      }
+      // Ordered binary split: threshold at each distinct value but the
+      // last; running class counts make this O(values * classes).
+      std::map<Value, size_t> left_counts;
+      size_t left_n = 0;
+      std::map<Value, size_t> right_counts;
+      size_t right_n = non_null;
+      for (const auto& [v, cls_counts] : per_value) {
+        for (const auto& [cls, c] : cls_counts) right_counts[cls] += c;
+      }
+      size_t seen = 0;
+      for (const auto& [v, cls_counts] : per_value) {
+        ++seen;
+        for (const auto& [cls, c] : cls_counts) {
+          left_counts[cls] += c;
+          left_n += c;
+          right_counts[cls] -= c;
+          right_n -= c;
+        }
+        if (seen == per_value.size()) break;  // no split after last value
+        double children_entropy =
+            static_cast<double>(left_n) / static_cast<double>(non_null) *
+                Entropy(left_counts, left_n) +
+            static_cast<double>(right_n) / static_cast<double>(non_null) *
+                Entropy(right_counts, right_n);
+        double gain = parent_entropy - children_entropy;
+        if (gain > best.gain + 1e-12) {
+          best = SplitChoice{gain, fpos, false, v, {}};
+        }
+      }
+    }
+
+    if (best.gain <= 1e-9) {
+      node->is_leaf = true;
+      return node;
+    }
+
+    node->feature = tree.feature_indices_[best.feature_pos];
+    node->categorical = best.categorical;
+    node->threshold = best.threshold;
+    node->categories = best.categories;
+
+    // Partition rows; null feature values go to the largest child.
+    std::vector<std::vector<const Tuple*>> parts(
+        best.categorical ? best.categories.size() : 2);
+    std::vector<const Tuple*> null_rows;
+    for (const Tuple* t : subset) {
+      const Value& v = t->at(node->feature);
+      if (v.is_null()) {
+        null_rows.push_back(t);
+        continue;
+      }
+      if (best.categorical) {
+        size_t which = 0;
+        for (size_t k = 0; k < best.categories.size(); ++k) {
+          if (best.categories[k] == v) {
+            which = k;
+            break;
+          }
+        }
+        parts[which].push_back(t);
+      } else {
+        parts[v.Compare(best.threshold) <= 0 ? 0 : 1].push_back(t);
+      }
+    }
+    size_t majority = 0;
+    for (size_t k = 1; k < parts.size(); ++k) {
+      if (parts[k].size() > parts[majority].size()) majority = k;
+    }
+    node->majority_child = majority;
+    for (const Tuple* t : null_rows) parts[majority].push_back(t);
+
+    for (auto& part : parts) {
+      if (part.empty()) {
+        // Degenerate empty branch: leaf predicting the parent majority.
+        auto leaf = std::make_unique<Node>();
+        leaf->is_leaf = true;
+        leaf->prediction = node->prediction;
+        leaf->samples = 0;
+        node->children.push_back(std::move(leaf));
+      } else {
+        node->children.push_back(self(self, std::move(part), depth + 1));
+      }
+    }
+    return node;
+  };
+
+  tree.root_ = build(build, std::move(rows), 0);
+  return tree;
+}
+
+const DecisionTree::Node* DecisionTree::Descend(const Tuple& tuple) const {
+  const Node* node = root_.get();
+  while (node != nullptr && !node->is_leaf) {
+    const Value& v = tuple.at(node->feature);
+    size_t which = node->majority_child;
+    if (!v.is_null()) {
+      if (node->categorical) {
+        bool found = false;
+        for (size_t k = 0; k < node->categories.size(); ++k) {
+          if (node->categories[k] == v) {
+            which = k;
+            found = true;
+            break;
+          }
+        }
+        if (!found) which = node->majority_child;
+      } else {
+        which = v.Compare(node->threshold) <= 0 ? 0 : 1;
+      }
+    }
+    node = node->children[which].get();
+  }
+  return node;
+}
+
+Result<Value> DecisionTree::Classify(const Tuple& tuple) const {
+  if (tuple.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        "tuple arity does not match the training schema");
+  }
+  const Node* leaf = Descend(tuple);
+  if (leaf == nullptr) return Status::Internal("empty decision tree");
+  return leaf->prediction;
+}
+
+Result<double> DecisionTree::Accuracy(const Relation& relation) const {
+  if (!(relation.schema() == schema_)) {
+    return Status::InvalidArgument("schema does not match training schema");
+  }
+  size_t correct = 0;
+  size_t total = 0;
+  for (const Tuple& t : relation.rows()) {
+    const Value& truth = t.at(target_index_);
+    if (truth.is_null()) continue;
+    IQS_ASSIGN_OR_RETURN(Value predicted, Classify(t));
+    ++total;
+    if (predicted == truth) ++correct;
+  }
+  if (total == 0) return Status::InvalidArgument("no labeled rows");
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+void DecisionTree::CollectRules(const Node& node, std::vector<Clause> path,
+                                std::vector<Rule>* out) const {
+  if (node.is_leaf) {
+    if (node.samples == 0) return;  // degenerate empty branch
+    Rule rule;
+    rule.scheme = "tree->" + target_;
+    rule.lhs = std::move(path);
+    rule.rhs.clause = Clause::Equals(target_, node.prediction);
+    rule.support = static_cast<int64_t>(node.samples);
+    out->push_back(std::move(rule));
+    return;
+  }
+  const std::string& feature_name = schema_.attribute(node.feature).name;
+  auto extend = [&](const Clause& clause) {
+    std::vector<Clause> next = path;
+    // Merge with an existing clause over the same attribute.
+    for (Clause& existing : next) {
+      if (existing.attribute() == clause.attribute()) {
+        existing = Clause(existing.attribute(),
+                          existing.interval().Intersection(clause.interval()));
+        return next;
+      }
+    }
+    next.push_back(clause);
+    return next;
+  };
+  if (node.categorical) {
+    for (size_t k = 0; k < node.children.size(); ++k) {
+      CollectRules(*node.children[k],
+                   extend(Clause::Equals(feature_name, node.categories[k])),
+                   out);
+    }
+  } else {
+    CollectRules(*node.children[0],
+                 extend(Clause(feature_name, Interval::AtMost(node.threshold))),
+                 out);
+    CollectRules(
+        *node.children[1],
+        extend(Clause(feature_name,
+                      Interval::AtLeast(node.threshold, /*open=*/true))),
+        out);
+  }
+}
+
+std::vector<Rule> DecisionTree::ExtractRules() const {
+  std::vector<Rule> out;
+  if (root_ != nullptr) CollectRules(*root_, {}, &out);
+  return out;
+}
+
+size_t DecisionTree::node_count() const {
+  size_t count = 0;
+  auto walk = [&](auto&& self, const Node& n) -> void {
+    ++count;
+    for (const auto& child : n.children) self(self, *child);
+  };
+  if (root_ != nullptr) walk(walk, *root_);
+  return count;
+}
+
+int DecisionTree::depth() const {
+  auto walk = [](auto&& self, const Node& n) -> int {
+    int best = 0;
+    for (const auto& child : n.children) {
+      best = std::max(best, 1 + self(self, *child));
+    }
+    return best;
+  };
+  return root_ == nullptr ? 0 : walk(walk, *root_);
+}
+
+std::string DecisionTree::ToString() const {
+  std::string out;
+  auto walk = [&](auto&& self, const Node& n, int indent) -> void {
+    std::string pad(static_cast<size_t>(indent) * 2, ' ');
+    if (n.is_leaf) {
+      out += pad + "-> " + target_ + " = " + n.prediction.ToString() + "  (" +
+             std::to_string(n.samples) + " samples)\n";
+      return;
+    }
+    const std::string& f = schema_.attribute(n.feature).name;
+    if (n.categorical) {
+      for (size_t k = 0; k < n.children.size(); ++k) {
+        out += pad + f + " = " + n.categories[k].ToString() + ":\n";
+        self(self, *n.children[k], indent + 1);
+      }
+    } else {
+      out += pad + f + " <= " + n.threshold.ToString() + ":\n";
+      self(self, *n.children[0], indent + 1);
+      out += pad + f + " > " + n.threshold.ToString() + ":\n";
+      self(self, *n.children[1], indent + 1);
+    }
+  };
+  if (root_ != nullptr) walk(walk, *root_, 0);
+  return out;
+}
+
+}  // namespace iqs

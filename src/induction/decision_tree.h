@@ -1,0 +1,93 @@
+#ifndef IQS_INDUCTION_DECISION_TREE_H_
+#define IQS_INDUCTION_DECISION_TREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+#include "rules/rule.h"
+
+namespace iqs {
+
+// An ID3-style decision-tree learner (paper §3.2, citing Quinlan): "this
+// approach recursively determines a set of descriptors that classify each
+// example and selects the best descriptor from a set of examples based on
+// ... theoretical information content. The set of examples is then
+// partitioned into subsets according to the values of the descriptor...
+// recursively applied until each subset contains only positive examples."
+//
+// Numeric/date/string descriptors split on a binary threshold
+// (value <= t vs value > t, t chosen to maximize information gain);
+// when `categorical_splits` is enabled, low-cardinality string
+// descriptors instead split n-way on equality.
+//
+// Paths from the root to pure leaves convert to conjunctive If-then rules
+// compatible with the rest of the rule system.
+class DecisionTree {
+ public:
+  struct Config {
+    int max_depth = 16;
+    // Do not split nodes smaller than this.
+    size_t min_samples_split = 2;
+    // Strings with at most this many distinct values split n-way.
+    size_t categorical_splits = 12;
+  };
+
+  // Learns a tree predicting `target` from `features` over `relation`.
+  // Rows with a null target are ignored; null feature values route to the
+  // majority branch.
+  static Result<DecisionTree> Train(const Relation& relation,
+                                    const std::string& target,
+                                    const std::vector<std::string>& features,
+                                    const Config& config);
+
+  // Predicted target value for `tuple` (which must conform to the
+  // training relation's schema).
+  Result<Value> Classify(const Tuple& tuple) const;
+
+  // Fraction of rows of `relation` classified correctly.
+  Result<double> Accuracy(const Relation& relation) const;
+
+  // Converts every path to a pure (or majority) leaf into a rule
+  // `if <feature conjunction> then target = v`, with `support` set to the
+  // number of training rows in the leaf. Conjoined conditions over the
+  // same feature are merged into a single interval clause.
+  std::vector<Rule> ExtractRules() const;
+
+  size_t node_count() const;
+  int depth() const;
+
+  std::string ToString() const;
+
+ private:
+  struct Node {
+    // Leaf payload.
+    bool is_leaf = false;
+    Value prediction;
+    size_t samples = 0;
+    // Split payload.
+    size_t feature = 0;             // column index
+    bool categorical = false;
+    Value threshold;                // numeric/ordered split: v <= threshold
+    std::vector<Value> categories;  // categorical: one child per category
+    std::vector<std::unique_ptr<Node>> children;  // 2 for threshold splits
+    size_t majority_child = 0;      // route for nulls / unseen categories
+  };
+
+  DecisionTree() = default;
+
+  const Node* Descend(const Tuple& tuple) const;
+  void CollectRules(const Node& node, std::vector<Clause> path,
+                    std::vector<Rule>* out) const;
+
+  std::unique_ptr<Node> root_;
+  Schema schema_;
+  std::string target_;
+  size_t target_index_ = 0;
+  std::vector<size_t> feature_indices_;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_INDUCTION_DECISION_TREE_H_

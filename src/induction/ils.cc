@@ -1,0 +1,114 @@
+#include "induction/ils.h"
+
+#include "common/string_util.h"
+#include "induction/candidate_generator.h"
+#include "induction/inter_object.h"
+#include "induction/rule_induction.h"
+
+namespace iqs {
+
+void InductiveLearningSubsystem::AttachIsaReadings(
+    std::vector<Rule>* rules) const {
+  for (Rule& rule : *rules) {
+    if (rule.rhs.HasIsaReading()) continue;
+    auto type_name =
+        catalog_->hierarchy().FindByDerivation(rule.rhs.clause);
+    if (!type_name.ok()) continue;
+    rule.rhs.isa_type = *type_name;
+    std::string qualifier = rule.rhs.clause.Qualifier();
+    // Role-qualified consequents keep their role variable ("y.SonarType"
+    // -> "y isa BQS"); everything else describes the generic instance x.
+    rule.rhs.isa_variable =
+        (!qualifier.empty() && qualifier.size() <= 2) ? qualifier : "x";
+  }
+}
+
+Result<std::vector<Rule>> InductiveLearningSubsystem::InduceIntraObject(
+    const std::string& object_type, const InductionConfig& config) const {
+  IQS_ASSIGN_OR_RETURN(std::vector<SchemeCandidate> candidates,
+                       IntraObjectCandidates(*catalog_, object_type));
+  std::vector<Rule> out;
+  if (candidates.empty()) return out;
+  IQS_ASSIGN_OR_RETURN(const Relation* relation, db_->Get(object_type));
+  for (const SchemeCandidate& candidate : candidates) {
+    IQS_ASSIGN_OR_RETURN(
+        std::vector<Rule> rules,
+        InduceScheme(*relation, candidate.x_attr, candidate.y_attr, config));
+    for (Rule& r : rules) out.push_back(std::move(r));
+  }
+  AttachIsaReadings(&out);
+  return out;
+}
+
+Result<std::vector<Rule>> InductiveLearningSubsystem::InduceInterObject(
+    const std::string& relationship, const InductionConfig& config) const {
+  IQS_ASSIGN_OR_RETURN(std::vector<RoleBinding> roles,
+                       RelationshipRoles(*catalog_, relationship));
+  IQS_ASSIGN_OR_RETURN(Relation view,
+                       BuildRelationshipView(*db_, *catalog_, relationship));
+
+  // Per-role attribute pools, restricted to columns the view materialized.
+  struct RolePool {
+    std::vector<std::string> sources;  // keys then classification
+    std::vector<std::string> targets;  // classification
+  };
+  std::vector<RolePool> pools(roles.size());
+  auto add_unique = [](std::vector<std::string>* list,
+                       const std::string& name) {
+    for (const std::string& existing : *list) {
+      if (EqualsIgnoreCase(existing, name)) return;
+    }
+    list->push_back(name);
+  };
+  for (size_t i = 0; i < roles.size(); ++i) {
+    for (const std::string& key :
+         RoleKeyAttributes(*catalog_, roles[i].variable, roles[i].type_name)) {
+      if (view.schema().Contains(key)) add_unique(&pools[i].sources, key);
+    }
+    for (const std::string& cls : RoleClassificationAttributes(
+             *catalog_, roles[i].variable, roles[i].type_name)) {
+      if (!view.schema().Contains(cls)) continue;
+      add_unique(&pools[i].sources, cls);
+      add_unique(&pools[i].targets, cls);
+    }
+  }
+
+  std::vector<Rule> out;
+  for (size_t i = 0; i < roles.size(); ++i) {
+    for (const std::string& x : pools[i].sources) {
+      for (size_t j = 0; j < roles.size(); ++j) {
+        if (j == i) continue;
+        for (const std::string& y : pools[j].targets) {
+          IQS_ASSIGN_OR_RETURN(std::vector<Rule> rules,
+                               InduceScheme(view, x, y, config));
+          for (Rule& r : rules) {
+            r.source_relation = relationship;
+            out.push_back(std::move(r));
+          }
+        }
+      }
+    }
+  }
+  AttachIsaReadings(&out);
+  return out;
+}
+
+Result<RuleSet> InductiveLearningSubsystem::InduceAll(
+    const InductionConfig& config) const {
+  RuleSet out;
+  for (const std::string& name : catalog_->ObjectTypeNames()) {
+    if (!db_->Contains(name)) continue;
+    IQS_ASSIGN_OR_RETURN(std::vector<Rule> rules,
+                         InduceIntraObject(name, config));
+    out.AddAll(std::move(rules));
+  }
+  for (const std::string& name : catalog_->RelationshipTypeNames()) {
+    if (!db_->Contains(name)) continue;
+    IQS_ASSIGN_OR_RETURN(std::vector<Rule> rules,
+                         InduceInterObject(name, config));
+    out.AddAll(std::move(rules));
+  }
+  return out;
+}
+
+}  // namespace iqs

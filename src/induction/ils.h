@@ -1,0 +1,59 @@
+#ifndef IQS_INDUCTION_ILS_H_
+#define IQS_INDUCTION_ILS_H_
+
+#include <string>
+#include <vector>
+
+#include "induction/induction_config.h"
+#include "ker/catalog.h"
+#include "relational/database.h"
+#include "rules/rule.h"
+
+namespace iqs {
+
+// The Model-based Inductive Learning Subsystem (paper §5.2): induces
+// semantic rules by analyzing database schema and contents. Inputs are
+// the object instances (relations), the KER schema describing object
+// types and hierarchies, and the quality criterion (the support threshold
+// Nc in InductionConfig); output is the characterization of classes as a
+// RuleSet.
+class InductiveLearningSubsystem {
+ public:
+  // `db` and `catalog` must outlive the subsystem.
+  InductiveLearningSubsystem(const Database* db, const KerCatalog* catalog)
+      : db_(db), catalog_(catalog) {}
+
+  // Runs schema-guided induction over every object type (intra-object
+  // knowledge) and every relationship (inter-object knowledge), in
+  // catalog definition order. Rule ids are assigned 1..n in generation
+  // order, which reproduces the paper's R1–R17 numbering on the ship
+  // test bed.
+  Result<RuleSet> InduceAll(const InductionConfig& config) const;
+
+  // Intra-object rules for one object type: schemes from
+  // IntraObjectCandidates over the type's relation.
+  Result<std::vector<Rule>> InduceIntraObject(
+      const std::string& object_type, const InductionConfig& config) const;
+
+  // Inter-object rules for one relationship: the joined view's schemes
+  // pair keys+classification attributes of one role with classification
+  // attributes of the other roles (keys and classification attributes
+  // only — free-text attributes like ship names produce coincidental
+  // correlations the schema gives no reason to trust).
+  Result<std::vector<Rule>> InduceInterObject(
+      const std::string& relationship, const InductionConfig& config) const;
+
+  // Attaches isa readings to induced rules: when a rule's RHS clause
+  // matches a subtype's derivation specification, records "var isa T"
+  // (e.g. "Type = SSBN" -> "x isa SSBN"). Applied by the Induce*
+  // entry points; exposed for rules loaded from rule relations.
+  void AttachIsaReadings(std::vector<Rule>* rules) const;
+
+ private:
+  const Database* db_;
+  const KerCatalog* catalog_;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_INDUCTION_ILS_H_

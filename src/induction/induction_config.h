@@ -1,0 +1,40 @@
+#ifndef IQS_INDUCTION_INDUCTION_CONFIG_H_
+#define IQS_INDUCTION_INDUCTION_CONFIG_H_
+
+#include <cstdint>
+
+namespace iqs {
+
+// How "consecutive sequence of X values" (paper §5.2.1 step 3) is judged
+// when building value runs.
+enum class RunPolicy {
+  // Consecutiveness is relative to ALL distinct X values occurring in the
+  // database projection, including values removed as inconsistent in step
+  // 2. An intervening value with a different (or inconsistent) Y breaks
+  // the run. This is the sound reading: every instance whose X falls in a
+  // rule's range then satisfies the rule. It is what splits the paper's
+  // R2/R3 around SSN671 and R14/R15 around class 0204.
+  kDatabaseDomain,
+  // Consecutiveness is relative to the X values remaining after step 2.
+  // Runs may then span removed values, producing broader but potentially
+  // unsound rules. Provided for the ablation bench only.
+  kRemainingDomain,
+};
+
+// Knobs of the rule induction algorithm (paper §5.2.1).
+struct InductionConfig {
+  // Nc, the pruning threshold of step 4: rules satisfied by fewer than
+  // min_support database instances are dropped. The paper's §6 rule set
+  // is consistent with Nc = 3 (see EXPERIMENTS.md for the one exception).
+  int64_t min_support = 3;
+
+  RunPolicy run_policy = RunPolicy::kDatabaseDomain;
+
+  // Step 4 can be disabled entirely (the paper applies it "when the
+  // number of rules generated becomes too large").
+  bool prune = true;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_INDUCTION_INDUCTION_CONFIG_H_

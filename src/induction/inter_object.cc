@@ -1,0 +1,196 @@
+#include "induction/inter_object.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+#include "induction/candidate_generator.h"
+
+namespace iqs {
+
+namespace {
+
+constexpr int kMaxExtensionDepth = 3;
+
+const char* RoleVariableName(size_t index) {
+  static constexpr const char* kNames[] = {"x", "y", "z", "w", "u", "v"};
+  return index < std::size(kNames) ? kNames[index] : "r";
+}
+
+// Appends `entity`'s attributes (and, recursively, attributes reached via
+// object-domain references) to `view`, joining on join_column ==
+// entity key. Column names become "<var>.<attr>"; existing names win.
+Status JoinEntity(const Database& db, const KerCatalog& catalog,
+                  const std::string& var, const std::string& entity_type,
+                  const std::string& join_column, int depth, Relation* view) {
+  if (depth > kMaxExtensionDepth) return Status::Ok();
+  IQS_ASSIGN_OR_RETURN(const ObjectTypeDef* def,
+                       catalog.GetObjectType(entity_type));
+  IQS_ASSIGN_OR_RETURN(const Relation* entity, db.Get(entity_type));
+  std::vector<std::string> keys = KeyAttributes(catalog, entity_type);
+  if (keys.empty()) {
+    return Status::InvalidArgument("object type '" + entity_type +
+                                   "' has no key attribute to join on");
+  }
+  IQS_ASSIGN_OR_RETURN(size_t key_idx, entity->schema().IndexOf(keys[0]));
+  IQS_ASSIGN_OR_RETURN(size_t join_idx, view->schema().IndexOf(join_column));
+
+  // Hash the entity rows by key text (Value has no std::hash).
+  std::multimap<std::string, size_t> by_key;
+  for (size_t r = 0; r < entity->size(); ++r) {
+    const Value& k = entity->row(r).at(key_idx);
+    if (!k.is_null()) by_key.emplace(k.ToString(), r);
+  }
+
+  // New columns: entity attributes not already present under this var.
+  std::vector<size_t> added_src;
+  std::vector<AttributeDef> new_attrs = view->schema().attributes();
+  std::vector<std::string> added_names;
+  for (size_t a = 0; a < entity->schema().size(); ++a) {
+    std::string name = var + "." + entity->schema().attribute(a).name;
+    if (view->schema().Contains(name)) continue;
+    added_src.push_back(a);
+    new_attrs.push_back(
+        AttributeDef{name, entity->schema().attribute(a).type, false});
+    added_names.push_back(name);
+  }
+  IQS_ASSIGN_OR_RETURN(Schema new_schema, Schema::Create(std::move(new_attrs)));
+  Relation joined(view->name(), std::move(new_schema));
+  for (const Tuple& row : view->rows()) {
+    const Value& j = row.at(join_idx);
+    if (j.is_null()) continue;
+    auto [begin, end] = by_key.equal_range(j.ToString());
+    for (auto it = begin; it != end; ++it) {
+      if (entity->row(it->second).at(key_idx) != j) continue;
+      Tuple extended = row;
+      for (size_t a : added_src) {
+        extended.Append(entity->row(it->second).at(a));
+      }
+      joined.AppendUnchecked(std::move(extended));
+    }
+  }
+  *view = std::move(joined);
+
+  // Recurse through the entity's own object-domain attributes (e.g.
+  // SUBMARINE.Class references CLASS).
+  for (const KerAttribute& a : def->ObjectDomainAttributes(catalog.domains())) {
+    std::string column = var + "." + a.name;
+    if (!view->schema().Contains(column)) continue;
+    if (!catalog.HasObjectType(a.domain) || !db.Contains(a.domain)) continue;
+    if (EqualsIgnoreCase(a.domain, entity_type)) continue;  // self loop
+    IQS_RETURN_IF_ERROR(
+        JoinEntity(db, catalog, var, a.domain, column, depth + 1, view));
+  }
+  return Status::Ok();
+}
+
+// Collects "<var>.<attr>" names via `collect`, following object-domain
+// references like JoinEntity does.
+void CollectRoleAttributes(
+    const KerCatalog& catalog, const std::string& var,
+    const std::string& entity_type, int depth, std::set<std::string>* seen,
+    std::vector<std::string>* out,
+    const std::function<std::vector<std::string>(const std::string&)>&
+        collect) {
+  if (depth > kMaxExtensionDepth) return;
+  if (!seen->insert(ToLower(entity_type)).second) return;
+  for (const std::string& attr : collect(entity_type)) {
+    std::string name = var + "." + attr;
+    bool duplicate = false;
+    for (const std::string& existing : *out) {
+      if (EqualsIgnoreCase(existing, name)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) out->push_back(name);
+  }
+  auto def = catalog.GetObjectType(entity_type);
+  if (!def.ok()) return;
+  for (const KerAttribute& a :
+       (*def)->ObjectDomainAttributes(catalog.domains())) {
+    if (!catalog.HasObjectType(a.domain)) continue;
+    CollectRoleAttributes(catalog, var, a.domain, depth + 1, seen, out,
+                          collect);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<RoleBinding>> RelationshipRoles(
+    const KerCatalog& catalog, const std::string& relationship) {
+  IQS_ASSIGN_OR_RETURN(const ObjectTypeDef* def,
+                       catalog.GetObjectType(relationship));
+  std::vector<KerAttribute> object_attrs =
+      def->ObjectDomainAttributes(catalog.domains());
+  if (object_attrs.empty()) {
+    return Status::InvalidArgument("object type '" + relationship +
+                                   "' is not a relationship (no " +
+                                   "object-domain attributes)");
+  }
+  std::vector<RoleBinding> out;
+  for (size_t i = 0; i < object_attrs.size(); ++i) {
+    out.push_back(RoleBinding{RoleVariableName(i), object_attrs[i].domain});
+  }
+  return out;
+}
+
+Result<Relation> BuildRelationshipView(const Database& db,
+                                       const KerCatalog& catalog,
+                                       const std::string& relationship) {
+  IQS_ASSIGN_OR_RETURN(const ObjectTypeDef* def,
+                       catalog.GetObjectType(relationship));
+  IQS_ASSIGN_OR_RETURN(const Relation* rel, db.Get(relationship));
+  IQS_ASSIGN_OR_RETURN(std::vector<RoleBinding> roles,
+                       RelationshipRoles(catalog, relationship));
+
+  // Seed the view with the relationship's own columns, qualified.
+  std::vector<AttributeDef> attrs;
+  for (size_t i = 0; i < rel->schema().size(); ++i) {
+    AttributeDef a = rel->schema().attribute(i);
+    a.name = def->name + "." + a.name;
+    a.is_key = false;
+    attrs.push_back(std::move(a));
+  }
+  IQS_ASSIGN_OR_RETURN(Schema seed_schema, Schema::Create(std::move(attrs)));
+  Relation view(def->name + "-view", std::move(seed_schema));
+  for (const Tuple& t : rel->rows()) view.AppendUnchecked(t);
+
+  // Join each role's entity.
+  std::vector<KerAttribute> object_attrs =
+      def->ObjectDomainAttributes(catalog.domains());
+  for (size_t i = 0; i < object_attrs.size(); ++i) {
+    std::string join_column = def->name + "." + object_attrs[i].name;
+    IQS_RETURN_IF_ERROR(JoinEntity(db, catalog, roles[i].variable,
+                                   roles[i].type_name, join_column,
+                                   /*depth=*/0, &view));
+  }
+  return view;
+}
+
+std::vector<std::string> RoleClassificationAttributes(
+    const KerCatalog& catalog, const std::string& variable,
+    const std::string& entity_type) {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  CollectRoleAttributes(catalog, variable, entity_type, 0, &seen, &out,
+                        [&catalog](const std::string& type) {
+                          return ClassificationAttributes(catalog, type);
+                        });
+  return out;
+}
+
+std::vector<std::string> RoleKeyAttributes(const KerCatalog& catalog,
+                                           const std::string& variable,
+                                           const std::string& entity_type) {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  CollectRoleAttributes(catalog, variable, entity_type, 0, &seen, &out,
+                        [&catalog](const std::string& type) {
+                          return KeyAttributes(catalog, type);
+                        });
+  return out;
+}
+
+}  // namespace iqs

@@ -1,0 +1,48 @@
+#ifndef IQS_INDUCTION_INTER_OBJECT_H_
+#define IQS_INDUCTION_INTER_OBJECT_H_
+
+#include <string>
+#include <vector>
+
+#include "ker/catalog.h"
+#include "relational/database.h"
+
+namespace iqs {
+
+// Inter-object knowledge (paper §3.1, §6 rules R12–R17) is induced from
+// the view joining a relationship with the entities it connects. For the
+// ship test bed, INSTALL(Ship, Sonar) joins SUBMARINE and SONAR; the
+// entities' own object-domain attributes are followed transitively
+// (SUBMARINE.Class references CLASS, pulling in x.Type), mirroring
+// attribute inheritance along the type hierarchy.
+
+// The role variables of a relationship, in attribute order: the first
+// object-domain attribute binds x, the second y, then z, w, ...
+// (paper §6: "x isa SUBMARINE and y isa SONAR").
+Result<std::vector<RoleBinding>> RelationshipRoles(
+    const KerCatalog& catalog, const std::string& relationship);
+
+// Builds the joined view. Columns are named:
+//   "<relationship>.<attr>" for the relationship's own attributes,
+//   "<var>.<attr>" for each role entity's attributes, including
+//   attributes reached through object-domain references (depth-limited,
+//   first-name-wins on collisions).
+// Rows without a matching entity are dropped (inner join).
+Result<Relation> BuildRelationshipView(const Database& db,
+                                       const KerCatalog& catalog,
+                                       const std::string& relationship);
+
+// View-qualified classification / key attribute names for one role,
+// including attributes reached through object-domain references:
+// RoleClassificationAttributes(catalog, "x", "SUBMARINE") ->
+// {"x.Class", "x.Type"}.
+std::vector<std::string> RoleClassificationAttributes(
+    const KerCatalog& catalog, const std::string& variable,
+    const std::string& entity_type);
+std::vector<std::string> RoleKeyAttributes(const KerCatalog& catalog,
+                                           const std::string& variable,
+                                           const std::string& entity_type);
+
+}  // namespace iqs
+
+#endif  // IQS_INDUCTION_INTER_OBJECT_H_

@@ -1,0 +1,146 @@
+#include "induction/rule_induction.h"
+
+#include <map>
+#include <set>
+
+#include "relational/algebra.h"
+
+namespace iqs {
+
+Result<std::vector<Rule>> InduceScheme(const Relation& relation,
+                                       const std::string& x_attr,
+                                       const std::string& y_attr,
+                                       const InductionConfig& config) {
+  InductionStats stats;
+  return InduceSchemeWithStats(relation, x_attr, y_attr, config, &stats);
+}
+
+Result<std::vector<Rule>> InduceSchemeWithStats(const Relation& relation,
+                                                const std::string& x_attr,
+                                                const std::string& y_attr,
+                                                const InductionConfig& config,
+                                                InductionStats* stats) {
+  *stats = InductionStats();
+  IQS_ASSIGN_OR_RETURN(size_t xi, relation.schema().IndexOf(x_attr));
+  IQS_ASSIGN_OR_RETURN(size_t yi, relation.schema().IndexOf(y_attr));
+
+  // Step 1: distinct (X, Y) pairs. Nulls do not participate in rules.
+  // Step 2 needs per-X grouping, so collect Y values per X directly; the
+  // map's value ordering gives us the sorted enumeration of X.
+  std::map<Value, std::set<Value>> ys_of_x;
+  for (const Tuple& t : relation.rows()) {
+    const Value& x = t.at(xi);
+    const Value& y = t.at(yi);
+    if (x.is_null() || y.is_null()) continue;
+    ys_of_x[x].insert(y);
+  }
+  for (const auto& [x, ys] : ys_of_x) {
+    stats->distinct_pairs += ys.size();
+  }
+
+  // Step 2: an X value with multiple Y values is inconsistent.
+  auto is_consistent = [](const std::set<Value>& ys) { return ys.size() == 1; };
+  for (const auto& [x, ys] : ys_of_x) {
+    if (!is_consistent(ys)) ++stats->inconsistent_values;
+  }
+
+  // Step 3: runs of consecutive X values with the same Y. Under
+  // kDatabaseDomain, an inconsistent X value breaks the current run;
+  // under kRemainingDomain it is skipped.
+  struct Run {
+    Value x_lo;
+    Value x_hi;
+    Value y;
+  };
+  std::vector<Run> runs;
+  bool in_run = false;
+  Run current;
+  auto close_run = [&] {
+    if (in_run) runs.push_back(current);
+    in_run = false;
+  };
+  for (const auto& [x, ys] : ys_of_x) {
+    if (!is_consistent(ys)) {
+      if (config.run_policy == RunPolicy::kDatabaseDomain) close_run();
+      continue;
+    }
+    const Value& y = *ys.begin();
+    if (in_run && current.y == y) {
+      current.x_hi = x;
+    } else {
+      close_run();
+      current = Run{x, x, y};
+      in_run = true;
+    }
+  }
+  close_run();
+  stats->runs = runs.size();
+
+  // Step 4: count support = instances satisfying LHS /\ RHS, in one pass
+  // over the relation with a binary search over the (sorted, disjoint)
+  // runs. (Under kDatabaseDomain the LHS alone implies the RHS for every
+  // instance with a non-null Y; under kRemainingDomain counting the
+  // conjunction keeps support honest.)
+  std::vector<int64_t> support(runs.size(), 0);
+  for (const Tuple& t : relation.rows()) {
+    const Value& x = t.at(xi);
+    const Value& y = t.at(yi);
+    if (x.is_null() || y.is_null()) continue;
+    // Last run with x_lo <= x.
+    size_t lo = 0, hi = runs.size();
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (runs[mid].x_lo <= x) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo == 0) continue;
+    const Run& run = runs[lo - 1];
+    if (x <= run.x_hi && y == run.y) support[lo - 1] += 1;
+  }
+
+  // Family completeness: a consequent value y is covered completely iff
+  // no X value mapping to y was inconsistent and none of y's runs gets
+  // pruned. Only complete families support the converse implication used
+  // by semantic query optimization.
+  std::set<Value> incomplete_y;
+  for (const auto& [x, ys] : ys_of_x) {
+    if (!is_consistent(ys)) {
+      for (const Value& y : ys) incomplete_y.insert(y);
+    }
+  }
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (config.prune && support[i] < config.min_support) {
+      incomplete_y.insert(runs[i].y);
+    }
+  }
+
+  std::vector<Rule> out;
+  out.reserve(runs.size());
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const Run& run = runs[i];
+    if (config.prune && support[i] < config.min_support) {
+      ++stats->pruned;
+      continue;
+    }
+    Rule rule;
+    rule.scheme = x_attr + "->" + y_attr;
+    rule.source_relation = relation.name();
+    if (run.x_lo == run.x_hi) {
+      rule.lhs.push_back(Clause::Equals(x_attr, run.x_lo));
+    } else {
+      IQS_ASSIGN_OR_RETURN(Clause clause,
+                           Clause::Range(x_attr, run.x_lo, run.x_hi));
+      rule.lhs.push_back(std::move(clause));
+    }
+    rule.rhs.clause = Clause::Equals(y_attr, run.y);
+    rule.support = support[i];
+    rule.family_complete = incomplete_y.count(run.y) == 0;
+    out.push_back(std::move(rule));
+  }
+  return out;
+}
+
+}  // namespace iqs

@@ -1,0 +1,49 @@
+#include "induction/tree_induction.h"
+
+#include "common/string_util.h"
+#include "induction/candidate_generator.h"
+
+namespace iqs {
+
+Result<std::vector<Rule>> InduceIntraObjectViaTree(
+    const Database& db, const KerCatalog& catalog,
+    const std::string& object_type, const DecisionTree::Config& tree_config,
+    int64_t min_support) {
+  IQS_ASSIGN_OR_RETURN(const ObjectTypeDef* def,
+                       catalog.GetObjectType(object_type));
+  IQS_ASSIGN_OR_RETURN(const Relation* relation, db.Get(object_type));
+  std::vector<std::string> targets =
+      ClassificationAttributes(catalog, object_type);
+
+  std::vector<Rule> out;
+  for (const std::string& target : targets) {
+    // Features: every non-key attribute other than the target. Keys are
+    // unique identifiers — splitting on them memorizes rows instead of
+    // characterizing classes.
+    std::vector<std::string> features;
+    for (const KerAttribute& attr : def->attributes) {
+      if (attr.is_key) continue;
+      if (EqualsIgnoreCase(attr.name, target)) continue;
+      if (!relation->schema().Contains(attr.name)) continue;
+      features.push_back(attr.name);
+    }
+    if (features.empty()) continue;
+    auto tree = DecisionTree::Train(*relation, target, features, tree_config);
+    if (!tree.ok()) continue;  // e.g. no labeled rows
+    for (Rule& rule : tree->ExtractRules()) {
+      if (rule.support < min_support) continue;
+      rule.source_relation = relation->name();
+      // Attach the isa reading like the interval path does.
+      auto type_name =
+          catalog.hierarchy().FindByDerivation(rule.rhs.clause);
+      if (type_name.ok()) {
+        rule.rhs.isa_type = *type_name;
+        rule.rhs.isa_variable = "x";
+      }
+      out.push_back(std::move(rule));
+    }
+  }
+  return out;
+}
+
+}  // namespace iqs

@@ -1,0 +1,34 @@
+#ifndef IQS_INDUCTION_TREE_INDUCTION_H_
+#define IQS_INDUCTION_TREE_INDUCTION_H_
+
+#include <string>
+#include <vector>
+
+#include "induction/decision_tree.h"
+#include "ker/catalog.h"
+#include "relational/database.h"
+
+namespace iqs {
+
+// Conjunctive-rule induction through the ID3 learner: the paper's rule
+// representation explicitly allows multi-clause premises ("the LHS
+// portion can contain many clauses", §5.2.2) but the interval algorithm
+// of §5.2.1 only ever emits one clause. Decision-tree paths provide the
+// conjunctive counterpart — one rule per leaf, clauses merged per
+// feature — for classes that no single attribute separates (the
+// overlapping surface types of Table 1).
+//
+// For each classification attribute Y of `object_type` (per the
+// schema-guided candidate logic), trains a tree predicting Y from every
+// other non-key attribute and extracts its path rules. Rules with
+// support below `min_support` are dropped; isa readings are attached
+// from the hierarchy's derivation specifications; scheme is
+// "tree->Y".
+Result<std::vector<Rule>> InduceIntraObjectViaTree(
+    const Database& db, const KerCatalog& catalog,
+    const std::string& object_type, const DecisionTree::Config& tree_config,
+    int64_t min_support);
+
+}  // namespace iqs
+
+#endif  // IQS_INDUCTION_TREE_INDUCTION_H_

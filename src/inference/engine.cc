@@ -1,0 +1,309 @@
+#include "inference/engine.h"
+
+#include "common/string_util.h"
+#include "rules/subsumption.h"
+
+namespace iqs {
+
+const char* InferenceModeName(InferenceMode mode) {
+  switch (mode) {
+    case InferenceMode::kForward:
+      return "forward";
+    case InferenceMode::kBackward:
+      return "backward";
+    case InferenceMode::kCombined:
+      return "combined";
+  }
+  return "unknown";
+}
+
+std::string QueryDescription::ToString() const {
+  std::string out = "over {" + Join(object_types, ", ") + "} where ";
+  for (size_t i = 0; i < conditions.size(); ++i) {
+    if (i > 0) out += " and ";
+    out += conditions[i].ToConditionString();
+  }
+  if (conditions.empty()) out += "true";
+  return out;
+}
+
+namespace {
+
+// Role variable for a fact derived from a clause: the qualifier when it
+// looks like a role variable ("y.Sonar"), else the generic "x".
+std::string VariableFor(const Clause& clause) {
+  std::string qualifier = clause.Qualifier();
+  return (!qualifier.empty() && qualifier.size() <= 2) ? qualifier : "x";
+}
+
+// A type fact with the role identified by its hierarchy root.
+Fact TypeFactFor(const TypeHierarchy& hierarchy, std::string variable,
+                 const std::string& type_name, std::vector<int> rule_ids,
+                 Fact::Origin origin) {
+  Fact f = Fact::Type(std::move(variable), type_name, std::move(rule_ids),
+                      origin);
+  auto root = hierarchy.RootOf(type_name);
+  if (root.ok()) f.root_entity = *root;
+  return f;
+}
+
+}  // namespace
+
+std::vector<Fact> InferenceEngine::SeedFacts(
+    const QueryDescription& query) const {
+  std::vector<Fact> facts;
+  const TypeHierarchy& hierarchy = dictionary_->catalog().hierarchy();
+  for (const Clause& condition : query.conditions) {
+    AddFact(&facts, Fact::Range(condition));
+    auto type_name = hierarchy.FindByDerivation(condition);
+    if (type_name.ok()) {
+      AddFact(&facts, TypeFactFor(hierarchy, VariableFor(condition),
+                                  *type_name, {}, Fact::Origin::kSeed));
+    }
+  }
+  return facts;
+}
+
+bool InferenceEngine::ExpandTypeFacts(std::vector<Fact>* facts) const {
+  const TypeHierarchy& hierarchy = dictionary_->catalog().hierarchy();
+  bool changed = false;
+  // Iterate over indices: AddFact may grow the vector.
+  for (size_t i = 0; i < facts->size(); ++i) {
+    if ((*facts)[i].kind != Fact::Kind::kType) continue;
+    const std::string variable = (*facts)[i].variable;
+    const std::string type_name = (*facts)[i].type_name;
+    const std::vector<int> provenance = (*facts)[i].rule_ids;
+    auto supers = hierarchy.SupertypesOf(type_name);
+    if (supers.ok()) {
+      for (const std::string& super : *supers) {
+        changed |= AddFact(facts,
+                           TypeFactFor(hierarchy, variable, super, provenance,
+                                       Fact::Origin::kHierarchy));
+      }
+    }
+    auto node = hierarchy.Get(type_name);
+    if (node.ok() && (*node)->derivation.has_value()) {
+      changed |= AddFact(facts, Fact::Range(*(*node)->derivation, provenance,
+                                            Fact::Origin::kHierarchy));
+    }
+  }
+  return changed;
+}
+
+Result<std::vector<Fact>> InferenceEngine::Forward(
+    const QueryDescription& query, const RuleSet& rules) const {
+  std::vector<Fact> facts = SeedFacts(query);
+  ExpandTypeFacts(&facts);
+
+  const std::vector<AttributeDomain>& domains =
+      dictionary_->active_domains();
+  bool changed = true;
+  int iterations = 0;
+  while (changed) {
+    if (++iterations > 64) {
+      return Status::Internal("forward inference did not reach a fixpoint");
+    }
+    changed = false;
+    // Known range clauses: every range fact (query conditions included).
+    std::vector<Clause> known;
+    for (const Fact& f : facts) {
+      if (f.kind == Fact::Kind::kRange) known.push_back(f.clause);
+    }
+    for (const Rule& rule : rules.rules()) {
+      if (rule.lhs.empty()) continue;
+      if (!LhsSubsumesConditions(rule, known, domains,
+                                 AttributeMatch::kBaseName)) {
+        continue;
+      }
+      // Modus ponens: the consequent holds of every answer tuple.
+      if (!StartsWith(rule.rhs.clause.attribute(), "isa(")) {
+        changed |= AddFact(&facts, Fact::Range(rule.rhs.clause, {rule.id},
+                                               Fact::Origin::kRule));
+      }
+      if (rule.rhs.HasIsaReading()) {
+        changed |= AddFact(
+            &facts,
+            TypeFactFor(dictionary_->catalog().hierarchy(),
+                        rule.rhs.isa_variable, rule.rhs.isa_type, {rule.id},
+                        Fact::Origin::kRule));
+      }
+    }
+    changed |= ExpandTypeFacts(&facts);
+  }
+  return facts;
+}
+
+namespace {
+
+// Does the rule's consequent guarantee `target`?
+bool RhsImplies(const Rule& rule, const Fact& target,
+                const TypeHierarchy& hierarchy) {
+  if (target.kind == Fact::Kind::kType) {
+    if (!rule.rhs.HasIsaReading()) return false;
+    // Role letters are context-local; membership in the same hierarchy
+    // (enforced by the subtype test) identifies the role.
+    return hierarchy.IsAOrSubtypeOf(rule.rhs.isa_type, target.type_name);
+  }
+  if (!SameAttribute(rule.rhs.clause.attribute(), target.clause.attribute(),
+                     AttributeMatch::kBaseName)) {
+    return false;
+  }
+  return target.clause.interval().ContainsInterval(
+      rule.rhs.clause.interval());
+}
+
+}  // namespace
+
+Result<std::vector<IntensionalStatement>> InferenceEngine::Backward(
+    const QueryDescription& query, const std::vector<Fact>& targets,
+    const RuleSet& rules) const {
+  const TypeHierarchy& hierarchy = dictionary_->catalog().hierarchy();
+  // Facts read directly off the query (used to decide exactness).
+  std::vector<Fact> seeds = SeedFacts(query);
+  auto is_seed = [&seeds](const Fact& f) {
+    for (const Fact& s : seeds) {
+      if (s.SameContent(f)) return true;
+    }
+    return false;
+  };
+  // A backward statement is exact when its target covers the whole query
+  // restriction: the target is a seed fact and the query has a single
+  // restriction condition.
+  bool single_condition = query.conditions.size() == 1;
+
+  std::vector<IntensionalStatement> out;
+  for (const Fact& target : targets) {
+    for (const Rule& rule : rules.rules()) {
+      if (rule.lhs.empty()) continue;
+      if (!RhsImplies(rule, target, hierarchy)) continue;
+      IntensionalStatement statement;
+      statement.direction = AnswerDirection::kContainedIn;
+      for (const Clause& c : rule.lhs) {
+        statement.facts.push_back(Fact::Range(c, {rule.id}));
+      }
+      statement.rule_ids = {rule.id};
+      statement.target = target;
+      statement.exact = single_condition && is_seed(target);
+      out.push_back(std::move(statement));
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> InferenceEngine::DetectContradiction(
+    const std::vector<Fact>& facts) const {
+  for (size_t i = 0; i < facts.size(); ++i) {
+    if (facts[i].kind != Fact::Kind::kRange) continue;
+    for (size_t j = i + 1; j < facts.size(); ++j) {
+      if (facts[j].kind != Fact::Kind::kRange) continue;
+      const Clause& a = facts[i].clause;
+      const Clause& b = facts[j].clause;
+      if (!SameAttribute(a.attribute(), b.attribute(),
+                         AttributeMatch::kBaseName)) {
+        continue;
+      }
+      // Only comparable domains can conflict.
+      bool comparable = true;
+      for (const std::optional<Value>* bound :
+           {&a.interval().lo(), &a.interval().hi()}) {
+        if (!bound->has_value()) continue;
+        for (const std::optional<Value>* other :
+             {&b.interval().lo(), &b.interval().hi()}) {
+          if (other->has_value() && !(*bound)->ComparableWith(**other)) {
+            comparable = false;
+          }
+        }
+      }
+      if (!comparable) continue;
+      if (!a.interval().Intersects(b.interval())) {
+        return "facts '" + facts[i].ToString() + "' and '" +
+               facts[j].ToString() +
+               "' cannot hold together; the answer is provably empty";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Result<IntensionalAnswer> InferenceEngine::Infer(
+    const QueryDescription& query, InferenceMode mode) const {
+  return InferWith(query, mode, dictionary_->induced_rules());
+}
+
+Result<IntensionalAnswer> InferenceEngine::InferWith(
+    const QueryDescription& query, InferenceMode mode,
+    const RuleSet& rules) const {
+  IntensionalAnswer answer;
+  std::vector<Fact> forward_facts;
+  if (mode == InferenceMode::kForward || mode == InferenceMode::kCombined) {
+    IQS_ASSIGN_OR_RETURN(forward_facts, Forward(query, rules));
+    if (auto contradiction = DetectContradiction(forward_facts);
+        contradiction.has_value()) {
+      answer.set_empty_proof(std::move(*contradiction));
+    }
+    // Report only derived facts (with provenance) or seeded type facts —
+    // echoing the query's own range conditions back is not informative.
+    IntensionalStatement statement;
+    statement.direction = AnswerDirection::kContains;
+    for (const Fact& f : forward_facts) {
+      if (f.rule_ids.empty() && f.kind == Fact::Kind::kRange) continue;
+      statement.facts.push_back(f);
+      for (int id : f.rule_ids) {
+        bool seen = false;
+        for (int existing : statement.rule_ids) {
+          if (existing == id) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) statement.rule_ids.push_back(id);
+      }
+    }
+    if (!statement.facts.empty()) answer.Add(std::move(statement));
+  }
+  if (mode == InferenceMode::kBackward || mode == InferenceMode::kCombined) {
+    std::vector<Fact> targets;
+    if (mode == InferenceMode::kBackward) {
+      targets = SeedFacts(query);
+    } else {
+      // Hierarchy-closure facts (e.g. "x isa SUBMARINE") hold of every
+      // answer but are too weak to back-chain from: any rule about any
+      // submarine would spuriously "characterize a subset".
+      for (const Fact& f : forward_facts) {
+        if (f.origin != Fact::Origin::kHierarchy) targets.push_back(f);
+      }
+    }
+    IQS_ASSIGN_OR_RETURN(std::vector<IntensionalStatement> statements,
+                         Backward(query, targets, rules));
+    // The same rule often matches several targets (a type fact and its
+    // derivation range fact); keep one statement per rule, preferring an
+    // exact target, then a type-fact target (more informative than the
+    // equivalent range fact).
+    std::vector<IntensionalStatement> deduped;
+    auto better_target = [](const IntensionalStatement& a,
+                            const IntensionalStatement& b) {
+      if (a.exact != b.exact) return a.exact;
+      if (a.target.kind != b.target.kind) {
+        return a.target.kind == Fact::Kind::kType;
+      }
+      return false;
+    };
+    for (IntensionalStatement& s : statements) {
+      bool replaced = false;
+      for (IntensionalStatement& existing : deduped) {
+        if (existing.rule_ids == s.rule_ids) {
+          if (better_target(s, existing)) existing = std::move(s);
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) deduped.push_back(std::move(s));
+    }
+    for (IntensionalStatement& s : deduped) {
+      answer.Add(std::move(s));
+    }
+  }
+  return answer;
+}
+
+}  // namespace iqs

@@ -1,0 +1,208 @@
+#include "ker/catalog.h"
+
+#include "common/string_util.h"
+
+namespace iqs {
+
+Status KerCatalog::DefineObjectType(ObjectTypeDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("object type name must not be empty");
+  }
+  std::string key = ToLower(def.name);
+  if (object_types_.count(key) > 0) {
+    return Status::AlreadyExists("object type '" + def.name +
+                                 "' already defined");
+  }
+  for (const KerAttribute& a : def.attributes) {
+    if (!domains_.Contains(a.domain)) {
+      // Unknown domains are taken as forward references to object types
+      // defined later (the ship schema defines SUBMARINE, whose Class
+      // attribute has domain CLASS, before CLASS itself) and registered
+      // as object domains immediately.
+      IQS_RETURN_IF_ERROR(domains_.DefineObjectDomain(a.domain));
+    }
+  }
+  IQS_RETURN_IF_ERROR(hierarchy_.AddRoot(def.name));
+  IQS_RETURN_IF_ERROR(domains_.DefineObjectDomain(def.name));
+  object_type_order_.push_back(def.name);
+  object_types_[key] = std::move(def);
+  return Status::Ok();
+}
+
+Status KerCatalog::DefineSubtype(const std::string& sub,
+                                 const std::string& super,
+                                 std::optional<Clause> derivation,
+                                 std::vector<KerConstraint> extra_constraints) {
+  IQS_RETURN_IF_ERROR(hierarchy_.AddIsa(sub, super, std::move(derivation)));
+  if (!extra_constraints.empty()) {
+    // Constraints attach to the root object type's definition.
+    IQS_ASSIGN_OR_RETURN(std::string root, hierarchy_.RootOf(sub));
+    auto it = object_types_.find(ToLower(root));
+    if (it == object_types_.end()) {
+      return Status::NotFound("object type '" + root + "' is not defined");
+    }
+    for (KerConstraint& c : extra_constraints) {
+      it->second.constraints.push_back(std::move(c));
+    }
+  }
+  return Status::Ok();
+}
+
+Status KerCatalog::DefineContains(const std::string& parent,
+                                  const std::vector<std::string>& children,
+                                  std::vector<KerConstraint> constraints) {
+  if (!hierarchy_.Contains(parent)) {
+    return Status::NotFound("type '" + parent + "' is not defined");
+  }
+  for (const std::string& child : children) {
+    IQS_RETURN_IF_ERROR(hierarchy_.AddIsa(child, parent, std::nullopt,
+                                          /*disjoint_partition=*/true));
+  }
+  if (!constraints.empty()) {
+    IQS_ASSIGN_OR_RETURN(std::string root, hierarchy_.RootOf(parent));
+    auto it = object_types_.find(ToLower(root));
+    if (it == object_types_.end()) {
+      return Status::NotFound("object type '" + root + "' is not defined");
+    }
+    for (KerConstraint& c : constraints) {
+      // Structure rules in a contains-clause often *are* the derivations
+      // ("if x.Sonar ... then x isa BQQ" with a single LHS clause). Attach
+      // the derivation to the child type when it has none yet.
+      if (c.kind == KerConstraint::Kind::kRule &&
+          c.rule.rhs.HasIsaReading() && c.rule.lhs.size() == 1) {
+        auto node = hierarchy_.Get(c.rule.rhs.isa_type);
+        if (node.ok() && !(*node)->derivation.has_value()) {
+          // Best effort; ignore failures (type may be in another branch).
+          (void)SetDerivation(c.rule.rhs.isa_type, c.rule.lhs[0]);
+        }
+      }
+      it->second.constraints.push_back(std::move(c));
+    }
+  }
+  return Status::Ok();
+}
+
+Status KerCatalog::SetDerivation(const std::string& type_name,
+                                 Clause derivation) {
+  return hierarchy_.SetDerivation(type_name, std::move(derivation));
+}
+
+bool KerCatalog::HasObjectType(const std::string& name) const {
+  return object_types_.count(ToLower(name)) > 0;
+}
+
+Result<const ObjectTypeDef*> KerCatalog::GetObjectType(
+    const std::string& name) const {
+  auto it = object_types_.find(ToLower(name));
+  if (it == object_types_.end()) {
+    return Status::NotFound("object type '" + name + "' is not defined");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> KerCatalog::ObjectTypeNames() const {
+  return object_type_order_;
+}
+
+std::vector<std::string> KerCatalog::RelationshipTypeNames() const {
+  std::vector<std::string> out;
+  for (const std::string& name : object_type_order_) {
+    const ObjectTypeDef& def = object_types_.at(ToLower(name));
+    if (!def.ObjectDomainAttributes(domains_).empty()) out.push_back(name);
+  }
+  return out;
+}
+
+Result<std::string> KerCatalog::OwnerOfAttribute(
+    const std::string& qualified) const {
+  size_t dot = qualified.rfind('.');
+  if (dot != std::string::npos) {
+    std::string owner = qualified.substr(0, dot);
+    std::string attr = qualified.substr(dot + 1);
+    IQS_ASSIGN_OR_RETURN(const ObjectTypeDef* def, GetObjectType(owner));
+    if (def->FindAttribute(attr) == nullptr) {
+      return Status::NotFound("object type '" + owner +
+                              "' has no attribute '" + attr + "'");
+    }
+    return def->name;
+  }
+  std::string found;
+  for (const std::string& name : object_type_order_) {
+    const ObjectTypeDef& def = object_types_.at(ToLower(name));
+    if (def.FindAttribute(qualified) != nullptr) {
+      if (!found.empty()) {
+        return Status::InvalidArgument("attribute '" + qualified +
+                                       "' is ambiguous (in " + found +
+                                       " and " + name + ")");
+      }
+      found = name;
+    }
+  }
+  if (found.empty()) {
+    return Status::NotFound("no object type has attribute '" + qualified +
+                            "'");
+  }
+  return found;
+}
+
+RuleSet KerCatalog::DeclaredRules() const {
+  RuleSet out;
+  for (const std::string& name : object_type_order_) {
+    const ObjectTypeDef& def = object_types_.at(ToLower(name));
+    for (const KerConstraint& c : def.constraints) {
+      if (c.kind != KerConstraint::Kind::kRule) continue;
+      Rule rule = c.rule;
+      rule.id = 0;  // renumbered by Add
+      rule.source_relation = def.name;
+      if (rule.scheme.empty()) rule.scheme = "declared";
+      // Attach an isa reading when the RHS clause matches a derivation.
+      if (!rule.rhs.HasIsaReading()) {
+        auto type_name = hierarchy_.FindByDerivation(rule.rhs.clause);
+        if (type_name.ok()) rule.rhs.isa_type = *type_name;
+      }
+      out.Add(std::move(rule));
+    }
+  }
+  return out;
+}
+
+std::string KerCatalog::ToDdl() const {
+  std::string out;
+  for (const std::string& name : domains_.UserDomainNames()) {
+    const DomainDef& def = **domains_.Get(name);
+    out += "domain: " + def.name;
+    if (!def.parent.empty()) out += " isa " + def.parent;
+    if (def.range.has_value()) {
+      out += " range ";
+      out += def.range->lo_open() ? "(" : "[";
+      out += def.range->lo().has_value() ? def.range->lo()->ToString() : "";
+      out += "..";
+      out += def.range->hi().has_value() ? def.range->hi()->ToString() : "";
+      out += def.range->hi_open() ? ")" : "]";
+    }
+    out += "\n";
+  }
+  if (!out.empty()) out += "\n";
+  for (const std::string& name : object_type_order_) {
+    out += object_types_.at(ToLower(name)).ToString();
+    // Hierarchy under this root.
+    auto subtypes = hierarchy_.SubtypesOf(name);
+    if (subtypes.ok() && !subtypes->empty()) {
+      auto node = hierarchy_.Get(name);
+      if (node.ok() && !(*node)->children.empty()) {
+        out += name + " contains " + Join((*node)->children, ", ") + "\n";
+        for (const std::string& sub : *subtypes) {
+          auto sub_node = hierarchy_.Get(sub);
+          if (sub_node.ok() && (*sub_node)->derivation.has_value()) {
+            out += sub + " isa " + (*sub_node)->parent + " with " +
+                   ClauseToDdl(*(*sub_node)->derivation) + "\n";
+          }
+        }
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace iqs

@@ -1,0 +1,82 @@
+#ifndef IQS_KER_CATALOG_H_
+#define IQS_KER_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ker/domain.h"
+#include "ker/object_type.h"
+#include "ker/type_hierarchy.h"
+
+namespace iqs {
+
+// The KER schema catalog: domains, object types (entities and
+// relationships), and the type hierarchies with their derivation
+// specifications. This is the frame-based half of the intelligent data
+// dictionary's content (paper §5.3); the dictionary module layers frames
+// and the induced rule base on top.
+class KerCatalog {
+ public:
+  KerCatalog() = default;
+
+  KerCatalog(const KerCatalog&) = delete;
+  KerCatalog& operator=(const KerCatalog&) = delete;
+  KerCatalog(KerCatalog&&) = default;
+  KerCatalog& operator=(KerCatalog&&) = default;
+
+  DomainCatalog& domains() { return domains_; }
+  const DomainCatalog& domains() const { return domains_; }
+  const TypeHierarchy& hierarchy() const { return hierarchy_; }
+
+  // Defines an object type: validates attribute domains, registers the
+  // type as a hierarchy root and as an object domain.
+  Status DefineObjectType(ObjectTypeDef def);
+
+  // Defines `sub isa super with <derivation>`; `extra_constraints` may add
+  // rules that attach to the supertype's definition.
+  Status DefineSubtype(const std::string& sub, const std::string& super,
+                       std::optional<Clause> derivation,
+                       std::vector<KerConstraint> extra_constraints = {});
+
+  // Defines `parent contains children... with constraints`: the children
+  // become disjoint subtypes; constraints attach to the parent.
+  Status DefineContains(const std::string& parent,
+                        const std::vector<std::string>& children,
+                        std::vector<KerConstraint> constraints = {});
+
+  // Attaches a derivation clause to an existing subtype (used when a
+  // `contains` lists children whose derivations arrive separately).
+  Status SetDerivation(const std::string& type_name, Clause derivation);
+
+  bool HasObjectType(const std::string& name) const;
+  Result<const ObjectTypeDef*> GetObjectType(const std::string& name) const;
+  std::vector<std::string> ObjectTypeNames() const;
+
+  // Object types whose attributes include object-domain references —
+  // relationship types like INSTALL.
+  std::vector<std::string> RelationshipTypeNames() const;
+
+  // The object type that owns attribute `qualified` ("CLASS.Displacement"
+  // -> CLASS; bare names search all types and fail when ambiguous).
+  Result<std::string> OwnerOfAttribute(const std::string& qualified) const;
+
+  // All rules declared in with-constraints across the schema, with isa
+  // readings attached where the RHS matches a subtype derivation. These
+  // are the hand-written integrity constraints (used by the baseline and
+  // merged with induced rules by the dictionary).
+  RuleSet DeclaredRules() const;
+
+  // Full schema rendering in the Appendix-B textual form.
+  std::string ToDdl() const;
+
+ private:
+  DomainCatalog domains_;
+  TypeHierarchy hierarchy_;
+  std::map<std::string, ObjectTypeDef> object_types_;  // lower-cased key
+  std::vector<std::string> object_type_order_;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_KER_CATALOG_H_

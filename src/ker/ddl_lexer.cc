@@ -1,0 +1,143 @@
+#include "ker/ddl_lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace iqs {
+
+bool DdlToken::IsKeyword(const std::string& kw) const {
+  return kind == DdlTokenKind::kIdent && EqualsIgnoreCase(text, kw);
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.' || c == '$';
+}
+
+}  // namespace
+
+Result<std::vector<DdlToken>> LexDdl(const std::string& input) {
+  std::vector<DdlToken> out;
+  size_t i = 0;
+  int line = 1;
+  auto error = [&](const std::string& msg) {
+    return Status::ParseError("DDL line " + std::to_string(line) + ": " + msg);
+  };
+  while (i < input.size()) {
+    char c = input[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < input.size() && input[i + 1] == '*') {
+      size_t end = input.find("*/", i + 2);
+      if (end == std::string::npos) return error("unterminated /* comment");
+      for (size_t j = i; j < end; ++j) {
+        if (input[j] == '\n') ++line;
+      }
+      i = end + 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < input.size() && input[i + 1] == '-') {
+      while (i < input.size() && input[i] != '\n') ++i;
+      continue;
+    }
+    // Strings.
+    if (c == '"') {
+      std::string text;
+      ++i;
+      while (i < input.size() && input[i] != '"') {
+        if (input[i] == '\n') return error("unterminated string literal");
+        text += input[i++];
+      }
+      if (i >= input.size()) return error("unterminated string literal");
+      ++i;
+      out.push_back({DdlTokenKind::kString, std::move(text), line});
+      continue;
+    }
+    // Numbers (optionally negative).
+    bool neg_number = c == '-' && i + 1 < input.size() &&
+                      std::isdigit(static_cast<unsigned char>(input[i + 1]));
+    if (std::isdigit(static_cast<unsigned char>(c)) || neg_number) {
+      std::string text;
+      if (neg_number) {
+        text += '-';
+        ++i;
+      }
+      bool is_real = false;
+      while (i < input.size()) {
+        char d = input[i];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          text += d;
+          ++i;
+        } else if (d == '.' && !is_real && i + 1 < input.size() &&
+                   std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+          // A '.' starts a fraction only when followed by a digit; ".."
+          // (range separator) stays a symbol.
+          is_real = true;
+          text += d;
+          ++i;
+        } else {
+          break;
+        }
+      }
+      out.push_back({is_real ? DdlTokenKind::kReal : DdlTokenKind::kInt,
+                     std::move(text), line});
+      continue;
+    }
+    // Identifiers.
+    if (IsIdentStart(c)) {
+      std::string text;
+      while (i < input.size() && IsIdentChar(input[i])) {
+        // A ".." inside an identifier is really the range symbol; stop.
+        if (input[i] == '.' && i + 1 < input.size() && input[i + 1] == '.') {
+          break;
+        }
+        text += input[i++];
+      }
+      // Trim a trailing '.' or '-' (punctuation, not part of the name).
+      while (!text.empty() && (text.back() == '.' )) {
+        text.pop_back();
+        --i;
+      }
+      out.push_back({DdlTokenKind::kIdent, std::move(text), line});
+      continue;
+    }
+    // Multi-char symbols.
+    auto match2 = [&](const char* sym) {
+      return i + 1 < input.size() && input[i] == sym[0] &&
+             input[i + 1] == sym[1];
+    };
+    if (match2("<=") || match2(">=") || match2("!=") || match2("..")) {
+      out.push_back(
+          {DdlTokenKind::kSymbol, std::string(input.substr(i, 2)), line});
+      i += 2;
+      continue;
+    }
+    // Single-char symbols.
+    static const std::string kSingles = ":,;[](){}=<>*";
+    if (kSingles.find(c) != std::string::npos) {
+      out.push_back({DdlTokenKind::kSymbol, std::string(1, c), line});
+      ++i;
+      continue;
+    }
+    return error(std::string("unexpected character '") + c + "'");
+  }
+  out.push_back({DdlTokenKind::kEnd, "", line});
+  return out;
+}
+
+}  // namespace iqs

@@ -1,0 +1,43 @@
+#ifndef IQS_KER_DDL_LEXER_H_
+#define IQS_KER_DDL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace iqs {
+
+// Token kinds for the KER data-definition language (Appendix A). Keywords
+// are delivered as kIdent and matched case-insensitively by the parser, so
+// attribute names that collide with keywords still lex.
+enum class DdlTokenKind {
+  kIdent,    // SUBMARINE, ShipId, x.Class, BQQ-2 (dots/dashes allowed inside)
+  kString,   // "SSBN" (double quotes)
+  kInt,      // 7250
+  kReal,     // 3.5
+  kSymbol,   // : , ; [ ] ( ) { } = != <= >= < > ..
+  kEnd,
+};
+
+struct DdlToken {
+  DdlTokenKind kind = DdlTokenKind::kEnd;
+  std::string text;   // raw lexeme (numbers keep their spelling: "0101")
+  int line = 1;
+
+  bool IsSymbol(const std::string& s) const {
+    return kind == DdlTokenKind::kSymbol && text == s;
+  }
+  // Case-insensitive keyword test (only for kIdent).
+  bool IsKeyword(const std::string& kw) const;
+};
+
+// Lexes the whole input. Comments: /* ... */ (may span lines). Identifiers
+// start with a letter or '_' and may contain letters, digits, '_', '-',
+// '.', '$'. A '-' directly followed by a digit at token start begins a
+// negative number.
+Result<std::vector<DdlToken>> LexDdl(const std::string& input);
+
+}  // namespace iqs
+
+#endif  // IQS_KER_DDL_LEXER_H_

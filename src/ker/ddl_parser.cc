@@ -1,0 +1,588 @@
+#include "ker/ddl_parser.h"
+
+#include <optional>
+
+#include "common/string_util.h"
+
+namespace iqs {
+
+namespace {
+
+// One operand of a clause: an identifier (possibly role-qualified), a
+// string literal, or a number (raw spelling preserved for CHAR coercion).
+struct Operand {
+  enum class Kind { kIdent, kString, kNumber };
+  Kind kind = Kind::kIdent;
+  std::string text;
+  bool is_real = false;  // for kNumber
+};
+
+class DdlParser {
+ public:
+  DdlParser(std::vector<DdlToken> tokens, KerCatalog* catalog)
+      : tokens_(std::move(tokens)), catalog_(catalog) {}
+
+  Status Run() {
+    while (!AtEnd()) {
+      if (Peek().IsSymbol(";")) {
+        Advance();
+        continue;
+      }
+      IQS_RETURN_IF_ERROR(ParseStatement());
+    }
+    return Status::Ok();
+  }
+
+ private:
+  // ---- token helpers -----------------------------------------------------
+
+  const DdlToken& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const DdlToken& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == DdlTokenKind::kEnd; }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError("DDL line " + std::to_string(Peek().line) +
+                              ": " + msg + " (near '" + Peek().text + "')");
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (!Peek().IsKeyword(kw)) return Error("expected '" + kw + "'");
+    Advance();
+    return Status::Ok();
+  }
+  Status ExpectSymbol(const std::string& s) {
+    if (!Peek().IsSymbol(s)) return Error("expected '" + s + "'");
+    Advance();
+    return Status::Ok();
+  }
+  void SkipOptionalColon() {
+    if (Peek().IsSymbol(":")) Advance();
+  }
+
+  Result<std::string> ExpectIdent(const std::string& what) {
+    if (Peek().kind != DdlTokenKind::kIdent) {
+      return Status(StatusCode::kParseError,
+                    "DDL line " + std::to_string(Peek().line) + ": expected " +
+                        what + " (near '" + Peek().text + "')");
+    }
+    return Advance().text;
+  }
+
+  bool PeekIsCompareOp(size_t ahead = 0) const {
+    const DdlToken& t = Peek(ahead);
+    return t.IsSymbol("=") || t.IsSymbol("!=") || t.IsSymbol("<=") ||
+           t.IsSymbol(">=") || t.IsSymbol("<") || t.IsSymbol(">");
+  }
+
+  // ---- statements ---------------------------------------------------------
+
+  Status ParseStatement() {
+    if (Peek().IsKeyword("domain")) return ParseDomainDef();
+    if (Peek().IsKeyword("object") && Peek(1).IsKeyword("type")) {
+      return ParseObjectTypeDef();
+    }
+    if (Peek().kind == DdlTokenKind::kIdent) {
+      if (Peek(1).IsKeyword("contains")) return ParseContainsDef();
+      if (Peek(1).IsKeyword("isa")) return ParseIsaDef();
+    }
+    return Error("expected a domain, object type, contains, or isa statement");
+  }
+
+  // domain [:] NAME [isa PARENT] [range ...] [set of {...}]
+  Status ParseDomainDef() {
+    Advance();  // domain
+    SkipOptionalColon();
+    IQS_ASSIGN_OR_RETURN(std::string name, ExpectIdent("domain name"));
+    DomainDef def;
+    def.name = name;
+    if (Peek().IsKeyword("isa") || Peek().IsKeyword("on")) {
+      Advance();
+      IQS_ASSIGN_OR_RETURN(def.parent, ParseDomainSpec());
+    }
+    // Resolve base type now so range/set values can be coerced.
+    ValueType base = ValueType::kString;
+    if (!def.parent.empty()) {
+      auto resolved = catalog_->domains().ResolveType(def.parent);
+      if (resolved.ok()) base = *resolved;
+    }
+    if (Peek().IsKeyword("with")) Advance();
+    if (Peek().IsKeyword("range")) {
+      Advance();
+      IQS_ASSIGN_OR_RETURN(Interval range, ParseRangeSpec(base));
+      def.range = std::move(range);
+    } else if (Peek().IsKeyword("set")) {
+      Advance();
+      IQS_RETURN_IF_ERROR(ExpectKeyword("of"));
+      IQS_ASSIGN_OR_RETURN(def.allowed_set, ParseValueSet(base));
+    }
+    return catalog_->domains().Define(std::move(def));
+  }
+
+  // A domain spec is an identifier, optionally CHAR '[' n ']'.
+  Result<std::string> ParseDomainSpec() {
+    IQS_ASSIGN_OR_RETURN(std::string name, ExpectIdent("domain name"));
+    if (Peek().IsSymbol("[")) {
+      Advance();
+      if (Peek().kind != DdlTokenKind::kInt) {
+        return Status(StatusCode::kParseError,
+                      "DDL line " + std::to_string(Peek().line) +
+                          ": expected a length in '" + name + "[...]'");
+      }
+      std::string len = Advance().text;
+      IQS_RETURN_IF_ERROR(ExpectSymbol("]"));
+      name += "[" + len + "]";
+    }
+    return name;
+  }
+
+  // range '['|'(' value .. value ']'|')'
+  Result<Interval> ParseRangeSpec(ValueType type) {
+    bool lo_open;
+    if (Peek().IsSymbol("[")) {
+      lo_open = false;
+    } else if (Peek().IsSymbol("(")) {
+      lo_open = true;
+    } else {
+      return Status(StatusCode::kParseError,
+                    "DDL line " + std::to_string(Peek().line) +
+                        ": expected '[' or '(' in range spec");
+    }
+    Advance();
+    IQS_ASSIGN_OR_RETURN(Value lo, ParseTypedValue(type));
+    IQS_RETURN_IF_ERROR(ExpectSymbol(".."));
+    IQS_ASSIGN_OR_RETURN(Value hi, ParseTypedValue(type));
+    bool hi_open;
+    if (Peek().IsSymbol("]")) {
+      hi_open = false;
+    } else if (Peek().IsSymbol(")")) {
+      hi_open = true;
+    } else {
+      return Status(StatusCode::kParseError,
+                    "DDL line " + std::to_string(Peek().line) +
+                        ": expected ']' or ')' in range spec");
+    }
+    Advance();
+    Interval closed = Interval::All();
+    if (!lo_open && !hi_open) {
+      IQS_ASSIGN_OR_RETURN(closed, Interval::Closed(lo, hi));
+      return closed;
+    }
+    Interval lower = Interval::AtLeast(lo, lo_open);
+    Interval upper = Interval::AtMost(hi, hi_open);
+    return lower.Intersection(upper);
+  }
+
+  Result<std::vector<Value>> ParseValueSet(ValueType type) {
+    IQS_RETURN_IF_ERROR(ExpectSymbol("{"));
+    std::vector<Value> out;
+    while (true) {
+      IQS_ASSIGN_OR_RETURN(Value v, ParseTypedValue(type));
+      out.push_back(std::move(v));
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    IQS_RETURN_IF_ERROR(ExpectSymbol("}"));
+    return out;
+  }
+
+  // Parses a literal token coerced to `type` (numbers keep their spelling
+  // when coerced to strings).
+  Result<Value> ParseTypedValue(ValueType type) {
+    const DdlToken& t = Peek();
+    if (t.kind != DdlTokenKind::kString && t.kind != DdlTokenKind::kInt &&
+        t.kind != DdlTokenKind::kReal && t.kind != DdlTokenKind::kIdent) {
+      return Status(StatusCode::kParseError,
+                    "DDL line " + std::to_string(t.line) +
+                        ": expected a value (near '" + t.text + "')");
+    }
+    std::string text = Advance().text;
+    return Value::FromText(type, text);
+  }
+
+  // object type NAME (has [key][:] ATTR domain[:] SPEC)* [with ...]
+  Status ParseObjectTypeDef() {
+    Advance();  // object
+    Advance();  // type
+    ObjectTypeDef def;
+    IQS_ASSIGN_OR_RETURN(def.name, ExpectIdent("object type name"));
+    while (Peek().IsKeyword("has")) {
+      Advance();
+      KerAttribute attr;
+      if (Peek().IsKeyword("key")) {
+        Advance();
+        attr.is_key = true;
+      }
+      SkipOptionalColon();
+      IQS_ASSIGN_OR_RETURN(attr.name, ExpectIdent("attribute name"));
+      IQS_RETURN_IF_ERROR(ExpectKeyword("domain"));
+      SkipOptionalColon();
+      IQS_ASSIGN_OR_RETURN(attr.domain, ParseDomainSpec());
+      def.attributes.push_back(std::move(attr));
+    }
+    if (Peek().IsKeyword("with")) {
+      Advance();
+      IQS_ASSIGN_OR_RETURN(def.constraints, ParseConstraints(&def));
+    }
+    return catalog_->DefineObjectType(std::move(def));
+  }
+
+  // NAME contains A, B, ... [with ...]
+  Status ParseContainsDef() {
+    IQS_ASSIGN_OR_RETURN(std::string parent, ExpectIdent("type name"));
+    IQS_RETURN_IF_ERROR(ExpectKeyword("contains"));
+    std::vector<std::string> children;
+    while (true) {
+      IQS_ASSIGN_OR_RETURN(std::string child, ExpectIdent("subtype name"));
+      children.push_back(std::move(child));
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    // Register the subtypes before parsing the with-clause so structure
+    // rules can reference them.
+    IQS_RETURN_IF_ERROR(catalog_->DefineContains(parent, children));
+    std::vector<KerConstraint> constraints;
+    if (Peek().IsKeyword("with")) {
+      Advance();
+      auto owner = catalog_->GetObjectType(parent);
+      IQS_ASSIGN_OR_RETURN(
+          constraints, ParseConstraints(owner.ok() ? *owner : nullptr));
+    }
+    if (!constraints.empty()) {
+      // Route through DefineContains' constraint handling with no new
+      // children.
+      IQS_RETURN_IF_ERROR(
+          catalog_->DefineContains(parent, {}, std::move(constraints)));
+    }
+    return Status::Ok();
+  }
+
+  // SUB isa SUPER [with <derivation clause>]
+  Status ParseIsaDef() {
+    IQS_ASSIGN_OR_RETURN(std::string sub, ExpectIdent("subtype name"));
+    IQS_RETURN_IF_ERROR(ExpectKeyword("isa"));
+    IQS_ASSIGN_OR_RETURN(std::string super, ExpectIdent("supertype name"));
+    std::optional<Clause> derivation;
+    if (Peek().IsKeyword("with")) {
+      Advance();
+      // Context: the supertype's (root's) attributes.
+      const ObjectTypeDef* context = nullptr;
+      auto root = catalog_->hierarchy().RootOf(super);
+      if (root.ok()) {
+        auto def = catalog_->GetObjectType(*root);
+        if (def.ok()) context = *def;
+      }
+      IQS_ASSIGN_OR_RETURN(Clause clause, ParseClause(context, {}));
+      derivation = std::move(clause);
+    }
+    // A `contains` definition may have introduced the subtype already; an
+    // isa statement for it then just supplies the derivation.
+    auto existing = catalog_->hierarchy().Get(sub);
+    if (existing.ok()) {
+      if (!EqualsIgnoreCase((*existing)->parent, super)) {
+        return Error("type '" + sub + "' is already a subtype of '" +
+                     (*existing)->parent + "'");
+      }
+      if (derivation.has_value()) {
+        return catalog_->SetDerivation(sub, std::move(*derivation));
+      }
+      return Status::Ok();
+    }
+    return catalog_->DefineSubtype(sub, super, std::move(derivation));
+  }
+
+  // ---- constraints ---------------------------------------------------------
+
+  Result<std::vector<KerConstraint>> ParseConstraints(
+      const ObjectTypeDef* context) {
+    std::vector<KerConstraint> out;
+    while (true) {
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      if (Peek().IsKeyword("if")) {
+        IQS_ASSIGN_OR_RETURN(KerConstraint c, ParseRuleConstraint(context));
+        out.push_back(std::move(c));
+        continue;
+      }
+      if (Peek().kind == DdlTokenKind::kIdent && Peek(1).IsKeyword("in")) {
+        IQS_ASSIGN_OR_RETURN(KerConstraint c, ParseDomainConstraint(context));
+        out.push_back(std::move(c));
+        continue;
+      }
+      break;
+    }
+    return out;
+  }
+
+  // ATTR in [lo..hi] | ATTR in set of {...}
+  Result<KerConstraint> ParseDomainConstraint(const ObjectTypeDef* context) {
+    IQS_ASSIGN_OR_RETURN(std::string attr, ExpectIdent("attribute name"));
+    IQS_RETURN_IF_ERROR(ExpectKeyword("in"));
+    ValueType type = AttributeType(context, {}, attr);
+    KerConstraint c;
+    c.kind = KerConstraint::Kind::kDomainRange;
+    if (Peek().IsKeyword("set")) {
+      Advance();
+      IQS_RETURN_IF_ERROR(ExpectKeyword("of"));
+      IQS_ASSIGN_OR_RETURN(c.allowed_set, ParseValueSet(type));
+      c.domain_clause = Clause(attr, Interval::All());
+    } else {
+      if (Peek().IsKeyword("range")) Advance();
+      IQS_ASSIGN_OR_RETURN(Interval range, ParseRangeSpec(type));
+      c.domain_clause = Clause(attr, std::move(range));
+    }
+    return c;
+  }
+
+  // if <role|clause> (and <role|clause>)* then <consequent>
+  Result<KerConstraint> ParseRuleConstraint(const ObjectTypeDef* context) {
+    Advance();  // if
+    KerConstraint c;
+    c.kind = KerConstraint::Kind::kRule;
+    while (true) {
+      // Role definition: IDENT isa IDENT.
+      if (Peek().kind == DdlTokenKind::kIdent && Peek(1).IsKeyword("isa")) {
+        RoleBinding role;
+        role.variable = Advance().text;
+        Advance();  // isa
+        IQS_ASSIGN_OR_RETURN(role.type_name, ExpectIdent("role type"));
+        c.roles.push_back(std::move(role));
+      } else {
+        IQS_ASSIGN_OR_RETURN(Clause clause, ParseClause(context, c.roles));
+        c.rule.lhs.push_back(std::move(clause));
+      }
+      if (Peek().IsKeyword("and")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    IQS_RETURN_IF_ERROR(ExpectKeyword("then"));
+    // Consequent: VAR isa TYPE, or ATTR = const.
+    if (Peek().kind == DdlTokenKind::kIdent && Peek(1).IsKeyword("isa")) {
+      std::string var = Advance().text;
+      Advance();  // isa
+      IQS_ASSIGN_OR_RETURN(std::string type_name, ExpectIdent("type name"));
+      c.rule.rhs.isa_type = type_name;
+      c.rule.rhs.isa_variable = var;
+      // Materialize the consequent clause from the type's derivation when
+      // available; otherwise keep a symbolic isa clause.
+      auto node = catalog_->hierarchy().Get(type_name);
+      if (node.ok() && (*node)->derivation.has_value()) {
+        c.rule.rhs.clause = *(*node)->derivation;
+      } else {
+        c.rule.rhs.clause =
+            Clause::Equals("isa(" + var + ")", Value::String(type_name));
+      }
+    } else {
+      IQS_ASSIGN_OR_RETURN(Clause clause, ParseClause(context, c.roles));
+      if (!clause.IsPoint()) {
+        return Status(StatusCode::kParseError,
+                      "DDL line " + std::to_string(Peek().line) +
+                          ": rule consequent must be an equality");
+      }
+      c.rule.rhs.clause = std::move(clause);
+      // Attach the isa reading when the consequent matches a derivation.
+      auto type_name = catalog_->hierarchy().FindByDerivation(c.rule.rhs.clause);
+      if (type_name.ok()) c.rule.rhs.isa_type = *type_name;
+    }
+    c.rule.scheme = "declared";
+    return c;
+  }
+
+  // ---- clauses -------------------------------------------------------------
+
+  Result<Operand> ParseOperand() {
+    const DdlToken& t = Peek();
+    Operand op;
+    switch (t.kind) {
+      case DdlTokenKind::kIdent:
+        op.kind = Operand::Kind::kIdent;
+        break;
+      case DdlTokenKind::kString:
+        op.kind = Operand::Kind::kString;
+        break;
+      case DdlTokenKind::kInt:
+        op.kind = Operand::Kind::kNumber;
+        break;
+      case DdlTokenKind::kReal:
+        op.kind = Operand::Kind::kNumber;
+        op.is_real = true;
+        break;
+      default:
+        return Status(StatusCode::kParseError,
+                      "DDL line " + std::to_string(t.line) +
+                          ": expected a clause operand (near '" + t.text +
+                          "')");
+    }
+    op.text = Advance().text;
+    op.is_real = t.kind == DdlTokenKind::kReal;
+    return op;
+  }
+
+  // Is this operand a reference to an attribute, given the context object
+  // type and the roles in scope?
+  bool IsAttributeRef(const Operand& op, const ObjectTypeDef* context,
+                      const std::vector<RoleBinding>& roles) const {
+    if (op.kind != Operand::Kind::kIdent) return false;
+    size_t dot = op.text.find('.');
+    if (dot != std::string::npos) {
+      std::string prefix = op.text.substr(0, dot);
+      for (const RoleBinding& r : roles) {
+        if (EqualsIgnoreCase(r.variable, prefix)) return true;
+      }
+      // Qualified by an object type name.
+      return catalog_->HasObjectType(prefix);
+    }
+    if (context != nullptr && context->FindAttribute(op.text) != nullptr) {
+      return true;
+    }
+    return false;
+  }
+
+  // Resolved value type of the attribute reference `name`.
+  ValueType AttributeType(const ObjectTypeDef* context,
+                          const std::vector<RoleBinding>& roles,
+                          const std::string& name) const {
+    std::string type_owner;
+    std::string attr = name;
+    size_t dot = name.find('.');
+    if (dot != std::string::npos) {
+      std::string prefix = name.substr(0, dot);
+      attr = name.substr(dot + 1);
+      type_owner = prefix;
+      for (const RoleBinding& r : roles) {
+        if (EqualsIgnoreCase(r.variable, prefix)) {
+          type_owner = r.type_name;
+          break;
+        }
+      }
+    }
+    const ObjectTypeDef* owner = context;
+    if (!type_owner.empty()) {
+      // Roles may name subtypes; attributes live on the root object type.
+      std::string lookup = type_owner;
+      auto root = catalog_->hierarchy().RootOf(type_owner);
+      if (root.ok()) lookup = *root;
+      auto def = catalog_->GetObjectType(lookup);
+      if (def.ok()) owner = *def;
+    }
+    if (owner != nullptr) {
+      const KerAttribute* a = owner->FindAttribute(attr);
+      if (a != nullptr) {
+        auto type = catalog_->domains().ResolveType(a->domain);
+        if (type.ok()) return *type;
+      }
+    }
+    return ValueType::kString;
+  }
+
+  Result<Value> OperandToValue(const Operand& op, ValueType type) {
+    return Value::FromText(type, op.text);
+  }
+
+  // Clause forms:
+  //   lo op ATTR op hi      (op in {<, <=})
+  //   ATTR op const | const op ATTR | ATTR = const
+  Result<Clause> ParseClause(const ObjectTypeDef* context,
+                             const std::vector<RoleBinding>& roles) {
+    int line = Peek().line;
+    IQS_ASSIGN_OR_RETURN(Operand first, ParseOperand());
+    if (!PeekIsCompareOp()) {
+      return Status(StatusCode::kParseError,
+                    "DDL line " + std::to_string(line) +
+                        ": expected a comparison operator");
+    }
+    std::string op1 = Advance().text;
+    IQS_ASSIGN_OR_RETURN(Operand second, ParseOperand());
+    if (PeekIsCompareOp()) {
+      // Three-operand range: first op1 ATTR op2 third.
+      std::string op2 = Advance().text;
+      IQS_ASSIGN_OR_RETURN(Operand third, ParseOperand());
+      if ((op1 != "<=" && op1 != "<") || (op2 != "<=" && op2 != "<")) {
+        return Status(StatusCode::kParseError,
+                      "DDL line " + std::to_string(line) +
+                          ": range clauses must use '<' or '<='");
+      }
+      std::string attr = second.text;
+      ValueType type = AttributeType(context, roles, attr);
+      IQS_ASSIGN_OR_RETURN(Value lo, OperandToValue(first, type));
+      IQS_ASSIGN_OR_RETURN(Value hi, OperandToValue(third, type));
+      Interval lower = Interval::AtLeast(std::move(lo), op1 == "<");
+      Interval upper = Interval::AtMost(std::move(hi), op2 == "<");
+      Interval iv = lower.Intersection(upper);
+      if (iv.IsEmpty()) {
+        return Status(StatusCode::kParseError,
+                      "DDL line " + std::to_string(line) +
+                          ": empty range in clause over '" + attr + "'");
+      }
+      return Clause(attr, std::move(iv));
+    }
+    // Two-operand form: decide which side is the attribute.
+    bool first_is_attr = IsAttributeRef(first, context, roles);
+    bool second_is_attr = IsAttributeRef(second, context, roles);
+    if (!first_is_attr && !second_is_attr) {
+      // Fall back: an identifier on the left is taken as the attribute.
+      if (first.kind == Operand::Kind::kIdent) {
+        first_is_attr = true;
+      } else if (second.kind == Operand::Kind::kIdent) {
+        second_is_attr = true;
+      } else {
+        return Status(StatusCode::kParseError,
+                      "DDL line " + std::to_string(line) +
+                          ": no attribute reference in clause");
+      }
+    }
+    if (first_is_attr && second_is_attr) {
+      return Status(StatusCode::kParseError,
+                    "DDL line " + std::to_string(line) +
+                        ": attribute-to-attribute clauses are not supported");
+    }
+    std::string attr = first_is_attr ? first.text : second.text;
+    const Operand& constant = first_is_attr ? second : first;
+    std::string op = op1;
+    if (!first_is_attr) {
+      // const op ATTR  ==  ATTR op' const with the operator mirrored.
+      if (op == "<") op = ">";
+      else if (op == "<=") op = ">=";
+      else if (op == ">") op = "<";
+      else if (op == ">=") op = "<=";
+    }
+    ValueType type = AttributeType(context, roles, attr);
+    IQS_ASSIGN_OR_RETURN(Value v, OperandToValue(constant, type));
+    if (op == "=") return Clause::Equals(attr, std::move(v));
+    if (op == "<") return Clause(attr, Interval::AtMost(std::move(v), true));
+    if (op == "<=") return Clause(attr, Interval::AtMost(std::move(v), false));
+    if (op == ">") return Clause(attr, Interval::AtLeast(std::move(v), true));
+    if (op == ">=") {
+      return Clause(attr, Interval::AtLeast(std::move(v), false));
+    }
+    return Status(StatusCode::kParseError,
+                  "DDL line " + std::to_string(line) + ": operator '" + op +
+                      "' is not valid in a clause");
+  }
+
+  std::vector<DdlToken> tokens_;
+  size_t pos_ = 0;
+  KerCatalog* catalog_;
+};
+
+}  // namespace
+
+Status ParseDdl(const std::string& input, KerCatalog* catalog) {
+  IQS_ASSIGN_OR_RETURN(std::vector<DdlToken> tokens, LexDdl(input));
+  DdlParser parser(std::move(tokens), catalog);
+  return parser.Run();
+}
+
+}  // namespace iqs

@@ -1,0 +1,45 @@
+#ifndef IQS_KER_DDL_PARSER_H_
+#define IQS_KER_DDL_PARSER_H_
+
+#include <string>
+
+#include "ker/catalog.h"
+#include "ker/ddl_lexer.h"
+
+namespace iqs {
+
+// Parses KER data-definition text (the concrete syntax of Appendix A /
+// Appendix B) and applies the definitions to `catalog`. Supported
+// statements:
+//
+//   domain: SHIP_NAME isa NAME
+//   domain: AGE isa INTEGER range [0..200]
+//   domain: GRADE isa STRING set of {"A", "B", "C"}
+//
+//   object type CLASS
+//     has key: Class        domain: CHAR[4]
+//     has:     Type         domain: CHAR[4]
+//     has:     Displacement domain: INTEGER
+//     with
+//       Displacement in [2000..30000]
+//       if "0101" <= Class <= "0103" then Type = "SSBN"
+//
+//   CLASS contains SSBN, SSN
+//     with
+//       if x isa CLASS and 7250 <= x.Displacement <= 30000 then x isa SSBN
+//
+//   SSBN isa CLASS with Type = "SSBN"
+//
+// Notes on the concrete syntax:
+//  * keywords are case-insensitive; `:` after `domain`/`has` is optional;
+//  * numeric literals keep their spelling, so "0101" compared against a
+//    CHAR attribute is coerced to the string "0101", matching the paper's
+//    unquoted class codes in §6;
+//  * structure rules carry their role definitions inline (`x isa CLASS
+//    and ...`), per the Appendix A BNF;
+//  * /* ... */ comments are ignored.
+Status ParseDdl(const std::string& input, KerCatalog* catalog);
+
+}  // namespace iqs
+
+#endif  // IQS_KER_DDL_PARSER_H_

@@ -1,0 +1,198 @@
+#include "ker/domain.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace iqs {
+
+Status DomainDef::CheckValue(const Value& v) const {
+  if (v.is_null()) return Status::Ok();
+  if (v.type() != base_type &&
+      !(base_type == ValueType::kReal && v.type() == ValueType::kInt)) {
+    return Status::TypeError("domain " + name + " expects " +
+                             ValueTypeName(base_type) + ", got " +
+                             ValueTypeName(v.type()));
+  }
+  if (char_length > 0 && v.type() == ValueType::kString &&
+      v.AsString().size() > static_cast<size_t>(char_length)) {
+    return Status::ConstraintViolation(
+        "value '" + v.AsString() + "' exceeds CHAR[" +
+        std::to_string(char_length) + "] bound of domain " + name);
+  }
+  if (range.has_value() && !range->Contains(v)) {
+    return Status::ConstraintViolation("value " + v.ToString() +
+                                       " outside range " + range->ToString() +
+                                       " of domain " + name);
+  }
+  if (!allowed_set.empty()) {
+    for (const Value& allowed : allowed_set) {
+      if (allowed == v) return Status::Ok();
+    }
+    return Status::ConstraintViolation("value " + v.ToString() +
+                                       " not in set of domain " + name);
+  }
+  return Status::Ok();
+}
+
+DomainCatalog::DomainCatalog() {
+  for (const char* basic : {"integer", "real", "string", "date"}) {
+    DomainDef def;
+    def.name = basic;
+    def.base_type = *ValueTypeFromName(basic);
+    domains_[basic] = def;
+  }
+}
+
+Result<int> DomainCatalog::ParseCharLength(const std::string& name) {
+  std::string lower = ToLower(StripWhitespace(name));
+  if (!StartsWith(lower, "char")) {
+    return Status::NotFound("not a char spec");
+  }
+  std::string rest(StripWhitespace(std::string_view(lower).substr(4)));
+  if (rest.empty()) return 0;  // bare CHAR: unbounded
+  if (rest.front() != '[' || rest.back() != ']') {
+    return Status::ParseError("malformed char length in '" + name + "'");
+  }
+  std::string digits = rest.substr(1, rest.size() - 2);
+  if (digits.empty()) return Status::ParseError("empty char length");
+  int length = 0;
+  for (char c : digits) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Status::ParseError("non-digit in char length '" + name + "'");
+    }
+    length = length * 10 + (c - '0');
+    if (length > 1 << 20) {
+      return Status::ParseError("char length too large in '" + name + "'");
+    }
+  }
+  return length;
+}
+
+Status DomainCatalog::Define(DomainDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("domain name must not be empty");
+  }
+  std::string key = ToLower(def.name);
+  if (domains_.count(key) > 0) {
+    return Status::AlreadyExists("domain '" + def.name + "' already defined");
+  }
+  // Resolve the parent to a basic type and inherit char length bounds.
+  if (!def.parent.empty()) {
+    auto char_len = ParseCharLength(def.parent);
+    if (char_len.ok()) {
+      def.base_type = ValueType::kString;
+      if (def.char_length == 0) def.char_length = *char_len;
+    } else {
+      auto parent_it = domains_.find(ToLower(def.parent));
+      if (parent_it == domains_.end()) {
+        return Status::NotFound("parent domain '" + def.parent +
+                                "' of '" + def.name + "' is not defined");
+      }
+      def.base_type = parent_it->second.base_type;
+      if (def.char_length == 0) {
+        def.char_length = parent_it->second.char_length;
+      }
+    }
+  }
+  // Validate the specs against the resolved type.
+  if (def.range.has_value()) {
+    for (const std::optional<Value>* bound :
+         {&def.range->lo(), &def.range->hi()}) {
+      if (bound->has_value() && !(*bound)->is_null()) {
+        Value v = **bound;
+        if (v.type() != def.base_type &&
+            !(def.base_type == ValueType::kReal &&
+              v.type() == ValueType::kInt)) {
+          return Status::TypeError("range bound " + v.ToString() +
+                                   " does not match base type of domain " +
+                                   def.name);
+        }
+      }
+    }
+  }
+  for (const Value& v : def.allowed_set) {
+    if (v.type() != def.base_type &&
+        !(def.base_type == ValueType::kReal && v.type() == ValueType::kInt)) {
+      return Status::TypeError("set element " + v.ToString() +
+                               " does not match base type of domain " +
+                               def.name);
+    }
+  }
+  definition_order_.push_back(def.name);
+  domains_[key] = std::move(def);
+  return Status::Ok();
+}
+
+Status DomainCatalog::DefineObjectDomain(const std::string& object_type_name) {
+  std::string key = ToLower(object_type_name);
+  if (domains_.count(key) > 0) return Status::Ok();  // idempotent
+  DomainDef def;
+  def.name = object_type_name;
+  def.is_object_domain = true;
+  def.base_type = ValueType::kString;  // entity keys render as strings
+  domains_[key] = std::move(def);
+  return Status::Ok();
+}
+
+bool DomainCatalog::Contains(const std::string& name) const {
+  if (domains_.count(ToLower(name)) > 0) return true;
+  return ParseCharLength(name).ok();
+}
+
+Result<const DomainDef*> DomainCatalog::Get(const std::string& name) const {
+  auto it = domains_.find(ToLower(name));
+  if (it == domains_.end()) {
+    return Status::NotFound("domain '" + name + "' is not defined");
+  }
+  return &it->second;
+}
+
+Result<ValueType> DomainCatalog::ResolveType(const std::string& name) const {
+  auto it = domains_.find(ToLower(name));
+  if (it != domains_.end()) return it->second.base_type;
+  if (ParseCharLength(name).ok()) return ValueType::kString;
+  return Status::NotFound("domain '" + name + "' is not defined");
+}
+
+Status DomainCatalog::CheckValue(const std::string& domain_name,
+                                 const Value& v) const {
+  auto char_len = ParseCharLength(domain_name);
+  if (char_len.ok()) {
+    DomainDef anonymous;
+    anonymous.name = domain_name;
+    anonymous.base_type = ValueType::kString;
+    anonymous.char_length = *char_len;
+    return anonymous.CheckValue(v);
+  }
+  // Walk the isa chain, checking each level's specs.
+  std::string current = ToLower(domain_name);
+  int depth = 0;
+  while (!current.empty()) {
+    if (++depth > 64) {
+      return Status::Internal("domain isa chain too deep (cycle?) at '" +
+                              domain_name + "'");
+    }
+    auto it = domains_.find(current);
+    if (it == domains_.end()) {
+      auto len = ParseCharLength(current);
+      if (len.ok()) {
+        DomainDef anonymous;
+        anonymous.name = current;
+        anonymous.base_type = ValueType::kString;
+        anonymous.char_length = *len;
+        return anonymous.CheckValue(v);
+      }
+      return Status::NotFound("domain '" + current + "' is not defined");
+    }
+    IQS_RETURN_IF_ERROR(it->second.CheckValue(v));
+    current = ToLower(it->second.parent);
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> DomainCatalog::UserDomainNames() const {
+  return definition_order_;
+}
+
+}  // namespace iqs

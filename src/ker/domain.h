@@ -1,0 +1,82 @@
+#ifndef IQS_KER_DOMAIN_H_
+#define IQS_KER_DOMAIN_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rules/interval.h"
+
+namespace iqs {
+
+// A KER domain definition (paper §2, Appendix A.2). Domains form their own
+// isa hierarchy over the basic domains (integer, real, string, date):
+//
+//   domain: NAME       isa CHAR[20]
+//   domain: SHIP_NAME  isa NAME
+//   domain: AGE        isa INTEGER range [0..200]
+//
+// A domain may also name an object type (an "object domain"), which is how
+// relationships reference the entities they connect (INSTALL's Ship
+// attribute has domain SUBMARINE).
+struct DomainDef {
+  std::string name;
+  // Name of the parent domain; empty for the four basic domains.
+  std::string parent;
+  // Resolved basic type. Filled by DomainCatalog::Define.
+  ValueType base_type = ValueType::kString;
+  // CHAR[n] length bound; 0 = unbounded.
+  int char_length = 0;
+  // Optional range specification (closed/open per the BNF's '['/'(').
+  std::optional<Interval> range;
+  // Optional set specification ("set of {a, b, c}").
+  std::vector<Value> allowed_set;
+  // Set when this domain is an object type used as a domain.
+  bool is_object_domain = false;
+
+  // Checks that `v` is admissible: right basic type, within range/set,
+  // within the char length. Null is always admissible.
+  Status CheckValue(const Value& v) const;
+};
+
+// Registry of domain definitions with the four basic domains prebuilt
+// (INTEGER, REAL, STRING, DATE) and CHAR[n] resolved on the fly.
+// Names are case-insensitive.
+class DomainCatalog {
+ public:
+  DomainCatalog();
+
+  // Defines a named domain. `parent` must resolve (to a basic domain,
+  // CHAR[n], or a previously defined domain). Range/set specs are checked
+  // against the resolved basic type.
+  Status Define(DomainDef def);
+
+  // Registers an object type name so attributes can use it as a domain.
+  Status DefineObjectDomain(const std::string& object_type_name);
+
+  bool Contains(const std::string& name) const;
+  Result<const DomainDef*> Get(const std::string& name) const;
+
+  // Resolves a domain name to its basic ValueType, walking the isa chain.
+  // "CHAR[20]" style names resolve to string.
+  Result<ValueType> ResolveType(const std::string& name) const;
+
+  // Checks `v` against the named domain and all ancestors' specs.
+  Status CheckValue(const std::string& domain_name, const Value& v) const;
+
+  // Names of user-defined domains, in definition order.
+  std::vector<std::string> UserDomainNames() const;
+
+  // Parses "CHAR[12]" into length 12; NotFound when not a char spec.
+  static Result<int> ParseCharLength(const std::string& name);
+
+ private:
+  std::map<std::string, DomainDef> domains_;  // key: lower-cased name
+  std::vector<std::string> definition_order_;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_KER_DOMAIN_H_

@@ -1,0 +1,163 @@
+#include "ker/object_type.h"
+
+#include "common/string_util.h"
+
+namespace iqs {
+
+namespace {
+
+std::string DdlValue(const Value& v) {
+  if (v.type() == ValueType::kString) return "\"" + v.ToString() + "\"";
+  return v.ToString();
+}
+
+}  // namespace
+
+std::string ClauseToDdl(const Clause& clause) {
+  const Interval& iv = clause.interval();
+  if (iv.IsPoint()) {
+    return clause.attribute() + " = " + DdlValue(*iv.lo());
+  }
+  if (iv.lo().has_value() && iv.hi().has_value()) {
+    return DdlValue(*iv.lo()) + (iv.lo_open() ? " < " : " <= ") +
+           clause.attribute() + (iv.hi_open() ? " < " : " <= ") +
+           DdlValue(*iv.hi());
+  }
+  if (iv.lo().has_value()) {
+    return clause.attribute() + (iv.lo_open() ? " > " : " >= ") +
+           DdlValue(*iv.lo());
+  }
+  if (iv.hi().has_value()) {
+    return clause.attribute() + (iv.hi_open() ? " < " : " <= ") +
+           DdlValue(*iv.hi());
+  }
+  return clause.attribute() + " unrestricted";
+}
+
+std::string KerConstraint::ToString() const {
+  if (kind == Kind::kDomainRange) {
+    if (!allowed_set.empty()) {
+      std::string out = domain_clause.attribute() + " in set of {";
+      for (size_t i = 0; i < allowed_set.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "\"" + allowed_set[i].ToString() + "\"";
+      }
+      out += "}";
+      return out;
+    }
+    // Range specs render in the BNF's "[lo..hi]" form so ToString output
+    // is re-parseable.
+    const Interval& iv = domain_clause.interval();
+    std::string out = domain_clause.attribute() + " in ";
+    out += iv.lo_open() ? "(" : "[";
+    out += iv.lo().has_value() ? iv.lo()->ToString() : "";
+    out += "..";
+    out += iv.hi().has_value() ? iv.hi()->ToString() : "";
+    out += iv.hi_open() ? ")" : "]";
+    return out;
+  }
+  // Structure rules carry their role definitions inline, per the
+  // Appendix A BNF ("if <role definitions> and <conjunctives> then ..."),
+  // which keeps ToString output re-parseable.
+  std::string out = "if ";
+  for (const RoleBinding& role : roles) {
+    out += role.variable + " isa " + role.type_name + " and ";
+  }
+  for (size_t i = 0; i < rule.lhs.size(); ++i) {
+    if (i > 0) out += " and ";
+    out += ClauseToDdl(rule.lhs[i]);
+  }
+  out += " then ";
+  // Print the declarative consequent clause (the isa reading is derived
+  // information the parser re-attaches); synthetic isa(var) clauses —
+  // structure rules for types without a derivation — print as isa.
+  if (StartsWith(rule.rhs.clause.attribute(), "isa(")) {
+    out += rule.rhs.isa_variable + " isa " + rule.rhs.isa_type;
+  } else {
+    out += ClauseToDdl(rule.rhs.clause);
+  }
+  return out;
+}
+
+const KerAttribute* ObjectTypeDef::FindAttribute(
+    const std::string& attr_name) const {
+  for (const KerAttribute& a : attributes) {
+    if (EqualsIgnoreCase(a.name, attr_name)) return &a;
+  }
+  return nullptr;
+}
+
+std::vector<KerAttribute> ObjectTypeDef::ObjectDomainAttributes(
+    const DomainCatalog& domains) const {
+  std::vector<KerAttribute> out;
+  for (const KerAttribute& a : attributes) {
+    auto def = domains.Get(a.domain);
+    if (def.ok() && (*def)->is_object_domain) out.push_back(a);
+  }
+  return out;
+}
+
+Result<Schema> ObjectTypeDef::ToSchema(const DomainCatalog& domains) const {
+  std::vector<AttributeDef> attrs;
+  attrs.reserve(attributes.size());
+  for (const KerAttribute& a : attributes) {
+    IQS_ASSIGN_OR_RETURN(ValueType type, domains.ResolveType(a.domain));
+    attrs.push_back(AttributeDef{a.name, type, a.is_key});
+  }
+  return Schema::Create(std::move(attrs));
+}
+
+Status ObjectTypeDef::CheckTuple(const DomainCatalog& domains,
+                                 const Schema& schema,
+                                 const Tuple& tuple) const {
+  if (tuple.size() != attributes.size()) {
+    return Status::InvalidArgument("tuple arity does not match object type " +
+                                   name);
+  }
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    IQS_RETURN_IF_ERROR(domains.CheckValue(attributes[i].domain, tuple.at(i)));
+  }
+  for (const KerConstraint& c : constraints) {
+    if (c.kind != KerConstraint::Kind::kDomainRange) continue;
+    auto idx = schema.IndexOf(c.domain_clause.BaseAttribute());
+    if (!idx.ok()) continue;  // constraint over an inherited attribute
+    const Value& v = tuple.at(*idx);
+    if (v.is_null()) continue;
+    if (!c.allowed_set.empty()) {
+      bool found = false;
+      for (const Value& allowed : c.allowed_set) {
+        if (allowed == v) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::ConstraintViolation(
+            "value " + v.ToString() + " violates set constraint on " +
+            c.domain_clause.attribute() + " of " + name);
+      }
+    } else if (!c.domain_clause.Satisfies(v)) {
+      return Status::ConstraintViolation(
+          "value " + v.ToString() + " violates range constraint " +
+          c.domain_clause.ToConditionString() + " of " + name);
+    }
+  }
+  return Status::Ok();
+}
+
+std::string ObjectTypeDef::ToString() const {
+  std::string out = "object type " + name + "\n";
+  for (const KerAttribute& a : attributes) {
+    out += a.is_key ? "  has key: " : "  has:     ";
+    out += PadRight(a.name, 16) + " domain: " + a.domain + "\n";
+  }
+  if (!constraints.empty()) {
+    out += "  with\n";
+    for (const KerConstraint& c : constraints) {
+      out += "    " + c.ToString() + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace iqs

@@ -1,0 +1,89 @@
+#ifndef IQS_KER_OBJECT_TYPE_H_
+#define IQS_KER_OBJECT_TYPE_H_
+
+#include <string>
+#include <vector>
+
+#include "ker/domain.h"
+#include "relational/schema.h"
+#include "rules/rule.h"
+
+namespace iqs {
+
+// Renders a clause in DDL-parseable form: like ToConditionString, but
+// string constants are double-quoted (`Division = "R&D"`), so values
+// containing non-identifier characters survive a ToDdl/ParseDdl round
+// trip.
+std::string ClauseToDdl(const Clause& clause);
+
+// One `has [key]: <name> domain: <domain>` line of an object type
+// definition (paper Figure 1, Appendix A.3).
+struct KerAttribute {
+  std::string name;
+  std::string domain;  // domain name ("CHAR[4]", "integer", "SHIP_NAME",
+                       // or an object type for relationship roles)
+  bool is_key = false;
+
+  friend bool operator==(const KerAttribute&, const KerAttribute&) = default;
+};
+
+// A role definition in a structure rule: "x isa SUBMARINE" (Appendix A.5).
+struct RoleBinding {
+  std::string variable;
+  std::string type_name;
+
+  friend bool operator==(const RoleBinding&, const RoleBinding&) = default;
+};
+
+// A with-constraint (Appendix A.5). Two shapes:
+//  * domain range constraint: `Displacement in [2000..30000]`
+//  * semantic rule (constraint rule `if ... then Attr = const`, or
+//    structure rule `if <roles> and ... then x isa T`), held as a Rule —
+//    structure rules carry their role definitions in `roles`.
+struct KerConstraint {
+  enum class Kind { kDomainRange, kRule };
+  Kind kind = Kind::kDomainRange;
+
+  // kDomainRange fields: the restricted attribute and its interval, or
+  // (exclusively) the allowed set.
+  Clause domain_clause;
+  std::vector<Value> allowed_set;
+
+  // kRule fields.
+  Rule rule;
+  std::vector<RoleBinding> roles;
+
+  std::string ToString() const;
+};
+
+// An object type definition: attributes plus with-constraints. Entity
+// types and relationship types are both object types (paper §2); a
+// relationship is an object type whose attribute domains name other
+// object types (INSTALL.Ship has domain SUBMARINE).
+struct ObjectTypeDef {
+  std::string name;
+  std::vector<KerAttribute> attributes;
+  std::vector<KerConstraint> constraints;
+
+  const KerAttribute* FindAttribute(const std::string& attr_name) const;
+
+  // Attributes whose domain is an object type, resolved against `domains`
+  // — non-empty for relationship types.
+  std::vector<KerAttribute> ObjectDomainAttributes(
+      const DomainCatalog& domains) const;
+
+  // Maps the definition to a relational schema by resolving each
+  // attribute's domain to its basic type.
+  Result<Schema> ToSchema(const DomainCatalog& domains) const;
+
+  // Checks a tuple against all domain specs and kDomainRange constraints.
+  Status CheckTuple(const DomainCatalog& domains, const Schema& schema,
+                    const Tuple& tuple) const;
+
+  // Renders in the paper's Figure 1 textual form.
+  std::string ToString() const;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_KER_OBJECT_TYPE_H_

@@ -1,0 +1,192 @@
+#include "ker/type_hierarchy.h"
+
+#include <deque>
+
+#include "common/string_util.h"
+#include "rules/subsumption.h"
+
+namespace iqs {
+
+Status TypeHierarchy::AddRoot(const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("type name must not be empty");
+  }
+  std::string key = ToLower(name);
+  if (nodes_.count(key) > 0) return Status::Ok();
+  TypeNode node;
+  node.name = name;
+  nodes_[key] = std::move(node);
+  order_.push_back(name);
+  return Status::Ok();
+}
+
+Status TypeHierarchy::AddIsa(const std::string& sub, const std::string& super,
+                             std::optional<Clause> derivation,
+                             bool disjoint_partition) {
+  if (sub.empty() || super.empty()) {
+    return Status::InvalidArgument("type names must not be empty");
+  }
+  std::string sub_key = ToLower(sub);
+  std::string super_key = ToLower(super);
+  auto super_it = nodes_.find(super_key);
+  if (super_it == nodes_.end()) {
+    return Status::NotFound("supertype '" + super + "' is not defined");
+  }
+  if (nodes_.count(sub_key) > 0) {
+    return Status::AlreadyExists("type '" + sub + "' already defined");
+  }
+  if (sub_key == super_key) {
+    return Status::InvalidArgument("type '" + sub + "' cannot be its own " +
+                                   "supertype");
+  }
+  TypeNode node;
+  node.name = sub;
+  node.parent = super_it->second.name;
+  node.derivation = std::move(derivation);
+  node.disjoint_partition = disjoint_partition;
+  nodes_[sub_key] = std::move(node);
+  super_it->second.children.push_back(sub);
+  order_.push_back(sub);
+  return Status::Ok();
+}
+
+bool TypeHierarchy::Contains(const std::string& name) const {
+  return nodes_.count(ToLower(name)) > 0;
+}
+
+Result<const TypeNode*> TypeHierarchy::Get(const std::string& name) const {
+  auto it = nodes_.find(ToLower(name));
+  if (it == nodes_.end()) {
+    return Status::NotFound("type '" + name + "' is not defined");
+  }
+  return &it->second;
+}
+
+Status TypeHierarchy::SetDerivation(const std::string& name,
+                                    Clause derivation) {
+  auto it = nodes_.find(ToLower(name));
+  if (it == nodes_.end()) {
+    return Status::NotFound("type '" + name + "' is not defined");
+  }
+  it->second.derivation = std::move(derivation);
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> TypeHierarchy::SupertypesOf(
+    const std::string& name) const {
+  IQS_ASSIGN_OR_RETURN(const TypeNode* node, Get(name));
+  std::vector<std::string> out;
+  int depth = 0;
+  while (!node->parent.empty()) {
+    if (++depth > 256) {
+      return Status::Internal("type hierarchy cycle at '" + name + "'");
+    }
+    out.push_back(node->parent);
+    IQS_ASSIGN_OR_RETURN(node, Get(node->parent));
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> TypeHierarchy::SubtypesOf(
+    const std::string& name) const {
+  IQS_ASSIGN_OR_RETURN(const TypeNode* node, Get(name));
+  std::vector<std::string> out;
+  std::deque<const TypeNode*> queue{node};
+  while (!queue.empty()) {
+    const TypeNode* current = queue.front();
+    queue.pop_front();
+    for (const std::string& child : current->children) {
+      out.push_back(child);
+      IQS_ASSIGN_OR_RETURN(const TypeNode* child_node, Get(child));
+      queue.push_back(child_node);
+    }
+  }
+  return out;
+}
+
+Result<std::string> TypeHierarchy::RootOf(const std::string& name) const {
+  IQS_ASSIGN_OR_RETURN(const TypeNode* node, Get(name));
+  int depth = 0;
+  while (!node->parent.empty()) {
+    if (++depth > 256) {
+      return Status::Internal("type hierarchy cycle at '" + name + "'");
+    }
+    IQS_ASSIGN_OR_RETURN(node, Get(node->parent));
+  }
+  return node->name;
+}
+
+bool TypeHierarchy::IsAOrSubtypeOf(const std::string& name,
+                                   const std::string& ancestor) const {
+  if (EqualsIgnoreCase(name, ancestor)) return Contains(name);
+  auto supers = SupertypesOf(name);
+  if (!supers.ok()) return false;
+  for (const std::string& s : *supers) {
+    if (EqualsIgnoreCase(s, ancestor)) return true;
+  }
+  return false;
+}
+
+int TypeHierarchy::DepthOf(const std::string& name) const {
+  auto supers = SupertypesOf(name);
+  return supers.ok() ? static_cast<int>(supers->size()) : 0;
+}
+
+Result<std::string> TypeHierarchy::FindByDerivation(
+    const Clause& clause) const {
+  const TypeNode* best = nullptr;
+  int best_depth = -1;
+  for (const std::string& name : order_) {
+    const TypeNode& node = nodes_.at(ToLower(name));
+    if (!node.derivation.has_value()) continue;
+    if (!SameAttribute(node.derivation->attribute(), clause.attribute())) {
+      continue;
+    }
+    if (!node.derivation->interval().ContainsInterval(clause.interval())) {
+      continue;
+    }
+    int depth = DepthOf(name);
+    if (depth > best_depth) {
+      best = &node;
+      best_depth = depth;
+    }
+  }
+  if (best == nullptr) {
+    return Status::NotFound("no subtype derived by " +
+                            clause.ToConditionString());
+  }
+  return best->name;
+}
+
+std::vector<std::string> TypeHierarchy::AllTypes() const { return order_; }
+
+std::vector<std::string> TypeHierarchy::Roots() const {
+  std::vector<std::string> out;
+  for (const std::string& name : order_) {
+    if (nodes_.at(ToLower(name)).parent.empty()) out.push_back(name);
+  }
+  return out;
+}
+
+Result<std::string> TypeHierarchy::RenderTree(const std::string& root) const {
+  IQS_ASSIGN_OR_RETURN(const TypeNode* node, Get(root));
+  std::string out;
+  // Recursive lambda over (node, indent).
+  auto render = [&](auto&& self, const TypeNode& n, int indent) -> Status {
+    out.append(static_cast<size_t>(indent) * 2, ' ');
+    out += n.name;
+    if (n.derivation.has_value()) {
+      out += "  with " + n.derivation->ToConditionString();
+    }
+    out += "\n";
+    for (const std::string& child : n.children) {
+      IQS_ASSIGN_OR_RETURN(const TypeNode* child_node, Get(child));
+      IQS_RETURN_IF_ERROR(self(self, *child_node, indent + 1));
+    }
+    return Status::Ok();
+  };
+  IQS_RETURN_IF_ERROR(render(render, *node, 0));
+  return out;
+}
+
+}  // namespace iqs

@@ -1,0 +1,82 @@
+#ifndef IQS_KER_TYPE_HIERARCHY_H_
+#define IQS_KER_TYPE_HIERARCHY_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rules/clause.h"
+
+namespace iqs {
+
+// One node of a KER type hierarchy (paper §2, Figure 2). A subtype can
+// carry a *derivation specification* — the with-clause of
+// `SSBN isa SUBMARINE with ShipType = "SSBN"` — stored as a point/range
+// Clause. Subtypes introduced by a `contains` definition form a disjoint
+// partition of the parent.
+struct TypeNode {
+  std::string name;
+  std::string parent;  // empty for root object types
+  std::optional<Clause> derivation;
+  std::vector<std::string> children;  // in definition order
+  bool disjoint_partition = false;    // set on children of a `contains`
+};
+
+// The forest of type hierarchies over all object types. Type inference
+// (paper §4) traverses this structure: forward steps move to a derived
+// subtype; generalization moves to supertypes.
+class TypeHierarchy {
+ public:
+  TypeHierarchy() = default;
+
+  // Registers a root object type; idempotent.
+  Status AddRoot(const std::string& name);
+
+  // Registers `sub isa super [with derivation]`. `super` must exist;
+  // creates `sub`.
+  Status AddIsa(const std::string& sub, const std::string& super,
+                std::optional<Clause> derivation,
+                bool disjoint_partition = false);
+
+  bool Contains(const std::string& name) const;
+  Result<const TypeNode*> Get(const std::string& name) const;
+
+  // Replaces the derivation specification of an existing type.
+  Status SetDerivation(const std::string& name, Clause derivation);
+
+  // Proper supertypes of `name`, nearest first.
+  Result<std::vector<std::string>> SupertypesOf(const std::string& name) const;
+  // All proper subtypes, breadth-first.
+  Result<std::vector<std::string>> SubtypesOf(const std::string& name) const;
+  // The root of the hierarchy `name` belongs to.
+  Result<std::string> RootOf(const std::string& name) const;
+  // True when `ancestor` equals `name` or is a proper supertype of it.
+  bool IsAOrSubtypeOf(const std::string& name,
+                      const std::string& ancestor) const;
+
+  // Finds the subtype whose derivation clause matches: same attribute
+  // (SameAttribute semantics) and the derivation interval *contains* the
+  // given interval. Used to attach isa readings to induced rules ("Type =
+  // SSBN" -> "x isa SSBN") and to recognize type conditions in queries.
+  // Returns the most specific match (deepest node); NotFound otherwise.
+  Result<std::string> FindByDerivation(const Clause& clause) const;
+
+  // All type names, roots first then definition order.
+  std::vector<std::string> AllTypes() const;
+  std::vector<std::string> Roots() const;
+
+  // ASCII rendering of one hierarchy, Figure-2 style.
+  Result<std::string> RenderTree(const std::string& root) const;
+
+ private:
+  int DepthOf(const std::string& name) const;
+
+  std::map<std::string, TypeNode> nodes_;  // key: lower-cased name
+  std::vector<std::string> order_;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_KER_TYPE_HIERARCHY_H_

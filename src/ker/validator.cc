@@ -1,0 +1,140 @@
+#include "ker/validator.h"
+
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace iqs {
+
+std::string ValidationIssue::ToString() const {
+  return relation + "[" + std::to_string(row) + "]: " + message;
+}
+
+namespace {
+
+void Report(std::vector<ValidationIssue>* issues, const std::string& relation,
+            size_t row, std::string message) {
+  issues->push_back(ValidationIssue{relation, row, std::move(message)});
+}
+
+}  // namespace
+
+Result<std::vector<ValidationIssue>> ValidateDatabase(
+    const Database& db, const KerCatalog& catalog) {
+  std::vector<ValidationIssue> issues;
+
+  // Key sets of every object type's relation, for referential checks.
+  std::map<std::string, std::set<std::string>> keys_of;  // lower(type) -> keys
+  for (const std::string& type_name : catalog.ObjectTypeNames()) {
+    if (!db.Contains(type_name)) continue;
+    IQS_ASSIGN_OR_RETURN(const ObjectTypeDef* keyed_def,
+                         catalog.GetObjectType(type_name));
+    IQS_ASSIGN_OR_RETURN(const Relation* rel, db.Get(type_name));
+    std::vector<std::string> key_attrs;
+    for (const KerAttribute& attr : keyed_def->attributes) {
+      if (attr.is_key) key_attrs.push_back(attr.name);
+    }
+    if (key_attrs.size() != 1) continue;  // composite keys not referenced
+    auto column = rel->Column(key_attrs[0]);
+    if (!column.ok()) continue;
+    std::set<std::string>& keys = keys_of[ToLower(type_name)];
+    for (const Value& v : *column) {
+      if (!v.is_null()) keys.insert(v.ToString());
+    }
+  }
+
+  for (const std::string& type_name : catalog.ObjectTypeNames()) {
+    if (!db.Contains(type_name)) continue;
+    IQS_ASSIGN_OR_RETURN(const ObjectTypeDef* def,
+                         catalog.GetObjectType(type_name));
+    IQS_ASSIGN_OR_RETURN(const Relation* rel, db.Get(type_name));
+
+    // Map KER attributes to relation columns by name (the relation may
+    // order columns differently, as Appendix C does for CLASS).
+    struct BoundAttr {
+      const KerAttribute* attr;
+      size_t column;
+      bool is_object_domain;
+    };
+    std::vector<BoundAttr> bound;
+    for (const KerAttribute& attr : def->attributes) {
+      auto idx = rel->schema().IndexOf(attr.name);
+      if (!idx.ok()) {
+        Report(&issues, rel->name(), 0,
+               "schema mismatch: attribute '" + attr.name +
+                   "' missing from the relation");
+        continue;
+      }
+      auto domain = catalog.domains().Get(attr.domain);
+      bool is_object = domain.ok() && (*domain)->is_object_domain;
+      bound.push_back(BoundAttr{&attr, *idx, is_object});
+    }
+
+    for (size_t r = 0; r < rel->size(); ++r) {
+      const Tuple& row = rel->row(r);
+      // Domain checks + referential integrity.
+      for (const BoundAttr& b : bound) {
+        const Value& v = row.at(b.column);
+        if (b.is_object_domain) {
+          if (v.is_null()) continue;
+          auto it = keys_of.find(ToLower(b.attr->domain));
+          if (it != keys_of.end() && it->second.count(v.ToString()) == 0) {
+            Report(&issues, rel->name(), r,
+                   "dangling reference: " + b.attr->name + " = " +
+                       v.ToString() + " has no " + b.attr->domain + " key");
+          }
+          continue;
+        }
+        Status s = catalog.domains().CheckValue(b.attr->domain, v);
+        if (!s.ok()) {
+          Report(&issues, rel->name(), r,
+                 b.attr->name + ": " + s.message());
+        }
+      }
+      // With-constraints.
+      for (const KerConstraint& constraint : def->constraints) {
+        if (constraint.kind == KerConstraint::Kind::kDomainRange) {
+          auto idx =
+              rel->schema().IndexOf(constraint.domain_clause.BaseAttribute());
+          if (!idx.ok()) continue;
+          const Value& v = row.at(*idx);
+          if (v.is_null()) continue;
+          bool ok;
+          if (!constraint.allowed_set.empty()) {
+            ok = false;
+            for (const Value& allowed : constraint.allowed_set) {
+              if (allowed == v) ok = true;
+            }
+          } else {
+            ok = constraint.domain_clause.Satisfies(v);
+          }
+          if (!ok) {
+            Report(&issues, rel->name(), r,
+                   "violates '" + constraint.ToString() + "'");
+          }
+          continue;
+        }
+        // Constraint rules: single LHS clause, attributes local to this
+        // relation (role-qualified inter-object rules are skipped).
+        const Rule& rule = constraint.rule;
+        if (rule.lhs.size() != 1) continue;
+        if (!constraint.roles.empty() && constraint.roles.size() > 1) continue;
+        auto lhs_idx = rel->schema().IndexOf(rule.lhs[0].BaseAttribute());
+        auto rhs_idx =
+            rel->schema().IndexOf(rule.rhs.clause.BaseAttribute());
+        if (!lhs_idx.ok() || !rhs_idx.ok()) continue;
+        const Value& x = row.at(*lhs_idx);
+        const Value& y = row.at(*rhs_idx);
+        if (x.is_null() || y.is_null()) continue;
+        if (rule.lhs[0].Satisfies(x) && !rule.rhs.clause.Satisfies(y)) {
+          Report(&issues, rel->name(), r,
+                 "violates declared rule '" + rule.Body() + "'");
+        }
+      }
+    }
+  }
+  return issues;
+}
+
+}  // namespace iqs

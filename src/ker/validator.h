@@ -1,0 +1,42 @@
+#ifndef IQS_KER_VALIDATOR_H_
+#define IQS_KER_VALIDATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "ker/catalog.h"
+#include "relational/database.h"
+
+namespace iqs {
+
+// Validation of an extensional database against its KER schema: the
+// with-constraints are integrity constraints (paper §1 cites their
+// classical enforcement role), so a conforming EDB must satisfy them.
+// The validator checks, for every object type with a relation of the
+// same name:
+//  * each attribute value against its (possibly derived) domain —
+//    basic type, CHAR length bound, range/set specs along the isa chain;
+//  * each kDomainRange with-constraint;
+//  * each declared constraint *rule*: rows satisfying a rule's LHS must
+//    satisfy its RHS (checked for single-clause intra-object rules whose
+//    attributes resolve in the relation);
+//  * referential integrity of object-domain attributes: every non-null
+//    value must appear as a key of the referenced object type's relation.
+
+struct ValidationIssue {
+  std::string relation;
+  size_t row = 0;  // 0-based row index
+  std::string message;
+
+  std::string ToString() const;
+};
+
+// Scans the whole database; returns every violation found (empty means
+// conforming). Relations without a matching object type are ignored
+// (rule meta-relations, temporaries).
+Result<std::vector<ValidationIssue>> ValidateDatabase(
+    const Database& db, const KerCatalog& catalog);
+
+}  // namespace iqs
+
+#endif  // IQS_KER_VALIDATOR_H_

@@ -1,0 +1,106 @@
+#ifndef IQS_QUEL_QUEL_AST_H_
+#define IQS_QUEL_QUEL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/predicate.h"
+#include "relational/value.h"
+
+namespace iqs {
+
+// AST for the QUEL subset the paper's prototype is written in (§5.2.1
+// shows the Rule Induction Algorithm as QUEL statements against INGRES).
+// Supported statements:
+//
+//   range of r is SUBMARINE
+//   retrieve [into S] [unique] (r.Y, r.X) [where qual] [sort by r.Y]
+//   delete s [where qual]
+//   append to S (X = 1, Y = "a")
+//
+// QUEL's tuple-variable semantics: a retrieve ranges over all
+// combinations of the tuple variables mentioned anywhere in the
+// statement; the qualification filters combinations; the target list
+// projects. A delete removes those tuples of the deleted variable for
+// which SOME combination of the other variables satisfies the
+// qualification (this is what step 2's anti-join delete relies on).
+
+// r.Attr.
+struct QuelAttrRef {
+  std::string variable;
+  std::string attribute;
+
+  std::string ToString() const { return variable + "." + attribute; }
+};
+
+// One target-list element: [name =] r.Attr. The result column name
+// defaults to the attribute name.
+struct QuelTarget {
+  std::string name;  // empty -> attribute name
+  QuelAttrRef ref;
+
+  const std::string& effective_name() const {
+    return name.empty() ? ref.attribute : name;
+  }
+};
+
+// Qualification expression tree.
+struct QuelExpr {
+  enum class Kind { kComparison, kAnd, kOr, kNot };
+  Kind kind = Kind::kComparison;
+
+  // kComparison operands: attribute refs and/or constants.
+  struct Operand {
+    bool is_attr = false;
+    QuelAttrRef attr;
+    Value constant;
+    std::string raw;  // literal spelling, for CHAR coercion
+  };
+  CompareOp op = CompareOp::kEq;
+  Operand lhs;
+  Operand rhs;
+
+  std::shared_ptr<QuelExpr> left;
+  std::shared_ptr<QuelExpr> right;  // null for kNot
+};
+
+using QuelExprPtr = std::shared_ptr<QuelExpr>;
+
+struct QuelRangeStatement {
+  std::string variable;
+  std::string relation;
+};
+
+struct QuelRetrieveStatement {
+  std::string into;  // empty -> anonymous result
+  bool unique = false;
+  std::vector<QuelTarget> targets;
+  QuelExprPtr where;  // may be null
+  std::vector<QuelAttrRef> sort_by;
+};
+
+struct QuelDeleteStatement {
+  std::string variable;
+  QuelExprPtr where;  // may be null (deletes everything)
+};
+
+struct QuelAppendStatement {
+  std::string relation;
+  std::vector<std::string> attributes;
+  std::vector<Value> values;
+  std::vector<std::string> raw;  // literal spellings
+};
+
+struct QuelStatement {
+  enum class Kind { kRange, kRetrieve, kDelete, kAppend };
+  Kind kind = Kind::kRange;
+  QuelRangeStatement range;
+  QuelRetrieveStatement retrieve;
+  QuelDeleteStatement del;
+  QuelAppendStatement append;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_QUEL_QUEL_AST_H_

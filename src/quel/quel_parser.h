@@ -1,0 +1,21 @@
+#ifndef IQS_QUEL_QUEL_PARSER_H_
+#define IQS_QUEL_QUEL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "quel/quel_ast.h"
+
+namespace iqs {
+
+// Parses one QUEL statement, or a whole script of newline/semicolon-
+// separated statements. Keywords (range, of, is, retrieve, into, unique,
+// where, sort, by, delete, append, to, and, or, not) are
+// case-insensitive; string literals use double quotes (the paper's
+// style) or single quotes.
+Result<QuelStatement> ParseQuelStatement(const std::string& text);
+Result<std::vector<QuelStatement>> ParseQuelScript(const std::string& text);
+
+}  // namespace iqs
+
+#endif  // IQS_QUEL_QUEL_PARSER_H_

@@ -1,0 +1,169 @@
+#include "relational/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace iqs {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string RelationToCsv(const Relation& relation) {
+  std::string out;
+  const Schema& schema = relation.schema();
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (i > 0) out += ",";
+    out += QuoteField(schema.attribute(i).name);
+  }
+  out += "\n";
+  for (const Tuple& t : relation.rows()) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) out += ",";
+      out += QuoteField(t.at(i).ToString());
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsvText(
+    const std::string& csv) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  size_t i = 0;
+  auto end_field = [&] {
+    row.push_back(field);
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(row);
+    row.clear();
+  };
+  while (i < csv.size()) {
+    char c = csv[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < csv.size() && csv[i + 1] == '"') {
+          field += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (field.empty() && !field_started) {
+          in_quotes = true;
+          field_started = true;
+        } else {
+          return Status::ParseError("unexpected quote mid-field at offset " +
+                                    std::to_string(i));
+        }
+        ++i;
+        break;
+      case ',':
+        end_field();
+        ++i;
+        break;
+      case '\r':
+        ++i;
+        break;
+      case '\n':
+        end_row();
+        ++i;
+        break;
+      default:
+        field += c;
+        field_started = true;
+        ++i;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted field");
+  }
+  if (field_started || !row.empty() || !field.empty()) {
+    end_row();
+  }
+  return rows;
+}
+
+Result<Relation> RelationFromCsv(const std::string& name, const Schema& schema,
+                                 const std::string& csv) {
+  IQS_ASSIGN_OR_RETURN(auto rows, ParseCsvText(csv));
+  if (rows.empty()) {
+    return Status::ParseError("CSV is empty; expected a header row");
+  }
+  const std::vector<std::string>& header = rows[0];
+  if (header.size() != schema.size()) {
+    return Status::ParseError(
+        "CSV header arity " + std::to_string(header.size()) +
+        " does not match schema arity " + std::to_string(schema.size()));
+  }
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (!EqualsIgnoreCase(header[i], schema.attribute(i).name)) {
+      return Status::ParseError("CSV header column " + std::to_string(i) +
+                                " is '" + header[i] + "', expected '" +
+                                schema.attribute(i).name + "'");
+    }
+  }
+  Relation out(name, schema);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    IQS_RETURN_IF_ERROR(out.InsertText(rows[r]));
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Relation& relation, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  file << RelationToCsv(relation);
+  if (!file) {
+    return Status::Internal("write to '" + path + "' failed");
+  }
+  return Status::Ok();
+}
+
+Result<Relation> ReadCsvFile(const std::string& name, const Schema& schema,
+                             const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::NotFound("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return RelationFromCsv(name, schema, buffer.str());
+}
+
+}  // namespace iqs

@@ -1,0 +1,37 @@
+#ifndef IQS_RELATIONAL_CSV_H_
+#define IQS_RELATIONAL_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "relational/relation.h"
+
+namespace iqs {
+
+// RFC-4180-style CSV serialization for Relations. Used to relocate a
+// database together with its rule relations (paper §5.2.2): a relation and
+// its induced knowledge round-trip through plain files.
+
+// Serializes `relation` with a header row. Fields containing comma, quote,
+// or newline are quoted; quotes are doubled.
+std::string RelationToCsv(const Relation& relation);
+
+// Parses CSV text into a relation named `name` with the given `schema`.
+// The header row must match the schema attribute names (case-insensitive).
+// Values are parsed with Value::FromText per the schema types.
+Result<Relation> RelationFromCsv(const std::string& name, const Schema& schema,
+                                 const std::string& csv);
+
+// File-based variants.
+Status WriteCsvFile(const Relation& relation, const std::string& path);
+Result<Relation> ReadCsvFile(const std::string& name, const Schema& schema,
+                             const std::string& path);
+
+// Splits one CSV document into rows of fields, honoring quoting. Exposed
+// for tests.
+Result<std::vector<std::vector<std::string>>> ParseCsvText(
+    const std::string& csv);
+
+}  // namespace iqs
+
+#endif  // IQS_RELATIONAL_CSV_H_

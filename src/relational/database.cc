@@ -1,0 +1,113 @@
+#include "relational/database.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace iqs {
+
+Result<Relation*> Database::CreateRelation(const std::string& name,
+                                           Schema schema) {
+  std::string key = ToLower(name);
+  if (relations_.count(key) > 0) {
+    return Status::AlreadyExists("relation '" + name + "' already exists");
+  }
+  auto relation = std::make_unique<Relation>(name, std::move(schema));
+  Relation* ptr = relation.get();
+  relations_[key] = std::move(relation);
+  creation_order_.push_back(name);
+  return ptr;
+}
+
+Status Database::AddRelation(Relation relation) {
+  std::string key = ToLower(relation.name());
+  if (relations_.count(key) > 0) {
+    return Status::AlreadyExists("relation '" + relation.name() +
+                                 "' already exists");
+  }
+  creation_order_.push_back(relation.name());
+  relations_[key] = std::make_unique<Relation>(std::move(relation));
+  return Status::Ok();
+}
+
+Result<const Relation*> Database::Get(const std::string& name) const {
+  auto it = relations_.find(ToLower(name));
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  return const_cast<const Relation*>(it->second.get());
+}
+
+Result<Relation*> Database::GetMutable(const std::string& name) {
+  auto it = relations_.find(ToLower(name));
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  // Handing out mutable access may change rows underneath any snapshot
+  // index; drop them.
+  InvalidateIndexes(it->first);
+  return it->second.get();
+}
+
+bool Database::Contains(const std::string& name) const {
+  return relations_.count(ToLower(name)) > 0;
+}
+
+Status Database::Drop(const std::string& name) {
+  auto it = relations_.find(ToLower(name));
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  std::string stored_name = it->second->name();
+  InvalidateIndexes(it->first);
+  relations_.erase(it);
+  creation_order_.erase(
+      std::remove_if(creation_order_.begin(), creation_order_.end(),
+                     [&](const std::string& n) {
+                       return EqualsIgnoreCase(n, stored_name);
+                     }),
+      creation_order_.end());
+  return Status::Ok();
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  return creation_order_;
+}
+
+void Database::InvalidateIndexes(const std::string& lower_name) {
+  auto it = indexes_.lower_bound({lower_name, ""});
+  while (it != indexes_.end() && it->first.first == lower_name) {
+    it = indexes_.erase(it);
+  }
+}
+
+Status Database::CreateIndex(const std::string& relation,
+                             const std::string& attribute) {
+  auto it = relations_.find(ToLower(relation));
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named '" + relation + "'");
+  }
+  IQS_ASSIGN_OR_RETURN(SortedIndex index,
+                       SortedIndex::Build(*it->second, attribute));
+  indexes_.insert_or_assign({it->first, ToLower(attribute)},
+                            std::move(index));
+  return Status::Ok();
+}
+
+const SortedIndex* Database::GetIndex(const std::string& relation,
+                                      const std::string& attribute) const {
+  auto it = indexes_.find({ToLower(relation), ToLower(attribute)});
+  return it == indexes_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Database::IndexedAttributes(
+    const std::string& relation) const {
+  std::vector<std::string> out;
+  std::string key = ToLower(relation);
+  for (const auto& [pair, index] : indexes_) {
+    if (pair.first == key) out.push_back(index.attribute());
+  }
+  return out;
+}
+
+}  // namespace iqs

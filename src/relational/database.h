@@ -1,0 +1,74 @@
+#ifndef IQS_RELATIONAL_DATABASE_H_
+#define IQS_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/index.h"
+#include "relational/relation.h"
+
+namespace iqs {
+
+// The extensional database (EDB, paper §4): a catalog of named relations.
+// Relation names are case-insensitive; the creation spelling is preserved.
+class Database {
+ public:
+  Database() = default;
+
+  // Databases own their relations and are not copyable.
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  // Creates an empty relation; AlreadyExists if the name is taken.
+  Result<Relation*> CreateRelation(const std::string& name, Schema schema);
+
+  // Adds a fully built relation under its own name.
+  Status AddRelation(Relation relation);
+
+  Result<const Relation*> Get(const std::string& name) const;
+  Result<Relation*> GetMutable(const std::string& name);
+  bool Contains(const std::string& name) const;
+
+  Status Drop(const std::string& name);
+
+  // Names in creation order.
+  std::vector<std::string> RelationNames() const;
+
+  size_t size() const { return relations_.size(); }
+
+  // ---- secondary indexes ---------------------------------------------
+
+  // Builds (or rebuilds) a sorted index over `attribute` of `relation`.
+  // The SQL executor uses registered indexes to replace full scans for
+  // single-table point/range restrictions.
+  Status CreateIndex(const std::string& relation,
+                     const std::string& attribute);
+
+  // The index for (relation, attribute), or null when none is
+  // registered. Indexes are snapshots: GetMutable and Drop invalidate
+  // every index of the touched relation (conservative but safe).
+  const SortedIndex* GetIndex(const std::string& relation,
+                              const std::string& attribute) const;
+
+  // Names of indexed attributes of `relation`.
+  std::vector<std::string> IndexedAttributes(
+      const std::string& relation) const;
+
+ private:
+  void InvalidateIndexes(const std::string& lower_name);
+
+  // Keyed by lower-cased name.
+  std::map<std::string, std::unique_ptr<Relation>> relations_;
+  std::vector<std::string> creation_order_;
+  // Keyed by (lower relation, lower attribute).
+  std::map<std::pair<std::string, std::string>, SortedIndex> indexes_;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_RELATIONAL_DATABASE_H_

@@ -1,0 +1,78 @@
+#include "relational/date.h"
+
+#include <cstdio>
+
+namespace iqs {
+
+bool Date::IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int Date::DaysInMonth(int year, int month) {
+  static constexpr int kDays[12] = {31, 28, 31, 30, 31, 30,
+                                    31, 31, 30, 31, 30, 31};
+  if (month < 1 || month > 12) return 0;
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+Result<Date> Date::Create(int year, int month, int day) {
+  if (year == 0) {
+    return Status::InvalidArgument("year 0 does not exist");
+  }
+  if (month < 1 || month > 12) {
+    return Status::InvalidArgument("month out of range: " +
+                                   std::to_string(month));
+  }
+  if (day < 1 || day > DaysInMonth(year, month)) {
+    return Status::InvalidArgument("day out of range: " + std::to_string(day));
+  }
+  return Date(year, month, day);
+}
+
+Result<Date> Date::FromString(const std::string& text) {
+  int y = 0, m = 0, d = 0;
+  char tail = '\0';
+  int matched = std::sscanf(text.c_str(), "%d-%d-%d%c", &y, &m, &d, &tail);
+  if (matched != 3) {
+    return Status::ParseError("expected YYYY-MM-DD, got '" + text + "'");
+  }
+  return Create(y, m, d);
+}
+
+namespace {
+// Days from 0000-03-01 to year/month/day using the civil-from-days
+// algorithm (Howard Hinnant's chrono paper); shift so 1970-01-01 == 0.
+int64_t CivilToDays(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+}  // namespace
+
+int64_t Date::ToEpochDays() const { return CivilToDays(year_, month_, day_); }
+
+Date Date::FromEpochDays(int64_t z) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  return Date(static_cast<int>(y + (m <= 2)), static_cast<int>(m),
+              static_cast<int>(d));
+}
+
+std::string Date::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year_, month_, day_);
+  return buf;
+}
+
+}  // namespace iqs

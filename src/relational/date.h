@@ -1,0 +1,66 @@
+#ifndef IQS_RELATIONAL_DATE_H_
+#define IQS_RELATIONAL_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace iqs {
+
+// A Gregorian calendar date. KER provides `date` as one of the basic
+// domains (paper §2); we implement it as a validated y/m/d triple with a
+// total order so date attributes participate in interval rules like any
+// other ordered attribute.
+class Date {
+ public:
+  // Constructs 1970-01-01.
+  Date() : year_(1970), month_(1), day_(1) {}
+
+  // Returns an error when the triple is not a real calendar date
+  // (month out of 1..12, day out of range for the month, year 0).
+  static Result<Date> Create(int year, int month, int day);
+
+  // Parses "YYYY-MM-DD".
+  static Result<Date> FromString(const std::string& text);
+
+  int year() const { return year_; }
+  int month() const { return month_; }
+  int day() const { return day_; }
+
+  // Days since 1970-01-01 (negative before). Used as the ordering key and
+  // for distance computations in run construction.
+  int64_t ToEpochDays() const;
+  static Date FromEpochDays(int64_t days);
+
+  // "YYYY-MM-DD".
+  std::string ToString() const;
+
+  static bool IsLeapYear(int year);
+  static int DaysInMonth(int year, int month);
+
+ private:
+  Date(int year, int month, int day)
+      : year_(year), month_(month), day_(day) {}
+
+  int year_;
+  int month_;
+  int day_;
+};
+
+inline bool operator==(const Date& a, const Date& b) {
+  return a.year() == b.year() && a.month() == b.month() && a.day() == b.day();
+}
+inline bool operator!=(const Date& a, const Date& b) { return !(a == b); }
+inline bool operator<(const Date& a, const Date& b) {
+  return a.ToEpochDays() < b.ToEpochDays();
+}
+inline bool operator<=(const Date& a, const Date& b) {
+  return a.ToEpochDays() <= b.ToEpochDays();
+}
+inline bool operator>(const Date& a, const Date& b) { return b < a; }
+inline bool operator>=(const Date& a, const Date& b) { return b <= a; }
+
+}  // namespace iqs
+
+#endif  // IQS_RELATIONAL_DATE_H_

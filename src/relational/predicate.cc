@@ -1,0 +1,137 @@
+#include "relational/predicate.h"
+
+namespace iqs {
+
+const char* CompareOpSymbol(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Result<bool> ApplyCompare(CompareOp op, const Value& lhs, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return false;
+  if (!lhs.ComparableWith(rhs)) {
+    return Status::TypeError(std::string("cannot compare ") +
+                             ValueTypeName(lhs.type()) + " with " +
+                             ValueTypeName(rhs.type()));
+  }
+  int c = lhs.Compare(rhs);
+  switch (op) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+  }
+  return Status::Internal("unreachable compare op");
+}
+
+std::string ConstantExpr::ToString(const Schema*) const {
+  if (value_.type() == ValueType::kString) {
+    return "'" + value_.ToString() + "'";
+  }
+  return value_.ToString();
+}
+
+Result<Value> ColumnExpr::Eval(const Tuple& tuple) const {
+  if (index_ >= tuple.size()) {
+    return Status::Internal("column index " + std::to_string(index_) +
+                            " out of range for tuple of arity " +
+                            std::to_string(tuple.size()));
+  }
+  return tuple.at(index_);
+}
+
+std::string ColumnExpr::ToString(const Schema* schema) const {
+  if (schema != nullptr && index_ < schema->size()) {
+    return schema->attribute(index_).name;
+  }
+  return "$" + std::to_string(index_);
+}
+
+Result<bool> ComparePredicate::Eval(const Tuple& tuple) const {
+  IQS_ASSIGN_OR_RETURN(Value l, lhs_->Eval(tuple));
+  IQS_ASSIGN_OR_RETURN(Value r, rhs_->Eval(tuple));
+  return ApplyCompare(op_, l, r);
+}
+
+std::string ComparePredicate::ToString(const Schema* schema) const {
+  return lhs_->ToString(schema) + " " + CompareOpSymbol(op_) + " " +
+         rhs_->ToString(schema);
+}
+
+Result<bool> AndPredicate::Eval(const Tuple& tuple) const {
+  IQS_ASSIGN_OR_RETURN(bool l, lhs_->Eval(tuple));
+  if (!l) return false;
+  return rhs_->Eval(tuple);
+}
+
+std::string AndPredicate::ToString(const Schema* schema) const {
+  return "(" + lhs_->ToString(schema) + " AND " + rhs_->ToString(schema) + ")";
+}
+
+Result<bool> OrPredicate::Eval(const Tuple& tuple) const {
+  IQS_ASSIGN_OR_RETURN(bool l, lhs_->Eval(tuple));
+  if (l) return true;
+  return rhs_->Eval(tuple);
+}
+
+std::string OrPredicate::ToString(const Schema* schema) const {
+  return "(" + lhs_->ToString(schema) + " OR " + rhs_->ToString(schema) + ")";
+}
+
+Result<bool> NotPredicate::Eval(const Tuple& tuple) const {
+  IQS_ASSIGN_OR_RETURN(bool v, inner_->Eval(tuple));
+  return !v;
+}
+
+std::string NotPredicate::ToString(const Schema* schema) const {
+  return "NOT " + inner_->ToString(schema);
+}
+
+ExprPtr MakeConstant(Value value) {
+  return std::make_shared<ConstantExpr>(std::move(value));
+}
+ExprPtr MakeColumn(size_t index) { return std::make_shared<ColumnExpr>(index); }
+PredicatePtr MakeTrue() { return std::make_shared<TruePredicate>(); }
+PredicatePtr MakeCompare(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<ComparePredicate>(op, std::move(lhs),
+                                            std::move(rhs));
+}
+PredicatePtr MakeAnd(PredicatePtr lhs, PredicatePtr rhs) {
+  return std::make_shared<AndPredicate>(std::move(lhs), std::move(rhs));
+}
+PredicatePtr MakeOr(PredicatePtr lhs, PredicatePtr rhs) {
+  return std::make_shared<OrPredicate>(std::move(lhs), std::move(rhs));
+}
+PredicatePtr MakeNot(PredicatePtr inner) {
+  return std::make_shared<NotPredicate>(std::move(inner));
+}
+
+Result<PredicatePtr> MakeColumnCompare(const Schema& schema,
+                                       const std::string& column,
+                                       CompareOp op, Value constant) {
+  IQS_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(column));
+  return MakeCompare(op, MakeColumn(idx), MakeConstant(std::move(constant)));
+}
+
+}  // namespace iqs

@@ -1,0 +1,57 @@
+#include "relational/schema.h"
+
+#include "common/string_util.h"
+
+namespace iqs {
+
+Schema::Schema(std::vector<AttributeDef> attributes)
+    : attributes_(std::move(attributes)) {}
+
+Result<Schema> Schema::Create(std::vector<AttributeDef> attributes) {
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (attributes[i].name.empty()) {
+      return Status::InvalidArgument("attribute name must not be empty");
+    }
+    for (size_t j = i + 1; j < attributes.size(); ++j) {
+      if (EqualsIgnoreCase(attributes[i].name, attributes[j].name)) {
+        return Status::AlreadyExists("duplicate attribute name '" +
+                                     attributes[i].name + "'");
+      }
+    }
+  }
+  return Schema(std::move(attributes));
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (EqualsIgnoreCase(attributes_[i].name, name)) return i;
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+bool Schema::Contains(const std::string& name) const {
+  return IndexOf(name).ok();
+}
+
+std::vector<size_t> Schema::KeyIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].is_key) out.push_back(i);
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += ":";
+    out += ValueTypeName(attributes_[i].type);
+    if (attributes_[i].is_key) out += " key";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace iqs

@@ -1,0 +1,55 @@
+#ifndef IQS_RELATIONAL_SCHEMA_H_
+#define IQS_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/value.h"
+
+namespace iqs {
+
+// One attribute of a relation schema.
+struct AttributeDef {
+  std::string name;
+  ValueType type = ValueType::kString;
+  bool is_key = false;  // member of the primary key
+
+  friend bool operator==(const AttributeDef&, const AttributeDef&) = default;
+};
+
+// An ordered list of uniquely named attributes. Attribute name lookup is
+// case-insensitive (SQL convention); the stored spelling is preserved for
+// display.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<AttributeDef> attributes);
+
+  // Returns an error on duplicate attribute names (case-insensitive).
+  static Result<Schema> Create(std::vector<AttributeDef> attributes);
+
+  size_t size() const { return attributes_.size(); }
+  bool empty() const { return attributes_.empty(); }
+  const AttributeDef& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+
+  // Index of the attribute named `name`, or NotFound.
+  Result<size_t> IndexOf(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+  // Indices of attributes with is_key set.
+  std::vector<size_t> KeyIndices() const;
+
+  // "(Id:string key, Name:string, Displacement:integer)".
+  std::string ToString() const;
+
+  friend bool operator==(const Schema&, const Schema&) = default;
+
+ private:
+  std::vector<AttributeDef> attributes_;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_RELATIONAL_SCHEMA_H_

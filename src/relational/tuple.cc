@@ -1,0 +1,31 @@
+#include "relational/tuple.h"
+
+namespace iqs {
+
+Tuple Tuple::Concat(const Tuple& left, const Tuple& right) {
+  std::vector<Value> values;
+  values.reserve(left.size() + right.size());
+  values.insert(values.end(), left.values().begin(), left.values().end());
+  values.insert(values.end(), right.values().begin(), right.values().end());
+  return Tuple(std::move(values));
+}
+
+std::string Tuple::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += "|";
+    out += values_[i].ToString();
+  }
+  return out;
+}
+
+bool operator<(const Tuple& a, const Tuple& b) {
+  size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    int c = a.at(i).Compare(b.at(i));
+    if (c != 0) return c < 0;
+  }
+  return a.size() < b.size();
+}
+
+}  // namespace iqs

@@ -1,0 +1,46 @@
+#ifndef IQS_RELATIONAL_TUPLE_H_
+#define IQS_RELATIONAL_TUPLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace iqs {
+
+// A row of values. Tuples are plain data; conformance to a Schema is
+// checked where tuples enter a Relation.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  Value& at(size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  // Concatenation of two tuples, used by joins.
+  static Tuple Concat(const Tuple& left, const Tuple& right);
+
+  // Pipe-separated rendering: "SSBN730|Rhode Island|0101".
+  std::string ToString() const;
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.values_ == b.values_;
+  }
+
+  // Lexicographic order by the value total order; usable in std::sort/map.
+  friend bool operator<(const Tuple& a, const Tuple& b);
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_RELATIONAL_TUPLE_H_

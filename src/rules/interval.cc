@@ -1,0 +1,159 @@
+#include "rules/interval.h"
+
+namespace iqs {
+
+Result<Interval> Interval::Closed(Value lo, Value hi) {
+  if (!lo.ComparableWith(hi)) {
+    return Status::TypeError("interval bounds are not comparable");
+  }
+  if (lo > hi) {
+    return Status::InvalidArgument("interval lower bound " + lo.ToString() +
+                                   " exceeds upper bound " + hi.ToString());
+  }
+  return Interval(std::move(lo), false, std::move(hi), false);
+}
+
+Interval Interval::Point(Value v) {
+  Value copy = v;
+  return Interval(std::move(copy), false, std::move(v), false);
+}
+
+Interval Interval::AtLeast(Value lo, bool open) {
+  return Interval(std::move(lo), open, std::nullopt, false);
+}
+
+Interval Interval::AtMost(Value hi, bool open) {
+  return Interval(std::nullopt, false, std::move(hi), open);
+}
+
+Result<Interval> Interval::FromCompare(CompareOp op, Value constant) {
+  switch (op) {
+    case CompareOp::kEq:
+      return Point(std::move(constant));
+    case CompareOp::kLt:
+      return AtMost(std::move(constant), /*open=*/true);
+    case CompareOp::kLe:
+      return AtMost(std::move(constant), /*open=*/false);
+    case CompareOp::kGt:
+      return AtLeast(std::move(constant), /*open=*/true);
+    case CompareOp::kGe:
+      return AtLeast(std::move(constant), /*open=*/false);
+    case CompareOp::kNe:
+      return Status::InvalidArgument(
+          "'!=' does not describe a single interval");
+  }
+  return Status::Internal("unreachable compare op");
+}
+
+bool Interval::IsPoint() const {
+  return lo_.has_value() && hi_.has_value() && *lo_ == *hi_ && !lo_open_ &&
+         !hi_open_;
+}
+
+bool Interval::IsEmpty() const {
+  if (!lo_.has_value() || !hi_.has_value()) return false;
+  int c = lo_->Compare(*hi_);
+  if (c > 0) return true;
+  if (c == 0) return lo_open_ || hi_open_;
+  return false;
+}
+
+bool Interval::Contains(const Value& v) const {
+  if (v.is_null()) return false;
+  if (lo_.has_value()) {
+    int c = v.Compare(*lo_);
+    if (c < 0 || (c == 0 && lo_open_)) return false;
+  }
+  if (hi_.has_value()) {
+    int c = v.Compare(*hi_);
+    if (c > 0 || (c == 0 && hi_open_)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Compares two lower bounds: negative when `a` admits strictly more values
+// (is further left) than `b`. nullopt = -inf.
+int CompareLowerBounds(const std::optional<Value>& a, bool a_open,
+                       const std::optional<Value>& b, bool b_open) {
+  if (!a.has_value() && !b.has_value()) return 0;
+  if (!a.has_value()) return -1;
+  if (!b.has_value()) return 1;
+  int c = a->Compare(*b);
+  if (c != 0) return c;
+  if (a_open == b_open) return 0;
+  return a_open ? 1 : -1;  // closed bound admits the endpoint => further left
+}
+
+// Symmetric for upper bounds: positive when `a` admits more values (is
+// further right) than `b`. nullopt = +inf.
+int CompareUpperBounds(const std::optional<Value>& a, bool a_open,
+                       const std::optional<Value>& b, bool b_open) {
+  if (!a.has_value() && !b.has_value()) return 0;
+  if (!a.has_value()) return 1;
+  if (!b.has_value()) return -1;
+  int c = a->Compare(*b);
+  if (c != 0) return c;
+  if (a_open == b_open) return 0;
+  return a_open ? -1 : 1;  // closed bound admits the endpoint => further right
+}
+
+}  // namespace
+
+bool Interval::ContainsInterval(const Interval& other) const {
+  if (other.IsEmpty()) return true;
+  if (IsEmpty()) return false;
+  // this.lo must be <= other.lo and this.hi >= other.hi in the bound order.
+  if (CompareLowerBounds(lo_, lo_open_, other.lo_, other.lo_open_) > 0) {
+    return false;
+  }
+  if (CompareUpperBounds(hi_, hi_open_, other.hi_, other.hi_open_) < 0) {
+    return false;
+  }
+  return true;
+}
+
+Interval Interval::Intersection(const Interval& other) const {
+  std::optional<Value> lo = lo_;
+  bool lo_open = lo_open_;
+  if (CompareLowerBounds(other.lo_, other.lo_open_, lo_, lo_open_) > 0) {
+    lo = other.lo_;
+    lo_open = other.lo_open_;
+  }
+  std::optional<Value> hi = hi_;
+  bool hi_open = hi_open_;
+  if (CompareUpperBounds(other.hi_, other.hi_open_, hi_, hi_open_) < 0) {
+    hi = other.hi_;
+    hi_open = other.hi_open_;
+  }
+  return Interval(std::move(lo), lo_open, std::move(hi), hi_open);
+}
+
+bool Interval::Intersects(const Interval& other) const {
+  return !Intersection(other).IsEmpty();
+}
+
+Interval Interval::ClipTo(const Value& domain_lo,
+                          const Value& domain_hi) const {
+  Interval domain(domain_lo, false, domain_hi, false);
+  return Intersection(domain);
+}
+
+std::string Interval::ToString() const {
+  if (IsPoint()) return "= " + lo_->ToString();
+  std::string out;
+  out += (lo_open_ || !lo_.has_value()) ? "(" : "[";
+  out += lo_.has_value() ? lo_->ToString() : "-inf";
+  out += ", ";
+  out += hi_.has_value() ? hi_->ToString() : "+inf";
+  out += (hi_open_ || !hi_.has_value()) ? ")" : "]";
+  return out;
+}
+
+bool operator==(const Interval& a, const Interval& b) {
+  return a.lo_ == b.lo_ && a.hi_ == b.hi_ && a.lo_open_ == b.lo_open_ &&
+         a.hi_open_ == b.hi_open_;
+}
+
+}  // namespace iqs

@@ -1,0 +1,84 @@
+#ifndef IQS_RULES_INTERVAL_H_
+#define IQS_RULES_INTERVAL_H_
+
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "relational/predicate.h"
+#include "relational/value.h"
+
+namespace iqs {
+
+// An interval over the Value total order. Rule clauses in the paper are
+// always closed ("lvalue <= attribute <= uvalue", §5.2.2), but query
+// conditions can be strict ("Displacement > 8000"), so each bound carries
+// an open flag. A missing bound means unbounded on that side.
+class Interval {
+ public:
+  // (-inf, +inf).
+  Interval() = default;
+
+  // [lo, hi] (closed). lo must be <= hi.
+  static Result<Interval> Closed(Value lo, Value hi);
+  // [v, v].
+  static Interval Point(Value v);
+  // [lo, +inf) or (lo, +inf).
+  static Interval AtLeast(Value lo, bool open = false);
+  // (-inf, hi] or (-inf, hi).
+  static Interval AtMost(Value hi, bool open = false);
+  static Interval All() { return Interval(); }
+
+  // Builds the interval of values satisfying `attr op constant`.
+  // kNe is not representable as one interval and returns InvalidArgument.
+  static Result<Interval> FromCompare(CompareOp op, Value constant);
+
+  const std::optional<Value>& lo() const { return lo_; }
+  const std::optional<Value>& hi() const { return hi_; }
+  bool lo_open() const { return lo_open_; }
+  bool hi_open() const { return hi_open_; }
+
+  bool IsUnboundedBelow() const { return !lo_.has_value(); }
+  bool IsUnboundedAbove() const { return !hi_.has_value(); }
+  bool IsPoint() const;
+
+  // True when no value can satisfy the interval (e.g. (5, 5]).
+  bool IsEmpty() const;
+
+  bool Contains(const Value& v) const;
+
+  // True when every value in `other` is also in *this (other ⊆ this).
+  // Empty intervals are contained in everything.
+  bool ContainsInterval(const Interval& other) const;
+
+  bool Intersects(const Interval& other) const;
+
+  // The largest interval contained in both.
+  Interval Intersection(const Interval& other) const;
+
+  // Clips this interval to [domain_lo, domain_hi] (closed). Used for
+  // active-domain clipping before subsumption tests (DESIGN.md §4).
+  Interval ClipTo(const Value& domain_lo, const Value& domain_hi) const;
+
+  // Human-readable form: "[7250, 30000]", "(8000, +inf)", "= 42".
+  std::string ToString() const;
+
+  friend bool operator==(const Interval& a, const Interval& b);
+
+ private:
+  Interval(std::optional<Value> lo, bool lo_open, std::optional<Value> hi,
+           bool hi_open)
+      : lo_(std::move(lo)),
+        hi_(std::move(hi)),
+        lo_open_(lo_open),
+        hi_open_(hi_open) {}
+
+  std::optional<Value> lo_;
+  std::optional<Value> hi_;
+  bool lo_open_ = false;
+  bool hi_open_ = false;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_RULES_INTERVAL_H_

@@ -1,0 +1,270 @@
+#include "rules/rule_relation.h"
+
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace iqs {
+
+namespace {
+
+constexpr double kNegInfCode = -1.0;
+constexpr double kPosInfCode = -2.0;
+
+struct AttrKey {
+  std::string name;   // qualified attribute name as written in clauses
+  ValueType type = ValueType::kString;
+
+  bool operator<(const AttrKey& other) const {
+    if (name != other.name) return name < other.name;
+    return static_cast<int>(type) < static_cast<int>(other.type);
+  }
+};
+
+ValueType ClauseValueType(const Clause& clause) {
+  if (clause.interval().lo().has_value()) {
+    return clause.interval().lo()->type();
+  }
+  if (clause.interval().hi().has_value()) {
+    return clause.interval().hi()->type();
+  }
+  return ValueType::kString;
+}
+
+}  // namespace
+
+Schema RuleRelSchema() {
+  return Schema({{"RuleNo", ValueType::kInt, false},
+                 {"Role", ValueType::kString, false},
+                 {"Lvalue", ValueType::kReal, false},
+                 {"Att_no", ValueType::kInt, false},
+                 {"Uvalue", ValueType::kReal, false}});
+}
+
+Schema AttrMapSchema() {
+  return Schema({{"Att_no", ValueType::kInt, false},
+                 {"Value", ValueType::kReal, false},
+                 {"RealValue", ValueType::kString, false}});
+}
+
+Schema AttrTableSchema() {
+  return Schema({{"Att_no", ValueType::kInt, false},
+                 {"AttName", ValueType::kString, false},
+                 {"AttType", ValueType::kString, false}});
+}
+
+Schema RuleMetaSchema() {
+  return Schema({{"RuleNo", ValueType::kInt, false},
+                 {"Scheme", ValueType::kString, false},
+                 {"SourceRel", ValueType::kString, false},
+                 {"Support", ValueType::kInt, false},
+                 {"IsaType", ValueType::kString, false},
+                 {"IsaVar", ValueType::kString, false},
+                 {"Complete", ValueType::kInt, false}});
+}
+
+Result<RuleRelations> EncodeRules(const RuleSet& rules) {
+  // Pass 1: collect, per attribute, the set of bound values used anywhere.
+  std::map<AttrKey, std::set<Value>> values_by_attr;
+  auto collect = [&](const Clause& clause) {
+    AttrKey key{clause.attribute(), ClauseValueType(clause)};
+    auto& bucket = values_by_attr[key];  // ensure attribute registers even
+                                         // for fully unbounded clauses
+    if (clause.interval().lo().has_value()) {
+      bucket.insert(*clause.interval().lo());
+    }
+    if (clause.interval().hi().has_value()) {
+      bucket.insert(*clause.interval().hi());
+    }
+  };
+  for (const Rule& rule : rules.rules()) {
+    for (const Clause& c : rule.lhs) collect(c);
+    collect(rule.rhs.clause);
+  }
+
+  // Assign attribute numbers in name order and value codes in ascending
+  // value order (1.00, 2.00, ... as in the paper's example).
+  std::map<AttrKey, int64_t> attr_no;
+  std::map<AttrKey, std::map<Value, double>> code_of;
+  int64_t next_attr = 0;
+  RuleRelations out{Relation(kRuleRelName, RuleRelSchema()),
+                    Relation(kAttrMapName, AttrMapSchema()),
+                    Relation(kAttrTableName, AttrTableSchema()),
+                    Relation(kRuleMetaName, RuleMetaSchema())};
+  for (const auto& [key, values] : values_by_attr) {
+    attr_no[key] = next_attr;
+    out.attr_table.AppendUnchecked(Tuple({Value::Int(next_attr),
+                                          Value::String(key.name),
+                                          Value::String(ValueTypeName(key.type))}));
+    double code = 1.0;
+    for (const Value& v : values) {
+      code_of[key][v] = code;
+      out.attr_map.AppendUnchecked(Tuple({Value::Int(next_attr),
+                                          Value::Real(code),
+                                          Value::String(v.ToString())}));
+      code += 1.0;
+    }
+    ++next_attr;
+  }
+
+  // Pass 2: emit one RULE_REL row per clause plus one RULE_META row per
+  // rule.
+  auto emit_clause = [&](int64_t rule_no, const char* role,
+                         const Clause& clause) -> Status {
+    AttrKey key{clause.attribute(), ClauseValueType(clause)};
+    auto it = attr_no.find(key);
+    if (it == attr_no.end()) {
+      return Status::Internal("attribute '" + clause.attribute() +
+                              "' missing from encoding tables");
+    }
+    if (clause.interval().lo_open() || clause.interval().hi_open()) {
+      return Status::InvalidArgument(
+          "rule relations encode closed intervals only; clause " +
+          clause.ToConditionString() + " has an open bound");
+    }
+    double lo_code = kNegInfCode;
+    double hi_code = kPosInfCode;
+    if (clause.interval().lo().has_value()) {
+      lo_code = code_of[key][*clause.interval().lo()];
+    }
+    if (clause.interval().hi().has_value()) {
+      hi_code = code_of[key][*clause.interval().hi()];
+    }
+    out.rule_rel.AppendUnchecked(Tuple({Value::Int(rule_no),
+                                        Value::String(role),
+                                        Value::Real(lo_code),
+                                        Value::Int(it->second),
+                                        Value::Real(hi_code)}));
+    return Status::Ok();
+  };
+
+  for (const Rule& rule : rules.rules()) {
+    for (const Clause& c : rule.lhs) {
+      IQS_RETURN_IF_ERROR(emit_clause(rule.id, "L", c));
+    }
+    IQS_RETURN_IF_ERROR(emit_clause(rule.id, "R", rule.rhs.clause));
+    out.rule_meta.AppendUnchecked(
+        Tuple({Value::Int(rule.id), Value::String(rule.scheme),
+               Value::String(rule.source_relation), Value::Int(rule.support),
+               Value::String(rule.rhs.isa_type),
+               Value::String(rule.rhs.isa_variable),
+               Value::Int(rule.family_complete ? 1 : 0)}));
+  }
+  return out;
+}
+
+Result<RuleSet> DecodeRules(const RuleRelations& relations) {
+  // Attribute tables.
+  struct AttrInfo {
+    std::string name;
+    ValueType type = ValueType::kString;
+    std::map<double, std::string> value_of_code;
+  };
+  std::map<int64_t, AttrInfo> attrs;
+  for (const Tuple& t : relations.attr_table.rows()) {
+    AttrInfo info;
+    info.name = t.at(1).AsString();
+    IQS_ASSIGN_OR_RETURN(info.type, ValueTypeFromName(t.at(2).AsString()));
+    attrs[t.at(0).AsInt()] = std::move(info);
+  }
+  for (const Tuple& t : relations.attr_map.rows()) {
+    auto it = attrs.find(t.at(0).AsInt());
+    if (it == attrs.end()) {
+      return Status::InvalidArgument("ATTR_MAP references unknown Att_no " +
+                                     t.at(0).ToString());
+    }
+    it->second.value_of_code[t.at(1).AsReal()] = t.at(2).AsString();
+  }
+
+  auto decode_clause = [&](const Tuple& t) -> Result<Clause> {
+    auto it = attrs.find(t.at(3).AsInt());
+    if (it == attrs.end()) {
+      return Status::InvalidArgument("RULE_REL references unknown Att_no " +
+                                     t.at(3).ToString());
+    }
+    const AttrInfo& info = it->second;
+    auto decode_bound = [&](double code) -> Result<std::optional<Value>> {
+      if (code == kNegInfCode || code == kPosInfCode) {
+        return std::optional<Value>();
+      }
+      auto vit = info.value_of_code.find(code);
+      if (vit == info.value_of_code.end()) {
+        return Status::InvalidArgument("no ATTR_MAP entry for code " +
+                                       FormatDouble(code) + " of attribute " +
+                                       info.name);
+      }
+      IQS_ASSIGN_OR_RETURN(Value v, Value::FromText(info.type, vit->second));
+      return std::optional<Value>(std::move(v));
+    };
+    IQS_ASSIGN_OR_RETURN(std::optional<Value> lo,
+                         decode_bound(t.at(2).AsReal()));
+    IQS_ASSIGN_OR_RETURN(std::optional<Value> hi,
+                         decode_bound(t.at(4).AsReal()));
+    if (lo.has_value() && hi.has_value()) {
+      IQS_ASSIGN_OR_RETURN(Interval iv, Interval::Closed(*lo, *hi));
+      return Clause(info.name, std::move(iv));
+    }
+    if (lo.has_value()) return Clause(info.name, Interval::AtLeast(*lo));
+    if (hi.has_value()) return Clause(info.name, Interval::AtMost(*hi));
+    return Clause(info.name, Interval::All());
+  };
+
+  // Group clauses by rule number.
+  std::map<int64_t, Rule> by_no;
+  for (const Tuple& t : relations.rule_rel.rows()) {
+    int64_t no = t.at(0).AsInt();
+    const std::string& role = t.at(1).AsString();
+    IQS_ASSIGN_OR_RETURN(Clause clause, decode_clause(t));
+    Rule& rule = by_no[no];
+    rule.id = static_cast<int>(no);
+    if (EqualsIgnoreCase(role, "L")) {
+      rule.lhs.push_back(std::move(clause));
+    } else if (EqualsIgnoreCase(role, "R")) {
+      rule.rhs.clause = std::move(clause);
+    } else {
+      return Status::InvalidArgument("RULE_REL row has unknown Role '" +
+                                     role + "'");
+    }
+  }
+  for (const Tuple& t : relations.rule_meta.rows()) {
+    auto it = by_no.find(t.at(0).AsInt());
+    if (it == by_no.end()) {
+      return Status::InvalidArgument("RULE_META references unknown RuleNo " +
+                                     t.at(0).ToString());
+    }
+    it->second.scheme = t.at(1).AsString();
+    it->second.source_relation = t.at(2).AsString();
+    it->second.support = t.at(3).AsInt();
+    it->second.rhs.isa_type = t.at(4).AsString();
+    it->second.rhs.isa_variable = t.at(5).AsString();
+    it->second.family_complete = !t.at(6).is_null() && t.at(6).AsInt() != 0;
+  }
+
+  RuleSet out;
+  for (auto& [no, rule] : by_no) {
+    out.Add(std::move(rule));
+  }
+  return out;
+}
+
+Status StoreRuleRelations(const RuleRelations& relations, Database* db) {
+  for (const Relation* rel : {&relations.rule_rel, &relations.attr_map,
+                              &relations.attr_table, &relations.rule_meta}) {
+    if (db->Contains(rel->name())) {
+      IQS_RETURN_IF_ERROR(db->Drop(rel->name()));
+    }
+    IQS_RETURN_IF_ERROR(db->AddRelation(*rel));
+  }
+  return Status::Ok();
+}
+
+Result<RuleRelations> LoadRuleRelations(const Database& db) {
+  IQS_ASSIGN_OR_RETURN(const Relation* rule_rel, db.Get(kRuleRelName));
+  IQS_ASSIGN_OR_RETURN(const Relation* attr_map, db.Get(kAttrMapName));
+  IQS_ASSIGN_OR_RETURN(const Relation* attr_table, db.Get(kAttrTableName));
+  IQS_ASSIGN_OR_RETURN(const Relation* rule_meta, db.Get(kRuleMetaName));
+  return RuleRelations{*rule_rel, *attr_map, *attr_table, *rule_meta};
+}
+
+}  // namespace iqs

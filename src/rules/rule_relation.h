@@ -1,0 +1,64 @@
+#ifndef IQS_RULES_RULE_RELATION_H_
+#define IQS_RULES_RULE_RELATION_H_
+
+#include "relational/database.h"
+#include "relational/relation.h"
+#include "rules/rule.h"
+
+namespace iqs {
+
+// Rule relations (paper §5.2.2): induced rules are stored *in the
+// database* as meta-relations so that "a database and its associated rule
+// relations can be relocated together".
+//
+// The paper's representation is reproduced exactly:
+//   RULE_REL  = (RuleNo, Role, Lvalue, Att_no, Uvalue)
+//     one row per clause; Role is "L" (premise) or "R" (consequence);
+//     Lvalue/Uvalue are real-number codes into the value map.
+//   ATTR_MAP  = (Att_no, Value, RealValue)
+//     maps each attribute's codes (1.00, 2.00, ... assigned in ascending
+//     value order, so codes preserve the attribute order) back to the
+//     real value's text.
+// The paper relies on an INGRES system table to map Att_no to attribute
+// names/types; our substitute is an explicit third relation:
+//   ATTR_TABLE = (Att_no, AttName, AttType)
+// And one extension relation carries per-rule metadata the inference
+// engine uses (scheme, support, the isa reading):
+//   RULE_META = (RuleNo, Scheme, SourceRel, Support, IsaType, IsaVar)
+struct RuleRelations {
+  Relation rule_rel;
+  Relation attr_map;
+  Relation attr_table;
+  Relation rule_meta;
+};
+
+// Conventional relation names used when storing into a Database.
+inline constexpr const char kRuleRelName[] = "RULE_REL";
+inline constexpr const char kAttrMapName[] = "ATTR_MAP";
+inline constexpr const char kAttrTableName[] = "ATTR_TABLE";
+inline constexpr const char kRuleMetaName[] = "RULE_META";
+
+// Schemas of the four meta-relations.
+Schema RuleRelSchema();
+Schema AttrMapSchema();
+Schema AttrTableSchema();
+Schema RuleMetaSchema();
+
+// Encodes `rules` into the meta-relation representation. Unbounded clause
+// ends (possible for hand-written rules; induced rules are always closed)
+// are encoded with the sentinel codes -1.0 (-inf) and -2.0 (+inf).
+Result<RuleRelations> EncodeRules(const RuleSet& rules);
+
+// Decodes the meta-relations back into a RuleSet. Rules come back in
+// RuleNo order with identical clauses, scheme, support and isa reading:
+// Decode(Encode(s)) == s.
+Result<RuleSet> DecodeRules(const RuleRelations& relations);
+
+// Stores the four meta-relations into `db` under the conventional names
+// (dropping any previous versions), or loads them back.
+Status StoreRuleRelations(const RuleRelations& relations, Database* db);
+Result<RuleRelations> LoadRuleRelations(const Database& db);
+
+}  // namespace iqs
+
+#endif  // IQS_RULES_RULE_RELATION_H_

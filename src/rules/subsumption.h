@@ -1,0 +1,74 @@
+#ifndef IQS_RULES_SUBSUMPTION_H_
+#define IQS_RULES_SUBSUMPTION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rules/clause.h"
+#include "rules/rule.h"
+
+namespace iqs {
+
+// Subsumption tests used by type inference (paper §4).
+//
+// Forward inference applies a rule when its LHS *subsumes* the query
+// condition: every database instance satisfying the condition also
+// satisfies the LHS, hence the RHS holds of every answer. The paper's
+// Example 1 subsumes "Displacement > 8000" under the induced range
+// [7250, 30000]; since 30000 is merely the observed maximum, the
+// condition is first clipped to the attribute's active domain (the
+// observed [min, max]) before the containment test.
+
+// How attribute names are matched across clauses.
+enum class AttributeMatch {
+  // Exact case-insensitive match, or one side unqualified matching the
+  // other side's base name. Used where qualifiers are authoritative
+  // (derivation specs, declared constraints).
+  kStrict,
+  // Base names compare case-insensitively regardless of qualifiers
+  // ("y.Sonar" ~ "INSTALL.Sonar" ~ "Sonar"). Used by the inference
+  // engine, where the same conceptual attribute surfaces under relation-,
+  // role-, and view-qualified spellings (join attributes share their
+  // value space by construction).
+  kBaseName,
+};
+
+// True when `general` admits every value `specific` admits over the same
+// attribute.
+bool ClauseSubsumes(const Clause& general, const Clause& specific);
+
+// Like ClauseSubsumes, but `specific` is first clipped to the closed
+// active-domain interval [domain_lo, domain_hi].
+bool ClauseSubsumesClipped(const Clause& general, const Clause& specific,
+                           const Value& domain_lo, const Value& domain_hi);
+
+// True when the rule's whole LHS subsumes the conjunction `conditions`:
+// every LHS clause must subsume some condition clause over the same
+// attribute (conditions not mentioned by the LHS are extra restrictions on
+// the answers and never hurt soundness of the forward step).
+// `active_domains` optionally supplies, per LHS attribute, the closed
+// observed domain used for clipping; entries are matched by attribute.
+struct AttributeDomain {
+  std::string attribute;
+  Value lo;
+  Value hi;
+};
+
+bool LhsSubsumesConditions(
+    const Rule& rule, const std::vector<Clause>& conditions,
+    const std::vector<AttributeDomain>& active_domains,
+    AttributeMatch match = AttributeMatch::kStrict);
+
+// True when two attribute names refer to the same attribute under `match`
+// (see AttributeMatch).
+bool SameAttribute(const std::string& a, const std::string& b,
+                   AttributeMatch match = AttributeMatch::kStrict);
+
+// Looks up the active domain registered for `attribute`, if any.
+const AttributeDomain* FindDomain(
+    const std::vector<AttributeDomain>& domains, const std::string& attribute);
+
+}  // namespace iqs
+
+#endif  // IQS_RULES_SUBSUMPTION_H_

@@ -1,0 +1,133 @@
+#include "sql/sql_ast.h"
+
+namespace iqs {
+
+SqlOperand SqlOperand::Column(ColumnRef ref) {
+  SqlOperand op;
+  op.kind = Kind::kColumn;
+  op.column = std::move(ref);
+  return op;
+}
+
+SqlOperand SqlOperand::Literal(Value v, std::string raw) {
+  SqlOperand op;
+  op.kind = Kind::kLiteral;
+  op.literal = std::move(v);
+  op.raw = std::move(raw);
+  return op;
+}
+
+std::string SqlOperand::ToString() const {
+  if (kind == Kind::kColumn) return column.ToString();
+  if (literal.type() == ValueType::kString) {
+    return "'" + literal.ToString() + "'";
+  }
+  return raw.empty() ? literal.ToString() : raw;
+}
+
+std::string SqlExpr::ToString() const {
+  switch (kind) {
+    case Kind::kComparison:
+      return lhs.ToString() + " " + CompareOpSymbol(op) + " " +
+             rhs.ToString();
+    case Kind::kBetween:
+      return lhs.ToString() + " BETWEEN " + low.ToString() + " AND " +
+             high.ToString();
+    case Kind::kAnd:
+      return "(" + left->ToString() + " AND " + right->ToString() + ")";
+    case Kind::kOr:
+      return "(" + left->ToString() + " OR " + right->ToString() + ")";
+    case Kind::kNot:
+      return "NOT " + left->ToString();
+  }
+  return "?";
+}
+
+const char* AggregateFnName(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kNone:
+      return "";
+    case AggregateFn::kCount:
+      return "COUNT";
+    case AggregateFn::kMin:
+      return "MIN";
+    case AggregateFn::kMax:
+      return "MAX";
+    case AggregateFn::kSum:
+      return "SUM";
+    case AggregateFn::kAvg:
+      return "AVG";
+  }
+  return "";
+}
+
+std::string SelectItem::ToString() const {
+  if (!is_aggregate()) return column.ToString();
+  std::string out = AggregateFnName(fn);
+  out += "(";
+  out += star ? "*" : column.ToString();
+  out += ")";
+  return out;
+}
+
+bool SelectStatement::has_aggregates() const {
+  for (const SelectItem& item : select_list) {
+    if (item.is_aggregate()) return true;
+  }
+  return false;
+}
+
+std::string SelectStatement::ToString() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  if (select_all) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < select_list.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += select_list[i].ToString();
+    }
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += from[i].name;
+    if (!from[i].alias.empty() && from[i].alias != from[i].name) {
+      out += " " + from[i].alias;
+    }
+  }
+  if (where != nullptr) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i].ToString();
+    }
+  }
+  if (having != nullptr) out += " HAVING " + having->ToString();
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].column.ToString();
+      if (order_by[i].descending) out += " DESC";
+    }
+  }
+  return out;
+}
+
+std::vector<const SqlExpr*> TopLevelConjuncts(const SqlExpr* expr) {
+  std::vector<const SqlExpr*> out;
+  if (expr == nullptr) return out;
+  if (expr->kind == SqlExpr::Kind::kAnd) {
+    for (const SqlExpr* side : {expr->left.get(), expr->right.get()}) {
+      std::vector<const SqlExpr*> nested = TopLevelConjuncts(side);
+      out.insert(out.end(), nested.begin(), nested.end());
+    }
+    return out;
+  }
+  out.push_back(expr);
+  return out;
+}
+
+}  // namespace iqs

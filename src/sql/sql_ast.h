@@ -1,0 +1,120 @@
+#ifndef IQS_SQL_SQL_AST_H_
+#define IQS_SQL_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/predicate.h"
+#include "relational/value.h"
+
+namespace iqs {
+
+// A (possibly qualified) column reference: SUBMARINE.CLASS, Displacement.
+struct ColumnRef {
+  std::string qualifier;  // table name or alias; empty when unqualified
+  std::string name;
+
+  std::string ToString() const {
+    return qualifier.empty() ? name : qualifier + "." + name;
+  }
+
+  friend bool operator==(const ColumnRef&, const ColumnRef&) = default;
+};
+
+// A scalar operand in a WHERE comparison.
+struct SqlOperand {
+  enum class Kind { kColumn, kLiteral };
+  Kind kind = Kind::kLiteral;
+  ColumnRef column;   // kColumn
+  Value literal;      // kLiteral
+  std::string raw;    // original literal spelling ("0101" stays "0101")
+
+  static SqlOperand Column(ColumnRef ref);
+  static SqlOperand Literal(Value v, std::string raw);
+
+  std::string ToString() const;
+};
+
+// WHERE expression tree.
+struct SqlExpr {
+  enum class Kind { kComparison, kBetween, kAnd, kOr, kNot };
+  Kind kind = Kind::kComparison;
+
+  // kComparison.
+  CompareOp op = CompareOp::kEq;
+  SqlOperand lhs;
+  SqlOperand rhs;
+
+  // kBetween: lhs BETWEEN low AND high (inclusive).
+  SqlOperand low;
+  SqlOperand high;
+
+  // kAnd / kOr / kNot.
+  std::shared_ptr<SqlExpr> left;
+  std::shared_ptr<SqlExpr> right;  // null for kNot
+
+  std::string ToString() const;
+};
+
+using SqlExprPtr = std::shared_ptr<SqlExpr>;
+
+struct TableRef {
+  std::string name;
+  std::string alias;  // defaults to name
+
+  const std::string& effective_name() const {
+    return alias.empty() ? name : alias;
+  }
+};
+
+// Aggregate functions usable in the select list.
+enum class AggregateFn { kNone, kCount, kMin, kMax, kSum, kAvg };
+
+const char* AggregateFnName(AggregateFn fn);
+
+// One select-list element: a plain column, or an aggregate over a column
+// (or COUNT(*)).
+struct SelectItem {
+  AggregateFn fn = AggregateFn::kNone;
+  bool star = false;  // COUNT(*)
+  ColumnRef column;
+
+  bool is_aggregate() const { return fn != AggregateFn::kNone; }
+  // "Name" / "COUNT(*)" / "MIN(Displacement)".
+  std::string ToString() const;
+};
+
+struct OrderItem {
+  ColumnRef column;
+  bool descending = false;
+};
+
+// SELECT [DISTINCT] items FROM tables [WHERE expr]
+// [GROUP BY cols] [ORDER BY items].
+struct SelectStatement {
+  bool distinct = false;
+  bool select_all = false;           // SELECT *
+  std::vector<SelectItem> select_list;
+  std::vector<TableRef> from;
+  SqlExprPtr where;                  // null when absent
+  std::vector<ColumnRef> group_by;
+  // HAVING filters groups. Aggregate references inside it are parsed
+  // into column refs named like the select-list rendering ("COUNT(*)"),
+  // so they must also appear in the select list to be resolvable.
+  SqlExprPtr having;                 // null when absent
+  std::vector<OrderItem> order_by;
+
+  bool has_aggregates() const;
+
+  std::string ToString() const;
+};
+
+// Flattens the top-level AND chain of `expr` into conjuncts (a single
+// non-AND node yields itself). Used by the executor's join planner and by
+// the query processor's condition extraction.
+std::vector<const SqlExpr*> TopLevelConjuncts(const SqlExpr* expr);
+
+}  // namespace iqs
+
+#endif  // IQS_SQL_SQL_AST_H_

@@ -1,0 +1,79 @@
+#ifndef IQS_SQL_SQL_EXECUTOR_H_
+#define IQS_SQL_SQL_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "sql/sql_ast.h"
+
+namespace iqs {
+
+// Executes SELECT statements against a Database, producing the
+// extensional answer (paper §4). The working relation is the join of the
+// FROM tables — equi-join conditions found in the WHERE clause drive a
+// greedy hash-join plan; remaining tables fall back to cross products —
+// filtered by the full WHERE predicate, then projected / deduplicated /
+// sorted.
+class SqlExecutor {
+ public:
+  // `db` must outlive the executor.
+  explicit SqlExecutor(const Database* db) : db_(db) {}
+
+  Result<Relation> Execute(const SelectStatement& stmt) const;
+
+  // Parses and executes.
+  Result<Relation> ExecuteSql(const std::string& sql) const;
+
+  // Observability for the index fast path: when a WHERE conjunct
+  // restricts an indexed column of a FROM table with a literal, the
+  // executor loads only the index-admitted rows instead of the whole
+  // relation (the full WHERE still applies afterwards, so open bounds
+  // may over-approximate safely).
+  struct ExecutionStats {
+    size_t index_prefiltered_tables = 0;
+    size_t base_rows_loaded = 0;  // rows materialized across FROM tables
+  };
+  const ExecutionStats& last_stats() const { return stats_; }
+
+  // Resolves `ref` against a working schema whose attributes are named
+  // "<table-or-alias>.<attr>": qualified refs match exactly; unqualified
+  // refs match by base name and must be unambiguous. Exposed for the
+  // query processor, which binds WHERE conditions the same way.
+  static Result<size_t> ResolveColumn(const Schema& schema,
+                                      const ColumnRef& ref);
+
+ private:
+  // Copies `relation` with attributes renamed "<effective>.<attr>".
+  static Relation QualifyFor(const Relation& relation,
+                             const std::string& effective_name);
+
+  // Hash equi-join of two working relations on the named columns.
+  static Result<Relation> JoinOn(const Relation& left,
+                                 const std::string& left_col,
+                                 const Relation& right,
+                                 const std::string& right_col);
+
+  // Grouping/aggregation over the filtered working relation: used when
+  // the statement has aggregates or a GROUP BY. Plain select items must
+  // appear in the GROUP BY list; an aggregate query without GROUP BY
+  // forms a single group (one output row, even over empty input).
+  static Result<Relation> ExecuteAggregate(const Relation& working,
+                                           const SelectStatement& stmt);
+
+  // Binds a WHERE expression tree to a Predicate over `schema`, coercing
+  // literals to the compared column's type (numeric literals against CHAR
+  // columns keep their spelling: CLASS = 0101 means CLASS = '0101').
+  static Result<PredicatePtr> BindExpr(const Schema& schema,
+                                       const SqlExpr& expr);
+  static Result<ExprPtr> BindOperand(const Schema& schema,
+                                     const SqlOperand& operand,
+                                     const SqlOperand& other);
+
+  const Database* db_;
+  mutable ExecutionStats stats_;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_SQL_SQL_EXECUTOR_H_

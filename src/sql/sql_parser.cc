@@ -1,0 +1,327 @@
+#include "sql/sql_parser.h"
+
+#include "common/string_util.h"
+#include "sql/sql_lexer.h"
+
+namespace iqs {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<SqlToken> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> Run() {
+    IQS_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect());
+    if (Peek().IsSymbol(";")) Advance();
+    if (!AtEnd()) {
+      return Error("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+ private:
+  const SqlToken& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const SqlToken& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == SqlTokenKind::kEnd; }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError("SQL near offset " +
+                              std::to_string(Peek().position) + ": " + msg +
+                              " (at '" + Peek().text + "')");
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (!Peek().IsKeyword(kw)) return Error("expected " + ToUpper(kw));
+    Advance();
+    return Status::Ok();
+  }
+
+  Result<std::string> ExpectIdent(const std::string& what) {
+    if (Peek().kind != SqlTokenKind::kIdent) {
+      return Status::ParseError("SQL near offset " +
+                                std::to_string(Peek().position) +
+                                ": expected " + what);
+    }
+    return Advance().text;
+  }
+
+  static bool IsReserved(const SqlToken& t) {
+    for (const char* kw :
+         {"select", "from", "where", "and", "or", "not", "order", "by",
+          "distinct", "between", "as", "asc", "desc", "group", "having"}) {
+      if (t.IsKeyword(kw)) return true;
+    }
+    return false;
+  }
+
+  static AggregateFn AggregateFor(const SqlToken& t) {
+    if (t.IsKeyword("count")) return AggregateFn::kCount;
+    if (t.IsKeyword("min")) return AggregateFn::kMin;
+    if (t.IsKeyword("max")) return AggregateFn::kMax;
+    if (t.IsKeyword("sum")) return AggregateFn::kSum;
+    if (t.IsKeyword("avg")) return AggregateFn::kAvg;
+    return AggregateFn::kNone;
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    AggregateFn fn = AggregateFor(Peek());
+    if (fn != AggregateFn::kNone && Peek(1).IsSymbol("(")) {
+      item.fn = fn;
+      Advance();  // function name
+      Advance();  // (
+      if (Peek().IsSymbol("*")) {
+        if (fn != AggregateFn::kCount) {
+          return Error("only COUNT accepts '*'");
+        }
+        item.star = true;
+        Advance();
+      } else {
+        IQS_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+      }
+      if (!Peek().IsSymbol(")")) return Error("expected ')'");
+      Advance();
+      return item;
+    }
+    IQS_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+    return item;
+  }
+
+  Result<ColumnRef> ParseColumnRef() {
+    IQS_ASSIGN_OR_RETURN(std::string first, ExpectIdent("a column name"));
+    ColumnRef ref;
+    if (Peek().IsSymbol(".")) {
+      Advance();
+      IQS_ASSIGN_OR_RETURN(std::string second, ExpectIdent("a column name"));
+      ref.qualifier = std::move(first);
+      ref.name = std::move(second);
+    } else {
+      ref.name = std::move(first);
+    }
+    return ref;
+  }
+
+  Result<SelectStatement> ParseSelect() {
+    SelectStatement stmt;
+    IQS_RETURN_IF_ERROR(ExpectKeyword("select"));
+    if (Peek().IsKeyword("distinct")) {
+      Advance();
+      stmt.distinct = true;
+    }
+    if (Peek().IsSymbol("*")) {
+      Advance();
+      stmt.select_all = true;
+    } else {
+      while (true) {
+        IQS_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+        stmt.select_list.push_back(std::move(item));
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    IQS_RETURN_IF_ERROR(ExpectKeyword("from"));
+    while (true) {
+      TableRef table;
+      IQS_ASSIGN_OR_RETURN(table.name, ExpectIdent("a table name"));
+      if (Peek().IsKeyword("as")) {
+        Advance();
+        IQS_ASSIGN_OR_RETURN(table.alias, ExpectIdent("an alias"));
+      } else if (Peek().kind == SqlTokenKind::kIdent && !IsReserved(Peek())) {
+        table.alias = Advance().text;
+      }
+      stmt.from.push_back(std::move(table));
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (Peek().IsKeyword("where")) {
+      Advance();
+      IQS_ASSIGN_OR_RETURN(stmt.where, ParseOr());
+    }
+    if (Peek().IsKeyword("group")) {
+      Advance();
+      IQS_RETURN_IF_ERROR(ExpectKeyword("by"));
+      while (true) {
+        IQS_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+        stmt.group_by.push_back(std::move(ref));
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (Peek().IsKeyword("having")) {
+      Advance();
+      in_having_ = true;
+      auto having = ParseOr();
+      in_having_ = false;
+      if (!having.ok()) return having.status();
+      stmt.having = std::move(having).value();
+    }
+    if (Peek().IsKeyword("order")) {
+      Advance();
+      IQS_RETURN_IF_ERROR(ExpectKeyword("by"));
+      while (true) {
+        OrderItem item;
+        IQS_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+        if (Peek().IsKeyword("desc")) {
+          Advance();
+          item.descending = true;
+        } else if (Peek().IsKeyword("asc")) {
+          Advance();
+        }
+        stmt.order_by.push_back(std::move(item));
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    return stmt;
+  }
+
+  Result<SqlExprPtr> ParseOr() {
+    IQS_ASSIGN_OR_RETURN(SqlExprPtr left, ParseAnd());
+    while (Peek().IsKeyword("or")) {
+      Advance();
+      IQS_ASSIGN_OR_RETURN(SqlExprPtr right, ParseAnd());
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExpr::Kind::kOr;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<SqlExprPtr> ParseAnd() {
+    IQS_ASSIGN_OR_RETURN(SqlExprPtr left, ParseNot());
+    while (Peek().IsKeyword("and")) {
+      Advance();
+      IQS_ASSIGN_OR_RETURN(SqlExprPtr right, ParseNot());
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExpr::Kind::kAnd;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<SqlExprPtr> ParseNot() {
+    if (Peek().IsKeyword("not")) {
+      Advance();
+      IQS_ASSIGN_OR_RETURN(SqlExprPtr inner, ParseNot());
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExpr::Kind::kNot;
+      node->left = std::move(inner);
+      return node;
+    }
+    return ParsePrimary();
+  }
+
+  Result<SqlExprPtr> ParsePrimary() {
+    if (Peek().IsSymbol("(")) {
+      Advance();
+      IQS_ASSIGN_OR_RETURN(SqlExprPtr inner, ParseOr());
+      if (!Peek().IsSymbol(")")) return Error("expected ')'");
+      Advance();
+      return inner;
+    }
+    IQS_ASSIGN_OR_RETURN(SqlOperand lhs, ParseOperand());
+    if (Peek().IsKeyword("between")) {
+      Advance();
+      IQS_ASSIGN_OR_RETURN(SqlOperand low, ParseOperand());
+      IQS_RETURN_IF_ERROR(ExpectKeyword("and"));
+      IQS_ASSIGN_OR_RETURN(SqlOperand high, ParseOperand());
+      auto node = std::make_shared<SqlExpr>();
+      node->kind = SqlExpr::Kind::kBetween;
+      node->lhs = std::move(lhs);
+      node->low = std::move(low);
+      node->high = std::move(high);
+      return node;
+    }
+    CompareOp op;
+    if (Peek().IsSymbol("=")) {
+      op = CompareOp::kEq;
+    } else if (Peek().IsSymbol("!=")) {
+      op = CompareOp::kNe;
+    } else if (Peek().IsSymbol("<=")) {
+      op = CompareOp::kLe;
+    } else if (Peek().IsSymbol(">=")) {
+      op = CompareOp::kGe;
+    } else if (Peek().IsSymbol("<")) {
+      op = CompareOp::kLt;
+    } else if (Peek().IsSymbol(">")) {
+      op = CompareOp::kGt;
+    } else {
+      return Error("expected a comparison operator");
+    }
+    Advance();
+    IQS_ASSIGN_OR_RETURN(SqlOperand rhs, ParseOperand());
+    auto node = std::make_shared<SqlExpr>();
+    node->kind = SqlExpr::Kind::kComparison;
+    node->op = op;
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    return node;
+  }
+
+  Result<SqlOperand> ParseOperand() {
+    const SqlToken& t = Peek();
+    switch (t.kind) {
+      case SqlTokenKind::kIdent: {
+        // Inside HAVING, an aggregate reference becomes a column ref
+        // named like its select-list rendering.
+        if (in_having_ && AggregateFor(t) != AggregateFn::kNone &&
+            Peek(1).IsSymbol("(")) {
+          IQS_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+          return SqlOperand::Column(ColumnRef{"", item.ToString()});
+        }
+        IQS_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+        return SqlOperand::Column(std::move(ref));
+      }
+      case SqlTokenKind::kString: {
+        std::string text = Advance().text;
+        return SqlOperand::Literal(Value::String(text), text);
+      }
+      case SqlTokenKind::kInt: {
+        std::string text = Advance().text;
+        IQS_ASSIGN_OR_RETURN(Value v, Value::FromText(ValueType::kInt, text));
+        return SqlOperand::Literal(std::move(v), text);
+      }
+      case SqlTokenKind::kReal: {
+        std::string text = Advance().text;
+        IQS_ASSIGN_OR_RETURN(Value v, Value::FromText(ValueType::kReal, text));
+        return SqlOperand::Literal(std::move(v), text);
+      }
+      default:
+        return Error("expected a column or literal");
+    }
+  }
+
+  std::vector<SqlToken> tokens_;
+  size_t pos_ = 0;
+  bool in_having_ = false;
+};
+
+}  // namespace
+
+Result<SelectStatement> ParseSelect(const std::string& sql) {
+  IQS_ASSIGN_OR_RETURN(std::vector<SqlToken> tokens, LexSql(sql));
+  Parser parser(std::move(tokens));
+  return parser.Run();
+}
+
+}  // namespace iqs

@@ -1,0 +1,23 @@
+#ifndef IQS_SQL_SQL_PARSER_H_
+#define IQS_SQL_SQL_PARSER_H_
+
+#include <string>
+
+#include "sql/sql_ast.h"
+
+namespace iqs {
+
+// Parses one SELECT statement of the SQL subset:
+//
+//   SELECT [DISTINCT] * | col[, col...]
+//   FROM table [alias][, table [alias]...]
+//   [WHERE <boolean expression over comparisons and BETWEEN>]
+//   [ORDER BY col [ASC|DESC][, ...]]
+//
+// Keywords are case-insensitive; a trailing ';' is accepted. The paper's
+// §6 example queries are all in this subset.
+Result<SelectStatement> ParseSelect(const std::string& sql);
+
+}  // namespace iqs
+
+#endif  // IQS_SQL_SQL_PARSER_H_

@@ -1,0 +1,171 @@
+#include "testbed/employee_db.h"
+
+namespace iqs {
+
+namespace {
+
+struct EmployeeRow {
+  const char* id;
+  const char* name;
+  int age;
+  const char* position;
+  int salary;
+};
+
+// Salary bands: SECRETARY 30000-44000, ENGINEER 60000-89000,
+// MANAGER 95000-140000. Ages are assigned so that, sorted by age, no
+// two adjacent employees share a position — age runs never reach the
+// support threshold and Age schemes prune away entirely.
+constexpr EmployeeRow kEmployees[] = {
+    {"E001", "Ada Moore", 21, "ENGINEER", 72000},
+    {"E002", "Ben Ortiz", 22, "MANAGER", 120000},
+    {"E003", "Cara Diaz", 23, "SECRETARY", 38000},
+    {"E004", "Dan Engel", 24, "ENGINEER", 84000},
+    {"E005", "Eve Faber", 25, "SECRETARY", 31000},
+    {"E006", "Fred Gold", 26, "MANAGER", 140000},
+    {"E007", "Gina Hall", 27, "ENGINEER", 60000},
+    {"E008", "Hugo Iyer", 28, "MANAGER", 95000},
+    {"E009", "Iris Jang", 29, "SECRETARY", 30000},
+    {"E010", "Jack Kent", 30, "ENGINEER", 89000},
+    {"E011", "Kim Lopez", 31, "SECRETARY", 44000},
+    {"E012", "Leo Marsh", 32, "ENGINEER", 78000},
+    {"E013", "Mia North", 33, "MANAGER", 132000},
+    {"E014", "Ned Owens", 34, "ENGINEER", 66000},
+    {"E015", "Opal Park", 35, "SECRETARY", 36000},
+    {"E016", "Pete Quan", 36, "MANAGER", 110000},
+    {"E017", "Rita Sole", 37, "ENGINEER", 64000},
+    {"E018", "Sam Trent", 38, "MANAGER", 128000},
+};
+
+struct DepartmentRow {
+  const char* dept;
+  const char* dept_name;
+  const char* division;
+};
+constexpr DepartmentRow kDepartments[] = {
+    {"D10", "Compilers", "R&D"},
+    {"D20", "Databases", "R&D"},
+    {"D30", "Payroll", "Operations"},
+    {"D40", "Facilities", "Operations"},
+};
+
+struct WorksInRow {
+  const char* emp;
+  const char* dept;
+};
+constexpr WorksInRow kWorksIn[] = {
+    {"E001", "D10"}, {"E002", "D10"}, {"E003", "D30"}, {"E004", "D20"},
+    {"E005", "D40"}, {"E006", "D20"}, {"E007", "D10"}, {"E008", "D30"},
+    {"E009", "D30"}, {"E010", "D20"}, {"E011", "D40"}, {"E012", "D10"},
+    {"E013", "D20"}, {"E014", "D20"}, {"E015", "D30"}, {"E016", "D40"},
+    {"E017", "D10"}, {"E018", "D20"},
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Database>> BuildEmployeeDatabase() {
+  auto db = std::make_unique<Database>();
+  IQS_ASSIGN_OR_RETURN(
+      Relation * employees,
+      db->CreateRelation("EMPLOYEE",
+                         Schema({{"EmpId", ValueType::kString, true},
+                                 {"Name", ValueType::kString, false},
+                                 {"Age", ValueType::kInt, false},
+                                 {"Position", ValueType::kString, false},
+                                 {"Salary", ValueType::kInt, false}})));
+  for (const EmployeeRow& row : kEmployees) {
+    IQS_RETURN_IF_ERROR(employees->Insert(
+        Tuple({Value::String(row.id), Value::String(row.name),
+               Value::Int(row.age), Value::String(row.position),
+               Value::Int(row.salary)})));
+  }
+  IQS_ASSIGN_OR_RETURN(
+      Relation * departments,
+      db->CreateRelation("DEPARTMENT",
+                         Schema({{"Dept", ValueType::kString, true},
+                                 {"DeptName", ValueType::kString, false},
+                                 {"Division", ValueType::kString, false}})));
+  for (const DepartmentRow& row : kDepartments) {
+    IQS_RETURN_IF_ERROR(departments->Insert(
+        Tuple({Value::String(row.dept), Value::String(row.dept_name),
+               Value::String(row.division)})));
+  }
+  IQS_ASSIGN_OR_RETURN(
+      Relation * works_in,
+      db->CreateRelation("WORKS_IN",
+                         Schema({{"Emp", ValueType::kString, true},
+                                 {"Dept", ValueType::kString, false}})));
+  for (const WorksInRow& row : kWorksIn) {
+    IQS_RETURN_IF_ERROR(works_in->Insert(
+        Tuple({Value::String(row.emp), Value::String(row.dept)})));
+  }
+  return db;
+}
+
+Result<std::unique_ptr<KerCatalog>> BuildEmployeeCatalog() {
+  auto catalog = std::make_unique<KerCatalog>();
+  {
+    ObjectTypeDef def;
+    def.name = "EMPLOYEE";
+    def.attributes = {{"EmpId", "CHAR[6]", true},
+                      {"Name", "CHAR[20]", false},
+                      {"Age", "integer", false},
+                      {"Position", "CHAR[12]", false},
+                      {"Salary", "integer", false}};
+    // Declared constraint: Age in [18..65] (the paper's §5.2.2 example
+    // clause "(18, Employee.Age, 65)").
+    KerConstraint age_range;
+    age_range.kind = KerConstraint::Kind::kDomainRange;
+    IQS_ASSIGN_OR_RETURN(
+        age_range.domain_clause,
+        Clause::Range("Age", Value::Int(18), Value::Int(65)));
+    def.constraints.push_back(std::move(age_range));
+    IQS_RETURN_IF_ERROR(catalog->DefineObjectType(std::move(def)));
+  }
+  {
+    ObjectTypeDef def;
+    def.name = "DEPARTMENT";
+    def.attributes = {{"Dept", "CHAR[4]", true},
+                      {"DeptName", "CHAR[20]", false},
+                      {"Division", "CHAR[12]", false}};
+    IQS_RETURN_IF_ERROR(catalog->DefineObjectType(std::move(def)));
+  }
+  {
+    ObjectTypeDef def;
+    def.name = "WORKS_IN";
+    def.attributes = {{"Emp", "EMPLOYEE", true},
+                      {"Dept", "DEPARTMENT", false}};
+    IQS_RETURN_IF_ERROR(catalog->DefineObjectType(std::move(def)));
+  }
+  IQS_RETURN_IF_ERROR(catalog->DefineContains(
+      "EMPLOYEE", {"ENGINEER", "MANAGER", "SECRETARY"}));
+  IQS_RETURN_IF_ERROR(catalog->SetDerivation(
+      "ENGINEER", Clause::Equals("Position", Value::String("ENGINEER"))));
+  IQS_RETURN_IF_ERROR(catalog->SetDerivation(
+      "MANAGER", Clause::Equals("Position", Value::String("MANAGER"))));
+  IQS_RETURN_IF_ERROR(catalog->SetDerivation(
+      "SECRETARY", Clause::Equals("Position", Value::String("SECRETARY"))));
+  // Department hierarchy: divisions partition departments, giving the
+  // WORKS_IN relationship a classification attribute on its second role
+  // (inter-object schemes like x.Position -> y.Division).
+  IQS_RETURN_IF_ERROR(
+      catalog->DefineContains("DEPARTMENT", {"RND_DEPT", "OPS_DEPT"}));
+  IQS_RETURN_IF_ERROR(catalog->SetDerivation(
+      "RND_DEPT", Clause::Equals("Division", Value::String("R&D"))));
+  IQS_RETURN_IF_ERROR(catalog->SetDerivation(
+      "OPS_DEPT", Clause::Equals("Division", Value::String("Operations"))));
+  return catalog;
+}
+
+Result<std::unique_ptr<IqsSystem>> BuildEmployeeSystem() {
+  IQS_ASSIGN_OR_RETURN(std::unique_ptr<Database> db, BuildEmployeeDatabase());
+  IQS_ASSIGN_OR_RETURN(std::unique_ptr<KerCatalog> catalog,
+                       BuildEmployeeCatalog());
+  FormatterOptions options;
+  options.entity_noun = "Employee";
+  options.relationship_phrase = "works in";
+  return IqsSystem::Create(std::move(db), std::move(catalog),
+                           std::move(options));
+}
+
+}  // namespace iqs

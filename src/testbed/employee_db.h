@@ -1,0 +1,28 @@
+#ifndef IQS_TESTBED_EMPLOYEE_DB_H_
+#define IQS_TESTBED_EMPLOYEE_DB_H_
+
+#include <memory>
+
+#include "core/system.h"
+
+namespace iqs {
+
+// A second, non-naval domain exercising the public API end to end (the
+// paper's §5.2.2 uses Employee.Age / Employee.Position in its rule
+// examples). Schema:
+//
+//   EMPLOYEE = (EmpId, Name, Age, Position, Salary)
+//   DEPARTMENT = (Dept, DeptName, Division)
+//   WORKS_IN = (Emp, Dept)
+//
+// Hierarchy: EMPLOYEE contains ENGINEER, MANAGER, SECRETARY (derived over
+// Position). Salaries are banded by position (non-overlapping), so the
+// ILS induces Salary -> Position range rules; ages are uncorrelated, so
+// Age schemes prune away — a useful negative example.
+Result<std::unique_ptr<Database>> BuildEmployeeDatabase();
+Result<std::unique_ptr<KerCatalog>> BuildEmployeeCatalog();
+Result<std::unique_ptr<IqsSystem>> BuildEmployeeSystem();
+
+}  // namespace iqs
+
+#endif  // IQS_TESTBED_EMPLOYEE_DB_H_

@@ -1,0 +1,154 @@
+#include "testbed/fleet_generator.h"
+
+#include <map>
+
+namespace iqs {
+
+const std::vector<FleetTypeSpec>& Table1Specs() {
+  static const std::vector<FleetTypeSpec>* kSpecs =
+      new std::vector<FleetTypeSpec>{
+          {"Subsurface", "SSBN", "Ballistic Nuclear Missile Submarine", 7250,
+           16600},
+          {"Subsurface", "SSN", "Nuclear Submarine", 1720, 6000},
+          {"Surface", "CVN", "Attack Aircraft Carrier", 75700, 81600},
+          {"Surface", "CV", "Aircraft Carrier", 41900, 61000},
+          {"Surface", "BB", "Battleship", 45000, 45000},
+          {"Surface", "CGN", "Guided Nuclear Missile Crusier", 7600, 14200},
+          {"Surface", "CG", "Guided Missile Crusier", 5670, 13700},
+          {"Surface", "CA", "Gun Cruiser", 17000, 17000},
+          {"Surface", "DDG", "Guided Missile Destroyer", 3370, 8300},
+          {"Surface", "DD", "Destroyer", 2425, 7810},
+          {"Surface", "FFG", "Guided Missile Frigate", 3605, 3605},
+          {"Surface", "FF", "Frigate", 2360, 3011},
+      };
+  return *kSpecs;
+}
+
+uint64_t SplitMix64::Next() {
+  state_ += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+int64_t SplitMix64::NextInRange(int64_t lo, int64_t hi) {
+  if (hi <= lo) return lo;
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(Next() % span);
+}
+
+Result<std::unique_ptr<Database>> GenerateFleet(size_t ships_per_type,
+                                                uint64_t seed) {
+  auto db = std::make_unique<Database>();
+  IQS_ASSIGN_OR_RETURN(
+      Relation * ships,
+      db->CreateRelation(
+          "BATTLESHIP", Schema({{"Id", ValueType::kString, true},
+                                {"Name", ValueType::kString, false},
+                                {"Type", ValueType::kString, false},
+                                {"Category", ValueType::kString, false},
+                                {"Displacement", ValueType::kInt, false}})));
+  IQS_ASSIGN_OR_RETURN(
+      Relation * types,
+      db->CreateRelation("SHIPTYPE",
+                         Schema({{"Type", ValueType::kString, true},
+                                 {"TypeName", ValueType::kString, false},
+                                 {"Category", ValueType::kString, false}})));
+  SplitMix64 rng(seed);
+  int hull = 100;
+  for (const FleetTypeSpec& spec : Table1Specs()) {
+    IQS_RETURN_IF_ERROR(types->Insert(Tuple({Value::String(spec.type),
+                                             Value::String(spec.type_name),
+                                             Value::String(spec.category)})));
+    for (size_t i = 0; i < ships_per_type; ++i) {
+      int64_t displacement;
+      if (i == 0) {
+        displacement = spec.displacement_lo;  // force the range endpoints
+      } else if (i == 1 && ships_per_type > 1) {
+        displacement = spec.displacement_hi;
+      } else {
+        displacement =
+            rng.NextInRange(spec.displacement_lo, spec.displacement_hi);
+      }
+      char id[32];
+      std::snprintf(id, sizeof(id), "%s%04d", spec.type, hull);
+      char name[32];
+      std::snprintf(name, sizeof(name), "Hull %d", hull);
+      ++hull;
+      IQS_RETURN_IF_ERROR(
+          ships->Insert(Tuple({Value::String(id), Value::String(name),
+                               Value::String(spec.type),
+                               Value::String(spec.category),
+                               Value::Int(displacement)})));
+    }
+  }
+  return db;
+}
+
+Result<std::unique_ptr<KerCatalog>> BuildFleetCatalog() {
+  auto catalog = std::make_unique<KerCatalog>();
+  {
+    ObjectTypeDef def;
+    def.name = "BATTLESHIP";
+    def.attributes = {{"Id", "CHAR[12]", true},
+                      {"Name", "CHAR[20]", false},
+                      {"Type", "CHAR[4]", false},
+                      {"Category", "CHAR[12]", false},
+                      {"Displacement", "integer", false}};
+    IQS_RETURN_IF_ERROR(catalog->DefineObjectType(std::move(def)));
+  }
+  {
+    ObjectTypeDef def;
+    def.name = "SHIPTYPE";
+    def.attributes = {{"Type", "CHAR[4]", true},
+                      {"TypeName", "CHAR[40]", false},
+                      {"Category", "CHAR[12]", false}};
+    IQS_RETURN_IF_ERROR(catalog->DefineObjectType(std::move(def)));
+  }
+  IQS_RETURN_IF_ERROR(
+      catalog->DefineContains("BATTLESHIP", {"SUBSURFACE", "SURFACE"}));
+  IQS_RETURN_IF_ERROR(catalog->SetDerivation(
+      "SUBSURFACE", Clause::Equals("Category", Value::String("Subsurface"))));
+  IQS_RETURN_IF_ERROR(catalog->SetDerivation(
+      "SURFACE", Clause::Equals("Category", Value::String("Surface"))));
+  for (const FleetTypeSpec& spec : Table1Specs()) {
+    std::string parent =
+        std::string(spec.category) == "Subsurface" ? "SUBSURFACE" : "SURFACE";
+    IQS_RETURN_IF_ERROR(catalog->DefineSubtype(
+        std::string("T_") + spec.type, parent,
+        Clause::Equals("Type", Value::String(spec.type))));
+  }
+  return catalog;
+}
+
+Result<std::vector<TypeCharacteristics>> InduceCharacteristics(
+    const Database& db) {
+  IQS_ASSIGN_OR_RETURN(const Relation* ships, db.Get("BATTLESHIP"));
+  IQS_ASSIGN_OR_RETURN(size_t type_idx, ships->schema().IndexOf("Type"));
+  IQS_ASSIGN_OR_RETURN(size_t disp_idx,
+                       ships->schema().IndexOf("Displacement"));
+  std::map<std::string, TypeCharacteristics> by_type;
+  std::vector<std::string> order;
+  for (const Tuple& t : ships->rows()) {
+    const std::string& type = t.at(type_idx).AsString();
+    int64_t displacement = t.at(disp_idx).AsInt();
+    auto it = by_type.find(type);
+    if (it == by_type.end()) {
+      order.push_back(type);
+      by_type[type] =
+          TypeCharacteristics{type, displacement, displacement};
+    } else {
+      it->second.displacement_lo =
+          std::min(it->second.displacement_lo, displacement);
+      it->second.displacement_hi =
+          std::max(it->second.displacement_hi, displacement);
+    }
+  }
+  std::vector<TypeCharacteristics> out;
+  out.reserve(order.size());
+  for (const std::string& type : order) out.push_back(by_type[type]);
+  return out;
+}
+
+}  // namespace iqs

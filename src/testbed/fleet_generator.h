@@ -1,0 +1,71 @@
+#ifndef IQS_TESTBED_FLEET_GENERATOR_H_
+#define IQS_TESTBED_FLEET_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ker/catalog.h"
+#include "relational/database.h"
+
+namespace iqs {
+
+// Synthetic navy-battleship generator driven by Table 1 of the paper
+// ("Classification Characteristics of Navy Battleships"): 12 ship types
+// in two categories, each with a displacement range. Used for
+//  * experiment E6 (recovering Table 1's ranges by induction),
+//  * the Nc-sweep and scaling benches (E7, E10), where the 24-ship
+//    Appendix C instance is too small.
+
+struct FleetTypeSpec {
+  const char* category;   // "Subsurface" / "Surface"
+  const char* type;       // "SSBN", "CVN", ...
+  const char* type_name;  // "Ballistic Nuclear Missile Submarine", ...
+  int displacement_lo;    // tons, inclusive
+  int displacement_hi;    // tons, inclusive
+};
+
+// The 12 rows of Table 1, in the paper's order.
+const std::vector<FleetTypeSpec>& Table1Specs();
+
+// Generates a fleet database with `ships_per_type` ships of each Table-1
+// type. Relations:
+//   BATTLESHIP = (Id, Name, Type, Category, Displacement)
+//   SHIPTYPE   = (Type, TypeName, Category)
+// Displacements are sampled uniformly from the type's range with both
+// endpoints forced to occur (so induced characteristics can match Table 1
+// exactly); generation is deterministic in `seed`.
+Result<std::unique_ptr<Database>> GenerateFleet(size_t ships_per_type,
+                                                uint64_t seed);
+
+// KER schema for the fleet: hierarchy BATTLESHIP > {SUBSURFACE, SURFACE}
+// (derived over Category) > one subtype per ship type (derived over
+// Type).
+Result<std::unique_ptr<KerCatalog>> BuildFleetCatalog();
+
+// Observed [min, max] displacement per ship type — the induced
+// "classification characteristics" of Table 1.
+struct TypeCharacteristics {
+  std::string type;
+  int64_t displacement_lo = 0;
+  int64_t displacement_hi = 0;
+};
+Result<std::vector<TypeCharacteristics>> InduceCharacteristics(
+    const Database& db);
+
+// A tiny deterministic PRNG (xorshift64*) so benches and tests are
+// reproducible without <random>'s implementation-defined distributions.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+  uint64_t Next();
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_TESTBED_FLEET_GENERATOR_H_

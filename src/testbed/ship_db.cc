@@ -1,0 +1,465 @@
+#include "testbed/ship_db.h"
+
+namespace iqs {
+
+namespace {
+
+struct ShipRow {
+  const char* id;
+  const char* name;
+  const char* cls;
+};
+constexpr ShipRow kShips[] = {
+    {"SSBN130", "Typhoon", "1301"},
+    {"SSBN623", "Nathaniel Hale", "0103"},
+    {"SSBN629", "Daniel Boone", "0103"},
+    {"SSBN635", "Sam Rayburn", "0103"},
+    {"SSBN644", "Lewis and Clark", "0102"},
+    {"SSBN658", "Mariano G. Vallejo", "0102"},
+    {"SSBN730", "Rhode Island", "0101"},
+    {"SSN582", "Bonefish", "0215"},
+    {"SSN584", "Seadragon", "0212"},
+    {"SSN592", "Snook", "0209"},
+    {"SSN601", "Robert E. Lee", "0208"},
+    {"SSN604", "Haddo", "0205"},
+    {"SSN610", "Thomas A. Edison", "0207"},
+    {"SSN614", "Greenling", "0205"},
+    {"SSN648", "Aspro", "0204"},
+    {"SSN660", "Sand Lance", "0204"},
+    {"SSN666", "Hawkbill", "0204"},
+    {"SSN671", "Narwhal", "0203"},
+    {"SSN673", "Flying Fish", "0204"},
+    {"SSN679", "Silversides", "0204"},
+    {"SSN686", "L. Mendel Rivers", "0204"},
+    {"SSN692", "Omaha", "0201"},
+    {"SSN698", "Bremerton", "0201"},
+    {"SSN704", "Baltimore", "0201"},
+};
+
+struct ClassRow {
+  const char* cls;
+  const char* class_name;
+  const char* type;
+  int displacement;
+};
+constexpr ClassRow kClasses[] = {
+    {"0101", "Ohio", "SSBN", 16600},
+    {"0102", "Benjamin Franklin", "SSBN", 7250},
+    {"0103", "Lafayette", "SSBN", 7250},
+    {"0201", "LosAngeles", "SSN", 6000},
+    {"0203", "Narwhal", "SSN", 4450},
+    {"0204", "Sturgeon", "SSN", 3640},
+    {"0205", "Thresher", "SSN", 3750},
+    {"0207", "Ethan Allen", "SSN", 6955},
+    {"0208", "George Washington", "SSN", 6019},
+    {"0209", "Skipjack", "SSN", 3075},
+    {"0212", "Skate", "SSN", 2360},
+    {"0215", "Barbel", "SSN", 2145},
+    {"1301", "Typhoon", "SSBN", 30000},
+};
+
+struct TypeRow {
+  const char* type;
+  const char* type_name;
+};
+constexpr TypeRow kTypes[] = {
+    {"SSBN", "ballistic nuclear missile sub"},
+    {"SSN", "nuclear submarine"},
+};
+
+struct SonarRow {
+  const char* sonar;
+  const char* sonar_type;
+};
+constexpr SonarRow kSonars[] = {
+    {"BQQ-2", "BQQ"},   {"BQQ-5", "BQQ"},   {"BQQ-8", "BQQ"},
+    {"BQS-04", "BQS"},  {"BQS-12", "BQS"},  {"BQS-13", "BQS"},
+    {"BQS-15", "BQS"},  {"TACTAS", "TACTAS"},
+};
+
+struct InstallRow {
+  const char* ship;
+  const char* sonar;
+};
+constexpr InstallRow kInstalls[] = {
+    {"SSBN130", "BQQ-2"},  {"SSBN623", "BQQ-5"},  {"SSBN629", "BQQ-5"},
+    {"SSBN635", "BQS-12"}, {"SSBN644", "BQQ-5"},  {"SSBN658", "BQS-12"},
+    {"SSBN730", "BQQ-5"},  {"SSN582", "BQS-04"},  {"SSN584", "BQS-04"},
+    {"SSN592", "BQS-04"},  {"SSN601", "BQS-04"},  {"SSN604", "BQQ-2"},
+    {"SSN610", "BQQ-5"},   {"SSN614", "BQQ-2"},   {"SSN648", "BQQ-2"},
+    {"SSN660", "BQQ-5"},   {"SSN666", "BQQ-8"},   {"SSN671", "BQQ-2"},
+    {"SSN673", "BQS-12"},  {"SSN679", "BQS-13"},  {"SSN686", "BQQ-2"},
+    {"SSN692", "BQS-15"},  {"SSN698", "TACTAS"},  {"SSN704", "BQQ-5"},
+};
+
+// The SSN class codes present in the hierarchy (Appendix C).
+constexpr const char* kSsnClasses[] = {"0201", "0203", "0204", "0205",
+                                       "0207", "0208", "0209", "0212",
+                                       "0215"};
+constexpr const char* kSsbnClasses[] = {"0101", "0102", "0103", "1301"};
+
+Result<Clause> RangeClause(const std::string& attr, Value lo, Value hi) {
+  return Clause::Range(attr, std::move(lo), std::move(hi));
+}
+
+// Appendix-B constraint rule: if lo <= attr <= hi then rhs_attr = value.
+Result<KerConstraint> MakeConstraintRule(const std::string& lhs_attr,
+                                         Value lo, Value hi,
+                                         const std::string& rhs_attr,
+                                         Value rhs_value,
+                                         std::vector<RoleBinding> roles = {}) {
+  KerConstraint c;
+  c.kind = KerConstraint::Kind::kRule;
+  IQS_ASSIGN_OR_RETURN(Clause lhs,
+                       RangeClause(lhs_attr, std::move(lo), std::move(hi)));
+  c.rule.lhs.push_back(std::move(lhs));
+  c.rule.rhs.clause = Clause::Equals(rhs_attr, std::move(rhs_value));
+  c.rule.scheme = "declared";
+  c.roles = std::move(roles);
+  return c;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<KerCatalog>> BuildShipCatalog() {
+  auto catalog = std::make_unique<KerCatalog>();
+
+  // Domains (Appendix B.1).
+  for (auto [name, parent] :
+       {std::pair<const char*, const char*>{"NAME", "CHAR[20]"},
+        {"CLASS_NAME", "NAME"},
+        {"SHIP_NAME", "NAME"},
+        {"TYPE_NAME", "CHAR[30]"},
+        {"SONAR_NAME", "CHAR[8]"}}) {
+    DomainDef def;
+    def.name = name;
+    def.parent = parent;
+    IQS_RETURN_IF_ERROR(catalog->domains().Define(std::move(def)));
+  }
+
+  // Object types (Appendix B.2). SUBMARINE first so induced rules number
+  // R1.. in the paper's order; its Class attribute forward-references the
+  // CLASS object type.
+  {
+    ObjectTypeDef def;
+    def.name = "SUBMARINE";
+    def.attributes = {{"Id", "CHAR[7]", true},
+                      {"Name", "SHIP_NAME", false},
+                      {"Class", "CLASS", false}};
+    IQS_RETURN_IF_ERROR(catalog->DefineObjectType(std::move(def)));
+  }
+  {
+    ObjectTypeDef def;
+    def.name = "CLASS";
+    def.attributes = {{"Class", "CHAR[4]", true},
+                      {"Type", "TYPE", false},
+                      {"ClassName", "CLASS_NAME", false},
+                      {"Displacement", "integer", false}};
+    // Appendix-B declared constraints (the baseline's knowledge):
+    //   Displacement in [2000..30000]   (Figure 1)
+    //   if "0101" <= Class <= "0103" then Type = "SSBN"
+    //   if "0201" <= Class <= "0216" then Type = "SSN"
+    //   if 2145 <= x.Displacement <= 6955 then x isa SSN
+    //   if 7250 <= x.Displacement <= 30000 then x isa SSBN
+    KerConstraint disp_range;
+    disp_range.kind = KerConstraint::Kind::kDomainRange;
+    IQS_ASSIGN_OR_RETURN(disp_range.domain_clause,
+                         RangeClause("Displacement", Value::Int(2000),
+                                     Value::Int(30000)));
+    def.constraints.push_back(std::move(disp_range));
+    IQS_ASSIGN_OR_RETURN(
+        KerConstraint c1,
+        MakeConstraintRule("Class", Value::String("0101"),
+                           Value::String("0103"), "Type",
+                           Value::String("SSBN")));
+    IQS_ASSIGN_OR_RETURN(
+        KerConstraint c2,
+        MakeConstraintRule("Class", Value::String("0201"),
+                           Value::String("0216"), "Type",
+                           Value::String("SSN")));
+    IQS_ASSIGN_OR_RETURN(
+        KerConstraint c3,
+        MakeConstraintRule("Displacement", Value::Int(2145), Value::Int(6955),
+                           "Type", Value::String("SSN"),
+                           {RoleBinding{"x", "CLASS"}}));
+    IQS_ASSIGN_OR_RETURN(
+        KerConstraint c4,
+        MakeConstraintRule("Displacement", Value::Int(7250),
+                           Value::Int(30000), "Type", Value::String("SSBN"),
+                           {RoleBinding{"x", "CLASS"}}));
+    def.constraints.push_back(std::move(c1));
+    def.constraints.push_back(std::move(c2));
+    def.constraints.push_back(std::move(c3));
+    def.constraints.push_back(std::move(c4));
+    IQS_RETURN_IF_ERROR(catalog->DefineObjectType(std::move(def)));
+  }
+  {
+    ObjectTypeDef def;
+    def.name = "TYPE";
+    def.attributes = {{"Type", "CHAR[4]", true},
+                      {"TypeName", "TYPE_NAME", false}};
+    IQS_RETURN_IF_ERROR(catalog->DefineObjectType(std::move(def)));
+  }
+  {
+    ObjectTypeDef def;
+    def.name = "SONAR";
+    def.attributes = {{"Sonar", "CHAR[8]", true},
+                      {"SonarType", "SONAR_NAME", false}};
+    // Declared structure rules of Appendix B (x isa SONAR):
+    IQS_ASSIGN_OR_RETURN(
+        KerConstraint c1,
+        MakeConstraintRule("Sonar", Value::String("BQQ-2"),
+                           Value::String("BQQ-8"), "SonarType",
+                           Value::String("BQQ"),
+                           {RoleBinding{"x", "SONAR"}}));
+    IQS_ASSIGN_OR_RETURN(
+        KerConstraint c2,
+        MakeConstraintRule("Sonar", Value::String("BQS-04"),
+                           Value::String("BQS-15"), "SonarType",
+                           Value::String("BQS"),
+                           {RoleBinding{"x", "SONAR"}}));
+    IQS_ASSIGN_OR_RETURN(
+        KerConstraint c3,
+        MakeConstraintRule("Sonar", Value::String("TACTAS"),
+                           Value::String("TACTAS"), "SonarType",
+                           Value::String("TACTAS"),
+                           {RoleBinding{"x", "SONAR"}}));
+    def.constraints.push_back(std::move(c1));
+    def.constraints.push_back(std::move(c2));
+    def.constraints.push_back(std::move(c3));
+    IQS_RETURN_IF_ERROR(catalog->DefineObjectType(std::move(def)));
+  }
+  {
+    ObjectTypeDef def;
+    def.name = "INSTALL";
+    def.attributes = {{"Ship", "SUBMARINE", true},
+                      {"Sonar", "SONAR", false}};
+    // Declared inter-object constraints (x isa SUBMARINE, y isa SONAR).
+    std::vector<RoleBinding> roles{RoleBinding{"x", "SUBMARINE"},
+                                   RoleBinding{"y", "SONAR"}};
+    IQS_ASSIGN_OR_RETURN(
+        KerConstraint c1,
+        MakeConstraintRule("x.Class", Value::String("0203"),
+                           Value::String("0203"), "y.SonarType",
+                           Value::String("BQQ"), roles));
+    IQS_ASSIGN_OR_RETURN(
+        KerConstraint c2,
+        MakeConstraintRule("x.Class", Value::String("0205"),
+                           Value::String("0207"), "y.SonarType",
+                           Value::String("BQQ"), roles));
+    IQS_ASSIGN_OR_RETURN(
+        KerConstraint c3,
+        MakeConstraintRule("x.Class", Value::String("0208"),
+                           Value::String("0215"), "y.SonarType",
+                           Value::String("BQS"), roles));
+    IQS_ASSIGN_OR_RETURN(
+        KerConstraint c4,
+        MakeConstraintRule("y.Sonar", Value::String("BQS-04"),
+                           Value::String("BQS-04"), "x.Type",
+                           Value::String("SSN"), roles));
+    def.constraints.push_back(std::move(c1));
+    def.constraints.push_back(std::move(c2));
+    def.constraints.push_back(std::move(c3));
+    def.constraints.push_back(std::move(c4));
+    IQS_RETURN_IF_ERROR(catalog->DefineObjectType(std::move(def)));
+  }
+
+  // Type hierarchy (Figure 2): SUBMARINE > {SSBN, SSN} > classes; SONAR >
+  // {BQQ, BQS, TACTAS}.
+  IQS_RETURN_IF_ERROR(catalog->DefineContains("SUBMARINE", {"SSBN", "SSN"}));
+  IQS_RETURN_IF_ERROR(
+      catalog->SetDerivation("SSBN", Clause::Equals("Type",
+                                                    Value::String("SSBN"))));
+  IQS_RETURN_IF_ERROR(
+      catalog->SetDerivation("SSN", Clause::Equals("Type",
+                                                   Value::String("SSN"))));
+  for (const char* cls : kSsbnClasses) {
+    IQS_RETURN_IF_ERROR(catalog->DefineSubtype(
+        std::string("C") + cls, "SSBN",
+        Clause::Equals("Class", Value::String(cls))));
+  }
+  for (const char* cls : kSsnClasses) {
+    IQS_RETURN_IF_ERROR(catalog->DefineSubtype(
+        std::string("C") + cls, "SSN",
+        Clause::Equals("Class", Value::String(cls))));
+  }
+  IQS_RETURN_IF_ERROR(
+      catalog->DefineContains("SONAR", {"BQQ", "BQS", "TACTAS"}));
+  IQS_RETURN_IF_ERROR(catalog->SetDerivation(
+      "BQQ", Clause::Equals("SonarType", Value::String("BQQ"))));
+  IQS_RETURN_IF_ERROR(catalog->SetDerivation(
+      "BQS", Clause::Equals("SonarType", Value::String("BQS"))));
+  IQS_RETURN_IF_ERROR(catalog->SetDerivation(
+      "TACTAS", Clause::Equals("SonarType", Value::String("TACTAS"))));
+  return catalog;
+}
+
+Result<std::unique_ptr<Database>> BuildShipDatabase() {
+  auto db = std::make_unique<Database>();
+  {
+    IQS_ASSIGN_OR_RETURN(
+        Relation * rel,
+        db->CreateRelation("SUBMARINE",
+                           Schema({{"Id", ValueType::kString, true},
+                                   {"Name", ValueType::kString, false},
+                                   {"Class", ValueType::kString, false}})));
+    for (const ShipRow& row : kShips) {
+      IQS_RETURN_IF_ERROR(rel->Insert(Tuple({Value::String(row.id),
+                                             Value::String(row.name),
+                                             Value::String(row.cls)})));
+    }
+  }
+  {
+    IQS_ASSIGN_OR_RETURN(
+        Relation * rel,
+        db->CreateRelation(
+            "CLASS", Schema({{"Class", ValueType::kString, true},
+                             {"ClassName", ValueType::kString, false},
+                             {"Type", ValueType::kString, false},
+                             {"Displacement", ValueType::kInt, false}})));
+    for (const ClassRow& row : kClasses) {
+      IQS_RETURN_IF_ERROR(rel->Insert(Tuple({Value::String(row.cls),
+                                             Value::String(row.class_name),
+                                             Value::String(row.type),
+                                             Value::Int(row.displacement)})));
+    }
+  }
+  {
+    IQS_ASSIGN_OR_RETURN(
+        Relation * rel,
+        db->CreateRelation("TYPE",
+                           Schema({{"Type", ValueType::kString, true},
+                                   {"TypeName", ValueType::kString, false}})));
+    for (const TypeRow& row : kTypes) {
+      IQS_RETURN_IF_ERROR(rel->Insert(
+          Tuple({Value::String(row.type), Value::String(row.type_name)})));
+    }
+  }
+  {
+    IQS_ASSIGN_OR_RETURN(
+        Relation * rel,
+        db->CreateRelation("SONAR",
+                           Schema({{"Sonar", ValueType::kString, true},
+                                   {"SonarType", ValueType::kString,
+                                    false}})));
+    for (const SonarRow& row : kSonars) {
+      IQS_RETURN_IF_ERROR(rel->Insert(
+          Tuple({Value::String(row.sonar), Value::String(row.sonar_type)})));
+    }
+  }
+  {
+    IQS_ASSIGN_OR_RETURN(
+        Relation * rel,
+        db->CreateRelation("INSTALL",
+                           Schema({{"Ship", ValueType::kString, true},
+                                   {"Sonar", ValueType::kString, false}})));
+    for (const InstallRow& row : kInstalls) {
+      IQS_RETURN_IF_ERROR(rel->Insert(
+          Tuple({Value::String(row.ship), Value::String(row.sonar)})));
+    }
+  }
+  return db;
+}
+
+Result<std::unique_ptr<IqsSystem>> BuildShipSystem() {
+  IQS_ASSIGN_OR_RETURN(std::unique_ptr<Database> db, BuildShipDatabase());
+  IQS_ASSIGN_OR_RETURN(std::unique_ptr<KerCatalog> catalog,
+                       BuildShipCatalog());
+  FormatterOptions options;
+  options.entity_noun = "Ship";
+  options.relationship_phrase = "is equipped with";
+  return IqsSystem::Create(std::move(db), std::move(catalog),
+                           std::move(options));
+}
+
+std::string ShipSchemaDdl() {
+  return R"(
+/* Appendix B: a KER representation of the naval ship database schema. */
+
+domain: NAME isa CHAR[20]
+domain: CLASS_NAME isa NAME
+domain: SHIP_NAME isa NAME
+domain: TYPE_NAME isa CHAR[30]
+domain: SONAR_NAME isa CHAR[8]
+
+object type SUBMARINE
+  has key: Id    domain: CHAR[7]
+  has:     Name  domain: SHIP_NAME
+  has:     Class domain: CLASS
+
+object type CLASS
+  has key: Class        domain: CHAR[4]
+  has:     Type         domain: TYPE
+  has:     ClassName    domain: CLASS_NAME
+  has:     Displacement domain: INTEGER
+  with
+    Displacement in [2000..30000]
+    if "0101" <= Class <= "0103" then Type = "SSBN"
+    if "0201" <= Class <= "0216" then Type = "SSN"
+
+object type TYPE
+  has key: Type     domain: CHAR[4]
+  has:     TypeName domain: TYPE_NAME
+
+object type SONAR
+  has key: Sonar     domain: CHAR[8]
+  has:     SonarType domain: SONAR_NAME
+
+object type INSTALL
+  has key: Ship  domain: SUBMARINE
+  has:     Sonar domain: SONAR
+  with
+    /* x isa SUBMARINE and y isa SONAR */
+    if x isa SUBMARINE and y isa SONAR and x.Class = "0203" then y.SonarType = "BQQ"
+    if x isa SUBMARINE and y isa SONAR and "0205" <= x.Class <= "0207" then y.SonarType = "BQQ"
+    if x isa SUBMARINE and y isa SONAR and "0208" <= x.Class <= "0215" then y.SonarType = "BQS"
+    if x isa SUBMARINE and y isa SONAR and y.Sonar = "BQS-04" then x.Type = "SSN"
+
+SUBMARINE contains SSBN, SSN
+SSBN isa SUBMARINE with Type = "SSBN"
+SSN  isa SUBMARINE with Type = "SSN"
+
+C0101 isa SSBN with Class = "0101"
+C0102 isa SSBN with Class = "0102"
+C0103 isa SSBN with Class = "0103"
+C1301 isa SSBN with Class = "1301"
+C0201 isa SSN with Class = "0201"
+C0203 isa SSN with Class = "0203"
+C0204 isa SSN with Class = "0204"
+C0205 isa SSN with Class = "0205"
+C0207 isa SSN with Class = "0207"
+C0208 isa SSN with Class = "0208"
+C0209 isa SSN with Class = "0209"
+C0212 isa SSN with Class = "0212"
+C0215 isa SSN with Class = "0215"
+
+SONAR contains BQQ, BQS, TACTAS
+BQQ isa SONAR with SonarType = "BQQ"
+BQS isa SONAR with SonarType = "BQS"
+TACTAS isa SONAR with SonarType = "TACTAS"
+)";
+}
+
+std::string Example1Sql() {
+  return "SELECT SUBMARINE.ID, SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE "
+         "FROM SUBMARINE, CLASS "
+         "WHERE SUBMARINE.CLASS = CLASS.CLASS "
+         "AND CLASS.DISPLACEMENT > 8000";
+}
+
+std::string Example2Sql() {
+  return "SELECT SUBMARINE.NAME, SUBMARINE.CLASS "
+         "FROM SUBMARINE, CLASS "
+         "WHERE SUBMARINE.CLASS = CLASS.CLASS "
+         "AND CLASS.TYPE = 'SSBN'";
+}
+
+std::string Example3Sql() {
+  return "SELECT SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE "
+         "FROM SUBMARINE, CLASS, INSTALL "
+         "WHERE SUBMARINE.CLASS = CLASS.CLASS "
+         "AND SUBMARINE.ID = INSTALL.SHIP "
+         "AND INSTALL.SONAR = 'BQS-04'";
+}
+
+}  // namespace iqs

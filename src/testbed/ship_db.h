@@ -1,0 +1,55 @@
+#ifndef IQS_TESTBED_SHIP_DB_H_
+#define IQS_TESTBED_SHIP_DB_H_
+
+#include <memory>
+#include <string>
+
+#include "core/system.h"
+#include "ker/catalog.h"
+#include "relational/database.h"
+
+namespace iqs {
+
+// The naval ship test bed of paper §6 / Appendices B and C: the nuclear
+// submarine portion of the SDC (UNISYS) generic naval database built from
+// Jane's Fighting Ships. Five relations:
+//
+//   SUBMARINE = (Id, Name, Class)           24 ships
+//   CLASS     = (Class, ClassName, Type, Displacement)   13 classes
+//   TYPE      = (Type, TypeName)             2 types
+//   SONAR     = (Sonar, SonarType)           8 sonars
+//   INSTALL   = (Ship, Sonar)               24 installations
+//
+// and the conceptual type hierarchy of Figure 2:
+//
+//   SUBMARINE contains SSBN, SSN        (derived over CLASS.Type)
+//   SSBN contains C0101 C0102 C0103 C1301   (derived over Class)
+//   SSN  contains C0201 ... C0215
+//   SONAR contains BQQ, BQS, TACTAS     (derived over SonarType)
+
+// Builds the KER schema: domains, the five object types (with the
+// Appendix-B with-constraints, which serve as the declared integrity
+// constraints for the baseline), and the type hierarchy with derivation
+// specifications.
+Result<std::unique_ptr<KerCatalog>> BuildShipCatalog();
+
+// Builds the extensional database with the Appendix C instance.
+Result<std::unique_ptr<Database>> BuildShipDatabase();
+
+// The full assembled system (schema + data + dictionary), with the ship
+// vocabulary ("Ship ... is equipped with ...") configured for answer
+// formatting. Induction has NOT been run yet — call Induce().
+Result<std::unique_ptr<IqsSystem>> BuildShipSystem();
+
+// The Appendix-B schema as KER DDL text (parseable by ParseDdl); used to
+// exercise the DDL front end against the programmatic construction.
+std::string ShipSchemaDdl();
+
+// The paper's three example queries (§6).
+std::string Example1Sql();  // submarines with displacement > 8000
+std::string Example2Sql();  // names/classes of the SSBN ships
+std::string Example3Sql();  // submarines equipped with sonar BQS-04
+
+}  // namespace iqs
+
+#endif  // IQS_TESTBED_SHIP_DB_H_

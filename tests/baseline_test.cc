@@ -1,0 +1,123 @@
+#include "baseline/constraint_answerer.h"
+
+#include "gtest/gtest.h"
+#include "induction/ils.h"
+#include "testbed/ship_db.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = BuildShipDatabase();
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_ = std::move(db).value();
+    auto catalog = BuildShipCatalog();
+    ASSERT_TRUE(catalog.ok()) << catalog.status();
+    catalog_ = std::move(catalog).value();
+    dictionary_ = std::make_unique<DataDictionary>(catalog_.get());
+    ASSERT_OK(dictionary_->BuildFrames());
+    ASSERT_OK(dictionary_->ComputeActiveDomains(*db_));
+    InductiveLearningSubsystem ils(db_.get(), catalog_.get());
+    InductionConfig config;
+    config.min_support = 3;
+    auto rules = ils.InduceAll(config);
+    ASSERT_TRUE(rules.ok()) << rules.status();
+    dictionary_->SetInducedRules(std::move(rules).value());
+    baseline_ = std::make_unique<ConstraintBaseline>(dictionary_.get());
+  }
+
+  QueryDescription DisplacementQuery() {
+    QueryDescription query;
+    query.object_types = {"SUBMARINE", "CLASS"};
+    query.conditions.push_back(Clause(
+        "CLASS.Displacement", Interval::AtLeast(Value::Int(8000), true)));
+    return query;
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<KerCatalog> catalog_;
+  std::unique_ptr<DataDictionary> dictionary_;
+  std::unique_ptr<ConstraintBaseline> baseline_;
+};
+
+TEST_F(BaselineTest, AnswersFromDeclaredConstraintsOnly) {
+  // The declared CLASS constraint "7250 <= Displacement <= 30000 ->
+  // SSBN" gives the baseline the same forward conclusion on Example 1.
+  ASSERT_OK_AND_ASSIGN(
+      IntensionalAnswer answer,
+      baseline_->Answer(DisplacementQuery(), InferenceMode::kForward));
+  std::vector<std::string> types = answer.ForwardTypes();
+  EXPECT_NE(std::find(types.begin(), types.end(), "SSBN"), types.end());
+}
+
+TEST_F(BaselineTest, MissesDataOnlyKnowledge) {
+  // No declared constraint mentions ship ids or class names; the induced
+  // rules do (R1..R4, R7). A query on ClassName gets an intensional
+  // answer only from the induced rule base.
+  QueryDescription query;
+  query.object_types = {"CLASS"};
+  query.conditions.push_back(*Clause::Range(
+      "CLASS.ClassName", Value::String("Skate"), Value::String("Thresher")));
+  ASSERT_OK_AND_ASSIGN(
+      IntensionalAnswer baseline_answer,
+      baseline_->Answer(query, InferenceMode::kForward));
+  EXPECT_TRUE(baseline_answer.ForwardTypes().empty());
+  InferenceEngine engine(dictionary_.get());
+  ASSERT_OK_AND_ASSIGN(
+      IntensionalAnswer induced_answer,
+      engine.InferWith(query, InferenceMode::kForward,
+                       dictionary_->induced_rules()));
+  std::vector<std::string> types = induced_answer.ForwardTypes();
+  EXPECT_NE(std::find(types.begin(), types.end(), "SSN"), types.end());
+}
+
+TEST_F(BaselineTest, DetectEmptyAnswerFromDomainConstraint) {
+  // Displacement in [2000..30000] is declared on CLASS; a query asking
+  // for Displacement > 50000 contradicts it.
+  QueryDescription query;
+  query.object_types = {"CLASS"};
+  query.conditions.push_back(Clause(
+      "CLASS.Displacement", Interval::AtLeast(Value::Int(50000), true)));
+  auto explanation = baseline_->DetectEmptyAnswer(query);
+  ASSERT_TRUE(explanation.has_value());
+  EXPECT_NE(explanation->find("Displacement"), std::string::npos);
+}
+
+TEST_F(BaselineTest, NoFalseEmptyDetection) {
+  EXPECT_FALSE(baseline_->DetectEmptyAnswer(DisplacementQuery()).has_value());
+  QueryDescription other_attr;
+  other_attr.object_types = {"CLASS"};
+  other_attr.conditions.push_back(
+      Clause::Equals("CLASS.Type", Value::String("SSBN")));
+  EXPECT_FALSE(baseline_->DetectEmptyAnswer(other_attr).has_value());
+}
+
+TEST_F(BaselineTest, ComparisonFavorsInducedRules) {
+  // Aggregate over the three example-style queries: induced rules derive
+  // at least as many statements everywhere and strictly more somewhere.
+  QueryDescription q1 = DisplacementQuery();
+  QueryDescription q2;
+  q2.object_types = {"SUBMARINE", "CLASS"};
+  q2.conditions.push_back(
+      Clause::Equals("CLASS.Type", Value::String("SSBN")));
+  QueryDescription q3;
+  q3.object_types = {"SUBMARINE", "CLASS", "INSTALL"};
+  q3.conditions.push_back(
+      Clause::Equals("INSTALL.Sonar", Value::String("BQS-04")));
+  size_t baseline_total = 0;
+  size_t induced_total = 0;
+  for (const QueryDescription& q : {q1, q2, q3}) {
+    ASSERT_OK_AND_ASSIGN(ConstraintBaseline::Comparison c,
+                         baseline_->Compare(q, InferenceMode::kCombined));
+    baseline_total += c.baseline_statements;
+    induced_total += c.induced_statements;
+    EXPECT_GE(c.induced_type_facts, c.baseline_type_facts);
+  }
+  EXPECT_GT(induced_total, baseline_total);
+}
+
+}  // namespace
+}  // namespace iqs

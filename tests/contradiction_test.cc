@@ -1,0 +1,99 @@
+// Contradiction detection: forward facts that cannot hold together
+// prove the answer set empty (an extension leveraging the disjointness
+// of the contains-partitions' derivation values).
+
+#include "core/system.h"
+#include "gtest/gtest.h"
+#include "testbed/ship_db.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+class ContradictionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto system = BuildShipSystem();
+    ASSERT_TRUE(system.ok()) << system.status();
+    system_ = std::move(system).value();
+    InductionConfig config;
+    config.min_support = 3;
+    ASSERT_OK(system_->Induce(config));
+  }
+
+  std::unique_ptr<IqsSystem> system_;
+};
+
+TEST_F(ContradictionTest, SsnWithSsbnDisplacementIsProvablyEmpty) {
+  // Type = 'SSN' (seed) clashes with the R9-derived Type = SSBN: the
+  // displacement condition clipped to the active domain falls entirely
+  // inside the SSBN band.
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult result,
+      system_->Query(
+          "SELECT SUBMARINE.Name FROM SUBMARINE, CLASS WHERE "
+          "SUBMARINE.CLASS = CLASS.CLASS AND CLASS.TYPE = 'SSN' AND "
+          "CLASS.DISPLACEMENT > 8000",
+          InferenceMode::kForward));
+  EXPECT_EQ(result.extensional.size(), 0u);  // indeed empty
+  ASSERT_TRUE(result.intensional.empty_proof().has_value());
+  EXPECT_NE(result.intensional.empty_proof()->find("provably empty"),
+            std::string::npos);
+  std::string summary = system_->formatter().Summary(result);
+  EXPECT_NE(summary.find("provably empty"), std::string::npos);
+}
+
+TEST_F(ContradictionTest, ContradictoryPointConditions) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult result,
+      system_->Query("SELECT Name FROM SUBMARINE, CLASS WHERE "
+                     "SUBMARINE.CLASS = CLASS.CLASS AND CLASS.TYPE = 'SSN' "
+                     "AND CLASS.TYPE = 'SSBN'",
+                     InferenceMode::kForward));
+  EXPECT_EQ(result.extensional.size(), 0u);
+  EXPECT_TRUE(result.intensional.empty_proof().has_value());
+}
+
+TEST_F(ContradictionTest, SatisfiableQueriesHaveNoProof) {
+  ASSERT_OK_AND_ASSIGN(QueryResult result,
+                       system_->Query(Example1Sql(), InferenceMode::kForward));
+  EXPECT_FALSE(result.intensional.empty_proof().has_value());
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult example3,
+      system_->Query(Example3Sql(), InferenceMode::kCombined));
+  EXPECT_FALSE(example3.intensional.empty_proof().has_value());
+}
+
+TEST_F(ContradictionTest, CrossRoleFactsDoNotFalselyConflict) {
+  // Example 3 derives facts about two roles (x: SSN submarines, y: BQS
+  // sonars); base names differ (Type vs SonarType), so no conflict.
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult result,
+      system_->Query(Example3Sql(), InferenceMode::kForward));
+  EXPECT_FALSE(result.intensional.empty_proof().has_value());
+  EXPECT_EQ(result.extensional.size(), 4u);
+}
+
+TEST_F(ContradictionTest, EngineDetectsDirectly) {
+  InferenceEngine engine(&system_->dictionary());
+  std::vector<Fact> consistent{
+      Fact::Range(Clause::Equals("Type", Value::String("SSN"))),
+      Fact::Range(*Clause::Range("Displacement", Value::Int(2000),
+                                 Value::Int(7000))),
+  };
+  EXPECT_FALSE(engine.DetectContradiction(consistent).has_value());
+  std::vector<Fact> conflicting = consistent;
+  conflicting.push_back(
+      Fact::Range(Clause::Equals("CLASS.Type", Value::String("SSBN"))));
+  EXPECT_TRUE(engine.DetectContradiction(conflicting).has_value());
+  // Incomparable domains never conflict (string vs int attribute names
+  // colliding by base name).
+  std::vector<Fact> mixed{
+      Fact::Range(Clause::Equals("Code", Value::String("A"))),
+      Fact::Range(Clause::Equals("Code", Value::Int(1))),
+  };
+  EXPECT_FALSE(engine.DetectContradiction(mixed).has_value());
+}
+
+}  // namespace
+}  // namespace iqs

@@ -1,0 +1,75 @@
+#include "relational/database.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+Schema OneCol() { return Schema({{"x", ValueType::kInt, false}}); }
+
+TEST(DatabaseTest, CreateAndGet) {
+  Database db;
+  ASSERT_OK_AND_ASSIGN(Relation * rel, db.CreateRelation("R", OneCol()));
+  ASSERT_OK(rel->Insert(Tuple({Value::Int(1)})));
+  ASSERT_OK_AND_ASSIGN(const Relation* fetched, db.Get("r"));  // case-insens
+  EXPECT_EQ(fetched->size(), 1u);
+  EXPECT_TRUE(db.Contains("R"));
+  EXPECT_FALSE(db.Contains("S"));
+}
+
+TEST(DatabaseTest, DuplicateNameRejected) {
+  Database db;
+  ASSERT_OK(db.CreateRelation("R", OneCol()).status());
+  EXPECT_EQ(db.CreateRelation("r", OneCol()).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, AddRelationMovesExisting) {
+  Database db;
+  Relation rel("PRE", OneCol());
+  ASSERT_OK(rel.Insert(Tuple({Value::Int(7)})));
+  ASSERT_OK(db.AddRelation(std::move(rel)));
+  ASSERT_OK_AND_ASSIGN(const Relation* fetched, db.Get("PRE"));
+  EXPECT_EQ(fetched->size(), 1u);
+}
+
+TEST(DatabaseTest, GetMissingIsNotFound) {
+  Database db;
+  EXPECT_EQ(db.Get("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(db.GetMutable("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, DropRemovesAndFreesName) {
+  Database db;
+  ASSERT_OK(db.CreateRelation("R", OneCol()).status());
+  ASSERT_OK(db.Drop("R"));
+  EXPECT_FALSE(db.Contains("R"));
+  EXPECT_EQ(db.Drop("R").code(), StatusCode::kNotFound);
+  EXPECT_OK(db.CreateRelation("R", OneCol()).status());
+}
+
+TEST(DatabaseTest, RelationNamesInCreationOrder) {
+  Database db;
+  ASSERT_OK(db.CreateRelation("SUBMARINE", OneCol()).status());
+  ASSERT_OK(db.CreateRelation("CLASS", OneCol()).status());
+  ASSERT_OK(db.CreateRelation("ALPHA", OneCol()).status());
+  EXPECT_EQ(db.RelationNames(),
+            (std::vector<std::string>{"SUBMARINE", "CLASS", "ALPHA"}));
+  ASSERT_OK(db.Drop("CLASS"));
+  EXPECT_EQ(db.RelationNames(),
+            (std::vector<std::string>{"SUBMARINE", "ALPHA"}));
+  EXPECT_EQ(db.size(), 2u);
+}
+
+TEST(DatabaseTest, GetMutableAllowsInsertion) {
+  Database db;
+  ASSERT_OK(db.CreateRelation("R", OneCol()).status());
+  ASSERT_OK_AND_ASSIGN(Relation * rel, db.GetMutable("R"));
+  ASSERT_OK(rel->Insert(Tuple({Value::Int(5)})));
+  ASSERT_OK_AND_ASSIGN(const Relation* fetched, db.Get("R"));
+  EXPECT_EQ(fetched->size(), 1u);
+}
+
+}  // namespace
+}  // namespace iqs

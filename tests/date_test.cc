@@ -1,0 +1,92 @@
+#include "relational/date.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+TEST(DateTest, CreateValid) {
+  ASSERT_OK_AND_ASSIGN(Date d, Date::Create(1990, 3, 31));
+  EXPECT_EQ(d.year(), 1990);
+  EXPECT_EQ(d.month(), 3);
+  EXPECT_EQ(d.day(), 31);
+}
+
+TEST(DateTest, CreateRejectsBadDates) {
+  EXPECT_FALSE(Date::Create(1990, 0, 1).ok());
+  EXPECT_FALSE(Date::Create(1990, 13, 1).ok());
+  EXPECT_FALSE(Date::Create(1990, 4, 31).ok());
+  EXPECT_FALSE(Date::Create(1990, 2, 30).ok());
+  EXPECT_FALSE(Date::Create(0, 1, 1).ok());
+}
+
+TEST(DateTest, LeapYears) {
+  EXPECT_TRUE(Date::IsLeapYear(2000));
+  EXPECT_TRUE(Date::IsLeapYear(1988));
+  EXPECT_FALSE(Date::IsLeapYear(1900));
+  EXPECT_FALSE(Date::IsLeapYear(1990));
+  EXPECT_OK(Date::Create(2000, 2, 29).status());
+  EXPECT_FALSE(Date::Create(1900, 2, 29).ok());
+}
+
+TEST(DateTest, DaysInMonth) {
+  EXPECT_EQ(Date::DaysInMonth(1990, 1), 31);
+  EXPECT_EQ(Date::DaysInMonth(1990, 2), 28);
+  EXPECT_EQ(Date::DaysInMonth(1992, 2), 29);
+  EXPECT_EQ(Date::DaysInMonth(1990, 4), 30);
+  EXPECT_EQ(Date::DaysInMonth(1990, 0), 0);
+}
+
+TEST(DateTest, EpochZero) {
+  Date epoch;  // 1970-01-01
+  EXPECT_EQ(epoch.ToEpochDays(), 0);
+}
+
+TEST(DateTest, KnownEpochDays) {
+  ASSERT_OK_AND_ASSIGN(Date d, Date::Create(1970, 1, 2));
+  EXPECT_EQ(d.ToEpochDays(), 1);
+  ASSERT_OK_AND_ASSIGN(Date y2k, Date::Create(2000, 1, 1));
+  EXPECT_EQ(y2k.ToEpochDays(), 10957);
+  ASSERT_OK_AND_ASSIGN(Date before, Date::Create(1969, 12, 31));
+  EXPECT_EQ(before.ToEpochDays(), -1);
+}
+
+TEST(DateTest, FromStringAndToString) {
+  ASSERT_OK_AND_ASSIGN(Date d, Date::FromString("1990-03-05"));
+  EXPECT_EQ(d.ToString(), "1990-03-05");
+  EXPECT_FALSE(Date::FromString("1990/03/05").ok());
+  EXPECT_FALSE(Date::FromString("1990-03").ok());
+  EXPECT_FALSE(Date::FromString("1990-03-05x").ok());
+}
+
+TEST(DateTest, Comparisons) {
+  ASSERT_OK_AND_ASSIGN(Date a, Date::Create(1981, 1, 1));
+  ASSERT_OK_AND_ASSIGN(Date b, Date::Create(1990, 3, 1));
+  EXPECT_LT(a, b);
+  EXPECT_LE(a, a);
+  EXPECT_GT(b, a);
+  EXPECT_NE(a, b);
+}
+
+// Round-trip property across a broad sweep of days, including negatives
+// (pre-1970) and leap-year boundaries.
+class DateRoundTripTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(DateRoundTripTest, EpochDaysRoundTrip) {
+  int64_t days = GetParam();
+  Date d = Date::FromEpochDays(days);
+  EXPECT_EQ(d.ToEpochDays(), days) << d.ToString();
+  // The reconstructed triple must be a valid calendar date.
+  ASSERT_OK_AND_ASSIGN(Date rebuilt, Date::Create(d.year(), d.month(),
+                                                  d.day()));
+  EXPECT_EQ(rebuilt, d);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DateRoundTripTest,
+    ::testing::Values(-719162, -1, 0, 1, 58, 59, 60, 365, 366, 10957, 11016,
+                      11382, 19358, 40000, 2932896));
+
+}  // namespace
+}  // namespace iqs

@@ -1,0 +1,267 @@
+#include "ker/ddl_parser.h"
+
+#include "gtest/gtest.h"
+#include "ker/ddl_lexer.h"
+#include "testbed/ship_db.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+TEST(DdlLexerTest, TokenKinds) {
+  ASSERT_OK_AND_ASSIGN(auto tokens,
+                       LexDdl("domain: AGE isa INTEGER range [0..200]"));
+  ASSERT_GE(tokens.size(), 11u);
+  EXPECT_TRUE(tokens[0].IsKeyword("domain"));
+  EXPECT_TRUE(tokens[1].IsSymbol(":"));
+  EXPECT_EQ(tokens[2].text, "AGE");
+  EXPECT_TRUE(tokens[3].IsKeyword("isa"));
+  EXPECT_TRUE(tokens[5].IsKeyword("range"));
+  // [0..200] lexes as '[' INT '..' INT ']'.
+  EXPECT_TRUE(tokens[6].IsSymbol("["));
+  EXPECT_EQ(tokens[7].kind, DdlTokenKind::kInt);
+  EXPECT_TRUE(tokens[8].IsSymbol(".."));
+  EXPECT_EQ(tokens[9].text, "200");
+}
+
+TEST(DdlLexerTest, IdentifiersAllowDashesAndDots) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, LexDdl("BQQ-2 <= x.Sonar"));
+  EXPECT_EQ(tokens[0].text, "BQQ-2");
+  EXPECT_TRUE(tokens[1].IsSymbol("<="));
+  EXPECT_EQ(tokens[2].text, "x.Sonar");
+}
+
+TEST(DdlLexerTest, NumbersKeepSpelling) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, LexDdl("0101 3.5 -42"));
+  EXPECT_EQ(tokens[0].text, "0101");
+  EXPECT_EQ(tokens[0].kind, DdlTokenKind::kInt);
+  EXPECT_EQ(tokens[1].kind, DdlTokenKind::kReal);
+  EXPECT_EQ(tokens[2].text, "-42");
+}
+
+TEST(DdlLexerTest, CommentsAndStrings) {
+  ASSERT_OK_AND_ASSIGN(auto tokens,
+                       LexDdl("/* x isa SONAR */ Type = \"SSBN\" -- eol"));
+  EXPECT_EQ(tokens[0].text, "Type");
+  EXPECT_EQ(tokens[2].kind, DdlTokenKind::kString);
+  EXPECT_EQ(tokens[2].text, "SSBN");
+  EXPECT_EQ(tokens[3].kind, DdlTokenKind::kEnd);
+  EXPECT_FALSE(LexDdl("/* unterminated").ok());
+  EXPECT_FALSE(LexDdl("\"unterminated").ok());
+}
+
+TEST(DdlParserTest, DomainDefinitions) {
+  KerCatalog catalog;
+  ASSERT_OK(ParseDdl(R"(
+    domain: NAME isa CHAR[20]
+    domain: SHIP_NAME isa NAME
+    domain: AGE isa INTEGER range [0..200]
+    domain: GRADE isa STRING set of {"A", "B"}
+  )",
+                     &catalog));
+  EXPECT_TRUE(catalog.domains().Contains("SHIP_NAME"));
+  EXPECT_OK(catalog.domains().CheckValue("AGE", Value::Int(34)));
+  EXPECT_FALSE(catalog.domains().CheckValue("AGE", Value::Int(300)).ok());
+  EXPECT_FALSE(
+      catalog.domains().CheckValue("GRADE", Value::String("F")).ok());
+}
+
+TEST(DdlParserTest, ObjectTypeWithConstraints) {
+  KerCatalog catalog;
+  ASSERT_OK(ParseDdl(R"(
+    object type CLASS
+      has key: Class        domain: CHAR[4]
+      has:     Type         domain: CHAR[4]
+      has:     Displacement domain: INTEGER
+      with
+        Displacement in [2000..30000]
+        if "0101" <= Class <= "0103" then Type = "SSBN"
+  )",
+                     &catalog));
+  ASSERT_OK_AND_ASSIGN(const ObjectTypeDef* def,
+                       catalog.GetObjectType("CLASS"));
+  ASSERT_EQ(def->attributes.size(), 3u);
+  EXPECT_TRUE(def->attributes[0].is_key);
+  EXPECT_EQ(def->attributes[2].domain, "INTEGER");
+  ASSERT_EQ(def->constraints.size(), 2u);
+  EXPECT_EQ(def->constraints[0].kind, KerConstraint::Kind::kDomainRange);
+  EXPECT_EQ(def->constraints[1].kind, KerConstraint::Kind::kRule);
+  // The rule's bounds were coerced to strings per the CHAR[4] domain.
+  EXPECT_EQ(def->constraints[1].rule.lhs[0].ToConditionString(),
+            "0101 <= Class <= 0103");
+}
+
+TEST(DdlParserTest, UnquotedNumericLiteralsCoerceToCharDomains) {
+  KerCatalog catalog;
+  ASSERT_OK(ParseDdl(R"(
+    object type CLASS
+      has key: Class domain: CHAR[4]
+      has:     Type  domain: CHAR[4]
+      with
+        if 0101 <= Class <= 0103 then Type = "SSBN"
+  )",
+                     &catalog));
+  ASSERT_OK_AND_ASSIGN(const ObjectTypeDef* def,
+                       catalog.GetObjectType("CLASS"));
+  const Clause& lhs = def->constraints[0].rule.lhs[0];
+  EXPECT_TRUE(lhs.Satisfies(Value::String("0102")));
+  EXPECT_FALSE(lhs.Satisfies(Value::String("0204")));
+}
+
+TEST(DdlParserTest, ContainsAndIsaWithDerivation) {
+  KerCatalog catalog;
+  ASSERT_OK(ParseDdl(R"(
+    object type SONAR
+      has key: Sonar     domain: CHAR[8]
+      has:     SonarType domain: CHAR[8]
+    SONAR contains BQQ, BQS, TACTAS
+    BQQ isa SONAR with SonarType = "BQQ"
+  )",
+                     &catalog));
+  ASSERT_OK_AND_ASSIGN(const TypeNode* bqq, catalog.hierarchy().Get("BQQ"));
+  EXPECT_EQ(bqq->parent, "SONAR");
+  ASSERT_TRUE(bqq->derivation.has_value());
+  EXPECT_EQ(bqq->derivation->ToConditionString(), "SonarType = BQQ");
+  // TACTAS exists but has no derivation.
+  ASSERT_OK_AND_ASSIGN(const TypeNode* tactas,
+                       catalog.hierarchy().Get("TACTAS"));
+  EXPECT_FALSE(tactas->derivation.has_value());
+}
+
+TEST(DdlParserTest, IsaConflictingParentRejected) {
+  KerCatalog catalog;
+  ASSERT_OK(ParseDdl(R"(
+    object type A
+      has key: K domain: CHAR[2]
+    object type B
+      has key: K domain: CHAR[2]
+    A contains SUB
+  )",
+                     &catalog));
+  EXPECT_FALSE(ParseDdl("SUB isa B", &catalog).ok());
+  EXPECT_OK(ParseDdl("SUB isa A", &catalog));  // same parent: no-op
+}
+
+TEST(DdlParserTest, StructureRulesWithRoles) {
+  KerCatalog catalog;
+  ASSERT_OK(ParseDdl(R"(
+    object type SUBMARINE
+      has key: Id    domain: CHAR[7]
+      has:     Class domain: CHAR[4]
+    object type SONAR
+      has key: Sonar     domain: CHAR[8]
+      has:     SonarType domain: CHAR[8]
+    object type INSTALL
+      has key: Ship  domain: SUBMARINE
+      has:     Sonar domain: SONAR
+      with
+        if x isa SUBMARINE and y isa SONAR and "0208" <= x.Class <= "0215"
+          then y.SonarType = "BQS"
+  )",
+                     &catalog));
+  ASSERT_OK_AND_ASSIGN(const ObjectTypeDef* def,
+                       catalog.GetObjectType("INSTALL"));
+  ASSERT_EQ(def->constraints.size(), 1u);
+  const KerConstraint& c = def->constraints[0];
+  ASSERT_EQ(c.roles.size(), 2u);
+  EXPECT_EQ(c.roles[0].variable, "x");
+  EXPECT_EQ(c.roles[0].type_name, "SUBMARINE");
+  EXPECT_EQ(c.roles[1].variable, "y");
+  ASSERT_EQ(c.rule.lhs.size(), 1u);
+  EXPECT_EQ(c.rule.lhs[0].attribute(), "x.Class");
+  EXPECT_EQ(c.rule.rhs.clause.ToConditionString(), "y.SonarType = BQS");
+}
+
+TEST(DdlParserTest, IsaConsequentUsesDerivationClause) {
+  KerCatalog catalog;
+  ASSERT_OK(ParseDdl(R"(
+    object type SONAR
+      has key: Sonar     domain: CHAR[8]
+      has:     SonarType domain: CHAR[8]
+    SONAR contains BQQ
+    BQQ isa SONAR with SonarType = "BQQ"
+  )",
+                     &catalog));
+  ASSERT_OK(ParseDdl(R"(
+    SONAR2 contains NOTHING
+  )",
+                     &catalog)
+                .code() == StatusCode::kNotFound
+                ? Status::Ok()
+                : Status::Internal("expected NotFound for unknown parent"));
+  ASSERT_OK(ParseDdl(R"(
+    object type INSTALL
+      has key: Ship domain: CHAR[7]
+      has: Sonar domain: SONAR
+      with
+        if x isa SONAR and x.Sonar = "BQQ-2" then x isa BQQ
+  )",
+                     &catalog));
+  ASSERT_OK_AND_ASSIGN(const ObjectTypeDef* def,
+                       catalog.GetObjectType("INSTALL"));
+  const Rule& rule = def->constraints[0].rule;
+  EXPECT_EQ(rule.rhs.isa_type, "BQQ");
+  EXPECT_EQ(rule.rhs.isa_variable, "x");
+  // Consequent clause materialized from BQQ's derivation.
+  EXPECT_EQ(rule.rhs.clause.ToConditionString(), "SonarType = BQQ");
+}
+
+TEST(DdlParserTest, CatalogToDdlRoundTrips) {
+  // The programmatic ship catalog renders to DDL that parses back into
+  // an equivalent catalog: same object types, hierarchy, derivations,
+  // and declared rule count.
+  ASSERT_OK_AND_ASSIGN(auto original, BuildShipCatalog());
+  std::string ddl = original->ToDdl();
+  KerCatalog reparsed;
+  ASSERT_OK(ParseDdl(ddl, &reparsed));
+  EXPECT_EQ(reparsed.ObjectTypeNames(), original->ObjectTypeNames());
+  for (const std::string& type_name : original->hierarchy().AllTypes()) {
+    ASSERT_TRUE(reparsed.hierarchy().Contains(type_name)) << type_name;
+    ASSERT_OK_AND_ASSIGN(const TypeNode* a,
+                         original->hierarchy().Get(type_name));
+    ASSERT_OK_AND_ASSIGN(const TypeNode* b,
+                         reparsed.hierarchy().Get(type_name));
+    EXPECT_EQ(a->parent, b->parent) << type_name;
+    ASSERT_EQ(a->derivation.has_value(), b->derivation.has_value())
+        << type_name;
+    if (a->derivation.has_value()) {
+      EXPECT_EQ(a->derivation->ToConditionString(),
+                b->derivation->ToConditionString())
+          << type_name;
+    }
+  }
+  EXPECT_EQ(reparsed.DeclaredRules().size(),
+            original->DeclaredRules().size());
+  // Idempotence: rendering the reparsed catalog gives the same text.
+  EXPECT_EQ(reparsed.ToDdl(), ddl);
+}
+
+TEST(DdlParserTest, ErrorsCarryLineNumbers) {
+  KerCatalog catalog;
+  Status s = ParseDdl("object type\n  has key: X domain: Y\n", &catalog);
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_NE(s.message().find("line"), std::string::npos);
+}
+
+TEST(DdlParserTest, FullShipSchemaParses) {
+  KerCatalog catalog;
+  ASSERT_OK(ParseDdl(ShipSchemaDdl(), &catalog));
+  EXPECT_TRUE(catalog.HasObjectType("SUBMARINE"));
+  EXPECT_TRUE(catalog.HasObjectType("INSTALL"));
+  EXPECT_TRUE(catalog.hierarchy().Contains("C0204"));
+  ASSERT_OK_AND_ASSIGN(const TypeNode* ssbn, catalog.hierarchy().Get("SSBN"));
+  ASSERT_TRUE(ssbn->derivation.has_value());
+  EXPECT_EQ(ssbn->derivation->ToConditionString(), "Type = SSBN");
+  // The parsed schema supports derivation lookup just like the
+  // programmatic one.
+  ASSERT_OK_AND_ASSIGN(std::string type,
+                       catalog.hierarchy().FindByDerivation(Clause::Equals(
+                           "Class", Value::String("0204"))));
+  EXPECT_EQ(type, "C0204");
+  // And declares the INSTALL integrity constraints.
+  RuleSet declared = catalog.DeclaredRules();
+  EXPECT_GE(declared.size(), 6u);
+}
+
+}  // namespace
+}  // namespace iqs

@@ -1,0 +1,194 @@
+#include "induction/decision_tree.h"
+
+#include "gtest/gtest.h"
+#include "testbed/fleet_generator.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+using testing_util::MakeRelation;
+
+Relation BandedSalaries() {
+  // Position determined by salary band: [0,50) CLERK, [50,100) ENGINEER,
+  // [100,200] MANAGER.
+  return MakeRelation("EMP",
+                      Schema({{"Salary", ValueType::kInt, false},
+                              {"Dept", ValueType::kString, false},
+                              {"Position", ValueType::kString, false}}),
+                      {{"10", "A", "CLERK"},
+                       {"30", "B", "CLERK"},
+                       {"45", "A", "CLERK"},
+                       {"55", "B", "ENGINEER"},
+                       {"70", "A", "ENGINEER"},
+                       {"90", "B", "ENGINEER"},
+                       {"110", "A", "MANAGER"},
+                       {"150", "B", "MANAGER"},
+                       {"200", "A", "MANAGER"}});
+}
+
+TEST(DecisionTreeTest, LearnsThresholdSplits) {
+  Relation rel = BandedSalaries();
+  ASSERT_OK_AND_ASSIGN(
+      DecisionTree tree,
+      DecisionTree::Train(rel, "Position", {"Salary"}, {}));
+  ASSERT_OK_AND_ASSIGN(double accuracy, tree.Accuracy(rel));
+  EXPECT_DOUBLE_EQ(accuracy, 1.0);
+  // Unseen values classify by band.
+  ASSERT_OK_AND_ASSIGN(
+      Value v, tree.Classify(Tuple({Value::Int(60), Value::String("A"),
+                                    Value::Null()})));
+  EXPECT_EQ(v, Value::String("ENGINEER"));
+  ASSERT_OK_AND_ASSIGN(
+      Value low, tree.Classify(Tuple({Value::Int(5), Value::String("A"),
+                                      Value::Null()})));
+  EXPECT_EQ(low, Value::String("CLERK"));
+}
+
+TEST(DecisionTreeTest, IrrelevantFeatureIgnored) {
+  Relation rel = BandedSalaries();
+  ASSERT_OK_AND_ASSIGN(
+      DecisionTree tree,
+      DecisionTree::Train(rel, "Position", {"Dept", "Salary"}, {}));
+  ASSERT_OK_AND_ASSIGN(double accuracy, tree.Accuracy(rel));
+  EXPECT_DOUBLE_EQ(accuracy, 1.0);
+  // Dept alone carries no information: the tree must be salary-driven,
+  // so flipping Dept must not change predictions.
+  ASSERT_OK_AND_ASSIGN(
+      Value a, tree.Classify(Tuple({Value::Int(150), Value::String("A"),
+                                    Value::Null()})));
+  ASSERT_OK_AND_ASSIGN(
+      Value b, tree.Classify(Tuple({Value::Int(150), Value::String("B"),
+                                    Value::Null()})));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, Value::String("MANAGER"));
+}
+
+TEST(DecisionTreeTest, CategoricalSplits) {
+  Relation rel = MakeRelation("R",
+                              Schema({{"Color", ValueType::kString, false},
+                                      {"Label", ValueType::kString, false}}),
+                              {{"red", "warm"},
+                               {"orange", "warm"},
+                               {"blue", "cold"},
+                               {"green", "cold"},
+                               {"red", "warm"},
+                               {"blue", "cold"}});
+  ASSERT_OK_AND_ASSIGN(DecisionTree tree,
+                       DecisionTree::Train(rel, "Label", {"Color"}, {}));
+  ASSERT_OK_AND_ASSIGN(double accuracy, tree.Accuracy(rel));
+  EXPECT_DOUBLE_EQ(accuracy, 1.0);
+  // An unseen category routes to the majority branch (no crash).
+  EXPECT_OK(tree.Classify(Tuple({Value::String("violet"), Value::Null()}))
+                .status());
+}
+
+TEST(DecisionTreeTest, ExtractedRulesCoverTrainingSet) {
+  Relation rel = BandedSalaries();
+  ASSERT_OK_AND_ASSIGN(
+      DecisionTree tree,
+      DecisionTree::Train(rel, "Position", {"Salary"}, {}));
+  std::vector<Rule> rules = tree.ExtractRules();
+  ASSERT_GE(rules.size(), 3u);
+  // Every training row satisfies exactly one rule, and that rule
+  // predicts its label.
+  for (const Tuple& t : rel.rows()) {
+    int matches = 0;
+    for (const Rule& rule : rules) {
+      bool all = true;
+      for (const Clause& clause : rule.lhs) {
+        ASSERT_EQ(clause.attribute(), "Salary");
+        if (!clause.Satisfies(t.at(0))) {
+          all = false;
+          break;
+        }
+      }
+      if (!all) continue;
+      ++matches;
+      EXPECT_EQ(rule.rhs.clause.ToConditionString(),
+                "Position = " + t.at(2).AsString());
+    }
+    EXPECT_EQ(matches, 1) << t.ToString();
+  }
+  // Rule supports sum to the training size.
+  int64_t total = 0;
+  for (const Rule& rule : rules) total += rule.support;
+  EXPECT_EQ(total, static_cast<int64_t>(rel.size()));
+}
+
+TEST(DecisionTreeTest, MergesConditionsOverSameFeature) {
+  Relation rel = BandedSalaries();
+  ASSERT_OK_AND_ASSIGN(
+      DecisionTree tree,
+      DecisionTree::Train(rel, "Position", {"Salary"}, {}));
+  for (const Rule& rule : tree.ExtractRules()) {
+    // Repeated splits on Salary collapse into one interval clause.
+    EXPECT_LE(rule.lhs.size(), 1u) << rule.Body();
+  }
+}
+
+TEST(DecisionTreeTest, DepthLimitProducesLeaf) {
+  Relation rel = BandedSalaries();
+  DecisionTree::Config config;
+  config.max_depth = 0;
+  ASSERT_OK_AND_ASSIGN(
+      DecisionTree tree,
+      DecisionTree::Train(rel, "Position", {"Salary"}, config));
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.depth(), 0);
+  // Majority prediction.
+  ASSERT_OK_AND_ASSIGN(
+      Value v, tree.Classify(Tuple({Value::Int(10), Value::Null(),
+                                    Value::Null()})));
+  EXPECT_EQ(v.type(), ValueType::kString);
+}
+
+TEST(DecisionTreeTest, InputValidation) {
+  Relation rel = BandedSalaries();
+  EXPECT_FALSE(DecisionTree::Train(rel, "Position", {"Position"}, {}).ok());
+  EXPECT_FALSE(DecisionTree::Train(rel, "Position", {}, {}).ok());
+  EXPECT_FALSE(DecisionTree::Train(rel, "Nope", {"Salary"}, {}).ok());
+  Relation empty("E", rel.schema());
+  EXPECT_FALSE(DecisionTree::Train(empty, "Position", {"Salary"}, {}).ok());
+}
+
+TEST(DecisionTreeTest, ClassifyValidatesArity) {
+  Relation rel = BandedSalaries();
+  ASSERT_OK_AND_ASSIGN(
+      DecisionTree tree,
+      DecisionTree::Train(rel, "Position", {"Salary"}, {}));
+  EXPECT_FALSE(tree.Classify(Tuple({Value::Int(1)})).ok());
+}
+
+TEST(DecisionTreeTest, ToStringShowsStructure) {
+  Relation rel = BandedSalaries();
+  ASSERT_OK_AND_ASSIGN(
+      DecisionTree tree,
+      DecisionTree::Train(rel, "Position", {"Salary"}, {}));
+  std::string text = tree.ToString();
+  EXPECT_NE(text.find("Salary <= "), std::string::npos);
+  EXPECT_NE(text.find("-> Position = "), std::string::npos);
+}
+
+TEST(DecisionTreeTest, SeparatesSubsurfaceFleetPerfectly) {
+  // SSBN [7250..16600] vs SSN [1720..6000] don't overlap; a displacement
+  // tree must separate them exactly (the Figure-5 knowledge).
+  ASSERT_OK_AND_ASSIGN(auto db, GenerateFleet(20, /*seed=*/7));
+  ASSERT_OK_AND_ASSIGN(const Relation* ships, db->Get("BATTLESHIP"));
+  Relation subsurface("SUBSURFACE", ships->schema());
+  ASSERT_OK_AND_ASSIGN(size_t cat, ships->schema().IndexOf("Category"));
+  for (const Tuple& t : ships->rows()) {
+    if (t.at(cat) == Value::String("Subsurface")) {
+      subsurface.AppendUnchecked(t);
+    }
+  }
+  ASSERT_OK_AND_ASSIGN(
+      DecisionTree tree,
+      DecisionTree::Train(subsurface, "Type", {"Displacement"}, {}));
+  ASSERT_OK_AND_ASSIGN(double accuracy, tree.Accuracy(subsurface));
+  EXPECT_DOUBLE_EQ(accuracy, 1.0);
+  EXPECT_EQ(tree.depth(), 1);  // a single threshold suffices
+}
+
+}  // namespace
+}  // namespace iqs

@@ -1,0 +1,150 @@
+#include "dictionary/data_dictionary.h"
+
+#include "gtest/gtest.h"
+#include "induction/ils.h"
+#include "testbed/ship_db.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+class DictionaryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = BuildShipDatabase();
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_ = std::move(db).value();
+    auto catalog = BuildShipCatalog();
+    ASSERT_TRUE(catalog.ok()) << catalog.status();
+    catalog_ = std::move(catalog).value();
+    dictionary_ = std::make_unique<DataDictionary>(catalog_.get());
+    ASSERT_OK(dictionary_->BuildFrames());
+    ASSERT_OK(dictionary_->ComputeActiveDomains(*db_));
+  }
+
+  void Induce() {
+    InductiveLearningSubsystem ils(db_.get(), catalog_.get());
+    InductionConfig config;
+    config.min_support = 3;
+    auto rules = ils.InduceAll(config);
+    ASSERT_TRUE(rules.ok()) << rules.status();
+    dictionary_->SetInducedRules(std::move(rules).value());
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<KerCatalog> catalog_;
+  std::unique_ptr<DataDictionary> dictionary_;
+};
+
+TEST_F(DictionaryTest, FramesMirrorTheHierarchy) {
+  // One frame per type node: 5 object types + 2 + 13 submarine subtypes
+  // + 3 sonar subtypes.
+  EXPECT_EQ(dictionary_->FrameNames().size(), 23u);
+  ASSERT_OK_AND_ASSIGN(const Frame* submarine,
+                       dictionary_->GetFrame("SUBMARINE"));
+  EXPECT_EQ(submarine->children,
+            (std::vector<std::string>{"SSBN", "SSN"}));
+  EXPECT_TRUE(submarine->parent.empty());
+  EXPECT_FALSE(dictionary_->GetFrame("GHOST").ok());
+}
+
+TEST_F(DictionaryTest, SubtypeFramesInheritSlots) {
+  // Paper §2: "A subtype inherits all the properties of its supertypes."
+  ASSERT_OK_AND_ASSIGN(const Frame* c0103, dictionary_->GetFrame("C0103"));
+  const FrameSlot* id = c0103->FindSlot("Id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->inherited_from, "SUBMARINE");
+  ASSERT_TRUE(c0103->derivation.has_value());
+  EXPECT_EQ(c0103->derivation->ToConditionString(), "Class = 0103");
+}
+
+TEST_F(DictionaryTest, RelationshipFramesFlagged) {
+  ASSERT_OK_AND_ASSIGN(const Frame* install, dictionary_->GetFrame("INSTALL"));
+  EXPECT_TRUE(install->is_relationship);
+  ASSERT_OK_AND_ASSIGN(const Frame* sonar, dictionary_->GetFrame("SONAR"));
+  EXPECT_FALSE(sonar->is_relationship);
+}
+
+TEST_F(DictionaryTest, DeclaredRulesSnapshotTaken) {
+  EXPECT_EQ(dictionary_->declared_rules().size(), 11u);
+  EXPECT_TRUE(dictionary_->induced_rules().empty());
+}
+
+TEST_F(DictionaryTest, AllRulesMergesAndRenumbers) {
+  Induce();
+  RuleSet all = dictionary_->AllRules();
+  EXPECT_EQ(all.size(), dictionary_->declared_rules().size() +
+                            dictionary_->induced_rules().size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all.rule(i).id, static_cast<int>(i) + 1);
+  }
+}
+
+TEST_F(DictionaryTest, ActiveDomainsServeBothSpellings) {
+  const std::vector<AttributeDomain>& domains = dictionary_->active_domains();
+  const AttributeDomain* qualified =
+      FindDomain(domains, "CLASS.Displacement");
+  ASSERT_NE(qualified, nullptr);
+  EXPECT_EQ(qualified->lo, Value::Int(2145));
+  EXPECT_EQ(qualified->hi, Value::Int(30000));
+  const AttributeDomain* bare = FindDomain(domains, "Displacement");
+  ASSERT_NE(bare, nullptr);
+  EXPECT_EQ(bare->hi, Value::Int(30000));
+}
+
+TEST_F(DictionaryTest, ActiveDomainsMergeAcrossRelations) {
+  // "Class" appears in SUBMARINE and CLASS with the same value space;
+  // "Sonar" in SONAR and INSTALL.
+  const AttributeDomain* cls =
+      FindDomain(dictionary_->active_domains(), "Class");
+  ASSERT_NE(cls, nullptr);
+  EXPECT_EQ(cls->lo, Value::String("0101"));
+  EXPECT_EQ(cls->hi, Value::String("1301"));
+}
+
+TEST_F(DictionaryTest, ExportImportRoundTrip) {
+  Induce();
+  RuleSet before = dictionary_->induced_rules();
+  ASSERT_OK_AND_ASSIGN(RuleRelations relations,
+                       dictionary_->ExportInducedRules());
+  dictionary_->SetInducedRules(RuleSet());
+  ASSERT_OK(dictionary_->ImportInducedRules(relations));
+  const RuleSet& after = dictionary_->induced_rules();
+  ASSERT_EQ(after.size(), before.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(after.rule(i), before.rule(i)) << i;
+  }
+}
+
+TEST_F(DictionaryTest, ImportReattachesIsaReadingsWhenMissing) {
+  Induce();
+  ASSERT_OK_AND_ASSIGN(RuleRelations relations,
+                       dictionary_->ExportInducedRules());
+  // Simulate relocation with only the paper's two relations: blank the
+  // isa columns in RULE_META.
+  Relation stripped(kRuleMetaName, RuleMetaSchema());
+  for (const Tuple& t : relations.rule_meta.rows()) {
+    Tuple copy = t;
+    copy.at(4) = Value::String("");
+    copy.at(5) = Value::String("x");
+    stripped.AppendUnchecked(copy);
+  }
+  relations.rule_meta = std::move(stripped);
+  ASSERT_OK(dictionary_->ImportInducedRules(relations));
+  // Readings recovered from the derivation specifications.
+  size_t with_isa = 0;
+  for (const Rule& r : dictionary_->induced_rules().rules()) {
+    if (r.rhs.HasIsaReading()) ++with_isa;
+  }
+  EXPECT_EQ(with_isa, dictionary_->induced_rules().size());
+}
+
+TEST_F(DictionaryTest, ToStringListsFramesAndRules) {
+  Induce();
+  std::string text = dictionary_->ToString();
+  EXPECT_NE(text.find("frame SUBMARINE"), std::string::npos);
+  EXPECT_NE(text.find("-- induced rules --"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iqs

@@ -1,0 +1,152 @@
+#include "ker/domain.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+TEST(DomainCatalogTest, BasicDomainsPrebuilt) {
+  DomainCatalog catalog;
+  for (const char* name : {"integer", "REAL", "string", "Date"}) {
+    EXPECT_TRUE(catalog.Contains(name)) << name;
+  }
+  ASSERT_OK_AND_ASSIGN(ValueType t, catalog.ResolveType("INTEGER"));
+  EXPECT_EQ(t, ValueType::kInt);
+}
+
+TEST(DomainCatalogTest, CharSpecsResolveToString) {
+  DomainCatalog catalog;
+  EXPECT_TRUE(catalog.Contains("CHAR[20]"));
+  ASSERT_OK_AND_ASSIGN(ValueType t, catalog.ResolveType("char[7]"));
+  EXPECT_EQ(t, ValueType::kString);
+  ASSERT_OK_AND_ASSIGN(int len, DomainCatalog::ParseCharLength("CHAR[12]"));
+  EXPECT_EQ(len, 12);
+  EXPECT_FALSE(DomainCatalog::ParseCharLength("integer").ok());
+  EXPECT_FALSE(DomainCatalog::ParseCharLength("CHAR[x]").ok());
+  EXPECT_FALSE(DomainCatalog::ParseCharLength("CHAR[12").ok());
+}
+
+TEST(DomainCatalogTest, DefineWithParentChain) {
+  // Appendix B.1: NAME isa CHAR[20]; SHIP_NAME isa NAME.
+  DomainCatalog catalog;
+  DomainDef name;
+  name.name = "NAME";
+  name.parent = "CHAR[20]";
+  ASSERT_OK(catalog.Define(name));
+  DomainDef ship_name;
+  ship_name.name = "SHIP_NAME";
+  ship_name.parent = "NAME";
+  ASSERT_OK(catalog.Define(ship_name));
+  ASSERT_OK_AND_ASSIGN(ValueType t, catalog.ResolveType("SHIP_NAME"));
+  EXPECT_EQ(t, ValueType::kString);
+  // Char length inherited through the chain.
+  ASSERT_OK_AND_ASSIGN(const DomainDef* def, catalog.Get("ship_name"));
+  EXPECT_EQ(def->char_length, 20);
+}
+
+TEST(DomainCatalogTest, DefineRejectsDuplicatesAndUnknownParents) {
+  DomainCatalog catalog;
+  DomainDef d;
+  d.name = "AGE";
+  d.parent = "integer";
+  ASSERT_OK(catalog.Define(d));
+  EXPECT_EQ(catalog.Define(d).code(), StatusCode::kAlreadyExists);
+  DomainDef orphan;
+  orphan.name = "X";
+  orphan.parent = "NOPE";
+  EXPECT_EQ(catalog.Define(orphan).code(), StatusCode::kNotFound);
+  DomainDef unnamed;
+  EXPECT_EQ(catalog.Define(unnamed).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DomainCatalogTest, RangeSpecChecked) {
+  // §2: "we can define a domain AGE on the basic domain INTEGER with the
+  // range [0..200]".
+  DomainCatalog catalog;
+  DomainDef age;
+  age.name = "AGE";
+  age.parent = "integer";
+  age.range = *Interval::Closed(Value::Int(0), Value::Int(200));
+  ASSERT_OK(catalog.Define(age));
+  EXPECT_OK(catalog.CheckValue("AGE", Value::Int(30)));
+  EXPECT_EQ(catalog.CheckValue("AGE", Value::Int(500)).code(),
+            StatusCode::kConstraintViolation);
+  EXPECT_EQ(catalog.CheckValue("AGE", Value::String("x")).code(),
+            StatusCode::kTypeError);
+  EXPECT_OK(catalog.CheckValue("AGE", Value::Null()));
+}
+
+TEST(DomainCatalogTest, RangeBoundTypeMismatchRejected) {
+  DomainCatalog catalog;
+  DomainDef bad;
+  bad.name = "BAD";
+  bad.parent = "integer";
+  bad.range = *Interval::Closed(Value::String("a"), Value::String("b"));
+  EXPECT_EQ(catalog.Define(bad).code(), StatusCode::kTypeError);
+}
+
+TEST(DomainCatalogTest, SetSpecChecked) {
+  DomainCatalog catalog;
+  DomainDef grade;
+  grade.name = "GRADE";
+  grade.parent = "string";
+  grade.allowed_set = {Value::String("A"), Value::String("B")};
+  ASSERT_OK(catalog.Define(grade));
+  EXPECT_OK(catalog.CheckValue("GRADE", Value::String("A")));
+  EXPECT_EQ(catalog.CheckValue("GRADE", Value::String("F")).code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST(DomainCatalogTest, CharLengthEnforced) {
+  DomainCatalog catalog;
+  EXPECT_OK(catalog.CheckValue("CHAR[4]", Value::String("0101")));
+  EXPECT_EQ(catalog.CheckValue("CHAR[4]", Value::String("01012")).code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST(DomainCatalogTest, ChainChecksEveryLevel) {
+  DomainCatalog catalog;
+  DomainDef base;
+  base.name = "SMALL";
+  base.parent = "integer";
+  base.range = *Interval::Closed(Value::Int(0), Value::Int(100));
+  ASSERT_OK(catalog.Define(base));
+  DomainDef narrow;
+  narrow.name = "NARROW";
+  narrow.parent = "SMALL";
+  narrow.range = *Interval::Closed(Value::Int(10), Value::Int(20));
+  ASSERT_OK(catalog.Define(narrow));
+  EXPECT_OK(catalog.CheckValue("NARROW", Value::Int(15)));
+  // 50 passes NARROW's parent but fails NARROW itself.
+  EXPECT_FALSE(catalog.CheckValue("NARROW", Value::Int(5)).ok());
+  // 500 fails the parent's range.
+  EXPECT_FALSE(catalog.CheckValue("NARROW", Value::Int(500)).ok());
+}
+
+TEST(DomainCatalogTest, ObjectDomains) {
+  DomainCatalog catalog;
+  ASSERT_OK(catalog.DefineObjectDomain("SUBMARINE"));
+  ASSERT_OK(catalog.DefineObjectDomain("SUBMARINE"));  // idempotent
+  ASSERT_OK_AND_ASSIGN(const DomainDef* def, catalog.Get("SUBMARINE"));
+  EXPECT_TRUE(def->is_object_domain);
+  ASSERT_OK_AND_ASSIGN(ValueType t, catalog.ResolveType("SUBMARINE"));
+  EXPECT_EQ(t, ValueType::kString);
+}
+
+TEST(DomainCatalogTest, UserDomainNamesInOrder) {
+  DomainCatalog catalog;
+  DomainDef a;
+  a.name = "B_DOMAIN";
+  a.parent = "integer";
+  ASSERT_OK(catalog.Define(a));
+  DomainDef b;
+  b.name = "A_DOMAIN";
+  b.parent = "integer";
+  ASSERT_OK(catalog.Define(b));
+  EXPECT_EQ(catalog.UserDomainNames(),
+            (std::vector<std::string>{"B_DOMAIN", "A_DOMAIN"}));
+}
+
+}  // namespace
+}  // namespace iqs

@@ -1,0 +1,136 @@
+#include "core/answer_formatter.h"
+
+#include "gtest/gtest.h"
+#include "core/system.h"
+#include "testbed/ship_db.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+class FormatterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto system = BuildShipSystem();
+    ASSERT_TRUE(system.ok()) << system.status();
+    system_ = std::move(system).value();
+    InductionConfig config;
+    config.min_support = 3;
+    ASSERT_OK(system_->Induce(config));
+  }
+
+  std::unique_ptr<IqsSystem> system_;
+};
+
+TEST_F(FormatterTest, MostSpecificTypesDropsSupertypes) {
+  IntensionalAnswer answer;
+  IntensionalStatement statement;
+  statement.direction = AnswerDirection::kContains;
+  Fact specific = Fact::Type("x", "C0103", {1});
+  specific.root_entity = "SUBMARINE";
+  Fact mid = Fact::Type("x", "SSBN", {1});
+  mid.root_entity = "SUBMARINE";
+  Fact root = Fact::Type("x", "SUBMARINE", {1});
+  root.root_entity = "SUBMARINE";
+  statement.facts = {root, mid, specific};
+  answer.Add(statement);
+  auto types = system_->formatter().MostSpecificTypes(answer);
+  ASSERT_EQ(types.size(), 1u);
+  EXPECT_EQ(types[0].second, "C0103");
+}
+
+TEST_F(FormatterTest, MostSpecificTypesKeepsDistinctRoles) {
+  IntensionalAnswer answer;
+  IntensionalStatement statement;
+  statement.direction = AnswerDirection::kContains;
+  Fact ship = Fact::Type("x", "SSN", {1});
+  ship.root_entity = "SUBMARINE";
+  Fact sonar = Fact::Type("y", "BQS", {2});
+  sonar.root_entity = "SONAR";
+  statement.facts = {ship, sonar};
+  answer.Add(statement);
+  auto types = system_->formatter().MostSpecificTypes(answer);
+  EXPECT_EQ(types.size(), 2u);
+}
+
+TEST_F(FormatterTest, BackwardOnlyTypesIgnored) {
+  IntensionalAnswer answer;
+  IntensionalStatement statement;
+  statement.direction = AnswerDirection::kContainedIn;
+  Fact f = Fact::Type("x", "SSBN", {5});
+  f.root_entity = "SUBMARINE";
+  statement.facts = {f};
+  answer.Add(statement);
+  EXPECT_TRUE(system_->formatter().MostSpecificTypes(answer).empty());
+}
+
+TEST_F(FormatterTest, EmptyAnswerSummary) {
+  QueryResult result;
+  result.statement = *ParseSelect("SELECT Id FROM SUBMARINE");
+  EXPECT_EQ(system_->formatter().Summary(result),
+            "No intensional answer could be derived for this query.");
+}
+
+TEST_F(FormatterTest, RenderFlagsApproximateStatements) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult result,
+      system_->Query(Example3Sql(), InferenceMode::kCombined));
+  std::string rendered = system_->formatter().Render(result);
+  EXPECT_NE(rendered.find("[approximate]"), std::string::npos);
+  EXPECT_NE(rendered.find("answers ⊆"), std::string::npos);
+  EXPECT_NE(rendered.find("answers ⊇"), std::string::npos);
+}
+
+TEST_F(FormatterTest, VocabularyIsConfigurable) {
+  // The same machinery with a different noun: rebuild the system parts
+  // by hand with custom options.
+  AnswerFormatter formatter(&system_->dictionary(),
+                            FormatterOptions{"Vessel", "carries"});
+  ASSERT_OK_AND_ASSIGN(QueryResult result,
+                       system_->Query(Example1Sql(), InferenceMode::kForward));
+  EXPECT_EQ(formatter.Summary(result),
+            "Vessel type SSBN has Displacement > 8000.");
+}
+
+TEST_F(FormatterTest, IntensionalStatementToString) {
+  IntensionalStatement statement;
+  statement.direction = AnswerDirection::kContains;
+  statement.facts = {Fact::Type("x", "SSBN", {9})};
+  statement.rule_ids = {9};
+  EXPECT_EQ(statement.ToString(), "answers ⊆ { x isa SSBN }  (by R9)");
+  statement.direction = AnswerDirection::kContainedIn;
+  statement.rule_ids = {5, 9};
+  EXPECT_EQ(statement.ToString(), "answers ⊇ { x isa SSBN }  (by R5, R9)");
+}
+
+TEST_F(FormatterTest, AnswerDirectionNames) {
+  EXPECT_STREQ(AnswerDirectionName(AnswerDirection::kContains), "contains");
+  EXPECT_STREQ(AnswerDirectionName(AnswerDirection::kContainedIn),
+               "contained-in");
+}
+
+TEST_F(FormatterTest, PrimaryRoleFallsBackWhenFromTableIsNotTheRoot) {
+  // A query over CLASS alone: the derived facts root at SUBMARINE, which
+  // is not in the FROM list — the summary must still name the type.
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult result,
+      system_->Query(
+          "SELECT ClassName FROM CLASS WHERE CLASS.Displacement > 8000",
+          InferenceMode::kForward));
+  EXPECT_EQ(system_->formatter().Summary(result),
+            "Ship type SSBN has Displacement > 8000.");
+}
+
+TEST_F(FormatterTest, SystemFacadeErrors) {
+  // Facade validations and error propagation.
+  EXPECT_FALSE(IqsSystem::Create(nullptr, nullptr).ok());
+  EXPECT_FALSE(system_->Query("not sql at all").ok());
+  EXPECT_FALSE(system_->Query("SELECT * FROM GHOST").ok());
+  // Loading rules from a database without rule relations fails cleanly.
+  auto fresh = BuildShipSystem();
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ((*fresh)->LoadRulesFromDatabase().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace iqs

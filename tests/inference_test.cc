@@ -1,0 +1,260 @@
+#include "inference/engine.h"
+
+#include "gtest/gtest.h"
+#include "induction/ils.h"
+#include "testbed/ship_db.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+class InferenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = BuildShipDatabase();
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_ = std::move(db).value();
+    auto catalog = BuildShipCatalog();
+    ASSERT_TRUE(catalog.ok()) << catalog.status();
+    catalog_ = std::move(catalog).value();
+    dictionary_ = std::make_unique<DataDictionary>(catalog_.get());
+    ASSERT_OK(dictionary_->BuildFrames());
+    ASSERT_OK(dictionary_->ComputeActiveDomains(*db_));
+    InductiveLearningSubsystem ils(db_.get(), catalog_.get());
+    InductionConfig config;
+    config.min_support = 3;
+    auto rules = ils.InduceAll(config);
+    ASSERT_TRUE(rules.ok()) << rules.status();
+    dictionary_->SetInducedRules(std::move(rules).value());
+    engine_ = std::make_unique<InferenceEngine>(dictionary_.get());
+  }
+
+  bool HasTypeFact(const std::vector<Fact>& facts, const std::string& type) {
+    for (const Fact& f : facts) {
+      if (f.kind == Fact::Kind::kType && f.type_name == type) return true;
+    }
+    return false;
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<KerCatalog> catalog_;
+  std::unique_ptr<DataDictionary> dictionary_;
+  std::unique_ptr<InferenceEngine> engine_;
+};
+
+TEST_F(InferenceTest, ForwardExample1DerivesSSBN) {
+  QueryDescription query;
+  query.object_types = {"SUBMARINE", "CLASS"};
+  query.conditions.push_back(Clause(
+      "CLASS.Displacement", Interval::AtLeast(Value::Int(8000), true)));
+  ASSERT_OK_AND_ASSIGN(std::vector<Fact> facts,
+                       engine_->Forward(query, dictionary_->induced_rules()));
+  EXPECT_TRUE(HasTypeFact(facts, "SSBN"));
+  EXPECT_TRUE(HasTypeFact(facts, "SUBMARINE"));  // supertype closure
+  EXPECT_FALSE(HasTypeFact(facts, "SSN"));
+  // Provenance: the SSBN fact cites R9 (the displacement rule).
+  for (const Fact& f : facts) {
+    if (f.kind == Fact::Kind::kType && f.type_name == "SSBN") {
+      ASSERT_EQ(f.rule_ids.size(), 1u);
+      EXPECT_EQ(f.rule_ids[0], 9);
+      EXPECT_EQ(f.origin, Fact::Origin::kRule);
+      EXPECT_EQ(f.root_entity, "SUBMARINE");
+    }
+  }
+}
+
+TEST_F(InferenceTest, ForwardWithoutClippingDoesNotFire) {
+  // An unbounded condition over a displacement beyond the database's
+  // active domain must not be subsumed once the domain says otherwise.
+  QueryDescription query;
+  query.object_types = {"CLASS"};
+  query.conditions.push_back(Clause(
+      "CLASS.Displacement", Interval::AtMost(Value::Int(1000), false)));
+  ASSERT_OK_AND_ASSIGN(std::vector<Fact> facts,
+                       engine_->Forward(query, dictionary_->induced_rules()));
+  // Displacement <= 1000 clipped to [2145, 30000] is empty, which IS
+  // subsumed by anything — an empty answer set vacuously satisfies every
+  // characterization. Both SSBN and SSN rules fire.
+  EXPECT_TRUE(HasTypeFact(facts, "SSN"));
+  EXPECT_TRUE(HasTypeFact(facts, "SSBN"));
+}
+
+TEST_F(InferenceTest, ForwardSeedsTypeFromDerivationCondition) {
+  QueryDescription query;
+  query.object_types = {"SUBMARINE", "CLASS"};
+  query.conditions.push_back(
+      Clause::Equals("CLASS.Type", Value::String("SSBN")));
+  ASSERT_OK_AND_ASSIGN(std::vector<Fact> facts,
+                       engine_->Forward(query, dictionary_->induced_rules()));
+  EXPECT_TRUE(HasTypeFact(facts, "SSBN"));
+  for (const Fact& f : facts) {
+    if (f.kind == Fact::Kind::kType && f.type_name == "SSBN") {
+      EXPECT_EQ(f.origin, Fact::Origin::kSeed);
+    }
+  }
+}
+
+TEST_F(InferenceTest, ForwardChainsThroughDerivedFacts) {
+  // Example 3's chain: Sonar = BQS-04 fires the merged sonar rule
+  // (x isa SSN) AND R11 (sonar type BQS).
+  QueryDescription query;
+  query.object_types = {"SUBMARINE", "CLASS", "INSTALL"};
+  query.conditions.push_back(
+      Clause::Equals("INSTALL.Sonar", Value::String("BQS-04")));
+  ASSERT_OK_AND_ASSIGN(std::vector<Fact> facts,
+                       engine_->Forward(query, dictionary_->induced_rules()));
+  EXPECT_TRUE(HasTypeFact(facts, "BQS"));
+  EXPECT_TRUE(HasTypeFact(facts, "SSN"));
+  EXPECT_TRUE(HasTypeFact(facts, "SONAR"));
+  EXPECT_TRUE(HasTypeFact(facts, "SUBMARINE"));
+}
+
+TEST_F(InferenceTest, BackwardExample2FindsClassRange) {
+  QueryDescription query;
+  query.object_types = {"SUBMARINE", "CLASS"};
+  query.conditions.push_back(
+      Clause::Equals("CLASS.Type", Value::String("SSBN")));
+  std::vector<Fact> targets{
+      Fact::Type("x", "SSBN"),
+  };
+  targets[0].root_entity = "SUBMARINE";
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<IntensionalStatement> statements,
+      engine_->Backward(query, targets, dictionary_->induced_rules()));
+  // R5 (class range) and R9 (displacement range) imply isa SSBN
+  // directly; R1 (ids of class 0103) implies it through the subtype
+  // C0103.
+  ASSERT_EQ(statements.size(), 3u);
+  const IntensionalStatement* r5 = nullptr;
+  for (const IntensionalStatement& s : statements) {
+    if (s.rule_ids == std::vector<int>{5}) r5 = &s;
+    EXPECT_EQ(s.direction, AnswerDirection::kContainedIn);
+  }
+  ASSERT_NE(r5, nullptr);
+  EXPECT_EQ(r5->facts[0].clause.ToConditionString(),
+            "0101 <= Class <= 0103");
+  EXPECT_TRUE(r5->exact);  // seeded target, single condition
+}
+
+TEST_F(InferenceTest, BackwardRangeTargetUsesIntervalContainment) {
+  QueryDescription query;
+  query.object_types = {"CLASS"};
+  // Target: every answer has Displacement within [2000, 40000]; R8's and
+  // R9's consequents... are point Type clauses, so use a Type range
+  // target instead: Type = SSN.
+  std::vector<Fact> targets{
+      Fact::Range(Clause::Equals("Type", Value::String("SSN")))};
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<IntensionalStatement> statements,
+      engine_->Backward(query, targets, dictionary_->induced_rules()));
+  // R6 (class range), R7 (class names), R8 (displacement) + the two
+  // merged INSTALL sonar rules conclude Type/x.Type = SSN.
+  EXPECT_GE(statements.size(), 3u);
+  for (const IntensionalStatement& s : statements) {
+    EXPECT_EQ(s.direction, AnswerDirection::kContainedIn);
+    EXPECT_FALSE(s.exact);  // target was not seeded from the query
+  }
+}
+
+TEST_F(InferenceTest, CombinedInferReproducesExample3Statements) {
+  QueryDescription query;
+  query.object_types = {"SUBMARINE", "CLASS", "INSTALL"};
+  query.conditions.push_back(
+      Clause::Equals("INSTALL.Sonar", Value::String("BQS-04")));
+  ASSERT_OK_AND_ASSIGN(
+      IntensionalAnswer answer,
+      engine_->Infer(query, InferenceMode::kCombined));
+  EXPECT_FALSE(answer.empty());
+  // Forward part names both SSN and BQS.
+  std::vector<std::string> types = answer.ForwardTypes();
+  EXPECT_NE(std::find(types.begin(), types.end(), "SSN"), types.end());
+  EXPECT_NE(std::find(types.begin(), types.end(), "BQS"), types.end());
+  // A backward statement cites rule 16 (paper R16: class 0208..0215).
+  bool found_class_range = false;
+  for (const IntensionalStatement& s : answer.statements()) {
+    if (s.direction != AnswerDirection::kContainedIn) continue;
+    for (const Fact& f : s.facts) {
+      if (f.clause.ToConditionString() == "0208 <= x.Class <= 0215") {
+        found_class_range = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_class_range);
+}
+
+TEST_F(InferenceTest, CombinedSkipsWeakHierarchyTargets) {
+  // Example 1: no backward statement may be justified merely by
+  // "x isa SUBMARINE" (hierarchy closure).
+  QueryDescription query;
+  query.object_types = {"SUBMARINE", "CLASS"};
+  query.conditions.push_back(Clause(
+      "CLASS.Displacement", Interval::AtLeast(Value::Int(8000), true)));
+  ASSERT_OK_AND_ASSIGN(IntensionalAnswer answer,
+                       engine_->Infer(query, InferenceMode::kCombined));
+  for (const IntensionalStatement& s : answer.statements()) {
+    if (s.direction != AnswerDirection::kContainedIn) continue;
+    if (s.target.kind == Fact::Kind::kType) {
+      EXPECT_NE(s.target.type_name, "SUBMARINE") << s.ToString();
+    }
+  }
+}
+
+TEST_F(InferenceTest, ForwardModeOmitsBackwardStatements) {
+  QueryDescription query;
+  query.object_types = {"SUBMARINE", "CLASS"};
+  query.conditions.push_back(
+      Clause::Equals("CLASS.Type", Value::String("SSBN")));
+  ASSERT_OK_AND_ASSIGN(IntensionalAnswer forward,
+                       engine_->Infer(query, InferenceMode::kForward));
+  EXPECT_TRUE(forward.InDirection(AnswerDirection::kContainedIn).empty());
+  ASSERT_OK_AND_ASSIGN(IntensionalAnswer backward,
+                       engine_->Infer(query, InferenceMode::kBackward));
+  EXPECT_TRUE(backward.InDirection(AnswerDirection::kContains).empty());
+}
+
+TEST_F(InferenceTest, NoConditionsNoAnswer) {
+  QueryDescription query;
+  query.object_types = {"SUBMARINE"};
+  ASSERT_OK_AND_ASSIGN(IntensionalAnswer answer,
+                       engine_->Infer(query, InferenceMode::kCombined));
+  EXPECT_TRUE(answer.empty());
+}
+
+TEST_F(InferenceTest, DeclaredRulesWorkAsWell) {
+  // The baseline path: inference over the Appendix-B constraints.
+  QueryDescription query;
+  query.object_types = {"SUBMARINE", "CLASS", "INSTALL"};
+  query.conditions.push_back(
+      Clause::Equals("INSTALL.Sonar", Value::String("BQS-04")));
+  ASSERT_OK_AND_ASSIGN(
+      IntensionalAnswer answer,
+      engine_->InferWith(query, InferenceMode::kCombined,
+                         dictionary_->declared_rules()));
+  // The declared INSTALL constraint "y.Sonar = BQS-04 -> x.Type = SSN"
+  // fires forward.
+  std::vector<std::string> types = answer.ForwardTypes();
+  EXPECT_NE(std::find(types.begin(), types.end(), "SSN"), types.end());
+}
+
+TEST_F(InferenceTest, FactToStringFormats) {
+  Fact type_fact = Fact::Type("y", "BQS", {11});
+  EXPECT_EQ(type_fact.ToString(), "y isa BQS  [R11]");
+  Fact range_fact =
+      Fact::Range(Clause::Equals("Sonar", Value::String("BQS-04")));
+  EXPECT_EQ(range_fact.ToString(), "Sonar = BQS-04");
+}
+
+TEST_F(InferenceTest, QueryDescriptionToString) {
+  QueryDescription query;
+  query.object_types = {"SUBMARINE", "CLASS"};
+  query.conditions.push_back(
+      Clause::Equals("CLASS.Type", Value::String("SSBN")));
+  EXPECT_EQ(query.ToString(),
+            "over {SUBMARINE, CLASS} where CLASS.Type = SSBN");
+  QueryDescription empty;
+  empty.object_types = {"T"};
+  EXPECT_EQ(empty.ToString(), "over {T} where true");
+}
+
+}  // namespace
+}  // namespace iqs

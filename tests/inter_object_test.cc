@@ -1,0 +1,128 @@
+#include "induction/inter_object.h"
+
+#include "gtest/gtest.h"
+#include "induction/candidate_generator.h"
+#include "testbed/ship_db.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+class InterObjectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = BuildShipDatabase();
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_ = std::move(db).value();
+    auto catalog = BuildShipCatalog();
+    ASSERT_TRUE(catalog.ok()) << catalog.status();
+    catalog_ = std::move(catalog).value();
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<KerCatalog> catalog_;
+};
+
+TEST_F(InterObjectTest, RolesInAttributeOrder) {
+  ASSERT_OK_AND_ASSIGN(std::vector<RoleBinding> roles,
+                       RelationshipRoles(*catalog_, "INSTALL"));
+  ASSERT_EQ(roles.size(), 2u);
+  EXPECT_EQ(roles[0].variable, "x");
+  EXPECT_EQ(roles[0].type_name, "SUBMARINE");
+  EXPECT_EQ(roles[1].variable, "y");
+  EXPECT_EQ(roles[1].type_name, "SONAR");
+}
+
+TEST_F(InterObjectTest, NonRelationshipHasNoRoles) {
+  EXPECT_FALSE(RelationshipRoles(*catalog_, "TYPE").ok());
+  EXPECT_FALSE(RelationshipRoles(*catalog_, "GHOST").ok());
+}
+
+TEST_F(InterObjectTest, ViewJoinsAllRolesAndExtensions) {
+  ASSERT_OK_AND_ASSIGN(Relation view,
+                       BuildRelationshipView(*db_, *catalog_, "INSTALL"));
+  // One row per INSTALL tuple (keys all resolve).
+  EXPECT_EQ(view.size(), 24u);
+  // Role columns, including the CLASS and TYPE extensions of x.
+  for (const char* column :
+       {"INSTALL.Ship", "INSTALL.Sonar", "x.Id", "x.Name", "x.Class",
+        "x.Type", "x.Displacement", "x.ClassName", "x.TypeName", "y.Sonar",
+        "y.SonarType"}) {
+    EXPECT_TRUE(view.schema().Contains(column)) << column;
+  }
+}
+
+TEST_F(InterObjectTest, ViewRowsAreConsistentJoins) {
+  ASSERT_OK_AND_ASSIGN(Relation view,
+                       BuildRelationshipView(*db_, *catalog_, "INSTALL"));
+  ASSERT_OK_AND_ASSIGN(size_t ship, view.schema().IndexOf("INSTALL.Ship"));
+  ASSERT_OK_AND_ASSIGN(size_t xid, view.schema().IndexOf("x.Id"));
+  ASSERT_OK_AND_ASSIGN(size_t sonar, view.schema().IndexOf("INSTALL.Sonar"));
+  ASSERT_OK_AND_ASSIGN(size_t ysonar, view.schema().IndexOf("y.Sonar"));
+  for (const Tuple& row : view.rows()) {
+    EXPECT_EQ(row.at(ship), row.at(xid));
+    EXPECT_EQ(row.at(sonar), row.at(ysonar));
+  }
+}
+
+TEST_F(InterObjectTest, ViewDropsDanglingReferences) {
+  // Add an INSTALL row whose ship does not exist: inner join drops it.
+  ASSERT_OK_AND_ASSIGN(Relation * install, db_->GetMutable("INSTALL"));
+  ASSERT_OK(install->Insert(
+      Tuple({Value::String("GHOST99"), Value::String("BQQ-2")})));
+  ASSERT_OK_AND_ASSIGN(Relation view,
+                       BuildRelationshipView(*db_, *catalog_, "INSTALL"));
+  EXPECT_EQ(view.size(), 24u);
+}
+
+TEST_F(InterObjectTest, RoleClassificationAttributes) {
+  std::vector<std::string> x_attrs =
+      RoleClassificationAttributes(*catalog_, "x", "SUBMARINE");
+  EXPECT_EQ(x_attrs, (std::vector<std::string>{"x.Class", "x.Type"}));
+  std::vector<std::string> y_attrs =
+      RoleClassificationAttributes(*catalog_, "y", "SONAR");
+  EXPECT_EQ(y_attrs, (std::vector<std::string>{"y.SonarType"}));
+}
+
+TEST_F(InterObjectTest, RoleKeyAttributes) {
+  std::vector<std::string> x_keys =
+      RoleKeyAttributes(*catalog_, "x", "SUBMARINE");
+  // SUBMARINE's own key plus the keys of the entities it references.
+  EXPECT_EQ(x_keys,
+            (std::vector<std::string>{"x.Id", "x.Class", "x.Type"}));
+}
+
+TEST_F(InterObjectTest, ClassificationAttributesPerObjectType) {
+  // CLASS owns Type (SSBN/SSN derivations) and Class (C* derivations).
+  EXPECT_EQ(ClassificationAttributes(*catalog_, "CLASS"),
+            (std::vector<std::string>{"Type", "Class"}));
+  EXPECT_EQ(ClassificationAttributes(*catalog_, "SUBMARINE"),
+            (std::vector<std::string>{"Class"}));
+  EXPECT_EQ(ClassificationAttributes(*catalog_, "SONAR"),
+            (std::vector<std::string>{"SonarType"}));
+  EXPECT_TRUE(ClassificationAttributes(*catalog_, "INSTALL").empty());
+}
+
+TEST_F(InterObjectTest, IntraObjectCandidatesFollowSchema) {
+  ASSERT_OK_AND_ASSIGN(std::vector<SchemeCandidate> submarine,
+                       IntraObjectCandidates(*catalog_, "SUBMARINE"));
+  EXPECT_EQ(submarine, (std::vector<SchemeCandidate>{{"Id", "Class"},
+                                                     {"Name", "Class"}}));
+  ASSERT_OK_AND_ASSIGN(std::vector<SchemeCandidate> cls,
+                       IntraObjectCandidates(*catalog_, "CLASS"));
+  // Y = Type first (paper order R5..R9), then Y = Class.
+  ASSERT_GE(cls.size(), 3u);
+  EXPECT_EQ(cls[0], (SchemeCandidate{"Class", "Type"}));
+  EXPECT_EQ(cls[1], (SchemeCandidate{"ClassName", "Type"}));
+  EXPECT_EQ(cls[2], (SchemeCandidate{"Displacement", "Type"}));
+}
+
+TEST_F(InterObjectTest, KeyAttributes) {
+  EXPECT_EQ(KeyAttributes(*catalog_, "SUBMARINE"),
+            (std::vector<std::string>{"Id"}));
+  EXPECT_EQ(KeyAttributes(*catalog_, "INSTALL"),
+            (std::vector<std::string>{"Ship"}));
+}
+
+}  // namespace
+}  // namespace iqs

@@ -1,0 +1,167 @@
+#include "rules/interval.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+Interval MustClosed(int lo, int hi) {
+  auto iv = Interval::Closed(Value::Int(lo), Value::Int(hi));
+  EXPECT_TRUE(iv.ok());
+  return *iv;
+}
+
+TEST(IntervalTest, ClosedValidatesBounds) {
+  EXPECT_OK(Interval::Closed(Value::Int(1), Value::Int(1)).status());
+  EXPECT_FALSE(Interval::Closed(Value::Int(2), Value::Int(1)).ok());
+  EXPECT_FALSE(
+      Interval::Closed(Value::Int(1), Value::String("x")).ok());
+}
+
+TEST(IntervalTest, PointAndKindPredicates) {
+  Interval p = Interval::Point(Value::Int(5));
+  EXPECT_TRUE(p.IsPoint());
+  EXPECT_FALSE(p.IsEmpty());
+  EXPECT_FALSE(MustClosed(1, 2).IsPoint());
+  EXPECT_TRUE(Interval::All().IsUnboundedBelow());
+  EXPECT_TRUE(Interval::All().IsUnboundedAbove());
+}
+
+TEST(IntervalTest, ContainsRespectsOpenBounds) {
+  Interval open_lo = Interval::AtLeast(Value::Int(10), /*open=*/true);
+  EXPECT_FALSE(open_lo.Contains(Value::Int(10)));
+  EXPECT_TRUE(open_lo.Contains(Value::Int(11)));
+  Interval closed_lo = Interval::AtLeast(Value::Int(10));
+  EXPECT_TRUE(closed_lo.Contains(Value::Int(10)));
+  Interval open_hi = Interval::AtMost(Value::Int(10), /*open=*/true);
+  EXPECT_TRUE(open_hi.Contains(Value::Int(9)));
+  EXPECT_FALSE(open_hi.Contains(Value::Int(10)));
+}
+
+TEST(IntervalTest, NullNeverContained) {
+  EXPECT_FALSE(Interval::All().Contains(Value::Null()));
+}
+
+TEST(IntervalTest, FromCompare) {
+  ASSERT_OK_AND_ASSIGN(Interval eq,
+                       Interval::FromCompare(CompareOp::kEq, Value::Int(5)));
+  EXPECT_TRUE(eq.IsPoint());
+  ASSERT_OK_AND_ASSIGN(Interval gt,
+                       Interval::FromCompare(CompareOp::kGt, Value::Int(5)));
+  EXPECT_FALSE(gt.Contains(Value::Int(5)));
+  EXPECT_TRUE(gt.Contains(Value::Int(6)));
+  ASSERT_OK_AND_ASSIGN(Interval le,
+                       Interval::FromCompare(CompareOp::kLe, Value::Int(5)));
+  EXPECT_TRUE(le.Contains(Value::Int(5)));
+  EXPECT_FALSE(le.Contains(Value::Int(6)));
+  EXPECT_FALSE(Interval::FromCompare(CompareOp::kNe, Value::Int(5)).ok());
+}
+
+TEST(IntervalTest, EmptyDetection) {
+  Interval gt5 = Interval::AtLeast(Value::Int(5), /*open=*/true);
+  Interval le5 = Interval::AtMost(Value::Int(5));
+  EXPECT_TRUE(gt5.Intersection(le5).IsEmpty());
+  EXPECT_FALSE(MustClosed(5, 5).IsEmpty());
+  Interval lt5 = Interval::AtMost(Value::Int(5), /*open=*/true);
+  Interval ge5 = Interval::AtLeast(Value::Int(5));
+  EXPECT_TRUE(lt5.Intersection(ge5).IsEmpty());
+}
+
+TEST(IntervalTest, ContainsInterval) {
+  // The paper's Example 1 subsumption: (8000, +inf) clipped to the active
+  // domain [2145, 30000] is contained in [7250, 30000].
+  Interval rule = MustClosed(7250, 30000);
+  Interval condition = Interval::AtLeast(Value::Int(8000), /*open=*/true);
+  EXPECT_FALSE(rule.ContainsInterval(condition));  // unclipped: unbounded
+  Interval clipped = condition.ClipTo(Value::Int(2145), Value::Int(30000));
+  EXPECT_TRUE(rule.ContainsInterval(clipped));
+}
+
+TEST(IntervalTest, ContainsIntervalOpenVsClosedEndpoints) {
+  Interval closed = MustClosed(1, 10);
+  Interval open_sub = Interval::AtLeast(Value::Int(1), true)
+                          .Intersection(Interval::AtMost(Value::Int(10), true));
+  EXPECT_TRUE(closed.ContainsInterval(open_sub));
+  EXPECT_FALSE(open_sub.ContainsInterval(closed));
+  EXPECT_TRUE(Interval::All().ContainsInterval(closed));
+  EXPECT_FALSE(closed.ContainsInterval(Interval::All()));
+}
+
+TEST(IntervalTest, EmptyIntervalContainedInEverything) {
+  Interval empty = Interval::AtLeast(Value::Int(5), true)
+                       .Intersection(Interval::AtMost(Value::Int(5), true));
+  ASSERT_TRUE(empty.IsEmpty());
+  EXPECT_TRUE(MustClosed(100, 200).ContainsInterval(empty));
+  EXPECT_FALSE(empty.ContainsInterval(MustClosed(100, 200)));
+}
+
+TEST(IntervalTest, IntersectionBounds) {
+  Interval a = MustClosed(1, 10);
+  Interval b = MustClosed(5, 20);
+  Interval c = a.Intersection(b);
+  EXPECT_EQ(c, MustClosed(5, 10));
+  EXPECT_EQ(b.Intersection(a), c);  // commutative
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(MustClosed(11, 12)));
+  // Touching endpoints intersect when both closed.
+  EXPECT_TRUE(a.Intersects(MustClosed(10, 15)));
+}
+
+TEST(IntervalTest, StringIntervals) {
+  auto iv = Interval::Closed(Value::String("SSN623"), Value::String("SSN635"));
+  ASSERT_TRUE(iv.ok());
+  EXPECT_TRUE(iv->Contains(Value::String("SSN629")));
+  EXPECT_FALSE(iv->Contains(Value::String("SSN648")));
+}
+
+TEST(IntervalTest, ToStringForms) {
+  EXPECT_EQ(Interval::Point(Value::Int(42)).ToString(), "= 42");
+  EXPECT_EQ(MustClosed(1, 2).ToString(), "[1, 2]");
+  EXPECT_EQ(Interval::AtLeast(Value::Int(8000), true).ToString(),
+            "(8000, +inf)");
+  EXPECT_EQ(Interval::All().ToString(), "(-inf, +inf)");
+}
+
+// Property sweep over integer intervals: containment, intersection and
+// point membership must be mutually consistent.
+struct IntervalCase {
+  int a_lo, a_hi, b_lo, b_hi;
+};
+
+class IntervalAlgebraProperty : public ::testing::TestWithParam<IntervalCase> {
+};
+
+TEST_P(IntervalAlgebraProperty, LawsHold) {
+  const IntervalCase& c = GetParam();
+  Interval a = MustClosed(c.a_lo, c.a_hi);
+  Interval b = MustClosed(c.b_lo, c.b_hi);
+  Interval both = a.Intersection(b);
+  for (int x = -2; x <= 25; ++x) {
+    Value v = Value::Int(x);
+    // Membership in the intersection == membership in both.
+    EXPECT_EQ(both.Contains(v), a.Contains(v) && b.Contains(v)) << x;
+    // Containment transfers point membership.
+    if (a.ContainsInterval(b) && b.Contains(v)) {
+      EXPECT_TRUE(a.Contains(v)) << x;
+    }
+  }
+  // a contains b iff intersection equals b (for non-empty b).
+  if (!b.IsEmpty()) {
+    EXPECT_EQ(a.ContainsInterval(b), both == b);
+  }
+  // Intersection is idempotent and commutative.
+  EXPECT_EQ(a.Intersection(a), a);
+  EXPECT_EQ(a.Intersection(b), b.Intersection(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IntervalAlgebraProperty,
+    ::testing::Values(IntervalCase{0, 10, 5, 15}, IntervalCase{0, 10, 0, 10},
+                      IntervalCase{0, 3, 4, 8}, IntervalCase{2, 8, 3, 5},
+                      IntervalCase{3, 5, 2, 8}, IntervalCase{0, 0, 0, 0},
+                      IntervalCase{0, 0, 1, 1}, IntervalCase{0, 20, 10, 10},
+                      IntervalCase{5, 6, 6, 7}, IntervalCase{1, 2, 2, 3}));
+
+}  // namespace
+}  // namespace iqs

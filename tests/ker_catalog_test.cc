@@ -1,0 +1,181 @@
+#include "ker/catalog.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "testbed/ship_db.h"
+
+namespace iqs {
+namespace {
+
+Result<std::unique_ptr<KerCatalog>> SmallCatalog() {
+  auto catalog = std::make_unique<KerCatalog>();
+  ObjectTypeDef person;
+  person.name = "PERSON";
+  person.attributes = {{"Id", "CHAR[6]", true},
+                       {"Role", "CHAR[10]", false},
+                       {"Age", "integer", false}};
+  IQS_RETURN_IF_ERROR(catalog->DefineObjectType(std::move(person)));
+  IQS_RETURN_IF_ERROR(
+      catalog->DefineContains("PERSON", {"PROFESSOR", "STUDENT"}));
+  IQS_RETURN_IF_ERROR(catalog->SetDerivation(
+      "PROFESSOR", Clause::Equals("Role", Value::String("PROF"))));
+  return catalog;
+}
+
+TEST(KerCatalogTest, DefineAndLookup) {
+  ASSERT_OK_AND_ASSIGN(auto catalog, SmallCatalog());
+  EXPECT_TRUE(catalog->HasObjectType("person"));
+  ASSERT_OK_AND_ASSIGN(const ObjectTypeDef* def,
+                       catalog->GetObjectType("PERSON"));
+  EXPECT_EQ(def->attributes.size(), 3u);
+  EXPECT_FALSE(catalog->GetObjectType("GHOST").ok());
+  EXPECT_EQ(catalog->ObjectTypeNames(),
+            (std::vector<std::string>{"PERSON"}));
+}
+
+TEST(KerCatalogTest, DuplicateObjectTypeRejected) {
+  ASSERT_OK_AND_ASSIGN(auto catalog, SmallCatalog());
+  ObjectTypeDef dup;
+  dup.name = "person";
+  EXPECT_EQ(catalog->DefineObjectType(std::move(dup)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(KerCatalogTest, ObjectTypeRegistersHierarchyRootAndDomain) {
+  ASSERT_OK_AND_ASSIGN(auto catalog, SmallCatalog());
+  EXPECT_TRUE(catalog->hierarchy().Contains("PERSON"));
+  EXPECT_TRUE(catalog->domains().Contains("PERSON"));
+}
+
+TEST(KerCatalogTest, ForwardDomainReferencesBecomeObjectDomains) {
+  KerCatalog catalog;
+  ObjectTypeDef rel;
+  rel.name = "ENROLL";
+  rel.attributes = {{"Student", "PERSON", true}};  // PERSON not defined yet
+  ASSERT_OK(catalog.DefineObjectType(std::move(rel)));
+  ASSERT_OK_AND_ASSIGN(const DomainDef* domain, catalog.domains().Get("PERSON"));
+  EXPECT_TRUE(domain->is_object_domain);
+}
+
+TEST(KerCatalogTest, ContainsCreatesDisjointSubtypes) {
+  ASSERT_OK_AND_ASSIGN(auto catalog, SmallCatalog());
+  ASSERT_OK_AND_ASSIGN(const TypeNode* node,
+                       catalog->hierarchy().Get("PROFESSOR"));
+  EXPECT_TRUE(node->disjoint_partition);
+  EXPECT_EQ(node->parent, "PERSON");
+}
+
+TEST(KerCatalogTest, OwnerOfAttribute) {
+  ASSERT_OK_AND_ASSIGN(auto catalog, SmallCatalog());
+  ASSERT_OK_AND_ASSIGN(std::string owner, catalog->OwnerOfAttribute("Age"));
+  EXPECT_EQ(owner, "PERSON");
+  ASSERT_OK_AND_ASSIGN(std::string owner2,
+                       catalog->OwnerOfAttribute("PERSON.Age"));
+  EXPECT_EQ(owner2, "PERSON");
+  EXPECT_FALSE(catalog->OwnerOfAttribute("PERSON.Nope").ok());
+  EXPECT_FALSE(catalog->OwnerOfAttribute("Nope").ok());
+}
+
+TEST(KerCatalogTest, OwnerOfAmbiguousAttributeFails) {
+  ASSERT_OK_AND_ASSIGN(auto catalog, SmallCatalog());
+  ObjectTypeDef other;
+  other.name = "ROBOT";
+  other.attributes = {{"Age", "integer", false}};
+  ASSERT_OK(catalog->DefineObjectType(std::move(other)));
+  EXPECT_EQ(catalog->OwnerOfAttribute("Age").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(KerCatalogTest, DeclaredRulesGetIsaReadings) {
+  ASSERT_OK_AND_ASSIGN(auto catalog, SmallCatalog());
+  KerConstraint c;
+  c.kind = KerConstraint::Kind::kRule;
+  c.rule.lhs.push_back(
+      *Clause::Range("Age", Value::Int(30), Value::Int(70)));
+  c.rule.rhs.clause = Clause::Equals("Role", Value::String("PROF"));
+  ASSERT_OK(catalog->DefineContains("PERSON", {}, {c}));
+  RuleSet declared = catalog->DeclaredRules();
+  ASSERT_EQ(declared.size(), 1u);
+  EXPECT_EQ(declared.rule(0).rhs.isa_type, "PROFESSOR");
+  EXPECT_EQ(declared.rule(0).source_relation, "PERSON");
+  EXPECT_EQ(declared.rule(0).id, 1);
+}
+
+TEST(KerCatalogTest, ContainsAttachesDerivationFromStructureRule) {
+  ASSERT_OK_AND_ASSIGN(auto catalog, SmallCatalog());
+  // STUDENT has no derivation yet; a single-clause structure rule in a
+  // contains-clause supplies it.
+  KerConstraint c;
+  c.kind = KerConstraint::Kind::kRule;
+  c.rule.lhs.push_back(Clause::Equals("Role", Value::String("STUD")));
+  c.rule.rhs.clause = Clause::Equals("isa(x)", Value::String("STUDENT"));
+  c.rule.rhs.isa_type = "STUDENT";
+  ASSERT_OK(catalog->DefineContains("PERSON", {}, {c}));
+  ASSERT_OK_AND_ASSIGN(const TypeNode* node,
+                       catalog->hierarchy().Get("STUDENT"));
+  ASSERT_TRUE(node->derivation.has_value());
+  EXPECT_EQ(node->derivation->ToConditionString(), "Role = STUD");
+}
+
+TEST(KerCatalogTest, ShipCatalogRelationships) {
+  ASSERT_OK_AND_ASSIGN(auto catalog, BuildShipCatalog());
+  std::vector<std::string> relationships = catalog->RelationshipTypeNames();
+  // SUBMARINE (Class->CLASS), CLASS (Type->TYPE), and INSTALL all carry
+  // object-domain attributes.
+  EXPECT_EQ(relationships.size(), 3u);
+  EXPECT_EQ(relationships[0], "SUBMARINE");
+  EXPECT_EQ(relationships[2], "INSTALL");
+}
+
+TEST(KerCatalogTest, ShipCatalogDeclaredRules) {
+  ASSERT_OK_AND_ASSIGN(auto catalog, BuildShipCatalog());
+  RuleSet declared = catalog->DeclaredRules();
+  // 4 CLASS rules + 3 SONAR rules + 4 INSTALL rules (Appendix B).
+  EXPECT_EQ(declared.size(), 11u);
+  // The class-range constraint rule reads as an isa rule.
+  EXPECT_EQ(declared.rule(0).rhs.isa_type, "SSBN");
+}
+
+TEST(KerCatalogTest, ToDdlMentionsEveryObjectType) {
+  ASSERT_OK_AND_ASSIGN(auto catalog, BuildShipCatalog());
+  std::string ddl = catalog->ToDdl();
+  for (const char* name :
+       {"object type SUBMARINE", "object type CLASS", "object type SONAR",
+        "SUBMARINE contains SSBN, SSN",
+        "SSBN isa SUBMARINE with Type = \"SSBN\"", "domain: SHIP_NAME"}) {
+    EXPECT_NE(ddl.find(name), std::string::npos) << name << "\n" << ddl;
+  }
+}
+
+TEST(KerCatalogTest, ObjectTypeToSchemaResolvesDomains) {
+  ASSERT_OK_AND_ASSIGN(auto catalog, BuildShipCatalog());
+  ASSERT_OK_AND_ASSIGN(const ObjectTypeDef* def,
+                       catalog->GetObjectType("CLASS"));
+  ASSERT_OK_AND_ASSIGN(Schema schema, def->ToSchema(catalog->domains()));
+  EXPECT_EQ(schema.ToString(),
+            "(Class:string key, Type:string, ClassName:string, "
+            "Displacement:integer)");
+}
+
+TEST(KerCatalogTest, CheckTupleEnforcesDomainAndRangeConstraints) {
+  ASSERT_OK_AND_ASSIGN(auto catalog, BuildShipCatalog());
+  ASSERT_OK_AND_ASSIGN(const ObjectTypeDef* def,
+                       catalog->GetObjectType("CLASS"));
+  ASSERT_OK_AND_ASSIGN(Schema schema, def->ToSchema(catalog->domains()));
+  Tuple good({Value::String("0101"), Value::String("SSBN"),
+              Value::String("Ohio"), Value::Int(16600)});
+  EXPECT_OK(def->CheckTuple(catalog->domains(), schema, good));
+  // Violates the declared Displacement in [2000..30000].
+  Tuple bad({Value::String("0101"), Value::String("SSBN"),
+             Value::String("Ohio"), Value::Int(99)});
+  EXPECT_EQ(def->CheckTuple(catalog->domains(), schema, bad).code(),
+            StatusCode::kConstraintViolation);
+  // Violates CHAR[4] on Class.
+  Tuple too_long({Value::String("01012"), Value::String("SSBN"),
+                  Value::String("Ohio"), Value::Int(16600)});
+  EXPECT_EQ(def->CheckTuple(catalog->domains(), schema, too_long).code(),
+            StatusCode::kConstraintViolation);
+}
+
+}  // namespace
+}  // namespace iqs

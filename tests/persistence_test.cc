@@ -1,0 +1,113 @@
+#include "core/persistence.h"
+
+#include <filesystem>
+
+#include "gtest/gtest.h"
+#include "testbed/employee_db.h"
+#include "testbed/ship_db.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/iqs_persistence_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(PersistenceTest, ShipSystemRoundTrips) {
+  ASSERT_OK_AND_ASSIGN(auto original, BuildShipSystem());
+  InductionConfig config;
+  config.min_support = 3;
+  ASSERT_OK(original->Induce(config));
+  ASSERT_OK(SaveSystem(original.get(), dir_));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/schema.ker"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/manifest.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/SUBMARINE.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/RULE_REL.csv"));
+
+  FormatterOptions options;
+  options.entity_noun = "Ship";
+  options.relationship_phrase = "is equipped with";
+  ASSERT_OK_AND_ASSIGN(auto loaded, LoadSystem(dir_, options));
+
+  // Data identical.
+  for (const char* name : {"SUBMARINE", "CLASS", "TYPE", "SONAR", "INSTALL"}) {
+    ASSERT_OK_AND_ASSIGN(const Relation* a, original->database().Get(name));
+    ASSERT_OK_AND_ASSIGN(const Relation* b, loaded->database().Get(name));
+    EXPECT_EQ(a->rows(), b->rows()) << name;
+    EXPECT_EQ(a->schema(), b->schema()) << name;
+  }
+  // Rules identical (without re-running induction).
+  ASSERT_EQ(loaded->dictionary().induced_rules().size(),
+            original->dictionary().induced_rules().size());
+  for (size_t i = 0; i < loaded->dictionary().induced_rules().size(); ++i) {
+    EXPECT_EQ(loaded->dictionary().induced_rules().rule(i),
+              original->dictionary().induced_rules().rule(i));
+  }
+  // The hierarchy came back through the DDL.
+  EXPECT_TRUE(loaded->catalog().hierarchy().Contains("C0204"));
+  // And the loaded system answers the paper's Example 1.
+  ASSERT_OK_AND_ASSIGN(QueryResult result,
+                       loaded->Query(Example1Sql(), InferenceMode::kForward));
+  EXPECT_EQ(loaded->formatter().Summary(result),
+            "Ship type SSBN has Displacement > 8000.");
+}
+
+TEST_F(PersistenceTest, SystemWithoutInducedRulesRoundTrips) {
+  ASSERT_OK_AND_ASSIGN(auto original, BuildEmployeeSystem());
+  // No induction: rule meta-relations are written empty but present.
+  ASSERT_OK(SaveSystem(original.get(), dir_));
+  ASSERT_OK_AND_ASSIGN(auto loaded, LoadSystem(dir_));
+  EXPECT_TRUE(loaded->dictionary().induced_rules().empty());
+  ASSERT_OK_AND_ASSIGN(const Relation* employees,
+                       loaded->database().Get("EMPLOYEE"));
+  EXPECT_EQ(employees->size(), 18u);
+  // The declared Age range constraint reconstructed from the DDL.
+  ASSERT_OK_AND_ASSIGN(const ObjectTypeDef* def,
+                       loaded->catalog().GetObjectType("EMPLOYEE"));
+  ASSERT_EQ(def->constraints.size(), 1u);
+  EXPECT_EQ(def->constraints[0].ToString(), "Age in [18..65]");
+}
+
+TEST_F(PersistenceTest, LoadMissingDirectoryFails) {
+  EXPECT_EQ(LoadSystem("/nonexistent/iqs").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(PersistenceTest, LoadRejectsCorruptManifest) {
+  ASSERT_OK_AND_ASSIGN(auto original, BuildShipSystem());
+  ASSERT_OK(SaveSystem(original.get(), dir_));
+  // Truncate the manifest mid-file.
+  std::filesystem::resize_file(dir_ + "/manifest.csv", 40);
+  EXPECT_FALSE(LoadSystem(dir_).ok());
+}
+
+TEST_F(PersistenceTest, LoadRejectsMissingRelationFile) {
+  ASSERT_OK_AND_ASSIGN(auto original, BuildShipSystem());
+  ASSERT_OK(SaveSystem(original.get(), dir_));
+  std::filesystem::remove(dir_ + "/SONAR.csv");
+  EXPECT_EQ(LoadSystem(dir_).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PersistenceTest, SaveIsIdempotent) {
+  ASSERT_OK_AND_ASSIGN(auto original, BuildShipSystem());
+  InductionConfig config;
+  config.min_support = 3;
+  ASSERT_OK(original->Induce(config));
+  ASSERT_OK(SaveSystem(original.get(), dir_));
+  ASSERT_OK(SaveSystem(original.get(), dir_));  // overwrite in place
+  ASSERT_OK_AND_ASSIGN(auto loaded, LoadSystem(dir_));
+  EXPECT_EQ(loaded->dictionary().induced_rules().size(),
+            original->dictionary().induced_rules().size());
+}
+
+}  // namespace
+}  // namespace iqs

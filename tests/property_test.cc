@@ -1,0 +1,213 @@
+// Randomized property tests over the whole pipeline: build a synthetic
+// database whose classification attribute is determined by value bands,
+// induce rules, run queries, and check the paper's containment semantics
+// (§4): forward statements characterize a superset of the answer; exact
+// backward statements characterize a subset.
+
+#include "core/system.h"
+#include "gtest/gtest.h"
+#include "testbed/fleet_generator.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+struct Band {
+  int lo;
+  int hi;
+  const char* group;
+};
+constexpr Band kBands[] = {
+    {0, 99, "LOW"}, {100, 199, "MID"}, {200, 299, "HIGH"}};
+
+const char* GroupFor(int score) {
+  for (const Band& b : kBands) {
+    if (score >= b.lo && score <= b.hi) return b.group;
+  }
+  return "NONE";
+}
+
+// Builds ITEM(Id, Group, Score) with `n` rows of banded scores, plus
+// `noise` rows whose Group contradicts the band (making some score
+// values inconsistent).
+Result<std::unique_ptr<Database>> BuildBandedDb(size_t n, size_t noise,
+                                                uint64_t seed) {
+  auto db = std::make_unique<Database>();
+  IQS_ASSIGN_OR_RETURN(
+      Relation * items,
+      db->CreateRelation("ITEM", Schema({{"Id", ValueType::kString, true},
+                                         {"Group", ValueType::kString, false},
+                                         {"Score", ValueType::kInt, false}})));
+  SplitMix64 rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    int score = static_cast<int>(rng.NextInRange(0, 299));
+    char id[16];
+    std::snprintf(id, sizeof(id), "I%04zu", i);
+    IQS_RETURN_IF_ERROR(items->Insert(
+        Tuple({Value::String(id), Value::String(GroupFor(score)),
+               Value::Int(score)})));
+  }
+  for (size_t i = 0; i < noise; ++i) {
+    int score = static_cast<int>(rng.NextInRange(0, 299));
+    char id[16];
+    std::snprintf(id, sizeof(id), "N%04zu", i);
+    IQS_RETURN_IF_ERROR(items->Insert(Tuple(
+        {Value::String(id), Value::String("NOISE"), Value::Int(score)})));
+  }
+  return db;
+}
+
+Result<std::unique_ptr<KerCatalog>> BuildBandedCatalog() {
+  auto catalog = std::make_unique<KerCatalog>();
+  ObjectTypeDef item;
+  item.name = "ITEM";
+  item.attributes = {{"Id", "CHAR[8]", true},
+                     {"Group", "CHAR[8]", false},
+                     {"Score", "integer", false}};
+  IQS_RETURN_IF_ERROR(catalog->DefineObjectType(std::move(item)));
+  IQS_RETURN_IF_ERROR(
+      catalog->DefineContains("ITEM", {"LOW", "MID", "HIGH", "NOISE"}));
+  for (const char* group : {"LOW", "MID", "HIGH", "NOISE"}) {
+    IQS_RETURN_IF_ERROR(catalog->SetDerivation(
+        group, Clause::Equals("Group", Value::String(group))));
+  }
+  return catalog;
+}
+
+struct PropertyCase {
+  uint64_t seed;
+  size_t rows;
+  size_t noise;
+  int query_lo;
+  int query_hi;
+};
+
+class PipelineProperty : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(PipelineProperty, ContainmentInvariantsHold) {
+  const PropertyCase& param = GetParam();
+  auto db_or = BuildBandedDb(param.rows, param.noise, param.seed);
+  ASSERT_TRUE(db_or.ok()) << db_or.status();
+  auto catalog_or = BuildBandedCatalog();
+  ASSERT_TRUE(catalog_or.ok()) << catalog_or.status();
+  auto system_or = IqsSystem::Create(std::move(db_or).value(),
+                                     std::move(catalog_or).value(), {});
+  ASSERT_TRUE(system_or.ok()) << system_or.status();
+  std::unique_ptr<IqsSystem> system = std::move(system_or).value();
+  InductionConfig config;
+  config.min_support = 2;
+  ASSERT_OK(system->Induce(config));
+
+  // Induction soundness: every rule holds on the training data.
+  ASSERT_OK_AND_ASSIGN(const Relation* items,
+                       system->database().Get("ITEM"));
+  for (const Rule& rule : system->dictionary().induced_rules().rules()) {
+    ASSERT_EQ(rule.lhs.size(), 1u);
+    ASSERT_OK_AND_ASSIGN(size_t x_idx,
+                         items->schema().IndexOf(rule.lhs[0].BaseAttribute()));
+    ASSERT_OK_AND_ASSIGN(
+        size_t y_idx,
+        items->schema().IndexOf(rule.rhs.clause.BaseAttribute()));
+    int64_t support = 0;
+    for (const Tuple& t : items->rows()) {
+      if (!rule.lhs[0].Satisfies(t.at(x_idx))) continue;
+      ++support;
+      EXPECT_TRUE(rule.rhs.clause.Satisfies(t.at(y_idx)))
+          << rule.Body() << " violated by " << t.ToString();
+    }
+    EXPECT_EQ(support, rule.support) << rule.Body();
+  }
+
+  // Query a score range and check both containment directions.
+  char sql[160];
+  std::snprintf(sql, sizeof(sql),
+                "SELECT Id, Group, Score FROM ITEM WHERE Score BETWEEN %d "
+                "AND %d",
+                param.query_lo, param.query_hi);
+  auto result_or = system->Query(sql, InferenceMode::kCombined);
+  ASSERT_TRUE(result_or.ok()) << result_or.status();
+  const QueryResult& result = result_or.value();
+
+  // Forward soundness: every answer row satisfies every forward range
+  // fact (coverage 1.0 whenever a statement exists and resolves).
+  for (const IntensionalStatement& s : result.intensional.statements()) {
+    if (s.direction != AnswerDirection::kContains) continue;
+    auto coverage = system->processor().Coverage(result, s);
+    if (!coverage.ok()) continue;  // no resolvable attribute
+    EXPECT_DOUBLE_EQ(*coverage, 1.0) << s.ToString();
+  }
+
+  // Backward exactness: for EXACT statements, every database row
+  // satisfying the statement's clauses must satisfy the original query
+  // condition.
+  ASSERT_OK_AND_ASSIGN(size_t score_idx, items->schema().IndexOf("Score"));
+  ASSERT_OK_AND_ASSIGN(size_t group_idx, items->schema().IndexOf("Group"));
+  for (const IntensionalStatement& s : result.intensional.statements()) {
+    if (s.direction != AnswerDirection::kContainedIn || !s.exact) continue;
+    for (const Tuple& t : items->rows()) {
+      bool satisfies_statement = true;
+      for (const Fact& f : s.facts) {
+        if (f.kind != Fact::Kind::kRange) continue;
+        std::string base = f.clause.BaseAttribute();
+        const Value& v = base == "Score" ? t.at(score_idx) : t.at(group_idx);
+        if (!f.clause.Satisfies(v)) {
+          satisfies_statement = false;
+          break;
+        }
+      }
+      if (!satisfies_statement) continue;
+      int64_t score = t.at(score_idx).AsInt();
+      EXPECT_GE(score, param.query_lo) << s.ToString() << t.ToString();
+      EXPECT_LE(score, param.query_hi) << s.ToString() << t.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipelineProperty,
+    ::testing::Values(PropertyCase{1, 60, 0, 0, 99},
+                      PropertyCase{2, 60, 0, 100, 199},
+                      PropertyCase{3, 60, 0, 150, 260},
+                      PropertyCase{4, 120, 10, 0, 99},
+                      PropertyCase{5, 120, 10, 200, 299},
+                      PropertyCase{6, 200, 25, 50, 250},
+                      PropertyCase{7, 30, 5, 0, 299},
+                      PropertyCase{8, 250, 0, 120, 140},
+                      PropertyCase{9, 80, 40, 0, 150},
+                      PropertyCase{10, 500, 50, 90, 210}));
+
+// The forward-superset / backward-subset relationship itself, stated on
+// the extensional level: the set described by an exact backward
+// statement is a subset of the query answer, which in turn satisfies the
+// forward description. With bands and no noise both become equalities
+// when the query aligns with a band.
+TEST(PipelinePropertyTest, AlignedQueryIsCharacterizedExactly) {
+  auto db = BuildBandedDb(100, 0, 77);
+  ASSERT_TRUE(db.ok());
+  auto catalog = BuildBandedCatalog();
+  ASSERT_TRUE(catalog.ok());
+  auto system_or = IqsSystem::Create(std::move(db).value(),
+                                     std::move(catalog).value(), {});
+  ASSERT_TRUE(system_or.ok());
+  std::unique_ptr<IqsSystem> system = std::move(system_or).value();
+  InductionConfig config;
+  config.min_support = 2;
+  ASSERT_OK(system->Induce(config));
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult result,
+      system->Query("SELECT Id, Group FROM ITEM WHERE Group = 'MID'",
+                    InferenceMode::kCombined));
+  // Backward from the seeded group condition: the induced Score->Group
+  // rule for MID describes [observed min, observed max] of MID scores —
+  // an exact statement.
+  bool found_exact = false;
+  for (const IntensionalStatement& s : result.intensional.statements()) {
+    if (s.direction == AnswerDirection::kContainedIn && s.exact) {
+      found_exact = true;
+    }
+  }
+  EXPECT_TRUE(found_exact);
+}
+
+}  // namespace
+}  // namespace iqs

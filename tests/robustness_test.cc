@@ -1,0 +1,147 @@
+// Robustness sweeps: malformed and adversarial inputs must produce
+// Status errors, never crashes or hangs. The inputs are deterministic
+// mutations of valid statements plus pathological strings.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "ker/ddl_parser.h"
+#include "quel/quel_parser.h"
+#include "relational/csv.h"
+#include "sql/sql_parser.h"
+#include "testbed/fleet_generator.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+// Deterministic ASCII mangles of a seed string: truncations, character
+// flips, and splices.
+std::vector<std::string> Mangle(const std::string& seed) {
+  std::vector<std::string> out;
+  SplitMix64 rng(0xC0FFEE);
+  for (size_t cut = 1; cut < seed.size(); cut += 7) {
+    out.push_back(seed.substr(0, cut));
+  }
+  for (int i = 0; i < 40; ++i) {
+    std::string mutated = seed;
+    size_t pos = static_cast<size_t>(rng.NextInRange(
+        0, static_cast<int64_t>(seed.size()) - 1));
+    mutated[pos] = static_cast<char>(rng.NextInRange(32, 126));
+    out.push_back(std::move(mutated));
+  }
+  for (int i = 0; i < 10; ++i) {
+    size_t a = static_cast<size_t>(
+        rng.NextInRange(0, static_cast<int64_t>(seed.size()) - 1));
+    size_t b = static_cast<size_t>(
+        rng.NextInRange(0, static_cast<int64_t>(seed.size()) - 1));
+    out.push_back(seed.substr(a) + seed.substr(0, b));
+  }
+  return out;
+}
+
+const char* kPathological[] = {
+    "",
+    " ",
+    "(((((((((((",
+    ")))))",
+    "''''''''",
+    "\"\"\"\"",
+    "SELECT SELECT SELECT",
+    "range range range of of of",
+    "object object type type",
+    "= = = = =",
+    "1..2..3..4",
+    "a.b.c.d.e.f",
+    "\n\n\n\t\t\t",
+    "SELECT * FROM t WHERE a = 'unterminated",
+    "if if then then else",
+    "-------",
+    "NOT NOT NOT NOT NOT",
+    "x <= <= <= y",
+    "retrieve into into (r.X)",
+    "\x01\x02\x03",
+};
+
+TEST(RobustnessTest, SqlParserNeverCrashes) {
+  std::string seed =
+      "SELECT DISTINCT a.X, b.Y FROM T a, U b WHERE a.K = b.K AND a.X "
+      "BETWEEN 1 AND 9 ORDER BY a.X DESC";
+  for (const std::string& input : Mangle(seed)) {
+    auto result = ParseSelect(input);  // ok or error; must not crash
+    (void)result;
+  }
+  for (const char* input : kPathological) {
+    EXPECT_FALSE(ParseSelect(input).ok()) << input;
+  }
+}
+
+TEST(RobustnessTest, QuelParserNeverCrashes) {
+  std::string seed =
+      "retrieve into S unique (r.Y, name = r.X) where r.A = s.B and not "
+      "(r.C != 3.5) sort by r.Y";
+  for (const std::string& input : Mangle(seed)) {
+    auto result = ParseQuelStatement(input);
+    (void)result;
+  }
+  for (const char* input : kPathological) {
+    auto result = ParseQuelStatement(input);
+    (void)result;
+  }
+}
+
+TEST(RobustnessTest, DdlParserNeverCrashes) {
+  std::string seed =
+      "object type CLASS has key: Class domain: CHAR[4] has: D domain: "
+      "INTEGER with D in [1..9] if 1 <= D <= 5 then Class = \"A\"";
+  for (const std::string& input : Mangle(seed)) {
+    KerCatalog catalog;
+    auto result = ParseDdl(input, &catalog);
+    (void)result;
+  }
+  for (const char* input : kPathological) {
+    KerCatalog catalog;
+    auto result = ParseDdl(input, &catalog);
+    (void)result;
+  }
+}
+
+TEST(RobustnessTest, CsvParserNeverCrashes) {
+  std::string seed = "a,b,c\n1,\"x,\"\"y\",3\n4,5,6\n";
+  for (const std::string& input : Mangle(seed)) {
+    auto result = ParseCsvText(input);
+    (void)result;
+  }
+  for (const char* input : kPathological) {
+    auto result = ParseCsvText(input);
+    (void)result;
+  }
+}
+
+TEST(RobustnessTest, DeepNestingDoesNotOverflow) {
+  // 2000 nested parens in a WHERE clause: parse must terminate (ok or
+  // error) without smashing the stack. Recursion depth is bounded by the
+  // expression grammar, so keep it large but sane.
+  std::string query = "SELECT * FROM T WHERE ";
+  for (int i = 0; i < 500; ++i) query += "(";
+  query += "a = 1";
+  for (int i = 0; i < 500; ++i) query += ")";
+  auto result = ParseSelect(query);
+  EXPECT_TRUE(result.ok()) << result.status();
+}
+
+TEST(RobustnessTest, LongInputsHandled) {
+  // A very wide IN-style disjunction.
+  std::string query = "SELECT * FROM T WHERE a = 0";
+  for (int i = 1; i < 2000; ++i) {
+    query += " OR a = " + std::to_string(i);
+  }
+  EXPECT_TRUE(ParseSelect(query).ok());
+  // A very long identifier.
+  std::string long_ident(100000, 'x');
+  EXPECT_TRUE(ParseSelect("SELECT " + long_ident + " FROM t").ok());
+}
+
+}  // namespace
+}  // namespace iqs

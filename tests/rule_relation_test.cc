@@ -1,0 +1,164 @@
+#include "rules/rule_relation.h"
+
+#include "gtest/gtest.h"
+#include "relational/csv.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+Rule SimpleRule(int id, const std::string& attr, int lo, int hi,
+                const std::string& rhs_attr, const std::string& rhs_value) {
+  Rule r;
+  r.id = id;
+  r.scheme = attr + "->" + rhs_attr;
+  r.source_relation = "TESTREL";
+  r.lhs.push_back(*Clause::Range(attr, Value::Int(lo), Value::Int(hi)));
+  r.rhs.clause = Clause::Equals(rhs_attr, Value::String(rhs_value));
+  r.support = 5;
+  return r;
+}
+
+RuleSet PaperStyleRules() {
+  RuleSet set;
+  set.Add(SimpleRule(1, "A", 1, 2, "B", "b1"));
+  Rule string_rule;
+  string_rule.id = 2;
+  string_rule.scheme = "Sonar->SonarType";
+  string_rule.source_relation = "SONAR";
+  string_rule.lhs.push_back(*Clause::Range("Sonar", Value::String("BQQ-2"),
+                                           Value::String("BQQ-8")));
+  string_rule.rhs.clause = Clause::Equals("SonarType", Value::String("BQQ"));
+  string_rule.rhs.isa_type = "BQQ";
+  string_rule.rhs.isa_variable = "y";
+  string_rule.support = 3;
+  set.Add(string_rule);
+  Rule multi;
+  multi.id = 3;
+  multi.scheme = "multi";
+  multi.lhs.push_back(Clause::Equals("x.Class", Value::String("0203")));
+  multi.lhs.push_back(*Clause::Range("x.Displacement", Value::Int(2000),
+                                     Value::Int(5000)));
+  multi.rhs.clause = Clause::Equals("y.SonarType", Value::String("BQQ"));
+  multi.support = 1;
+  set.Add(multi);
+  return set;
+}
+
+TEST(RuleRelationTest, EncodeProducesPaperSchema) {
+  ASSERT_OK_AND_ASSIGN(RuleRelations relations, EncodeRules(PaperStyleRules()));
+  EXPECT_EQ(relations.rule_rel.schema().ToString(),
+            "(RuleNo:integer, Role:string, Lvalue:real, Att_no:integer, "
+            "Uvalue:real)");
+  EXPECT_EQ(relations.attr_map.schema().ToString(),
+            "(Att_no:integer, Value:real, RealValue:string)");
+  // One row per clause: rule1 has 2 (1 LHS + 1 RHS), rule2 has 2, rule3
+  // has 3.
+  EXPECT_EQ(relations.rule_rel.size(), 7u);
+  // One RULE_META row per rule.
+  EXPECT_EQ(relations.rule_meta.size(), 3u);
+}
+
+TEST(RuleRelationTest, CodesAreOrderPreserving) {
+  // Within one attribute, ascending values must get ascending codes
+  // (1.00, 2.00, ...) as in the paper's worked example.
+  RuleSet set;
+  set.Add(SimpleRule(1, "A", 10, 20, "B", "b"));
+  set.Add(SimpleRule(2, "A", 5, 15, "B", "b"));
+  ASSERT_OK_AND_ASSIGN(RuleRelations relations, EncodeRules(set));
+  // Attribute A's values {5, 10, 15, 20} -> codes 1..4 in order.
+  std::vector<std::pair<double, std::string>> entries;
+  for (const Tuple& t : relations.attr_map.rows()) {
+    entries.emplace_back(t.at(1).AsReal(), t.at(2).AsString());
+  }
+  for (const auto& [code, text] : entries) {
+    if (text == "5") EXPECT_DOUBLE_EQ(code, 1.0);
+    if (text == "10") EXPECT_DOUBLE_EQ(code, 2.0);
+    if (text == "15") EXPECT_DOUBLE_EQ(code, 3.0);
+    if (text == "20") EXPECT_DOUBLE_EQ(code, 4.0);
+  }
+}
+
+TEST(RuleRelationTest, RoundTripIsExact) {
+  RuleSet original = PaperStyleRules();
+  ASSERT_OK_AND_ASSIGN(RuleRelations relations, EncodeRules(original));
+  ASSERT_OK_AND_ASSIGN(RuleSet decoded, DecodeRules(relations));
+  ASSERT_EQ(decoded.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(decoded.rule(i), original.rule(i)) << "rule " << i;
+  }
+}
+
+TEST(RuleRelationTest, RoundTripSurvivesCsvRelocation) {
+  // The paper's §5.2.2 point: rules relocate with the database. Encode,
+  // serialize every meta-relation through CSV, decode — bit-identical.
+  RuleSet original = PaperStyleRules();
+  ASSERT_OK_AND_ASSIGN(RuleRelations relations, EncodeRules(original));
+  ASSERT_OK_AND_ASSIGN(
+      Relation rule_rel,
+      RelationFromCsv(kRuleRelName, RuleRelSchema(),
+                      RelationToCsv(relations.rule_rel)));
+  ASSERT_OK_AND_ASSIGN(
+      Relation attr_map,
+      RelationFromCsv(kAttrMapName, AttrMapSchema(),
+                      RelationToCsv(relations.attr_map)));
+  ASSERT_OK_AND_ASSIGN(
+      Relation attr_table,
+      RelationFromCsv(kAttrTableName, AttrTableSchema(),
+                      RelationToCsv(relations.attr_table)));
+  ASSERT_OK_AND_ASSIGN(
+      Relation rule_meta,
+      RelationFromCsv(kRuleMetaName, RuleMetaSchema(),
+                      RelationToCsv(relations.rule_meta)));
+  RuleRelations relocated{rule_rel, attr_map, attr_table, rule_meta};
+  ASSERT_OK_AND_ASSIGN(RuleSet decoded, DecodeRules(relocated));
+  ASSERT_EQ(decoded.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(decoded.rule(i), original.rule(i));
+  }
+}
+
+TEST(RuleRelationTest, UnboundedClausesUseSentinels) {
+  RuleSet set;
+  Rule r;
+  r.id = 1;
+  r.lhs.push_back(Clause("A", Interval::AtLeast(Value::Int(5))));
+  r.rhs.clause = Clause::Equals("B", Value::String("b"));
+  set.Add(r);
+  ASSERT_OK_AND_ASSIGN(RuleRelations relations, EncodeRules(set));
+  ASSERT_OK_AND_ASSIGN(RuleSet decoded, DecodeRules(relations));
+  EXPECT_EQ(decoded.rule(0).lhs[0].interval(),
+            Interval::AtLeast(Value::Int(5)));
+}
+
+TEST(RuleRelationTest, OpenBoundsRejected) {
+  RuleSet set;
+  Rule r;
+  r.id = 1;
+  r.lhs.push_back(Clause("A", Interval::AtLeast(Value::Int(5), true)));
+  r.rhs.clause = Clause::Equals("B", Value::String("b"));
+  set.Add(r);
+  EXPECT_EQ(EncodeRules(set).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RuleRelationTest, StoreAndLoadThroughDatabase) {
+  Database db;
+  ASSERT_OK_AND_ASSIGN(RuleRelations relations, EncodeRules(PaperStyleRules()));
+  ASSERT_OK(StoreRuleRelations(relations, &db));
+  EXPECT_TRUE(db.Contains(kRuleRelName));
+  EXPECT_TRUE(db.Contains(kAttrMapName));
+  // Storing again replaces the old copies.
+  ASSERT_OK(StoreRuleRelations(relations, &db));
+  ASSERT_OK_AND_ASSIGN(RuleRelations loaded, LoadRuleRelations(db));
+  ASSERT_OK_AND_ASSIGN(RuleSet decoded, DecodeRules(loaded));
+  EXPECT_EQ(decoded.size(), 3u);
+}
+
+TEST(RuleRelationTest, DecodeRejectsDanglingReferences) {
+  ASSERT_OK_AND_ASSIGN(RuleRelations relations, EncodeRules(PaperStyleRules()));
+  relations.attr_table.Clear();
+  EXPECT_FALSE(DecodeRules(relations).ok());
+}
+
+}  // namespace
+}  // namespace iqs

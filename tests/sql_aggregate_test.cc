@@ -1,0 +1,191 @@
+// SQL aggregates and GROUP BY — the machinery behind summarized answers
+// over the ship test bed.
+
+#include "gtest/gtest.h"
+#include "sql/sql_executor.h"
+#include "sql/sql_parser.h"
+#include "testbed/ship_db.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+using testing_util::ColumnText;
+
+class SqlAggregateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = BuildShipDatabase();
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_ = std::move(db).value();
+    executor_ = std::make_unique<SqlExecutor>(db_.get());
+  }
+
+  Relation Run(const std::string& sql) {
+    auto result = executor_->ExecuteSql(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status();
+    return result.ok() ? std::move(result).value() : Relation();
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<SqlExecutor> executor_;
+};
+
+TEST_F(SqlAggregateTest, ParserAcceptsAggregates) {
+  ASSERT_OK_AND_ASSIGN(
+      SelectStatement stmt,
+      ParseSelect("SELECT Type, COUNT(*), MIN(Displacement), "
+                  "MAX(Displacement) FROM CLASS GROUP BY Type"));
+  ASSERT_EQ(stmt.select_list.size(), 4u);
+  EXPECT_FALSE(stmt.select_list[0].is_aggregate());
+  EXPECT_EQ(stmt.select_list[1].fn, AggregateFn::kCount);
+  EXPECT_TRUE(stmt.select_list[1].star);
+  EXPECT_EQ(stmt.select_list[2].fn, AggregateFn::kMin);
+  ASSERT_EQ(stmt.group_by.size(), 1u);
+  // Round trip.
+  ASSERT_OK_AND_ASSIGN(SelectStatement again, ParseSelect(stmt.ToString()));
+  EXPECT_EQ(again.ToString(), stmt.ToString());
+}
+
+TEST_F(SqlAggregateTest, ParserErrors) {
+  EXPECT_FALSE(ParseSelect("SELECT MIN(*) FROM T").ok());
+  EXPECT_FALSE(ParseSelect("SELECT COUNT( FROM T").ok());
+  EXPECT_FALSE(ParseSelect("SELECT COUNT(a FROM T").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM T GROUP").ok());
+}
+
+TEST_F(SqlAggregateTest, CountStar) {
+  Relation out = Run("SELECT COUNT(*) FROM SUBMARINE");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.row(0).at(0), Value::Int(24));
+  EXPECT_EQ(out.schema().attribute(0).name, "COUNT(*)");
+}
+
+TEST_F(SqlAggregateTest, MinMaxOverWholeTable) {
+  Relation out =
+      Run("SELECT MIN(Displacement), MAX(Displacement) FROM CLASS");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.row(0).at(0), Value::Int(2145));
+  EXPECT_EQ(out.row(0).at(1), Value::Int(30000));
+}
+
+TEST_F(SqlAggregateTest, GroupByRecoversClassificationCharacteristics) {
+  // Table-1 style characteristics straight from SQL: per-type
+  // displacement ranges.
+  Relation out =
+      Run("SELECT Type, COUNT(*), MIN(Displacement), MAX(Displacement) "
+          "FROM CLASS GROUP BY Type ORDER BY Type");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.row(0).at(0), Value::String("SSBN"));
+  EXPECT_EQ(out.row(0).at(1), Value::Int(4));
+  EXPECT_EQ(out.row(0).at(2), Value::Int(7250));
+  EXPECT_EQ(out.row(0).at(3), Value::Int(30000));
+  EXPECT_EQ(out.row(1).at(0), Value::String("SSN"));
+  EXPECT_EQ(out.row(1).at(1), Value::Int(9));
+  EXPECT_EQ(out.row(1).at(2), Value::Int(2145));
+  EXPECT_EQ(out.row(1).at(3), Value::Int(6955));
+}
+
+TEST_F(SqlAggregateTest, GroupByWithJoinAndWhere) {
+  // Ships per sonar type, SSN ships only.
+  Relation out = Run(
+      "SELECT SONAR.SonarType, COUNT(*) FROM SUBMARINE, CLASS, INSTALL, "
+      "SONAR WHERE SUBMARINE.Class = CLASS.Class AND SUBMARINE.Id = "
+      "INSTALL.Ship AND INSTALL.Sonar = SONAR.Sonar AND CLASS.Type = 'SSN' "
+      "GROUP BY SONAR.SonarType ORDER BY SONAR.SonarType");
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(ColumnText(out, "SonarType"),
+            (std::vector<std::string>{"BQQ", "BQS", "TACTAS"}));
+  EXPECT_EQ(ColumnText(out, "COUNT(*)"),
+            (std::vector<std::string>{"9", "7", "1"}));
+}
+
+TEST_F(SqlAggregateTest, SumAndAvg) {
+  Relation out = Run(
+      "SELECT SUM(Displacement), AVG(Displacement) FROM CLASS WHERE Type = "
+      "'SSBN'");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.row(0).at(0), Value::Int(7250 + 7250 + 16600 + 30000));
+  EXPECT_DOUBLE_EQ(out.row(0).at(1).AsReal(), 61100.0 / 4.0);
+}
+
+TEST_F(SqlAggregateTest, AggregateOverEmptyInput) {
+  Relation out =
+      Run("SELECT COUNT(*), MIN(Displacement) FROM CLASS WHERE Type = "
+          "'GHOST'");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.row(0).at(0), Value::Int(0));
+  EXPECT_TRUE(out.row(0).at(1).is_null());
+}
+
+TEST_F(SqlAggregateTest, GroupByEmptyInputHasNoGroups) {
+  Relation out = Run(
+      "SELECT Type, COUNT(*) FROM CLASS WHERE Type = 'GHOST' GROUP BY Type");
+  EXPECT_EQ(out.size(), 0u);
+}
+
+TEST_F(SqlAggregateTest, ValidationErrors) {
+  // Ungrouped plain column.
+  EXPECT_FALSE(
+      executor_->ExecuteSql("SELECT Type, Class FROM CLASS GROUP BY Type")
+          .ok());
+  // SELECT * with GROUP BY.
+  EXPECT_FALSE(
+      executor_->ExecuteSql("SELECT * FROM CLASS GROUP BY Type").ok());
+  // SUM over a string column.
+  EXPECT_FALSE(executor_->ExecuteSql("SELECT SUM(ClassName) FROM CLASS").ok());
+  // Unknown column inside an aggregate.
+  EXPECT_FALSE(executor_->ExecuteSql("SELECT MIN(Ghost) FROM CLASS").ok());
+}
+
+TEST_F(SqlAggregateTest, HavingFiltersGroups) {
+  // Classes per type with at least 5 members: only SSN (9 classes).
+  Relation out = Run(
+      "SELECT Type, COUNT(*) FROM CLASS GROUP BY Type HAVING COUNT(*) > 5");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.row(0).at(0), Value::String("SSN"));
+  EXPECT_EQ(out.row(0).at(1), Value::Int(9));
+}
+
+TEST_F(SqlAggregateTest, HavingOnGroupColumnAndAggregate) {
+  Relation out = Run(
+      "SELECT SonarType, COUNT(*) FROM SONAR GROUP BY SonarType "
+      "HAVING COUNT(*) >= 3 AND SonarType = 'BQS' ORDER BY SonarType");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.row(0).at(0), Value::String("BQS"));
+  EXPECT_EQ(out.row(0).at(1), Value::Int(4));
+}
+
+TEST_F(SqlAggregateTest, HavingToStringRoundTrips) {
+  ASSERT_OK_AND_ASSIGN(
+      SelectStatement stmt,
+      ParseSelect("SELECT Type, COUNT(*) FROM CLASS GROUP BY Type HAVING "
+                  "COUNT(*) > 5"));
+  ASSERT_NE(stmt.having, nullptr);
+  ASSERT_OK_AND_ASSIGN(SelectStatement again, ParseSelect(stmt.ToString()));
+  EXPECT_EQ(again.ToString(), stmt.ToString());
+}
+
+TEST_F(SqlAggregateTest, HavingErrors) {
+  // HAVING aggregate not in the select list cannot resolve.
+  EXPECT_FALSE(executor_
+                   ->ExecuteSql("SELECT Type FROM CLASS GROUP BY Type "
+                                "HAVING COUNT(*) > 5")
+                   .ok());
+  // HAVING without grouping makes plain select items invalid.
+  EXPECT_FALSE(
+      executor_->ExecuteSql("SELECT Type FROM CLASS HAVING Type = 'SSN'")
+          .ok());
+}
+
+TEST_F(SqlAggregateTest, CountColumnSkipsNulls) {
+  ASSERT_OK_AND_ASSIGN(Relation * types, db_->GetMutable("TYPE"));
+  ASSERT_OK(types->Insert(Tuple({Value::String("X1"), Value::Null()})));
+  Relation out = Run("SELECT COUNT(TypeName), COUNT(*) FROM TYPE");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.row(0).at(0), Value::Int(2));
+  EXPECT_EQ(out.row(0).at(1), Value::Int(3));
+}
+
+}  // namespace
+}  // namespace iqs

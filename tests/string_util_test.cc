@@ -1,0 +1,69 @@
+#include "common/string_util.h"
+
+#include "gtest/gtest.h"
+
+namespace iqs {
+namespace {
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  abc \t\n"), "abc");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace("a b"), "a b");
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(StringUtilTest, SplitJoinRoundTrip) {
+  std::string original = "SSBN,SSN,,CVN";
+  EXPECT_EQ(Join(Split(original, ','), ","), original);
+}
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToUpper("Submarine-01"), "SUBMARINE-01");
+  EXPECT_EQ(ToLower("Submarine-01"), "submarine-01");
+  EXPECT_EQ(ToUpper(""), "");
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("CLASS", "class"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("CLASS", "CLASSES"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "b"));
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("SUBMARINE.Class", "SUBMARINE"));
+  EXPECT_FALSE(StartsWith("SUB", "SUBMARINE"));
+  EXPECT_TRUE(EndsWith("SUBMARINE.Class", ".Class"));
+  EXPECT_FALSE(EndsWith("Class", "SUBMARINE.Class"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_TRUE(EndsWith("abc", ""));
+}
+
+TEST(StringUtilTest, PadRight) {
+  EXPECT_EQ(PadRight("ab", 5), "ab   ");
+  EXPECT_EQ(PadRight("abcdef", 3), "abcdef");
+  EXPECT_EQ(PadRight("", 2), "  ");
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(42.0), "42");
+  EXPECT_EQ(FormatDouble(2.5), "2.5");
+  EXPECT_EQ(FormatDouble(-0.125), "-0.125");
+}
+
+}  // namespace
+}  // namespace iqs

@@ -1,0 +1,122 @@
+#include "rules/subsumption.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+TEST(SameAttributeTest, StrictMatching) {
+  EXPECT_TRUE(SameAttribute("Class", "class"));
+  EXPECT_TRUE(SameAttribute("CLASS.Type", "Type"));
+  EXPECT_TRUE(SameAttribute("Type", "CLASS.Type"));
+  EXPECT_FALSE(SameAttribute("CLASS.Type", "TYPE.Type"));  // both qualified
+  EXPECT_FALSE(SameAttribute("Class", "Type"));
+}
+
+TEST(SameAttributeTest, BaseNameMatching) {
+  EXPECT_TRUE(SameAttribute("y.Sonar", "INSTALL.Sonar",
+                            AttributeMatch::kBaseName));
+  EXPECT_TRUE(
+      SameAttribute("CLASS.Type", "x.Type", AttributeMatch::kBaseName));
+  EXPECT_FALSE(
+      SameAttribute("x.Class", "y.Sonar", AttributeMatch::kBaseName));
+}
+
+TEST(ClauseSubsumesTest, IntervalContainment) {
+  ASSERT_OK_AND_ASSIGN(
+      Clause general,
+      Clause::Range("Displacement", Value::Int(7250), Value::Int(30000)));
+  ASSERT_OK_AND_ASSIGN(
+      Clause specific,
+      Clause::Range("Displacement", Value::Int(8000), Value::Int(20000)));
+  EXPECT_TRUE(ClauseSubsumes(general, specific));
+  EXPECT_FALSE(ClauseSubsumes(specific, general));
+  Clause other = Clause::Equals("Type", Value::String("SSBN"));
+  EXPECT_FALSE(ClauseSubsumes(general, other));
+}
+
+TEST(ClauseSubsumesTest, ClippedReproducesExample1) {
+  // R9's LHS vs the raw condition "Displacement > 8000": only after
+  // clipping to the active domain does subsumption hold.
+  ASSERT_OK_AND_ASSIGN(
+      Clause r9, Clause::Range("Displacement", Value::Int(7250),
+                               Value::Int(30000)));
+  Clause condition("Displacement", Interval::AtLeast(Value::Int(8000), true));
+  EXPECT_FALSE(ClauseSubsumes(r9, condition));
+  EXPECT_TRUE(ClauseSubsumesClipped(r9, condition, Value::Int(2145),
+                                    Value::Int(30000)));
+  // A condition extending past the rule range still fails after clipping
+  // to a wider domain.
+  EXPECT_FALSE(ClauseSubsumesClipped(r9, condition, Value::Int(2145),
+                                     Value::Int(99999)));
+}
+
+TEST(FindDomainTest, MatchesByAttribute) {
+  std::vector<AttributeDomain> domains{
+      {"CLASS.Displacement", Value::Int(2145), Value::Int(30000)},
+      {"Sonar", Value::String("BQQ-2"), Value::String("TACTAS")},
+  };
+  EXPECT_NE(FindDomain(domains, "Displacement"), nullptr);
+  EXPECT_NE(FindDomain(domains, "CLASS.Displacement"), nullptr);
+  EXPECT_EQ(FindDomain(domains, "Draft"), nullptr);
+}
+
+Rule RuleWithLhs(std::vector<Clause> lhs) {
+  Rule r;
+  r.id = 1;
+  r.lhs = std::move(lhs);
+  r.rhs.clause = Clause::Equals("T", Value::String("v"));
+  return r;
+}
+
+TEST(LhsSubsumesConditionsTest, AllLhsClausesMustMatch) {
+  Rule rule = RuleWithLhs(
+      {*Clause::Range("A", Value::Int(0), Value::Int(10)),
+       *Clause::Range("B", Value::Int(0), Value::Int(10))});
+  std::vector<Clause> only_a{Clause::Equals("A", Value::Int(5))};
+  EXPECT_FALSE(LhsSubsumesConditions(rule, only_a, {}));
+  std::vector<Clause> both{Clause::Equals("A", Value::Int(5)),
+                           Clause::Equals("B", Value::Int(7))};
+  EXPECT_TRUE(LhsSubsumesConditions(rule, both, {}));
+}
+
+TEST(LhsSubsumesConditionsTest, ExtraConditionsAreHarmless) {
+  Rule rule = RuleWithLhs({*Clause::Range("A", Value::Int(0), Value::Int(10))});
+  std::vector<Clause> conditions{Clause::Equals("A", Value::Int(5)),
+                                 Clause::Equals("Z", Value::Int(1))};
+  EXPECT_TRUE(LhsSubsumesConditions(rule, conditions, {}));
+}
+
+TEST(LhsSubsumesConditionsTest, UsesActiveDomainClipping) {
+  Rule rule = RuleWithLhs(
+      {*Clause::Range("Displacement", Value::Int(7250), Value::Int(30000))});
+  std::vector<Clause> conditions{
+      Clause("Displacement", Interval::AtLeast(Value::Int(8000), true))};
+  EXPECT_FALSE(LhsSubsumesConditions(rule, conditions, {}));
+  std::vector<AttributeDomain> domains{
+      {"Displacement", Value::Int(2145), Value::Int(30000)}};
+  EXPECT_TRUE(LhsSubsumesConditions(rule, conditions, domains));
+}
+
+TEST(LhsSubsumesConditionsTest, BaseNameModeCrossesQualifiers) {
+  Rule rule =
+      RuleWithLhs({Clause::Equals("y.Sonar", Value::String("BQS-04"))});
+  std::vector<Clause> conditions{
+      Clause::Equals("INSTALL.Sonar", Value::String("BQS-04"))};
+  EXPECT_FALSE(LhsSubsumesConditions(rule, conditions, {},
+                                     AttributeMatch::kStrict));
+  EXPECT_TRUE(LhsSubsumesConditions(rule, conditions, {},
+                                    AttributeMatch::kBaseName));
+}
+
+TEST(LhsSubsumesConditionsTest, NonMatchingValueFails) {
+  Rule rule =
+      RuleWithLhs({Clause::Equals("Sonar", Value::String("BQS-04"))});
+  std::vector<Clause> conditions{
+      Clause::Equals("Sonar", Value::String("TACTAS"))};
+  EXPECT_FALSE(LhsSubsumesConditions(rule, conditions, {}));
+}
+
+}  // namespace
+}  // namespace iqs

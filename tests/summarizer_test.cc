@@ -1,0 +1,122 @@
+#include "core/summarizer.h"
+
+#include "gtest/gtest.h"
+#include "core/system.h"
+#include "testbed/ship_db.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+class SummarizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto system = BuildShipSystem();
+    ASSERT_TRUE(system.ok()) << system.status();
+    system_ = std::move(system).value();
+    InductionConfig config;
+    config.min_support = 3;
+    ASSERT_OK(system_->Induce(config));
+  }
+
+  const TypeBreakdownEntry* Find(const AnswerSummary& summary,
+                                 const std::string& type) {
+    for (const TypeBreakdownEntry& e : summary.by_type) {
+      if (e.type_name == type) return &e;
+    }
+    return nullptr;
+  }
+
+  std::unique_ptr<IqsSystem> system_;
+};
+
+TEST_F(SummarizerTest, Example2BreakdownByTypeAndClass) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult result,
+      system_->Query("SELECT SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE "
+                     "FROM SUBMARINE, CLASS WHERE SUBMARINE.CLASS = "
+                     "CLASS.CLASS AND CLASS.TYPE = 'SSBN'",
+                     InferenceMode::kForward));
+  AnswerSummary summary =
+      SummarizeAnswer(result.extensional, system_->dictionary());
+  EXPECT_EQ(summary.rows, 7u);
+  // Depth-1 type SSBN covers everything; the class-level breakdown
+  // counts 3 + 2 + 1 + 1.
+  const TypeBreakdownEntry* ssbn = Find(summary, "SSBN");
+  ASSERT_NE(ssbn, nullptr);
+  EXPECT_EQ(ssbn->count, 7u);
+  EXPECT_EQ(ssbn->depth, 1);
+  const TypeBreakdownEntry* c0103 = Find(summary, "C0103");
+  ASSERT_NE(c0103, nullptr);
+  EXPECT_EQ(c0103->count, 3u);
+  EXPECT_EQ(c0103->depth, 2);
+  const TypeBreakdownEntry* c1301 = Find(summary, "C1301");
+  ASSERT_NE(c1301, nullptr);
+  EXPECT_EQ(c1301->count, 1u);
+  // No SSN ships in this answer: the zero-count type is omitted.
+  EXPECT_EQ(Find(summary, "SSN"), nullptr);
+  // Shallow types sort first.
+  EXPECT_EQ(summary.by_type.front().depth, 1);
+}
+
+TEST_F(SummarizerTest, ColumnStatistics) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult result,
+      system_->Query("SELECT Class, Displacement FROM CLASS WHERE "
+                     "CLASS.Type = 'SSBN'",
+                     InferenceMode::kForward));
+  AnswerSummary summary =
+      SummarizeAnswer(result.extensional, system_->dictionary());
+  ASSERT_EQ(summary.columns.size(), 2u);
+  const ColumnSummary& displacement = summary.columns[1];
+  EXPECT_EQ(displacement.attribute, "Displacement");
+  EXPECT_EQ(displacement.non_null, 4u);
+  EXPECT_EQ(displacement.distinct, 3u);  // 7250 twice
+  EXPECT_EQ(displacement.min, Value::Int(7250));
+  EXPECT_EQ(displacement.max, Value::Int(30000));
+}
+
+TEST_F(SummarizerTest, EmptyAnswer) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult result,
+      system_->Query("SELECT Name FROM SUBMARINE WHERE SUBMARINE.Name = "
+                     "'Nonexistent'",
+                     InferenceMode::kForward));
+  AnswerSummary summary =
+      SummarizeAnswer(result.extensional, system_->dictionary());
+  EXPECT_EQ(summary.rows, 0u);
+  EXPECT_TRUE(summary.by_type.empty());
+  ASSERT_EQ(summary.columns.size(), 1u);
+  EXPECT_EQ(summary.columns[0].non_null, 0u);
+  EXPECT_TRUE(summary.columns[0].min.is_null());
+}
+
+TEST_F(SummarizerTest, SkipsTypesWhoseDerivationDoesNotResolve) {
+  // Selecting only Name: neither Type nor Class columns exist, so no
+  // type breakdown is possible.
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult result,
+      system_->Query("SELECT Name FROM SUBMARINE", InferenceMode::kForward));
+  AnswerSummary summary =
+      SummarizeAnswer(result.extensional, system_->dictionary());
+  EXPECT_EQ(summary.rows, 24u);
+  EXPECT_TRUE(summary.by_type.empty());
+}
+
+TEST_F(SummarizerTest, ToStringRendersEveryPart) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult result,
+      system_->Query("SELECT SUBMARINE.CLASS, CLASS.TYPE FROM SUBMARINE, "
+                     "CLASS WHERE SUBMARINE.CLASS = CLASS.CLASS",
+                     InferenceMode::kForward));
+  AnswerSummary summary =
+      SummarizeAnswer(result.extensional, system_->dictionary());
+  std::string text = summary.ToString();
+  EXPECT_NE(text.find("24 rows."), std::string::npos);
+  EXPECT_NE(text.find("SSBN 7/24"), std::string::npos);
+  EXPECT_NE(text.find("SSN 17/24"), std::string::npos);
+  EXPECT_NE(text.find("in [0101, 1301]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iqs

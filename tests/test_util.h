@@ -1,0 +1,75 @@
+#ifndef IQS_TESTS_TEST_UTIL_H_
+#define IQS_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "relational/relation.h"
+#include "rules/rule.h"
+
+// Assertion helpers for Status / Result<T>.
+#define ASSERT_OK(expr)                                 \
+  do {                                                  \
+    const ::iqs::Status iqs_test_status_ = (expr);      \
+    ASSERT_TRUE(iqs_test_status_.ok())                  \
+        << "status: " << iqs_test_status_.ToString();   \
+  } while (0)
+
+#define EXPECT_OK(expr)                                 \
+  do {                                                  \
+    const ::iqs::Status iqs_test_status_ = (expr);      \
+    EXPECT_TRUE(iqs_test_status_.ok())                  \
+        << "status: " << iqs_test_status_.ToString();   \
+  } while (0)
+
+// Unwraps a Result<T> into `lhs`, failing the test on error.
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)                       \
+  ASSERT_OK_AND_ASSIGN_IMPL_(                                 \
+      IQS_TEST_CONCAT_(iqs_test_result_, __LINE__), lhs, expr)
+
+#define IQS_TEST_CONCAT_INNER_(a, b) a##b
+#define IQS_TEST_CONCAT_(a, b) IQS_TEST_CONCAT_INNER_(a, b)
+#define ASSERT_OK_AND_ASSIGN_IMPL_(tmp, lhs, expr)            \
+  auto tmp = (expr);                                          \
+  ASSERT_TRUE(tmp.ok()) << "status: " << tmp.status().ToString(); \
+  lhs = std::move(tmp).value()
+
+namespace iqs {
+namespace testing_util {
+
+// Builds a relation from a schema and text rows (fields parsed with
+// Value::FromText per attribute type).
+inline Relation MakeRelation(const std::string& name, Schema schema,
+                             const std::vector<std::vector<std::string>>& rows) {
+  Relation rel(name, std::move(schema));
+  for (const auto& row : rows) {
+    Status s = rel.InsertText(row);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+  return rel;
+}
+
+// Column values of `attr` rendered as text, in row order.
+inline std::vector<std::string> ColumnText(const Relation& rel,
+                                           const std::string& attr) {
+  std::vector<std::string> out;
+  auto column = rel.Column(attr);
+  EXPECT_TRUE(column.ok()) << column.status().ToString();
+  if (!column.ok()) return out;
+  for (const Value& v : *column) out.push_back(v.ToString());
+  return out;
+}
+
+// All rule bodies as text (for compact golden comparisons).
+inline std::vector<std::string> RuleBodies(const std::vector<Rule>& rules) {
+  std::vector<std::string> out;
+  out.reserve(rules.size());
+  for (const Rule& r : rules) out.push_back(r.Body());
+  return out;
+}
+
+}  // namespace testing_util
+}  // namespace iqs
+
+#endif  // IQS_TESTS_TEST_UTIL_H_

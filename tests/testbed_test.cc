@@ -1,0 +1,206 @@
+#include "baseline/constraint_answerer.h"
+#include "gtest/gtest.h"
+#include "testbed/employee_db.h"
+#include "testbed/fleet_generator.h"
+#include "testbed/ship_db.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+TEST(ShipDbTest, AppendixCRowCounts) {
+  ASSERT_OK_AND_ASSIGN(auto db, BuildShipDatabase());
+  struct Expected {
+    const char* relation;
+    size_t rows;
+  };
+  for (const Expected& e : std::initializer_list<Expected>{
+           {"SUBMARINE", 24}, {"CLASS", 13}, {"TYPE", 2}, {"SONAR", 8},
+           {"INSTALL", 24}}) {
+    ASSERT_OK_AND_ASSIGN(const Relation* rel, db->Get(e.relation));
+    EXPECT_EQ(rel->size(), e.rows) << e.relation;
+  }
+}
+
+TEST(ShipDbTest, EveryShipTupleSatisfiesTheKerSchema) {
+  ASSERT_OK_AND_ASSIGN(auto db, BuildShipDatabase());
+  ASSERT_OK_AND_ASSIGN(auto catalog, BuildShipCatalog());
+  // CLASS rows must pass the declared domain + range constraints. The
+  // relation column order is Appendix-C's (Class, ClassName, Type,
+  // Displacement); the object type declares (Class, Type, ClassName,
+  // Displacement) — remap by name.
+  ASSERT_OK_AND_ASSIGN(const ObjectTypeDef* def,
+                       catalog->GetObjectType("CLASS"));
+  ASSERT_OK_AND_ASSIGN(Schema ker_schema, def->ToSchema(catalog->domains()));
+  ASSERT_OK_AND_ASSIGN(const Relation* classes, db->Get("CLASS"));
+  for (const Tuple& t : classes->rows()) {
+    Tuple remapped;
+    for (const KerAttribute& attr : def->attributes) {
+      auto idx = classes->schema().IndexOf(attr.name);
+      ASSERT_TRUE(idx.ok());
+      remapped.Append(t.at(*idx));
+    }
+    Status check = def->CheckTuple(catalog->domains(), ker_schema, remapped);
+    EXPECT_TRUE(check.ok()) << check << " for " << t.ToString();
+  }
+}
+
+TEST(ShipDbTest, InstallReferencesResolve) {
+  ASSERT_OK_AND_ASSIGN(auto db, BuildShipDatabase());
+  ASSERT_OK_AND_ASSIGN(const Relation* install, db->Get("INSTALL"));
+  ASSERT_OK_AND_ASSIGN(const Relation* ships, db->Get("SUBMARINE"));
+  ASSERT_OK_AND_ASSIGN(const Relation* sonars, db->Get("SONAR"));
+  ASSERT_OK_AND_ASSIGN(auto ship_ids, ships->Column("Id"));
+  ASSERT_OK_AND_ASSIGN(auto sonar_ids, sonars->Column("Sonar"));
+  auto contains = [](const std::vector<Value>& haystack, const Value& v) {
+    return std::find(haystack.begin(), haystack.end(), v) != haystack.end();
+  };
+  for (const Tuple& t : install->rows()) {
+    EXPECT_TRUE(contains(ship_ids, t.at(0))) << t.ToString();
+    EXPECT_TRUE(contains(sonar_ids, t.at(1))) << t.ToString();
+  }
+}
+
+TEST(ShipDbTest, HierarchyHasFifteenSubmarineTypes) {
+  ASSERT_OK_AND_ASSIGN(auto catalog, BuildShipCatalog());
+  ASSERT_OK_AND_ASSIGN(auto subs,
+                       catalog->hierarchy().SubtypesOf("SUBMARINE"));
+  EXPECT_EQ(subs.size(), 15u);  // SSBN + SSN + 13 classes
+  ASSERT_OK_AND_ASSIGN(auto sonar_subs,
+                       catalog->hierarchy().SubtypesOf("SONAR"));
+  EXPECT_EQ(sonar_subs.size(), 3u);
+}
+
+TEST(FleetGeneratorTest, Table1SpecsMatchThePaper) {
+  const auto& specs = Table1Specs();
+  ASSERT_EQ(specs.size(), 12u);
+  EXPECT_STREQ(specs[0].type, "SSBN");
+  EXPECT_EQ(specs[0].displacement_lo, 7250);
+  EXPECT_EQ(specs[0].displacement_hi, 16600);
+  EXPECT_STREQ(specs[2].type, "CVN");
+  EXPECT_EQ(specs[2].displacement_hi, 81600);
+  EXPECT_STREQ(specs[11].type, "FF");
+  size_t surface = 0;
+  for (const auto& s : specs) {
+    if (std::string(s.category) == "Surface") ++surface;
+  }
+  EXPECT_EQ(surface, 10u);
+}
+
+TEST(FleetGeneratorTest, GenerationIsDeterministicAndInRange) {
+  ASSERT_OK_AND_ASSIGN(auto db1, GenerateFleet(25, 42));
+  ASSERT_OK_AND_ASSIGN(auto db2, GenerateFleet(25, 42));
+  ASSERT_OK_AND_ASSIGN(const Relation* a, db1->Get("BATTLESHIP"));
+  ASSERT_OK_AND_ASSIGN(const Relation* b, db2->Get("BATTLESHIP"));
+  EXPECT_EQ(a->rows(), b->rows());
+  EXPECT_EQ(a->size(), 12u * 25u);
+  // Every displacement within its type's Table-1 range.
+  ASSERT_OK_AND_ASSIGN(size_t type_idx, a->schema().IndexOf("Type"));
+  ASSERT_OK_AND_ASSIGN(size_t disp_idx, a->schema().IndexOf("Displacement"));
+  for (const Tuple& t : a->rows()) {
+    const std::string& type = t.at(type_idx).AsString();
+    int64_t d = t.at(disp_idx).AsInt();
+    bool found = false;
+    for (const auto& spec : Table1Specs()) {
+      if (spec.type == type) {
+        EXPECT_GE(d, spec.displacement_lo) << type;
+        EXPECT_LE(d, spec.displacement_hi) << type;
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << type;
+  }
+  // Different seeds differ.
+  ASSERT_OK_AND_ASSIGN(auto db3, GenerateFleet(25, 43));
+  ASSERT_OK_AND_ASSIGN(const Relation* c, db3->Get("BATTLESHIP"));
+  EXPECT_NE(a->rows(), c->rows());
+}
+
+TEST(FleetGeneratorTest, CharacteristicsRecoverTable1) {
+  ASSERT_OK_AND_ASSIGN(auto db, GenerateFleet(40, 7));
+  ASSERT_OK_AND_ASSIGN(auto characteristics, InduceCharacteristics(*db));
+  ASSERT_EQ(characteristics.size(), 12u);
+  for (size_t i = 0; i < characteristics.size(); ++i) {
+    const auto& spec = Table1Specs()[i];
+    EXPECT_EQ(characteristics[i].type, spec.type);
+    // Endpoints are forced into the sample, so recovery is exact.
+    EXPECT_EQ(characteristics[i].displacement_lo, spec.displacement_lo);
+    EXPECT_EQ(characteristics[i].displacement_hi, spec.displacement_hi);
+  }
+}
+
+TEST(FleetGeneratorTest, CatalogHierarchy) {
+  ASSERT_OK_AND_ASSIGN(auto catalog, BuildFleetCatalog());
+  ASSERT_OK_AND_ASSIGN(auto subs,
+                       catalog->hierarchy().SubtypesOf("BATTLESHIP"));
+  EXPECT_EQ(subs.size(), 14u);  // 2 categories + 12 types
+  ASSERT_OK_AND_ASSIGN(
+      std::string t,
+      catalog->hierarchy().FindByDerivation(
+          Clause::Equals("Type", Value::String("CVN"))));
+  EXPECT_EQ(t, "T_CVN");
+}
+
+TEST(FleetGeneratorTest, SplitMixIsDeterministic) {
+  SplitMix64 a(1);
+  SplitMix64 b(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  SplitMix64 r(99);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.NextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_EQ(r.NextInRange(7, 7), 7);
+}
+
+TEST(EmployeeDbTest, SystemInducesSalaryRules) {
+  ASSERT_OK_AND_ASSIGN(auto system, BuildEmployeeSystem());
+  InductionConfig config;
+  config.min_support = 3;
+  ASSERT_OK(system->Induce(config));
+  const RuleSet& rules = system->dictionary().induced_rules();
+  ASSERT_FALSE(rules.empty());
+  // Salary bands are disjoint: one rule per position, each with an isa
+  // reading.
+  size_t salary_rules = 0;
+  for (const Rule& r : rules.rules()) {
+    if (r.scheme == "Salary->Position") {
+      ++salary_rules;
+      EXPECT_TRUE(r.rhs.HasIsaReading()) << r.Body();
+    }
+    // Age correlates with nothing: no Age scheme may survive Nc = 3.
+    EXPECT_NE(r.scheme, "Age->Position") << r.Body();
+  }
+  EXPECT_EQ(salary_rules, 3u);
+}
+
+TEST(EmployeeDbTest, EndToEndQuery) {
+  ASSERT_OK_AND_ASSIGN(auto system, BuildEmployeeSystem());
+  InductionConfig config;
+  config.min_support = 3;
+  ASSERT_OK(system->Induce(config));
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult result,
+      system->Query("SELECT Name FROM EMPLOYEE WHERE Salary > 100000",
+                    InferenceMode::kForward));
+  EXPECT_GT(result.extensional.size(), 0u);
+  EXPECT_EQ(system->formatter().Summary(result),
+            "Employee type MANAGER has Salary > 100000.");
+}
+
+TEST(EmployeeDbTest, DeclaredAgeConstraintDetectsEmptyQueries) {
+  ASSERT_OK_AND_ASSIGN(auto system, BuildEmployeeSystem());
+  DataDictionary& dictionary = system->dictionary();
+  ConstraintBaseline baseline(&dictionary);
+  QueryDescription query;
+  query.object_types = {"EMPLOYEE"};
+  query.conditions.push_back(Clause(
+      "EMPLOYEE.Age", Interval::AtLeast(Value::Int(200), false)));
+  EXPECT_TRUE(baseline.DetectEmptyAnswer(query).has_value());
+}
+
+}  // namespace
+}  // namespace iqs

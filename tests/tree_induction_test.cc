@@ -1,0 +1,180 @@
+#include "induction/tree_induction.h"
+
+#include "gtest/gtest.h"
+#include "inference/engine.h"
+#include "testbed/employee_db.h"
+#include "testbed/fleet_generator.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+TEST(TreeInductionTest, EmployeeSalaryBandsAsRules) {
+  ASSERT_OK_AND_ASSIGN(auto db, BuildEmployeeDatabase());
+  ASSERT_OK_AND_ASSIGN(auto catalog, BuildEmployeeCatalog());
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Rule> rules,
+      InduceIntraObjectViaTree(*db, *catalog, "EMPLOYEE", {}, 3));
+  ASSERT_FALSE(rules.empty());
+  // Every rule carries an isa reading (derivations exist for all three
+  // positions) and holds on the training data.
+  ASSERT_OK_AND_ASSIGN(const Relation* employees, db->Get("EMPLOYEE"));
+  for (const Rule& rule : rules) {
+    EXPECT_TRUE(rule.rhs.HasIsaReading()) << rule.Body();
+    EXPECT_EQ(rule.scheme, "tree->Position");
+    EXPECT_GE(rule.support, 3);
+    for (const Tuple& row : employees->rows()) {
+      bool matches = true;
+      for (const Clause& clause : rule.lhs) {
+        ASSERT_OK_AND_ASSIGN(size_t idx, employees->schema().IndexOf(
+                                             clause.BaseAttribute()));
+        if (!clause.Satisfies(row.at(idx))) {
+          matches = false;
+          break;
+        }
+      }
+      if (!matches) continue;
+      ASSERT_OK_AND_ASSIGN(
+          size_t y_idx,
+          employees->schema().IndexOf(rule.rhs.clause.BaseAttribute()));
+      EXPECT_TRUE(rule.rhs.clause.Satisfies(row.at(y_idx)))
+          << rule.Body() << " violated by " << row.ToString();
+    }
+  }
+}
+
+// A domain where NO single attribute separates the classes: Label is
+// HIGH exactly when X > 50 AND Y > 50. Tree paths must conjoin both
+// attributes.
+Result<std::unique_ptr<Database>> BuildQuadrantDb() {
+  auto db = std::make_unique<Database>();
+  IQS_ASSIGN_OR_RETURN(
+      Relation * points,
+      db->CreateRelation("POINT",
+                         Schema({{"Id", ValueType::kString, true},
+                                 {"X", ValueType::kInt, false},
+                                 {"Y", ValueType::kInt, false},
+                                 {"Label", ValueType::kString, false}})));
+  int n = 0;
+  for (int x = 5; x <= 95; x += 10) {
+    for (int y = 5; y <= 95; y += 10) {
+      char id[16];
+      std::snprintf(id, sizeof(id), "P%03d", n++);
+      const char* label = (x > 50 && y > 50) ? "HIGH" : "LOW";
+      IQS_RETURN_IF_ERROR(
+          points->Insert(Tuple({Value::String(id), Value::Int(x),
+                                Value::Int(y), Value::String(label)})));
+    }
+  }
+  return db;
+}
+
+Result<std::unique_ptr<KerCatalog>> BuildQuadrantCatalog() {
+  auto catalog = std::make_unique<KerCatalog>();
+  ObjectTypeDef def;
+  def.name = "POINT";
+  def.attributes = {{"Id", "CHAR[6]", true},
+                    {"X", "integer", false},
+                    {"Y", "integer", false},
+                    {"Label", "CHAR[6]", false}};
+  IQS_RETURN_IF_ERROR(catalog->DefineObjectType(std::move(def)));
+  IQS_RETURN_IF_ERROR(catalog->DefineContains("POINT", {"HIGH", "LOW"}));
+  IQS_RETURN_IF_ERROR(catalog->SetDerivation(
+      "HIGH", Clause::Equals("Label", Value::String("HIGH"))));
+  IQS_RETURN_IF_ERROR(catalog->SetDerivation(
+      "LOW", Clause::Equals("Label", Value::String("LOW"))));
+  return catalog;
+}
+
+TEST(TreeInductionTest, QuadrantDataGetsConjunctiveRules) {
+  ASSERT_OK_AND_ASSIGN(auto db, BuildQuadrantDb());
+  ASSERT_OK_AND_ASSIGN(auto catalog, BuildQuadrantCatalog());
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Rule> rules,
+      InduceIntraObjectViaTree(*db, *catalog, "POINT", {}, 3));
+  ASSERT_FALSE(rules.empty());
+  bool found_conjunctive_high = false;
+  for (const Rule& rule : rules) {
+    if (rule.lhs.size() >= 2 && rule.rhs.isa_type == "HIGH") {
+      found_conjunctive_high = true;
+    }
+    EXPECT_TRUE(rule.rhs.HasIsaReading()) << rule.Body();
+  }
+  EXPECT_TRUE(found_conjunctive_high);
+}
+
+TEST(TreeInductionTest, ConjunctiveRulesDriveForwardInference) {
+  // End-to-end: a multi-clause rule fires only when the query restricts
+  // every premise attribute.
+  ASSERT_OK_AND_ASSIGN(auto db, BuildQuadrantDb());
+  ASSERT_OK_AND_ASSIGN(auto catalog, BuildQuadrantCatalog());
+  DataDictionary dictionary(catalog.get());
+  ASSERT_OK(dictionary.BuildFrames());
+  ASSERT_OK(dictionary.ComputeActiveDomains(*db));
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Rule> rules,
+      InduceIntraObjectViaTree(*db, *catalog, "POINT", {}, 3));
+  RuleSet set;
+  set.AddAll(std::move(rules));
+  dictionary.SetInducedRules(std::move(set));
+  InferenceEngine engine(&dictionary);
+
+  // Both premise attributes restricted to the HIGH quadrant.
+  QueryDescription query;
+  query.object_types = {"POINT"};
+  query.conditions.push_back(
+      Clause("POINT.X", *Interval::Closed(Value::Int(60), Value::Int(90))));
+  query.conditions.push_back(
+      Clause("POINT.Y", *Interval::Closed(Value::Int(60), Value::Int(90))));
+  ASSERT_OK_AND_ASSIGN(std::vector<Fact> facts,
+                       engine.Forward(query, dictionary.induced_rules()));
+  bool derived_high = false;
+  for (const Fact& f : facts) {
+    if (f.kind == Fact::Kind::kType && f.type_name == "HIGH") {
+      derived_high = true;
+    }
+  }
+  EXPECT_TRUE(derived_high);
+
+  // With only X restricted, the conjunctive premise is not subsumed.
+  QueryDescription partial;
+  partial.object_types = {"POINT"};
+  partial.conditions.push_back(
+      Clause("POINT.X", *Interval::Closed(Value::Int(60), Value::Int(90))));
+  ASSERT_OK_AND_ASSIGN(std::vector<Fact> partial_facts,
+                       engine.Forward(partial, dictionary.induced_rules()));
+  for (const Fact& f : partial_facts) {
+    if (f.kind == Fact::Kind::kType) {
+      EXPECT_NE(f.type_name, "HIGH") << f.ToString();
+    }
+  }
+}
+
+TEST(TreeInductionTest, MinSupportFilters) {
+  ASSERT_OK_AND_ASSIGN(auto db, BuildEmployeeDatabase());
+  ASSERT_OK_AND_ASSIGN(auto catalog, BuildEmployeeCatalog());
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Rule> all,
+      InduceIntraObjectViaTree(*db, *catalog, "EMPLOYEE", {}, 1));
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Rule> strict,
+      InduceIntraObjectViaTree(*db, *catalog, "EMPLOYEE", {}, 6));
+  EXPECT_GE(all.size(), strict.size());
+  for (const Rule& rule : strict) {
+    EXPECT_GE(rule.support, 6);
+  }
+}
+
+TEST(TreeInductionTest, TypeWithoutClassificationYieldsNothing) {
+  // WORKS_IN has no classification attribute of its own (the derivations
+  // live on EMPLOYEE.Position and DEPARTMENT.Division).
+  ASSERT_OK_AND_ASSIGN(auto db, BuildEmployeeDatabase());
+  ASSERT_OK_AND_ASSIGN(auto catalog, BuildEmployeeCatalog());
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Rule> rules,
+      InduceIntraObjectViaTree(*db, *catalog, "WORKS_IN", {}, 1));
+  EXPECT_TRUE(rules.empty());
+}
+
+}  // namespace
+}  // namespace iqs

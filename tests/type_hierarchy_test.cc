@@ -1,0 +1,157 @@
+#include "ker/type_hierarchy.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+// Builds the Figure-2 submarine hierarchy.
+TypeHierarchy ShipHierarchy() {
+  TypeHierarchy h;
+  EXPECT_OK(h.AddRoot("SUBMARINE"));
+  EXPECT_OK(h.AddIsa("SSBN", "SUBMARINE",
+                     Clause::Equals("Type", Value::String("SSBN")), true));
+  EXPECT_OK(h.AddIsa("SSN", "SUBMARINE",
+                     Clause::Equals("Type", Value::String("SSN")), true));
+  EXPECT_OK(h.AddIsa("C0101", "SSBN",
+                     Clause::Equals("Class", Value::String("0101"))));
+  EXPECT_OK(h.AddIsa("C0103", "SSBN",
+                     Clause::Equals("Class", Value::String("0103"))));
+  EXPECT_OK(h.AddIsa("C0201", "SSN",
+                     Clause::Equals("Class", Value::String("0201"))));
+  return h;
+}
+
+TEST(TypeHierarchyTest, AddValidation) {
+  TypeHierarchy h;
+  ASSERT_OK(h.AddRoot("A"));
+  ASSERT_OK(h.AddRoot("A"));  // idempotent
+  EXPECT_EQ(h.AddIsa("B", "MISSING", std::nullopt).code(),
+            StatusCode::kNotFound);
+  ASSERT_OK(h.AddIsa("B", "A", std::nullopt));
+  EXPECT_EQ(h.AddIsa("B", "A", std::nullopt).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(h.AddRoot("").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TypeHierarchyTest, SupertypesNearestFirst) {
+  TypeHierarchy h = ShipHierarchy();
+  ASSERT_OK_AND_ASSIGN(std::vector<std::string> supers,
+                       h.SupertypesOf("C0103"));
+  EXPECT_EQ(supers, (std::vector<std::string>{"SSBN", "SUBMARINE"}));
+  ASSERT_OK_AND_ASSIGN(std::vector<std::string> root_supers,
+                       h.SupertypesOf("SUBMARINE"));
+  EXPECT_TRUE(root_supers.empty());
+  EXPECT_FALSE(h.SupertypesOf("NOPE").ok());
+}
+
+TEST(TypeHierarchyTest, SubtypesBreadthFirst) {
+  TypeHierarchy h = ShipHierarchy();
+  ASSERT_OK_AND_ASSIGN(std::vector<std::string> subs,
+                       h.SubtypesOf("SUBMARINE"));
+  EXPECT_EQ(subs, (std::vector<std::string>{"SSBN", "SSN", "C0101", "C0103",
+                                            "C0201"}));
+  ASSERT_OK_AND_ASSIGN(std::vector<std::string> leaf, h.SubtypesOf("C0101"));
+  EXPECT_TRUE(leaf.empty());
+}
+
+TEST(TypeHierarchyTest, RootOfAndMembership) {
+  TypeHierarchy h = ShipHierarchy();
+  ASSERT_OK_AND_ASSIGN(std::string root, h.RootOf("C0201"));
+  EXPECT_EQ(root, "SUBMARINE");
+  EXPECT_TRUE(h.IsAOrSubtypeOf("C0103", "SSBN"));
+  EXPECT_TRUE(h.IsAOrSubtypeOf("C0103", "SUBMARINE"));
+  EXPECT_TRUE(h.IsAOrSubtypeOf("SSBN", "SSBN"));
+  EXPECT_FALSE(h.IsAOrSubtypeOf("SSBN", "SSN"));
+  EXPECT_FALSE(h.IsAOrSubtypeOf("SUBMARINE", "SSBN"));
+  EXPECT_FALSE(h.IsAOrSubtypeOf("GHOST", "SUBMARINE"));
+}
+
+TEST(TypeHierarchyTest, FindByDerivationExactPoint) {
+  TypeHierarchy h = ShipHierarchy();
+  ASSERT_OK_AND_ASSIGN(
+      std::string type,
+      h.FindByDerivation(Clause::Equals("Type", Value::String("SSBN"))));
+  EXPECT_EQ(type, "SSBN");
+  ASSERT_OK_AND_ASSIGN(
+      std::string cls,
+      h.FindByDerivation(Clause::Equals("Class", Value::String("0103"))));
+  EXPECT_EQ(cls, "C0103");
+  EXPECT_FALSE(
+      h.FindByDerivation(Clause::Equals("Class", Value::String("9999"))).ok());
+  EXPECT_FALSE(
+      h.FindByDerivation(Clause::Equals("Draft", Value::Int(5))).ok());
+}
+
+TEST(TypeHierarchyTest, FindByDerivationMatchesQualifiedClause) {
+  TypeHierarchy h = ShipHierarchy();
+  // Rule consequents from joined views are role-qualified.
+  ASSERT_OK_AND_ASSIGN(
+      std::string type,
+      h.FindByDerivation(Clause::Equals("x.Type", Value::String("SSN"))));
+  EXPECT_EQ(type, "SSN");
+}
+
+TEST(TypeHierarchyTest, FindByDerivationRequiresContainment) {
+  TypeHierarchy h;
+  ASSERT_OK(h.AddRoot("E"));
+  ASSERT_OK(h.AddIsa("HEAVY", "E",
+                     Clause("W", *Interval::Closed(Value::Int(100),
+                                                   Value::Int(200)))));
+  // A condition inside the derivation range matches...
+  ASSERT_OK_AND_ASSIGN(
+      std::string t,
+      h.FindByDerivation(Clause::Equals("W", Value::Int(150))));
+  EXPECT_EQ(t, "HEAVY");
+  // ...one exceeding it does not.
+  EXPECT_FALSE(h.FindByDerivation(
+                    Clause("W", *Interval::Closed(Value::Int(150),
+                                                  Value::Int(500))))
+                   .ok());
+}
+
+TEST(TypeHierarchyTest, FindByDerivationPrefersDeepest) {
+  TypeHierarchy h;
+  ASSERT_OK(h.AddRoot("E"));
+  ASSERT_OK(h.AddIsa("WIDE", "E",
+                     Clause("W", *Interval::Closed(Value::Int(0),
+                                                   Value::Int(100)))));
+  ASSERT_OK(h.AddIsa("NARROW", "WIDE",
+                     Clause("W", *Interval::Closed(Value::Int(40),
+                                                   Value::Int(60)))));
+  ASSERT_OK_AND_ASSIGN(
+      std::string t, h.FindByDerivation(Clause::Equals("W", Value::Int(50))));
+  EXPECT_EQ(t, "NARROW");
+}
+
+TEST(TypeHierarchyTest, SetDerivation) {
+  TypeHierarchy h;
+  ASSERT_OK(h.AddRoot("E"));
+  ASSERT_OK(h.AddIsa("S", "E", std::nullopt));
+  EXPECT_FALSE(
+      h.FindByDerivation(Clause::Equals("K", Value::Int(1))).ok());
+  ASSERT_OK(h.SetDerivation("S", Clause::Equals("K", Value::Int(1))));
+  ASSERT_OK_AND_ASSIGN(std::string t,
+                       h.FindByDerivation(Clause::Equals("K", Value::Int(1))));
+  EXPECT_EQ(t, "S");
+  EXPECT_EQ(h.SetDerivation("NOPE", Clause::Equals("K", Value::Int(1))).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TypeHierarchyTest, RootsAndAllTypes) {
+  TypeHierarchy h = ShipHierarchy();
+  ASSERT_OK(h.AddRoot("SONAR"));
+  EXPECT_EQ(h.Roots(), (std::vector<std::string>{"SUBMARINE", "SONAR"}));
+  EXPECT_EQ(h.AllTypes().size(), 7u);
+}
+
+TEST(TypeHierarchyTest, RenderTreeShowsDerivations) {
+  TypeHierarchy h = ShipHierarchy();
+  ASSERT_OK_AND_ASSIGN(std::string tree, h.RenderTree("SUBMARINE"));
+  EXPECT_NE(tree.find("SSBN  with Type = SSBN"), std::string::npos);
+  EXPECT_NE(tree.find("    C0101"), std::string::npos);  // two levels deep
+}
+
+}  // namespace
+}  // namespace iqs

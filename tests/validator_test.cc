@@ -1,0 +1,154 @@
+#include "ker/validator.h"
+
+#include "gtest/gtest.h"
+#include "testbed/employee_db.h"
+#include "testbed/ship_db.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+class ValidatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = BuildShipDatabase();
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_ = std::move(db).value();
+    auto catalog = BuildShipCatalog();
+    ASSERT_TRUE(catalog.ok()) << catalog.status();
+    catalog_ = std::move(catalog).value();
+  }
+
+  std::vector<ValidationIssue> Validate() {
+    auto issues = ValidateDatabase(*db_, *catalog_);
+    EXPECT_TRUE(issues.ok()) << issues.status();
+    return issues.ok() ? std::move(issues).value()
+                       : std::vector<ValidationIssue>{};
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<KerCatalog> catalog_;
+};
+
+TEST_F(ValidatorTest, AppendixCDatabaseConforms) {
+  std::vector<ValidationIssue> issues = Validate();
+  for (const ValidationIssue& issue : issues) {
+    ADD_FAILURE() << issue.ToString();
+  }
+  EXPECT_TRUE(issues.empty());
+}
+
+TEST_F(ValidatorTest, DetectsDomainRangeViolation) {
+  // Displacement outside the declared [2000..30000].
+  ASSERT_OK_AND_ASSIGN(Relation * classes, db_->GetMutable("CLASS"));
+  ASSERT_OK(classes->Insert(Tuple({Value::String("0999"),
+                                   Value::String("Midget"),
+                                   Value::String("SSN"), Value::Int(500)})));
+  std::vector<ValidationIssue> issues = Validate();
+  bool found = false;
+  for (const ValidationIssue& issue : issues) {
+    if (issue.relation == "CLASS" &&
+        issue.message.find("Displacement in [2000..30000]") !=
+            std::string::npos) {
+      found = true;
+      EXPECT_EQ(issue.row, 13u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ValidatorTest, DetectsCharLengthViolation) {
+  ASSERT_OK_AND_ASSIGN(Relation * types, db_->GetMutable("TYPE"));
+  ASSERT_OK(types->Insert(Tuple(
+      {Value::String("TOOLONG"), Value::String("bad key width")})));
+  std::vector<ValidationIssue> issues = Validate();
+  bool found = false;
+  for (const ValidationIssue& issue : issues) {
+    if (issue.relation == "TYPE" &&
+        issue.message.find("CHAR[4]") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ValidatorTest, DetectsConstraintRuleViolation) {
+  ASSERT_OK_AND_ASSIGN(Relation * classes, db_->GetMutable("CLASS"));
+  // "0101" <= Class <= "0103" requires Type = SSBN; swap 0102's type.
+  classes->DeleteWhere(
+      [](const Tuple& t) { return t.at(0) == Value::String("0102"); });
+  ASSERT_OK(classes->Insert(Tuple({Value::String("0102"),
+                                   Value::String("Benjamin Franklin"),
+                                   Value::String("SSN"),
+                                   Value::Int(7250)})));
+  std::vector<ValidationIssue> issues = Validate();
+  bool found = false;
+  for (const ValidationIssue& issue : issues) {
+    if (issue.message.find("violates declared rule") != std::string::npos &&
+        issue.message.find("Type = SSBN") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ValidatorTest, DetectsDanglingReference) {
+  ASSERT_OK_AND_ASSIGN(Relation * install, db_->GetMutable("INSTALL"));
+  ASSERT_OK(install->Insert(
+      Tuple({Value::String("GHOST01"), Value::String("BQQ-2")})));
+  std::vector<ValidationIssue> issues = Validate();
+  bool found_ship = false;
+  for (const ValidationIssue& issue : issues) {
+    if (issue.relation == "INSTALL" &&
+        issue.message.find("dangling reference: Ship = GHOST01") !=
+            std::string::npos) {
+      found_ship = true;
+    }
+  }
+  EXPECT_TRUE(found_ship);
+}
+
+TEST_F(ValidatorTest, DetectsDanglingSonarReference) {
+  ASSERT_OK_AND_ASSIGN(Relation * install, db_->GetMutable("INSTALL"));
+  // Replace one install row's sonar with an unknown sonar.
+  install->DeleteWhere(
+      [](const Tuple& t) { return t.at(0) == Value::String("SSN704"); });
+  ASSERT_OK(install->Insert(
+      Tuple({Value::String("SSN704"), Value::String("XXX-9")})));
+  std::vector<ValidationIssue> issues = Validate();
+  bool found = false;
+  for (const ValidationIssue& issue : issues) {
+    if (issue.message.find("Sonar = XXX-9") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ValidatorTest, EmployeeAgeConstraint) {
+  ASSERT_OK_AND_ASSIGN(auto db, BuildEmployeeDatabase());
+  ASSERT_OK_AND_ASSIGN(auto catalog, BuildEmployeeCatalog());
+  ASSERT_OK_AND_ASSIGN(auto clean, ValidateDatabase(*db, *catalog));
+  EXPECT_TRUE(clean.empty());
+  ASSERT_OK_AND_ASSIGN(Relation * employees, db->GetMutable("EMPLOYEE"));
+  ASSERT_OK(employees->Insert(
+      Tuple({Value::String("E999"), Value::String("Old Timer"),
+             Value::Int(99), Value::String("MANAGER"),
+             Value::Int(100000)})));
+  ASSERT_OK_AND_ASSIGN(auto issues, ValidateDatabase(*db, *catalog));
+  bool found = false;
+  for (const ValidationIssue& issue : issues) {
+    if (issue.message.find("Age in [18..65]") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ValidatorTest, IssueToString) {
+  ValidationIssue issue{"CLASS", 3, "boom"};
+  EXPECT_EQ(issue.ToString(), "CLASS[3]: boom");
+}
+
+}  // namespace
+}  // namespace iqs

@@ -1,0 +1,142 @@
+#include "relational/value.h"
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+TEST(ValueTypeTest, Names) {
+  EXPECT_STREQ(ValueTypeName(ValueType::kNull), "null");
+  EXPECT_STREQ(ValueTypeName(ValueType::kInt), "integer");
+  EXPECT_STREQ(ValueTypeName(ValueType::kReal), "real");
+  EXPECT_STREQ(ValueTypeName(ValueType::kString), "string");
+  EXPECT_STREQ(ValueTypeName(ValueType::kDate), "date");
+}
+
+TEST(ValueTypeTest, FromNameAcceptsAliases) {
+  ASSERT_OK_AND_ASSIGN(ValueType t1, ValueTypeFromName("integer"));
+  EXPECT_EQ(t1, ValueType::kInt);
+  ASSERT_OK_AND_ASSIGN(ValueType t2, ValueTypeFromName("INT"));
+  EXPECT_EQ(t2, ValueType::kInt);
+  ASSERT_OK_AND_ASSIGN(ValueType t3, ValueTypeFromName("Real"));
+  EXPECT_EQ(t3, ValueType::kReal);
+  ASSERT_OK_AND_ASSIGN(ValueType t4, ValueTypeFromName("double"));
+  EXPECT_EQ(t4, ValueType::kReal);
+  ASSERT_OK_AND_ASSIGN(ValueType t5, ValueTypeFromName("CHAR[20]"));
+  EXPECT_EQ(t5, ValueType::kString);
+  ASSERT_OK_AND_ASSIGN(ValueType t6, ValueTypeFromName(" date "));
+  EXPECT_EQ(t6, ValueType::kDate);
+}
+
+TEST(ValueTypeTest, FromNameRejectsUnknown) {
+  EXPECT_FALSE(ValueTypeFromName("quaternion").ok());
+  EXPECT_FALSE(ValueTypeFromName("").ok());
+}
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "");
+}
+
+TEST(ValueTest, Constructors) {
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Real(3.5).AsReal(), 3.5);
+  EXPECT_EQ(Value::String("abc").AsString(), "abc");
+  ASSERT_OK_AND_ASSIGN(Date d, Date::Create(1990, 3, 1));
+  EXPECT_EQ(Value::OfDate(d).AsDate(), d);
+}
+
+TEST(ValueTest, ToStringRoundTripsThroughFromText) {
+  const Value values[] = {
+      Value::Int(-7),
+      Value::Int(30000),
+      Value::Real(0.25),
+      Value::String("BQS-04"),
+      Value::OfDate(Date::FromEpochDays(12345)),
+  };
+  for (const Value& v : values) {
+    ASSERT_OK_AND_ASSIGN(Value parsed, Value::FromText(v.type(), v.ToString()));
+    EXPECT_EQ(parsed, v) << v.ToString();
+  }
+}
+
+TEST(ValueTest, FromTextEmptyIsNullForNonString) {
+  ASSERT_OK_AND_ASSIGN(Value v, Value::FromText(ValueType::kInt, ""));
+  EXPECT_TRUE(v.is_null());
+  ASSERT_OK_AND_ASSIGN(Value s, Value::FromText(ValueType::kString, ""));
+  EXPECT_EQ(s, Value::String(""));
+}
+
+TEST(ValueTest, FromTextRejectsGarbage) {
+  EXPECT_FALSE(Value::FromText(ValueType::kInt, "12x").ok());
+  EXPECT_FALSE(Value::FromText(ValueType::kReal, "--3").ok());
+  EXPECT_FALSE(Value::FromText(ValueType::kDate, "not-a-date").ok());
+}
+
+TEST(ValueTest, IntRealCompareNumerically) {
+  EXPECT_EQ(Value::Int(2), Value::Real(2.0));
+  EXPECT_LT(Value::Int(2), Value::Real(2.5));
+  EXPECT_GT(Value::Real(3.5), Value::Int(3));
+}
+
+TEST(ValueTest, StringsCompareLexicographically) {
+  // The property the paper's rules rely on: ship ids order by byte value.
+  EXPECT_LT(Value::String("SSBN130"), Value::String("SSBN623"));
+  EXPECT_LT(Value::String("SSBN730"), Value::String("SSN582"));
+  EXPECT_LT(Value::String("BQQ-8"), Value::String("BQS-04"));
+  EXPECT_EQ(Value::String("SSN601"), Value::String("SSN601"));
+}
+
+TEST(ValueTest, NullSortsFirstAndEqualsOnlyNull) {
+  EXPECT_LT(Value::Null(), Value::Int(-1000000));
+  EXPECT_LT(Value::Null(), Value::String(""));
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value::Int(0));
+}
+
+TEST(ValueTest, CrossTypeOrderIsTotalAndConsistent) {
+  Value values[] = {Value::Null(), Value::Int(1), Value::Real(2.5),
+                    Value::String("a"),
+                    Value::OfDate(Date::FromEpochDays(0))};
+  for (const Value& a : values) {
+    EXPECT_EQ(a.Compare(a), 0);
+    for (const Value& b : values) {
+      EXPECT_EQ(a.Compare(b), -b.Compare(a)) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(ValueTest, ComparableWith) {
+  EXPECT_TRUE(Value::Int(1).ComparableWith(Value::Real(2.0)));
+  EXPECT_TRUE(Value::Null().ComparableWith(Value::String("x")));
+  EXPECT_FALSE(Value::Int(1).ComparableWith(Value::String("1")));
+  EXPECT_FALSE(
+      Value::OfDate(Date::FromEpochDays(1)).ComparableWith(Value::Int(1)));
+}
+
+TEST(ValueTest, AsNumeric) {
+  ASSERT_OK_AND_ASSIGN(double d1, Value::Int(4).AsNumeric());
+  EXPECT_DOUBLE_EQ(d1, 4.0);
+  ASSERT_OK_AND_ASSIGN(double d2, Value::Real(0.5).AsNumeric());
+  EXPECT_DOUBLE_EQ(d2, 0.5);
+  EXPECT_FALSE(Value::String("4").AsNumeric().ok());
+}
+
+TEST(ValueTest, StreamOperator) {
+  std::ostringstream os;
+  os << Value::String("Typhoon") << "/" << Value::Int(30000);
+  EXPECT_EQ(os.str(), "Typhoon/30000");
+}
+
+TEST(ValueTest, RealFormattingHasNoTrailingZeros) {
+  EXPECT_EQ(Value::Real(42.0).ToString(), "42");
+  EXPECT_EQ(Value::Real(2.5).ToString(), "2.5");
+}
+
+}  // namespace
+}  // namespace iqs
