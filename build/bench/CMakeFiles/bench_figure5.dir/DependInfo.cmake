@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_figure5.cpp" "bench/CMakeFiles/bench_figure5.dir/bench_figure5.cpp.o" "gcc" "bench/CMakeFiles/bench_figure5.dir/bench_figure5.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/iqs_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/iqs_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/iqs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/induction/CMakeFiles/iqs_induction.dir/DependInfo.cmake"
+  "/root/repo/build/src/quel/CMakeFiles/iqs_quel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/iqs_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/inference/CMakeFiles/iqs_inference.dir/DependInfo.cmake"
+  "/root/repo/build/src/dictionary/CMakeFiles/iqs_dictionary.dir/DependInfo.cmake"
+  "/root/repo/build/src/ker/CMakeFiles/iqs_ker.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/iqs_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/iqs_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iqs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inference_modes.dir/bench_inference_modes.cpp.o"
+  "CMakeFiles/bench_inference_modes.dir/bench_inference_modes.cpp.o.d"
+  "bench_inference_modes"
+  "bench_inference_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inference_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nc_sweep.dir/bench_nc_sweep.cpp.o"
+  "CMakeFiles/bench_nc_sweep.dir/bench_nc_sweep.cpp.o.d"
+  "bench_nc_sweep"
+  "bench_nc_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nc_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rules17.dir/bench_rules17.cpp.o"
+  "CMakeFiles/bench_rules17.dir/bench_rules17.cpp.o.d"
+  "bench_rules17"
+  "bench_rules17.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rules17.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_semantic_qo.dir/bench_semantic_qo.cpp.o"
+  "CMakeFiles/bench_semantic_qo.dir/bench_semantic_qo.cpp.o.d"
+  "bench_semantic_qo"
+  "bench_semantic_qo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_semantic_qo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

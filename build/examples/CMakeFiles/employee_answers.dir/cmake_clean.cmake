@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/employee_answers.dir/employee_answers.cpp.o"
+  "CMakeFiles/employee_answers.dir/employee_answers.cpp.o.d"
+  "employee_answers"
+  "employee_answers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/employee_answers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

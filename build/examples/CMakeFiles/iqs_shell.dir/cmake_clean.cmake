@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqs_shell.dir/iqs_shell.cpp.o"
+  "CMakeFiles/iqs_shell.dir/iqs_shell.cpp.o.d"
+  "iqs_shell"
+  "iqs_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqs_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_relocation.dir/rule_relocation.cpp.o"
+  "CMakeFiles/rule_relocation.dir/rule_relocation.cpp.o.d"
+  "rule_relocation"
+  "rule_relocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_relocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

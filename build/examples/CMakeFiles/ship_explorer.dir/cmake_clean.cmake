@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ship_explorer.dir/ship_explorer.cpp.o"
+  "CMakeFiles/ship_explorer.dir/ship_explorer.cpp.o.d"
+  "ship_explorer"
+  "ship_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ship_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("relational")
+subdirs("sql")
+subdirs("quel")
+subdirs("ker")
+subdirs("rules")
+subdirs("induction")
+subdirs("dictionary")
+subdirs("inference")
+subdirs("baseline")
+subdirs("core")
+subdirs("testbed")

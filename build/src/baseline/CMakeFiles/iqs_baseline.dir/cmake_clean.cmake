@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqs_baseline.dir/constraint_answerer.cc.o"
+  "CMakeFiles/iqs_baseline.dir/constraint_answerer.cc.o.d"
+  "libiqs_baseline.a"
+  "libiqs_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqs_common.dir/status.cc.o"
+  "CMakeFiles/iqs_common.dir/status.cc.o.d"
+  "CMakeFiles/iqs_common.dir/string_util.cc.o"
+  "CMakeFiles/iqs_common.dir/string_util.cc.o.d"
+  "libiqs_common.a"
+  "libiqs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/answer_formatter.cc" "src/core/CMakeFiles/iqs_core.dir/answer_formatter.cc.o" "gcc" "src/core/CMakeFiles/iqs_core.dir/answer_formatter.cc.o.d"
+  "/root/repo/src/core/persistence.cc" "src/core/CMakeFiles/iqs_core.dir/persistence.cc.o" "gcc" "src/core/CMakeFiles/iqs_core.dir/persistence.cc.o.d"
+  "/root/repo/src/core/query_processor.cc" "src/core/CMakeFiles/iqs_core.dir/query_processor.cc.o" "gcc" "src/core/CMakeFiles/iqs_core.dir/query_processor.cc.o.d"
+  "/root/repo/src/core/semantic_optimizer.cc" "src/core/CMakeFiles/iqs_core.dir/semantic_optimizer.cc.o" "gcc" "src/core/CMakeFiles/iqs_core.dir/semantic_optimizer.cc.o.d"
+  "/root/repo/src/core/summarizer.cc" "src/core/CMakeFiles/iqs_core.dir/summarizer.cc.o" "gcc" "src/core/CMakeFiles/iqs_core.dir/summarizer.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/iqs_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/iqs_core.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/iqs_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/inference/CMakeFiles/iqs_inference.dir/DependInfo.cmake"
+  "/root/repo/build/src/induction/CMakeFiles/iqs_induction.dir/DependInfo.cmake"
+  "/root/repo/build/src/dictionary/CMakeFiles/iqs_dictionary.dir/DependInfo.cmake"
+  "/root/repo/build/src/ker/CMakeFiles/iqs_ker.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/iqs_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/quel/CMakeFiles/iqs_quel.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/iqs_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iqs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqs_core.dir/answer_formatter.cc.o"
+  "CMakeFiles/iqs_core.dir/answer_formatter.cc.o.d"
+  "CMakeFiles/iqs_core.dir/persistence.cc.o"
+  "CMakeFiles/iqs_core.dir/persistence.cc.o.d"
+  "CMakeFiles/iqs_core.dir/query_processor.cc.o"
+  "CMakeFiles/iqs_core.dir/query_processor.cc.o.d"
+  "CMakeFiles/iqs_core.dir/semantic_optimizer.cc.o"
+  "CMakeFiles/iqs_core.dir/semantic_optimizer.cc.o.d"
+  "CMakeFiles/iqs_core.dir/summarizer.cc.o"
+  "CMakeFiles/iqs_core.dir/summarizer.cc.o.d"
+  "CMakeFiles/iqs_core.dir/system.cc.o"
+  "CMakeFiles/iqs_core.dir/system.cc.o.d"
+  "libiqs_core.a"
+  "libiqs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dictionary/data_dictionary.cc" "src/dictionary/CMakeFiles/iqs_dictionary.dir/data_dictionary.cc.o" "gcc" "src/dictionary/CMakeFiles/iqs_dictionary.dir/data_dictionary.cc.o.d"
+  "/root/repo/src/dictionary/frame.cc" "src/dictionary/CMakeFiles/iqs_dictionary.dir/frame.cc.o" "gcc" "src/dictionary/CMakeFiles/iqs_dictionary.dir/frame.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ker/CMakeFiles/iqs_ker.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/iqs_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/iqs_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iqs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqs_dictionary.dir/data_dictionary.cc.o"
+  "CMakeFiles/iqs_dictionary.dir/data_dictionary.cc.o.d"
+  "CMakeFiles/iqs_dictionary.dir/frame.cc.o"
+  "CMakeFiles/iqs_dictionary.dir/frame.cc.o.d"
+  "libiqs_dictionary.a"
+  "libiqs_dictionary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqs_dictionary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/induction/candidate_generator.cc" "src/induction/CMakeFiles/iqs_induction.dir/candidate_generator.cc.o" "gcc" "src/induction/CMakeFiles/iqs_induction.dir/candidate_generator.cc.o.d"
+  "/root/repo/src/induction/decision_tree.cc" "src/induction/CMakeFiles/iqs_induction.dir/decision_tree.cc.o" "gcc" "src/induction/CMakeFiles/iqs_induction.dir/decision_tree.cc.o.d"
+  "/root/repo/src/induction/ils.cc" "src/induction/CMakeFiles/iqs_induction.dir/ils.cc.o" "gcc" "src/induction/CMakeFiles/iqs_induction.dir/ils.cc.o.d"
+  "/root/repo/src/induction/inter_object.cc" "src/induction/CMakeFiles/iqs_induction.dir/inter_object.cc.o" "gcc" "src/induction/CMakeFiles/iqs_induction.dir/inter_object.cc.o.d"
+  "/root/repo/src/induction/quel_induction.cc" "src/induction/CMakeFiles/iqs_induction.dir/quel_induction.cc.o" "gcc" "src/induction/CMakeFiles/iqs_induction.dir/quel_induction.cc.o.d"
+  "/root/repo/src/induction/rule_induction.cc" "src/induction/CMakeFiles/iqs_induction.dir/rule_induction.cc.o" "gcc" "src/induction/CMakeFiles/iqs_induction.dir/rule_induction.cc.o.d"
+  "/root/repo/src/induction/tree_induction.cc" "src/induction/CMakeFiles/iqs_induction.dir/tree_induction.cc.o" "gcc" "src/induction/CMakeFiles/iqs_induction.dir/tree_induction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ker/CMakeFiles/iqs_ker.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/iqs_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/quel/CMakeFiles/iqs_quel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/iqs_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/iqs_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iqs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqs_induction.dir/candidate_generator.cc.o"
+  "CMakeFiles/iqs_induction.dir/candidate_generator.cc.o.d"
+  "CMakeFiles/iqs_induction.dir/decision_tree.cc.o"
+  "CMakeFiles/iqs_induction.dir/decision_tree.cc.o.d"
+  "CMakeFiles/iqs_induction.dir/ils.cc.o"
+  "CMakeFiles/iqs_induction.dir/ils.cc.o.d"
+  "CMakeFiles/iqs_induction.dir/inter_object.cc.o"
+  "CMakeFiles/iqs_induction.dir/inter_object.cc.o.d"
+  "CMakeFiles/iqs_induction.dir/quel_induction.cc.o"
+  "CMakeFiles/iqs_induction.dir/quel_induction.cc.o.d"
+  "CMakeFiles/iqs_induction.dir/rule_induction.cc.o"
+  "CMakeFiles/iqs_induction.dir/rule_induction.cc.o.d"
+  "CMakeFiles/iqs_induction.dir/tree_induction.cc.o"
+  "CMakeFiles/iqs_induction.dir/tree_induction.cc.o.d"
+  "libiqs_induction.a"
+  "libiqs_induction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqs_induction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqs_inference.dir/engine.cc.o"
+  "CMakeFiles/iqs_inference.dir/engine.cc.o.d"
+  "CMakeFiles/iqs_inference.dir/fact.cc.o"
+  "CMakeFiles/iqs_inference.dir/fact.cc.o.d"
+  "CMakeFiles/iqs_inference.dir/intensional_answer.cc.o"
+  "CMakeFiles/iqs_inference.dir/intensional_answer.cc.o.d"
+  "libiqs_inference.a"
+  "libiqs_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqs_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

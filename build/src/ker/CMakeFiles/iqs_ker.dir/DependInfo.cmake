@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ker/catalog.cc" "src/ker/CMakeFiles/iqs_ker.dir/catalog.cc.o" "gcc" "src/ker/CMakeFiles/iqs_ker.dir/catalog.cc.o.d"
+  "/root/repo/src/ker/ddl_lexer.cc" "src/ker/CMakeFiles/iqs_ker.dir/ddl_lexer.cc.o" "gcc" "src/ker/CMakeFiles/iqs_ker.dir/ddl_lexer.cc.o.d"
+  "/root/repo/src/ker/ddl_parser.cc" "src/ker/CMakeFiles/iqs_ker.dir/ddl_parser.cc.o" "gcc" "src/ker/CMakeFiles/iqs_ker.dir/ddl_parser.cc.o.d"
+  "/root/repo/src/ker/domain.cc" "src/ker/CMakeFiles/iqs_ker.dir/domain.cc.o" "gcc" "src/ker/CMakeFiles/iqs_ker.dir/domain.cc.o.d"
+  "/root/repo/src/ker/object_type.cc" "src/ker/CMakeFiles/iqs_ker.dir/object_type.cc.o" "gcc" "src/ker/CMakeFiles/iqs_ker.dir/object_type.cc.o.d"
+  "/root/repo/src/ker/type_hierarchy.cc" "src/ker/CMakeFiles/iqs_ker.dir/type_hierarchy.cc.o" "gcc" "src/ker/CMakeFiles/iqs_ker.dir/type_hierarchy.cc.o.d"
+  "/root/repo/src/ker/validator.cc" "src/ker/CMakeFiles/iqs_ker.dir/validator.cc.o" "gcc" "src/ker/CMakeFiles/iqs_ker.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rules/CMakeFiles/iqs_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/iqs_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iqs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

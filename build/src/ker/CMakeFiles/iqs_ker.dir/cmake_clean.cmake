@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqs_ker.dir/catalog.cc.o"
+  "CMakeFiles/iqs_ker.dir/catalog.cc.o.d"
+  "CMakeFiles/iqs_ker.dir/ddl_lexer.cc.o"
+  "CMakeFiles/iqs_ker.dir/ddl_lexer.cc.o.d"
+  "CMakeFiles/iqs_ker.dir/ddl_parser.cc.o"
+  "CMakeFiles/iqs_ker.dir/ddl_parser.cc.o.d"
+  "CMakeFiles/iqs_ker.dir/domain.cc.o"
+  "CMakeFiles/iqs_ker.dir/domain.cc.o.d"
+  "CMakeFiles/iqs_ker.dir/object_type.cc.o"
+  "CMakeFiles/iqs_ker.dir/object_type.cc.o.d"
+  "CMakeFiles/iqs_ker.dir/type_hierarchy.cc.o"
+  "CMakeFiles/iqs_ker.dir/type_hierarchy.cc.o.d"
+  "CMakeFiles/iqs_ker.dir/validator.cc.o"
+  "CMakeFiles/iqs_ker.dir/validator.cc.o.d"
+  "libiqs_ker.a"
+  "libiqs_ker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqs_ker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quel/quel_parser.cc" "src/quel/CMakeFiles/iqs_quel.dir/quel_parser.cc.o" "gcc" "src/quel/CMakeFiles/iqs_quel.dir/quel_parser.cc.o.d"
+  "/root/repo/src/quel/quel_session.cc" "src/quel/CMakeFiles/iqs_quel.dir/quel_session.cc.o" "gcc" "src/quel/CMakeFiles/iqs_quel.dir/quel_session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/iqs_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/iqs_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iqs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqs_quel.dir/quel_parser.cc.o"
+  "CMakeFiles/iqs_quel.dir/quel_parser.cc.o.d"
+  "CMakeFiles/iqs_quel.dir/quel_session.cc.o"
+  "CMakeFiles/iqs_quel.dir/quel_session.cc.o.d"
+  "libiqs_quel.a"
+  "libiqs_quel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqs_quel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for iqs_quel.
+# This may be replaced when dependencies are built.

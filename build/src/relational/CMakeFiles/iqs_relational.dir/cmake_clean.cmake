@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqs_relational.dir/algebra.cc.o"
+  "CMakeFiles/iqs_relational.dir/algebra.cc.o.d"
+  "CMakeFiles/iqs_relational.dir/csv.cc.o"
+  "CMakeFiles/iqs_relational.dir/csv.cc.o.d"
+  "CMakeFiles/iqs_relational.dir/database.cc.o"
+  "CMakeFiles/iqs_relational.dir/database.cc.o.d"
+  "CMakeFiles/iqs_relational.dir/date.cc.o"
+  "CMakeFiles/iqs_relational.dir/date.cc.o.d"
+  "CMakeFiles/iqs_relational.dir/index.cc.o"
+  "CMakeFiles/iqs_relational.dir/index.cc.o.d"
+  "CMakeFiles/iqs_relational.dir/predicate.cc.o"
+  "CMakeFiles/iqs_relational.dir/predicate.cc.o.d"
+  "CMakeFiles/iqs_relational.dir/relation.cc.o"
+  "CMakeFiles/iqs_relational.dir/relation.cc.o.d"
+  "CMakeFiles/iqs_relational.dir/schema.cc.o"
+  "CMakeFiles/iqs_relational.dir/schema.cc.o.d"
+  "CMakeFiles/iqs_relational.dir/tuple.cc.o"
+  "CMakeFiles/iqs_relational.dir/tuple.cc.o.d"
+  "CMakeFiles/iqs_relational.dir/value.cc.o"
+  "CMakeFiles/iqs_relational.dir/value.cc.o.d"
+  "libiqs_relational.a"
+  "libiqs_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqs_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/clause.cc" "src/rules/CMakeFiles/iqs_rules.dir/clause.cc.o" "gcc" "src/rules/CMakeFiles/iqs_rules.dir/clause.cc.o.d"
+  "/root/repo/src/rules/interval.cc" "src/rules/CMakeFiles/iqs_rules.dir/interval.cc.o" "gcc" "src/rules/CMakeFiles/iqs_rules.dir/interval.cc.o.d"
+  "/root/repo/src/rules/rule.cc" "src/rules/CMakeFiles/iqs_rules.dir/rule.cc.o" "gcc" "src/rules/CMakeFiles/iqs_rules.dir/rule.cc.o.d"
+  "/root/repo/src/rules/rule_relation.cc" "src/rules/CMakeFiles/iqs_rules.dir/rule_relation.cc.o" "gcc" "src/rules/CMakeFiles/iqs_rules.dir/rule_relation.cc.o.d"
+  "/root/repo/src/rules/subsumption.cc" "src/rules/CMakeFiles/iqs_rules.dir/subsumption.cc.o" "gcc" "src/rules/CMakeFiles/iqs_rules.dir/subsumption.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/iqs_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iqs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

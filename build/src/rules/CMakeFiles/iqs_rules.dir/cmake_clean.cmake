@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqs_rules.dir/clause.cc.o"
+  "CMakeFiles/iqs_rules.dir/clause.cc.o.d"
+  "CMakeFiles/iqs_rules.dir/interval.cc.o"
+  "CMakeFiles/iqs_rules.dir/interval.cc.o.d"
+  "CMakeFiles/iqs_rules.dir/rule.cc.o"
+  "CMakeFiles/iqs_rules.dir/rule.cc.o.d"
+  "CMakeFiles/iqs_rules.dir/rule_relation.cc.o"
+  "CMakeFiles/iqs_rules.dir/rule_relation.cc.o.d"
+  "CMakeFiles/iqs_rules.dir/subsumption.cc.o"
+  "CMakeFiles/iqs_rules.dir/subsumption.cc.o.d"
+  "libiqs_rules.a"
+  "libiqs_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqs_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

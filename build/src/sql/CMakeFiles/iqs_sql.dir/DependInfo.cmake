@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/sql_ast.cc" "src/sql/CMakeFiles/iqs_sql.dir/sql_ast.cc.o" "gcc" "src/sql/CMakeFiles/iqs_sql.dir/sql_ast.cc.o.d"
+  "/root/repo/src/sql/sql_executor.cc" "src/sql/CMakeFiles/iqs_sql.dir/sql_executor.cc.o" "gcc" "src/sql/CMakeFiles/iqs_sql.dir/sql_executor.cc.o.d"
+  "/root/repo/src/sql/sql_lexer.cc" "src/sql/CMakeFiles/iqs_sql.dir/sql_lexer.cc.o" "gcc" "src/sql/CMakeFiles/iqs_sql.dir/sql_lexer.cc.o.d"
+  "/root/repo/src/sql/sql_parser.cc" "src/sql/CMakeFiles/iqs_sql.dir/sql_parser.cc.o" "gcc" "src/sql/CMakeFiles/iqs_sql.dir/sql_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/iqs_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iqs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

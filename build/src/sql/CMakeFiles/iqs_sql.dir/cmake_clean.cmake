@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqs_sql.dir/sql_ast.cc.o"
+  "CMakeFiles/iqs_sql.dir/sql_ast.cc.o.d"
+  "CMakeFiles/iqs_sql.dir/sql_executor.cc.o"
+  "CMakeFiles/iqs_sql.dir/sql_executor.cc.o.d"
+  "CMakeFiles/iqs_sql.dir/sql_lexer.cc.o"
+  "CMakeFiles/iqs_sql.dir/sql_lexer.cc.o.d"
+  "CMakeFiles/iqs_sql.dir/sql_parser.cc.o"
+  "CMakeFiles/iqs_sql.dir/sql_parser.cc.o.d"
+  "libiqs_sql.a"
+  "libiqs_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqs_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

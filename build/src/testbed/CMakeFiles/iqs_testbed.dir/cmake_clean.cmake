@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqs_testbed.dir/employee_db.cc.o"
+  "CMakeFiles/iqs_testbed.dir/employee_db.cc.o.d"
+  "CMakeFiles/iqs_testbed.dir/fleet_generator.cc.o"
+  "CMakeFiles/iqs_testbed.dir/fleet_generator.cc.o.d"
+  "CMakeFiles/iqs_testbed.dir/ship_db.cc.o"
+  "CMakeFiles/iqs_testbed.dir/ship_db.cc.o.d"
+  "libiqs_testbed.a"
+  "libiqs_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqs_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiqs_testbed.a"
+)

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqs_common_tests.dir/status_test.cc.o"
+  "CMakeFiles/iqs_common_tests.dir/status_test.cc.o.d"
+  "CMakeFiles/iqs_common_tests.dir/string_util_test.cc.o"
+  "CMakeFiles/iqs_common_tests.dir/string_util_test.cc.o.d"
+  "iqs_common_tests"
+  "iqs_common_tests.pdb"
+  "iqs_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqs_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

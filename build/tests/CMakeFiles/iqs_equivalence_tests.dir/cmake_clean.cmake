@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqs_equivalence_tests.dir/robustness_test.cc.o"
+  "CMakeFiles/iqs_equivalence_tests.dir/robustness_test.cc.o.d"
+  "CMakeFiles/iqs_equivalence_tests.dir/sql_quel_equivalence_test.cc.o"
+  "CMakeFiles/iqs_equivalence_tests.dir/sql_quel_equivalence_test.cc.o.d"
+  "iqs_equivalence_tests"
+  "iqs_equivalence_tests.pdb"
+  "iqs_equivalence_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqs_equivalence_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

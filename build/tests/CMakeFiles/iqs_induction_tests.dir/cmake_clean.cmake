@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqs_induction_tests.dir/decision_tree_test.cc.o"
+  "CMakeFiles/iqs_induction_tests.dir/decision_tree_test.cc.o.d"
+  "CMakeFiles/iqs_induction_tests.dir/employee_inter_object_test.cc.o"
+  "CMakeFiles/iqs_induction_tests.dir/employee_inter_object_test.cc.o.d"
+  "CMakeFiles/iqs_induction_tests.dir/ils_test.cc.o"
+  "CMakeFiles/iqs_induction_tests.dir/ils_test.cc.o.d"
+  "CMakeFiles/iqs_induction_tests.dir/inter_object_test.cc.o"
+  "CMakeFiles/iqs_induction_tests.dir/inter_object_test.cc.o.d"
+  "CMakeFiles/iqs_induction_tests.dir/rule_induction_test.cc.o"
+  "CMakeFiles/iqs_induction_tests.dir/rule_induction_test.cc.o.d"
+  "CMakeFiles/iqs_induction_tests.dir/tree_induction_test.cc.o"
+  "CMakeFiles/iqs_induction_tests.dir/tree_induction_test.cc.o.d"
+  "iqs_induction_tests"
+  "iqs_induction_tests.pdb"
+  "iqs_induction_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqs_induction_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

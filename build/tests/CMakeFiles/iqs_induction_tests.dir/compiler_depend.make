@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for iqs_induction_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqs_inference_tests.dir/baseline_test.cc.o"
+  "CMakeFiles/iqs_inference_tests.dir/baseline_test.cc.o.d"
+  "CMakeFiles/iqs_inference_tests.dir/dictionary_test.cc.o"
+  "CMakeFiles/iqs_inference_tests.dir/dictionary_test.cc.o.d"
+  "CMakeFiles/iqs_inference_tests.dir/inference_test.cc.o"
+  "CMakeFiles/iqs_inference_tests.dir/inference_test.cc.o.d"
+  "iqs_inference_tests"
+  "iqs_inference_tests.pdb"
+  "iqs_inference_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqs_inference_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

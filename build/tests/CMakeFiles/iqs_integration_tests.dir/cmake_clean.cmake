@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqs_integration_tests.dir/date_domain_test.cc.o"
+  "CMakeFiles/iqs_integration_tests.dir/date_domain_test.cc.o.d"
+  "CMakeFiles/iqs_integration_tests.dir/persistence_test.cc.o"
+  "CMakeFiles/iqs_integration_tests.dir/persistence_test.cc.o.d"
+  "CMakeFiles/iqs_integration_tests.dir/property_test.cc.o"
+  "CMakeFiles/iqs_integration_tests.dir/property_test.cc.o.d"
+  "CMakeFiles/iqs_integration_tests.dir/ship_examples_test.cc.o"
+  "CMakeFiles/iqs_integration_tests.dir/ship_examples_test.cc.o.d"
+  "CMakeFiles/iqs_integration_tests.dir/testbed_test.cc.o"
+  "CMakeFiles/iqs_integration_tests.dir/testbed_test.cc.o.d"
+  "iqs_integration_tests"
+  "iqs_integration_tests.pdb"
+  "iqs_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqs_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

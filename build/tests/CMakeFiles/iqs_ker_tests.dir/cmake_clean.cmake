@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqs_ker_tests.dir/ddl_parser_test.cc.o"
+  "CMakeFiles/iqs_ker_tests.dir/ddl_parser_test.cc.o.d"
+  "CMakeFiles/iqs_ker_tests.dir/domain_test.cc.o"
+  "CMakeFiles/iqs_ker_tests.dir/domain_test.cc.o.d"
+  "CMakeFiles/iqs_ker_tests.dir/ker_catalog_test.cc.o"
+  "CMakeFiles/iqs_ker_tests.dir/ker_catalog_test.cc.o.d"
+  "CMakeFiles/iqs_ker_tests.dir/type_hierarchy_test.cc.o"
+  "CMakeFiles/iqs_ker_tests.dir/type_hierarchy_test.cc.o.d"
+  "iqs_ker_tests"
+  "iqs_ker_tests.pdb"
+  "iqs_ker_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqs_ker_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqs_optimizer_tests.dir/contradiction_test.cc.o"
+  "CMakeFiles/iqs_optimizer_tests.dir/contradiction_test.cc.o.d"
+  "CMakeFiles/iqs_optimizer_tests.dir/formatter_test.cc.o"
+  "CMakeFiles/iqs_optimizer_tests.dir/formatter_test.cc.o.d"
+  "CMakeFiles/iqs_optimizer_tests.dir/semantic_optimizer_test.cc.o"
+  "CMakeFiles/iqs_optimizer_tests.dir/semantic_optimizer_test.cc.o.d"
+  "CMakeFiles/iqs_optimizer_tests.dir/summarizer_test.cc.o"
+  "CMakeFiles/iqs_optimizer_tests.dir/summarizer_test.cc.o.d"
+  "CMakeFiles/iqs_optimizer_tests.dir/validator_test.cc.o"
+  "CMakeFiles/iqs_optimizer_tests.dir/validator_test.cc.o.d"
+  "iqs_optimizer_tests"
+  "iqs_optimizer_tests.pdb"
+  "iqs_optimizer_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqs_optimizer_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

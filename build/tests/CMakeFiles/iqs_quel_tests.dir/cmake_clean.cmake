@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqs_quel_tests.dir/quel_test.cc.o"
+  "CMakeFiles/iqs_quel_tests.dir/quel_test.cc.o.d"
+  "iqs_quel_tests"
+  "iqs_quel_tests.pdb"
+  "iqs_quel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqs_quel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

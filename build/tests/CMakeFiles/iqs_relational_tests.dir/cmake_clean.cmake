@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqs_relational_tests.dir/algebra_test.cc.o"
+  "CMakeFiles/iqs_relational_tests.dir/algebra_test.cc.o.d"
+  "CMakeFiles/iqs_relational_tests.dir/csv_test.cc.o"
+  "CMakeFiles/iqs_relational_tests.dir/csv_test.cc.o.d"
+  "CMakeFiles/iqs_relational_tests.dir/database_test.cc.o"
+  "CMakeFiles/iqs_relational_tests.dir/database_test.cc.o.d"
+  "CMakeFiles/iqs_relational_tests.dir/date_test.cc.o"
+  "CMakeFiles/iqs_relational_tests.dir/date_test.cc.o.d"
+  "CMakeFiles/iqs_relational_tests.dir/index_test.cc.o"
+  "CMakeFiles/iqs_relational_tests.dir/index_test.cc.o.d"
+  "CMakeFiles/iqs_relational_tests.dir/predicate_test.cc.o"
+  "CMakeFiles/iqs_relational_tests.dir/predicate_test.cc.o.d"
+  "CMakeFiles/iqs_relational_tests.dir/relation_test.cc.o"
+  "CMakeFiles/iqs_relational_tests.dir/relation_test.cc.o.d"
+  "CMakeFiles/iqs_relational_tests.dir/value_test.cc.o"
+  "CMakeFiles/iqs_relational_tests.dir/value_test.cc.o.d"
+  "iqs_relational_tests"
+  "iqs_relational_tests.pdb"
+  "iqs_relational_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqs_relational_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

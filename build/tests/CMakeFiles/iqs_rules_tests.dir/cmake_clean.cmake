@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqs_rules_tests.dir/interval_test.cc.o"
+  "CMakeFiles/iqs_rules_tests.dir/interval_test.cc.o.d"
+  "CMakeFiles/iqs_rules_tests.dir/rule_relation_test.cc.o"
+  "CMakeFiles/iqs_rules_tests.dir/rule_relation_test.cc.o.d"
+  "CMakeFiles/iqs_rules_tests.dir/rule_test.cc.o"
+  "CMakeFiles/iqs_rules_tests.dir/rule_test.cc.o.d"
+  "CMakeFiles/iqs_rules_tests.dir/subsumption_test.cc.o"
+  "CMakeFiles/iqs_rules_tests.dir/subsumption_test.cc.o.d"
+  "iqs_rules_tests"
+  "iqs_rules_tests.pdb"
+  "iqs_rules_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqs_rules_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqs_sql_tests.dir/index_path_test.cc.o"
+  "CMakeFiles/iqs_sql_tests.dir/index_path_test.cc.o.d"
+  "CMakeFiles/iqs_sql_tests.dir/sql_aggregate_test.cc.o"
+  "CMakeFiles/iqs_sql_tests.dir/sql_aggregate_test.cc.o.d"
+  "CMakeFiles/iqs_sql_tests.dir/sql_executor_test.cc.o"
+  "CMakeFiles/iqs_sql_tests.dir/sql_executor_test.cc.o.d"
+  "CMakeFiles/iqs_sql_tests.dir/sql_parser_test.cc.o"
+  "CMakeFiles/iqs_sql_tests.dir/sql_parser_test.cc.o.d"
+  "iqs_sql_tests"
+  "iqs_sql_tests.pdb"
+  "iqs_sql_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqs_sql_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/iqs_common_tests[1]_include.cmake")
+include("/root/repo/build/tests/iqs_relational_tests[1]_include.cmake")
+include("/root/repo/build/tests/iqs_rules_tests[1]_include.cmake")
+include("/root/repo/build/tests/iqs_ker_tests[1]_include.cmake")
+include("/root/repo/build/tests/iqs_sql_tests[1]_include.cmake")
+include("/root/repo/build/tests/iqs_induction_tests[1]_include.cmake")
+include("/root/repo/build/tests/iqs_inference_tests[1]_include.cmake")
+include("/root/repo/build/tests/iqs_integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/iqs_quel_tests[1]_include.cmake")
+include("/root/repo/build/tests/iqs_quel_induction_tests[1]_include.cmake")
+include("/root/repo/build/tests/iqs_optimizer_tests[1]_include.cmake")
+include("/root/repo/build/tests/iqs_equivalence_tests[1]_include.cmake")
