@@ -1,0 +1,81 @@
+#ifndef IQS_BENCH_BENCH_REPORT_H_
+#define IQS_BENCH_BENCH_REPORT_H_
+
+// Machine-readable bench results: alongside its stdout report, each bench
+// writes BENCH_<name>.json into the working directory so the perf
+// trajectory is tracked across PRs. Entries are (metric, value, unit)
+// triples plus optional QueryStats per-stage breakdowns of representative
+// queries.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/query_stats.h"
+
+namespace iqs {
+namespace bench {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& metric, double value, const std::string& unit) {
+    metrics_.push_back(Entry{metric, value, unit});
+  }
+
+  // Per-stage micros etc. of a representative query, keyed by `label`.
+  void AddQueryStats(const std::string& label, const QueryStats& stats) {
+    query_stats_.emplace_back(label, stats.ToJson());
+  }
+
+  // Writes BENCH_<name>.json; returns false (after a stderr note) when
+  // the file cannot be opened.
+  bool Write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << "{\n  \"bench\": \"" << obs::JsonEscape(name_)
+        << "\",\n  \"metrics\": [";
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      if (i > 0) out << ",";
+      char value[64];
+      std::snprintf(value, sizeof(value), "%.6g", metrics_[i].value);
+      out << "\n    {\"name\": \"" << obs::JsonEscape(metrics_[i].name)
+          << "\", \"value\": " << value << ", \"unit\": \""
+          << obs::JsonEscape(metrics_[i].unit) << "\"}";
+    }
+    out << (metrics_.empty() ? "],\n" : "\n  ],\n");
+    out << "  \"query_stats\": {";
+    for (size_t i = 0; i < query_stats_.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "\n    \"" << obs::JsonEscape(query_stats_[i].first)
+          << "\": " << query_stats_[i].second;
+    }
+    out << (query_stats_.empty() ? "}\n" : "\n  }\n");
+    out << "}\n";
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+  std::string name_;
+  std::vector<Entry> metrics_;
+  std::vector<std::pair<std::string, std::string>> query_stats_;
+};
+
+}  // namespace bench
+}  // namespace iqs
+
+#endif  // IQS_BENCH_BENCH_REPORT_H_

@@ -9,6 +9,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <iostream>
+#include <vector>
+
 #include "dictionary/data_dictionary.h"
 #include "induction/ils.h"
 #include "induction/rule_induction.h"
@@ -148,4 +152,28 @@ BENCHMARK(BM_RuleRelationRoundTrip)->Arg(10)->Arg(100)->Arg(1000);
 }  // namespace
 }  // namespace iqs
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to
+// BENCH_scaling.json (JSON) so the scaling curves are machine-readable;
+// an explicit --benchmark_out on the command line still wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  static char out_flag[] = "--benchmark_out=BENCH_scaling.json";
+  static char fmt_flag[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(fmt_flag);
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!has_out) std::cout << "wrote BENCH_scaling.json\n";
+  return 0;
+}

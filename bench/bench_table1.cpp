@@ -7,7 +7,10 @@
 
 #include <cstdio>
 #include <iostream>
+#include <utility>
 
+#include "bench_report.h"
+#include "core/system.h"
 #include "induction/decision_tree.h"
 #include "induction/rule_induction.h"
 #include "testbed/fleet_generator.h"
@@ -77,6 +80,12 @@ int main() {
       sur_rules->size());
   auto tree =
       iqs::DecisionTree::Train(surface, "Type", {"Displacement"}, {});
+  iqs::bench::BenchReport report("table1");
+  report.Add("exact_ranges", static_cast<double>(exact), "of 12");
+  report.Add("subsurface_rules", static_cast<double>(sub_rules->size()),
+             "rules");
+  report.Add("surface_rules", static_cast<double>(sur_rules->size()),
+             "rules");
   if (tree.ok()) {
     auto accuracy = tree->Accuracy(surface);
     std::printf(
@@ -86,6 +95,29 @@ int main() {
     std::printf(
         "(overlap bounds any displacement-only classifier: BB=45000 sits "
         "inside CV's range, CGN/CG/DDG/DD interleave)\n");
+    report.Add("tree_nodes", static_cast<double>(tree->node_count()),
+               "nodes");
+    report.Add("tree_depth", static_cast<double>(tree->depth()), "levels");
+    report.Add("tree_accuracy", accuracy.value_or(0) * 100.0, "%");
   }
-  return 0;
+
+  // Cost profile of a band query on the full assembled fleet system.
+  auto catalog = iqs::BuildFleetCatalog();
+  if (catalog.ok()) {
+    auto system = iqs::IqsSystem::Create(std::move(db).value(),
+                                         std::move(catalog).value());
+    if (system.ok() && (*system)->Induce(config).ok()) {
+      auto result = (*system)->Query(
+          "SELECT Id FROM BATTLESHIP WHERE Displacement >= 75700");
+      if (result.ok()) {
+        (void)(*system)->Explain(*result);  // fills stats.format_micros
+        report.Add("band_query_rows",
+                   static_cast<double>(result->extensional.size()), "rows");
+        report.Add("band_query_rules_fired",
+                   static_cast<double>(result->stats.rules_fired), "rules");
+        report.AddQueryStats("band_query", result->stats);
+      }
+    }
+  }
+  return report.Write() ? 0 : 1;
 }

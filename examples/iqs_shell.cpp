@@ -6,15 +6,17 @@
 //   iqs> SELECT Name FROM SUBMARINE, CLASS WHERE SUBMARINE.CLASS =
 //        CLASS.CLASS AND CLASS.DISPLACEMENT > 8000
 //   ... extensional table + "Ship type SSBN has Displacement > 8000."
+//   iqs> EXPLAIN ANALYZE SELECT ...   -- same, plus span tree and stats
 //   iqs> quel range of r is CLASS
 //   iqs> quel retrieve (r.Class, r.Type) where r.Displacement > 8000
 //   iqs> rules          -- print the induced rule base
-//   iqs> frames         -- print the dictionary's frame hierarchy
+//   iqs> stats          -- print the process metrics registry
 //   iqs> mode backward  -- switch inference mode
 //   iqs> help
 //
-// Also serves as a scriptable driver: echo "rules" | ./iqs_shell
+// Also serves as a scriptable driver: echo "rules" | ./iqs_shell --quiet
 
+#include <cstring>
 #include <iostream>
 #include <string>
 
@@ -22,6 +24,8 @@
 #include "core/summarizer.h"
 #include "core/system.h"
 #include "ker/validator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "quel/quel_session.h"
 #include "testbed/ship_db.h"
 
@@ -31,6 +35,10 @@ void PrintHelp() {
   std::cout <<
       "commands:\n"
       "  SELECT ...            run a SQL query (extensional + intensional)\n"
+      "  EXPLAIN ANALYZE <SELECT ...>\n"
+      "                        run the query and print its per-stage span\n"
+      "                        tree (parse/execute/describe/infer/format)\n"
+      "                        and QueryStats breakdown\n"
       "  quel <statement>      run a QUEL statement (range/retrieve/\n"
       "                        delete/append)\n"
       "  mode forward|backward|combined   set the inference mode\n"
@@ -42,14 +50,42 @@ void PrintHelp() {
       "  show <relation>       print a relation\n"
       "  induce <Nc>           re-run induction with the given threshold\n"
       "  summary on|off        also print the aggregate answer summary\n"
+      "  trace on|off          print the span tree after every query\n"
+      "  stats | \\stats        print the metrics registry snapshot\n"
+      "  stats json            same, as JSON\n"
+      "  stats reset           zero all metrics\n"
       "  validate              check the database against the KER schema\n"
       "  index <rel> <attr>    register a sorted index (speeds up WHERE)\n"
       "  help / quit\n";
 }
 
+void PrintUsage(const char* argv0) {
+  std::cout << "usage: " << argv0 << " [--trace] [--quiet] [--help]\n"
+            << "  --trace   print the span tree after each SELECT\n"
+            << "  --quiet   suppress the banner and prompt (for piping)\n"
+            << "  --help    this message, plus the interactive commands\n\n";
+  PrintHelp();
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool trace_queries = false;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_queries = true;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      PrintUsage(argv[0]);
+      return 0;
+    } else {
+      std::cerr << "unknown flag '" << argv[i] << "' (try --help)\n";
+      return 2;
+    }
+  }
   auto system_or = iqs::BuildShipSystem();
   if (!system_or.ok()) {
     std::cerr << "setup failed: " << system_or.status() << "\n";
@@ -66,12 +102,14 @@ int main() {
   iqs::InferenceMode mode = iqs::InferenceMode::kCombined;
   bool with_summary = false;
 
-  std::cout << "IQS shell — ship test bed loaded, "
-            << system->dictionary().induced_rules().size()
-            << " induced rules (Nc = 3). Type 'help'.\n";
+  if (!quiet) {
+    std::cout << "IQS shell — ship test bed loaded, "
+              << system->dictionary().induced_rules().size()
+              << " induced rules (Nc = 3). Type 'help'.\n";
+  }
   std::string line;
   while (true) {
-    std::cout << "iqs> " << std::flush;
+    if (!quiet) std::cout << "iqs> " << std::flush;
     if (!std::getline(std::cin, line)) break;
     std::string trimmed(iqs::StripWhitespace(line));
     if (trimmed.empty()) continue;
@@ -84,6 +122,50 @@ int main() {
     }
     if (lower == "rules") {
       std::cout << system->dictionary().induced_rules().ToString();
+      continue;
+    }
+    if (lower == "stats" || lower == "\\stats") {
+      std::cout << iqs::obs::GlobalMetrics().Snapshot().ToText();
+      continue;
+    }
+    if (lower == "stats json") {
+      std::cout << iqs::obs::GlobalMetrics().Snapshot().ToJson();
+      continue;
+    }
+    if (lower == "stats reset") {
+      iqs::obs::GlobalMetrics().ResetAll();
+      std::cout << "metrics reset\n";
+      continue;
+    }
+    if (iqs::StartsWith(lower, "trace")) {
+      std::string arg(iqs::StripWhitespace(lower.substr(5)));
+      trace_queries = arg != "off";
+      std::cout << "per-query trace: " << (trace_queries ? "on" : "off")
+                << "\n";
+      continue;
+    }
+    if (iqs::StartsWith(lower, "explain analyze ")) {
+      std::string sql(iqs::StripWhitespace(trimmed.substr(16)));
+      iqs::Result<iqs::QueryResult> result =
+          iqs::Status::InvalidArgument("EXPLAIN ANALYZE expects a SELECT");
+      std::string rendered;
+      if (iqs::StartsWith(iqs::ToLower(sql), "select")) {
+        // One trace covers query + formatting, so the span tree shows
+        // every stage: parse, execute, describe, infer, format.
+        iqs::obs::ScopedTrace scope("explain.analyze");
+        result = system->Query(sql, mode);
+        if (result.ok()) rendered = system->Explain(*result);
+      }
+      if (!result.ok()) {
+        std::cout << result.status() << "\n";
+        continue;
+      }
+      std::cout << result->extensional.ToTable() << "\n" << rendered;
+      std::cout << "-- query stats --\n" << result->stats.ToString();
+      if (auto trace = iqs::obs::GlobalTraces().Latest();
+          trace.has_value()) {
+        std::cout << "-- span tree --\n" << trace->Render();
+      }
       continue;
     }
     if (lower == "declared") {
@@ -224,6 +306,12 @@ int main() {
                   << iqs::SummarizeAnswer(result->extensional,
                                           system->dictionary())
                          .ToString();
+      }
+      if (trace_queries) {
+        if (auto trace = iqs::obs::GlobalTraces().Latest();
+            trace.has_value()) {
+          std::cout << "-- span tree --\n" << trace->Render();
+        }
       }
       continue;
     }

@@ -1,6 +1,8 @@
 #include "core/answer_formatter.h"
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace iqs {
 
@@ -213,6 +215,8 @@ std::string AnswerFormatter::Summary(const QueryResult& result) const {
 }
 
 std::string AnswerFormatter::Render(const QueryResult& result) const {
+  IQS_SPAN("format.render");
+  IQS_COUNTER_INC("format.render.count");
   std::string out = Summary(result);
   out += "\n";
   for (const IntensionalStatement& s : result.intensional.statements()) {

@@ -1,11 +1,24 @@
 #include "core/query_processor.h"
 
+#include <chrono>
+
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rules/subsumption.h"
 
 namespace iqs {
 
 namespace {
+
+// Microseconds (rounded up, so a stage that ran reports nonzero) between
+// two steady-clock points.
+int64_t MicrosBetween(std::chrono::steady_clock::time_point from,
+                      std::chrono::steady_clock::time_point to) {
+  int64_t nanos =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count();
+  return nanos <= 0 ? 0 : (nanos + 999) / 1000;
+}
 
 // Finds the relation (by real name) owning `ref` among the FROM tables.
 Result<std::pair<std::string, const Relation*>> OwnerTable(
@@ -64,6 +77,7 @@ Result<Value> CoerceForClause(const SqlOperand& operand, ValueType type) {
 
 Result<QueryDescription> IntensionalQueryProcessor::Describe(
     const SelectStatement& stmt) const {
+  IQS_SPAN("query.describe");
   QueryDescription description;
   for (const TableRef& table : stmt.from) {
     IQS_ASSIGN_OR_RETURN(const Relation* rel, db_->Get(table.name));
@@ -136,12 +150,73 @@ Result<QueryResult> IntensionalQueryProcessor::Process(
 
 Result<QueryResult> IntensionalQueryProcessor::ProcessWith(
     const std::string& sql, InferenceMode mode, const RuleSet& rules) const {
+  IQS_SPAN("query.process");
+  IQS_COUNTER_INC("query.count");
+  using Clock = std::chrono::steady_clock;
   QueryResult result;
+
+  Clock::time_point t0 = Clock::now();
   IQS_ASSIGN_OR_RETURN(result.statement, ParseSelect(sql));
+  Clock::time_point t1 = Clock::now();
+  result.stats.parse_micros = MicrosBetween(t0, t1);
+
   IQS_ASSIGN_OR_RETURN(result.extensional, executor_.Execute(result.statement));
+  Clock::time_point t2 = Clock::now();
+  result.stats.execute_micros = MicrosBetween(t1, t2);
+  result.stats.rows_scanned = executor_.last_stats().base_rows_loaded;
+  result.stats.rows_returned = result.extensional.size();
+  result.stats.index_prefiltered_tables =
+      executor_.last_stats().index_prefiltered_tables;
+
   IQS_ASSIGN_OR_RETURN(result.description, Describe(result.statement));
+  Clock::time_point t3 = Clock::now();
+  result.stats.describe_micros = MicrosBetween(t2, t3);
+
   IQS_ASSIGN_OR_RETURN(result.intensional,
                        engine_.InferWith(result.description, mode, rules));
+  Clock::time_point t4 = Clock::now();
+  result.stats.infer_micros = MicrosBetween(t3, t4);
+  result.stats.total_micros = MicrosBetween(t0, t4);
+
+  // Rule-firing accounting: distinct rules cited anywhere in the answer,
+  // forward fact count, backward statement count.
+  std::vector<int> fired;
+  const IntensionalStatement* best_backward = nullptr;
+  for (const IntensionalStatement& s : result.intensional.statements()) {
+    if (s.direction == AnswerDirection::kContains) {
+      result.stats.forward_facts += s.facts.size();
+    } else {
+      ++result.stats.backward_statements;
+      if (s.exact && best_backward == nullptr) best_backward = &s;
+    }
+    for (int id : s.rule_ids) {
+      bool seen = false;
+      for (int existing : fired) {
+        if (existing == id) seen = true;
+      }
+      if (!seen) fired.push_back(id);
+    }
+  }
+  result.stats.rules_fired = fired.size();
+  IQS_COUNTER_ADD("query.rules_fired", fired.size());
+
+  // Coverage cost of the best exact backward statement (paper Example 2:
+  // how much of the extensional answer the subset description reaches).
+  if (best_backward != nullptr) {
+    IQS_SPAN("query.coverage");
+    Clock::time_point c0 = Clock::now();
+    Result<double> coverage = Coverage(result, *best_backward);
+    if (coverage.ok()) result.stats.coverage = *coverage;
+    result.stats.coverage_micros = MicrosBetween(c0, Clock::now());
+    IQS_HISTOGRAM_OBSERVE("query.coverage.micros",
+                          result.stats.coverage_micros);
+  }
+
+  IQS_HISTOGRAM_OBSERVE("query.micros", result.stats.total_micros);
+  IQS_SPAN_ANNOTATE("rules_fired",
+                    static_cast<int64_t>(result.stats.rules_fired));
+  IQS_SPAN_ANNOTATE("statements",
+                    static_cast<int64_t>(result.intensional.size()));
   return result;
 }
 

@@ -5,6 +5,7 @@
 
 #include "dictionary/data_dictionary.h"
 #include "inference/engine.h"
+#include "obs/query_stats.h"
 #include "relational/database.h"
 #include "sql/sql_executor.h"
 #include "sql/sql_parser.h"
@@ -13,13 +14,14 @@ namespace iqs {
 
 // Everything the system knows about one processed query: the parsed
 // statement, the extensional answer (from the traditional query
-// processor), the description handed to the inference processor, and the
-// derived intensional answer.
+// processor), the description handed to the inference processor, the
+// derived intensional answer, and the cost breakdown of producing it all.
 struct QueryResult {
   SelectStatement statement;
   Relation extensional;
   QueryDescription description;
   IntensionalAnswer intensional;
+  QueryStats stats;
 };
 
 // The intensional query processing system (paper §5.1, Figure 6): a

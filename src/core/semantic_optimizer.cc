@@ -3,6 +3,8 @@
 #include <map>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rules/subsumption.h"
 
 namespace iqs {
@@ -26,6 +28,8 @@ std::string ImpliedCondition::ToString() const {
 
 std::vector<ImpliedCondition> SemanticOptimizer::Derive(
     const QueryDescription& query, const RuleSet& rules) const {
+  IQS_SPAN("optimizer.derive");
+  IQS_COUNTER_INC("optimizer.derive.count");
   std::vector<ImpliedCondition> out;
   for (const Clause& condition : query.conditions) {
     if (!condition.IsPoint()) continue;
@@ -55,11 +59,17 @@ std::vector<ImpliedCondition> SemanticOptimizer::Derive(
       // A restriction over the condition's own attribute is vacuous.
       if (SameAttribute(implied.attribute, condition.attribute(),
                         AttributeMatch::kBaseName)) {
+        IQS_COUNTER_INC("optimizer.clauses_eliminated");
         continue;
+      }
+      if (!implied.complete) {
+        IQS_COUNTER_INC("optimizer.incomplete_families");
       }
       out.push_back(std::move(implied));
     }
   }
+  IQS_COUNTER_ADD("optimizer.clauses_added", out.size());
+  IQS_SPAN_ANNOTATE("clauses_added", static_cast<int64_t>(out.size()));
   return out;
 }
 

@@ -1,5 +1,9 @@
 #include "core/system.h"
 
+#include <chrono>
+
+#include "obs/trace.h"
+
 namespace iqs {
 
 Result<std::unique_ptr<IqsSystem>> IqsSystem::Create(
@@ -33,7 +37,18 @@ Status IqsSystem::Induce(const InductionConfig& config) {
 
 Result<QueryResult> IqsSystem::Query(const std::string& sql,
                                      InferenceMode mode) const {
+  IQS_TRACE_SCOPE("sql.query");
   return processor_->Process(sql, mode);
+}
+
+std::string IqsSystem::Explain(QueryResult& result) const {
+  auto start = std::chrono::steady_clock::now();
+  std::string out = formatter_->Render(result);
+  int64_t nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  result.stats.format_micros = nanos <= 0 ? 0 : (nanos + 999) / 1000;
+  return out;
 }
 
 std::string IqsSystem::Explain(const QueryResult& result) const {

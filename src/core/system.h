@@ -32,12 +32,17 @@ class IqsSystem {
   // dictionary.
   Status Induce(const InductionConfig& config);
 
-  // Executes `sql`, returning extensional + intensional answers.
+  // Executes `sql`, returning extensional + intensional answers plus a
+  // QueryStats cost breakdown. Records a full span tree for the query
+  // into obs::GlobalTraces() (nested under the caller's trace when one is
+  // already active, e.g. the shell's EXPLAIN ANALYZE scope).
   Result<QueryResult> Query(const std::string& sql,
                             InferenceMode mode = InferenceMode::kCombined)
       const;
 
-  // Paper-style prose for a query result.
+  // Paper-style prose for a query result. The non-const overload also
+  // records the formatting cost into result.stats.format_micros.
+  std::string Explain(QueryResult& result) const;
   std::string Explain(const QueryResult& result) const;
 
   // Persists the induced rules as rule relations inside the database

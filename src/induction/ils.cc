@@ -1,9 +1,13 @@
 #include "induction/ils.h"
 
+#include <chrono>
+
 #include "common/string_util.h"
 #include "induction/candidate_generator.h"
 #include "induction/inter_object.h"
 #include "induction/rule_induction.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace iqs {
 
@@ -95,6 +99,9 @@ Result<std::vector<Rule>> InductiveLearningSubsystem::InduceInterObject(
 
 Result<RuleSet> InductiveLearningSubsystem::InduceAll(
     const InductionConfig& config) const {
+  IQS_TRACE_SCOPE("ils.induce_all");
+  IQS_COUNTER_INC("ils.induce_all.count");
+  auto start = std::chrono::steady_clock::now();
   RuleSet out;
   for (const std::string& name : catalog_->ObjectTypeNames()) {
     if (!db_->Contains(name)) continue;
@@ -108,6 +115,13 @@ Result<RuleSet> InductiveLearningSubsystem::InduceAll(
                          InduceInterObject(name, config));
     out.AddAll(std::move(rules));
   }
+  IQS_HISTOGRAM_OBSERVE(
+      "ils.induce_all.micros",
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  IQS_GAUGE_SET("ils.rule_base_size", out.size());
+  IQS_SPAN_ANNOTATE("rules", static_cast<int64_t>(out.size()));
   return out;
 }
 

@@ -3,6 +3,8 @@
 #include <map>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/algebra.h"
 
 namespace iqs {
@@ -20,6 +22,8 @@ Result<std::vector<Rule>> InduceSchemeWithStats(const Relation& relation,
                                                 const std::string& y_attr,
                                                 const InductionConfig& config,
                                                 InductionStats* stats) {
+  IQS_SPAN("ils.induce_scheme");
+  IQS_COUNTER_INC("ils.schemes_considered");
   *stats = InductionStats();
   IQS_ASSIGN_OR_RETURN(size_t xi, relation.schema().IndexOf(x_attr));
   IQS_ASSIGN_OR_RETURN(size_t yi, relation.schema().IndexOf(y_attr));
@@ -140,6 +144,13 @@ Result<std::vector<Rule>> InduceSchemeWithStats(const Relation& relation,
     rule.family_complete = incomplete_y.count(run.y) == 0;
     out.push_back(std::move(rule));
   }
+  IQS_COUNTER_ADD("ils.pairs_considered", stats->distinct_pairs);
+  IQS_COUNTER_ADD("ils.inconsistent_values", stats->inconsistent_values);
+  IQS_COUNTER_ADD("ils.rules_induced", out.size());
+  IQS_COUNTER_ADD("ils.rules_pruned_nc", stats->pruned);
+  IQS_SPAN_ANNOTATE("pairs", static_cast<int64_t>(stats->distinct_pairs));
+  IQS_SPAN_ANNOTATE("rules", static_cast<int64_t>(out.size()));
+  IQS_SPAN_ANNOTATE("pruned", static_cast<int64_t>(stats->pruned));
   return out;
 }
 

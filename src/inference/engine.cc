@@ -1,6 +1,10 @@
 #include "inference/engine.h"
 
+#include <chrono>
+
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rules/subsumption.h"
 
 namespace iqs {
@@ -92,6 +96,7 @@ bool InferenceEngine::ExpandTypeFacts(std::vector<Fact>* facts) const {
 
 Result<std::vector<Fact>> InferenceEngine::Forward(
     const QueryDescription& query, const RuleSet& rules) const {
+  IQS_SPAN("infer.forward");
   std::vector<Fact> facts = SeedFacts(query);
   ExpandTypeFacts(&facts);
 
@@ -115,6 +120,7 @@ Result<std::vector<Fact>> InferenceEngine::Forward(
                                  AttributeMatch::kBaseName)) {
         continue;
       }
+      IQS_COUNTER_INC("infer.forward.firings");
       // Modus ponens: the consequent holds of every answer tuple.
       if (!StartsWith(rule.rhs.clause.attribute(), "isa(")) {
         changed |= AddFact(&facts, Fact::Range(rule.rhs.clause, {rule.id},
@@ -130,6 +136,9 @@ Result<std::vector<Fact>> InferenceEngine::Forward(
     }
     changed |= ExpandTypeFacts(&facts);
   }
+  IQS_COUNTER_ADD("infer.forward.iterations", iterations);
+  IQS_SPAN_ANNOTATE("facts", static_cast<int64_t>(facts.size()));
+  IQS_SPAN_ANNOTATE("iterations", static_cast<int64_t>(iterations));
   return facts;
 }
 
@@ -157,6 +166,7 @@ bool RhsImplies(const Rule& rule, const Fact& target,
 Result<std::vector<IntensionalStatement>> InferenceEngine::Backward(
     const QueryDescription& query, const std::vector<Fact>& targets,
     const RuleSet& rules) const {
+  IQS_SPAN("infer.backward");
   const TypeHierarchy& hierarchy = dictionary_->catalog().hierarchy();
   // Facts read directly off the query (used to decide exactness).
   std::vector<Fact> seeds = SeedFacts(query);
@@ -185,8 +195,10 @@ Result<std::vector<IntensionalStatement>> InferenceEngine::Backward(
       statement.target = target;
       statement.exact = single_condition && is_seed(target);
       out.push_back(std::move(statement));
+      IQS_COUNTER_INC("infer.backward.firings");
     }
   }
+  IQS_SPAN_ANNOTATE("statements", static_cast<int64_t>(out.size()));
   return out;
 }
 
@@ -233,6 +245,10 @@ Result<IntensionalAnswer> InferenceEngine::Infer(
 Result<IntensionalAnswer> InferenceEngine::InferWith(
     const QueryDescription& query, InferenceMode mode,
     const RuleSet& rules) const {
+  IQS_SPAN("infer");
+  IQS_SPAN_ANNOTATE("mode", std::string(InferenceModeName(mode)));
+  IQS_COUNTER_INC("infer.count");
+  auto start = std::chrono::steady_clock::now();
   IntensionalAnswer answer;
   std::vector<Fact> forward_facts;
   if (mode == InferenceMode::kForward || mode == InferenceMode::kCombined) {
@@ -297,12 +313,24 @@ Result<IntensionalAnswer> InferenceEngine::InferWith(
           break;
         }
       }
-      if (!replaced) deduped.push_back(std::move(s));
+      if (replaced) {
+        IQS_COUNTER_INC("infer.backward.subsumption_eliminated");
+      } else {
+        deduped.push_back(std::move(s));
+      }
     }
     for (IntensionalStatement& s : deduped) {
       answer.Add(std::move(s));
     }
   }
+  if (answer.empty_proof().has_value()) {
+    IQS_COUNTER_INC("infer.contradictions");
+  }
+  IQS_HISTOGRAM_OBSERVE(
+      "infer.micros",
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
   return answer;
 }
 

@@ -1,0 +1,194 @@
+#ifndef IQS_OBS_METRICS_H_
+#define IQS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace iqs {
+namespace obs {
+
+// Process-wide metrics for the IQS pipeline. Naming convention is
+// "component.operation[.detail]" ("sql.execute.rows_scanned"); see
+// DESIGN.md §Observability. Registration (name lookup) takes a mutex and
+// is expected once per call site — the IQS_COUNTER_ADD / IQS_HISTOGRAM
+// macros cache the returned pointer in a function-local static — while
+// the increments themselves are single relaxed atomics: no lock and no
+// allocation on the hot path.
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Point-in-time level (rule-base size, rows resident, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds;
+// one implicit overflow bucket catches everything above the last bound.
+// Observe() is a linear scan over a handful of bounds plus three relaxed
+// atomic adds — no locking, no allocation.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<int64_t> bounds);
+
+  void Observe(int64_t value);
+
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void Reset();
+
+  // Latency buckets in microseconds, 1us .. 1s.
+  static std::vector<int64_t> LatencyBoundsMicros();
+
+ private:
+  std::vector<int64_t> bounds_;
+  // bounds_.size() + 1 buckets; deque because atomics are immovable.
+  std::deque<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+// A consistent-enough copy of the registry for reporting: values are read
+// with relaxed loads, so a snapshot taken during concurrent increments
+// reflects some recent value of each metric, and is fully isolated from
+// increments that happen after it is taken.
+struct CounterSnapshot {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  int64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  int64_t sum = 0;
+  std::vector<int64_t> bounds;
+  std::vector<uint64_t> buckets;  // bounds.size() + 1
+
+  // Upper-bound estimate of the p-quantile (0 < p <= 1) from the bucket
+  // the quantile falls in; the overflow bucket reports the last bound.
+  int64_t Quantile(double p) const;
+  double Mean() const;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  std::string ToJson() const;
+  // Aligned table for the shell's `stats` command.
+  std::string ToText() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create; returned pointers stay valid for the registry's
+  // lifetime. A histogram's bounds are fixed by its first registration
+  // (empty = LatencyBoundsMicros()).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<int64_t> bounds = {});
+
+  MetricsSnapshot Snapshot() const;
+  // Zeroes every metric (names stay registered). For tests and the
+  // shell's `stats reset`.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  // Deques keep metric addresses stable across registrations.
+  std::deque<std::pair<std::string, Counter>> counters_;
+  std::deque<std::pair<std::string, Gauge>> gauges_;
+  std::deque<std::pair<std::string, Histogram>> histograms_;
+};
+
+// The process-wide registry every IQS component reports into.
+MetricsRegistry& GlobalMetrics();
+
+// JSON string escaping shared by the obs serializers.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace obs
+}  // namespace iqs
+
+// Hot-path macros: `name` must be a string literal (the metric pointer is
+// resolved once and cached in a function-local static). Compiled to
+// no-ops when IQS_OBS_DISABLED is defined.
+#ifndef IQS_OBS_DISABLED
+
+#define IQS_COUNTER_ADD(name, delta)                            \
+  do {                                                          \
+    static ::iqs::obs::Counter* iqs_obs_counter_ =              \
+        ::iqs::obs::GlobalMetrics().GetCounter(name);           \
+    iqs_obs_counter_->Increment(                                \
+        static_cast<uint64_t>(delta));                          \
+  } while (0)
+
+#define IQS_COUNTER_INC(name) IQS_COUNTER_ADD(name, 1)
+
+#define IQS_GAUGE_SET(name, value)                              \
+  do {                                                          \
+    static ::iqs::obs::Gauge* iqs_obs_gauge_ =                  \
+        ::iqs::obs::GlobalMetrics().GetGauge(name);             \
+    iqs_obs_gauge_->Set(static_cast<int64_t>(value));           \
+  } while (0)
+
+#define IQS_HISTOGRAM_OBSERVE(name, value)                      \
+  do {                                                          \
+    static ::iqs::obs::Histogram* iqs_obs_histogram_ =          \
+        ::iqs::obs::GlobalMetrics().GetHistogram(name);         \
+    iqs_obs_histogram_->Observe(static_cast<int64_t>(value));   \
+  } while (0)
+
+#else  // IQS_OBS_DISABLED
+
+#define IQS_COUNTER_ADD(name, delta) \
+  do {                               \
+  } while (0)
+#define IQS_COUNTER_INC(name) \
+  do {                        \
+  } while (0)
+#define IQS_GAUGE_SET(name, value) \
+  do {                             \
+  } while (0)
+#define IQS_HISTOGRAM_OBSERVE(name, value) \
+  do {                                     \
+  } while (0)
+
+#endif  // IQS_OBS_DISABLED
+
+#endif  // IQS_OBS_METRICS_H_

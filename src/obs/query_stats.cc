@@ -1,0 +1,65 @@
+#include "obs/query_stats.h"
+
+#include <cstdio>
+
+namespace iqs {
+
+std::string QueryStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "stage us: parse %lld, execute %lld, describe %lld, infer %lld, "
+      "format %lld (total %lld)\n"
+      "rows: scanned %llu, returned %llu (index-prefiltered tables %llu)\n"
+      "inference: %llu forward facts, %llu backward statements, "
+      "%llu rules fired\n",
+      static_cast<long long>(parse_micros),
+      static_cast<long long>(execute_micros),
+      static_cast<long long>(describe_micros),
+      static_cast<long long>(infer_micros),
+      static_cast<long long>(format_micros),
+      static_cast<long long>(total_micros),
+      static_cast<unsigned long long>(rows_scanned),
+      static_cast<unsigned long long>(rows_returned),
+      static_cast<unsigned long long>(index_prefiltered_tables),
+      static_cast<unsigned long long>(forward_facts),
+      static_cast<unsigned long long>(backward_statements),
+      static_cast<unsigned long long>(rules_fired));
+  std::string out = buf;
+  if (coverage >= 0.0) {
+    std::snprintf(buf, sizeof(buf),
+                  "coverage: %.3f of extensional answer (checked in %lld us)\n",
+                  coverage, static_cast<long long>(coverage_micros));
+    out += buf;
+  }
+  return out;
+}
+
+std::string QueryStats::ToJson() const {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"parse_micros\": %lld, \"execute_micros\": %lld, "
+      "\"describe_micros\": %lld, \"infer_micros\": %lld, "
+      "\"format_micros\": %lld, \"total_micros\": %lld, "
+      "\"rows_scanned\": %llu, \"rows_returned\": %llu, "
+      "\"index_prefiltered_tables\": %llu, \"forward_facts\": %llu, "
+      "\"backward_statements\": %llu, \"rules_fired\": %llu, "
+      "\"coverage\": %.6f, \"coverage_micros\": %lld}",
+      static_cast<long long>(parse_micros),
+      static_cast<long long>(execute_micros),
+      static_cast<long long>(describe_micros),
+      static_cast<long long>(infer_micros),
+      static_cast<long long>(format_micros),
+      static_cast<long long>(total_micros),
+      static_cast<unsigned long long>(rows_scanned),
+      static_cast<unsigned long long>(rows_returned),
+      static_cast<unsigned long long>(index_prefiltered_tables),
+      static_cast<unsigned long long>(forward_facts),
+      static_cast<unsigned long long>(backward_statements),
+      static_cast<unsigned long long>(rules_fired), coverage,
+      static_cast<long long>(coverage_micros));
+  return buf;
+}
+
+}  // namespace iqs

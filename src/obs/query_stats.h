@@ -1,0 +1,45 @@
+#ifndef IQS_OBS_QUERY_STATS_H_
+#define IQS_OBS_QUERY_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace iqs {
+
+// Per-query cost breakdown, filled by IntensionalQueryProcessor (and
+// format_micros by IqsSystem::Explain). Carried on QueryResult so tests
+// and benches can assert on where time went without parsing traces.
+// Stage times are microseconds, rounded up — any stage that ran at all
+// reports a nonzero duration.
+struct QueryStats {
+  int64_t parse_micros = 0;
+  int64_t execute_micros = 0;
+  int64_t describe_micros = 0;
+  int64_t infer_micros = 0;
+  int64_t format_micros = 0;   // answer formatting (Explain)
+  int64_t total_micros = 0;    // parse + execute + describe + infer
+
+  // Traditional query processor.
+  uint64_t rows_scanned = 0;   // base rows materialized across FROM tables
+  uint64_t rows_returned = 0;  // extensional answer size
+  uint64_t index_prefiltered_tables = 0;
+
+  // Inference processor.
+  uint64_t forward_facts = 0;         // facts in the forward statement
+  uint64_t backward_statements = 0;   // contained-in statements
+  uint64_t rules_fired = 0;           // distinct rules cited by the answer
+
+  // Cost and value of the backward-coverage check (paper Example 2): how
+  // completely the best exact backward statement covers the extensional
+  // answer, and what computing that cost. coverage stays -1 when no
+  // backward statement was checkable.
+  double coverage = -1.0;
+  int64_t coverage_micros = 0;
+
+  std::string ToString() const;
+  std::string ToJson() const;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_OBS_QUERY_STATS_H_

@@ -1,0 +1,201 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace iqs {
+namespace obs {
+
+namespace {
+
+thread_local Trace* tls_trace = nullptr;
+
+int64_t NanosSince(std::chrono::steady_clock::time_point epoch) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+// "412.5us" / "1.204ms" rendering of a nanosecond duration.
+std::string HumanDuration(int64_t nanos) {
+  char buf[32];
+  if (nanos < 0) {
+    return "open";
+  }
+  if (nanos < 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus",
+                  static_cast<double>(nanos) / 1000.0);
+  } else if (nanos < 1000000000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms",
+                  static_cast<double>(nanos) / 1000000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs",
+                  static_cast<double>(nanos) / 1000000000.0);
+  }
+  return buf;
+}
+
+}  // namespace
+
+const Span* Trace::Find(const std::string& name) const {
+  for (const Span& span : spans_) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+int64_t Trace::total_micros() const {
+  return spans_.empty() ? 0 : spans_[0].duration_micros();
+}
+
+std::string Trace::Render() const {
+  std::string out;
+  for (const Span& span : spans_) {
+    std::string line(2 * static_cast<size_t>(span.depth), ' ');
+    line += span.name;
+    if (line.size() < 36) line.resize(36, ' ');
+    line += "  " + HumanDuration(span.duration_nanos);
+    for (const SpanAnnotation& a : span.annotations) {
+      line += "  " + a.key + "=" + a.value;
+    }
+    out += line + "\n";
+  }
+  return out;
+}
+
+std::string Trace::ToJson() const {
+  std::string out = "[";
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const Span& span = spans_[i];
+    if (i > 0) out += ",";
+    out += "\n  {\"name\": \"" + JsonEscape(span.name) +
+           "\", \"parent\": " + std::to_string(span.parent) +
+           ", \"start_nanos\": " + std::to_string(span.start_nanos) +
+           ", \"duration_micros\": " + std::to_string(span.duration_micros());
+    if (!span.annotations.empty()) {
+      out += ", \"annotations\": {";
+      for (size_t a = 0; a < span.annotations.size(); ++a) {
+        if (a > 0) out += ", ";
+        out += "\"" + JsonEscape(span.annotations[a].key) + "\": \"" +
+               JsonEscape(span.annotations[a].value) + "\"";
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += spans_.empty() ? "]\n" : "\n]\n";
+  return out;
+}
+
+Trace* Tracer::current() { return tls_trace; }
+
+Trace* Tracer::Begin() {
+  if (tls_trace != nullptr) return nullptr;
+  tls_trace = new Trace();
+  tls_trace->epoch_ = std::chrono::steady_clock::now();
+  return tls_trace;
+}
+
+Trace Tracer::Take() {
+  Trace out;
+  if (tls_trace != nullptr) {
+    // Close anything left open (exception unwinding skipped an EndSpan).
+    while (!tls_trace->open_.empty()) {
+      EndSpan(tls_trace->open_.back());
+    }
+    out = std::move(*tls_trace);
+    delete tls_trace;
+    tls_trace = nullptr;
+  }
+  return out;
+}
+
+int Tracer::BeginSpan(const char* name) {
+  Trace* trace = tls_trace;
+  if (trace == nullptr) return -1;
+  Span span;
+  span.name = name;
+  span.parent = trace->open_.empty() ? -1 : trace->open_.back();
+  span.depth = static_cast<int>(trace->open_.size());
+  span.start_nanos = NanosSince(trace->epoch_);
+  trace->spans_.push_back(std::move(span));
+  int index = static_cast<int>(trace->spans_.size()) - 1;
+  trace->open_.push_back(index);
+  return index;
+}
+
+void Tracer::EndSpan(int index) {
+  Trace* trace = tls_trace;
+  if (trace == nullptr || index < 0 ||
+      index >= static_cast<int>(trace->spans_.size())) {
+    return;
+  }
+  Span& span = trace->spans_[static_cast<size_t>(index)];
+  if (span.duration_nanos >= 0) return;  // already closed
+  span.duration_nanos = NanosSince(trace->epoch_) - span.start_nanos;
+  // Pop through any children left open inside this span.
+  while (!trace->open_.empty() && trace->open_.back() != index) {
+    trace->open_.pop_back();
+  }
+  if (!trace->open_.empty()) trace->open_.pop_back();
+}
+
+void Tracer::Annotate(const char* key, std::string value) {
+  Trace* trace = tls_trace;
+  if (trace == nullptr || trace->open_.empty()) return;
+  Span& span =
+      trace->spans_[static_cast<size_t>(trace->open_.back())];
+  span.annotations.push_back(SpanAnnotation{key, std::move(value)});
+}
+
+void Tracer::Annotate(const char* key, int64_t value) {
+  Annotate(key, std::to_string(value));
+}
+
+void TraceRing::Push(Trace trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  traces_.push_back(std::move(trace));
+  while (traces_.size() > capacity_) traces_.pop_front();
+}
+
+std::vector<Trace> TraceRing::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Trace>(traces_.begin(), traces_.end());
+}
+
+std::optional<Trace> TraceRing::Latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (traces_.empty()) return std::nullopt;
+  return traces_.back();
+}
+
+size_t TraceRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return traces_.size();
+}
+
+void TraceRing::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  traces_.clear();
+}
+
+TraceRing& GlobalTraces() {
+  static TraceRing* ring = new TraceRing(64);
+  return *ring;
+}
+
+ScopedTrace::ScopedTrace(const char* name) {
+  if (Tracer::current() == nullptr) {
+    owns_ = Tracer::Begin() != nullptr;
+  }
+  span_index_ = Tracer::BeginSpan(name);
+}
+
+ScopedTrace::~ScopedTrace() {
+  if (span_index_ >= 0) Tracer::EndSpan(span_index_);
+  if (owns_) GlobalTraces().Push(Tracer::Take());
+}
+
+}  // namespace obs
+}  // namespace iqs

@@ -1,0 +1,174 @@
+#ifndef IQS_OBS_TRACE_H_
+#define IQS_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace iqs {
+namespace obs {
+
+// Per-query tracing: RAII spans build a span tree for the query being
+// processed on the current thread; completed traces land in a ring buffer
+// of recent queries (GlobalTraces()) that the shell's EXPLAIN ANALYZE and
+// `\stats` render. At most one trace is active per thread; spans opened
+// while no trace is active are no-ops, so instrumented library code costs
+// two thread-local loads outside a traced query.
+
+struct SpanAnnotation {
+  std::string key;
+  std::string value;
+};
+
+// One node of the span tree, stored flat in start order.
+struct Span {
+  std::string name;
+  int parent = -1;          // index into Trace::spans(), -1 for the root
+  int depth = 0;
+  int64_t start_nanos = 0;  // relative to the trace epoch
+  int64_t duration_nanos = -1;  // -1 while still open
+  std::vector<SpanAnnotation> annotations;
+
+  int64_t duration_micros() const {
+    // Round up so any measurable work reports a nonzero per-stage time.
+    return duration_nanos < 0 ? -1 : (duration_nanos + 999) / 1000;
+  }
+};
+
+class Trace {
+ public:
+  Trace() = default;
+
+  const std::vector<Span>& spans() const { return spans_; }
+  bool empty() const { return spans_.empty(); }
+
+  // First span with the given name, or nullptr.
+  const Span* Find(const std::string& name) const;
+
+  // Total wall-clock of the root span (micros, rounded up).
+  int64_t total_micros() const;
+
+  // Indented tree with durations and annotations:
+  //   sql.query                 412.5us
+  //     sql.execute             201.7us  rows_scanned=37
+  std::string Render() const;
+  std::string ToJson() const;
+
+ private:
+  friend class Tracer;
+  std::vector<Span> spans_;
+  std::vector<int> open_;  // stack of open span indices
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+// Static facade over the thread-local active trace.
+class Tracer {
+ public:
+  // The trace being recorded on this thread, or nullptr.
+  static Trace* current();
+
+  // Installs a fresh trace as current; fails (returns nullptr) if one is
+  // already active. Callers normally use ScopedTrace instead.
+  static Trace* Begin();
+  // Finalizes and uninstalls the current trace, returning it.
+  static Trace Take();
+
+  // Opens/closes a span on the current trace; index -1 means "no trace
+  // was active" and EndSpan ignores it.
+  static int BeginSpan(const char* name);
+  static void EndSpan(int index);
+
+  // Attaches key=value to the innermost open span, if any. Numeric
+  // values funnel through the int64_t overload.
+  static void Annotate(const char* key, std::string value);
+  static void Annotate(const char* key, int64_t value);
+};
+
+// Bounded buffer of the most recent completed traces.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity = 64) : capacity_(capacity) {}
+
+  void Push(Trace trace);
+  // Oldest to newest.
+  std::vector<Trace> Recent() const;
+  std::optional<Trace> Latest() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Trace> traces_;
+  size_t capacity_;
+};
+
+// Ring the pipeline's per-query traces are collected into.
+TraceRing& GlobalTraces();
+
+// RAII trace root: starts a trace if none is active on this thread (and
+// on destruction finalizes it and pushes it into GlobalTraces()); nests
+// as a plain span when a trace is already running, so a caller-opened
+// trace absorbs the spans of everything beneath it.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(const char* name);
+  ~ScopedTrace();
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+  bool owns_trace() const { return owns_; }
+
+ private:
+  bool owns_ = false;
+  int span_index_ = -1;
+};
+
+// RAII span; a no-op when no trace is active.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : index_(Tracer::BeginSpan(name)) {}
+  ~ScopedSpan() {
+    if (index_ >= 0) Tracer::EndSpan(index_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  int index_;
+};
+
+}  // namespace obs
+}  // namespace iqs
+
+#define IQS_OBS_CONCAT_INNER_(a, b) a##b
+#define IQS_OBS_CONCAT_(a, b) IQS_OBS_CONCAT_INNER_(a, b)
+
+// Span/trace macros; compiled to nothing when IQS_OBS_DISABLED is set.
+#ifndef IQS_OBS_DISABLED
+
+#define IQS_SPAN(name) \
+  ::iqs::obs::ScopedSpan IQS_OBS_CONCAT_(iqs_span_, __LINE__)(name)
+#define IQS_TRACE_SCOPE(name) \
+  ::iqs::obs::ScopedTrace IQS_OBS_CONCAT_(iqs_trace_, __LINE__)(name)
+#define IQS_SPAN_ANNOTATE(key, value) ::iqs::obs::Tracer::Annotate(key, value)
+
+#else  // IQS_OBS_DISABLED
+
+#define IQS_SPAN(name) \
+  do {                 \
+  } while (0)
+#define IQS_TRACE_SCOPE(name) \
+  do {                        \
+  } while (0)
+#define IQS_SPAN_ANNOTATE(key, value) \
+  do {                                \
+  } while (0)
+
+#endif  // IQS_OBS_DISABLED
+
+#endif  // IQS_OBS_TRACE_H_

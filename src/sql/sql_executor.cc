@@ -1,10 +1,13 @@
 #include "sql/sql_executor.h"
 
+#include <chrono>
 #include <map>
 #include <optional>
 #include <set>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sql/sql_parser.h"
 
 namespace iqs {
@@ -172,7 +175,38 @@ Result<PredicatePtr> SqlExecutor::BindExpr(const Schema& schema,
 }
 
 Result<Relation> SqlExecutor::Execute(const SelectStatement& stmt) const {
+  IQS_SPAN("sql.execute");
+  IQS_COUNTER_INC("sql.execute.count");
+  auto start = std::chrono::steady_clock::now();
   stats_ = ExecutionStats();
+  Result<Relation> result = ExecuteInternal(stmt);
+  int64_t micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  IQS_HISTOGRAM_OBSERVE("sql.execute.micros", micros);
+  if (!result.ok()) {
+    IQS_COUNTER_INC("sql.execute.errors");
+    return result;
+  }
+  stats_.rows_returned = result->size();
+  IQS_COUNTER_ADD("sql.execute.rows_scanned", stats_.base_rows_loaded);
+  IQS_COUNTER_ADD("sql.execute.rows_returned", stats_.rows_returned);
+  if (stats_.index_prefiltered_tables > 0) {
+    IQS_COUNTER_INC("sql.execute.index_path");
+  } else {
+    IQS_COUNTER_INC("sql.execute.scan_path");
+  }
+  IQS_SPAN_ANNOTATE("rows_scanned",
+                    static_cast<int64_t>(stats_.base_rows_loaded));
+  IQS_SPAN_ANNOTATE("rows_returned",
+                    static_cast<int64_t>(stats_.rows_returned));
+  IQS_SPAN_ANNOTATE("index_tables",
+                    static_cast<int64_t>(stats_.index_prefiltered_tables));
+  return result;
+}
+
+Result<Relation> SqlExecutor::ExecuteInternal(
+    const SelectStatement& stmt) const {
   if (stmt.from.empty()) {
     return Status::InvalidArgument("FROM list must not be empty");
   }

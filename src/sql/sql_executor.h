@@ -33,6 +33,7 @@ class SqlExecutor {
   struct ExecutionStats {
     size_t index_prefiltered_tables = 0;
     size_t base_rows_loaded = 0;  // rows materialized across FROM tables
+    size_t rows_returned = 0;     // result cardinality
   };
   const ExecutionStats& last_stats() const { return stats_; }
 
@@ -44,6 +45,10 @@ class SqlExecutor {
                                       const ColumnRef& ref);
 
  private:
+  // Execute minus the instrumentation wrapper: the join/filter/project
+  // pipeline with its many exit points.
+  Result<Relation> ExecuteInternal(const SelectStatement& stmt) const;
+
   // Copies `relation` with attributes renamed "<effective>.<attr>".
   static Relation QualifyFor(const Relation& relation,
                              const std::string& effective_name);

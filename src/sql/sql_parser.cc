@@ -1,6 +1,8 @@
 #include "sql/sql_parser.h"
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sql/sql_lexer.h"
 
 namespace iqs {
@@ -319,9 +321,14 @@ class Parser {
 }  // namespace
 
 Result<SelectStatement> ParseSelect(const std::string& sql) {
+  IQS_SPAN("sql.parse");
+  IQS_COUNTER_INC("sql.parse.count");
   IQS_ASSIGN_OR_RETURN(std::vector<SqlToken> tokens, LexSql(sql));
+  IQS_SPAN_ANNOTATE("tokens", static_cast<int64_t>(tokens.size()));
   Parser parser(std::move(tokens));
-  return parser.Run();
+  Result<SelectStatement> stmt = parser.Run();
+  if (!stmt.ok()) IQS_COUNTER_INC("sql.parse.errors");
+  return stmt;
 }
 
 }  // namespace iqs

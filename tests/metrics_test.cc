@@ -1,0 +1,170 @@
+#include "obs/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace iqs {
+namespace obs {
+namespace {
+
+TEST(CounterTest, IncrementAndFindOrCreate) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("sql.parse.count");
+  EXPECT_EQ(c->value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), 42u);
+  // Same name resolves to the same counter.
+  EXPECT_EQ(registry.GetCounter("sql.parse.count"), c);
+  EXPECT_NE(registry.GetCounter("sql.parse.errors"), c);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("ils.rule_base_size");
+  g->Set(17);
+  EXPECT_EQ(g->value(), 17);
+  g->Add(-3);
+  EXPECT_EQ(g->value(), 14);
+}
+
+TEST(HistogramTest, BucketsCountAndSum) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("t.micros", {10, 100, 1000});
+  h->Observe(5);     // <= 10          -> bucket 0
+  h->Observe(10);    // inclusive      -> bucket 0
+  h->Observe(11);    // <= 100         -> bucket 1
+  h->Observe(1000);  // <= 1000        -> bucket 2
+  h->Observe(5000);  // above the last -> overflow bucket 3
+  EXPECT_EQ(h->count(), 5u);
+  EXPECT_EQ(h->sum(), 5 + 10 + 11 + 1000 + 5000);
+  EXPECT_EQ(h->bucket(0), 2u);
+  EXPECT_EQ(h->bucket(1), 1u);
+  EXPECT_EQ(h->bucket(2), 1u);
+  EXPECT_EQ(h->bucket(3), 1u);
+}
+
+TEST(HistogramTest, DefaultBoundsAreAscendingLatencyBuckets) {
+  std::vector<int64_t> bounds = Histogram::LatencyBoundsMicros();
+  ASSERT_GT(bounds.size(), 2u);
+  EXPECT_EQ(bounds.front(), 1);
+  EXPECT_EQ(bounds.back(), 1000000);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(HistogramTest, SnapshotQuantileAndMean) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("t.micros", {10, 100, 1000});
+  for (int i = 0; i < 8; ++i) h->Observe(7);  // bucket 0
+  h->Observe(50);                             // bucket 1
+  h->Observe(700);                            // bucket 2
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSnapshot& hs = snap.histograms[0];
+  EXPECT_EQ(hs.count, 10u);
+  // 8/10 observations sit in the <=10 bucket; the p90 lands in <=100.
+  EXPECT_EQ(hs.Quantile(0.5), 10);
+  EXPECT_EQ(hs.Quantile(0.9), 100);
+  EXPECT_EQ(hs.Quantile(1.0), 1000);
+  EXPECT_DOUBLE_EQ(hs.Mean(), (8 * 7 + 50 + 700) / 10.0);
+}
+
+TEST(RegistryTest, SnapshotIsIsolatedFromLaterIncrements) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("query.count");
+  c->Increment(3);
+  MetricsSnapshot before = registry.Snapshot();
+  c->Increment(100);
+  ASSERT_EQ(before.counters.size(), 1u);
+  EXPECT_EQ(before.counters[0].value, 3u);  // unchanged by the increment
+  EXPECT_EQ(registry.Snapshot().counters[0].value, 103u);
+}
+
+TEST(RegistryTest, SnapshotIsSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta");
+  registry.GetCounter("alpha");
+  registry.GetCounter("mid");
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "alpha");
+  EXPECT_EQ(snap.counters[1].name, "mid");
+  EXPECT_EQ(snap.counters[2].name, "zeta");
+}
+
+TEST(RegistryTest, ResetAllZeroesButKeepsNames) {
+  MetricsRegistry registry;
+  registry.GetCounter("a")->Increment(5);
+  registry.GetGauge("b")->Set(9);
+  registry.GetHistogram("c")->Observe(12);
+  registry.ResetAll();
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].value, 0u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 0);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 0u);
+}
+
+TEST(RegistryTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("hot");
+  Histogram* h = registry.GetHistogram("hot.micros", {10, 100});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        h->Observe(i % 2 == 0 ? 5 : 50);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c->value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h->count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h->bucket(0), static_cast<uint64_t>(kThreads) * kPerThread / 2);
+  EXPECT_EQ(h->bucket(1), static_cast<uint64_t>(kThreads) * kPerThread / 2);
+}
+
+TEST(RegistryTest, JsonCarriesNamesAndValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("sql.execute.count")->Increment(7);
+  registry.GetGauge("rules")->Set(18);
+  std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"sql.execute.count\""), std::string::npos);
+  EXPECT_NE(json.find("7"), std::string::npos);
+  EXPECT_NE(json.find("\"rules\""), std::string::npos);
+  EXPECT_NE(json.find("18"), std::string::npos);
+}
+
+#ifndef IQS_OBS_DISABLED
+TEST(MacroTest, CounterMacroReportsIntoGlobalRegistry) {
+  Counter* c = GlobalMetrics().GetCounter("test.macro.counter");
+  uint64_t before = c->value();
+  IQS_COUNTER_INC("test.macro.counter");
+  IQS_COUNTER_ADD("test.macro.counter", 4);
+  EXPECT_EQ(c->value(), before + 5);
+  IQS_GAUGE_SET("test.macro.gauge", 21);
+  EXPECT_EQ(GlobalMetrics().GetGauge("test.macro.gauge")->value(), 21);
+  IQS_HISTOGRAM_OBSERVE("test.macro.micros", 33);
+  EXPECT_GE(GlobalMetrics().GetHistogram("test.macro.micros")->count(), 1u);
+}
+#endif  // IQS_OBS_DISABLED
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace iqs

@@ -165,6 +165,36 @@ TEST_F(SqlExecutorTest, Errors) {
           .ok());
 }
 
+TEST_F(SqlExecutorTest, ExecutionStatsMatchFixtureCardinalities) {
+  // SUBMARINE alone: all 24 ships load, 6 survive the filter.
+  Run("SELECT Id FROM SUBMARINE WHERE SUBMARINE.Class = '0204'");
+  EXPECT_EQ(executor_->last_stats().base_rows_loaded, 24u);
+  EXPECT_EQ(executor_->last_stats().rows_returned, 6u);
+  // Example 1 joins SUBMARINE (24) with CLASS (13): 37 base rows.
+  Run(Example1Sql());
+  EXPECT_EQ(executor_->last_stats().base_rows_loaded, 37u);
+  EXPECT_EQ(executor_->last_stats().rows_returned, 2u);
+}
+
+TEST_F(SqlExecutorTest, QueryStatsFlowThroughTheAssembledSystem) {
+  auto system = BuildShipSystem();
+  ASSERT_TRUE(system.ok()) << system.status();
+  InductionConfig config;
+  config.min_support = 3;
+  ASSERT_TRUE((*system)->Induce(config).ok());
+  auto result = (*system)->Query(Example1Sql());
+  ASSERT_TRUE(result.ok()) << result.status();
+  const QueryStats& stats = result->stats;
+  EXPECT_EQ(stats.rows_scanned, 37u);   // SUBMARINE (24) + CLASS (13)
+  EXPECT_EQ(stats.rows_returned, 2u);   // the two SSBN ships
+  EXPECT_GT(stats.rules_fired, 0u);     // induced rules produced the answer
+  // Every pipeline stage ran, and round-up timing makes it visible.
+  EXPECT_GE(stats.parse_micros, 1);
+  EXPECT_GE(stats.execute_micros, 1);
+  EXPECT_GE(stats.infer_micros, 1);
+  EXPECT_GE(stats.total_micros, stats.parse_micros);
+}
+
 TEST_F(SqlExecutorTest, ResolveColumnHelper) {
   Schema schema({{"S.Id", ValueType::kString, false},
                  {"S.Name", ValueType::kString, false},

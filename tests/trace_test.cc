@@ -1,0 +1,152 @@
+#include "obs/trace.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace iqs {
+namespace obs {
+namespace {
+
+// Each completed ScopedTrace lands in GlobalTraces(); tests read the
+// trace back through Latest() right after the scope closes.
+
+TEST(TraceTest, ScopedSpansBuildANestedTree) {
+  {
+    ScopedTrace root("query");
+    {
+      ScopedSpan parse("parse");
+    }
+    {
+      ScopedSpan exec("execute");
+      ScopedSpan scan("scan");  // nested inside execute
+    }
+  }
+  auto trace = GlobalTraces().Latest();
+  ASSERT_TRUE(trace.has_value());
+  ASSERT_EQ(trace->spans().size(), 4u);
+  const Span& root = trace->spans()[0];
+  EXPECT_EQ(root.name, "query");
+  EXPECT_EQ(root.parent, -1);
+  EXPECT_EQ(root.depth, 0);
+  const Span* parse = trace->Find("parse");
+  ASSERT_NE(parse, nullptr);
+  EXPECT_EQ(parse->parent, 0);
+  EXPECT_EQ(parse->depth, 1);
+  const Span* scan = trace->Find("scan");
+  ASSERT_NE(scan, nullptr);
+  EXPECT_EQ(trace->spans()[scan->parent].name, "execute");
+  EXPECT_EQ(scan->depth, 2);
+  // Every span closed, with round-up micros: any work reports nonzero.
+  for (const Span& s : trace->spans()) {
+    EXPECT_GE(s.duration_nanos, 0) << s.name;
+    EXPECT_GE(s.duration_micros(), 1) << s.name;
+  }
+  EXPECT_GE(trace->total_micros(), 1);
+}
+
+TEST(TraceTest, AnnotationsAttachToTheInnermostOpenSpan) {
+  {
+    ScopedTrace root("query");
+    {
+      ScopedSpan exec("execute");
+      Tracer::Annotate("rows_scanned", static_cast<int64_t>(37));
+      Tracer::Annotate("path", std::string("index"));
+    }
+    Tracer::Annotate("mode", std::string("combined"));  // on the root
+  }
+  auto trace = GlobalTraces().Latest();
+  ASSERT_TRUE(trace.has_value());
+  const Span* exec = trace->Find("execute");
+  ASSERT_NE(exec, nullptr);
+  ASSERT_EQ(exec->annotations.size(), 2u);
+  EXPECT_EQ(exec->annotations[0].key, "rows_scanned");
+  EXPECT_EQ(exec->annotations[0].value, "37");
+  EXPECT_EQ(exec->annotations[1].value, "index");
+  const Span* root = trace->Find("query");
+  ASSERT_NE(root, nullptr);
+  ASSERT_EQ(root->annotations.size(), 1u);
+  EXPECT_EQ(root->annotations[0].key, "mode");
+}
+
+TEST(TraceTest, SpansWithoutAnActiveTraceAreNoOps) {
+  ASSERT_EQ(Tracer::current(), nullptr);
+  size_t ring_before = GlobalTraces().size();
+  EXPECT_EQ(Tracer::BeginSpan("orphan"), -1);
+  Tracer::EndSpan(-1);                              // ignored
+  Tracer::Annotate("k", std::string("v"));          // ignored
+  {
+    ScopedSpan span("orphan.scoped");               // no-op
+  }
+  EXPECT_EQ(Tracer::current(), nullptr);
+  EXPECT_EQ(GlobalTraces().size(), ring_before);    // nothing pushed
+}
+
+TEST(TraceTest, NestedScopedTraceJoinsTheOuterTrace) {
+  {
+    ScopedTrace outer("explain.analyze");
+    EXPECT_TRUE(outer.owns_trace());
+    {
+      // What IqsSystem::Query's IQS_TRACE_SCOPE does under the shell's
+      // EXPLAIN ANALYZE scope: nest instead of starting a second trace.
+      ScopedTrace inner("sql.query");
+      EXPECT_FALSE(inner.owns_trace());
+    }
+  }
+  auto trace = GlobalTraces().Latest();
+  ASSERT_TRUE(trace.has_value());
+  ASSERT_EQ(trace->spans().size(), 2u);
+  EXPECT_EQ(trace->spans()[0].name, "explain.analyze");
+  EXPECT_EQ(trace->spans()[1].name, "sql.query");
+  EXPECT_EQ(trace->spans()[1].parent, 0);
+}
+
+TEST(TraceTest, RenderIndentsAndShowsAnnotations) {
+  {
+    ScopedTrace root("query");
+    ScopedSpan exec("execute");
+    Tracer::Annotate("rows", static_cast<int64_t>(2));
+  }
+  auto trace = GlobalTraces().Latest();
+  ASSERT_TRUE(trace.has_value());
+  std::string rendered = trace->Render();
+  EXPECT_NE(rendered.find("query"), std::string::npos);
+  EXPECT_NE(rendered.find("  execute"), std::string::npos);  // indented
+  EXPECT_NE(rendered.find("rows=2"), std::string::npos);
+  std::string json = trace->ToJson();
+  EXPECT_NE(json.find("\"execute\""), std::string::npos);
+}
+
+TEST(TraceRingTest, EvictsOldestBeyondCapacity) {
+  TraceRing ring(4);
+  for (int i = 0; i < 6; ++i) {
+    Trace* t = Tracer::Begin();
+    ASSERT_NE(t, nullptr);
+    int span = Tracer::BeginSpan(("t" + std::to_string(i)).c_str());
+    Tracer::EndSpan(span);
+    ring.Push(Tracer::Take());
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  std::vector<Trace> recent = ring.Recent();
+  ASSERT_EQ(recent.size(), 4u);
+  EXPECT_EQ(recent.front().spans()[0].name, "t2");  // t0, t1 evicted
+  EXPECT_EQ(recent.back().spans()[0].name, "t5");
+  auto latest = ring.Latest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->spans()[0].name, "t5");
+  ring.Clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_FALSE(ring.Latest().has_value());
+}
+
+TEST(TraceRingTest, SecondBeginWhileActiveFails) {
+  Trace* first = Tracer::Begin();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(Tracer::Begin(), nullptr);  // already active on this thread
+  (void)Tracer::Take();
+  EXPECT_EQ(Tracer::current(), nullptr);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace iqs
