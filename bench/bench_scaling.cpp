@@ -5,15 +5,19 @@
 //   * rule induction time vs relation size,
 //   * relationship-view construction vs size,
 //   * forward inference latency vs rule-base size,
-//   * rule-relation encode/decode vs rule count.
+//   * rule-relation encode/decode vs rule count,
+//   * induction speedup vs worker count (--threads sweep).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "dictionary/data_dictionary.h"
+#include "exec/thread_pool.h"
 #include "induction/ils.h"
 #include "induction/rule_induction.h"
 #include "induction/inter_object.h"
@@ -149,18 +153,73 @@ void BM_RuleRelationRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_RuleRelationRoundTrip)->Arg(10)->Arg(100)->Arg(1000);
 
+// Thread-count sweep: full induction over a 12-type fleet (the outer
+// fan-out in InduceAll parallelizes across types, the inner scans across
+// partitions). Registered per worker count by RegisterThreadSweep so the
+// JSON carries one speedup curve: compare
+// BM_InduceAllFleetParallel/<rows>/threads:1 against threads:4.
+void BM_InduceAllFleetParallel(benchmark::State& state) {
+  size_t per_type = static_cast<size_t>(state.range(0));
+  size_t threads = static_cast<size_t>(state.range(1));
+  auto db = GenerateFleet(per_type, 42);
+  auto catalog = BuildFleetCatalog();
+  InductiveLearningSubsystem ils(db.value().get(), catalog.value().get());
+  InductionConfig config;
+  config.min_support = 3;
+  exec::SetGlobalThreadCount(threads);
+  for (auto _ : state) {
+    auto rules = ils.InduceAll(config);
+    benchmark::DoNotOptimize(rules);
+  }
+  exec::SetGlobalThreadCount(1);
+  state.counters["rows"] = static_cast<double>(per_type * 12);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
+void RegisterThreadSweep(const std::vector<long>& thread_counts) {
+  benchmark::internal::Benchmark* bench = benchmark::RegisterBenchmark(
+      "BM_InduceAllFleetParallel", BM_InduceAllFleetParallel);
+  bench->ArgNames({"rows_per_type", "threads"});
+  for (long per_type : {200L, 1000L}) {
+    for (long threads : thread_counts) {
+      bench->Args({per_type, threads});
+    }
+  }
+}
+
 }  // namespace
 }  // namespace iqs
 
 // Like BENCHMARK_MAIN(), but defaults --benchmark_out to
 // BENCH_scaling.json (JSON) so the scaling curves are machine-readable;
-// an explicit --benchmark_out on the command line still wins.
+// an explicit --benchmark_out on the command line still wins. The extra
+// --threads=1,2,4,8 flag (that default) picks the worker counts the
+// BM_InduceAllFleetParallel sweep registers.
 int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
+  std::vector<long> thread_counts = {1, 2, 4, 8};
+  std::vector<char*> args;
+  args.push_back(argv[0]);
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      thread_counts.clear();
+      const char* p = argv[i] + 10;
+      while (*p != '\0') {
+        char* end = nullptr;
+        long n = std::strtol(p, &end, 10);
+        if (end == p || n < 1) {
+          std::cerr << "bad --threads list: " << argv[i] << "\n";
+          return 2;
+        }
+        thread_counts.push_back(n);
+        p = (*end == ',') ? end + 1 : end;
+      }
+      continue;  // consumed; not a google-benchmark flag
+    }
     if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+    args.push_back(argv[i]);
   }
+  iqs::RegisterThreadSweep(thread_counts);
   static char out_flag[] = "--benchmark_out=BENCH_scaling.json";
   static char fmt_flag[] = "--benchmark_out_format=json";
   if (!has_out) {

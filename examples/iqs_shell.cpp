@@ -16,6 +16,7 @@
 //
 // Also serves as a scriptable driver: echo "rules" | ./iqs_shell --quiet
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -23,6 +24,7 @@
 #include "common/string_util.h"
 #include "core/summarizer.h"
 #include "core/system.h"
+#include "exec/thread_pool.h"
 #include "ker/validator.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -54,6 +56,9 @@ void PrintHelp() {
       "  stats | \\stats        print the metrics registry snapshot\n"
       "  stats json            same, as JSON\n"
       "  stats reset           zero all metrics\n"
+      "  set threads <N>       resize the execution pool (1 = serial);\n"
+      "                        overrides the IQS_THREADS environment value\n"
+      "  threads               show the current worker count\n"
       "  validate              check the database against the KER schema\n"
       "  index <rel> <attr>    register a sorted index (speeds up WHERE)\n"
       "  help / quit\n";
@@ -237,6 +242,26 @@ int main(int argc, char** argv) {
       }
       std::cout << system->dictionary().induced_rules().size()
                 << " rules at Nc = " << c.min_support << "\n";
+      continue;
+    }
+    if (iqs::StartsWith(lower, "set threads")) {
+      std::string arg(iqs::StripWhitespace(lower.substr(11)));
+      char* end = nullptr;
+      long n = std::strtol(arg.c_str(), &end, 10);
+      if (arg.empty() || end == nullptr || *end != '\0' || n < 1) {
+        std::cout << "usage: set threads <N>  (N >= 1)\n";
+        continue;
+      }
+      iqs::exec::SetGlobalThreadCount(static_cast<size_t>(n));
+      std::cout << "execution pool: " << iqs::exec::GlobalThreadCount()
+                << " thread(s)"
+                << (iqs::exec::GlobalThreadCount() == 1 ? " (serial)" : "")
+                << "\n";
+      continue;
+    }
+    if (lower == "threads") {
+      std::cout << "execution pool: " << iqs::exec::GlobalThreadCount()
+                << " thread(s)\n";
       continue;
     }
     if (iqs::StartsWith(lower, "summary")) {

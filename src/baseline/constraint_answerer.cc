@@ -42,7 +42,7 @@ Result<ConstraintBaseline::Comparison> ConstraintBaseline::Compare(
   IQS_ASSIGN_OR_RETURN(IntensionalAnswer baseline, Answer(query, mode));
   IQS_ASSIGN_OR_RETURN(
       IntensionalAnswer induced,
-      engine_.InferWith(query, mode, dictionary_->induced_rules()));
+      engine_.InferWith(query, mode, *dictionary_->induced_rules_snapshot()));
   auto count_type_facts = [](const IntensionalAnswer& answer) {
     size_t count = 0;
     for (const IntensionalStatement& s : answer.statements()) {

@@ -145,7 +145,10 @@ Result<QueryDescription> IntensionalQueryProcessor::Describe(
 
 Result<QueryResult> IntensionalQueryProcessor::Process(
     const std::string& sql, InferenceMode mode) const {
-  return ProcessWith(sql, mode, dictionary_->induced_rules());
+  // Snapshot: concurrent re-induction swaps the set; this query keeps
+  // reading the version it started with.
+  std::shared_ptr<const RuleSet> rules = dictionary_->induced_rules_snapshot();
+  return ProcessWith(sql, mode, *rules);
 }
 
 Result<QueryResult> IntensionalQueryProcessor::ProcessWith(

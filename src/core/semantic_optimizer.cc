@@ -75,7 +75,8 @@ std::vector<ImpliedCondition> SemanticOptimizer::Derive(
 
 std::vector<ImpliedCondition> SemanticOptimizer::Derive(
     const QueryDescription& query) const {
-  return Derive(query, dictionary_->induced_rules());
+  std::shared_ptr<const RuleSet> rules = dictionary_->induced_rules_snapshot();
+  return Derive(query, *rules);
 }
 
 Result<SemanticOptimizer::ScanEstimate> SemanticOptimizer::EstimateScan(

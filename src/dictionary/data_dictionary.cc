@@ -74,7 +74,8 @@ RuleSet DataDictionary::AllRules() const {
     copy.id = 0;
     out.Add(std::move(copy));
   }
-  for (const Rule& r : induced_.rules()) {
+  std::shared_ptr<const RuleSet> induced = induced_rules_snapshot();
+  for (const Rule& r : induced->rules()) {
     Rule copy = r;
     copy.id = 0;
     out.Add(std::move(copy));
@@ -109,7 +110,7 @@ Status DataDictionary::ComputeActiveDomains(const Database& db) {
 }
 
 Result<RuleRelations> DataDictionary::ExportInducedRules() const {
-  return EncodeRules(induced_);
+  return EncodeRules(*induced_rules_snapshot());
 }
 
 Status DataDictionary::ImportInducedRules(const RuleRelations& relations) {
@@ -131,7 +132,7 @@ Status DataDictionary::ImportInducedRules(const RuleRelations& relations) {
     }
     rebuilt.Add(std::move(copy));
   }
-  induced_ = std::move(rebuilt);
+  SetInducedRules(std::move(rebuilt));
   return Status::Ok();
 }
 
@@ -142,7 +143,7 @@ std::string DataDictionary::ToString() const {
     out += frames_.at(ToLower(name)).ToString();
   }
   out += "-- declared rules --\n" + declared_.ToString();
-  out += "-- induced rules --\n" + induced_.ToString();
+  out += "-- induced rules --\n" + induced_rules_snapshot()->ToString();
   return out;
 }
 

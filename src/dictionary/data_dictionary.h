@@ -2,6 +2,8 @@
 #define IQS_DICTIONARY_DATA_DICTIONARY_H_
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -29,8 +31,6 @@ class DataDictionary {
 
   DataDictionary(const DataDictionary&) = delete;
   DataDictionary& operator=(const DataDictionary&) = delete;
-  DataDictionary(DataDictionary&&) = default;
-  DataDictionary& operator=(DataDictionary&&) = default;
 
   const KerCatalog& catalog() const { return *catalog_; }
 
@@ -47,10 +47,28 @@ class DataDictionary {
 
   // Rules declared in with-constraints (snapshot taken at construction).
   const RuleSet& declared_rules() const { return declared_; }
-  // Rules produced by the ILS.
-  const RuleSet& induced_rules() const { return induced_; }
 
-  void SetInducedRules(RuleSet rules) { induced_ = std::move(rules); }
+  // Rules produced by the ILS. The reference stays valid only until the
+  // next SetInducedRules — single-threaded convenience; concurrent query
+  // paths must hold a snapshot instead.
+  const RuleSet& induced_rules() const {
+    std::lock_guard<std::mutex> lock(induced_mu_);
+    return *induced_;
+  }
+
+  // Shared ownership of the current induced rule base: re-induction swaps
+  // the set atomically, so in-flight queries keep reading the version
+  // they started with (see concurrency_stress_test.cc).
+  std::shared_ptr<const RuleSet> induced_rules_snapshot() const {
+    std::lock_guard<std::mutex> lock(induced_mu_);
+    return induced_;
+  }
+
+  void SetInducedRules(RuleSet rules) {
+    auto fresh = std::make_shared<const RuleSet>(std::move(rules));
+    std::lock_guard<std::mutex> lock(induced_mu_);
+    induced_ = std::move(fresh);
+  }
 
   // Declared followed by induced rules, renumbered 1..n — what the
   // inference engine works with.
@@ -86,7 +104,8 @@ class DataDictionary {
   std::map<std::string, Frame> frames_;  // lower-cased key
   std::vector<std::string> frame_order_;
   RuleSet declared_;
-  RuleSet induced_;
+  mutable std::mutex induced_mu_;
+  std::shared_ptr<const RuleSet> induced_ = std::make_shared<const RuleSet>();
   std::vector<AttributeDomain> active_domains_;
 };
 

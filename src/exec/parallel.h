@@ -1,0 +1,141 @@
+#ifndef IQS_EXEC_PARALLEL_H_
+#define IQS_EXEC_PARALLEL_H_
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace iqs {
+namespace exec {
+
+// Deterministic data parallelism over an index range [0, n).
+//
+// Contract: per-chunk results are merged IN CHUNK-INDEX ORDER, and chunks
+// are contiguous ascending ranges, so any order-preserving merge
+// (concatenation, first-error-wins) reproduces the serial result exactly;
+// commutative-associative merges (integer sums, set unions into ordered
+// containers) are additionally independent of chunk boundaries. Every
+// call site in the pipeline uses one of those two shapes, which is what
+// makes parallel output byte-identical to serial output for any thread
+// count.
+//
+// A region runs inline (single chunk on the calling thread) when the
+// global pool is serial, the range is below ~2 chunks of work, or the
+// caller is itself a pool worker (nested regions). Each region opens a
+// trace span named `region` annotated with mode/chunks/threads and
+// records its wall time into the "<region>.micros" histogram, so EXPLAIN
+// ANALYZE and `stats` expose serial-vs-parallel stage timings.
+
+namespace internal {
+
+struct RegionTimer {
+#ifndef IQS_OBS_DISABLED
+  RegionTimer(const char* region, size_t chunks, size_t threads)
+      : region_(region), span_(region) {
+    IQS_SPAN_ANNOTATE("mode", std::string(chunks > 1 ? "parallel" : "inline"));
+    IQS_SPAN_ANNOTATE("chunks", static_cast<int64_t>(chunks));
+    IQS_SPAN_ANNOTATE("threads", static_cast<int64_t>(threads));
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~RegionTimer() {
+    int64_t micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count();
+    obs::GlobalMetrics()
+        .GetHistogram(std::string(region_) + ".micros")
+        ->Observe(micros);
+  }
+  const char* region_;
+  obs::ScopedSpan span_;
+  std::chrono::steady_clock::time_point start_;
+#else
+  RegionTimer(const char*, size_t, size_t) {}
+#endif
+};
+
+// Contiguous ascending chunk boundaries: up to threads*4 chunks of at
+// least min_chunk indices each. Single-element result means "run inline".
+inline std::vector<std::pair<size_t, size_t>> ChunkRanges(size_t n,
+                                                          size_t min_chunk,
+                                                          size_t threads) {
+  if (min_chunk == 0) min_chunk = 1;
+  size_t max_chunks = threads * 4;
+  size_t chunks = n / min_chunk;
+  if (chunks > max_chunks) chunks = max_chunks;
+  if (chunks < 2 || threads <= 1) return {{0, n}};
+  std::vector<std::pair<size_t, size_t>> out;
+  out.reserve(chunks);
+  size_t base = n / chunks;
+  size_t extra = n % chunks;
+  size_t begin = 0;
+  for (size_t i = 0; i < chunks; ++i) {
+    size_t end = begin + base + (i < extra ? 1 : 0);
+    out.emplace_back(begin, end);
+    begin = end;
+  }
+  return out;
+}
+
+}  // namespace internal
+
+// Runs chunk_fn(begin, end) over contiguous chunks of [0, n) and merges
+// the per-chunk results into `acc` in chunk order via merge(&acc, part).
+// chunk_fn must not touch shared mutable state; merge runs on the calling
+// thread only.
+template <typename T, typename ChunkFn, typename MergeFn>
+T ParallelReduce(const char* region, size_t n, size_t min_chunk, T acc,
+                 ChunkFn&& chunk_fn, MergeFn&& merge) {
+  std::shared_ptr<ThreadPool> pool;
+  size_t threads = 1;
+  if (n >= 2 * min_chunk && !ThreadPool::OnWorkerThread()) {
+    pool = GlobalPool();
+    if (pool != nullptr) threads = pool->threads();
+  }
+  std::vector<std::pair<size_t, size_t>> ranges =
+      internal::ChunkRanges(n, min_chunk, threads);
+  internal::RegionTimer timer(region, ranges.size(), threads);
+  if (ranges.size() < 2 || pool == nullptr) {
+    if (n > 0) merge(&acc, chunk_fn(size_t{0}, n));
+    return acc;
+  }
+  std::vector<std::optional<T>> parts(ranges.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(ranges.size());
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    tasks.push_back([&parts, &ranges, &chunk_fn, i] {
+      parts[i].emplace(chunk_fn(ranges[i].first, ranges[i].second));
+    });
+  }
+  pool->RunBatch(std::move(tasks));
+  for (std::optional<T>& part : parts) {
+    merge(&acc, std::move(*part));
+  }
+  return acc;
+}
+
+// Runs fn(i) for every i in [0, n). fn typically fills a pre-sized output
+// slot at index i, which makes the result independent of scheduling.
+template <typename Fn>
+void ParallelFor(const char* region, size_t n, size_t min_chunk, Fn&& fn) {
+  struct Unit {};
+  ParallelReduce<Unit>(
+      region, n, min_chunk, Unit{},
+      [&fn](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) fn(i);
+        return Unit{};
+      },
+      [](Unit*, Unit&&) {});
+}
+
+}  // namespace exec
+}  // namespace iqs
+
+#endif  // IQS_EXEC_PARALLEL_H_

@@ -1,0 +1,95 @@
+#ifndef IQS_EXEC_THREAD_POOL_H_
+#define IQS_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace iqs {
+namespace exec {
+
+// Work-stealing thread pool for the parallel execution engine. Each
+// worker owns a deque of tasks; RunBatch distributes a batch round-robin
+// across the worker deques, a worker pops from the front of its own deque
+// and, when empty, steals from the back of a sibling's. The pool reports
+// into the obs registry: exec.pool.tasks (tasks executed),
+// exec.pool.steals, and the exec.pool.threads / exec.pool.queue_depth
+// gauges.
+//
+// The pool is the mechanism only; ParallelFor / ParallelReduce (see
+// parallel.h) layer deterministic chunking and ordered merges on top.
+// Workers never submit batches themselves — parallel regions entered on a
+// worker thread run inline (see OnWorkerThread), which makes nested
+// parallelism safe by construction.
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t threads);
+  // Drains nothing: joins after the stop flag; callers must not destroy
+  // the pool while a RunBatch is in flight.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t threads() const { return workers_.size(); }
+
+  // Runs every task to completion. Tasks may run on any worker in any
+  // order; the caller blocks until all have finished. If one or more
+  // tasks throw, the exception of the lowest-indexed failing task is
+  // rethrown here (the remaining tasks still run). Safe to call from
+  // several threads at once; a call from a pool worker thread runs the
+  // batch inline instead (deadlock safety).
+  void RunBatch(std::vector<std::function<void()>> tasks);
+
+  // True when the calling thread is a worker of any ThreadPool.
+  static bool OnWorkerThread();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t index);
+  // Pops a task: own queue front first, then steal from siblings' backs.
+  bool NextTask(size_t index, std::function<void()>* out);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  // Sleep/wake machinery: pending_ counts queued-but-unclaimed tasks.
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  size_t pending_ = 0;
+  bool stop_ = false;
+  size_t next_queue_ = 0;  // round-robin submit cursor (under wake_mu_)
+};
+
+// Worker count for the process-wide pool: the IQS_THREADS environment
+// variable when set to a positive integer, else the hardware concurrency
+// (at least 1).
+size_t DefaultThreadCount();
+
+// The process-wide pool parallel regions submit to, built lazily with
+// DefaultThreadCount() workers. Returns nullptr when the effective thread
+// count is 1 — callers run inline then.
+std::shared_ptr<ThreadPool> GlobalPool();
+
+// Current effective thread count of the global pool (1 = serial).
+size_t GlobalThreadCount();
+
+// Replaces the global pool with one of `threads` workers (1 = serial
+// execution, no pool). The shell's `set threads N` and the scaling bench
+// use this; do not call concurrently with in-flight parallel regions.
+void SetGlobalThreadCount(size_t threads);
+
+}  // namespace exec
+}  // namespace iqs
+
+#endif  // IQS_EXEC_THREAD_POOL_H_

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/string_util.h"
+#include "exec/parallel.h"
 #include "induction/candidate_generator.h"
 #include "induction/inter_object.h"
 #include "induction/rule_induction.h"
@@ -10,6 +11,29 @@
 #include "obs/trace.h"
 
 namespace iqs {
+
+namespace {
+
+// Deterministic fan-out shared by the induction entry points: runs
+// `fn(i)` (one candidate scheme or one object type each) across the pool,
+// every slot filled independently, then concatenates the slot results in
+// index order — the same rule order and ids the serial loop produced. The
+// first error by slot index wins, matching serial early-exit behaviour.
+Result<std::vector<Rule>> InduceSlots(
+    const char* region, size_t n,
+    const std::function<Result<std::vector<Rule>>(size_t)>& fn) {
+  std::vector<std::optional<Result<std::vector<Rule>>>> slots(n);
+  exec::ParallelFor(region, n, 1,
+                    [&slots, &fn](size_t i) { slots[i].emplace(fn(i)); });
+  std::vector<Rule> out;
+  for (std::optional<Result<std::vector<Rule>>>& slot : slots) {
+    IQS_ASSIGN_OR_RETURN(std::vector<Rule> rules, std::move(*slot));
+    for (Rule& r : rules) out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace
 
 void InductiveLearningSubsystem::AttachIsaReadings(
     std::vector<Rule>* rules) const {
@@ -31,15 +55,15 @@ Result<std::vector<Rule>> InductiveLearningSubsystem::InduceIntraObject(
     const std::string& object_type, const InductionConfig& config) const {
   IQS_ASSIGN_OR_RETURN(std::vector<SchemeCandidate> candidates,
                        IntraObjectCandidates(*catalog_, object_type));
-  std::vector<Rule> out;
-  if (candidates.empty()) return out;
+  if (candidates.empty()) return std::vector<Rule>{};
   IQS_ASSIGN_OR_RETURN(const Relation* relation, db_->Get(object_type));
-  for (const SchemeCandidate& candidate : candidates) {
-    IQS_ASSIGN_OR_RETURN(
-        std::vector<Rule> rules,
-        InduceScheme(*relation, candidate.x_attr, candidate.y_attr, config));
-    for (Rule& r : rules) out.push_back(std::move(r));
-  }
+  IQS_ASSIGN_OR_RETURN(
+      std::vector<Rule> out,
+      InduceSlots("exec.induce.intra", candidates.size(),
+                  [&](size_t i) -> Result<std::vector<Rule>> {
+                    return InduceScheme(*relation, candidates[i].x_attr,
+                                        candidates[i].y_attr, config);
+                  }));
   AttachIsaReadings(&out);
   return out;
 }
@@ -77,22 +101,30 @@ Result<std::vector<Rule>> InductiveLearningSubsystem::InduceInterObject(
     }
   }
 
-  std::vector<Rule> out;
+  // Enumerate the candidate (X, Y) pairs in the serial nesting order,
+  // then fan them out across the pool.
+  std::vector<std::pair<const std::string*, const std::string*>> pairs;
   for (size_t i = 0; i < roles.size(); ++i) {
     for (const std::string& x : pools[i].sources) {
       for (size_t j = 0; j < roles.size(); ++j) {
         if (j == i) continue;
         for (const std::string& y : pools[j].targets) {
-          IQS_ASSIGN_OR_RETURN(std::vector<Rule> rules,
-                               InduceScheme(view, x, y, config));
-          for (Rule& r : rules) {
-            r.source_relation = relationship;
-            out.push_back(std::move(r));
-          }
+          pairs.emplace_back(&x, &y);
         }
       }
     }
   }
+  IQS_ASSIGN_OR_RETURN(
+      std::vector<Rule> out,
+      InduceSlots("exec.induce.inter", pairs.size(),
+                  [&](size_t p) -> Result<std::vector<Rule>> {
+                    IQS_ASSIGN_OR_RETURN(
+                        std::vector<Rule> rules,
+                        InduceScheme(view, *pairs[p].first, *pairs[p].second,
+                                     config));
+                    for (Rule& r : rules) r.source_relation = relationship;
+                    return rules;
+                  }));
   AttachIsaReadings(&out);
   return out;
 }
@@ -102,19 +134,29 @@ Result<RuleSet> InductiveLearningSubsystem::InduceAll(
   IQS_TRACE_SCOPE("ils.induce_all");
   IQS_COUNTER_INC("ils.induce_all.count");
   auto start = std::chrono::steady_clock::now();
+  // Fan object types (then relationship types) out across the pool; the
+  // ordered merge in InduceSlots keeps rule order — and therefore the ids
+  // RuleSet assigns — identical to the serial loop. Scheme fan-out inside
+  // each type runs inline on the worker (nested regions do not resubmit).
   RuleSet out;
+  std::vector<std::string> intra;
   for (const std::string& name : catalog_->ObjectTypeNames()) {
-    if (!db_->Contains(name)) continue;
-    IQS_ASSIGN_OR_RETURN(std::vector<Rule> rules,
-                         InduceIntraObject(name, config));
-    out.AddAll(std::move(rules));
+    if (db_->Contains(name)) intra.push_back(name);
   }
+  IQS_ASSIGN_OR_RETURN(
+      std::vector<Rule> intra_rules,
+      InduceSlots("exec.induce.types", intra.size(),
+                  [&](size_t i) { return InduceIntraObject(intra[i], config); }));
+  out.AddAll(std::move(intra_rules));
+  std::vector<std::string> inter;
   for (const std::string& name : catalog_->RelationshipTypeNames()) {
-    if (!db_->Contains(name)) continue;
-    IQS_ASSIGN_OR_RETURN(std::vector<Rule> rules,
-                         InduceInterObject(name, config));
-    out.AddAll(std::move(rules));
+    if (db_->Contains(name)) inter.push_back(name);
   }
+  IQS_ASSIGN_OR_RETURN(
+      std::vector<Rule> inter_rules,
+      InduceSlots("exec.induce.types", inter.size(),
+                  [&](size_t i) { return InduceInterObject(inter[i], config); }));
+  out.AddAll(std::move(inter_rules));
   IQS_HISTOGRAM_OBSERVE(
       "ils.induce_all.micros",
       std::chrono::duration_cast<std::chrono::microseconds>(

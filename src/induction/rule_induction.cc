@@ -3,6 +3,7 @@
 #include <map>
 #include <set>
 
+#include "exec/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "relational/algebra.h"
@@ -30,14 +31,28 @@ Result<std::vector<Rule>> InduceSchemeWithStats(const Relation& relation,
 
   // Step 1: distinct (X, Y) pairs. Nulls do not participate in rules.
   // Step 2 needs per-X grouping, so collect Y values per X directly; the
-  // map's value ordering gives us the sorted enumeration of X.
-  std::map<Value, std::set<Value>> ys_of_x;
-  for (const Tuple& t : relation.rows()) {
-    const Value& x = t.at(xi);
-    const Value& y = t.at(yi);
-    if (x.is_null() || y.is_null()) continue;
-    ys_of_x[x].insert(y);
-  }
+  // map's value ordering gives us the sorted enumeration of X. The scan
+  // partitions into per-chunk maps merged by set union — commutative over
+  // ordered containers, so the result is partition-independent.
+  const std::vector<Tuple>& all_rows = relation.rows();
+  using PairMap = std::map<Value, std::set<Value>>;
+  PairMap ys_of_x = exec::ParallelReduce<PairMap>(
+      "exec.induce.pairs", all_rows.size(), 512, {},
+      [&all_rows, xi, yi](size_t begin, size_t end) {
+        PairMap local;
+        for (size_t i = begin; i < end; ++i) {
+          const Value& x = all_rows[i].at(xi);
+          const Value& y = all_rows[i].at(yi);
+          if (x.is_null() || y.is_null()) continue;
+          local[x].insert(y);
+        }
+        return local;
+      },
+      [](PairMap* acc, PairMap&& part) {
+        for (auto& [x, ys] : part) {
+          (*acc)[x].merge(ys);
+        }
+      });
   for (const auto& [x, ys] : ys_of_x) {
     stats->distinct_pairs += ys.size();
   }
@@ -85,25 +100,36 @@ Result<std::vector<Rule>> InduceSchemeWithStats(const Relation& relation,
   // runs. (Under kDatabaseDomain the LHS alone implies the RHS for every
   // instance with a non-null Y; under kRemainingDomain counting the
   // conjunction keeps support honest.)
-  std::vector<int64_t> support(runs.size(), 0);
-  for (const Tuple& t : relation.rows()) {
-    const Value& x = t.at(xi);
-    const Value& y = t.at(yi);
-    if (x.is_null() || y.is_null()) continue;
-    // Last run with x_lo <= x.
-    size_t lo = 0, hi = runs.size();
-    while (lo < hi) {
-      size_t mid = lo + (hi - lo) / 2;
-      if (runs[mid].x_lo <= x) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    if (lo == 0) continue;
-    const Run& run = runs[lo - 1];
-    if (x <= run.x_hi && y == run.y) support[lo - 1] += 1;
-  }
+  // Per-partition support counters summed per run index: integer adds,
+  // so the totals are partition-independent.
+  std::vector<int64_t> support = exec::ParallelReduce<std::vector<int64_t>>(
+      "exec.induce.support", all_rows.size(), 512,
+      std::vector<int64_t>(runs.size(), 0),
+      [&all_rows, &runs, xi, yi](size_t begin, size_t end) {
+        std::vector<int64_t> local(runs.size(), 0);
+        for (size_t i = begin; i < end; ++i) {
+          const Value& x = all_rows[i].at(xi);
+          const Value& y = all_rows[i].at(yi);
+          if (x.is_null() || y.is_null()) continue;
+          // Last run with x_lo <= x.
+          size_t lo = 0, hi = runs.size();
+          while (lo < hi) {
+            size_t mid = lo + (hi - lo) / 2;
+            if (runs[mid].x_lo <= x) {
+              lo = mid + 1;
+            } else {
+              hi = mid;
+            }
+          }
+          if (lo == 0) continue;
+          const Run& run = runs[lo - 1];
+          if (x <= run.x_hi && y == run.y) local[lo - 1] += 1;
+        }
+        return local;
+      },
+      [](std::vector<int64_t>* acc, std::vector<int64_t>&& part) {
+        for (size_t i = 0; i < part.size(); ++i) (*acc)[i] += part[i];
+      });
 
   // Family completeness: a consequent value y is covered completely iff
   // no X value mapping to y was inconsistent and none of y's runs gets

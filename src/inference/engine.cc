@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/string_util.h"
+#include "exec/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rules/subsumption.h"
@@ -114,12 +115,25 @@ Result<std::vector<Fact>> InferenceEngine::Forward(
     for (const Fact& f : facts) {
       if (f.kind == Fact::Kind::kRange) known.push_back(f.clause);
     }
-    for (const Rule& rule : rules.rules()) {
-      if (rule.lhs.empty()) continue;
-      if (!LhsSubsumesConditions(rule, known, domains,
-                                 AttributeMatch::kBaseName)) {
-        continue;
-      }
+    // Parallel match phase: subsumption tests read only the `known`
+    // snapshot and the active domains, so each rule's verdict lands in
+    // its own slot. The fire phase below stays serial in rule order —
+    // fact insertion order (and thus the derivation) is deterministic and
+    // identical to the serial loop, whose matching could not see facts
+    // added within the same iteration either.
+    const std::vector<Rule>& all_rules = rules.rules();
+    std::vector<char> matched(all_rules.size(), 0);
+    exec::ParallelFor(
+        "exec.infer.match", all_rules.size(), 32,
+        [&all_rules, &matched, &known, &domains](size_t i) {
+          const Rule& rule = all_rules[i];
+          matched[i] = !rule.lhs.empty() &&
+                       LhsSubsumesConditions(rule, known, domains,
+                                             AttributeMatch::kBaseName);
+        });
+    for (size_t i = 0; i < all_rules.size(); ++i) {
+      if (!matched[i]) continue;
+      const Rule& rule = all_rules[i];
       IQS_COUNTER_INC("infer.forward.firings");
       // Modus ponens: the consequent holds of every answer tuple.
       if (!StartsWith(rule.rhs.clause.attribute(), "isa(")) {
@@ -239,7 +253,10 @@ std::optional<std::string> InferenceEngine::DetectContradiction(
 
 Result<IntensionalAnswer> InferenceEngine::Infer(
     const QueryDescription& query, InferenceMode mode) const {
-  return InferWith(query, mode, dictionary_->induced_rules());
+  // Hold a snapshot so a concurrent re-induction cannot swap the rule
+  // base out from under the inference pass.
+  std::shared_ptr<const RuleSet> rules = dictionary_->induced_rules_snapshot();
+  return InferWith(query, mode, *rules);
 }
 
 Result<IntensionalAnswer> InferenceEngine::InferWith(

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/string_util.h"
+#include "exec/parallel.h"
 
 namespace iqs {
 
@@ -50,11 +51,33 @@ Relation QualifyAttributes(const Relation& input) {
 }
 
 Result<Relation> Select(const Relation& input, const Predicate& pred) {
+  // Partitioned scan: chunks evaluate the predicate independently into
+  // local row vectors, concatenated in chunk order — the output row order
+  // (and the first error reported) matches the serial scan exactly.
+  const std::vector<Tuple>& rows = input.rows();
+  using Part = Result<std::vector<Tuple>>;
+  Part kept = exec::ParallelReduce<Part>(
+      "exec.scan", rows.size(), 256, std::vector<Tuple>{},
+      [&rows, &pred](size_t begin, size_t end) -> Part {
+        std::vector<Tuple> local;
+        for (size_t i = begin; i < end; ++i) {
+          IQS_ASSIGN_OR_RETURN(bool keep, pred.Eval(rows[i]));
+          if (keep) local.push_back(rows[i]);
+        }
+        return local;
+      },
+      [](Part* acc, Part&& part) {
+        if (!acc->ok()) return;
+        if (!part.ok()) {
+          *acc = std::move(part);
+          return;
+        }
+        std::vector<Tuple>& dst = **acc;
+        for (Tuple& t : *part) dst.push_back(std::move(t));
+      });
+  if (!kept.ok()) return kept.status();
   Relation out(input.name() + "+sel", StripKeys(input.schema()));
-  for (const Tuple& t : input.rows()) {
-    IQS_ASSIGN_OR_RETURN(bool keep, pred.Eval(t));
-    if (keep) out.AppendUnchecked(t);
-  }
+  for (Tuple& t : *kept) out.AppendUnchecked(std::move(t));
   return out;
 }
 
@@ -214,10 +237,20 @@ Result<int64_t> AggregateCount(const Relation& input,
 Result<Relation> GroupCount(const Relation& input,
                             const std::string& group_attr) {
   IQS_ASSIGN_OR_RETURN(size_t idx, input.schema().IndexOf(group_attr));
-  std::map<Value, int64_t> counts;
-  for (const Tuple& t : input.rows()) {
-    counts[t.at(idx)] += 1;
-  }
+  // Per-partition count maps merged by integer addition: associative and
+  // lands in an ordered map, so the result is independent of partitioning.
+  const std::vector<Tuple>& rows = input.rows();
+  std::map<Value, int64_t> counts = exec::ParallelReduce<
+      std::map<Value, int64_t>>(
+      "exec.aggregate", rows.size(), 512, {},
+      [&rows, idx](size_t begin, size_t end) {
+        std::map<Value, int64_t> local;
+        for (size_t i = begin; i < end; ++i) local[rows[i].at(idx)] += 1;
+        return local;
+      },
+      [](std::map<Value, int64_t>* acc, std::map<Value, int64_t>&& part) {
+        for (auto& [value, count] : part) (*acc)[value] += count;
+      });
   AttributeDef group_def = input.schema().attribute(idx);
   group_def.is_key = false;
   IQS_ASSIGN_OR_RETURN(

@@ -6,11 +6,14 @@
 #include <set>
 
 #include "common/string_util.h"
+#include "exec/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sql/sql_parser.h"
 
 namespace iqs {
+
+thread_local SqlExecutor::ExecutionStats SqlExecutor::stats_;
 
 namespace {
 
@@ -393,15 +396,36 @@ Result<Relation> SqlExecutor::ExecuteInternal(
     }
   }
 
-  // Filter with the full WHERE clause.
+  // Filter with the full WHERE clause. Partitioned scan: chunks keep
+  // local row vectors concatenated in chunk order, so row order and the
+  // first reported error match the serial scan.
   if (stmt.where != nullptr) {
     IQS_ASSIGN_OR_RETURN(PredicatePtr pred,
                          BindExpr(working.schema(), *stmt.where));
+    const std::vector<Tuple>& rows = working.rows();
+    using Part = Result<std::vector<Tuple>>;
+    Part kept = exec::ParallelReduce<Part>(
+        "exec.scan", rows.size(), 256, std::vector<Tuple>{},
+        [&rows, &pred](size_t begin, size_t end) -> Part {
+          std::vector<Tuple> local;
+          for (size_t i = begin; i < end; ++i) {
+            IQS_ASSIGN_OR_RETURN(bool keep, pred->Eval(rows[i]));
+            if (keep) local.push_back(rows[i]);
+          }
+          return local;
+        },
+        [](Part* acc, Part&& part) {
+          if (!acc->ok()) return;
+          if (!part.ok()) {
+            *acc = std::move(part);
+            return;
+          }
+          std::vector<Tuple>& dst = **acc;
+          for (Tuple& t : *part) dst.push_back(std::move(t));
+        });
+    if (!kept.ok()) return kept.status();
     Relation filtered(working.name(), working.schema());
-    for (const Tuple& t : working.rows()) {
-      IQS_ASSIGN_OR_RETURN(bool keep, pred->Eval(t));
-      if (keep) filtered.AppendUnchecked(t);
-    }
+    for (Tuple& t : *kept) filtered.AppendUnchecked(std::move(t));
     working = std::move(filtered);
   }
 
@@ -593,20 +617,30 @@ Result<Relation> SqlExecutor::ExecuteAggregate(const Relation& working,
   Relation out("result", std::move(schema));
 
   // Group rows (group key compares by Tuple order). Without GROUP BY,
-  // everything is one group — present even for empty input.
-  std::map<Tuple, std::vector<size_t>> groups;
-  if (group_cols.empty()) {
-    groups[Tuple()] = {};
-    for (size_t r = 0; r < working.size(); ++r) {
-      groups[Tuple()].push_back(r);
-    }
-  } else {
-    for (size_t r = 0; r < working.size(); ++r) {
-      Tuple key;
-      for (size_t g : group_cols) key.Append(working.row(r).at(g));
-      groups[key].push_back(r);
-    }
-  }
+  // everything is one group — present even for empty input. Partitioned
+  // grouping: chunks build local key -> row-index maps, merged in chunk
+  // order so each group's index list stays ascending; the per-group
+  // accumulation below then visits rows in exactly the serial order
+  // (which keeps even float SUM/AVG byte-identical).
+  using GroupMap = std::map<Tuple, std::vector<size_t>>;
+  GroupMap groups = exec::ParallelReduce<GroupMap>(
+      "exec.aggregate", working.size(), 512, {},
+      [&working, &group_cols](size_t begin, size_t end) {
+        GroupMap local;
+        for (size_t r = begin; r < end; ++r) {
+          Tuple key;
+          for (size_t g : group_cols) key.Append(working.row(r).at(g));
+          local[std::move(key)].push_back(r);
+        }
+        return local;
+      },
+      [](GroupMap* acc, GroupMap&& part) {
+        for (auto& [key, rows] : part) {
+          std::vector<size_t>& dst = (*acc)[key];
+          dst.insert(dst.end(), rows.begin(), rows.end());
+        }
+      });
+  if (group_cols.empty() && groups.empty()) groups[Tuple()] = {};
 
   for (const auto& [key, rows] : groups) {
     Tuple result_row;

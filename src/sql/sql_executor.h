@@ -35,6 +35,9 @@ class SqlExecutor {
     size_t base_rows_loaded = 0;  // rows materialized across FROM tables
     size_t rows_returned = 0;     // result cardinality
   };
+  // Stats of the last query executed ON THE CALLING THREAD. The slot is
+  // thread-local so one executor can serve concurrent queries without the
+  // bookkeeping of one racing the reporting of another.
   const ExecutionStats& last_stats() const { return stats_; }
 
   // Resolves `ref` against a working schema whose attributes are named
@@ -76,7 +79,7 @@ class SqlExecutor {
                                      const SqlOperand& other);
 
   const Database* db_;
-  mutable ExecutionStats stats_;
+  static thread_local ExecutionStats stats_;
 };
 
 }  // namespace iqs

@@ -1,0 +1,157 @@
+// Concurrent use of one IqsSystem: SELECTs, EXPLAIN ANALYZE-style traced
+// queries, and re-induction all race against each other. The rule base is
+// swapped atomically (DataDictionary snapshots), extensional answers are
+// rule-independent, and per-thread results must match the serial run.
+// Labeled "stress" in ctest; build with -DIQS_SANITIZE=thread and run
+// `ctest -L stress` (or the check-tsan target) for the ThreadSanitizer
+// pass. Everything is seeded — no wall-clock or random scheduling inputs
+// beyond the OS scheduler itself.
+
+#include <atomic>
+#include <map>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "gtest/gtest.h"
+#include "obs/trace.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+#ifdef IQS_TSAN
+constexpr int kIterations = 8;  // TSan multiplies runtime ~10x
+#else
+constexpr int kIterations = 40;
+#endif
+
+const std::vector<std::string>& StressQueries() {
+  static const std::vector<std::string> queries = {
+      Example1Sql(),
+      Example2Sql(),
+      Example3Sql(),
+      "SELECT Id FROM SUBMARINE WHERE SUBMARINE.Class = '0204'",
+      "SELECT Type, COUNT(*) FROM CLASS GROUP BY Type ORDER BY Type",
+  };
+  return queries;
+}
+
+TEST(ConcurrencyStressTest, MixedQueriesExplainAndReinduction) {
+  auto system = testing_util::ShipSystemOrFail();
+  ASSERT_TRUE(system);
+  InductionConfig nc3;
+  nc3.min_support = 3;
+  ASSERT_OK(system->Induce(nc3));
+  exec::SetGlobalThreadCount(4);
+
+  // Serial baseline: the extensional table per query (rule-base swaps
+  // change intensional prose, never the extensional rows).
+  std::map<std::string, std::string> expected;
+  for (const std::string& sql : StressQueries()) {
+    auto result = system->Query(sql);
+    ASSERT_TRUE(result.ok()) << sql << " -> " << result.status();
+    expected[sql] = result->extensional.ToTable();
+  }
+
+  std::atomic<int> failures{0};
+  auto note_failure = [&failures](const std::string& what) {
+    failures.fetch_add(1);
+    ADD_FAILURE() << what;
+  };
+
+  std::vector<std::thread> threads;
+  // Three query threads, each with its own seeded query order.
+  for (unsigned seed = 1; seed <= 3; ++seed) {
+    threads.emplace_back([&, seed] {
+      std::mt19937 rng(seed);
+      std::uniform_int_distribution<size_t> pick(0, StressQueries().size() - 1);
+      for (int i = 0; i < kIterations && failures.load() == 0; ++i) {
+        const std::string& sql = StressQueries()[pick(rng)];
+        auto result = system->Query(sql);
+        if (!result.ok()) {
+          note_failure(sql + " -> " + result.status().ToString());
+          continue;
+        }
+        if (result->extensional.ToTable() != expected[sql]) {
+          note_failure("extensional drift under concurrency: " + sql);
+        }
+      }
+    });
+  }
+  // One EXPLAIN ANALYZE thread: query + prose under a scoped trace (the
+  // shell's explain path).
+  threads.emplace_back([&] {
+    for (int i = 0; i < kIterations && failures.load() == 0; ++i) {
+      obs::ScopedTrace scope("stress.explain");
+      auto result = system->Query(StressQueries()[i % StressQueries().size()]);
+      if (!result.ok()) {
+        note_failure("explain query -> " + result.status().ToString());
+        continue;
+      }
+      std::string prose = system->Explain(*result);
+      if (prose.empty()) note_failure("empty explain prose");
+    }
+  });
+  // One re-induction thread alternating thresholds, swapping the rule
+  // base under the query threads.
+  threads.emplace_back([&] {
+    InductionConfig nc1;
+    nc1.min_support = 1;
+    for (int i = 0; i < kIterations && failures.load() == 0; ++i) {
+      Status s = system->Induce(i % 2 == 0 ? nc1 : nc3);
+      if (!s.ok()) note_failure("induce -> " + s.ToString());
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  exec::SetGlobalThreadCount(1);
+
+  // The system must settle back to the canonical Nc=3 rule base.
+  ASSERT_OK(system->Induce(nc3));
+  EXPECT_EQ(system->dictionary().induced_rules().size(), 18u);
+  for (const std::string& sql : StressQueries()) {
+    auto result = system->Query(sql);
+    ASSERT_TRUE(result.ok()) << sql;
+    EXPECT_EQ(result->extensional.ToTable(), expected[sql]) << sql;
+  }
+}
+
+TEST(ConcurrencyStressTest, ConcurrentReinductionConverges) {
+  // Two threads re-inducing with the same config while two more read
+  // AllRules(): the final state equals a clean single-threaded run.
+  auto system = testing_util::ShipSystemOrFail();
+  ASSERT_TRUE(system);
+  InductionConfig nc3;
+  nc3.min_support = 3;
+  ASSERT_OK(system->Induce(nc3));
+  const std::string canonical =
+      system->dictionary().induced_rules().ToString();
+  exec::SetGlobalThreadCount(2);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIterations; ++i) {
+        if (!system->Induce(nc3).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIterations; ++i) {
+        RuleSet all = system->dictionary().AllRules();
+        if (all.empty()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  exec::SetGlobalThreadCount(1);
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(system->dictionary().induced_rules().ToString(), canonical);
+}
+
+}  // namespace
+}  // namespace iqs

@@ -1,0 +1,153 @@
+// Golden intensional answers: each query's rendered answer (extensional
+// table + intensional prose) is pinned to a file under tests/golden/.
+// Regenerate after an intentional output change with
+//
+//   ./iqs_golden_tests --update-golden
+//
+// which rewrites the files in the source tree (IQS_GOLDEN_DIR).
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+bool update_golden = false;
+
+struct GoldenCase {
+  const char* name;  // golden file stem
+  const char* sql;
+};
+
+// Ship testbed (paper Appendix C): the three worked examples plus
+// selections and aggregates that exercise inference over every rule
+// family.
+const std::vector<GoldenCase>& ShipCases() {
+  static const std::vector<GoldenCase> cases = {
+      {"ship_example1", nullptr},  // filled from Example1Sql() below
+      {"ship_example2", nullptr},
+      {"ship_example3", nullptr},
+      {"ship_class_0204",
+       "SELECT Id FROM SUBMARINE WHERE SUBMARINE.Class = '0204'"},
+      {"ship_heavy_classes",
+       "SELECT ClassName, Type FROM CLASS WHERE Displacement >= 7250"},
+      {"ship_type_counts",
+       "SELECT Type, COUNT(*) FROM CLASS GROUP BY Type ORDER BY Type"},
+      {"ship_sonar_range",
+       "SELECT Sonar FROM SONAR WHERE SONAR.SonarType = 'BQQ'"},
+  };
+  return cases;
+}
+
+const std::vector<GoldenCase>& EmployeeCases() {
+  static const std::vector<GoldenCase> cases = {
+      {"employee_high_salary",
+       "SELECT Name FROM EMPLOYEE WHERE Salary > 100000"},
+      {"employee_seniors",
+       "SELECT Name, Position FROM EMPLOYEE WHERE Age >= 40"},
+      {"employee_position_counts",
+       "SELECT Position, COUNT(*) FROM EMPLOYEE GROUP BY Position "
+       "ORDER BY Position"},
+  };
+  return cases;
+}
+
+std::string GoldenPath(const std::string& stem) {
+  return std::string(IQS_GOLDEN_DIR) + "/" + stem + ".txt";
+}
+
+std::string Render(IqsSystem& system, const std::string& sql) {
+  auto result = system.Query(sql);
+  EXPECT_TRUE(result.ok()) << sql << " -> " << result.status();
+  if (!result.ok()) return {};
+  std::string out = "-- query --\n" + sql + "\n-- extensional --\n";
+  out += result->extensional.ToTable();
+  out += "-- intensional --\n";
+  out += system.Explain(*result);
+  return out;
+}
+
+void CheckOrUpdate(const std::string& stem, const std::string& rendered) {
+  ASSERT_FALSE(rendered.empty()) << stem;
+  const std::string path = GoldenPath(stem);
+  if (update_golden) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << rendered;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (run with --update-golden to create it)";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(rendered, expected.str())
+      << "golden mismatch for " << path
+      << " (rerun with --update-golden if the change is intentional)";
+}
+
+class GoldenAnswersTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ship_ = testing_util::ShipSystemOrFail().release();
+    employee_ = testing_util::EmployeeSystemOrFail().release();
+    InductionConfig config;
+    config.min_support = 3;
+    if (ship_ != nullptr) ASSERT_OK(ship_->Induce(config));
+    if (employee_ != nullptr) ASSERT_OK(employee_->Induce(config));
+  }
+  static void TearDownTestSuite() {
+    delete ship_;
+    delete employee_;
+    ship_ = nullptr;
+    employee_ = nullptr;
+  }
+  static IqsSystem* ship_;
+  static IqsSystem* employee_;
+};
+
+IqsSystem* GoldenAnswersTest::ship_ = nullptr;
+IqsSystem* GoldenAnswersTest::employee_ = nullptr;
+
+TEST_F(GoldenAnswersTest, ShipQueriesMatchGoldenFiles) {
+  ASSERT_NE(ship_, nullptr);
+  for (const GoldenCase& c : ShipCases()) {
+    std::string sql;
+    if (c.sql != nullptr) {
+      sql = c.sql;
+    } else if (std::strcmp(c.name, "ship_example1") == 0) {
+      sql = Example1Sql();
+    } else if (std::strcmp(c.name, "ship_example2") == 0) {
+      sql = Example2Sql();
+    } else {
+      sql = Example3Sql();
+    }
+    CheckOrUpdate(c.name, Render(*ship_, sql));
+  }
+}
+
+TEST_F(GoldenAnswersTest, EmployeeQueriesMatchGoldenFiles) {
+  ASSERT_NE(employee_, nullptr);
+  for (const GoldenCase& c : EmployeeCases()) {
+    CheckOrUpdate(c.name, Render(*employee_, c.sql));
+  }
+}
+
+}  // namespace
+}  // namespace iqs
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update-golden") == 0) {
+      iqs::update_golden = true;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

@@ -10,12 +10,9 @@ namespace {
 class IlsShipTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    auto db = BuildShipDatabase();
-    ASSERT_TRUE(db.ok()) << db.status();
-    db_ = std::move(db).value();
-    auto catalog = BuildShipCatalog();
-    ASSERT_TRUE(catalog.ok()) << catalog.status();
-    catalog_ = std::move(catalog).value();
+    db_ = testing_util::ShipDatabaseOrFail();
+    catalog_ = testing_util::ShipCatalogOrFail();
+    ASSERT_TRUE(db_ != nullptr && catalog_ != nullptr);
     ils_ = std::make_unique<InductiveLearningSubsystem>(db_.get(),
                                                         catalog_.get());
   }

@@ -145,7 +145,15 @@ TEST(RegistryTest, JsonCarriesNamesAndValues) {
 }
 
 #ifndef IQS_OBS_DISABLED
-TEST(MacroTest, CounterMacroReportsIntoGlobalRegistry) {
+// Tests that touch the process-wide registry reset it first, so values
+// left behind by other tests (or by parallel execution regions, which
+// report exec.pool.* metrics) cannot leak in.
+class MacroTest : public ::testing::Test {
+ protected:
+  void SetUp() override { GlobalMetrics().ResetAll(); }
+};
+
+TEST_F(MacroTest, CounterMacroReportsIntoGlobalRegistry) {
   Counter* c = GlobalMetrics().GetCounter("test.macro.counter");
   uint64_t before = c->value();
   IQS_COUNTER_INC("test.macro.counter");

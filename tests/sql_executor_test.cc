@@ -12,9 +12,8 @@ using testing_util::ColumnText;
 class SqlExecutorTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    auto db = BuildShipDatabase();
-    ASSERT_TRUE(db.ok()) << db.status();
-    db_ = std::move(db).value();
+    db_ = testing_util::ShipDatabaseOrFail();
+    ASSERT_TRUE(db_);
     executor_ = std::make_unique<SqlExecutor>(db_.get());
   }
 
@@ -177,12 +176,12 @@ TEST_F(SqlExecutorTest, ExecutionStatsMatchFixtureCardinalities) {
 }
 
 TEST_F(SqlExecutorTest, QueryStatsFlowThroughTheAssembledSystem) {
-  auto system = BuildShipSystem();
-  ASSERT_TRUE(system.ok()) << system.status();
+  auto system = testing_util::ShipSystemOrFail();
+  ASSERT_TRUE(system);
   InductionConfig config;
   config.min_support = 3;
-  ASSERT_TRUE((*system)->Induce(config).ok());
-  auto result = (*system)->Query(Example1Sql());
+  ASSERT_TRUE(system->Induce(config).ok());
+  auto result = system->Query(Example1Sql());
   ASSERT_TRUE(result.ok()) << result.status();
   const QueryStats& stats = result->stats;
   EXPECT_EQ(stats.rows_scanned, 37u);   // SUBMARINE (24) + CLASS (13)

@@ -1,12 +1,15 @@
 #ifndef IQS_TESTS_TEST_UTIL_H_
 #define IQS_TESTS_TEST_UTIL_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
 #include "relational/relation.h"
 #include "rules/rule.h"
+#include "testbed/employee_db.h"
+#include "testbed/ship_db.h"
 
 // Assertion helpers for Status / Result<T>.
 #define ASSERT_OK(expr)                                 \
@@ -37,6 +40,39 @@
 
 namespace iqs {
 namespace testing_util {
+
+// Unwraps a testbed builder Result, recording a test failure (and
+// returning null) on error. Callers ASSERT on the returned pointer.
+template <typename T>
+std::unique_ptr<T> UnwrapOrFail(Result<std::unique_ptr<T>> result,
+                                const char* what) {
+  EXPECT_TRUE(result.ok()) << what << ": " << result.status();
+  return result.ok() ? std::move(result).value() : nullptr;
+}
+
+// The Appendix-C ship testbed, unwrapped. Shared by the executor,
+// induction, and integration suites, which previously each re-rolled
+// this boilerplate.
+inline std::unique_ptr<Database> ShipDatabaseOrFail() {
+  return UnwrapOrFail(BuildShipDatabase(), "BuildShipDatabase");
+}
+inline std::unique_ptr<KerCatalog> ShipCatalogOrFail() {
+  return UnwrapOrFail(BuildShipCatalog(), "BuildShipCatalog");
+}
+inline std::unique_ptr<IqsSystem> ShipSystemOrFail() {
+  return UnwrapOrFail(BuildShipSystem(), "BuildShipSystem");
+}
+
+// The employee testbed, unwrapped.
+inline std::unique_ptr<Database> EmployeeDatabaseOrFail() {
+  return UnwrapOrFail(BuildEmployeeDatabase(), "BuildEmployeeDatabase");
+}
+inline std::unique_ptr<KerCatalog> EmployeeCatalogOrFail() {
+  return UnwrapOrFail(BuildEmployeeCatalog(), "BuildEmployeeCatalog");
+}
+inline std::unique_ptr<IqsSystem> EmployeeSystemOrFail() {
+  return UnwrapOrFail(BuildEmployeeSystem(), "BuildEmployeeSystem");
+}
 
 // Builds a relation from a schema and text rows (fields parsed with
 // Value::FromText per attribute type).

@@ -9,7 +9,8 @@ namespace iqs {
 namespace {
 
 TEST(ShipDbTest, AppendixCRowCounts) {
-  ASSERT_OK_AND_ASSIGN(auto db, BuildShipDatabase());
+  auto db = testing_util::ShipDatabaseOrFail();
+  ASSERT_TRUE(db);
   struct Expected {
     const char* relation;
     size_t rows;
@@ -23,8 +24,10 @@ TEST(ShipDbTest, AppendixCRowCounts) {
 }
 
 TEST(ShipDbTest, EveryShipTupleSatisfiesTheKerSchema) {
-  ASSERT_OK_AND_ASSIGN(auto db, BuildShipDatabase());
-  ASSERT_OK_AND_ASSIGN(auto catalog, BuildShipCatalog());
+  auto db = testing_util::ShipDatabaseOrFail();
+  ASSERT_TRUE(db);
+  auto catalog = testing_util::ShipCatalogOrFail();
+  ASSERT_TRUE(catalog);
   // CLASS rows must pass the declared domain + range constraints. The
   // relation column order is Appendix-C's (Class, ClassName, Type,
   // Displacement); the object type declares (Class, Type, ClassName,
@@ -46,7 +49,8 @@ TEST(ShipDbTest, EveryShipTupleSatisfiesTheKerSchema) {
 }
 
 TEST(ShipDbTest, InstallReferencesResolve) {
-  ASSERT_OK_AND_ASSIGN(auto db, BuildShipDatabase());
+  auto db = testing_util::ShipDatabaseOrFail();
+  ASSERT_TRUE(db);
   ASSERT_OK_AND_ASSIGN(const Relation* install, db->Get("INSTALL"));
   ASSERT_OK_AND_ASSIGN(const Relation* ships, db->Get("SUBMARINE"));
   ASSERT_OK_AND_ASSIGN(const Relation* sonars, db->Get("SONAR"));
@@ -62,7 +66,8 @@ TEST(ShipDbTest, InstallReferencesResolve) {
 }
 
 TEST(ShipDbTest, HierarchyHasFifteenSubmarineTypes) {
-  ASSERT_OK_AND_ASSIGN(auto catalog, BuildShipCatalog());
+  auto catalog = testing_util::ShipCatalogOrFail();
+  ASSERT_TRUE(catalog);
   ASSERT_OK_AND_ASSIGN(auto subs,
                        catalog->hierarchy().SubtypesOf("SUBMARINE"));
   EXPECT_EQ(subs.size(), 15u);  // SSBN + SSN + 13 classes
@@ -157,7 +162,8 @@ TEST(FleetGeneratorTest, SplitMixIsDeterministic) {
 }
 
 TEST(EmployeeDbTest, SystemInducesSalaryRules) {
-  ASSERT_OK_AND_ASSIGN(auto system, BuildEmployeeSystem());
+  auto system = testing_util::EmployeeSystemOrFail();
+  ASSERT_TRUE(system);
   InductionConfig config;
   config.min_support = 3;
   ASSERT_OK(system->Induce(config));
@@ -178,7 +184,8 @@ TEST(EmployeeDbTest, SystemInducesSalaryRules) {
 }
 
 TEST(EmployeeDbTest, EndToEndQuery) {
-  ASSERT_OK_AND_ASSIGN(auto system, BuildEmployeeSystem());
+  auto system = testing_util::EmployeeSystemOrFail();
+  ASSERT_TRUE(system);
   InductionConfig config;
   config.min_support = 3;
   ASSERT_OK(system->Induce(config));
@@ -192,7 +199,8 @@ TEST(EmployeeDbTest, EndToEndQuery) {
 }
 
 TEST(EmployeeDbTest, DeclaredAgeConstraintDetectsEmptyQueries) {
-  ASSERT_OK_AND_ASSIGN(auto system, BuildEmployeeSystem());
+  auto system = testing_util::EmployeeSystemOrFail();
+  ASSERT_TRUE(system);
   DataDictionary& dictionary = system->dictionary();
   ConstraintBaseline baseline(&dictionary);
   QueryDescription query;

@@ -1,0 +1,184 @@
+#include "exec/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exec/parallel.h"
+#include "gtest/gtest.h"
+
+namespace iqs {
+namespace exec {
+namespace {
+
+std::vector<std::function<void()>> CountingTasks(std::atomic<int>* counter,
+                                                 size_t n) {
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    tasks.push_back([counter] { counter->fetch_add(1); });
+  }
+  return tasks;
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4u);
+  std::atomic<int> counter{0};
+  pool.RunBatch(CountingTasks(&counter, 100));
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, EmptyBatchReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.RunBatch({});
+}
+
+TEST(ThreadPoolTest, StartStopReentry) {
+  // Pools must come up and tear down cleanly over and over (the global
+  // pool is resized by `set threads N` mid-session).
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 8; ++round) {
+    ThreadPool pool(1 + round % 3);
+    pool.RunBatch(CountingTasks(&counter, 10));
+    pool.RunBatch(CountingTasks(&counter, 10));
+  }
+  EXPECT_EQ(counter.load(), 8 * 20);
+}
+
+TEST(ThreadPoolTest, OnWorkerThreadIsFalseOnTheCaller) {
+  EXPECT_FALSE(ThreadPool::OnWorkerThread());
+  ThreadPool pool(2);
+  std::atomic<bool> seen_on_worker{false};
+  pool.RunBatch({[&seen_on_worker] {
+    seen_on_worker = ThreadPool::OnWorkerThread();
+  }});
+  EXPECT_TRUE(seen_on_worker.load());
+  EXPECT_FALSE(ThreadPool::OnWorkerThread());
+}
+
+TEST(ThreadPoolTest, NestedRunBatchFromWorkerRunsInline) {
+  // A worker that submits a batch must not block waiting on its own pool
+  // (deadlock risk with one worker); nested batches execute inline.
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.RunBatch({[&pool, &counter] {
+    pool.RunBatch(CountingTasks(&counter, 5));
+  }});
+  EXPECT_EQ(counter.load(), 5);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToTheCaller) {
+  ThreadPool pool(4);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([i] {
+      if (i == 3) throw std::runtime_error("task 3 failed");
+    });
+  }
+  EXPECT_THROW(pool.RunBatch(std::move(tasks)), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, LowestTaskIndexExceptionWins) {
+  // With several failing tasks the batch rethrows the lowest-index error
+  // — the one the serial loop would have hit first.
+  ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 16; ++i) {
+      tasks.push_back([i] {
+        if (i % 2 == 1) throw std::runtime_error("task " + std::to_string(i));
+      });
+    }
+    try {
+      pool.RunBatch(std::move(tasks));
+      FAIL() << "expected RunBatch to rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 1");
+    }
+  }
+}
+
+TEST(ThreadPoolTest, PoolKeepsWorkingAfterAnException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.RunBatch({[] { throw std::runtime_error("boom"); }}),
+               std::runtime_error);
+  std::atomic<int> counter{0};
+  pool.RunBatch(CountingTasks(&counter, 20));
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(DefaultThreadCountTest, EnvOverrideWins) {
+  ASSERT_EQ(setenv("IQS_THREADS", "3", 1), 0);
+  EXPECT_EQ(DefaultThreadCount(), 3u);
+  ASSERT_EQ(setenv("IQS_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(DefaultThreadCount(), 1u);  // falls back to hardware
+  ASSERT_EQ(setenv("IQS_THREADS", "0", 1), 0);
+  EXPECT_GE(DefaultThreadCount(), 1u);
+  ASSERT_EQ(unsetenv("IQS_THREADS"), 0);
+  EXPECT_GE(DefaultThreadCount(), 1u);
+}
+
+class GlobalPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = GlobalThreadCount(); }
+  void TearDown() override { SetGlobalThreadCount(previous_); }
+  size_t previous_ = 1;
+};
+
+TEST_F(GlobalPoolTest, SerialFallbackHasNoPool) {
+  SetGlobalThreadCount(1);
+  EXPECT_EQ(GlobalThreadCount(), 1u);
+  EXPECT_EQ(GlobalPool(), nullptr);
+}
+
+TEST_F(GlobalPoolTest, ResizeRebuildsThePool) {
+  SetGlobalThreadCount(4);
+  auto pool = GlobalPool();
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->threads(), 4u);
+  EXPECT_EQ(GlobalThreadCount(), 4u);
+  SetGlobalThreadCount(2);
+  auto resized = GlobalPool();
+  ASSERT_NE(resized, nullptr);
+  EXPECT_EQ(resized->threads(), 2u);
+  EXPECT_NE(pool.get(), resized.get());
+  // The old pool handle stays usable: snapshots outlive the resize.
+  std::atomic<int> counter{0};
+  pool->RunBatch(CountingTasks(&counter, 4));
+  EXPECT_EQ(counter.load(), 4);
+}
+
+TEST(ChunkRangesTest, CoversTheRangeContiguouslyAscending) {
+  auto ranges = internal::ChunkRanges(1000, 10, 4);
+  ASSERT_GE(ranges.size(), 2u);
+  EXPECT_LE(ranges.size(), 16u);  // at most threads * 4
+  size_t expect_begin = 0;
+  for (const auto& [begin, end] : ranges) {
+    EXPECT_EQ(begin, expect_begin);
+    EXPECT_GT(end, begin);
+    expect_begin = end;
+  }
+  EXPECT_EQ(expect_begin, 1000u);
+}
+
+TEST(ChunkRangesTest, SmallRangesAndSerialPoolsStayInline) {
+  EXPECT_EQ(internal::ChunkRanges(5, 10, 4).size(), 1u);   // below min_chunk
+  EXPECT_EQ(internal::ChunkRanges(1000, 10, 1).size(), 1u);  // one thread
+  auto whole = internal::ChunkRanges(7, 10, 1);
+  ASSERT_EQ(whole.size(), 1u);
+  EXPECT_EQ(whole[0], (std::pair<size_t, size_t>{0, 7}));
+}
+
+TEST(ChunkRangesTest, ChunksRespectMinChunk) {
+  for (auto const& [begin, end] : internal::ChunkRanges(1024, 64, 8)) {
+    EXPECT_GE(end - begin, 64u);
+  }
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace iqs
