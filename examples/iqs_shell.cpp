@@ -25,6 +25,8 @@
 #include "core/summarizer.h"
 #include "core/system.h"
 #include "exec/thread_pool.h"
+#include "fault/degrade.h"
+#include "fault/failpoint.h"
 #include "ker/validator.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -59,6 +61,13 @@ void PrintHelp() {
       "  set threads <N>       resize the execution pool (1 = serial);\n"
       "                        overrides the IQS_THREADS environment value\n"
       "  threads               show the current worker count\n"
+      "  set failpoint <name> <spec>\n"
+      "                        arm a fault-injection site ('off' disarms);\n"
+      "                        spec = [once|after(N)|times(N)|prob(P,SEED):]\n"
+      "                        error(code[,message]) — same grammar as the\n"
+      "                        IQS_FAILPOINTS environment variable\n"
+      "  failpoints            list every failpoint site (policy, armed\n"
+      "                        spec, hit/fire counts) and the error budget\n"
       "  validate              check the database against the KER schema\n"
       "  index <rel> <attr>    register a sorted index (speeds up WHERE)\n"
       "  help / quit\n";
@@ -242,6 +251,43 @@ int main(int argc, char** argv) {
       }
       std::cout << system->dictionary().induced_rules().size()
                 << " rules at Nc = " << c.min_support << "\n";
+      continue;
+    }
+    if (iqs::StartsWith(lower, "set failpoint")) {
+      // Spec text keeps the original case (messages may be mixed-case).
+      std::string rest(iqs::StripWhitespace(trimmed.substr(13)));
+      size_t space = rest.find(' ');
+      if (rest.empty() || space == std::string::npos) {
+        std::cout << "usage: set failpoint <name> <spec>   (spec 'off' "
+                     "disarms; try error(unavailable,down))\n";
+        continue;
+      }
+      std::string name = rest.substr(0, space);
+      std::string spec(iqs::StripWhitespace(rest.substr(space + 1)));
+      if (auto s = iqs::fault::FailpointRegistry::Global().Set(name, spec);
+          !s.ok()) {
+        std::cout << s << "\n";
+        continue;
+      }
+      std::cout << "failpoint " << name << ": "
+                << (spec == "off" ? "disarmed" : spec) << "\n";
+      continue;
+    }
+    if (lower == "failpoints") {
+      for (const iqs::fault::SiteInfo& site :
+           iqs::fault::FailpointRegistry::Global().List()) {
+        std::cout << "  " << site.name << "  ["
+                  << iqs::fault::PolicyName(site.policy) << "]  "
+                  << (site.spec.empty() ? "off" : site.spec)
+                  << "  hits=" << site.hits << " fires=" << site.fires
+                  << "\n";
+      }
+      auto budget = iqs::fault::GlobalErrorBudget().snapshot();
+      std::cout << "error budget: ok=" << budget.ok
+                << " degraded=" << budget.degraded
+                << " failed=" << budget.failed
+                << " window_ratio=" << budget.window_ratio
+                << (budget.exhausted ? " (EXHAUSTED)" : "") << "\n";
       continue;
     }
     if (iqs::StartsWith(lower, "set threads")) {

@@ -13,7 +13,7 @@ namespace iqs {
 // of absl::StatusOr / arrow::Result. Accessing the value of an errored
 // Result is a programming error and asserts.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit construction from a value or from an error Status keeps call
   // sites terse: `return value;` / `return Status::NotFound(...)`.

@@ -19,6 +19,7 @@ enum class StatusCode {
   kTypeError,         // value/domain mismatch
   kConstraintViolation,  // a with-constraint rejected a tuple
   kInternal,          // invariant breach inside the library
+  kUnavailable,       // transient fault; safe to retry (see fault/degrade.h)
 };
 
 // Returns a short stable name such as "NotFound" for diagnostics.
@@ -26,8 +27,9 @@ const char* StatusCodeName(StatusCode code);
 
 // Status carries the outcome of an operation that can fail. The library
 // does not use exceptions (see DESIGN.md); every fallible API returns a
-// Status or a Result<T>.
-class Status {
+// Status or a Result<T>. [[nodiscard]] so a dropped error is a compile
+// warning — call sites that genuinely don't care must say so with (void).
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -60,6 +62,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

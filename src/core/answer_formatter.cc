@@ -1,6 +1,7 @@
 #include "core/answer_formatter.h"
 
 #include "common/string_util.h"
+#include "fault/degrade.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -217,14 +218,36 @@ std::string AnswerFormatter::Summary(const QueryResult& result) const {
 std::string AnswerFormatter::Render(const QueryResult& result) const {
   IQS_SPAN("format.render");
   IQS_COUNTER_INC("format.render.count");
-  std::string out = Summary(result);
-  out += "\n";
+  // A query served without its intensional half says so instead of
+  // pretending nothing could be derived; lesser degradations (skipped
+  // rules, absorbed retries) annotate below the statements.
+  bool extensional_only = false;
+  for (const fault::DegradationEvent& e : result.degradations) {
+    if (e.action == fault::DegradeAction::kExtensionalOnly) {
+      extensional_only = true;
+      break;
+    }
+  }
+  std::string out;
+  if (extensional_only) {
+    for (const fault::DegradationEvent& e : result.degradations) {
+      if (e.action != fault::DegradeAction::kExtensionalOnly) continue;
+      out += "intensional unavailable: " + e.reason + " [" + e.stage + "]\n";
+    }
+  } else {
+    out = Summary(result);
+    out += "\n";
+  }
   for (const IntensionalStatement& s : result.intensional.statements()) {
     out += "  " + s.ToString();
     if (s.direction == AnswerDirection::kContainedIn && !s.exact) {
       out += "  [approximate]";
     }
     out += "\n";
+  }
+  for (const fault::DegradationEvent& e : result.degradations) {
+    if (e.action == fault::DegradeAction::kExtensionalOnly) continue;
+    out += "  degraded: " + e.ToString() + "\n";
   }
   return out;
 }

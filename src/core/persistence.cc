@@ -5,6 +5,8 @@
 #include <map>
 #include <sstream>
 
+#include "fault/degrade.h"
+#include "fault/failpoint.h"
 #include "ker/ddl_parser.h"
 #include "relational/csv.h"
 #include "rules/rule_relation.h"
@@ -29,9 +31,9 @@ std::string FileNameFor(const std::string& relation) {
   return relation + ".csv";
 }
 
-}  // namespace
-
-Status SaveSystem(IqsSystem* system, const std::string& directory) {
+// One save attempt; the public SaveSystem retries transient faults.
+Status SaveSystemOnce(IqsSystem* system, const std::string& directory) {
+  IQS_FAILPOINT("persist.save");
   std::error_code ec;
   std::filesystem::create_directories(directory, ec);
   if (ec) {
@@ -74,8 +76,10 @@ Status SaveSystem(IqsSystem* system, const std::string& directory) {
       manifest, (std::filesystem::path(directory) / kManifestFile).string());
 }
 
-Result<std::unique_ptr<IqsSystem>> LoadSystem(const std::string& directory,
-                                              FormatterOptions options) {
+// One load attempt; the public LoadSystem retries transient faults.
+Result<std::unique_ptr<IqsSystem>> LoadSystemOnce(const std::string& directory,
+                                                  FormatterOptions options) {
+  IQS_FAILPOINT("persist.load");
   std::filesystem::path dir(directory);
   // Schema.
   std::ifstream schema_file((dir / kSchemaFile).string());
@@ -129,6 +133,23 @@ Result<std::unique_ptr<IqsSystem>> LoadSystem(const std::string& directory,
     IQS_RETURN_IF_ERROR(system->LoadRulesFromDatabase());
   }
   return system;
+}
+
+}  // namespace
+
+Status SaveSystem(IqsSystem* system, const std::string& directory) {
+  return fault::RetryTransient("persist.save", /*max_attempts=*/3,
+                               [system, &directory]() {
+                                 return SaveSystemOnce(system, directory);
+                               });
+}
+
+Result<std::unique_ptr<IqsSystem>> LoadSystem(const std::string& directory,
+                                              FormatterOptions options) {
+  return fault::RetryTransientResult<std::unique_ptr<IqsSystem>>(
+      "persist.load", /*max_attempts=*/3, [&directory, &options]() {
+        return LoadSystemOnce(directory, options);
+      });
 }
 
 }  // namespace iqs

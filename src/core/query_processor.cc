@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/string_util.h"
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rules/subsumption.h"
@@ -143,27 +144,82 @@ Result<QueryDescription> IntensionalQueryProcessor::Describe(
   return description;
 }
 
+namespace {
+
+// Funnels every query outcome into the error budget: clean, served
+// degraded, or failed outright.
+void RecordOutcome(const Result<QueryResult>& result) {
+  fault::ErrorBudget& budget = fault::GlobalErrorBudget();
+  if (!result.ok()) {
+    budget.RecordFailed();
+  } else if (result->degraded()) {
+    budget.RecordDegraded();
+  } else {
+    budget.RecordOk();
+  }
+}
+
+}  // namespace
+
 Result<QueryResult> IntensionalQueryProcessor::Process(
     const std::string& sql, InferenceMode mode) const {
   // Snapshot: concurrent re-induction swaps the set; this query keeps
-  // reading the version it started with.
-  std::shared_ptr<const RuleSet> rules = dictionary_->induced_rules_snapshot();
-  return ProcessWith(sql, mode, *rules);
+  // reading the version it started with. When the snapshot load faults
+  // the query degrades to extensional-only instead of failing.
+  std::vector<fault::DegradationEvent> pre;
+  std::shared_ptr<const RuleSet> rules;
+  if (Status fp = fault::Hit("dict.rulebase_snapshot"); !fp.ok()) {
+    pre.push_back(fault::DegradationEvent{
+        "rulebase", fault::DegradeAction::kExtensionalOnly, fp.message()});
+    fault::RecordDegradation(pre.back());
+  } else {
+    rules = dictionary_->induced_rules_snapshot();
+  }
+  Result<QueryResult> result =
+      ProcessImpl(sql, mode, rules.get(), std::move(pre));
+  RecordOutcome(result);
+  return result;
 }
 
 Result<QueryResult> IntensionalQueryProcessor::ProcessWith(
     const std::string& sql, InferenceMode mode, const RuleSet& rules) const {
+  Result<QueryResult> result = ProcessImpl(sql, mode, &rules, {});
+  RecordOutcome(result);
+  return result;
+}
+
+Result<QueryResult> IntensionalQueryProcessor::ProcessImpl(
+    const std::string& sql, InferenceMode mode, const RuleSet* rules,
+    std::vector<fault::DegradationEvent> pre) const {
   IQS_SPAN("query.process");
   IQS_COUNTER_INC("query.count");
   using Clock = std::chrono::steady_clock;
   QueryResult result;
+  result.degradations = std::move(pre);
 
   Clock::time_point t0 = Clock::now();
   IQS_ASSIGN_OR_RETURN(result.statement, ParseSelect(sql));
   Clock::time_point t1 = Clock::now();
   result.stats.parse_micros = MicrosBetween(t0, t1);
 
-  IQS_ASSIGN_OR_RETURN(result.extensional, executor_.Execute(result.statement));
+  // The extensional scan retries transient faults with backoff before
+  // giving up — without it there is nothing worth degrading to.
+  int attempts = 0;
+  Result<Relation> extensional = fault::RetryTransientResult<Relation>(
+      "exec.scan", /*max_attempts=*/3, [this, &result, &attempts]() {
+        ++attempts;
+        return executor_.Execute(result.statement);
+      });
+  if (!extensional.ok()) return extensional.status();
+  result.extensional = std::move(extensional).value();
+  if (attempts > 1) {
+    fault::DegradationEvent event{
+        "executor", fault::DegradeAction::kRetry,
+        "absorbed " + std::to_string(attempts - 1) +
+            " transient fault(s) by retrying"};
+    fault::RecordDegradation(event);
+    result.degradations.push_back(std::move(event));
+  }
   Clock::time_point t2 = Clock::now();
   result.stats.execute_micros = MicrosBetween(t1, t2);
   result.stats.rows_scanned = executor_.last_stats().base_rows_loaded;
@@ -175,11 +231,30 @@ Result<QueryResult> IntensionalQueryProcessor::ProcessWith(
   Clock::time_point t3 = Clock::now();
   result.stats.describe_micros = MicrosBetween(t2, t3);
 
-  IQS_ASSIGN_OR_RETURN(result.intensional,
-                       engine_.InferWith(result.description, mode, rules));
+  if (rules != nullptr) {
+    // An inference fault costs the intensional answer, never the
+    // extensional one: absorb the error, annotate, move on.
+    Result<IntensionalAnswer> intensional = engine_.InferWith(
+        result.description, mode, *rules, &result.degradations);
+    if (intensional.ok()) {
+      result.intensional = std::move(intensional).value();
+    } else {
+      fault::DegradationEvent event{
+          "inference", fault::DegradeAction::kExtensionalOnly,
+          intensional.status().message()};
+      fault::RecordDegradation(event);
+      result.degradations.push_back(std::move(event));
+      IQS_COUNTER_INC("query.extensional_fallbacks");
+    }
+  }
   Clock::time_point t4 = Clock::now();
   result.stats.infer_micros = MicrosBetween(t3, t4);
   result.stats.total_micros = MicrosBetween(t0, t4);
+  result.stats.degraded_events = result.degradations.size();
+  if (!result.degradations.empty()) {
+    IQS_SPAN_ANNOTATE("degraded_events",
+                      static_cast<int64_t>(result.degradations.size()));
+  }
 
   // Rule-firing accounting: distinct rules cited anywhere in the answer,
   // forward fact count, backward statement count.

@@ -2,8 +2,10 @@
 #define IQS_CORE_QUERY_PROCESSOR_H_
 
 #include <string>
+#include <vector>
 
 #include "dictionary/data_dictionary.h"
+#include "fault/degrade.h"
 #include "inference/engine.h"
 #include "obs/query_stats.h"
 #include "relational/database.h"
@@ -22,6 +24,12 @@ struct QueryResult {
   QueryDescription description;
   IntensionalAnswer intensional;
   QueryStats stats;
+  // Faults absorbed while producing this result (extensional-only
+  // fallback, skipped rules, retries). Empty on a clean run; the
+  // formatter renders each event as an answer annotation.
+  std::vector<fault::DegradationEvent> degradations;
+
+  bool degraded() const { return !degradations.empty(); }
 };
 
 // The intensional query processing system (paper §5.1, Figure 6): a
@@ -38,7 +46,10 @@ class IntensionalQueryProcessor {
         engine_(dictionary) {}
 
   // Executes `sql` and derives the intensional answer with the requested
-  // inference mode, using the dictionary's induced rules.
+  // inference mode, using the dictionary's induced rules. Faults in the
+  // intensional half degrade gracefully — the extensional answer is
+  // always produced when the traditional pipeline can produce it, with
+  // the dropped intensional work recorded in QueryResult::degradations.
   Result<QueryResult> Process(const std::string& sql,
                               InferenceMode mode = InferenceMode::kCombined)
       const;
@@ -67,6 +78,13 @@ class IntensionalQueryProcessor {
   const InferenceEngine& engine() const { return engine_; }
 
  private:
+  // The shared pipeline. `rules` may be null — the rule-base snapshot
+  // failed — in which case inference is skipped entirely and the result
+  // carries the pre-seeded degradation events in `pre`.
+  Result<QueryResult> ProcessImpl(
+      const std::string& sql, InferenceMode mode, const RuleSet* rules,
+      std::vector<fault::DegradationEvent> pre) const;
+
   const Database* db_;
   const DataDictionary* dictionary_;
   SqlExecutor executor_;

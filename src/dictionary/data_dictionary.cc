@@ -1,6 +1,7 @@
 #include "dictionary/data_dictionary.h"
 
 #include "common/string_util.h"
+#include "fault/failpoint.h"
 
 namespace iqs {
 
@@ -56,6 +57,7 @@ Status DataDictionary::BuildFrames() {
 }
 
 Result<const Frame*> DataDictionary::GetFrame(const std::string& name) const {
+  IQS_FAILPOINT("dict.frame_lookup");
   auto it = frames_.find(ToLower(name));
   if (it == frames_.end()) {
     return Status::NotFound("no frame named '" + name + "'");

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "exec/thread_pool.h"
+#include "fault/degrade.h"
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -106,6 +108,17 @@ T ParallelReduce(const char* region, size_t n, size_t min_chunk, T acc,
     if (n > 0) merge(&acc, chunk_fn(size_t{0}, n));
     return acc;
   }
+  // Serial fallback (proactive): a faulting dispatch demotes the region
+  // to one inline chunk — same result by the determinism contract, just
+  // slower.
+  if (Status dispatch_fault = fault::Hit("exec.dispatch");
+      !dispatch_fault.ok()) {
+    fault::RecordDegradation(fault::DegradationEvent{
+        "parallel", fault::DegradeAction::kSerialFallback,
+        dispatch_fault.message()});
+    merge(&acc, chunk_fn(size_t{0}, n));
+    return acc;
+  }
   std::vector<std::optional<T>> parts(ranges.size());
   std::vector<std::function<void()>> tasks;
   tasks.reserve(ranges.size());
@@ -114,7 +127,20 @@ T ParallelReduce(const char* region, size_t n, size_t min_chunk, T acc,
       parts[i].emplace(chunk_fn(ranges[i].first, ranges[i].second));
     });
   }
-  pool->RunBatch(std::move(tasks));
+  // Serial fallback (reactive): if the batch faults, re-execute the whole
+  // range inline. chunk_fn is side-effect-free (reduce) or idempotent
+  // slot-filling (for), and `acc` has absorbed nothing yet, so the
+  // re-execution reproduces the serial result; a deterministic chunk_fn
+  // error re-throws from the inline run exactly as it did before.
+  try {
+    pool->RunBatch(std::move(tasks));
+  } catch (const std::exception& batch_fault) {
+    fault::RecordDegradation(fault::DegradationEvent{
+        "parallel", fault::DegradeAction::kSerialFallback,
+        batch_fault.what()});
+    merge(&acc, chunk_fn(size_t{0}, n));
+    return acc;
+  }
   for (std::optional<T>& part : parts) {
     merge(&acc, std::move(*part));
   }

@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 
 namespace iqs {
@@ -108,6 +110,11 @@ void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
     // Nested region on a worker: run inline, no new pool traffic.
     for (auto& t : tasks) t();
     return;
+  }
+  // Fires before any task is distributed, so a caller that catches this
+  // can re-execute the whole batch serially without double-running work.
+  if (Status fp = fault::Hit("exec.pool.batch"); !fp.ok()) {
+    throw std::runtime_error(fp.message());
   }
   auto state = std::make_shared<BatchState>();
   state->remaining = tasks.size();

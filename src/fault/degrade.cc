@@ -1,0 +1,128 @@
+#include "fault/degrade.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace iqs {
+namespace fault {
+
+const char* DegradeActionName(DegradeAction action) {
+  switch (action) {
+    case DegradeAction::kExtensionalOnly:
+      return "extensional-fallback";
+    case DegradeAction::kSkipRule:
+      return "skip-rule";
+    case DegradeAction::kRetry:
+      return "retry";
+    case DegradeAction::kSerialFallback:
+      return "serial-fallback";
+  }
+  return "unknown";
+}
+
+std::string DegradationEvent::ToString() const {
+  return stage + ": " + DegradeActionName(action) + " (" + reason + ")";
+}
+
+void RecordDegradation(const DegradationEvent& event) {
+  IQS_COUNTER_INC("fault.degraded");
+  obs::GlobalMetrics().GetCounter("fault.degraded." + event.stage)->Increment();
+  IQS_SPAN_ANNOTATE("degraded", event.stage + ": " + event.reason);
+}
+
+bool IsTransient(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+void NoteRetry(const char* op, int attempt) {
+  IQS_COUNTER_INC("fault.retry.attempts");
+  obs::GlobalMetrics()
+      .GetCounter(std::string("fault.retry.") + op)
+      ->Increment();
+  int64_t micros = std::min<int64_t>(200LL << (attempt - 1), 5000);
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+Status RetryTransient(const char* op, int max_attempts,
+                      const std::function<Status()>& fn) {
+  for (int attempt = 1;; ++attempt) {
+    Status status = fn();
+    if (status.ok() || !IsTransient(status) || attempt >= max_attempts) {
+      if (!status.ok() && IsTransient(status)) {
+        IQS_COUNTER_INC("fault.retry.exhausted");
+      }
+      return status;
+    }
+    NoteRetry(op, attempt);
+  }
+}
+
+ErrorBudget::ErrorBudget(size_t window, double threshold)
+    : window_(window == 0 ? 1 : window),
+      threshold_(threshold),
+      ring_(window_, kOk) {}
+
+void ErrorBudget::Record(Outcome outcome) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (outcome) {
+    case kOk:
+      ++ok_;
+      break;
+    case kDegraded:
+      ++degraded_;
+      break;
+    case kFailed:
+      ++failed_;
+      break;
+  }
+  if (filled_ == window_ && ring_[pos_] != kOk) --bad_in_window_;
+  ring_[pos_] = static_cast<uint8_t>(outcome);
+  if (outcome != kOk) ++bad_in_window_;
+  pos_ = (pos_ + 1) % window_;
+  if (filled_ < window_) ++filled_;
+  IQS_GAUGE_SET("fault.budget.window_bad_permille",
+                filled_ == 0 ? 0 : (1000 * bad_in_window_) / filled_);
+}
+
+ErrorBudget::Snapshot ErrorBudget::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.ok = ok_;
+  snap.degraded = degraded_;
+  snap.failed = failed_;
+  snap.window_ratio =
+      filled_ == 0 ? 0.0
+                   : static_cast<double>(bad_in_window_) /
+                         static_cast<double>(filled_);
+  snap.exhausted = snap.window_ratio >= threshold_;
+  return snap;
+}
+
+std::string ErrorBudget::Snapshot::ToString() const {
+  return "queries ok=" + std::to_string(ok) +
+         " degraded=" + std::to_string(degraded) +
+         " failed=" + std::to_string(failed) + "; window bad ratio " +
+         FormatDouble(window_ratio) + (exhausted ? " (budget exhausted)" : "");
+}
+
+void ErrorBudget::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(ring_.begin(), ring_.end(), static_cast<uint8_t>(kOk));
+  pos_ = 0;
+  filled_ = 0;
+  bad_in_window_ = 0;
+  ok_ = 0;
+  degraded_ = 0;
+  failed_ = 0;
+}
+
+ErrorBudget& GlobalErrorBudget() {
+  static ErrorBudget* budget = new ErrorBudget();
+  return *budget;
+}
+
+}  // namespace fault
+}  // namespace iqs

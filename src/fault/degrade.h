@@ -1,0 +1,121 @@
+#ifndef IQS_FAULT_DEGRADE_H_
+#define IQS_FAULT_DEGRADE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace iqs {
+namespace fault {
+
+// Graceful-degradation vocabulary for the query pipeline. A stage that
+// absorbs a fault instead of aborting the query records a
+// DegradationEvent; events ride on QueryResult (so the formatter can
+// annotate the answer) and flow into the obs metrics/trace layer via
+// RecordDegradation (so EXPLAIN ANALYZE shows what was skipped).
+
+enum class DegradeAction {
+  kExtensionalOnly,  // intensional answer dropped, extensional kept
+  kSkipRule,         // one rule's firing skipped, inference continued
+  kRetry,            // transient fault absorbed by a retry
+  kSerialFallback,   // parallel region re-executed serially
+};
+
+const char* DegradeActionName(DegradeAction action);
+
+struct DegradationEvent {
+  std::string stage;   // "rulebase", "describe", "inference", "rule-match",
+                       // "parallel", "persistence"
+  DegradeAction action = DegradeAction::kExtensionalOnly;
+  std::string reason;  // the absorbed Status message
+
+  // "inference: extensional-fallback (inference engine offline)".
+  std::string ToString() const;
+};
+
+// Counts the event in the metrics registry ("fault.degraded",
+// "fault.degraded.<stage>") and annotates the innermost open trace span
+// ("degraded" = "<stage>: <reason>").
+void RecordDegradation(const DegradationEvent& event);
+
+// True for faults worth retrying (StatusCode::kUnavailable).
+bool IsTransient(const Status& status);
+
+// Runs `fn` up to `max_attempts` times, retrying only transient faults,
+// with deterministic exponential backoff (200us * 2^attempt, capped at
+// 5ms — failpoint tests stay fast, real I/O still decorrelates). Counts
+// "fault.retry.attempts" / "fault.retry.exhausted".
+Status RetryTransient(const char* op, int max_attempts,
+                      const std::function<Status()>& fn);
+
+// Counts one retry of `op` and sleeps the attempt's backoff. Shared by
+// RetryTransient and the Result<T> template below.
+void NoteRetry(const char* op, int attempt);
+
+template <typename T, typename Fn>
+Result<T> RetryTransientResult(const char* op, int max_attempts, Fn&& fn) {
+  for (int attempt = 1;; ++attempt) {
+    Result<T> result = fn();
+    if (result.ok() || !IsTransient(result.status()) ||
+        attempt >= max_attempts) {
+      return result;
+    }
+    NoteRetry(op, attempt);
+  }
+}
+
+// Error budget over a sliding window of query outcomes: how much of
+// recent traffic was served degraded or failed outright. The processor
+// records every query; the shell's `failpoints` command and tests read
+// the snapshot. Exhaustion does not gate queries — extensional answers
+// are always worth serving — it is the operator signal that the
+// intensional layer is burning its budget.
+class ErrorBudget {
+ public:
+  explicit ErrorBudget(size_t window = 128, double threshold = 0.5);
+
+  void RecordOk() { Record(kOk); }
+  void RecordDegraded() { Record(kDegraded); }
+  void RecordFailed() { Record(kFailed); }
+
+  struct Snapshot {
+    uint64_t ok = 0;        // lifetime totals
+    uint64_t degraded = 0;
+    uint64_t failed = 0;
+    double window_ratio = 0.0;  // degraded+failed fraction of the window
+    bool exhausted = false;     // window_ratio >= threshold
+    std::string ToString() const;
+  };
+  Snapshot snapshot() const;
+  void Reset();
+
+ private:
+  enum Outcome : uint8_t { kOk = 0, kDegraded = 1, kFailed = 2 };
+  void Record(Outcome outcome);
+
+  const size_t window_;
+  const double threshold_;
+  mutable std::mutex mu_;
+  std::vector<uint8_t> ring_;
+  size_t pos_ = 0;
+  size_t filled_ = 0;
+  size_t bad_in_window_ = 0;
+  uint64_t ok_ = 0;
+  uint64_t degraded_ = 0;
+  uint64_t failed_ = 0;
+};
+
+// The budget the query processor reports into.
+ErrorBudget& GlobalErrorBudget();
+
+}  // namespace fault
+}  // namespace iqs
+
+#endif  // IQS_FAULT_DEGRADE_H_

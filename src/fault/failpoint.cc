@@ -1,0 +1,348 @@
+#include "fault/failpoint.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
+
+namespace iqs {
+namespace fault {
+
+namespace {
+
+// Every wired injection site, with the degradation policy its stage
+// implements. The fault matrix test iterates this list (via List()) and
+// asserts each policy's observable outcome, so adding a site here without
+// a driver there fails the build's test pass.
+struct ManifestEntry {
+  const char* name;
+  Policy policy;
+  const char* description;
+};
+
+constexpr ManifestEntry kManifest[] = {
+    {"sql.parse", Policy::kFailFast, "SQL SELECT parser entry"},
+    {"quel.parse", Policy::kFailFast, "QUEL parser entry"},
+    {"ddl.parse", Policy::kFailFast, "KER DDL parser entry"},
+    {"dict.frame_lookup", Policy::kFailFast, "dictionary frame lookup"},
+    {"dict.rulebase_snapshot", Policy::kDegradeExtensional,
+     "induced-rule-base snapshot load"},
+    {"ils.induce", Policy::kKeepPrevious, "ILS induction run"},
+    {"infer.match", Policy::kSkipAndLog, "per-rule match/fire step"},
+    {"infer.fire", Policy::kDegradeExtensional, "inference engine entry"},
+    {"exec.scan", Policy::kRetryTransient, "relational executor entry"},
+    {"exec.dispatch", Policy::kSerialFallback, "parallel region dispatch"},
+    {"exec.pool.batch", Policy::kSerialFallback, "thread-pool batch submit"},
+    {"persist.save", Policy::kRetryTransient, "system save I/O"},
+    {"persist.load", Policy::kRetryTransient, "system load I/O"},
+};
+
+Result<StatusCode> CodeFromName(const std::string& name) {
+  std::string lower = ToLower(name);
+  if (lower == "unavailable") return StatusCode::kUnavailable;
+  if (lower == "internal") return StatusCode::kInternal;
+  if (lower == "notfound") return StatusCode::kNotFound;
+  if (lower == "invalid" || lower == "invalidargument") {
+    return StatusCode::kInvalidArgument;
+  }
+  if (lower == "parse" || lower == "parseerror") return StatusCode::kParseError;
+  if (lower == "type" || lower == "typeerror") return StatusCode::kTypeError;
+  if (lower == "constraint" || lower == "constraintviolation") {
+    return StatusCode::kConstraintViolation;
+  }
+  if (lower == "exists" || lower == "alreadyexists") {
+    return StatusCode::kAlreadyExists;
+  }
+  return Status::InvalidArgument("unknown failpoint error code '" + name +
+                                 "'");
+}
+
+// "name(args)" -> args, or error when the spelling does not match.
+Result<std::string> ParenArgs(const std::string& text,
+                              const std::string& name) {
+  if (text.size() < name.size() + 2 || text.compare(0, name.size(), name) != 0 ||
+      text[name.size()] != '(' || text.back() != ')') {
+    return Status::InvalidArgument("malformed failpoint clause '" + text +
+                                   "'");
+  }
+  return text.substr(name.size() + 1, text.size() - name.size() - 2);
+}
+
+Status ParseTrigger(const std::string& text, FailpointSpec* spec) {
+  if (text == "always") {
+    spec->trigger = FailpointSpec::Trigger::kAlways;
+    return Status::Ok();
+  }
+  if (text == "once") {
+    spec->trigger = FailpointSpec::Trigger::kOnce;
+    return Status::Ok();
+  }
+  if (StartsWith(text, "after(") || StartsWith(text, "times(")) {
+    bool after = StartsWith(text, "after(");
+    IQS_ASSIGN_OR_RETURN(std::string args,
+                         ParenArgs(text, after ? "after" : "times"));
+    char* end = nullptr;
+    long n = std::strtol(args.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || n < 0) {
+      return Status::InvalidArgument("bad count in failpoint trigger '" +
+                                     text + "'");
+    }
+    spec->trigger = after ? FailpointSpec::Trigger::kAfter
+                          : FailpointSpec::Trigger::kTimes;
+    spec->n = static_cast<uint64_t>(n);
+    return Status::Ok();
+  }
+  if (StartsWith(text, "prob(")) {
+    IQS_ASSIGN_OR_RETURN(std::string args, ParenArgs(text, "prob"));
+    std::vector<std::string> parts = Split(args, ',');
+    if (parts.size() != 2) {
+      return Status::InvalidArgument(
+          "prob trigger needs (probability, seed): '" + text + "'");
+    }
+    char* end = nullptr;
+    double p = std::strtod(parts[0].c_str(), &end);
+    if (end == nullptr || *end != '\0' || p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("bad probability in '" + text + "'");
+    }
+    long seed = std::strtol(parts[1].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || seed < 0) {
+      return Status::InvalidArgument("bad seed in '" + text + "'");
+    }
+    spec->trigger = FailpointSpec::Trigger::kProb;
+    spec->probability = p;
+    spec->seed = static_cast<uint32_t>(seed);
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("unknown failpoint trigger '" + text + "'");
+}
+
+}  // namespace
+
+const char* PolicyName(Policy policy) {
+  switch (policy) {
+    case Policy::kFailFast:
+      return "fail-fast";
+    case Policy::kRetryTransient:
+      return "retry-transient";
+    case Policy::kDegradeExtensional:
+      return "extensional-fallback";
+    case Policy::kSkipAndLog:
+      return "skip-and-log";
+    case Policy::kSerialFallback:
+      return "serial-fallback";
+    case Policy::kKeepPrevious:
+      return "keep-previous";
+  }
+  return "unknown";
+}
+
+Result<FailpointSpec> FailpointSpec::Parse(const std::string& text) {
+  std::string trimmed(StripWhitespace(text));
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("empty failpoint spec");
+  }
+  FailpointSpec spec;
+  spec.text = trimmed;
+  std::string action = trimmed;
+  // The first ':' outside parentheses separates trigger from action —
+  // "after(2):error(parse)" splits at the colon, not inside "after(2)".
+  size_t colon = std::string::npos;
+  int depth = 0;
+  for (size_t i = 0; i < trimmed.size(); ++i) {
+    char c = trimmed[i];
+    if (c == '(') {
+      ++depth;
+    } else if (c == ')') {
+      --depth;
+    } else if (c == ':' && depth == 0) {
+      colon = i;
+      break;
+    }
+  }
+  if (colon != std::string::npos) {
+    IQS_RETURN_IF_ERROR(ParseTrigger(
+        std::string(StripWhitespace(trimmed.substr(0, colon))), &spec));
+    action = std::string(StripWhitespace(trimmed.substr(colon + 1)));
+  }
+  IQS_ASSIGN_OR_RETURN(std::string args, ParenArgs(action, "error"));
+  size_t comma = args.find(',');
+  std::string code_name =
+      std::string(StripWhitespace(comma == std::string::npos
+                                      ? args
+                                      : args.substr(0, comma)));
+  IQS_ASSIGN_OR_RETURN(spec.code, CodeFromName(code_name));
+  if (comma != std::string::npos) {
+    spec.message = std::string(StripWhitespace(args.substr(comma + 1)));
+  }
+  return spec;
+}
+
+Status Site::Hit() {
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (!armed_.load(std::memory_order_acquire)) return Status::Ok();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return Status::Ok();
+  ++evals_;
+  bool fire = false;
+  switch (spec_.trigger) {
+    case FailpointSpec::Trigger::kAlways:
+      fire = true;
+      break;
+    case FailpointSpec::Trigger::kOnce:
+      fire = evals_ == 1;
+      // Spent after the first evaluation either way.
+      armed_.store(false, std::memory_order_release);
+      break;
+    case FailpointSpec::Trigger::kAfter:
+      fire = evals_ > spec_.n;
+      break;
+    case FailpointSpec::Trigger::kTimes:
+      fire = evals_ <= spec_.n;
+      break;
+    case FailpointSpec::Trigger::kProb:
+      // mt19937 output is standardized, so the draw sequence — and thus
+      // which hits fire — is identical across platforms for a fixed seed.
+      fire = static_cast<double>(rng_() % 1000000) < spec_.probability * 1e6;
+      break;
+  }
+  if (!fire) return Status::Ok();
+  fires_.fetch_add(1, std::memory_order_relaxed);
+  IQS_COUNTER_INC("fault.fired");
+  obs::GlobalMetrics().GetCounter("fault.fired." + name_)->Increment();
+  std::string msg = spec_.message.empty() ? "failpoint '" + name_ + "' fired"
+                                          : spec_.message;
+  return Status(spec_.code, std::move(msg));
+}
+
+void Site::Arm(FailpointSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spec_ = std::move(spec);
+  evals_ = 0;
+  rng_.seed(spec_.seed);
+  armed_.store(true, std::memory_order_release);
+}
+
+void Site::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_release);
+}
+
+std::string Site::spec_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return armed_.load(std::memory_order_relaxed) ? spec_.text : std::string();
+}
+
+FailpointRegistry::FailpointRegistry() {
+  for (const ManifestEntry& entry : kManifest) {
+    sites_.emplace(entry.name, std::make_unique<Site>(entry.name, entry.policy,
+                                                      entry.description));
+    order_.push_back(entry.name);
+  }
+  if (const char* env = std::getenv("IQS_FAILPOINTS");
+      env != nullptr && env[0] != '\0') {
+    // A bad env spec must not crash the process at static-init time; the
+    // parse error lands in the metrics registry instead.
+    if (!SetFromList(env).ok()) {
+      obs::GlobalMetrics().GetCounter("fault.env_parse_errors")->Increment();
+    }
+  }
+}
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+Site* FailpointRegistry::GetSite(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(name);
+  if (it == sites_.end()) {
+    it = sites_
+             .emplace(name, std::make_unique<Site>(name, Policy::kFailFast,
+                                                   "ad-hoc site"))
+             .first;
+    order_.push_back(name);
+  }
+  return it->second.get();
+}
+
+Status FailpointRegistry::Set(const std::string& name,
+                              const std::string& spec_text) {
+  std::string trimmed(StripWhitespace(spec_text));
+  if (ToLower(trimmed) == "off") {
+    Clear(name);
+    return Status::Ok();
+  }
+  IQS_ASSIGN_OR_RETURN(FailpointSpec spec, FailpointSpec::Parse(trimmed));
+  GetSite(name)->Arm(std::move(spec));
+  return Status::Ok();
+}
+
+Status FailpointRegistry::SetFromList(const std::string& assignments) {
+  // ';' separates assignments; commas stay inside prob(P,SEED) and
+  // error(code,message) clauses.
+  for (const std::string& part : Split(assignments, ';')) {
+    std::string item(StripWhitespace(part));
+    if (item.empty()) continue;
+    size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("failpoint assignment '" + item +
+                                     "' is not site=spec");
+    }
+    IQS_RETURN_IF_ERROR(
+        Set(std::string(StripWhitespace(item.substr(0, eq))),
+            std::string(StripWhitespace(item.substr(eq + 1)))));
+  }
+  return Status::Ok();
+}
+
+void FailpointRegistry::Clear(const std::string& name) {
+  Site* site = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(name);
+    if (it == sites_.end()) return;
+    site = it->second.get();
+  }
+  site->Disarm();
+}
+
+void FailpointRegistry::ClearAll() {
+  std::vector<Site*> sites;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, site] : sites_) sites.push_back(site.get());
+  }
+  for (Site* site : sites) site->Disarm();
+}
+
+std::vector<SiteInfo> FailpointRegistry::List() const {
+  std::vector<const Site*> sites;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sites.reserve(order_.size());
+    for (const std::string& name : order_) {
+      sites.push_back(sites_.at(name).get());
+    }
+  }
+  std::vector<SiteInfo> out;
+  out.reserve(sites.size());
+  for (const Site* site : sites) {
+    SiteInfo info;
+    info.name = site->name();
+    info.policy = site->policy();
+    info.description = site->description();
+    info.spec = site->spec_text();
+    info.hits = site->hits();
+    info.fires = site->fires();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+Status Hit(const std::string& site) {
+  return FailpointRegistry::Global().GetSite(site)->Hit();
+}
+
+}  // namespace fault
+}  // namespace iqs

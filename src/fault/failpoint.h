@@ -1,0 +1,197 @@
+#ifndef IQS_FAULT_FAILPOINT_H_
+#define IQS_FAULT_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace iqs {
+namespace fault {
+
+// Failpoints: named fault-injection sites threaded through every pipeline
+// stage (parsers, dictionary, induction, inference, executor, persistence,
+// thread pool). A site is a no-op until armed with a spec — one relaxed
+// atomic load on the hot path — and every trigger is deterministic for a
+// fixed spec and hit sequence (prob() draws from a per-site mt19937 seeded
+// by the spec, never from wall clock or global randomness). Arm sites via
+//   * the IQS_FAILPOINTS environment variable ("site=spec;site=spec"),
+//   * `set failpoint <site> <spec>` in the iqs_shell,
+//   * FailpointRegistry::Global().Set(...) in tests (or ScopedFailpoint).
+// See DESIGN.md §8 for the spec grammar and per-stage degradation
+// policies.
+
+// How the surrounding stage degrades when the site fires. Declared per
+// site in the manifest (failpoint.cc) and asserted by the fault matrix
+// test; the wiring in each stage implements the policy.
+enum class Policy {
+  kFailFast,           // error surfaces to the caller unchanged (parsers)
+  kRetryTransient,     // retried with backoff while Unavailable
+  kDegradeExtensional, // query falls back to the extensional-only answer
+  kSkipAndLog,         // the faulting unit (one rule) is skipped, logged
+  kSerialFallback,     // parallel region re-executes serially
+  kKeepPrevious,       // operation fails, prior state stays installed
+};
+
+const char* PolicyName(Policy policy);
+
+// Parsed form of a failpoint spec:
+//   spec    := "off" | [trigger ":"] action
+//   trigger := "once" | "after(N)" | "times(N)" | "prob(P,SEED)"
+//   action  := "error(code[,message])"
+//   code    := unavailable | internal | notfound | invalid | parse |
+//              type | constraint | exists
+// "once" fires on the first hit only; "after(N)" passes N hits then fires
+// on every later one; "times(N)" fires on the first N hits then passes;
+// "prob(P,SEED)" fires each hit with probability P, deterministically
+// under SEED.
+struct FailpointSpec {
+  enum class Trigger { kAlways, kOnce, kAfter, kTimes, kProb };
+
+  Trigger trigger = Trigger::kAlways;
+  uint64_t n = 0;            // after(N) / times(N)
+  double probability = 0.0;  // prob(P, SEED)
+  uint32_t seed = 0;
+  StatusCode code = StatusCode::kInternal;
+  std::string message;  // empty -> "failpoint '<site>' fired"
+  std::string text;     // original spelling, for listings
+
+  static Result<FailpointSpec> Parse(const std::string& text);
+};
+
+// One injection site. Hit() is the only hot call: a relaxed counter add
+// plus an acquire load when disarmed; trigger evaluation takes the site
+// mutex (arming a failpoint is inherently a slow path).
+class Site {
+ public:
+  Site(std::string name, Policy policy, std::string description)
+      : name_(std::move(name)),
+        policy_(policy),
+        description_(std::move(description)) {}
+
+  Site(const Site&) = delete;
+  Site& operator=(const Site&) = delete;
+
+  // Evaluates the site: OK when disarmed or the trigger does not fire,
+  // else the spec's error Status.
+  Status Hit();
+
+  void Arm(FailpointSpec spec);
+  void Disarm();
+
+  const std::string& name() const { return name_; }
+  Policy policy() const { return policy_; }
+  const std::string& description() const { return description_; }
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t fires() const { return fires_.load(std::memory_order_relaxed); }
+  // Current spec text, "" when disarmed.
+  std::string spec_text() const;
+
+ private:
+  const std::string name_;
+  const Policy policy_;
+  const std::string description_;
+
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> fires_{0};
+
+  mutable std::mutex mu_;  // guards spec_, evals_, rng_
+  FailpointSpec spec_;
+  uint64_t evals_ = 0;     // hits evaluated since the spec was armed
+  std::mt19937 rng_;       // seeded by prob() specs
+};
+
+// Listing row for the shell's `failpoints` command and the matrix test.
+struct SiteInfo {
+  std::string name;
+  Policy policy = Policy::kFailFast;
+  std::string description;
+  std::string spec;  // "" when disarmed
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+};
+
+// Process-wide registry. Construction registers the manifest of every
+// wired site (so tests can enumerate sites that have never been hit) and
+// arms any specs found in IQS_FAILPOINTS.
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Global();
+
+  FailpointRegistry(const FailpointRegistry&) = delete;
+  FailpointRegistry& operator=(const FailpointRegistry&) = delete;
+
+  // Find-or-create; returned pointer stays valid for the registry's
+  // lifetime. Sites outside the manifest register ad hoc as kFailFast.
+  Site* GetSite(const std::string& name);
+
+  // Parses and arms `spec_text` on `name` ("off" disarms). Unknown sites
+  // are created, so specs can be staged before the code path first runs.
+  Status Set(const std::string& name, const std::string& spec_text);
+
+  // Parses "site=spec;site=spec" (also accepts ',' between assignments).
+  Status SetFromList(const std::string& assignments);
+
+  void Clear(const std::string& name);
+  void ClearAll();
+
+  // Manifest order first, ad-hoc sites after, both alphabetical-stable.
+  std::vector<SiteInfo> List() const;
+
+ private:
+  FailpointRegistry();
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Site>> sites_;
+  std::vector<std::string> order_;
+};
+
+// Convenience for call sites that cannot use the macro (templates,
+// non-Status control flow): one registry lookup per call.
+Status Hit(const std::string& site);
+
+// RAII arm/disarm, for tests:
+//   ScopedFailpoint fp("infer.fire", "error(unavailable,offline)");
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(const std::string& site, const std::string& spec)
+      : site_(site) {
+    Status s = FailpointRegistry::Global().Set(site, spec);
+    ok_ = s.ok();
+  }
+  ~ScopedFailpoint() { FailpointRegistry::Global().Clear(site_); }
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+  bool ok() const { return ok_; }
+
+ private:
+  std::string site_;
+  bool ok_ = false;
+};
+
+}  // namespace fault
+}  // namespace iqs
+
+// Evaluates the named failpoint and propagates its error to the caller
+// (any function returning Status or Result<T>). The Site pointer is
+// resolved once and cached in a function-local static, so the steady-state
+// cost is one relaxed add and one acquire load.
+#define IQS_FAILPOINT(site)                                        \
+  do {                                                             \
+    static ::iqs::fault::Site* iqs_fp_site_ =                      \
+        ::iqs::fault::FailpointRegistry::Global().GetSite(site);   \
+    ::iqs::Status iqs_fp_status_ = iqs_fp_site_->Hit();            \
+    if (!iqs_fp_status_.ok()) return iqs_fp_status_;               \
+  } while (0)
+
+#endif  // IQS_FAULT_FAILPOINT_H_

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/string_util.h"
+#include "fault/failpoint.h"
 #include "exec/parallel.h"
 #include "induction/candidate_generator.h"
 #include "induction/inter_object.h"
@@ -132,6 +133,9 @@ Result<std::vector<Rule>> InductiveLearningSubsystem::InduceInterObject(
 Result<RuleSet> InductiveLearningSubsystem::InduceAll(
     const InductionConfig& config) const {
   IQS_TRACE_SCOPE("ils.induce_all");
+  // kKeepPrevious: when this fires, InduceAll fails before any work and
+  // IqsSystem::Induce leaves the previously installed rule base in place.
+  IQS_FAILPOINT("ils.induce");
   IQS_COUNTER_INC("ils.induce_all.count");
   auto start = std::chrono::steady_clock::now();
   // Fan object types (then relationship types) out across the pool; the

@@ -4,6 +4,7 @@
 
 #include "common/string_util.h"
 #include "exec/parallel.h"
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rules/subsumption.h"
@@ -96,7 +97,8 @@ bool InferenceEngine::ExpandTypeFacts(std::vector<Fact>* facts) const {
 }
 
 Result<std::vector<Fact>> InferenceEngine::Forward(
-    const QueryDescription& query, const RuleSet& rules) const {
+    const QueryDescription& query, const RuleSet& rules,
+    std::vector<fault::DegradationEvent>* degradations) const {
   IQS_SPAN("infer.forward");
   std::vector<Fact> facts = SeedFacts(query);
   ExpandTypeFacts(&facts);
@@ -105,6 +107,8 @@ Result<std::vector<Fact>> InferenceEngine::Forward(
       dictionary_->active_domains();
   bool changed = true;
   int iterations = 0;
+  uint64_t skipped_firings = 0;
+  std::string skip_reason;
   while (changed) {
     if (++iterations > 64) {
       return Status::Internal("forward inference did not reach a fixpoint");
@@ -134,6 +138,15 @@ Result<std::vector<Fact>> InferenceEngine::Forward(
     for (size_t i = 0; i < all_rules.size(); ++i) {
       if (!matched[i]) continue;
       const Rule& rule = all_rules[i];
+      // Skip-and-log: a faulting rule firing is dropped, the rest of the
+      // fixpoint continues. Checked in this serial loop (not the parallel
+      // match phase) so the skip sequence is deterministic.
+      if (Status fp = fault::Hit("infer.match"); !fp.ok()) {
+        ++skipped_firings;
+        skip_reason = fp.message();
+        IQS_COUNTER_INC("infer.forward.skipped_firings");
+        continue;
+      }
       IQS_COUNTER_INC("infer.forward.firings");
       // Modus ponens: the consequent holds of every answer tuple.
       if (!StartsWith(rule.rhs.clause.attribute(), "isa(")) {
@@ -153,6 +166,14 @@ Result<std::vector<Fact>> InferenceEngine::Forward(
   IQS_COUNTER_ADD("infer.forward.iterations", iterations);
   IQS_SPAN_ANNOTATE("facts", static_cast<int64_t>(facts.size()));
   IQS_SPAN_ANNOTATE("iterations", static_cast<int64_t>(iterations));
+  if (skipped_firings > 0) {
+    fault::DegradationEvent event{
+        "rule-match", fault::DegradeAction::kSkipRule,
+        "skipped " + std::to_string(skipped_firings) + " rule firing" +
+            (skipped_firings == 1 ? "" : "s") + ": " + skip_reason};
+    fault::RecordDegradation(event);
+    if (degradations != nullptr) degradations->push_back(std::move(event));
+  }
   return facts;
 }
 
@@ -252,24 +273,26 @@ std::optional<std::string> InferenceEngine::DetectContradiction(
 }
 
 Result<IntensionalAnswer> InferenceEngine::Infer(
-    const QueryDescription& query, InferenceMode mode) const {
+    const QueryDescription& query, InferenceMode mode,
+    std::vector<fault::DegradationEvent>* degradations) const {
   // Hold a snapshot so a concurrent re-induction cannot swap the rule
   // base out from under the inference pass.
   std::shared_ptr<const RuleSet> rules = dictionary_->induced_rules_snapshot();
-  return InferWith(query, mode, *rules);
+  return InferWith(query, mode, *rules, degradations);
 }
 
 Result<IntensionalAnswer> InferenceEngine::InferWith(
-    const QueryDescription& query, InferenceMode mode,
-    const RuleSet& rules) const {
+    const QueryDescription& query, InferenceMode mode, const RuleSet& rules,
+    std::vector<fault::DegradationEvent>* degradations) const {
   IQS_SPAN("infer");
+  IQS_FAILPOINT("infer.fire");
   IQS_SPAN_ANNOTATE("mode", std::string(InferenceModeName(mode)));
   IQS_COUNTER_INC("infer.count");
   auto start = std::chrono::steady_clock::now();
   IntensionalAnswer answer;
   std::vector<Fact> forward_facts;
   if (mode == InferenceMode::kForward || mode == InferenceMode::kCombined) {
-    IQS_ASSIGN_OR_RETURN(forward_facts, Forward(query, rules));
+    IQS_ASSIGN_OR_RETURN(forward_facts, Forward(query, rules, degradations));
     if (auto contradiction = DetectContradiction(forward_facts);
         contradiction.has_value()) {
       answer.set_empty_proof(std::move(*contradiction));

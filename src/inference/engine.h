@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "dictionary/data_dictionary.h"
+#include "fault/degrade.h"
 #include "inference/intensional_answer.h"
 
 namespace iqs {
@@ -43,9 +44,13 @@ class InferenceEngine {
   // Forward inference to fixpoint. Returns every fact holding for each
   // tuple of the answer: the seeded query conditions, rule consequents
   // whose LHS subsumes known facts (after active-domain clipping), the
-  // supertype closure, and derivation expansions of type facts.
-  Result<std::vector<Fact>> Forward(const QueryDescription& query,
-                                    const RuleSet& rules) const;
+  // supertype closure, and derivation expansions of type facts. A rule
+  // whose firing faults (the "infer.match" failpoint) is skipped and
+  // logged; when `degradations` is non-null one summary event per run is
+  // appended for the skipped rules.
+  Result<std::vector<Fact>> Forward(
+      const QueryDescription& query, const RuleSet& rules,
+      std::vector<fault::DegradationEvent>* degradations = nullptr) const;
 
   // Backward inference: for each fact in `targets`, finds rules whose RHS
   // implies the fact and emits their LHS as a contained-in description.
@@ -57,14 +62,16 @@ class InferenceEngine {
 
   // Runs the requested mode against the dictionary's induced rules (the
   // paper's configuration).
-  Result<IntensionalAnswer> Infer(const QueryDescription& query,
-                                  InferenceMode mode) const;
+  Result<IntensionalAnswer> Infer(
+      const QueryDescription& query, InferenceMode mode,
+      std::vector<fault::DegradationEvent>* degradations = nullptr) const;
 
   // Same, against an explicit rule set (lets the baseline run with the
   // declared integrity constraints only).
-  Result<IntensionalAnswer> InferWith(const QueryDescription& query,
-                                      InferenceMode mode,
-                                      const RuleSet& rules) const;
+  Result<IntensionalAnswer> InferWith(
+      const QueryDescription& query, InferenceMode mode,
+      const RuleSet& rules,
+      std::vector<fault::DegradationEvent>* degradations = nullptr) const;
 
   // Checks the forward facts for mutual unsatisfiability: two range
   // facts over the same attribute whose intervals do not intersect (the

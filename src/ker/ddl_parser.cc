@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "common/string_util.h"
+#include "fault/failpoint.h"
 
 namespace iqs {
 
@@ -580,6 +581,7 @@ class DdlParser {
 }  // namespace
 
 Status ParseDdl(const std::string& input, KerCatalog* catalog) {
+  IQS_FAILPOINT("ddl.parse");
   IQS_ASSIGN_OR_RETURN(std::vector<DdlToken> tokens, LexDdl(input));
   DdlParser parser(std::move(tokens), catalog);
   return parser.Run();

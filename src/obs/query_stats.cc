@@ -26,6 +26,12 @@ std::string QueryStats::ToString() const {
       static_cast<unsigned long long>(backward_statements),
       static_cast<unsigned long long>(rules_fired));
   std::string out = buf;
+  if (degraded_events > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "degraded: %llu fault(s) absorbed while serving this query\n",
+                  static_cast<unsigned long long>(degraded_events));
+    out += buf;
+  }
   if (coverage >= 0.0) {
     std::snprintf(buf, sizeof(buf),
                   "coverage: %.3f of extensional answer (checked in %lld us)\n",
@@ -45,6 +51,7 @@ std::string QueryStats::ToJson() const {
       "\"rows_scanned\": %llu, \"rows_returned\": %llu, "
       "\"index_prefiltered_tables\": %llu, \"forward_facts\": %llu, "
       "\"backward_statements\": %llu, \"rules_fired\": %llu, "
+      "\"degraded_events\": %llu, "
       "\"coverage\": %.6f, \"coverage_micros\": %lld}",
       static_cast<long long>(parse_micros),
       static_cast<long long>(execute_micros),
@@ -57,7 +64,8 @@ std::string QueryStats::ToJson() const {
       static_cast<unsigned long long>(index_prefiltered_tables),
       static_cast<unsigned long long>(forward_facts),
       static_cast<unsigned long long>(backward_statements),
-      static_cast<unsigned long long>(rules_fired), coverage,
+      static_cast<unsigned long long>(rules_fired),
+      static_cast<unsigned long long>(degraded_events), coverage,
       static_cast<long long>(coverage_micros));
   return buf;
 }

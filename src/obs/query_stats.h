@@ -29,6 +29,10 @@ struct QueryStats {
   uint64_t backward_statements = 0;   // contained-in statements
   uint64_t rules_fired = 0;           // distinct rules cited by the answer
 
+  // Faults absorbed while serving this query (see fault/degrade.h); the
+  // events themselves ride on QueryResult::degradations.
+  uint64_t degraded_events = 0;
+
   // Cost and value of the backward-coverage check (paper Example 2): how
   // completely the best exact backward statement covers the extensional
   // answer, and what computing that cost. coverage stays -1 when no

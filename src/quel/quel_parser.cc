@@ -1,6 +1,7 @@
 #include "quel/quel_parser.h"
 
 #include "common/string_util.h"
+#include "fault/failpoint.h"
 #include "sql/sql_lexer.h"
 
 namespace iqs {
@@ -305,6 +306,7 @@ class QuelParser {
 }  // namespace
 
 Result<QuelStatement> ParseQuelStatement(const std::string& text) {
+  IQS_FAILPOINT("quel.parse");
   IQS_ASSIGN_OR_RETURN(std::vector<SqlToken> tokens, LexSql(text));
   QuelParser parser(std::move(tokens));
   return parser.RunSingle();

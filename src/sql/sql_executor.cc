@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/string_util.h"
+#include "fault/failpoint.h"
 #include "exec/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -180,6 +181,7 @@ Result<PredicatePtr> SqlExecutor::BindExpr(const Schema& schema,
 Result<Relation> SqlExecutor::Execute(const SelectStatement& stmt) const {
   IQS_SPAN("sql.execute");
   IQS_COUNTER_INC("sql.execute.count");
+  IQS_FAILPOINT("exec.scan");
   auto start = std::chrono::steady_clock::now();
   stats_ = ExecutionStats();
   Result<Relation> result = ExecuteInternal(stmt);

@@ -1,6 +1,7 @@
 #include "sql/sql_parser.h"
 
 #include "common/string_util.h"
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sql/sql_lexer.h"
@@ -323,6 +324,7 @@ class Parser {
 Result<SelectStatement> ParseSelect(const std::string& sql) {
   IQS_SPAN("sql.parse");
   IQS_COUNTER_INC("sql.parse.count");
+  IQS_FAILPOINT("sql.parse");
   IQS_ASSIGN_OR_RETURN(std::vector<SqlToken> tokens, LexSql(sql));
   IQS_SPAN_ANNOTATE("tokens", static_cast<int64_t>(tokens.size()));
   Parser parser(std::move(tokens));

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "exec/thread_pool.h"
+#include "fault/failpoint.h"
 #include "gtest/gtest.h"
 #include "obs/trace.h"
 #include "tests/test_util.h"
@@ -114,6 +115,99 @@ TEST(ConcurrencyStressTest, MixedQueriesExplainAndReinduction) {
   for (const std::string& sql : StressQueries()) {
     auto result = system->Query(sql);
     ASSERT_TRUE(result.ok()) << sql;
+    EXPECT_EQ(result->extensional.ToTable(), expected[sql]) << sql;
+  }
+}
+
+TEST(ConcurrencyStressTest, FaultInjectionUnderLoad) {
+  // The query/explain/induction mix again, but with probabilistic
+  // failpoints (fixed seeds) flickering on the intensional half of the
+  // pipeline the whole time. Degradation must stay graceful under
+  // concurrency: queries never fail, extensional answers never drift,
+  // induction faults keep the previous rule base, and everything is
+  // data-race-free under -DIQS_SANITIZE=thread.
+  auto system = testing_util::ShipSystemOrFail();
+  ASSERT_TRUE(system);
+  InductionConfig nc3;
+  nc3.min_support = 3;
+  ASSERT_OK(system->Induce(nc3));
+  exec::SetGlobalThreadCount(4);
+
+  std::map<std::string, std::string> expected;
+  for (const std::string& sql : StressQueries()) {
+    auto result = system->Query(sql);
+    ASSERT_TRUE(result.ok()) << sql << " -> " << result.status();
+    expected[sql] = result->extensional.ToTable();
+  }
+
+  // Fixed seeds -> each site's fire sequence is deterministic per hit
+  // index; only the thread interleaving varies.
+  ASSERT_OK(fault::FailpointRegistry::Global().SetFromList(
+      "infer.fire=prob(0.3,101):error(unavailable,injected outage); "
+      "infer.match=prob(0.2,202):error(internal,injected match fault); "
+      "ils.induce=prob(0.3,303):error(unavailable,injected induce fault); "
+      "exec.dispatch=prob(0.2,404):error(unavailable,injected dispatch "
+      "fault)"));
+
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> degraded_queries{0};
+  auto note_failure = [&failures](const std::string& what) {
+    failures.fetch_add(1);
+    ADD_FAILURE() << what;
+  };
+
+  std::vector<std::thread> threads;
+  for (unsigned seed = 1; seed <= 3; ++seed) {
+    threads.emplace_back([&, seed] {
+      std::mt19937 rng(seed);
+      std::uniform_int_distribution<size_t> pick(0, StressQueries().size() - 1);
+      for (int i = 0; i < kIterations && failures.load() == 0; ++i) {
+        const std::string& sql = StressQueries()[pick(rng)];
+        auto result = system->Query(sql);
+        if (!result.ok()) {
+          note_failure("query failed under fault load: " + sql + " -> " +
+                       result.status().ToString());
+          continue;
+        }
+        if (result->degraded()) degraded_queries.fetch_add(1);
+        if (result->extensional.ToTable() != expected[sql]) {
+          note_failure("extensional drift under fault load: " + sql);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < kIterations && failures.load() == 0; ++i) {
+      obs::ScopedTrace scope("stress.fault_explain");
+      auto result = system->Query(StressQueries()[i % StressQueries().size()]);
+      if (!result.ok()) {
+        note_failure("explain query under fault load -> " +
+                     result.status().ToString());
+        continue;
+      }
+      if (system->Explain(*result).empty()) note_failure("empty prose");
+    }
+  });
+  threads.emplace_back([&] {
+    for (int i = 0; i < kIterations; ++i) {
+      // An induction fault is expected traffic here: kKeepPrevious means
+      // the installed rule base stays valid for the query threads.
+      Status s = system->Induce(nc3);
+      if (!s.ok() && s.code() != StatusCode::kUnavailable) {
+        note_failure("induce failed non-transiently -> " + s.ToString());
+      }
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  fault::FailpointRegistry::Global().ClearAll();
+  exec::SetGlobalThreadCount(1);
+
+  // Settled state: faults cleared, canonical rule base, clean answers.
+  ASSERT_OK(system->Induce(nc3));
+  for (const std::string& sql : StressQueries()) {
+    auto result = system->Query(sql);
+    ASSERT_TRUE(result.ok()) << sql;
+    EXPECT_TRUE(result->degradations.empty()) << sql;
     EXPECT_EQ(result->extensional.ToTable(), expected[sql]) << sql;
   }
 }

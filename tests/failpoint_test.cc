@@ -1,0 +1,254 @@
+// Unit tests for the failpoint subsystem: spec parsing, trigger
+// semantics (once / after / times / prob), registry management, the
+// RAII helper, transient retries, and the error budget.
+
+#include "fault/failpoint.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "fault/degrade.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace fault {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Global().ClearAll(); }
+};
+
+TEST_F(FailpointTest, ParseDefaultsToAlways) {
+  ASSERT_OK_AND_ASSIGN(FailpointSpec spec,
+                       FailpointSpec::Parse("error(internal)"));
+  EXPECT_EQ(spec.trigger, FailpointSpec::Trigger::kAlways);
+  EXPECT_EQ(spec.code, StatusCode::kInternal);
+  EXPECT_TRUE(spec.message.empty());
+}
+
+TEST_F(FailpointTest, ParseTriggerForms) {
+  ASSERT_OK_AND_ASSIGN(FailpointSpec once,
+                       FailpointSpec::Parse("once:error(parse,boom)"));
+  EXPECT_EQ(once.trigger, FailpointSpec::Trigger::kOnce);
+  EXPECT_EQ(once.code, StatusCode::kParseError);
+  EXPECT_EQ(once.message, "boom");
+
+  ASSERT_OK_AND_ASSIGN(FailpointSpec after,
+                       FailpointSpec::Parse("after(2):error(notfound)"));
+  EXPECT_EQ(after.trigger, FailpointSpec::Trigger::kAfter);
+  EXPECT_EQ(after.n, 2u);
+
+  ASSERT_OK_AND_ASSIGN(FailpointSpec times,
+                       FailpointSpec::Parse("times(3):error(unavailable)"));
+  EXPECT_EQ(times.trigger, FailpointSpec::Trigger::kTimes);
+  EXPECT_EQ(times.n, 3u);
+
+  ASSERT_OK_AND_ASSIGN(FailpointSpec prob,
+                       FailpointSpec::Parse("prob(0.25,42):error(internal)"));
+  EXPECT_EQ(prob.trigger, FailpointSpec::Trigger::kProb);
+  EXPECT_DOUBLE_EQ(prob.probability, 0.25);
+  EXPECT_EQ(prob.seed, 42u);
+}
+
+TEST_F(FailpointTest, ParseRejectsMalformedSpecs) {
+  for (const char* bad :
+       {"", "error", "error()", "error(nosuchcode)", "sometimes:error(parse)",
+        "after(x):error(parse)", "prob(2.0,1):error(parse)",
+        "prob(0.5):error(parse)", "once:", "explode(parse)"}) {
+    EXPECT_FALSE(FailpointSpec::Parse(bad).ok()) << "accepted: " << bad;
+  }
+}
+
+TEST_F(FailpointTest, AlwaysFiresEveryHit) {
+  ASSERT_OK(FailpointRegistry::Global().Set("test.always",
+                                            "error(internal,down)"));
+  for (int i = 0; i < 3; ++i) {
+    Status s = Hit("test.always");
+    EXPECT_EQ(s.code(), StatusCode::kInternal);
+    EXPECT_EQ(s.message(), "down");
+  }
+}
+
+TEST_F(FailpointTest, OnceFiresOnFirstHitOnly) {
+  ASSERT_OK(FailpointRegistry::Global().Set("test.once", "once:error(parse)"));
+  EXPECT_FALSE(Hit("test.once").ok());
+  EXPECT_OK(Hit("test.once"));
+  EXPECT_OK(Hit("test.once"));
+  Site* site = FailpointRegistry::Global().GetSite("test.once");
+  EXPECT_EQ(site->fires(), 1u);
+  EXPECT_FALSE(site->armed());  // once disarms after evaluating
+}
+
+TEST_F(FailpointTest, AfterPassesNHitsThenFires) {
+  ASSERT_OK(FailpointRegistry::Global().Set("test.after",
+                                            "after(2):error(notfound)"));
+  EXPECT_OK(Hit("test.after"));
+  EXPECT_OK(Hit("test.after"));
+  EXPECT_FALSE(Hit("test.after").ok());
+  EXPECT_FALSE(Hit("test.after").ok());
+}
+
+TEST_F(FailpointTest, TimesFiresNHitsThenPasses) {
+  ASSERT_OK(FailpointRegistry::Global().Set("test.times",
+                                            "times(2):error(unavailable)"));
+  EXPECT_FALSE(Hit("test.times").ok());
+  EXPECT_FALSE(Hit("test.times").ok());
+  EXPECT_OK(Hit("test.times"));
+  EXPECT_OK(Hit("test.times"));
+}
+
+TEST_F(FailpointTest, ProbIsDeterministicUnderAFixedSeed) {
+  auto sequence = [&]() {
+    EXPECT_OK(FailpointRegistry::Global().Set(
+        "test.prob", "prob(0.5,1234):error(internal)"));
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) fired.push_back(!Hit("test.prob").ok());
+    FailpointRegistry::Global().Clear("test.prob");
+    return fired;
+  };
+  std::vector<bool> first = sequence();
+  std::vector<bool> second = sequence();
+  EXPECT_EQ(first, second);
+  size_t fires = 0;
+  for (bool f : first) fires += f ? 1 : 0;
+  EXPECT_GT(fires, 0u);
+  EXPECT_LT(fires, first.size());
+}
+
+TEST_F(FailpointTest, OffAndClearDisarm) {
+  ASSERT_OK(FailpointRegistry::Global().Set("test.off", "error(internal)"));
+  EXPECT_FALSE(Hit("test.off").ok());
+  ASSERT_OK(FailpointRegistry::Global().Set("test.off", "off"));
+  EXPECT_OK(Hit("test.off"));
+  ASSERT_OK(FailpointRegistry::Global().Set("test.off", "error(internal)"));
+  FailpointRegistry::Global().Clear("test.off");
+  EXPECT_OK(Hit("test.off"));
+}
+
+TEST_F(FailpointTest, SetFromListArmsSeveralSites) {
+  ASSERT_OK(FailpointRegistry::Global().SetFromList(
+      "test.a=error(parse); test.b=once:error(internal)"));
+  EXPECT_FALSE(Hit("test.a").ok());
+  EXPECT_FALSE(Hit("test.b").ok());
+  EXPECT_OK(Hit("test.b"));  // once
+  EXPECT_FALSE(FailpointRegistry::Global().SetFromList("garbage").ok());
+  EXPECT_FALSE(
+      FailpointRegistry::Global().SetFromList("test.c=explode()").ok());
+}
+
+TEST_F(FailpointTest, ListReportsManifestSitesWithPolicies) {
+  std::vector<SiteInfo> sites = FailpointRegistry::Global().List();
+  bool found_infer = false;
+  bool found_scan = false;
+  for (const SiteInfo& s : sites) {
+    if (s.name == "infer.fire") {
+      found_infer = true;
+      EXPECT_EQ(s.policy, Policy::kDegradeExtensional);
+      EXPECT_TRUE(s.spec.empty());
+    }
+    if (s.name == "exec.scan") {
+      found_scan = true;
+      EXPECT_EQ(s.policy, Policy::kRetryTransient);
+    }
+  }
+  EXPECT_TRUE(found_infer);
+  EXPECT_TRUE(found_scan);
+}
+
+TEST_F(FailpointTest, ScopedFailpointArmsAndClears) {
+  {
+    ScopedFailpoint fp("test.scoped", "error(internal)");
+    EXPECT_TRUE(fp.ok());
+    EXPECT_FALSE(Hit("test.scoped").ok());
+  }
+  EXPECT_OK(Hit("test.scoped"));
+}
+
+TEST_F(FailpointTest, MacroReturnsFromStatusFunctions) {
+  auto guarded = []() -> Status {
+    IQS_FAILPOINT("test.macro");
+    return Status::Ok();
+  };
+  EXPECT_OK(guarded());
+  ScopedFailpoint fp("test.macro", "error(constraint,violated)");
+  Status s = guarded();
+  EXPECT_EQ(s.code(), StatusCode::kConstraintViolation);
+  EXPECT_EQ(s.message(), "violated");
+}
+
+TEST_F(FailpointTest, RetryTransientAbsorbsTransientFaults) {
+  int calls = 0;
+  Status ok = RetryTransient("test.retry", 3, [&calls]() {
+    ++calls;
+    return calls < 3 ? Status::Unavailable("flaky") : Status::Ok();
+  });
+  EXPECT_OK(ok);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST_F(FailpointTest, RetryTransientGivesUpAfterMaxAttempts) {
+  int calls = 0;
+  Status s = RetryTransient("test.retry", 3, [&calls]() {
+    ++calls;
+    return Status::Unavailable("still down");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST_F(FailpointTest, RetryTransientDoesNotRetryPermanentErrors) {
+  int calls = 0;
+  Status s = RetryTransient("test.retry", 3, [&calls]() {
+    ++calls;
+    return Status::Internal("broken");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(FailpointTest, RetryTransientResultReturnsTheValue) {
+  int calls = 0;
+  Result<int> r = RetryTransientResult<int>("test.retry", 3, [&calls]() -> Result<int> {
+    ++calls;
+    if (calls < 2) return Status::Unavailable("flaky");
+    return 7;
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST_F(FailpointTest, ErrorBudgetTracksWindowRatio) {
+  ErrorBudget budget(/*window=*/4, /*threshold=*/0.5);
+  budget.RecordOk();
+  budget.RecordOk();
+  EXPECT_FALSE(budget.snapshot().exhausted);
+  budget.RecordDegraded();
+  budget.RecordFailed();
+  ErrorBudget::Snapshot snap = budget.snapshot();
+  EXPECT_EQ(snap.ok, 2u);
+  EXPECT_EQ(snap.degraded, 1u);
+  EXPECT_EQ(snap.failed, 1u);
+  EXPECT_DOUBLE_EQ(snap.window_ratio, 0.5);
+  EXPECT_TRUE(snap.exhausted);
+  // Clean traffic pushes the bad outcomes out of the window.
+  for (int i = 0; i < 4; ++i) budget.RecordOk();
+  EXPECT_FALSE(budget.snapshot().exhausted);
+  EXPECT_DOUBLE_EQ(budget.snapshot().window_ratio, 0.0);
+  budget.Reset();
+  EXPECT_EQ(budget.snapshot().ok, 0u);
+}
+
+TEST_F(FailpointTest, StatusCodeUnavailableRoundTrips) {
+  Status s = Status::Unavailable("snapshot load timed out");
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(IsTransient(s));
+  EXPECT_FALSE(IsTransient(Status::Internal("x")));
+  EXPECT_FALSE(IsTransient(Status::Ok()));
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace iqs

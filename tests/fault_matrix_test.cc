@@ -1,0 +1,296 @@
+// The fault matrix: every failpoint site registered in the manifest is
+// armed and fired against a live ship system, and the outcome is checked
+// against the site's declared degradation policy — fail-fast errors
+// surface, transient faults are retried away, inference faults degrade
+// to an annotated extensional-only answer, rule-match faults skip and
+// log, parallel faults fall back to serial execution, and induction
+// faults keep the previous rule base. The single driver loop dispatches
+// on site name and FAILs on any manifest site without a driver, so the
+// matrix can never silently fall behind the manifest.
+
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/persistence.h"
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
+#include "fault/degrade.h"
+#include "fault/failpoint.h"
+#include "gtest/gtest.h"
+#include "ker/ddl_parser.h"
+#include "quel/quel_parser.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+using fault::FailpointRegistry;
+using fault::Policy;
+using fault::ScopedFailpoint;
+using fault::SiteInfo;
+
+// A query that fires induced rules on the ship testbed (paper Example 1).
+constexpr char kRuleQuery[] =
+    "SELECT Id FROM SUBMARINE WHERE SUBMARINE.Class = '0204'";
+
+class FaultMatrixTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ship_ = testing_util::ShipSystemOrFail().release();
+    ASSERT_NE(ship_, nullptr);
+    InductionConfig config;
+    config.min_support = 3;
+    ASSERT_OK(ship_->Induce(config));
+    ASSERT_OK_AND_ASSIGN(QueryResult baseline, ship_->Query(kRuleQuery));
+    baseline_extensional_ = new std::string(baseline.extensional.ToTable());
+    EXPECT_TRUE(baseline.degradations.empty());
+    EXPECT_GT(baseline.intensional.size(), 0u);
+  }
+  static void TearDownTestSuite() {
+    delete ship_;
+    ship_ = nullptr;
+    delete baseline_extensional_;
+    baseline_extensional_ = nullptr;
+  }
+  void TearDown() override { FailpointRegistry::Global().ClearAll(); }
+
+  // Runs the rule query expecting graceful degradation: success, the
+  // baseline extensional bytes, and at least one degradation event.
+  QueryResult QueryDegraded() {
+    auto result = ship_->Query(kRuleQuery);
+    EXPECT_TRUE(result.ok()) << result.status();
+    if (!result.ok()) return QueryResult{};
+    EXPECT_EQ(result->extensional.ToTable(), *baseline_extensional_);
+    EXPECT_TRUE(result->degraded());
+    EXPECT_EQ(result->stats.degraded_events, result->degradations.size());
+    return std::move(result).value();
+  }
+
+  static IqsSystem* ship_;
+  static std::string* baseline_extensional_;
+};
+
+IqsSystem* FaultMatrixTest::ship_ = nullptr;
+std::string* FaultMatrixTest::baseline_extensional_ = nullptr;
+
+// --- the matrix ------------------------------------------------------------
+
+TEST_F(FaultMatrixTest, EveryManifestSiteDegradesAsDeclared) {
+  size_t driven = 0;
+  for (const SiteInfo& site : FailpointRegistry::Global().List()) {
+    SCOPED_TRACE("failpoint site: " + site.name);
+    if (site.description == "ad-hoc site") continue;  // from other tests
+    ++driven;
+
+    if (site.name == "sql.parse") {
+      EXPECT_EQ(site.policy, Policy::kFailFast);
+      ScopedFailpoint fp(site.name, "once:error(parse,injected)");
+      ASSERT_TRUE(fp.ok());
+      auto result = ship_->Query(kRuleQuery);
+      ASSERT_FALSE(result.ok());
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+      // `once` is spent: the very next query parses fine.
+      EXPECT_TRUE(ship_->Query(kRuleQuery).ok());
+
+    } else if (site.name == "quel.parse") {
+      EXPECT_EQ(site.policy, Policy::kFailFast);
+      ScopedFailpoint fp(site.name, "error(parse,injected)");
+      ASSERT_TRUE(fp.ok());
+      EXPECT_FALSE(ParseQuelStatement("retrieve (s.Id)").ok());
+
+    } else if (site.name == "ddl.parse") {
+      EXPECT_EQ(site.policy, Policy::kFailFast);
+      ScopedFailpoint fp(site.name, "error(parse,injected)");
+      ASSERT_TRUE(fp.ok());
+      KerCatalog catalog;
+      EXPECT_FALSE(ParseDdl("domain Depth isa integer", &catalog).ok());
+
+    } else if (site.name == "dict.frame_lookup") {
+      EXPECT_EQ(site.policy, Policy::kFailFast);
+      ScopedFailpoint fp(site.name, "error(notfound,injected)");
+      ASSERT_TRUE(fp.ok());
+      auto frame = ship_->dictionary().GetFrame("SUBMARINE");
+      ASSERT_FALSE(frame.ok());
+      EXPECT_EQ(frame.status().code(), StatusCode::kNotFound);
+
+    } else if (site.name == "dict.rulebase_snapshot") {
+      EXPECT_EQ(site.policy, Policy::kDegradeExtensional);
+      ScopedFailpoint fp(site.name,
+                         "error(unavailable,rule base snapshot offline)");
+      ASSERT_TRUE(fp.ok());
+      QueryResult result = QueryDegraded();
+      ASSERT_EQ(result.degradations.size(), 1u);
+      EXPECT_EQ(result.degradations[0].stage, "rulebase");
+      EXPECT_EQ(result.degradations[0].action,
+                fault::DegradeAction::kExtensionalOnly);
+      EXPECT_EQ(result.intensional.size(), 0u);
+      std::string rendered = ship_->Explain(result);
+      EXPECT_NE(rendered.find(
+                    "intensional unavailable: rule base snapshot offline"),
+                std::string::npos)
+          << rendered;
+
+    } else if (site.name == "ils.induce") {
+      EXPECT_EQ(site.policy, Policy::kKeepPrevious);
+      size_t before = ship_->dictionary().induced_rules_snapshot()->size();
+      ASSERT_GT(before, 0u);
+      ScopedFailpoint fp(site.name, "error(unavailable,induction offline)");
+      ASSERT_TRUE(fp.ok());
+      InductionConfig config;
+      config.min_support = 5;
+      Status induce = ship_->Induce(config);
+      EXPECT_EQ(induce.code(), StatusCode::kUnavailable);
+      // The previously installed rule base is untouched.
+      EXPECT_EQ(ship_->dictionary().induced_rules_snapshot()->size(), before);
+      EXPECT_TRUE(ship_->Query(kRuleQuery).ok());
+
+    } else if (site.name == "infer.match") {
+      EXPECT_EQ(site.policy, Policy::kSkipAndLog);
+      ScopedFailpoint fp(site.name, "error(internal,rule match fault)");
+      ASSERT_TRUE(fp.ok());
+      QueryResult result = QueryDegraded();
+      bool skipped = false;
+      for (const fault::DegradationEvent& e : result.degradations) {
+        if (e.action == fault::DegradeAction::kSkipRule) {
+          skipped = true;
+          EXPECT_EQ(e.stage, "rule-match");
+          EXPECT_NE(e.reason.find("rule match fault"), std::string::npos);
+        }
+      }
+      EXPECT_TRUE(skipped);
+      std::string rendered = ship_->Explain(result);
+      EXPECT_NE(rendered.find("degraded: rule-match: skip-rule"),
+                std::string::npos)
+          << rendered;
+
+    } else if (site.name == "infer.fire") {
+      EXPECT_EQ(site.policy, Policy::kDegradeExtensional);
+      ScopedFailpoint fp(site.name,
+                         "error(unavailable,inference engine offline)");
+      ASSERT_TRUE(fp.ok());
+      QueryResult result = QueryDegraded();
+      ASSERT_EQ(result.degradations.size(), 1u);
+      EXPECT_EQ(result.degradations[0].stage, "inference");
+      EXPECT_EQ(result.intensional.size(), 0u);
+      std::string rendered = ship_->Explain(result);
+      EXPECT_NE(
+          rendered.find(
+              "intensional unavailable: inference engine offline [inference]"),
+          std::string::npos)
+          << rendered;
+
+    } else if (site.name == "exec.scan") {
+      EXPECT_EQ(site.policy, Policy::kRetryTransient);
+      {
+        // One transient fault: absorbed by the retry, annotated.
+        ScopedFailpoint fp(site.name, "times(1):error(unavailable,blip)");
+        ASSERT_TRUE(fp.ok());
+        QueryResult result = QueryDegraded();
+        ASSERT_EQ(result.degradations.size(), 1u);
+        EXPECT_EQ(result.degradations[0].action,
+                  fault::DegradeAction::kRetry);
+        EXPECT_GT(result.intensional.size(), 0u);  // inference unaffected
+      }
+      {
+        // A permanent outage exhausts the retries and surfaces.
+        ScopedFailpoint fp(site.name, "error(unavailable,scan down)");
+        ASSERT_TRUE(fp.ok());
+        auto result = ship_->Query(kRuleQuery);
+        ASSERT_FALSE(result.ok());
+        EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+      }
+
+    } else if (site.name == "exec.dispatch" ||
+               site.name == "exec.pool.batch") {
+      EXPECT_EQ(site.policy, Policy::kSerialFallback);
+      size_t saved_threads = exec::GlobalThreadCount();
+      exec::SetGlobalThreadCount(4);
+      ScopedFailpoint fp(site.name, "error(unavailable,pool fault)");
+      ASSERT_TRUE(fp.ok());
+      uint64_t fires_before =
+          FailpointRegistry::Global().GetSite(site.name)->fires();
+      // A region big enough to dispatch: the serial fallback must still
+      // produce the exact serial result.
+      std::vector<int> values(4096);
+      std::iota(values.begin(), values.end(), 1);
+      long long sum = exec::ParallelReduce<long long>(
+          "exec.fault_matrix", values.size(), 16, 0LL,
+          [&values](size_t begin, size_t end) {
+            long long acc = 0;
+            for (size_t i = begin; i < end; ++i) acc += values[i];
+            return acc;
+          },
+          [](long long* acc, long long part) { *acc += part; });
+      EXPECT_EQ(sum, 4096LL * 4097 / 2);
+      EXPECT_GT(FailpointRegistry::Global().GetSite(site.name)->fires(),
+                fires_before);
+      exec::SetGlobalThreadCount(saved_threads);
+
+    } else if (site.name == "persist.save" || site.name == "persist.load") {
+      EXPECT_EQ(site.policy, Policy::kRetryTransient);
+      const std::string dir =
+          ::testing::TempDir() + "iqs_fault_" + site.name;
+      if (site.name == "persist.save") {
+        ScopedFailpoint fp(site.name, "times(1):error(unavailable,io blip)");
+        ASSERT_TRUE(fp.ok());
+        EXPECT_OK(SaveSystem(ship_, dir));  // retried past the blip
+      } else {
+        ASSERT_OK(SaveSystem(ship_, dir));
+        ScopedFailpoint fp(site.name, "times(1):error(unavailable,io blip)");
+        ASSERT_TRUE(fp.ok());
+        auto loaded = LoadSystem(dir);
+        EXPECT_TRUE(loaded.ok()) << loaded.status();
+      }
+      {
+        // A permanent outage surfaces after the retries.
+        ScopedFailpoint fp(site.name, "error(unavailable,disk gone)");
+        ASSERT_TRUE(fp.ok());
+        if (site.name == "persist.save") {
+          EXPECT_EQ(SaveSystem(ship_, dir).code(), StatusCode::kUnavailable);
+        } else {
+          EXPECT_EQ(LoadSystem(dir).status().code(),
+                    StatusCode::kUnavailable);
+        }
+      }
+
+    } else {
+      ADD_FAILURE() << "manifest site '" << site.name
+                    << "' has no fault-matrix driver — add one here";
+    }
+    FailpointRegistry::Global().ClearAll();
+  }
+  // Sanity: the manifest did not shrink out from under the matrix.
+  EXPECT_GE(driven, 13u);
+}
+
+// With any single intensional-side failpoint active, every golden query
+// keeps returning the byte-identical extensional answer (the acceptance
+// bar for graceful degradation).
+TEST_F(FaultMatrixTest, IntensionalFaultsNeverPerturbExtensionalBytes) {
+  const std::vector<std::string> queries = {
+      kRuleQuery,
+      "SELECT ClassName, Type FROM CLASS WHERE Displacement >= 7250",
+      "SELECT Type, COUNT(*) FROM CLASS GROUP BY Type ORDER BY Type",
+  };
+  std::vector<std::string> baselines;
+  for (const std::string& sql : queries) {
+    ASSERT_OK_AND_ASSIGN(QueryResult r, ship_->Query(sql));
+    baselines.push_back(r.extensional.ToTable());
+  }
+  for (const char* site :
+       {"dict.rulebase_snapshot", "infer.fire", "infer.match", "ils.induce"}) {
+    SCOPED_TRACE(site);
+    ScopedFailpoint fp(site, "error(unavailable,injected outage)");
+    ASSERT_TRUE(fp.ok());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto result = ship_->Query(queries[i]);
+      ASSERT_TRUE(result.ok()) << queries[i] << " -> " << result.status();
+      EXPECT_EQ(result->extensional.ToTable(), baselines[i]) << queries[i];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iqs

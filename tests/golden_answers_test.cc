@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/failpoint.h"
 #include "gtest/gtest.h"
 #include "tests/test_util.h"
 
@@ -136,6 +137,60 @@ TEST_F(GoldenAnswersTest, EmployeeQueriesMatchGoldenFiles) {
   ASSERT_NE(employee_, nullptr);
   for (const GoldenCase& c : EmployeeCases()) {
     CheckOrUpdate(c.name, Render(*employee_, c.sql));
+  }
+}
+
+// Degraded goldens: with the inference engine failpoint active, every
+// query still answers — the extensional table is byte-identical to the
+// healthy golden and the intensional section is replaced by the
+// "intensional unavailable" annotation. Pinned to <stem>_degraded.txt so
+// the degraded output shape is itself regression-tested.
+std::string RenderDegraded(IqsSystem& system, const std::string& sql,
+                           const std::string& healthy) {
+  fault::ScopedFailpoint fp("infer.fire",
+                            "error(unavailable,inference engine offline)");
+  EXPECT_TRUE(fp.ok());
+  std::string rendered = Render(system, sql);
+  // The extensional block must be byte-identical to the healthy golden's.
+  const std::string marker = "-- intensional --\n";
+  size_t healthy_cut = healthy.find(marker);
+  size_t degraded_cut = rendered.find(marker);
+  EXPECT_NE(healthy_cut, std::string::npos);
+  EXPECT_NE(degraded_cut, std::string::npos);
+  if (healthy_cut != std::string::npos && degraded_cut != std::string::npos) {
+    EXPECT_EQ(rendered.substr(0, degraded_cut), healthy.substr(0, healthy_cut))
+        << sql << ": degradation perturbed the extensional answer";
+    EXPECT_NE(rendered.find("intensional unavailable: "
+                            "inference engine offline"),
+              std::string::npos)
+        << sql << ": missing degradation annotation";
+  }
+  return rendered;
+}
+
+TEST_F(GoldenAnswersTest, ShipQueriesDegradeToGoldenExtensionalAnswers) {
+  ASSERT_NE(ship_, nullptr);
+  for (const GoldenCase& c : ShipCases()) {
+    std::string sql;
+    if (c.sql != nullptr) {
+      sql = c.sql;
+    } else if (std::strcmp(c.name, "ship_example1") == 0) {
+      sql = Example1Sql();
+    } else if (std::strcmp(c.name, "ship_example2") == 0) {
+      sql = Example2Sql();
+    } else {
+      sql = Example3Sql();
+    }
+    CheckOrUpdate(std::string(c.name) + "_degraded",
+                  RenderDegraded(*ship_, sql, Render(*ship_, sql)));
+  }
+}
+
+TEST_F(GoldenAnswersTest, EmployeeQueriesDegradeToGoldenExtensionalAnswers) {
+  ASSERT_NE(employee_, nullptr);
+  for (const GoldenCase& c : EmployeeCases()) {
+    CheckOrUpdate(std::string(c.name) + "_degraded",
+                  RenderDegraded(*employee_, c.sql, Render(*employee_, c.sql)));
   }
 }
 
