@@ -1,0 +1,216 @@
+// Cache experiment (DESIGN.md §9): cold vs warm vs invalidation-storm
+// latency of the versioned plan/answer cache. Three regimes per test bed:
+//
+//   cold      - cache cleared before every sweep; every query parses,
+//               describes, and infers from scratch (plus pays the miss).
+//   warm      - steady state; plan and answer lookups hit.
+//   storm     - the database epoch is bumped before every sweep, so every
+//               answer entry is stale-by-key; plans still hit.
+//   uncached  - `set cache off` baseline proving the lookup overhead is
+//               negligible against the uncached pipeline.
+//
+// The acceptance bar for this subsystem: warm intensional stages
+// (parse + describe + infer) at least 5x faster than cold.
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_report.h"
+#include "cache/query_cache.h"
+#include "core/system.h"
+#include "testbed/employee_db.h"
+#include "testbed/ship_db.h"
+
+namespace {
+
+struct QuerySpec {
+  const char* label;
+  std::string sql;
+};
+
+struct SweepTiming {
+  double wall_us_per_query = 0;         // end-to-end Query() latency
+  double intensional_us_per_query = 0;  // parse + describe + infer stages
+};
+
+struct Regimes {
+  SweepTiming cold, warm, storm, uncached;
+};
+
+constexpr int kColdSweeps = 60;
+constexpr int kWarmSweeps = 400;
+constexpr int kStormSweeps = 200;
+
+// Runs the workload once and averages per-query wall and intensional-stage
+// micros. `before_sweep` runs outside the timed region.
+template <typename Prep>
+iqs::Result<SweepTiming> TimeSweeps(const iqs::IqsSystem& system,
+                                    const std::vector<QuerySpec>& queries,
+                                    int sweeps, Prep before_sweep) {
+  SweepTiming t;
+  int64_t wall = 0, stage = 0, count = 0;
+  for (int i = 0; i < sweeps; ++i) {
+    before_sweep();
+    for (const QuerySpec& q : queries) {
+      auto start = std::chrono::steady_clock::now();
+      IQS_ASSIGN_OR_RETURN(iqs::QueryResult result, system.Query(q.sql));
+      auto end = std::chrono::steady_clock::now();
+      wall += std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+                  .count();
+      stage += result.stats.parse_micros + result.stats.describe_micros +
+               result.stats.infer_micros;
+      ++count;
+    }
+  }
+  t.wall_us_per_query = static_cast<double>(wall) / count;
+  t.intensional_us_per_query = static_cast<double>(stage) / count;
+  return t;
+}
+
+iqs::Result<Regimes> RunWorkload(iqs::IqsSystem& system,
+                                 const std::string& bump_relation,
+                                 const std::vector<QuerySpec>& queries) {
+  iqs::cache::QueryCache& cache = system.processor().cache();
+  cache.set_enabled(true);
+  Regimes r;
+  IQS_ASSIGN_OR_RETURN(
+      r.cold, TimeSweeps(system, queries, kColdSweeps, [&] { cache.Clear(); }));
+  // Prime once, then measure steady state.
+  IQS_ASSIGN_OR_RETURN(SweepTiming prime,
+                       TimeSweeps(system, queries, 1, [] {}));
+  (void)prime;
+  IQS_ASSIGN_OR_RETURN(r.warm, TimeSweeps(system, queries, kWarmSweeps, [] {}));
+  IQS_ASSIGN_OR_RETURN(
+      r.storm, TimeSweeps(system, queries, kStormSweeps, [&] {
+        // Bumping the data epoch makes every cached answer stale-by-key
+        // without touching any rows; plans are epoch-free and keep hitting.
+        (void)system.database().GetMutable(bump_relation);
+      }));
+  cache.set_enabled(false);
+  IQS_ASSIGN_OR_RETURN(r.uncached,
+                       TimeSweeps(system, queries, kWarmSweeps, [] {}));
+  cache.set_enabled(true);
+  return r;
+}
+
+void Report(iqs::bench::BenchReport& report, const std::string& bed,
+            const Regimes& r) {
+  std::printf("--- %s ---\n", bed.c_str());
+  std::printf("%-10s %16s %16s\n", "regime", "wall us/query",
+              "intensional us");
+  struct Row {
+    const char* name;
+    const SweepTiming* t;
+  };
+  for (const Row& row : {Row{"cold", &r.cold}, Row{"warm", &r.warm},
+                         Row{"storm", &r.storm},
+                         Row{"uncached", &r.uncached}}) {
+    std::printf("%-10s %16.1f %16.1f\n", row.name, row.t->wall_us_per_query,
+                row.t->intensional_us_per_query);
+    report.Add(bed + "." + row.name + ".wall_us_per_query",
+               row.t->wall_us_per_query, "us");
+    report.Add(bed + "." + row.name + ".intensional_us_per_query",
+               row.t->intensional_us_per_query, "us");
+  }
+  double wall_speedup = r.warm.wall_us_per_query > 0
+                            ? r.cold.wall_us_per_query / r.warm.wall_us_per_query
+                            : 0;
+  double stage_speedup =
+      r.warm.intensional_us_per_query > 0
+          ? r.cold.intensional_us_per_query / r.warm.intensional_us_per_query
+          : 0;
+  std::printf("warm speedup vs cold: %.1fx wall, %.1fx intensional "
+              "(bar: >= 5x)\n\n",
+              wall_speedup, stage_speedup);
+  report.Add(bed + ".warm_speedup_wall", wall_speedup, "x");
+  report.Add(bed + ".warm_speedup_intensional", stage_speedup, "x");
+}
+
+}  // namespace
+
+int main() {
+  auto ship_or = iqs::BuildShipSystem();
+  auto employee_or = iqs::BuildEmployeeSystem();
+  if (!ship_or.ok() || !employee_or.ok()) {
+    std::cerr << "testbed construction failed\n";
+    return 1;
+  }
+  std::unique_ptr<iqs::IqsSystem> ship = std::move(ship_or).value();
+  std::unique_ptr<iqs::IqsSystem> employee = std::move(employee_or).value();
+  iqs::InductionConfig config;
+  config.min_support = 3;
+  if (!ship->Induce(config).ok() || !employee->Induce(config).ok()) return 1;
+
+  const std::vector<QuerySpec> ship_queries = {
+      {"example1", iqs::Example1Sql()},
+      {"example2", iqs::Example2Sql()},
+      {"example3", iqs::Example3Sql()},
+      {"id_range",
+       "SELECT Id FROM SUBMARINE WHERE SUBMARINE.Id BETWEEN 'SSBN623' AND "
+       "'SSBN635'"},
+  };
+  const std::vector<QuerySpec> employee_queries = {
+      {"high_salary", "SELECT Name FROM EMPLOYEE WHERE Salary > 100000"},
+      {"seniors", "SELECT Name, Position FROM EMPLOYEE WHERE Age >= 40"},
+      {"position_counts",
+       "SELECT Position, COUNT(*) FROM EMPLOYEE GROUP BY Position ORDER BY "
+       "Position"},
+      {"engineer_divisions",
+       "SELECT EMPLOYEE.Name, DEPARTMENT.Division FROM EMPLOYEE, WORKS_IN, "
+       "DEPARTMENT WHERE EMPLOYEE.EmpId = WORKS_IN.Emp AND WORKS_IN.Dept = "
+       "DEPARTMENT.Dept AND EMPLOYEE.Position = 'ENGINEER'"},
+      {"salary_band_divisions",
+       "SELECT EMPLOYEE.Name, DEPARTMENT.Division FROM EMPLOYEE, WORKS_IN, "
+       "DEPARTMENT WHERE EMPLOYEE.EmpId = WORKS_IN.Emp AND WORKS_IN.Dept = "
+       "DEPARTMENT.Dept AND EMPLOYEE.Salary BETWEEN 60000 AND 89000"},
+  };
+
+  std::printf("=== cache: cold vs warm vs invalidation storm ===\n");
+  std::printf("%d cold / %d warm / %d storm sweeps per test bed\n\n",
+              kColdSweeps, kWarmSweeps, kStormSweeps);
+  iqs::bench::BenchReport report("cache");
+
+  auto ship_r = RunWorkload(*ship, "SUBMARINE", ship_queries);
+  if (!ship_r.ok()) {
+    std::cerr << ship_r.status() << "\n";
+    return 1;
+  }
+  Report(report, "ship", *ship_r);
+
+  auto employee_r = RunWorkload(*employee, "EMPLOYEE", employee_queries);
+  if (!employee_r.ok()) {
+    std::cerr << employee_r.status() << "\n";
+    return 1;
+  }
+  Report(report, "employee", *employee_r);
+
+  // Representative per-stage breakdowns: Example 1 cold and warm.
+  iqs::cache::QueryCache& cache = ship->processor().cache();
+  cache.Clear();
+  auto cold_q = ship->Query(iqs::Example1Sql());
+  auto warm_q = ship->Query(iqs::Example1Sql());
+  if (cold_q.ok() && warm_q.ok()) {
+    report.AddQueryStats("example1_cold", cold_q->stats);
+    report.AddQueryStats("example1_warm", warm_q->stats);
+  }
+  std::printf("%s\n", cache.StatsText().c_str());
+
+  bool bar_met = ship_r->warm.intensional_us_per_query > 0 &&
+                 employee_r->warm.intensional_us_per_query > 0 &&
+                 ship_r->cold.intensional_us_per_query /
+                         ship_r->warm.intensional_us_per_query >=
+                     5.0 &&
+                 employee_r->cold.intensional_us_per_query /
+                         employee_r->warm.intensional_us_per_query >=
+                     5.0;
+  report.Add("bar.warm_ge_5x_intensional", bar_met ? 1 : 0, "bool");
+  if (!report.Write()) return 1;
+  if (!bar_met) {
+    std::fprintf(stderr, "FAIL: warm/cold intensional speedup below 5x\n");
+    return 1;
+  }
+  return 0;
+}

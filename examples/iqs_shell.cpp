@@ -61,6 +61,11 @@ void PrintHelp() {
       "  set threads <N>       resize the execution pool (1 = serial);\n"
       "                        overrides the IQS_THREADS environment value\n"
       "  threads               show the current worker count\n"
+      "  set cache on|off      enable/disable the plan + answer caches\n"
+      "  set cache capacity <N>\n"
+      "                        resize both caches (entries, LRU-evicted)\n"
+      "  cache                 print cache stats (sizes, hit/miss/evict)\n"
+      "  cache clear           drop every cached plan and answer\n"
       "  set failpoint <name> <spec>\n"
       "                        arm a fault-injection site ('off' disarms);\n"
       "                        spec = [once|after(N)|times(N)|prob(P,SEED):]\n"
@@ -251,6 +256,40 @@ int main(int argc, char** argv) {
       }
       std::cout << system->dictionary().induced_rules().size()
                 << " rules at Nc = " << c.min_support << "\n";
+      continue;
+    }
+    if (iqs::StartsWith(lower, "set cache")) {
+      iqs::cache::QueryCache& cache = system->processor().cache();
+      std::string arg(iqs::StripWhitespace(lower.substr(9)));
+      if (arg == "on" || arg == "off") {
+        cache.set_enabled(arg == "on");
+        std::cout << "cache: " << arg << "\n";
+        continue;
+      }
+      if (iqs::StartsWith(arg, "capacity")) {
+        std::string num(iqs::StripWhitespace(arg.substr(8)));
+        char* end = nullptr;
+        long n = std::strtol(num.c_str(), &end, 10);
+        if (num.empty() || end == nullptr || *end != '\0' || n < 1) {
+          std::cout << "usage: set cache capacity <N>  (N >= 1)\n";
+          continue;
+        }
+        cache.set_capacity(static_cast<size_t>(n));
+        std::cout << "cache capacity: " << cache.capacity()
+                  << " entries per cache\n";
+        continue;
+      }
+      std::cout << "usage: set cache on|off | set cache capacity <N>\n";
+      continue;
+    }
+    if (lower == "cache" || lower == "cache clear") {
+      iqs::cache::QueryCache& cache = system->processor().cache();
+      if (lower == "cache clear") {
+        cache.Clear();
+        std::cout << "cache cleared\n";
+        continue;
+      }
+      std::cout << cache.StatsText();
       continue;
     }
     if (iqs::StartsWith(lower, "set failpoint")) {

@@ -1,0 +1,76 @@
+#include "cache/query_cache.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace iqs {
+namespace cache {
+
+std::string NormalizeSql(const std::string& sql) {
+  std::string out;
+  out.reserve(sql.size());
+  bool in_literal = false;
+  bool pending_space = false;
+  for (size_t i = 0; i < sql.size(); ++i) {
+    char c = sql[i];
+    if (in_literal) {
+      out.push_back(c);
+      if (c == '\'') in_literal = false;
+      continue;
+    }
+    if (c == '\'') {
+      if (pending_space && !out.empty()) out.push_back(' ');
+      pending_space = false;
+      out.push_back(c);
+      in_literal = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = true;
+      continue;
+    }
+    if (pending_space && !out.empty()) out.push_back(' ');
+    pending_space = false;
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::string AnswerKey(const QueryDescription& description, InferenceMode mode,
+                      uint64_t rule_epoch, uint64_t database_epoch) {
+  // The description's string form is canonical for the inference inputs:
+  // it spells out every condition interval and the object types in FROM
+  // order. Epochs version everything else inference reads (rule base,
+  // active domains, data).
+  return "r" + std::to_string(rule_epoch) + "/d" +
+         std::to_string(database_epoch) + "/" + InferenceModeName(mode) +
+         "/" + description.ToString();
+}
+
+std::string QueryCache::StatsText() const {
+  auto line = [](const char* name, const CacheCounters& c, size_t size,
+                 size_t capacity) {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "  %-7s size=%zu/%zu hits=%llu misses=%llu inserts=%llu "
+                  "evictions=%llu hit_ratio=%.2f\n",
+                  name, size, capacity,
+                  static_cast<unsigned long long>(c.hits),
+                  static_cast<unsigned long long>(c.misses),
+                  static_cast<unsigned long long>(c.inserts),
+                  static_cast<unsigned long long>(c.evictions),
+                  c.hit_ratio());
+    return std::string(buf);
+  };
+  std::string out = "cache: ";
+  out += enabled() ? "on" : "off";
+  out += "\n";
+  out += line("plans", plans_.counters(), plans_.size(), plans_.capacity());
+  out += line("answers", answers_.counters(), answers_.size(),
+              answers_.capacity());
+  return out;
+}
+
+}  // namespace cache
+}  // namespace iqs

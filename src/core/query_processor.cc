@@ -168,37 +168,78 @@ Result<QueryResult> IntensionalQueryProcessor::Process(
   // the query degrades to extensional-only instead of failing.
   std::vector<fault::DegradationEvent> pre;
   std::shared_ptr<const RuleSet> rules;
+  CacheEpochs epochs;
+  bool versioned = false;
   if (Status fp = fault::Hit("dict.rulebase_snapshot"); !fp.ok()) {
     pre.push_back(fault::DegradationEvent{
         "rulebase", fault::DegradeAction::kExtensionalOnly, fp.message()});
     fault::RecordDegradation(pre.back());
   } else {
-    rules = dictionary_->induced_rules_snapshot();
+    // Epochs are read *before* any derivation, together with the snapshot
+    // they version: an answer computed from this snapshot is keyed under
+    // these values, and a concurrent bump makes the key unreachable.
+    RuleBaseVersion version = dictionary_->induced_rules_version();
+    rules = version.rules;
+    epochs.rule_epoch = version.epoch;
+    epochs.db_epoch = db_->epoch();
+    versioned = true;
   }
-  Result<QueryResult> result =
-      ProcessImpl(sql, mode, rules.get(), std::move(pre));
+  Result<QueryResult> result = ProcessImpl(sql, mode, rules.get(),
+                                           std::move(pre),
+                                           versioned ? &epochs : nullptr);
   RecordOutcome(result);
   return result;
 }
 
 Result<QueryResult> IntensionalQueryProcessor::ProcessWith(
     const std::string& sql, InferenceMode mode, const RuleSet& rules) const {
-  Result<QueryResult> result = ProcessImpl(sql, mode, &rules, {});
+  // Explicit rule sets carry no epoch, so answers derived from them are
+  // never cached (the plan cache, keyed on text alone, still applies).
+  Result<QueryResult> result = ProcessImpl(sql, mode, &rules, {}, nullptr);
   RecordOutcome(result);
   return result;
 }
 
 Result<QueryResult> IntensionalQueryProcessor::ProcessImpl(
     const std::string& sql, InferenceMode mode, const RuleSet* rules,
-    std::vector<fault::DegradationEvent> pre) const {
+    std::vector<fault::DegradationEvent> pre,
+    const CacheEpochs* epochs) const {
   IQS_SPAN("query.process");
   IQS_COUNTER_INC("query.count");
   using Clock = std::chrono::steady_clock;
   QueryResult result;
   result.degradations = std::move(pre);
 
+  // A fired cache failpoint bypasses the cache for this query: the
+  // uncached path serves the identical answer, so nothing is degraded
+  // and no event is recorded — the site's fire counter is the
+  // observable (policy kCacheBypass).
+  const bool cache_on = cache_.enabled();
+  const bool lookups_on = cache_on && fault::Hit("cache.lookup").ok();
+
   Clock::time_point t0 = Clock::now();
-  IQS_ASSIGN_OR_RETURN(result.statement, ParseSelect(sql));
+  std::string plan_key;
+  if (cache_on) plan_key = cache::NormalizeSql(sql);
+  bool plan_hit = false;
+  if (lookups_on) {
+    IQS_SPAN("cache.plan.lookup");
+    if (auto plan = cache_.plans().Lookup(plan_key)) {
+      result.statement = *plan;
+      plan_hit = true;
+      IQS_COUNTER_INC("cache.plan.hits");
+      IQS_SPAN_ANNOTATE("cache_hit", int64_t{1});
+    } else {
+      IQS_COUNTER_INC("cache.plan.misses");
+    }
+  }
+  if (!plan_hit) {
+    IQS_ASSIGN_OR_RETURN(result.statement, ParseSelect(sql));
+    if (cache_on && fault::Hit("cache.insert").ok()) {
+      cache_.plans().Insert(
+          plan_key, std::make_shared<const SelectStatement>(result.statement));
+      IQS_COUNTER_INC("cache.plan.inserts");
+    }
+  }
   Clock::time_point t1 = Clock::now();
   result.stats.parse_micros = MicrosBetween(t0, t1);
 
@@ -231,13 +272,61 @@ Result<QueryResult> IntensionalQueryProcessor::ProcessImpl(
   Clock::time_point t3 = Clock::now();
   result.stats.describe_micros = MicrosBetween(t2, t3);
 
-  if (rules != nullptr) {
+  // Intensional-answer cache: the canonical predicate (description +
+  // mode) versioned by the epochs this call started under. A hit
+  // replaces the whole inference match with one LRU probe.
+  const bool answer_cacheable =
+      cache_on && epochs != nullptr && rules != nullptr;
+  std::string answer_key;
+  if (answer_cacheable) {
+    answer_key = cache::AnswerKey(result.description, mode,
+                                  epochs->rule_epoch, epochs->db_epoch);
+  }
+  bool answer_hit = false;
+  if (answer_cacheable && lookups_on) {
+    IQS_SPAN("cache.answer.lookup");
+    if (auto cached = cache_.answers().Lookup(answer_key)) {
+      result.intensional = cached->answer;
+      // Replay the memoized annotations so a hit renders byte-identically
+      // to the run that populated the entry. The global fault metrics saw
+      // these events when they actually happened; they are not
+      // re-recorded here.
+      result.degradations.insert(result.degradations.end(),
+                                 cached->degradations.begin(),
+                                 cached->degradations.end());
+      answer_hit = true;
+      IQS_COUNTER_INC("cache.answer.hits");
+      IQS_SPAN_ANNOTATE("cache_hit", int64_t{1});
+    } else {
+      IQS_COUNTER_INC("cache.answer.misses");
+    }
+  }
+  if (!answer_hit && rules != nullptr) {
     // An inference fault costs the intensional answer, never the
     // extensional one: absorb the error, annotate, move on.
+    size_t infer_from = result.degradations.size();
     Result<IntensionalAnswer> intensional = engine_.InferWith(
         result.description, mode, *rules, &result.degradations);
     if (intensional.ok()) {
       result.intensional = std::move(intensional).value();
+      // Insert only (a) while the epochs still hold — if a writer or a
+      // re-induction landed mid-derivation this answer may reflect the
+      // newer state and must not be published under the older key — and
+      // (b) when inference ran clean: a transient fault is not part of
+      // the versioned state, so an answer degraded by one (skipped
+      // rules) would replay its annotations long after the fault
+      // cleared. Clean reruns repopulate the entry the next time.
+      if (answer_cacheable && result.degradations.size() == infer_from &&
+          fault::Hit("cache.insert").ok() &&
+          dictionary_->rule_epoch() == epochs->rule_epoch &&
+          db_->epoch() == epochs->db_epoch) {
+        auto entry = std::make_shared<cache::CachedAnswer>();
+        entry->answer = result.intensional;
+        entry->degradations.assign(result.degradations.begin() + infer_from,
+                                   result.degradations.end());
+        cache_.answers().Insert(answer_key, std::move(entry));
+        IQS_COUNTER_INC("cache.answer.inserts");
+      }
     } else {
       fault::DegradationEvent event{
           "inference", fault::DegradeAction::kExtensionalOnly,

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/query_cache.h"
 #include "dictionary/data_dictionary.h"
 #include "fault/degrade.h"
 #include "inference/engine.h"
@@ -77,18 +78,35 @@ class IntensionalQueryProcessor {
   const SqlExecutor& executor() const { return executor_; }
   const InferenceEngine& engine() const { return engine_; }
 
+  // The versioned plan/answer cache in front of the pipeline (DESIGN.md
+  // §9). Mutable because caching is invisible to callers: a Process()
+  // through a cache hit returns byte-identical results to a cold run.
+  cache::QueryCache& cache() const { return cache_; }
+
  private:
+  // Epochs a Process() call read *before* doing any work; answers are
+  // cached under them, and only if they still hold at insert time.
+  struct CacheEpochs {
+    uint64_t rule_epoch = 0;
+    uint64_t db_epoch = 0;
+  };
+
   // The shared pipeline. `rules` may be null — the rule-base snapshot
   // failed — in which case inference is skipped entirely and the result
-  // carries the pre-seeded degradation events in `pre`.
+  // carries the pre-seeded degradation events in `pre`. `epochs` is null
+  // on paths with no version to key answers on (explicit-rules baseline,
+  // degraded snapshot), which disables the answer cache but not the plan
+  // cache.
   Result<QueryResult> ProcessImpl(
       const std::string& sql, InferenceMode mode, const RuleSet* rules,
-      std::vector<fault::DegradationEvent> pre) const;
+      std::vector<fault::DegradationEvent> pre,
+      const CacheEpochs* epochs) const;
 
   const Database* db_;
   const DataDictionary* dictionary_;
   SqlExecutor executor_;
   InferenceEngine engine_;
+  mutable cache::QueryCache cache_;
 };
 
 }  // namespace iqs

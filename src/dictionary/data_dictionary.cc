@@ -108,6 +108,12 @@ Status DataDictionary::ComputeActiveDomains(const Database& db) {
       merge(attr, domain->first, domain->second);
     }
   }
+  {
+    // Fresh clip domains change what inference derives even with the
+    // rule set untouched; retire cached answers built on the old ones.
+    std::lock_guard<std::mutex> lock(induced_mu_);
+    ++rule_epoch_;
+  }
   return Status::Ok();
 }
 

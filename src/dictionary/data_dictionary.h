@@ -1,6 +1,7 @@
 #ifndef IQS_DICTIONARY_DATA_DICTIONARY_H_
 #define IQS_DICTIONARY_DATA_DICTIONARY_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -24,6 +25,16 @@ namespace iqs {
 //    induced by the ILS,
 //  * the active domains (observed [min, max] per attribute) the inference
 //    engine clips query conditions with.
+
+// A consistent view of the induced rule base: the shared snapshot plus
+// the epoch it was published under. Handing both out under one lock is
+// what lets the answer cache key on the epoch without racing a
+// re-induction that swaps the set between two reads.
+struct RuleBaseVersion {
+  std::shared_ptr<const RuleSet> rules;
+  uint64_t epoch = 0;
+};
+
 class DataDictionary {
  public:
   // `catalog` must outlive the dictionary.
@@ -64,10 +75,27 @@ class DataDictionary {
     return induced_;
   }
 
+  // Snapshot plus the epoch it was published under, read atomically.
+  RuleBaseVersion induced_rules_version() const {
+    std::lock_guard<std::mutex> lock(induced_mu_);
+    return RuleBaseVersion{induced_, rule_epoch_};
+  }
+
+  // Rule-base epoch: bumped on every successful rule-base install
+  // (SetInducedRules, ImportInducedRules) and on active-domain
+  // recompute — everything inference derives a description from. A
+  // *failed* re-induction keeps the previous set AND the previous epoch,
+  // so caches keep treating the retained rules as the version they are.
+  uint64_t rule_epoch() const {
+    std::lock_guard<std::mutex> lock(induced_mu_);
+    return rule_epoch_;
+  }
+
   void SetInducedRules(RuleSet rules) {
     auto fresh = std::make_shared<const RuleSet>(std::move(rules));
     std::lock_guard<std::mutex> lock(induced_mu_);
     induced_ = std::move(fresh);
+    ++rule_epoch_;
   }
 
   // Declared followed by induced rules, renumbered 1..n — what the
@@ -106,6 +134,7 @@ class DataDictionary {
   RuleSet declared_;
   mutable std::mutex induced_mu_;
   std::shared_ptr<const RuleSet> induced_ = std::make_shared<const RuleSet>();
+  uint64_t rule_epoch_ = 0;  // guarded by induced_mu_
   std::vector<AttributeDomain> active_domains_;
 };
 

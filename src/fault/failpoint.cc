@@ -35,6 +35,8 @@ constexpr ManifestEntry kManifest[] = {
     {"exec.pool.batch", Policy::kSerialFallback, "thread-pool batch submit"},
     {"persist.save", Policy::kRetryTransient, "system save I/O"},
     {"persist.load", Policy::kRetryTransient, "system load I/O"},
+    {"cache.lookup", Policy::kCacheBypass, "query-cache lookup"},
+    {"cache.insert", Policy::kCacheBypass, "query-cache insert"},
 };
 
 Result<StatusCode> CodeFromName(const std::string& name) {
@@ -132,6 +134,8 @@ const char* PolicyName(Policy policy) {
       return "serial-fallback";
     case Policy::kKeepPrevious:
       return "keep-previous";
+    case Policy::kCacheBypass:
+      return "cache-bypass";
   }
   return "unknown";
 }

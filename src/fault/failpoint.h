@@ -38,6 +38,8 @@ enum class Policy {
   kSkipAndLog,         // the faulting unit (one rule) is skipped, logged
   kSerialFallback,     // parallel region re-executes serially
   kKeepPrevious,       // operation fails, prior state stays installed
+  kCacheBypass,        // cache is skipped; the uncached path serves the
+                       // identical answer (slower, never degraded)
 };
 
 const char* PolicyName(Policy policy);

@@ -16,6 +16,7 @@ Result<Relation*> Database::CreateRelation(const std::string& name,
   Relation* ptr = relation.get();
   relations_[key] = std::move(relation);
   creation_order_.push_back(name);
+  BumpEpoch();
   return ptr;
 }
 
@@ -27,6 +28,7 @@ Status Database::AddRelation(Relation relation) {
   }
   creation_order_.push_back(relation.name());
   relations_[key] = std::make_unique<Relation>(std::move(relation));
+  BumpEpoch();
   return Status::Ok();
 }
 
@@ -44,8 +46,9 @@ Result<Relation*> Database::GetMutable(const std::string& name) {
     return Status::NotFound("no relation named '" + name + "'");
   }
   // Handing out mutable access may change rows underneath any snapshot
-  // index; drop them.
+  // index or cached answer; drop the indexes and retire the epoch.
   InvalidateIndexes(it->first);
+  BumpEpoch();
   return it->second.get();
 }
 
@@ -67,6 +70,7 @@ Status Database::Drop(const std::string& name) {
                        return EqualsIgnoreCase(n, stored_name);
                      }),
       creation_order_.end());
+  BumpEpoch();
   return Status::Ok();
 }
 

@@ -1,6 +1,8 @@
 #ifndef IQS_RELATIONAL_DATABASE_H_
 #define IQS_RELATIONAL_DATABASE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -18,11 +20,23 @@ class Database {
  public:
   Database() = default;
 
-  // Databases own their relations and are not copyable.
+  // Databases own their relations and are not copyable. Moves carry the
+  // epoch along (spelled out because std::atomic has no move ops).
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
-  Database(Database&&) = default;
-  Database& operator=(Database&&) = default;
+  Database(Database&& other) noexcept
+      : relations_(std::move(other.relations_)),
+        creation_order_(std::move(other.creation_order_)),
+        indexes_(std::move(other.indexes_)),
+        epoch_(other.epoch_.load(std::memory_order_relaxed)) {}
+  Database& operator=(Database&& other) noexcept {
+    relations_ = std::move(other.relations_);
+    creation_order_ = std::move(other.creation_order_);
+    indexes_ = std::move(other.indexes_);
+    epoch_.store(other.epoch_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
 
   // Creates an empty relation; AlreadyExists if the name is taken.
   Result<Relation*> CreateRelation(const std::string& name, Schema schema);
@@ -40,6 +54,14 @@ class Database {
   std::vector<std::string> RelationNames() const;
 
   size_t size() const { return relations_.size(); }
+
+  // Data epoch: bumped on every mutation entry point (CreateRelation,
+  // AddRelation, GetMutable, Drop). Versioned caches embed it in their
+  // keys, so any write — even one that ends up a no-op — retires every
+  // cached answer derived from the old contents (paper-correct, if
+  // conservative). Monotone; never reset.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
 
   // ---- secondary indexes ---------------------------------------------
 
@@ -67,6 +89,7 @@ class Database {
   std::vector<std::string> creation_order_;
   // Keyed by (lower relation, lower attribute).
   std::map<std::pair<std::string, std::string>, SortedIndex> indexes_;
+  std::atomic<uint64_t> epoch_{0};
 };
 
 }  // namespace iqs

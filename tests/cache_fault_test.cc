@@ -1,0 +1,84 @@
+// Rule-base snapshot staleness under fault injection: a re-induction
+// that fails (keep-previous policy, PR 3) retains the installed rule
+// base AND its epoch, so the versioned answer cache keeps serving the
+// entries derived from it — they are still the current version. Only a
+// *successful* install may bump the epoch and retire cached answers.
+// Runs under `ctest -L fault` alongside the fault matrix.
+
+#include <string>
+
+#include "cache/query_cache.h"
+#include "fault/failpoint.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+constexpr char kRuleQuery[] =
+    "SELECT Id FROM SUBMARINE WHERE SUBMARINE.Class = '0204'";
+
+TEST(CacheFaultTest, FailedReinductionKeepsEpochAndCachedAnswers) {
+  auto system = testing_util::ShipSystemOrFail();
+  ASSERT_TRUE(system);
+  InductionConfig nc3;
+  nc3.min_support = 3;
+  ASSERT_OK(system->Induce(nc3));
+
+  // Warm the answer cache under the current rule-base version.
+  ASSERT_OK(system->Query(kRuleQuery).status());
+  cache::QueryCache& cache = system->processor().cache();
+  ASSERT_EQ(cache.answers().counters().inserts, 1u);
+  const uint64_t epoch = system->dictionary().rule_epoch();
+  const size_t rules = system->dictionary().induced_rules_snapshot()->size();
+  ASSERT_GT(rules, 0u);
+
+  // A re-induction that faults keeps the previous rule base installed —
+  // and must NOT bump the epoch: the retained rules are not a new
+  // version, and treating them as fresh would retire every valid entry
+  // (or worse, let a later real install collide with a spent epoch).
+  {
+    fault::ScopedFailpoint fp("ils.induce",
+                              "error(unavailable,induction offline)");
+    ASSERT_TRUE(fp.ok());
+    InductionConfig nc5;
+    nc5.min_support = 5;
+    EXPECT_EQ(system->Induce(nc5).code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(system->dictionary().rule_epoch(), epoch);
+  EXPECT_EQ(system->dictionary().induced_rules_snapshot()->size(), rules);
+
+  // The cached answer is still the current version: served as a hit.
+  ASSERT_OK(system->Query(kRuleQuery).status());
+  EXPECT_EQ(cache.answers().counters().hits, 1u);
+
+  // A successful re-induction is a real new version: epoch bumps, the
+  // old entry's key becomes unreachable, and the query re-derives.
+  InductionConfig nc4;
+  nc4.min_support = 4;
+  ASSERT_OK(system->Induce(nc4));
+  EXPECT_GT(system->dictionary().rule_epoch(), epoch);
+  ASSERT_OK(system->Query(kRuleQuery).status());
+  EXPECT_EQ(cache.answers().counters().hits, 1u);  // unchanged: miss
+  EXPECT_EQ(cache.answers().counters().inserts, 2u);
+}
+
+TEST(CacheFaultTest, ImportingRulesBumpsTheEpoch) {
+  // Persistence restore installs a rule base through the same gate as
+  // induction, so it must also retire cached answers.
+  auto system = testing_util::ShipSystemOrFail();
+  ASSERT_TRUE(system);
+  InductionConfig nc3;
+  nc3.min_support = 3;
+  ASSERT_OK(system->Induce(nc3));
+  ASSERT_OK(system->StoreRulesInDatabase());
+
+  ASSERT_OK(system->Query(kRuleQuery).status());
+  const uint64_t epoch = system->dictionary().rule_epoch();
+
+  ASSERT_OK(system->LoadRulesFromDatabase());
+  EXPECT_GT(system->dictionary().rule_epoch(), epoch);
+}
+
+}  // namespace
+}  // namespace iqs

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/query_cache.h"
 #include "exec/thread_pool.h"
 #include "fault/failpoint.h"
 #include "gtest/gtest.h"
@@ -28,6 +29,10 @@ constexpr int kIterations = 8;  // TSan multiplies runtime ~10x
 #else
 constexpr int kIterations = 40;
 #endif
+
+constexpr size_t QueryCacheCapacityDefault() {
+  return cache::QueryCache::kDefaultCapacity;
+}
 
 const std::vector<std::string>& StressQueries() {
   static const std::vector<std::string> queries = {
@@ -210,6 +215,99 @@ TEST(ConcurrencyStressTest, FaultInjectionUnderLoad) {
     EXPECT_TRUE(result->degradations.empty()) << sql;
     EXPECT_EQ(result->extensional.ToTable(), expected[sql]) << sql;
   }
+}
+
+TEST(ConcurrencyStressTest, CacheReadersRacingInvalidationStorm) {
+  // Query threads hammer the plan/answer caches while a storm thread
+  // invalidates everything it can: re-induction (rule epoch), mutable
+  // table access (database epoch), capacity shrink/grow, explicit
+  // Clear(), and enable/disable flips. Correctness bar: every query
+  // succeeds with the serial extensional bytes, and every access is
+  // data-race-free under -DIQS_SANITIZE=thread. Versioned keys mean a
+  // racing reader can at worst *miss* — never observe a stale answer.
+  auto system = testing_util::ShipSystemOrFail();
+  ASSERT_TRUE(system);
+  InductionConfig nc3;
+  nc3.min_support = 3;
+  ASSERT_OK(system->Induce(nc3));
+  exec::SetGlobalThreadCount(4);
+  cache::QueryCache& cache = system->processor().cache();
+
+  std::map<std::string, std::string> expected;
+  for (const std::string& sql : StressQueries()) {
+    auto result = system->Query(sql);
+    ASSERT_TRUE(result.ok()) << sql << " -> " << result.status();
+    expected[sql] = result->extensional.ToTable();
+  }
+
+  std::atomic<int> failures{0};
+  auto note_failure = [&failures](const std::string& what) {
+    failures.fetch_add(1);
+    ADD_FAILURE() << what;
+  };
+
+  std::vector<std::thread> threads;
+  for (unsigned seed = 1; seed <= 3; ++seed) {
+    threads.emplace_back([&, seed] {
+      std::mt19937 rng(seed);
+      std::uniform_int_distribution<size_t> pick(0, StressQueries().size() - 1);
+      for (int i = 0; i < kIterations && failures.load() == 0; ++i) {
+        const std::string& sql = StressQueries()[pick(rng)];
+        auto result = system->Query(sql);
+        if (!result.ok()) {
+          note_failure(sql + " -> " + result.status().ToString());
+          continue;
+        }
+        if (result->extensional.ToTable() != expected[sql]) {
+          note_failure("stale or drifted answer under invalidation: " + sql);
+        }
+      }
+    });
+  }
+  // The invalidation storm.
+  threads.emplace_back([&] {
+    for (int i = 0; i < kIterations && failures.load() == 0; ++i) {
+      switch (i % 5) {
+        case 0: {
+          Status s = system->Induce(nc3);
+          if (!s.ok()) note_failure("induce -> " + s.ToString());
+          break;
+        }
+        case 1:
+          // Epoch bump via mutable table access (no actual edit needed).
+          if (!system->database().GetMutable("SUBMARINE").ok()) {
+            note_failure("GetMutable failed");
+          }
+          break;
+        case 2:
+          cache.set_capacity(i % 2 == 0 ? 2 : QueryCacheCapacityDefault());
+          break;
+        case 3:
+          cache.Clear();
+          break;
+        case 4:
+          cache.set_enabled(false);
+          cache.set_enabled(true);
+          break;
+      }
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  exec::SetGlobalThreadCount(1);
+
+  // Settle: canonical rule base, warm cache serves the same bytes.
+  cache.set_enabled(true);
+  cache.set_capacity(QueryCacheCapacityDefault());
+  ASSERT_OK(system->Induce(nc3));
+  for (const std::string& sql : StressQueries()) {
+    auto cold = system->Query(sql);
+    ASSERT_TRUE(cold.ok()) << sql;
+    auto warm = system->Query(sql);
+    ASSERT_TRUE(warm.ok()) << sql;
+    EXPECT_EQ(cold->extensional.ToTable(), expected[sql]) << sql;
+    EXPECT_EQ(warm->extensional.ToTable(), expected[sql]) << sql;
+  }
+  EXPECT_GT(cache.answers().counters().hits, 0u);
 }
 
 TEST(ConcurrencyStressTest, ConcurrentReinductionConverges) {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/query_cache.h"
 #include "core/persistence.h"
 #include "exec/parallel.h"
 #include "exec/thread_pool.h"
@@ -83,6 +84,10 @@ TEST_F(FaultMatrixTest, EveryManifestSiteDegradesAsDeclared) {
     SCOPED_TRACE("failpoint site: " + site.name);
     if (site.description == "ad-hoc site") continue;  // from other tests
     ++driven;
+    // Each driver starts cold: a warm plan/answer cache would
+    // short-circuit the very stage the site lives in (that masking is
+    // itself covered by the cache.* drivers below).
+    ship_->processor().cache().Clear();
 
     if (site.name == "sql.parse") {
       EXPECT_EQ(site.policy, Policy::kFailFast);
@@ -255,6 +260,47 @@ TEST_F(FaultMatrixTest, EveryManifestSiteDegradesAsDeclared) {
         }
       }
 
+    } else if (site.name == "cache.lookup") {
+      EXPECT_EQ(site.policy, Policy::kCacheBypass);
+      cache::QueryCache& cache = ship_->processor().cache();
+      // Warm the cache, pin the warm rendering, then bypass lookups: the
+      // uncached path must serve byte-identical answers with no
+      // degradation, and the hit counters must not move.
+      ASSERT_OK_AND_ASSIGN(QueryResult warm, ship_->Query(kRuleQuery));
+      std::string warm_rendered = ship_->Explain(warm);
+      ScopedFailpoint fp(site.name, "error(unavailable,cache offline)");
+      ASSERT_TRUE(fp.ok());
+      uint64_t fires_before =
+          FailpointRegistry::Global().GetSite(site.name)->fires();
+      uint64_t hits_before = cache.answers().counters().hits;
+      auto result = ship_->Query(kRuleQuery);
+      ASSERT_TRUE(result.ok()) << result.status();
+      EXPECT_EQ(result->extensional.ToTable(), *baseline_extensional_);
+      EXPECT_EQ(ship_->Explain(*result), warm_rendered);
+      EXPECT_FALSE(result->degraded());  // bypass is invisible, just slower
+      EXPECT_GT(result->intensional.size(), 0u);
+      EXPECT_EQ(cache.answers().counters().hits, hits_before);
+      EXPECT_GT(FailpointRegistry::Global().GetSite(site.name)->fires(),
+                fires_before);
+
+    } else if (site.name == "cache.insert") {
+      EXPECT_EQ(site.policy, Policy::kCacheBypass);
+      cache::QueryCache& cache = ship_->processor().cache();
+      ScopedFailpoint fp(site.name, "error(unavailable,cache offline)");
+      ASSERT_TRUE(fp.ok());
+      uint64_t fires_before =
+          FailpointRegistry::Global().GetSite(site.name)->fires();
+      // Cold cache + bypassed inserts: the query succeeds undegraded and
+      // nothing gets published.
+      auto result = ship_->Query(kRuleQuery);
+      ASSERT_TRUE(result.ok()) << result.status();
+      EXPECT_EQ(result->extensional.ToTable(), *baseline_extensional_);
+      EXPECT_FALSE(result->degraded());
+      EXPECT_GT(result->intensional.size(), 0u);
+      EXPECT_EQ(cache.plans().size() + cache.answers().size(), 0u);
+      EXPECT_GT(FailpointRegistry::Global().GetSite(site.name)->fires(),
+                fires_before);
+
     } else {
       ADD_FAILURE() << "manifest site '" << site.name
                     << "' has no fault-matrix driver — add one here";
@@ -262,7 +308,7 @@ TEST_F(FaultMatrixTest, EveryManifestSiteDegradesAsDeclared) {
     FailpointRegistry::Global().ClearAll();
   }
   // Sanity: the manifest did not shrink out from under the matrix.
-  EXPECT_GE(driven, 13u);
+  EXPECT_GE(driven, 15u);
 }
 
 // With any single intensional-side failpoint active, every golden query

@@ -20,6 +20,7 @@ namespace iqs {
 namespace {
 
 bool update_golden = false;
+bool cache_off = false;  // --cache=off: run the whole suite uncached
 
 struct GoldenCase {
   const char* name;  // golden file stem
@@ -63,6 +64,14 @@ std::string GoldenPath(const std::string& stem) {
   return std::string(IQS_GOLDEN_DIR) + "/" + stem + ".txt";
 }
 
+// Resolves a ship case's SQL (the worked examples have none inline).
+std::string ShipSql(const GoldenCase& c) {
+  if (c.sql != nullptr) return c.sql;
+  if (std::strcmp(c.name, "ship_example1") == 0) return Example1Sql();
+  if (std::strcmp(c.name, "ship_example2") == 0) return Example2Sql();
+  return Example3Sql();
+}
+
 std::string Render(IqsSystem& system, const std::string& sql) {
   auto result = system.Query(sql);
   EXPECT_TRUE(result.ok()) << sql << " -> " << result.status();
@@ -102,6 +111,14 @@ class GoldenAnswersTest : public ::testing::Test {
     config.min_support = 3;
     if (ship_ != nullptr) ASSERT_OK(ship_->Induce(config));
     if (employee_ != nullptr) ASSERT_OK(employee_->Induce(config));
+    if (cache_off) {
+      // The --cache=off sweep: byte-identical goldens prove caching can
+      // never change answers.
+      if (ship_ != nullptr) ship_->processor().cache().set_enabled(false);
+      if (employee_ != nullptr) {
+        employee_->processor().cache().set_enabled(false);
+      }
+    }
   }
   static void TearDownTestSuite() {
     delete ship_;
@@ -119,17 +136,7 @@ IqsSystem* GoldenAnswersTest::employee_ = nullptr;
 TEST_F(GoldenAnswersTest, ShipQueriesMatchGoldenFiles) {
   ASSERT_NE(ship_, nullptr);
   for (const GoldenCase& c : ShipCases()) {
-    std::string sql;
-    if (c.sql != nullptr) {
-      sql = c.sql;
-    } else if (std::strcmp(c.name, "ship_example1") == 0) {
-      sql = Example1Sql();
-    } else if (std::strcmp(c.name, "ship_example2") == 0) {
-      sql = Example2Sql();
-    } else {
-      sql = Example3Sql();
-    }
-    CheckOrUpdate(c.name, Render(*ship_, sql));
+    CheckOrUpdate(c.name, Render(*ship_, ShipSql(c)));
   }
 }
 
@@ -147,6 +154,9 @@ TEST_F(GoldenAnswersTest, EmployeeQueriesMatchGoldenFiles) {
 // the degraded output shape is itself regression-tested.
 std::string RenderDegraded(IqsSystem& system, const std::string& sql,
                            const std::string& healthy) {
+  // A warm answer cache would serve the memoized healthy answer and mask
+  // the injected outage; degraded rendering must drive the live path.
+  system.processor().cache().Clear();
   fault::ScopedFailpoint fp("infer.fire",
                             "error(unavailable,inference engine offline)");
   EXPECT_TRUE(fp.ok());
@@ -171,16 +181,7 @@ std::string RenderDegraded(IqsSystem& system, const std::string& sql,
 TEST_F(GoldenAnswersTest, ShipQueriesDegradeToGoldenExtensionalAnswers) {
   ASSERT_NE(ship_, nullptr);
   for (const GoldenCase& c : ShipCases()) {
-    std::string sql;
-    if (c.sql != nullptr) {
-      sql = c.sql;
-    } else if (std::strcmp(c.name, "ship_example1") == 0) {
-      sql = Example1Sql();
-    } else if (std::strcmp(c.name, "ship_example2") == 0) {
-      sql = Example2Sql();
-    } else {
-      sql = Example3Sql();
-    }
+    std::string sql = ShipSql(c);
     CheckOrUpdate(std::string(c.name) + "_degraded",
                   RenderDegraded(*ship_, sql, Render(*ship_, sql)));
   }
@@ -194,6 +195,36 @@ TEST_F(GoldenAnswersTest, EmployeeQueriesDegradeToGoldenExtensionalAnswers) {
   }
 }
 
+// Caching can never change answers: every golden query renders
+// byte-identically cold (cache miss), warm (answer + plan hit), and with
+// the cache disabled outright.
+TEST_F(GoldenAnswersTest, RenderingIsByteIdenticalCacheOnVsOff) {
+  ASSERT_NE(ship_, nullptr);
+  ASSERT_NE(employee_, nullptr);
+  struct Target {
+    IqsSystem* system;
+    std::string sql;
+  };
+  std::vector<Target> targets;
+  for (const GoldenCase& c : ShipCases()) targets.push_back({ship_, ShipSql(c)});
+  for (const GoldenCase& c : EmployeeCases()) {
+    targets.push_back({employee_, c.sql});
+  }
+  for (const Target& t : targets) {
+    cache::QueryCache& cache = t.system->processor().cache();
+    const bool was_enabled = cache.enabled();
+    cache.set_enabled(true);
+    cache.Clear();
+    std::string cold = Render(*t.system, t.sql);
+    std::string warm = Render(*t.system, t.sql);
+    cache.set_enabled(false);
+    std::string uncached = Render(*t.system, t.sql);
+    cache.set_enabled(was_enabled);
+    EXPECT_EQ(cold, warm) << t.sql << ": warm hit changed the rendering";
+    EXPECT_EQ(cold, uncached) << t.sql << ": caching changed the rendering";
+  }
+}
+
 }  // namespace
 }  // namespace iqs
 
@@ -202,6 +233,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--update-golden") == 0) {
       iqs::update_golden = true;
+    } else if (std::strcmp(argv[i], "--cache=off") == 0) {
+      iqs::cache_off = true;
     }
   }
   return RUN_ALL_TESTS();

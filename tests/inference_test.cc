@@ -156,6 +156,72 @@ TEST_F(InferenceTest, BackwardRangeTargetUsesIntervalContainment) {
   }
 }
 
+TEST_F(InferenceTest, BoundaryAuditBackwardMatchesRuleRhsContainedInTarget) {
+  // PR 4 boundary audit: backward inference must test containment in the
+  // rule-RHS -> target direction (rule consequent ⊆ target), never the
+  // reverse. A WIDE target interval that strictly contains the point
+  // consequents `Type = SSN` / `Type = SSBN` fires only under the
+  // correct direction; with the comparison flipped it would produce no
+  // statements at all, because no point contains a wide interval.
+  QueryDescription query;
+  query.object_types = {"CLASS"};
+  ASSERT_OK_AND_ASSIGN(
+      Interval wide,
+      Interval::Closed(Value::String("SSA"), Value::String("SSZ")));
+  std::vector<Fact> wide_targets{Fact::Range(Clause("Type", wide))};
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<IntensionalStatement> statements,
+      engine_->Backward(query, wide_targets, dictionary_->induced_rules()));
+  EXPECT_FALSE(statements.empty());
+  for (const IntensionalStatement& s : statements) {
+    EXPECT_EQ(s.direction, AnswerDirection::kContainedIn);
+  }
+
+  // A target disjoint from every consequent must fire nothing.
+  std::vector<Fact> off_targets{
+      Fact::Range(Clause::Equals("Type", Value::String("TUG")))};
+  ASSERT_OK_AND_ASSIGN(
+      statements,
+      engine_->Backward(query, off_targets, dictionary_->induced_rules()));
+  EXPECT_TRUE(statements.empty());
+}
+
+TEST_F(InferenceTest, BoundaryAuditDirectionsOnDisplacementExample) {
+  // The paper's SSBN/displacement example, end to end: forward
+  // statements characterize a SUPERSET of the answers (kContains),
+  // backward statements name sub-populations CONTAINED IN the answers
+  // (kContainedIn). A swap here silently turns "all answers are SSBNs"
+  // into the unsound "everything with these properties is an answer".
+  QueryDescription query;
+  query.object_types = {"SUBMARINE", "CLASS"};
+  query.conditions.push_back(Clause(
+      "CLASS.Displacement", Interval::AtLeast(Value::Int(8000), true)));
+  ASSERT_OK_AND_ASSIGN(IntensionalAnswer answer,
+                       engine_->Infer(query, InferenceMode::kCombined));
+  std::vector<const IntensionalStatement*> forward =
+      answer.InDirection(AnswerDirection::kContains);
+  std::vector<const IntensionalStatement*> backward =
+      answer.InDirection(AnswerDirection::kContainedIn);
+  ASSERT_FALSE(forward.empty());
+  // Forward: displacement > 8000 (clipped) falls inside R9's range, so
+  // every answer is an SSBN.
+  bool saw_ssbn = false;
+  for (const IntensionalStatement* s : forward) {
+    for (const Fact& f : s->facts) {
+      if (f.kind == Fact::Kind::kType && f.type_name == "SSBN") {
+        saw_ssbn = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_ssbn);
+  // Backward statements (if any fired for the derived SSBN target) carry
+  // rule LHS ranges and never masquerade as forward characterizations.
+  for (const IntensionalStatement* s : backward) {
+    EXPECT_EQ(s->direction, AnswerDirection::kContainedIn);
+    EXPECT_FALSE(s->facts.empty());
+  }
+}
+
 TEST_F(InferenceTest, CombinedInferReproducesExample3Statements) {
   QueryDescription query;
   query.object_types = {"SUBMARINE", "CLASS", "INSTALL"};

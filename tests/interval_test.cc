@@ -88,6 +88,36 @@ TEST(IntervalTest, ContainsIntervalOpenVsClosedEndpoints) {
   EXPECT_FALSE(closed.ContainsInterval(Interval::All()));
 }
 
+TEST(IntervalTest, BoundaryAuditInducedRuleFormIsInclusiveBothEnds) {
+  // PR 4 boundary audit (paper §5.2.1): the induced-rule range form
+  // `x1 <= X <= x2` is inclusive at BOTH endpoints — Closed() must admit
+  // x1 and x2 themselves, and a closed interval must contain an
+  // identical closed interval (an endpoint tie is containment, not
+  // strict dominance). Every comparison operator maps to exactly the
+  // right open/closed bound.
+  Interval range = MustClosed(7250, 30000);
+  EXPECT_TRUE(range.Contains(Value::Int(7250)));   // lower bound itself
+  EXPECT_TRUE(range.Contains(Value::Int(30000)));  // upper bound itself
+  EXPECT_FALSE(range.Contains(Value::Int(7249)));
+  EXPECT_FALSE(range.Contains(Value::Int(30001)));
+  EXPECT_TRUE(range.ContainsInterval(MustClosed(7250, 30000)));  // self
+  EXPECT_TRUE(range.ContainsInterval(MustClosed(7250, 7250)));   // lo point
+  EXPECT_TRUE(range.ContainsInterval(MustClosed(30000, 30000))); // hi point
+
+  ASSERT_OK_AND_ASSIGN(Interval ge,
+                       Interval::FromCompare(CompareOp::kGe, Value::Int(5)));
+  EXPECT_TRUE(ge.Contains(Value::Int(5)));  // >= is closed
+  ASSERT_OK_AND_ASSIGN(Interval gt,
+                       Interval::FromCompare(CompareOp::kGt, Value::Int(5)));
+  EXPECT_FALSE(gt.Contains(Value::Int(5)));  // > is open
+  ASSERT_OK_AND_ASSIGN(Interval le,
+                       Interval::FromCompare(CompareOp::kLe, Value::Int(5)));
+  EXPECT_TRUE(le.Contains(Value::Int(5)));  // <= is closed
+  ASSERT_OK_AND_ASSIGN(Interval lt,
+                       Interval::FromCompare(CompareOp::kLt, Value::Int(5)));
+  EXPECT_FALSE(lt.Contains(Value::Int(5)));  // < is open
+}
+
 TEST(IntervalTest, EmptyIntervalContainedInEverything) {
   Interval empty = Interval::AtLeast(Value::Int(5), true)
                        .Intersection(Interval::AtMost(Value::Int(5), true));

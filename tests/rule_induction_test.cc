@@ -66,6 +66,53 @@ TEST(RuleInductionTest, PruningDropsLowSupportRuns) {
                                       "if 4 <= X <= 6 then Y = a"}));
 }
 
+TEST(RuleInductionTest, BoundaryAuditExactlyNcSupportSurvivesPruning) {
+  // PR 4 boundary audit: the Nc threshold prunes runs supported by
+  // FEWER than Nc instances — a run supported by exactly Nc must
+  // survive (`support < Nc` prunes, never `support <= Nc`).
+  //   X: 1 1 1 | 2 2 | 3        support per run: a=3, b=2, c=1
+  Relation rel = MakeRelation("R",
+                              Schema({{"X", ValueType::kInt, false},
+                                      {"Y", ValueType::kString, false}}),
+                              {{"1", "a"},
+                               {"1", "a"},
+                               {"1", "a"},
+                               {"2", "b"},
+                               {"2", "b"},
+                               {"3", "c"}});
+  InductionConfig config;
+  config.min_support = 2;
+  ASSERT_OK_AND_ASSIGN(std::vector<Rule> rules,
+                       InduceScheme(rel, "X", "Y", config));
+  // b's run has support exactly Nc=2: it must be kept; only c (1) goes.
+  EXPECT_EQ(RuleBodies(rules),
+            (std::vector<std::string>{"if X = 1 then Y = a",
+                                      "if X = 2 then Y = b"}));
+
+  config.min_support = 3;
+  ASSERT_OK_AND_ASSIGN(rules, InduceScheme(rel, "X", "Y", config));
+  // Now a's run sits exactly at Nc=3 and must still survive.
+  EXPECT_EQ(RuleBodies(rules),
+            (std::vector<std::string>{"if X = 1 then Y = a"}));
+}
+
+TEST(RuleInductionTest, BoundaryAuditInducedIntervalsIncludeBothEndpoints) {
+  // PR 4 boundary audit (§5.2.1): an induced range rule must fire for
+  // the endpoint values x1 and x2 themselves.
+  InductionConfig config;
+  config.prune = false;
+  ASSERT_OK_AND_ASSIGN(std::vector<Rule> rules,
+                       InduceScheme(ToyRelation(), "X", "Y", config));
+  ASSERT_FALSE(rules.empty());
+  // "if 1 <= X <= 2 then Y = a": both 1 and 2 satisfy the LHS clause.
+  ASSERT_EQ(rules[0].lhs.size(), 1u);
+  const Clause& lhs = rules[0].lhs[0];
+  EXPECT_TRUE(lhs.Satisfies(Value::Int(1)));
+  EXPECT_TRUE(lhs.Satisfies(Value::Int(2)));
+  EXPECT_FALSE(lhs.Satisfies(Value::Int(0)));
+  EXPECT_FALSE(lhs.Satisfies(Value::Int(3)));
+}
+
 TEST(RuleInductionTest, StatsAreReported) {
   InductionConfig config;
   config.min_support = 2;
