@@ -22,6 +22,8 @@
 #include <string>
 
 #include "common/string_util.h"
+#include "core/persistence.h"
+#include "core/snapshot.h"
 #include "core/summarizer.h"
 #include "core/system.h"
 #include "exec/thread_pool.h"
@@ -66,11 +68,17 @@ void PrintHelp() {
       "                        resize both caches (entries, LRU-evicted)\n"
       "  cache                 print cache stats (sizes, hit/miss/evict)\n"
       "  cache clear           drop every cached plan and answer\n"
+      "  save <dir>            write a crash-safe snapshot of the system\n"
+      "  load <dir>            replace the system with the newest intact\n"
+      "                        snapshot in <dir> (reports any recovery)\n"
+      "  fsck <dir>            verify every snapshot in <dir> offline\n"
       "  set failpoint <name> <spec>\n"
       "                        arm a fault-injection site ('off' disarms);\n"
       "                        spec = [once|after(N)|times(N)|prob(P,SEED):]\n"
-      "                        error(code[,message]) — same grammar as the\n"
-      "                        IQS_FAILPOINTS environment variable\n"
+      "                        error(code[,message]) | crash |\n"
+      "                        torn(file,bytes) | corrupt(file) — same\n"
+      "                        grammar as the IQS_FAILPOINTS environment\n"
+      "                        variable\n"
       "  failpoints            list every failpoint site (policy, armed\n"
       "                        spec, hit/fire counts) and the error budget\n"
       "  validate              check the database against the KER schema\n"
@@ -80,15 +88,29 @@ void PrintHelp() {
 
 void PrintUsage(const char* argv0) {
   std::cout << "usage: " << argv0 << " [--trace] [--quiet] [--help]\n"
+            << "       " << argv0 << " fsck <dir>\n"
             << "  --trace   print the span tree after each SELECT\n"
             << "  --quiet   suppress the banner and prompt (for piping)\n"
-            << "  --help    this message, plus the interactive commands\n\n";
+            << "  --help    this message, plus the interactive commands\n"
+            << "  fsck      verify a saved system directory offline;\n"
+            << "            exit 0 when healthy, 1 when damaged\n\n";
   PrintHelp();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Standalone verifier: `iqs_shell fsck <dir>` checks a saved system
+  // directory offline and exits 0 (healthy) or 1 (damaged).
+  if (argc == 3 && std::strcmp(argv[1], "fsck") == 0) {
+    auto fsck = iqs::persist::FsckDirectory(argv[2]);
+    if (!fsck.ok()) {
+      std::cerr << fsck.status() << "\n";
+      return 1;
+    }
+    std::cout << fsck->ToString();
+    return fsck->healthy() ? 0 : 1;
+  }
   bool trace_queries = false;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
@@ -117,7 +139,7 @@ int main(int argc, char** argv) {
     std::cerr << "induction failed: " << s << "\n";
     return 1;
   }
-  iqs::QuelSession quel(&system->database());
+  auto quel = std::make_unique<iqs::QuelSession>(&system->database());
   iqs::InferenceMode mode = iqs::InferenceMode::kCombined;
   bool with_summary = false;
 
@@ -292,6 +314,51 @@ int main(int argc, char** argv) {
       std::cout << cache.StatsText();
       continue;
     }
+    if (iqs::StartsWith(lower, "save ")) {
+      std::string dir(iqs::StripWhitespace(trimmed.substr(5)));
+      if (auto s = iqs::SaveSystem(system.get(), dir); !s.ok()) {
+        std::cout << s << "\n";
+        continue;
+      }
+      std::cout << "saved snapshot "
+                << iqs::persist::ReadCurrent(dir) << " in " << dir << "\n";
+      continue;
+    }
+    if (iqs::StartsWith(lower, "load ")) {
+      std::string dir(iqs::StripWhitespace(trimmed.substr(5)));
+      iqs::FormatterOptions fmt;
+      fmt.entity_noun = "Ship";
+      fmt.relationship_phrase = "is equipped with";
+      iqs::LoadReport report;
+      auto loaded = iqs::LoadSystem(dir, fmt, &report);
+      if (!loaded.ok()) {
+        std::cout << loaded.status() << "\n";
+        continue;
+      }
+      system = std::move(loaded).value();
+      quel = std::make_unique<iqs::QuelSession>(&system->database());
+      if (report.legacy) {
+        std::cout << "loaded legacy flat layout from " << dir << "\n";
+      } else {
+        std::cout << "loaded " << report.snapshot << " from " << dir
+                  << " (rule_epoch " << report.rule_epoch << ", db_epoch "
+                  << report.db_epoch << ")\n";
+      }
+      for (const iqs::fault::DegradationEvent& event : report.degradations) {
+        std::cout << "  recovery: " << event.ToString() << "\n";
+      }
+      continue;
+    }
+    if (iqs::StartsWith(lower, "fsck ")) {
+      std::string dir(iqs::StripWhitespace(trimmed.substr(5)));
+      auto fsck = iqs::persist::FsckDirectory(dir);
+      if (!fsck.ok()) {
+        std::cout << fsck.status() << "\n";
+        continue;
+      }
+      std::cout << fsck->ToString();
+      continue;
+    }
     if (iqs::StartsWith(lower, "set failpoint")) {
       // Spec text keeps the original case (messages may be mixed-case).
       std::string rest(iqs::StripWhitespace(trimmed.substr(13)));
@@ -390,7 +457,7 @@ int main(int argc, char** argv) {
       continue;
     }
     if (iqs::StartsWith(lower, "quel ")) {
-      auto result = quel.ExecuteText(trimmed.substr(5));
+      auto result = quel->ExecuteText(trimmed.substr(5));
       if (!result.ok()) {
         std::cout << result.status() << "\n";
         continue;

@@ -1,0 +1,30 @@
+#ifndef IQS_COMMON_CRC32C_H_
+#define IQS_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace iqs {
+
+// CRC32C (Castagnoli polynomial, the checksum used by iSCSI, ext4 and
+// LevelDB-style manifests) over arbitrary bytes. Snapshot footers store
+// one per persisted file so LoadSystem can verify every byte it is
+// about to parse (DESIGN.md §10). Software table-driven implementation;
+// deterministic across platforms.
+
+// Extends a running checksum (`crc` from a previous call, or 0 for a
+// fresh run) with `n` more bytes.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+inline uint32_t Crc32c(const std::string& bytes) {
+  return Crc32c(bytes.data(), bytes.size());
+}
+
+}  // namespace iqs
+
+#endif  // IQS_COMMON_CRC32C_H_

@@ -20,6 +20,8 @@ enum class StatusCode {
   kConstraintViolation,  // a with-constraint rejected a tuple
   kInternal,          // invariant breach inside the library
   kUnavailable,       // transient fault; safe to retry (see fault/degrade.h)
+  kCorruption,        // persisted bytes failed an integrity check; not
+                      // retryable — recovery picks another snapshot
 };
 
 // Returns a short stable name such as "NotFound" for diagnostics.
@@ -65,6 +67,9 @@ class [[nodiscard]] Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

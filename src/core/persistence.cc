@@ -1,13 +1,18 @@
 #include "core/persistence.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <map>
-#include <sstream>
+#include <set>
 
-#include "fault/degrade.h"
+#include "common/crc32c.h"
+#include "core/snapshot.h"
 #include "fault/failpoint.h"
 #include "ker/ddl_parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/csv.h"
 #include "rules/rule_relation.h"
 
@@ -31,9 +36,61 @@ std::string FileNameFor(const std::string& relation) {
   return relation + ".csv";
 }
 
+// Files a last-resort (quarantine) load cannot do without: the schema,
+// the manifest, and the rule meta-relations. A corrupt rule relation is
+// corrupt induced knowledge — recovery must not silently drop it.
+std::vector<std::string> EssentialFiles() {
+  return {kSchemaFile,
+          kManifestFile,
+          FileNameFor(kRuleRelName),
+          FileNameFor(kAttrMapName),
+          FileNameFor(kAttrTableName),
+          FileNameFor(kRuleMetaName)};
+}
+
+// The id a new snapshot gets: one past everything ever seen in the
+// directory — committed snapshots, crashed tmp dirs, and the CURRENT
+// target — so a crashed save's leftovers are never reused or clobbered.
+uint64_t NextSnapshotId(const std::string& directory) {
+  int64_t max_id = -1;
+  for (uint64_t id : persist::ListSnapshotIds(directory)) {
+    max_id = std::max(max_id, static_cast<int64_t>(id));
+  }
+  for (const std::string& tmp : persist::ListTmpDirs(directory)) {
+    std::string name = tmp.substr(0, tmp.size() - std::strlen(persist::kTmpSuffix));
+    max_id = std::max(max_id, persist::ParseSnapshotId(name));
+  }
+  max_id = std::max(max_id, persist::ParseSnapshotId(
+                                persist::ReadCurrent(directory)));
+  return static_cast<uint64_t>(max_id + 1);
+}
+
+// Removes snapshots beyond `keep` and every leftover tmp dir. Best
+// effort: a GC failure never fails the save that just committed.
+void CollectGarbage(const std::string& directory, size_t keep) {
+  if (keep == 0) keep = 1;
+  std::vector<uint64_t> ids = persist::ListSnapshotIds(directory);
+  size_t removed = 0;
+  while (ids.size() > keep) {
+    std::error_code ec;
+    std::filesystem::remove_all(
+        directory + "/" + persist::SnapshotDirName(ids.front()), ec);
+    if (!ec) ++removed;
+    ids.erase(ids.begin());
+  }
+  for (const std::string& tmp : persist::ListTmpDirs(directory)) {
+    std::error_code ec;
+    std::filesystem::remove_all(directory + "/" + tmp, ec);
+    if (!ec) ++removed;
+  }
+  IQS_COUNTER_ADD("persist.gc.removed", removed);
+}
+
 // One save attempt; the public SaveSystem retries transient faults.
-Status SaveSystemOnce(IqsSystem* system, const std::string& directory) {
+Status SaveSystemOnce(IqsSystem* system, const std::string& directory,
+                      const SaveOptions& save_options) {
   IQS_FAILPOINT("persist.save");
+  IQS_SPAN("persist.save");
   std::error_code ec;
   std::filesystem::create_directories(directory, ec);
   if (ec) {
@@ -43,17 +100,31 @@ Status SaveSystemOnce(IqsSystem* system, const std::string& directory) {
   // Rules travel inside the database as meta-relations.
   IQS_RETURN_IF_ERROR(system->StoreRulesInDatabase());
 
-  // Schema as KER DDL.
-  {
-    std::ofstream schema_file(
-        (std::filesystem::path(directory) / kSchemaFile).string());
-    if (!schema_file) {
-      return Status::Internal("cannot write schema.ker");
-    }
-    schema_file << system->catalog().ToDdl();
+  const uint64_t id = NextSnapshotId(directory);
+  const std::string snap_name = persist::SnapshotDirName(id);
+  const std::string tmp_dir =
+      directory + "/" + snap_name + persist::kTmpSuffix;
+  const std::string final_dir = directory + "/" + snap_name;
+  std::filesystem::create_directories(tmp_dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create snapshot directory '" + tmp_dir +
+                            "': " + ec.message());
   }
 
-  // Manifest + one CSV per relation.
+  persist::SnapshotManifest footer;
+  footer.rule_epoch = system->dictionary().rule_epoch();
+  footer.db_epoch = system->database().epoch();
+  // Checksums cover the *intended* bytes; a torn or corrupted write is
+  // exactly what the checksum catches at load time.
+  auto write_one = [&](const std::string& name,
+                       const std::string& content) -> Status {
+    footer.files.push_back(persist::FileEntry{
+        name, static_cast<uint64_t>(content.size()), Crc32c(content)});
+    return persist::WriteFileDurable(tmp_dir + "/" + name, content);
+  };
+
+  IQS_RETURN_IF_ERROR(write_one(kSchemaFile, system->catalog().ToDdl()));
+
   Relation manifest("MANIFEST", ManifestSchema());
   for (const std::string& name : system->database().RelationNames()) {
     IQS_ASSIGN_OR_RETURN(const Relation* rel, system->database().Get(name));
@@ -67,62 +138,119 @@ Status SaveSystemOnce(IqsSystem* system, const std::string& directory) {
                  Value::Int(attr.is_key ? 1 : 0),
                  Value::Int(static_cast<int64_t>(i))}));
     }
-    IQS_RETURN_IF_ERROR(WriteCsvFile(
-        *rel,
-        (std::filesystem::path(directory) / FileNameFor(rel->name()))
-            .string()));
+    IQS_RETURN_IF_ERROR(
+        write_one(FileNameFor(rel->name()), RelationToCsv(*rel)));
   }
-  return WriteCsvFile(
-      manifest, (std::filesystem::path(directory) / kManifestFile).string());
+  IQS_RETURN_IF_ERROR(write_one(kManifestFile, RelationToCsv(manifest)));
+
+  // Footer last: it vouches for everything written above.
+  IQS_RETURN_IF_ERROR(persist::WriteFileDurable(
+      tmp_dir + "/" + persist::kFooterFile, footer.Serialize()));
+  IQS_RETURN_IF_ERROR(persist::FsyncDir(tmp_dir));
+
+  IQS_FAILPOINT("persist.crash.before_rename");
+  if (std::rename(tmp_dir.c_str(), final_dir.c_str()) != 0) {
+    return Status::Internal("cannot rename '" + tmp_dir + "' to '" +
+                            final_dir + "'");
+  }
+  IQS_RETURN_IF_ERROR(persist::FsyncDir(directory));
+  IQS_FAILPOINT("persist.crash.after_rename");
+
+  // The commit point: readers switch to the new snapshot here.
+  IQS_RETURN_IF_ERROR(persist::AtomicReplaceFile(
+      directory + "/" + persist::kCurrentFile, snap_name + "\n"));
+  IQS_COUNTER_INC("persist.save.snapshots");
+
+  // Only after CURRENT flips is anything old expendable.
+  CollectGarbage(directory, save_options.keep_snapshots);
+  return Status::Ok();
 }
 
-// One load attempt; the public LoadSystem retries transient faults.
-Result<std::unique_ptr<IqsSystem>> LoadSystemOnce(const std::string& directory,
-                                                  FormatterOptions options) {
-  IQS_FAILPOINT("persist.load");
-  std::filesystem::path dir(directory);
-  // Schema.
-  std::ifstream schema_file((dir / kSchemaFile).string());
-  if (!schema_file) {
-    return Status::NotFound("no schema.ker in '" + directory + "'");
-  }
-  std::ostringstream schema_text;
-  schema_text << schema_file.rdbuf();
+// Loads a system from one flat directory of schema.ker + manifest.csv +
+// CSVs — a snapshot's contents, or a whole legacy-layout directory.
+// When `skip_files` is non-null, relations whose file is listed there
+// are quarantined (skipped, names appended to `quarantined`) instead of
+// read; everything else is parsed strictly.
+Result<std::unique_ptr<IqsSystem>> LoadFromFlatDir(
+    const std::string& dir, FormatterOptions options,
+    const std::set<std::string>* skip_files,
+    std::vector<std::string>* quarantined) {
+  const std::string schema_path = dir + "/" + kSchemaFile;
+  IQS_ASSIGN_OR_RETURN(std::string schema_text,
+                       persist::ReadFileToString(schema_path));
   auto catalog = std::make_unique<KerCatalog>();
-  IQS_RETURN_IF_ERROR(ParseDdl(schema_text.str(), catalog.get()));
+  Status parsed_schema = ParseDdl(schema_text, catalog.get());
+  if (!parsed_schema.ok()) {
+    return Status(parsed_schema.code(), parsed_schema.message() +
+                                            " (file '" + schema_path + "')");
+  }
 
-  // Manifest -> ordered relation descriptors.
-  IQS_ASSIGN_OR_RETURN(
-      Relation manifest,
-      ReadCsvFile("MANIFEST", ManifestSchema(),
-                  (dir / kManifestFile).string()));
+  // Manifest -> ordered relation descriptors, validated: a relation's
+  // positions must be exactly 0..n-1 with no duplicates, else the
+  // manifest (not the data) is the corrupt artifact.
+  const std::string manifest_path = dir + "/" + kManifestFile;
+  IQS_ASSIGN_OR_RETURN(std::string manifest_text,
+                       persist::ReadFileToString(manifest_path));
+  Result<Relation> manifest =
+      RelationFromCsv("MANIFEST", ManifestSchema(), manifest_text);
+  if (!manifest.ok()) {
+    return Status(manifest.status().code(),
+                  manifest.status().message() + " (file '" + manifest_path +
+                      "')");
+  }
   struct Descriptor {
     std::string file;
     std::map<int64_t, AttributeDef> attrs;  // position -> definition
   };
   std::vector<std::string> order;
   std::map<std::string, Descriptor> descriptors;
-  for (const Tuple& row : manifest.rows()) {
+  for (const Tuple& row : manifest->rows()) {
     const std::string& relation = row.at(0).AsString();
     if (descriptors.count(relation) == 0) order.push_back(relation);
     Descriptor& d = descriptors[relation];
     d.file = row.at(1).AsString();
     IQS_ASSIGN_OR_RETURN(ValueType type,
                          ValueTypeFromName(row.at(3).AsString()));
-    d.attrs[row.at(5).AsInt()] =
+    int64_t position = row.at(5).AsInt();
+    if (d.attrs.count(position) != 0) {
+      return Status::InvalidArgument(
+          "manifest repeats position " + std::to_string(position) +
+          " for relation '" + relation + "' (file '" + manifest_path + "')");
+    }
+    d.attrs[position] =
         AttributeDef{row.at(2).AsString(), type, row.at(4).AsInt() != 0};
+  }
+  for (const std::string& relation : order) {
+    const Descriptor& d = descriptors[relation];
+    for (int64_t i = 0; i < static_cast<int64_t>(d.attrs.size()); ++i) {
+      if (d.attrs.count(i) == 0) {
+        return Status::InvalidArgument(
+            "manifest for relation '" + relation +
+            "' has non-contiguous positions: missing " + std::to_string(i) +
+            " (file '" + manifest_path + "')");
+      }
+    }
   }
 
   auto db = std::make_unique<Database>();
   for (const std::string& relation : order) {
     const Descriptor& d = descriptors[relation];
+    if (skip_files != nullptr && skip_files->count(d.file) != 0) {
+      if (quarantined != nullptr) quarantined->push_back(relation);
+      continue;
+    }
     std::vector<AttributeDef> attrs;
     for (const auto& [position, attr] : d.attrs) attrs.push_back(attr);
     IQS_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(attrs)));
-    IQS_ASSIGN_OR_RETURN(
-        Relation rel,
-        ReadCsvFile(relation, schema, (dir / d.file).string()));
-    IQS_RETURN_IF_ERROR(db->AddRelation(std::move(rel)));
+    const std::string rel_path = dir + "/" + d.file;
+    IQS_ASSIGN_OR_RETURN(std::string rel_text,
+                         persist::ReadFileToString(rel_path));
+    Result<Relation> rel = RelationFromCsv(relation, schema, rel_text);
+    if (!rel.ok()) {
+      return Status(rel.status().code(), rel.status().message() +
+                                             " (file '" + rel_path + "')");
+    }
+    IQS_RETURN_IF_ERROR(db->AddRelation(std::move(*rel)));
   }
 
   bool has_rules = db->Contains(kRuleRelName);
@@ -135,21 +263,123 @@ Result<std::unique_ptr<IqsSystem>> LoadSystemOnce(const std::string& directory,
   return system;
 }
 
+// One load attempt; the public LoadSystem retries transient faults.
+Result<std::unique_ptr<IqsSystem>> LoadSystemOnce(const std::string& directory,
+                                                  FormatterOptions options,
+                                                  LoadReport* report) {
+  IQS_FAILPOINT("persist.load");
+  IQS_SPAN("persist.load");
+  const std::string current = persist::ReadCurrent(directory);
+  std::vector<uint64_t> ids = persist::ListSnapshotIds(directory);
+  if (current.empty() && ids.empty()) {
+    // Flat pre-snapshot layout: no footer to verify, parse strictly.
+    report->legacy = true;
+    IQS_COUNTER_INC("persist.load.legacy");
+    return LoadFromFlatDir(directory, std::move(options), nullptr, nullptr);
+  }
+
+  // Recovery ladder: the CURRENT target first, then every other
+  // committed snapshot newest-first. The first one whose footer and
+  // checksums verify is loaded whole.
+  std::vector<std::string> candidates;
+  if (!current.empty()) candidates.push_back(current);
+  for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+    std::string name = persist::SnapshotDirName(*it);
+    if (name != current) candidates.push_back(name);
+  }
+
+  std::vector<persist::SnapshotHealth> healths;
+  for (const std::string& name : candidates) {
+    persist::SnapshotHealth health =
+        persist::VerifySnapshot(directory + "/" + name);
+    if (!health.intact) {
+      healths.push_back(std::move(health));
+      continue;
+    }
+    if (name != current) {
+      fault::DegradationEvent event;
+      event.stage = "persistence";
+      event.action = fault::DegradeAction::kSnapshotFallback;
+      event.reason = current.empty()
+                         ? "CURRENT missing; recovered from '" + name + "'"
+                         : "snapshot '" + current +
+                               "' failed verification; recovered from '" +
+                               name + "'";
+      fault::RecordDegradation(event);
+      IQS_COUNTER_INC("persist.recovery.fallback");
+      report->fallback = true;
+      report->degradations.push_back(std::move(event));
+    }
+    report->snapshot = name;
+    report->format_version = health.manifest.format_version;
+    report->rule_epoch = health.manifest.rule_epoch;
+    report->db_epoch = health.manifest.db_epoch;
+    return LoadFromFlatDir(directory + "/" + name, std::move(options),
+                           nullptr, nullptr);
+  }
+
+  // No intact snapshot anywhere. Last resort: take the newest candidate
+  // whose footer still parses, require the essential files to verify,
+  // and quarantine the corrupt non-rule relations instead of aborting.
+  for (const persist::SnapshotHealth& health : healths) {
+    if (!health.footer_ok) continue;
+    std::set<std::string> bad(health.bad_files.begin(),
+                              health.bad_files.end());
+    for (const std::string& essential : EssentialFiles()) {
+      if (bad.count(essential) != 0) {
+        return Status::Corruption(
+            "snapshot '" + directory + "/" + health.name +
+            "' is damaged beyond recovery: essential file '" + essential +
+            "' failed verification");
+      }
+    }
+    report->snapshot = health.name;
+    report->format_version = health.manifest.format_version;
+    report->rule_epoch = health.manifest.rule_epoch;
+    report->db_epoch = health.manifest.db_epoch;
+    IQS_ASSIGN_OR_RETURN(
+        std::unique_ptr<IqsSystem> system,
+        LoadFromFlatDir(directory + "/" + health.name, std::move(options),
+                        &bad, &report->quarantined));
+    for (const std::string& relation : report->quarantined) {
+      fault::DegradationEvent event;
+      event.stage = "persistence";
+      event.action = fault::DegradeAction::kQuarantine;
+      event.reason = "relation '" + relation + "' quarantined: '" +
+                     FileNameFor(relation) + "' failed verification in '" +
+                     health.name + "'";
+      fault::RecordDegradation(event);
+      IQS_COUNTER_INC("persist.recovery.quarantined");
+      report->degradations.push_back(std::move(event));
+    }
+    return system;
+  }
+  return Status::Corruption("no loadable snapshot in '" + directory +
+                            "': every snapshot footer is missing or corrupt");
+}
+
 }  // namespace
 
-Status SaveSystem(IqsSystem* system, const std::string& directory) {
-  return fault::RetryTransient("persist.save", /*max_attempts=*/3,
-                               [system, &directory]() {
-                                 return SaveSystemOnce(system, directory);
-                               });
+Status SaveSystem(IqsSystem* system, const std::string& directory,
+                  const SaveOptions& save_options) {
+  return fault::RetryTransient(
+      "persist.save", /*max_attempts=*/3, [system, &directory, &save_options]() {
+        return SaveSystemOnce(system, directory, save_options);
+      });
 }
 
 Result<std::unique_ptr<IqsSystem>> LoadSystem(const std::string& directory,
-                                              FormatterOptions options) {
-  return fault::RetryTransientResult<std::unique_ptr<IqsSystem>>(
-      "persist.load", /*max_attempts=*/3, [&directory, &options]() {
-        return LoadSystemOnce(directory, options);
-      });
+                                              FormatterOptions options,
+                                              LoadReport* report) {
+  LoadReport local;
+  Result<std::unique_ptr<IqsSystem>> result =
+      fault::RetryTransientResult<std::unique_ptr<IqsSystem>>(
+          "persist.load", /*max_attempts=*/3, [&directory, &options, &local]() {
+            local = LoadReport();
+            return LoadSystemOnce(directory, options, &local);
+          });
+  if (report != nullptr) *report = std::move(local);
+  return result;
 }
 
 }  // namespace iqs

@@ -1,38 +1,80 @@
 #ifndef IQS_CORE_PERSISTENCE_H_
 #define IQS_CORE_PERSISTENCE_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/system.h"
+#include "fault/degrade.h"
 
 namespace iqs {
 
 // Whole-system persistence: the paper's relocation story (§5.2.2 — "a
 // database and its associated rule relations can be relocated together.
 // When the database is used in a location, the associated schema and
-// rules are loaded into the system") as a single save/load pair.
+// rules are loaded into the system") as a crash-safe save/load pair.
 //
-// Layout of a saved system directory:
-//   schema.ker          KER DDL (KerCatalog::ToDdl / ParseDdl round trip)
-//   manifest.csv        relation name -> csv file, in creation order,
-//                       with each column's name and type (so relations
-//                       whose object type has a different column order,
-//                       or no object type at all, reload faithfully)
-//   <relation>.csv      one file per relation, rule relations included
+// A saved system directory holds versioned snapshots (DESIGN.md §10):
+//   CURRENT             name of the committed snapshot, flipped atomically
+//   snapshot-<N>/       one immutable snapshot per save, containing
+//     schema.ker          KER DDL (KerCatalog::ToDdl / ParseDdl round trip)
+//     manifest.csv        relation name -> csv file, in creation order,
+//                         with each column's name, type, and position
+//     <relation>.csv      one file per relation, rule relations included
+//     MANIFEST            footer: format version, rule/db epochs, and a
+//                         byte length + CRC32C per file above
+//   snapshot-<N>.tmp/   an in-progress or crashed save (never loaded)
+//
+// Saves never modify a committed snapshot: the new snapshot is built in a
+// tmp directory, fsynced, renamed into place, and only then does CURRENT
+// flip; old snapshots are garbage-collected after the flip. Loads verify
+// every byte against the footer before parsing and fall back to the
+// newest older intact snapshot when the current one is torn or corrupt.
+// Directories written by the pre-snapshot flat layout still load.
 //
 // The induced rules travel inside the database as the four rule
 // meta-relations; LoadSystem decodes them back into the dictionary.
 
-// Serializes `system` into `directory` (created if missing). The induced
-// rules are stored into the database first.
-Status SaveSystem(IqsSystem* system, const std::string& directory);
+struct SaveOptions {
+  // Committed snapshots retained after a successful save (the newest —
+  // the one CURRENT points at — always counts toward this). Minimum 1.
+  size_t keep_snapshots = 2;
+};
 
-// Rebuilds a system from `directory`: parses schema.ker, loads every
-// relation in the manifest, assembles the dictionary, and imports the
-// rule relations when present. `options` supplies the display vocabulary
-// (it is not persisted).
+// What LoadSystem actually did, for callers that surface recovery to the
+// user (the shell) or assert on it (tests).
+struct LoadReport {
+  std::string snapshot;  // snapshot name loaded, "" for a legacy layout
+  bool legacy = false;   // flat pre-snapshot directory
+  bool fallback = false;  // the CURRENT snapshot was damaged or missing
+                          // and an older intact one was loaded instead
+  uint64_t format_version = 0;  // 0 for legacy layouts
+  uint64_t rule_epoch = 0;      // epochs recorded in the loaded footer
+  uint64_t db_epoch = 0;
+  // Relations skipped because their file failed verification and no
+  // intact snapshot existed (last-resort load; never rule relations).
+  std::vector<std::string> quarantined;
+  // One event per fallback / quarantine, already recorded in metrics.
+  std::vector<fault::DegradationEvent> degradations;
+};
+
+// Serializes `system` into a new snapshot under `directory` (created if
+// missing), commits it atomically, and garbage-collects old snapshots.
+// The induced rules are stored into the database first. On error or
+// crash, the previously committed snapshot is untouched.
+Status SaveSystem(IqsSystem* system, const std::string& directory,
+                  const SaveOptions& save_options = {});
+
+// Rebuilds a system from the newest intact snapshot in `directory`:
+// verifies footer checksums, parses schema.ker, loads every relation in
+// the manifest, assembles the dictionary, and imports the rule relations
+// when present. Falls back across snapshots as described above; fills
+// `report` (optional) with what happened. `options` supplies the display
+// vocabulary (it is not persisted).
 Result<std::unique_ptr<IqsSystem>> LoadSystem(const std::string& directory,
-                                              FormatterOptions options = {});
+                                              FormatterOptions options = {},
+                                              LoadReport* report = nullptr);
 
 }  // namespace iqs
 

@@ -1,0 +1,419 @@
+#include "core/snapshot.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "common/string_util.h"
+#include "fault/failpoint.h"
+#include "obs/metrics.h"
+
+namespace iqs {
+namespace persist {
+
+namespace {
+
+std::string Basename(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string ErrnoText() { return std::strerror(errno); }
+
+// Parses a non-negative decimal; false on any trailing garbage.
+bool ParseUint(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ParseHex32(const std::string& text, uint32_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(text.c_str(), &end, 16);
+  if (errno != 0 || end == nullptr || *end != '\0' || v > 0xFFFFFFFFull) {
+    return false;
+  }
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
+std::string Hex32(uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", v);
+  return buf;
+}
+
+// Directory entries of `dir` (no "."/".."); empty when unreadable.
+std::vector<std::string> ListDir(const std::string& dir) {
+  std::vector<std::string> names;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return names;
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(std::move(name));
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace
+
+std::string SnapshotManifest::Serialize() const {
+  std::string out = "IQS_SNAPSHOT " + std::to_string(format_version) + "\n";
+  out += "rule_epoch " + std::to_string(rule_epoch) + "\n";
+  out += "db_epoch " + std::to_string(db_epoch) + "\n";
+  for (const FileEntry& f : files) {
+    out += "file " + std::to_string(f.bytes) + " " + Hex32(f.crc32c) + " " +
+           f.name + "\n";
+  }
+  return out;
+}
+
+Result<SnapshotManifest> SnapshotManifest::Parse(const std::string& text) {
+  SnapshotManifest manifest;
+  manifest.files.clear();
+  std::vector<std::string> lines = Split(text, '\n');
+  if (lines.empty() || !StartsWith(lines[0], "IQS_SNAPSHOT ")) {
+    return Status::Corruption("snapshot footer missing IQS_SNAPSHOT header");
+  }
+  if (!ParseUint(lines[0].substr(std::strlen("IQS_SNAPSHOT ")),
+                 &manifest.format_version)) {
+    return Status::Corruption("snapshot footer has a malformed version");
+  }
+  if (manifest.format_version != kFormatVersion) {
+    return Status::Corruption("unsupported snapshot format version " +
+                              std::to_string(manifest.format_version));
+  }
+  bool saw_rule_epoch = false;
+  bool saw_db_epoch = false;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.empty()) {
+      // Only the trailing newline may leave an empty record.
+      if (i + 1 != lines.size()) {
+        return Status::Corruption("snapshot footer has a blank line");
+      }
+      continue;
+    }
+    if (StartsWith(line, "rule_epoch ")) {
+      if (!ParseUint(line.substr(std::strlen("rule_epoch ")),
+                     &manifest.rule_epoch)) {
+        return Status::Corruption("snapshot footer has a malformed rule_epoch");
+      }
+      saw_rule_epoch = true;
+      continue;
+    }
+    if (StartsWith(line, "db_epoch ")) {
+      if (!ParseUint(line.substr(std::strlen("db_epoch ")),
+                     &manifest.db_epoch)) {
+        return Status::Corruption("snapshot footer has a malformed db_epoch");
+      }
+      saw_db_epoch = true;
+      continue;
+    }
+    if (StartsWith(line, "file ")) {
+      // "file <bytes> <crc> <name>"; the name is everything after the
+      // third space, so relation names with spaces survive.
+      std::string rest = line.substr(std::strlen("file "));
+      size_t sp1 = rest.find(' ');
+      size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                            : rest.find(' ', sp1 + 1);
+      FileEntry entry;
+      if (sp2 == std::string::npos ||
+          !ParseUint(rest.substr(0, sp1), &entry.bytes) ||
+          !ParseHex32(rest.substr(sp1 + 1, sp2 - sp1 - 1), &entry.crc32c) ||
+          sp2 + 1 >= rest.size()) {
+        return Status::Corruption("snapshot footer has a malformed file row: '" +
+                                  line + "'");
+      }
+      entry.name = rest.substr(sp2 + 1);
+      manifest.files.push_back(std::move(entry));
+      continue;
+    }
+    return Status::Corruption("snapshot footer has an unknown record: '" +
+                              line + "'");
+  }
+  if (!saw_rule_epoch || !saw_db_epoch) {
+    return Status::Corruption("snapshot footer is missing epoch records");
+  }
+  return manifest;
+}
+
+const FileEntry* SnapshotManifest::Find(const std::string& name) const {
+  for (const FileEntry& f : files) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+Status WriteFileDurable(const std::string& path, const std::string& content) {
+  std::string data = content;
+  const std::string base = Basename(path);
+  fault::WriteFault torn = fault::HitWriteFault("persist.torn_write", base);
+  if (torn.kind == fault::WriteFault::Kind::kTorn) {
+    data.resize(std::min<size_t>(static_cast<size_t>(torn.bytes), data.size()));
+  }
+  fault::WriteFault corrupt = fault::HitWriteFault("persist.corrupt", base);
+  if (corrupt.kind == fault::WriteFault::Kind::kCorrupt && !data.empty()) {
+    data[data.size() / 2] ^= 0x40;
+  }
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot open '" + path +
+                            "' for writing: " + ErrnoText());
+  }
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = Status::Internal("cannot write '" + path +
+                                       "': " + ErrnoText());
+      ::close(fd);
+      return status;
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Status status =
+        Status::Internal("cannot fsync '" + path + "': " + ErrnoText());
+    ::close(fd);
+    return status;
+  }
+  if (::close(fd) != 0) {
+    return Status::Internal("cannot close '" + path + "': " + ErrnoText());
+  }
+  IQS_COUNTER_INC("persist.files.written");
+  IQS_COUNTER_ADD("persist.bytes.written", data.size());
+  return Status::Ok();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("file '" + path + "' does not exist");
+    }
+    return Status::Internal("cannot open '" + path +
+                            "' for reading: " + ErrnoText());
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status =
+          Status::Internal("cannot read '" + path + "': " + ErrnoText());
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status FsyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal("cannot open directory '" + dir +
+                            "': " + ErrnoText());
+  }
+  if (::fsync(fd) != 0) {
+    Status status = Status::Internal("cannot fsync directory '" + dir +
+                                     "': " + ErrnoText());
+    ::close(fd);
+    return status;
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+Status AtomicReplaceFile(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  IQS_RETURN_IF_ERROR(WriteFileDurable(tmp, content));
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("cannot rename '" + tmp + "' to '" + path +
+                            "': " + ErrnoText());
+  }
+  size_t slash = path.find_last_of('/');
+  const std::string parent =
+      slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+  return FsyncDir(parent);
+}
+
+std::string SnapshotDirName(uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%06llu", kSnapshotPrefix,
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+int64_t ParseSnapshotId(const std::string& name) {
+  if (!StartsWith(name, kSnapshotPrefix)) return -1;
+  std::string digits = name.substr(std::strlen(kSnapshotPrefix));
+  if (digits.empty()) return -1;
+  uint64_t id = 0;
+  if (!ParseUint(digits, &id)) return -1;
+  return static_cast<int64_t>(id);
+}
+
+std::vector<uint64_t> ListSnapshotIds(const std::string& dir) {
+  std::vector<uint64_t> ids;
+  for (const std::string& name : ListDir(dir)) {
+    int64_t id = ParseSnapshotId(name);
+    if (id >= 0) ids.push_back(static_cast<uint64_t>(id));
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<std::string> ListTmpDirs(const std::string& dir) {
+  std::vector<std::string> tmps;
+  for (const std::string& name : ListDir(dir)) {
+    if (StartsWith(name, kSnapshotPrefix) && EndsWith(name, kTmpSuffix)) {
+      tmps.push_back(name);
+    }
+  }
+  return tmps;
+}
+
+std::string ReadCurrent(const std::string& dir) {
+  Result<std::string> content = ReadFileToString(dir + "/" + kCurrentFile);
+  if (!content.ok()) return "";
+  return std::string(StripWhitespace(*content));
+}
+
+SnapshotHealth VerifySnapshot(const std::string& snapshot_dir) {
+  SnapshotHealth health;
+  health.name = Basename(snapshot_dir);
+  Result<std::string> footer =
+      ReadFileToString(snapshot_dir + "/" + kFooterFile);
+  if (!footer.ok()) {
+    health.problems.push_back(std::string(kFooterFile) + ": " +
+                              footer.status().ToString());
+    return health;
+  }
+  Result<SnapshotManifest> manifest = SnapshotManifest::Parse(*footer);
+  if (!manifest.ok()) {
+    health.problems.push_back(std::string(kFooterFile) + ": " +
+                              manifest.status().ToString());
+    return health;
+  }
+  health.manifest = std::move(*manifest);
+  health.footer_ok = true;
+  for (const FileEntry& entry : health.manifest.files) {
+    Result<std::string> bytes =
+        ReadFileToString(snapshot_dir + "/" + entry.name);
+    if (!bytes.ok()) {
+      health.problems.push_back(entry.name + ": " +
+                                bytes.status().ToString());
+      health.bad_files.push_back(entry.name);
+      continue;
+    }
+    if (bytes->size() != entry.bytes) {
+      health.problems.push_back(
+          entry.name + ": length " + std::to_string(bytes->size()) +
+          ", footer says " + std::to_string(entry.bytes));
+      health.bad_files.push_back(entry.name);
+      continue;
+    }
+    uint32_t crc = Crc32c(*bytes);
+    if (crc != entry.crc32c) {
+      health.problems.push_back(entry.name + ": crc32c " + Hex32(crc) +
+                                ", footer says " + Hex32(entry.crc32c));
+      health.bad_files.push_back(entry.name);
+    }
+  }
+  health.intact = health.problems.empty();
+  return health;
+}
+
+bool FsckReport::healthy() const {
+  if (!orphans.empty()) return false;
+  if (legacy) return true;
+  for (const SnapshotHealth& snap : snapshots) {
+    if (snap.name == current) return snap.intact;
+  }
+  return false;
+}
+
+std::string FsckReport::ToString() const {
+  std::string out = "fsck " + directory + "\n";
+  if (legacy) {
+    out += "  layout: legacy flat directory (no snapshots)\n";
+  } else {
+    out += "  CURRENT -> " + (current.empty() ? "(missing)" : current) + "\n";
+    for (const SnapshotHealth& snap : snapshots) {
+      if (snap.intact) {
+        out += "  " + snap.name + ": OK (" +
+               std::to_string(snap.manifest.files.size()) +
+               " files, rule_epoch " +
+               std::to_string(snap.manifest.rule_epoch) + ", db_epoch " +
+               std::to_string(snap.manifest.db_epoch) + ")\n";
+      } else {
+        out += "  " + snap.name + ": DAMAGED\n";
+        for (const std::string& problem : snap.problems) {
+          out += "    - " + problem + "\n";
+        }
+      }
+    }
+  }
+  for (const std::string& orphan : orphans) {
+    out += "  orphan: " + orphan + "\n";
+  }
+  out += healthy() ? "result: healthy\n" : "result: DAMAGED\n";
+  return out;
+}
+
+Result<FsckReport> FsckDirectory(const std::string& dir) {
+  struct stat st;
+  if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return Status::NotFound("directory '" + dir + "' does not exist");
+  }
+  FsckReport report;
+  report.directory = dir;
+  report.current = ReadCurrent(dir);
+  std::vector<uint64_t> ids = ListSnapshotIds(dir);
+  report.legacy = report.current.empty() && ids.empty();
+  int64_t current_id =
+      report.current.empty() ? -1 : ParseSnapshotId(report.current);
+  bool current_found = false;
+  for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+    std::string name = SnapshotDirName(*it);
+    if (name == report.current) current_found = true;
+    if (current_id >= 0 && static_cast<int64_t>(*it) > current_id) {
+      report.orphans.push_back(name + " (committed but never made CURRENT)");
+    }
+    report.snapshots.push_back(VerifySnapshot(dir + "/" + name));
+  }
+  if (!report.current.empty() && !current_found) {
+    report.orphans.push_back(std::string(kCurrentFile) + " -> " +
+                             report.current + " (target missing)");
+  }
+  for (const std::string& tmp : ListTmpDirs(dir)) {
+    report.orphans.push_back(tmp + " (crashed or in-progress save)");
+  }
+  return report;
+}
+
+}  // namespace persist
+}  // namespace iqs

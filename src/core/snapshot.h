@@ -1,0 +1,137 @@
+#ifndef IQS_CORE_SNAPSHOT_H_
+#define IQS_CORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace iqs {
+namespace persist {
+
+// Crash-safe snapshot layout (DESIGN.md §10). A system directory holds
+//
+//   CURRENT               -> "snapshot-000042\n", flipped atomically
+//   snapshot-000041/       previous committed snapshot (retained for
+//   snapshot-000042/       recovery), each containing schema.ker,
+//     schema.ker           manifest.csv, one CSV per relation, and a
+//     manifest.csv         MANIFEST footer with per-file byte lengths
+//     <REL>.csv ...        and CRC32C checksums
+//     MANIFEST
+//   snapshot-000043.tmp/   an in-progress or crashed save (never read)
+//
+// A save builds snapshot-<N>.tmp, fsyncs every file and the directory,
+// renames it to snapshot-<N>, fsyncs the parent, then flips CURRENT via
+// write-temp + fsync + rename. Readers that find a torn or corrupt
+// current snapshot fall back to the newest older snapshot that verifies.
+
+inline constexpr uint64_t kFormatVersion = 1;
+inline constexpr char kCurrentFile[] = "CURRENT";
+inline constexpr char kFooterFile[] = "MANIFEST";
+inline constexpr char kSnapshotPrefix[] = "snapshot-";
+inline constexpr char kTmpSuffix[] = ".tmp";
+
+// One persisted file as recorded in the MANIFEST footer.
+struct FileEntry {
+  std::string name;  // basename inside the snapshot directory
+  uint64_t bytes = 0;
+  uint32_t crc32c = 0;
+};
+
+// The MANIFEST footer: everything LoadSystem needs to verify a snapshot
+// before parsing a single CSV. Text format, one token-separated record
+// per line (the file name comes last so it may contain spaces):
+//
+//   IQS_SNAPSHOT 1
+//   rule_epoch 7
+//   db_epoch 19
+//   file 1043 e3069283 schema.ker
+//   file 512 0badf00d CLASS.csv
+//   ...
+struct SnapshotManifest {
+  uint64_t format_version = kFormatVersion;
+  uint64_t rule_epoch = 0;
+  uint64_t db_epoch = 0;
+  std::vector<FileEntry> files;
+
+  std::string Serialize() const;
+  // Parse failures return Status::Corruption — a damaged footer is
+  // indistinguishable from a damaged snapshot.
+  static Result<SnapshotManifest> Parse(const std::string& text);
+
+  // Entry for `name`, or nullptr.
+  const FileEntry* Find(const std::string& name) const;
+};
+
+// Writes `content` to `path` with open/write/fsync/close, surfacing
+// errno text path-qualified. This is the single choke point where the
+// persist.torn_write / persist.corrupt failpoints apply (matched against
+// the basename of `path`): the *intended* bytes are what callers
+// checksum, the faulted bytes are what reaches the disk.
+Status WriteFileDurable(const std::string& path, const std::string& content);
+
+// Reads a whole file; NotFound when missing, path-qualified errors.
+Result<std::string> ReadFileToString(const std::string& path);
+
+// fsyncs a directory so a rename inside it is durable.
+Status FsyncDir(const std::string& dir);
+
+// Atomically replaces `path` with `content`: durable write of
+// `path.tmp`, rename over `path`, fsync of the parent directory.
+Status AtomicReplaceFile(const std::string& path, const std::string& content);
+
+// "snapshot-000042" for id 42. Ids are zero-padded so lexicographic
+// order matches numeric order in directory listings.
+std::string SnapshotDirName(uint64_t id);
+
+// Id of a committed snapshot directory name, or -1 when `name` is not
+// one (tmp dirs and foreign files return -1).
+int64_t ParseSnapshotId(const std::string& name);
+
+// Committed snapshot ids under `dir`, ascending. Missing dir -> empty.
+std::vector<uint64_t> ListSnapshotIds(const std::string& dir);
+
+// Leftover "snapshot-*.tmp" names under `dir` (crashed saves).
+std::vector<std::string> ListTmpDirs(const std::string& dir);
+
+// The snapshot name CURRENT points at, or "" when absent/unreadable.
+std::string ReadCurrent(const std::string& dir);
+
+// Verification outcome for one snapshot directory.
+struct SnapshotHealth {
+  std::string name;           // "snapshot-000042"
+  bool intact = false;        // footer parsed and every file verified
+  bool footer_ok = false;     // the MANIFEST footer itself parsed
+  SnapshotManifest manifest;  // valid when footer_ok
+  std::vector<std::string> problems;   // human-readable findings
+  std::vector<std::string> bad_files;  // basenames that failed length/CRC
+};
+
+// Checks the MANIFEST footer and every listed file's length and CRC32C.
+// Never returns an error for damage — damage lands in the report; only
+// the snapshot *name* being malformed is the caller's bug.
+SnapshotHealth VerifySnapshot(const std::string& snapshot_dir);
+
+// `iqs fsck`: offline verification of a whole system directory.
+struct FsckReport {
+  std::string directory;
+  std::string current;  // CURRENT target, "" when missing
+  bool legacy = false;  // flat pre-snapshot layout (no CURRENT/snapshot-*)
+  std::vector<SnapshotHealth> snapshots;  // newest first
+  std::vector<std::string> orphans;       // *.tmp dirs, uncommitted snapshots,
+                                          // dangling CURRENT target
+
+  // True when CURRENT resolves to an intact snapshot and nothing is
+  // orphaned (legacy directories are reported healthy but flagged).
+  bool healthy() const;
+  std::string ToString() const;
+};
+
+Result<FsckReport> FsckDirectory(const std::string& dir);
+
+}  // namespace persist
+}  // namespace iqs
+
+#endif  // IQS_CORE_SNAPSHOT_H_

@@ -19,6 +19,10 @@ const char* DegradeActionName(DegradeAction action) {
       return "retry";
     case DegradeAction::kSerialFallback:
       return "serial-fallback";
+    case DegradeAction::kSnapshotFallback:
+      return "snapshot-fallback";
+    case DegradeAction::kQuarantine:
+      return "quarantine";
   }
   return "unknown";
 }

@@ -22,10 +22,12 @@ namespace fault {
 // RecordDegradation (so EXPLAIN ANALYZE shows what was skipped).
 
 enum class DegradeAction {
-  kExtensionalOnly,  // intensional answer dropped, extensional kept
-  kSkipRule,         // one rule's firing skipped, inference continued
-  kRetry,            // transient fault absorbed by a retry
-  kSerialFallback,   // parallel region re-executed serially
+  kExtensionalOnly,   // intensional answer dropped, extensional kept
+  kSkipRule,          // one rule's firing skipped, inference continued
+  kRetry,             // transient fault absorbed by a retry
+  kSerialFallback,    // parallel region re-executed serially
+  kSnapshotFallback,  // damaged snapshot skipped, previous intact one loaded
+  kQuarantine,        // one corrupt non-rule relation skipped on load
 };
 
 const char* DegradeActionName(DegradeAction action);

@@ -35,6 +35,14 @@ constexpr ManifestEntry kManifest[] = {
     {"exec.pool.batch", Policy::kSerialFallback, "thread-pool batch submit"},
     {"persist.save", Policy::kRetryTransient, "system save I/O"},
     {"persist.load", Policy::kRetryTransient, "system load I/O"},
+    {"persist.crash.before_rename", Policy::kSnapshotFallback,
+     "saver killed before the snapshot directory rename"},
+    {"persist.crash.after_rename", Policy::kSnapshotFallback,
+     "saver killed between snapshot rename and CURRENT flip"},
+    {"persist.torn_write", Policy::kSnapshotFallback,
+     "snapshot file written short (torn write)"},
+    {"persist.corrupt", Policy::kSnapshotFallback,
+     "snapshot file bit-flipped during write"},
     {"cache.lookup", Policy::kCacheBypass, "query-cache lookup"},
     {"cache.insert", Policy::kCacheBypass, "query-cache insert"},
 };
@@ -54,6 +62,9 @@ Result<StatusCode> CodeFromName(const std::string& name) {
   }
   if (lower == "exists" || lower == "alreadyexists") {
     return StatusCode::kAlreadyExists;
+  }
+  if (lower == "corruption" || lower == "corrupt") {
+    return StatusCode::kCorruption;
   }
   return Status::InvalidArgument("unknown failpoint error code '" + name +
                                  "'");
@@ -136,6 +147,8 @@ const char* PolicyName(Policy policy) {
       return "keep-previous";
     case Policy::kCacheBypass:
       return "cache-bypass";
+    case Policy::kSnapshotFallback:
+      return "snapshot-fallback";
   }
   return "unknown";
 }
@@ -168,6 +181,39 @@ Result<FailpointSpec> FailpointSpec::Parse(const std::string& text) {
         std::string(StripWhitespace(trimmed.substr(0, colon))), &spec));
     action = std::string(StripWhitespace(trimmed.substr(colon + 1)));
   }
+  if (action == "crash") {
+    spec.action = Action::kCrash;
+    return spec;
+  }
+  if (StartsWith(action, "torn(")) {
+    IQS_ASSIGN_OR_RETURN(std::string args, ParenArgs(action, "torn"));
+    size_t comma = args.rfind(',');
+    if (comma == std::string::npos) {
+      return Status::InvalidArgument(
+          "torn action needs (file, bytes): '" + action + "'");
+    }
+    spec.file = std::string(StripWhitespace(args.substr(0, comma)));
+    std::string count(StripWhitespace(args.substr(comma + 1)));
+    char* end = nullptr;
+    long bytes = std::strtol(count.c_str(), &end, 10);
+    if (spec.file.empty() || end == nullptr || *end != '\0' || bytes < 0) {
+      return Status::InvalidArgument(
+          "torn action needs (file, bytes): '" + action + "'");
+    }
+    spec.action = Action::kTornWrite;
+    spec.bytes = static_cast<uint64_t>(bytes);
+    return spec;
+  }
+  if (StartsWith(action, "corrupt(")) {
+    IQS_ASSIGN_OR_RETURN(std::string args, ParenArgs(action, "corrupt"));
+    spec.file = std::string(StripWhitespace(args));
+    if (spec.file.empty()) {
+      return Status::InvalidArgument("corrupt action needs a file name: '" +
+                                     action + "'");
+    }
+    spec.action = Action::kCorruptWrite;
+    return spec;
+  }
   IQS_ASSIGN_OR_RETURN(std::string args, ParenArgs(action, "error"));
   size_t comma = args.find(',');
   std::string code_name =
@@ -181,41 +227,71 @@ Result<FailpointSpec> FailpointSpec::Parse(const std::string& text) {
   return spec;
 }
 
+bool Site::EvalTriggerLocked() {
+  ++evals_;
+  switch (spec_.trigger) {
+    case FailpointSpec::Trigger::kAlways:
+      return true;
+    case FailpointSpec::Trigger::kOnce:
+      // Spent after the first evaluation either way.
+      armed_.store(false, std::memory_order_release);
+      return evals_ == 1;
+    case FailpointSpec::Trigger::kAfter:
+      return evals_ > spec_.n;
+    case FailpointSpec::Trigger::kTimes:
+      return evals_ <= spec_.n;
+    case FailpointSpec::Trigger::kProb:
+      // mt19937 output is standardized, so the draw sequence — and thus
+      // which hits fire — is identical across platforms for a fixed seed.
+      return static_cast<double>(rng_() % 1000000) < spec_.probability * 1e6;
+  }
+  return false;
+}
+
+void Site::NoteFireLocked() {
+  fires_.fetch_add(1, std::memory_order_relaxed);
+  IQS_COUNTER_INC("fault.fired");
+  obs::GlobalMetrics().GetCounter("fault.fired." + name_)->Increment();
+}
+
 Status Site::Hit() {
   hits_.fetch_add(1, std::memory_order_relaxed);
   if (!armed_.load(std::memory_order_acquire)) return Status::Ok();
   std::lock_guard<std::mutex> lock(mu_);
   if (!armed_.load(std::memory_order_relaxed)) return Status::Ok();
-  ++evals_;
-  bool fire = false;
-  switch (spec_.trigger) {
-    case FailpointSpec::Trigger::kAlways:
-      fire = true;
-      break;
-    case FailpointSpec::Trigger::kOnce:
-      fire = evals_ == 1;
-      // Spent after the first evaluation either way.
-      armed_.store(false, std::memory_order_release);
-      break;
-    case FailpointSpec::Trigger::kAfter:
-      fire = evals_ > spec_.n;
-      break;
-    case FailpointSpec::Trigger::kTimes:
-      fire = evals_ <= spec_.n;
-      break;
-    case FailpointSpec::Trigger::kProb:
-      // mt19937 output is standardized, so the draw sequence — and thus
-      // which hits fire — is identical across platforms for a fixed seed.
-      fire = static_cast<double>(rng_() % 1000000) < spec_.probability * 1e6;
-      break;
+  if (spec_.action == FailpointSpec::Action::kTornWrite ||
+      spec_.action == FailpointSpec::Action::kCorruptWrite) {
+    // Write faults only fire from the durable-write path (HitForWrite);
+    // the trigger is not consumed by ordinary hits.
+    return Status::Ok();
   }
-  if (!fire) return Status::Ok();
-  fires_.fetch_add(1, std::memory_order_relaxed);
-  IQS_COUNTER_INC("fault.fired");
-  obs::GlobalMetrics().GetCounter("fault.fired." + name_)->Increment();
+  if (!EvalTriggerLocked()) return Status::Ok();
+  NoteFireLocked();
+  if (spec_.action == FailpointSpec::Action::kCrash) {
+    // Power cut: no destructors, no stream flush. Whatever bytes the OS
+    // already has are whatever the recovery path gets.
+    std::_Exit(kCrashExitCode);
+  }
   std::string msg = spec_.message.empty() ? "failpoint '" + name_ + "' fired"
                                           : spec_.message;
   return Status(spec_.code, std::move(msg));
+}
+
+WriteFault Site::HitForWrite(const std::string& file_name) {
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  WriteFault fault;
+  if (!armed_.load(std::memory_order_acquire)) return fault;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return fault;
+  bool torn = spec_.action == FailpointSpec::Action::kTornWrite;
+  bool corrupt = spec_.action == FailpointSpec::Action::kCorruptWrite;
+  if (!torn && !corrupt) return fault;
+  if (ToLower(spec_.file) != ToLower(file_name)) return fault;
+  if (!EvalTriggerLocked()) return fault;
+  NoteFireLocked();
+  fault.kind = torn ? WriteFault::Kind::kTorn : WriteFault::Kind::kCorrupt;
+  fault.bytes = spec_.bytes;
+  return fault;
 }
 
 void Site::Arm(FailpointSpec spec) {
@@ -346,6 +422,11 @@ std::vector<SiteInfo> FailpointRegistry::List() const {
 
 Status Hit(const std::string& site) {
   return FailpointRegistry::Global().GetSite(site)->Hit();
+}
+
+WriteFault HitWriteFault(const std::string& site,
+                         const std::string& file_name) {
+  return FailpointRegistry::Global().GetSite(site)->HitForWrite(file_name);
 }
 
 }  // namespace fault

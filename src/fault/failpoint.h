@@ -40,6 +40,8 @@ enum class Policy {
   kKeepPrevious,       // operation fails, prior state stays installed
   kCacheBypass,        // cache is skipped; the uncached path serves the
                        // identical answer (slower, never degraded)
+  kSnapshotFallback,   // a killed or damaged save never surfaces: load
+                       // recovers the previous intact snapshot
 };
 
 const char* PolicyName(Policy policy);
@@ -47,25 +49,52 @@ const char* PolicyName(Policy policy);
 // Parsed form of a failpoint spec:
 //   spec    := "off" | [trigger ":"] action
 //   trigger := "once" | "after(N)" | "times(N)" | "prob(P,SEED)"
-//   action  := "error(code[,message])"
+//   action  := "error(code[,message])" | "crash"
+//            | "torn(file,bytes)" | "corrupt(file)"
 //   code    := unavailable | internal | notfound | invalid | parse |
-//              type | constraint | exists
+//              type | constraint | exists | corruption
 // "once" fires on the first hit only; "after(N)" passes N hits then fires
 // on every later one; "times(N)" fires on the first N hits then passes;
 // "prob(P,SEED)" fires each hit with probability P, deterministically
 // under SEED.
+//
+// Actions beyond error():
+//   * "crash" kills the process on the spot with std::_Exit — no
+//     destructors, no stream flush — modeling a power cut at the site
+//     (the crash-recovery harness re-execs a child writer around it).
+//   * "torn(file,bytes)" / "corrupt(file)" are write faults: they do not
+//     fire from IQS_FAILPOINT but from the durable-write path
+//     (Site::HitForWrite), which matches the spec's file against the
+//     basename being written and then truncates the payload to `bytes`
+//     (torn) or flips one byte (corrupt) — simulating a torn sector or
+//     bit rot that only an integrity check can catch later.
 struct FailpointSpec {
   enum class Trigger { kAlways, kOnce, kAfter, kTimes, kProb };
+  enum class Action { kError, kCrash, kTornWrite, kCorruptWrite };
 
   Trigger trigger = Trigger::kAlways;
   uint64_t n = 0;            // after(N) / times(N)
   double probability = 0.0;  // prob(P, SEED)
   uint32_t seed = 0;
+  Action action = Action::kError;
   StatusCode code = StatusCode::kInternal;
   std::string message;  // empty -> "failpoint '<site>' fired"
+  std::string file;     // torn()/corrupt() target basename
+  uint64_t bytes = 0;   // torn(): prefix length that reaches the disk
   std::string text;     // original spelling, for listings
 
   static Result<FailpointSpec> Parse(const std::string& text);
+};
+
+// Exit code of a "crash" action, asserted by the crash-recovery harness
+// to distinguish an injected power cut from an ordinary failure.
+inline constexpr int kCrashExitCode = 61;
+
+// Outcome of evaluating a write-fault site against one file write.
+struct WriteFault {
+  enum class Kind { kNone, kTorn, kCorrupt };
+  Kind kind = Kind::kNone;
+  uint64_t bytes = 0;  // kTorn: how many payload bytes reach the disk
 };
 
 // One injection site. Hit() is the only hot call: a relaxed counter add
@@ -82,8 +111,16 @@ class Site {
   Site& operator=(const Site&) = delete;
 
   // Evaluates the site: OK when disarmed or the trigger does not fire,
-  // else the spec's error Status.
+  // else the spec's error Status. A "crash" action never returns — the
+  // process exits with kCrashExitCode. Write-fault specs (torn/corrupt)
+  // are inert here; they only fire through HitForWrite.
   Status Hit();
+
+  // Evaluates the site against a file about to be written durably. Fires
+  // only when the armed spec is a write fault whose file matches
+  // `file_name` (case-insensitive basename); error/crash specs and
+  // non-matching files pass without consuming the trigger.
+  WriteFault HitForWrite(const std::string& file_name);
 
   void Arm(FailpointSpec spec);
   void Disarm();
@@ -105,6 +142,11 @@ class Site {
   std::atomic<bool> armed_{false};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> fires_{0};
+
+  // Evaluates the armed trigger once; caller holds mu_.
+  bool EvalTriggerLocked();
+  // Counts a fire in the site and registry metrics; caller holds mu_.
+  void NoteFireLocked();
 
   mutable std::mutex mu_;  // guards spec_, evals_, rng_
   FailpointSpec spec_;
@@ -160,6 +202,11 @@ class FailpointRegistry {
 // Convenience for call sites that cannot use the macro (templates,
 // non-Status control flow): one registry lookup per call.
 Status Hit(const std::string& site);
+
+// Evaluates a write-fault site (persist.torn_write / persist.corrupt)
+// against the basename of a file about to be written.
+WriteFault HitWriteFault(const std::string& site,
+                         const std::string& file_name);
 
 // RAII arm/disarm, for tests:
 //   ScopedFailpoint fp("infer.fire", "error(unavailable,offline)");

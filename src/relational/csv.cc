@@ -163,7 +163,14 @@ Result<Relation> ReadCsvFile(const std::string& name, const Schema& schema,
   }
   std::ostringstream buffer;
   buffer << file.rdbuf();
-  return RelationFromCsv(name, schema, buffer.str());
+  Result<Relation> parsed = RelationFromCsv(name, schema, buffer.str());
+  if (!parsed.ok()) {
+    // Parse errors name the file: "row 3 ..." alone is useless when a
+    // whole system directory of CSVs is being loaded.
+    return Status(parsed.status().code(),
+                  parsed.status().message() + " (file '" + path + "')");
+  }
+  return parsed;
 }
 
 }  // namespace iqs

@@ -1,0 +1,265 @@
+// Crash-recovery harness: the real thing, not a simulation. Each case
+// re-execs this binary as a child writer (--crash-child) that builds the
+// ship system, mutates it (a CRASH_MARKER relation distinguishes the
+// child's state B from the parent's state A), arms failpoints, and
+// saves. Crash sites kill the child mid-save with std::_Exit; torn and
+// corrupt sites let the save "succeed" with silent damage. The parent
+// then loads the directory and asserts the invariant the snapshot design
+// promises: every load observes exactly state A or state B, never a
+// blend, and damage is either recovered from a previous intact snapshot
+// or quarantined when none exists.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/persistence.h"
+#include "core/snapshot.h"
+#include "fault/failpoint.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+// Child exit codes other than success (0) and the failpoint kill
+// (fault::kCrashExitCode = 61). Distinct values so a failing harness
+// says where the child died.
+enum ChildError {
+  kChildBuildFailed = 10,
+  kChildInduceFailed = 11,
+  kChildMarkerFailed = 12,
+  kChildBadSpec = 14,
+  kChildArmFailed = 15,
+  kChildSaveFailed = 16,
+  kChildExecFailed = 127,
+};
+
+// Re-execs this binary as a crash child and returns its exit code
+// (negative on harness plumbing failures).
+int SpawnChild(const std::string& dir, const std::string& specs) {
+  char exe[4096];
+  ssize_t len = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  if (len <= 0) return -1;
+  exe[len] = '\0';
+  pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    const char* child_argv[] = {exe, "--crash-child", dir.c_str(),
+                                specs.c_str(), nullptr};
+    ::execv(exe, const_cast<char* const*>(child_argv));
+    ::_exit(kChildExecFailed);
+  }
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return -2;
+  if (!WIFEXITED(status)) return -3;
+  return WEXITSTATUS(status);
+}
+
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "iqs_crash_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    reference_ = testing_util::ShipSystemOrFail();
+    ASSERT_NE(reference_, nullptr);
+    InductionConfig config;
+    config.min_support = 3;
+    ASSERT_OK(reference_->Induce(config));
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  // Saves state A (the reference system, no marker) as the committed
+  // baseline snapshot.
+  void SaveStateA() {
+    ASSERT_OK(SaveSystem(reference_.get(), dir_));
+    state_a_ = persist::ReadCurrent(dir_);
+    ASSERT_FALSE(state_a_.empty());
+  }
+
+  // The loaded system must be byte-for-byte state A: same relations
+  // (including the on-disk rule relations), same rows, same induced
+  // rules — and no CRASH_MARKER leaked from the interrupted state B.
+  void ExpectStateA(IqsSystem& loaded) {
+    EXPECT_FALSE(loaded.database().Contains("CRASH_MARKER"))
+        << "the interrupted save leaked into the recovered state";
+    ASSERT_OK(reference_->StoreRulesInDatabase());
+    std::vector<std::string> want = reference_->database().RelationNames();
+    std::vector<std::string> got = loaded.database().RelationNames();
+    std::sort(want.begin(), want.end());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, want);
+    for (const std::string& name : want) {
+      ASSERT_OK_AND_ASSIGN(const Relation* a,
+                           reference_->database().Get(name));
+      ASSERT_OK_AND_ASSIGN(const Relation* b, loaded.database().Get(name));
+      EXPECT_EQ(b->schema(), a->schema()) << name;
+      EXPECT_EQ(b->rows(), a->rows()) << name;
+    }
+    EXPECT_EQ(
+        testing_util::RuleBodies(
+            loaded.dictionary().induced_rules_snapshot()->rules()),
+        testing_util::RuleBodies(
+            reference_->dictionary().induced_rules_snapshot()->rules()));
+  }
+
+  std::string dir_;
+  std::string state_a_;
+  std::unique_ptr<IqsSystem> reference_;
+};
+
+// Harness smoke check: an unarmed child commits state B cleanly.
+TEST_F(CrashRecoveryTest, ChildWithoutFaultsCommitsStateB) {
+  SaveStateA();
+  ASSERT_EQ(SpawnChild(dir_, ""), 0);
+  LoadReport report;
+  ASSERT_OK_AND_ASSIGN(auto loaded, LoadSystem(dir_, {}, &report));
+  EXPECT_FALSE(report.fallback);
+  EXPECT_NE(report.snapshot, state_a_);
+  EXPECT_TRUE(loaded->database().Contains("CRASH_MARKER"));
+  ASSERT_OK_AND_ASSIGN(persist::FsckReport fsck, persist::FsckDirectory(dir_));
+  EXPECT_TRUE(fsck.healthy()) << fsck.ToString();
+}
+
+// A writer killed at either crash point never surfaces: the store still
+// reads as state A, fsck names the leftover, and the next save heals it.
+TEST_F(CrashRecoveryTest, KilledSaverLeavesCommittedStateIntact) {
+  struct Case {
+    const char* site;
+    const char* leftover;  // substring fsck must report
+  };
+  const std::vector<Case> cases = {
+      {"persist.crash.before_rename", ".tmp"},
+      {"persist.crash.after_rename", "never made CURRENT"},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.site);
+    std::filesystem::remove_all(dir_);
+    SaveStateA();
+    ASSERT_EQ(SpawnChild(dir_, std::string(c.site) + "=crash"),
+              fault::kCrashExitCode);
+    // CURRENT was never flipped, so the load is state A with no
+    // fallback — the interrupted save is invisible to readers.
+    LoadReport report;
+    ASSERT_OK_AND_ASSIGN(auto loaded, LoadSystem(dir_, {}, &report));
+    EXPECT_FALSE(report.fallback);
+    EXPECT_EQ(report.snapshot, state_a_);
+    ExpectStateA(*loaded);
+    // fsck sees the debris; a subsequent successful save sweeps it.
+    ASSERT_OK_AND_ASSIGN(persist::FsckReport fsck,
+                         persist::FsckDirectory(dir_));
+    EXPECT_FALSE(fsck.healthy());
+    ASSERT_EQ(fsck.orphans.size(), 1u);
+    EXPECT_NE(fsck.orphans[0].find(c.leftover), std::string::npos)
+        << fsck.orphans[0];
+    ASSERT_OK(SaveSystem(loaded.get(), dir_));
+    ASSERT_OK_AND_ASSIGN(fsck, persist::FsckDirectory(dir_));
+    EXPECT_TRUE(fsck.healthy()) << fsck.ToString();
+  }
+}
+
+// Torn and corrupt writes commit a snapshot whose checksums don't
+// verify: the load rejects it and falls back to state A, whichever file
+// took the damage — schema, footer, manifest, data, or rule relations.
+TEST_F(CrashRecoveryTest, SilentDamageFallsBackToPreviousSnapshot) {
+  const std::vector<std::string> cases = {
+      "persist.torn_write=torn(schema.ker,10)",
+      "persist.torn_write=torn(MANIFEST,16)",
+      "persist.torn_write=torn(manifest.csv,25)",
+      "persist.torn_write=torn(CLASS.csv,7)",
+      "persist.corrupt=corrupt(SUBMARINE.csv)",
+      "persist.corrupt=corrupt(RULE_REL.csv)",
+      "persist.corrupt=corrupt(schema.ker)",
+  };
+  for (const std::string& spec : cases) {
+    SCOPED_TRACE(spec);
+    std::filesystem::remove_all(dir_);
+    SaveStateA();
+    // The damaged save itself reports success — the writer can't tell.
+    ASSERT_EQ(SpawnChild(dir_, spec), 0);
+    ASSERT_NE(persist::ReadCurrent(dir_), state_a_);
+    LoadReport report;
+    ASSERT_OK_AND_ASSIGN(auto loaded, LoadSystem(dir_, {}, &report));
+    EXPECT_TRUE(report.fallback);
+    EXPECT_EQ(report.snapshot, state_a_);
+    ASSERT_EQ(report.degradations.size(), 1u);
+    EXPECT_EQ(report.degradations[0].action,
+              fault::DegradeAction::kSnapshotFallback);
+    ExpectStateA(*loaded);
+    ASSERT_OK_AND_ASSIGN(persist::FsckReport fsck,
+                         persist::FsckDirectory(dir_));
+    EXPECT_FALSE(fsck.healthy());
+  }
+}
+
+// With no intact snapshot to fall back to, a single corrupt non-rule
+// relation is quarantined instead of taking the whole store down.
+TEST_F(CrashRecoveryTest, CorruptRelationIsQuarantinedWithoutFallback) {
+  // No SaveStateA(): the child's damaged snapshot is the only one.
+  ASSERT_EQ(SpawnChild(dir_, "persist.corrupt=corrupt(SONAR.csv)"), 0);
+  LoadReport report;
+  ASSERT_OK_AND_ASSIGN(auto loaded, LoadSystem(dir_, {}, &report));
+  EXPECT_FALSE(report.fallback);
+  EXPECT_EQ(report.quarantined, (std::vector<std::string>{"SONAR"}));
+  bool quarantine_event = false;
+  for (const fault::DegradationEvent& e : report.degradations) {
+    if (e.action == fault::DegradeAction::kQuarantine) quarantine_event = true;
+  }
+  EXPECT_TRUE(quarantine_event);
+  // Everything else survived: the marker, the other relations, the rules.
+  EXPECT_FALSE(loaded->database().Contains("SONAR"));
+  EXPECT_TRUE(loaded->database().Contains("CRASH_MARKER"));
+  EXPECT_TRUE(loaded->database().Contains("CLASS"));
+  EXPECT_GT(loaded->dictionary().induced_rules_snapshot()->size(), 0u);
+  // Re-saving the quarantined load commits an intact snapshot again.
+  ASSERT_OK(SaveSystem(loaded.get(), dir_));
+  ASSERT_OK_AND_ASSIGN(persist::FsckReport fsck, persist::FsckDirectory(dir_));
+  EXPECT_TRUE(fsck.healthy()) << fsck.ToString();
+}
+
+}  // namespace
+
+// Child mode: build ship state B, arm the requested failpoints, save.
+// Reached via fork+execv from SpawnChild, never from ctest directly.
+int RunCrashChild(const std::string& dir, const std::string& spec_list) {
+  auto built = BuildShipSystem();
+  if (!built.ok()) return kChildBuildFailed;
+  std::unique_ptr<IqsSystem> system = std::move(built).value();
+  InductionConfig config;
+  config.min_support = 3;
+  if (!system->Induce(config).ok()) return kChildInduceFailed;
+  auto marker = system->database().CreateRelation(
+      "CRASH_MARKER", Schema({{"Tag", ValueType::kString, true}}));
+  if (!marker.ok() || !(*marker)->InsertText({"POST"}).ok()) {
+    return kChildMarkerFailed;
+  }
+  std::vector<std::unique_ptr<fault::ScopedFailpoint>> armed;
+  for (const std::string& pair : Split(spec_list, ';')) {
+    if (pair.empty()) continue;
+    size_t eq = pair.find('=');
+    if (eq == std::string::npos) return kChildBadSpec;
+    armed.push_back(std::make_unique<fault::ScopedFailpoint>(
+        pair.substr(0, eq), pair.substr(eq + 1)));
+    if (!armed.back()->ok()) return kChildArmFailed;
+  }
+  Status save = SaveSystem(system.get(), dir);
+  return save.ok() ? 0 : kChildSaveFailed;
+}
+
+}  // namespace iqs
+
+int main(int argc, char** argv) {
+  if (argc == 4 && std::strcmp(argv[1], "--crash-child") == 0) {
+    return iqs::RunCrashChild(argv[2], argv[3]);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -56,9 +56,68 @@ TEST_F(FailpointTest, ParseRejectsMalformedSpecs) {
   for (const char* bad :
        {"", "error", "error()", "error(nosuchcode)", "sometimes:error(parse)",
         "after(x):error(parse)", "prob(2.0,1):error(parse)",
-        "prob(0.5):error(parse)", "once:", "explode(parse)"}) {
+        "prob(0.5):error(parse)", "once:", "explode(parse)", "torn()",
+        "torn(a.csv)", "torn(a.csv,x)", "torn(,5)", "corrupt()",
+        "crash(now)"}) {
     EXPECT_FALSE(FailpointSpec::Parse(bad).ok()) << "accepted: " << bad;
   }
+}
+
+TEST_F(FailpointTest, ParseCrashAndWriteFaultActions) {
+  ASSERT_OK_AND_ASSIGN(FailpointSpec crash, FailpointSpec::Parse("crash"));
+  EXPECT_EQ(crash.action, FailpointSpec::Action::kCrash);
+
+  ASSERT_OK_AND_ASSIGN(FailpointSpec crash_once,
+                       FailpointSpec::Parse("once:crash"));
+  EXPECT_EQ(crash_once.action, FailpointSpec::Action::kCrash);
+  EXPECT_EQ(crash_once.trigger, FailpointSpec::Trigger::kOnce);
+
+  ASSERT_OK_AND_ASSIGN(FailpointSpec torn,
+                       FailpointSpec::Parse("torn(CLASS.csv, 9)"));
+  EXPECT_EQ(torn.action, FailpointSpec::Action::kTornWrite);
+  EXPECT_EQ(torn.file, "CLASS.csv");
+  EXPECT_EQ(torn.bytes, 9u);
+
+  ASSERT_OK_AND_ASSIGN(FailpointSpec corrupt,
+                       FailpointSpec::Parse("corrupt(schema.ker)"));
+  EXPECT_EQ(corrupt.action, FailpointSpec::Action::kCorruptWrite);
+  EXPECT_EQ(corrupt.file, "schema.ker");
+
+  ASSERT_OK_AND_ASSIGN(FailpointSpec code,
+                       FailpointSpec::Parse("error(corruption,bad bytes)"));
+  EXPECT_EQ(code.code, StatusCode::kCorruption);
+}
+
+TEST_F(FailpointTest, WriteFaultFiresOnlyForItsFile) {
+  ASSERT_OK(FailpointRegistry::Global().Set("test.write",
+                                            "torn(CLASS.csv,9)"));
+  // Plain Hit() is inert for write-fault specs and does not consume
+  // the trigger.
+  EXPECT_OK(Hit("test.write"));
+  // Non-matching files pass without consuming the trigger either.
+  WriteFault miss = HitWriteFault("test.write", "SONAR.csv");
+  EXPECT_EQ(miss.kind, WriteFault::Kind::kNone);
+  // The match is case-insensitive on the basename.
+  WriteFault fault = HitWriteFault("test.write", "class.csv");
+  EXPECT_EQ(fault.kind, WriteFault::Kind::kTorn);
+  EXPECT_EQ(fault.bytes, 9u);
+
+  ASSERT_OK(FailpointRegistry::Global().Set("test.write",
+                                            "once:corrupt(schema.ker)"));
+  EXPECT_EQ(HitWriteFault("test.write", "schema.ker").kind,
+            WriteFault::Kind::kCorrupt);
+  // once: the trigger is spent.
+  EXPECT_EQ(HitWriteFault("test.write", "schema.ker").kind,
+            WriteFault::Kind::kNone);
+}
+
+TEST_F(FailpointTest, ErrorSpecIsInertForWrites) {
+  ASSERT_OK(FailpointRegistry::Global().Set("test.write2",
+                                            "error(internal)"));
+  EXPECT_EQ(HitWriteFault("test.write2", "CLASS.csv").kind,
+            WriteFault::Kind::kNone);
+  // And the error still fires through the ordinary path.
+  EXPECT_FALSE(Hit("test.write2").ok());
 }
 
 TEST_F(FailpointTest, AlwaysFiresEveryHit) {

@@ -8,6 +8,7 @@
 // on site name and FAILs on any manifest site without a driver, so the
 // matrix can never silently fall behind the manifest.
 
+#include <filesystem>
 #include <memory>
 #include <numeric>
 #include <string>
@@ -15,6 +16,7 @@
 
 #include "cache/query_cache.h"
 #include "core/persistence.h"
+#include "core/snapshot.h"
 #include "exec/parallel.h"
 #include "exec/thread_pool.h"
 #include "fault/degrade.h"
@@ -260,6 +262,90 @@ TEST_F(FaultMatrixTest, EveryManifestSiteDegradesAsDeclared) {
         }
       }
 
+    } else if (site.name == "persist.crash.before_rename" ||
+               site.name == "persist.crash.after_rename") {
+      EXPECT_EQ(site.policy, Policy::kSnapshotFallback);
+      const std::string dir =
+          ::testing::TempDir() + "iqs_fault_" + site.name;
+      std::filesystem::remove_all(dir);
+      ASSERT_OK(SaveSystem(ship_, dir));
+      const std::string committed = persist::ReadCurrent(dir);
+      {
+        // In-process stand-in for the kill: an error at the crash site
+        // aborts the save with the same on-disk state the real
+        // std::_Exit leaves behind (the out-of-process kill itself is
+        // exercised by the crash-recovery harness).
+        ScopedFailpoint fp(site.name, "error(internal,injected crash)");
+        ASSERT_TRUE(fp.ok());
+        EXPECT_EQ(SaveSystem(ship_, dir).code(), StatusCode::kInternal);
+      }
+      // The interrupted save never surfaces: CURRENT still points at the
+      // committed snapshot and it loads cleanly, no fallback needed.
+      LoadReport report;
+      auto loaded = LoadSystem(dir, {}, &report);
+      ASSERT_TRUE(loaded.ok()) << loaded.status();
+      EXPECT_FALSE(report.fallback);
+      EXPECT_EQ(report.snapshot, committed);
+      // fsck flags the leftover (a tmp dir before the rename, an
+      // uncommitted snapshot after it) ...
+      ASSERT_OK_AND_ASSIGN(persist::FsckReport fsck,
+                           persist::FsckDirectory(dir));
+      EXPECT_FALSE(fsck.healthy());
+      ASSERT_EQ(fsck.orphans.size(), 1u);
+      if (site.name == "persist.crash.after_rename") {
+        EXPECT_NE(fsck.orphans[0].find("never made CURRENT"),
+                  std::string::npos);
+      } else {
+        EXPECT_NE(fsck.orphans[0].find(".tmp"), std::string::npos);
+      }
+      // ... and the next successful save garbage-collects it.
+      ASSERT_OK(SaveSystem(ship_, dir));
+      ASSERT_OK_AND_ASSIGN(fsck, persist::FsckDirectory(dir));
+      EXPECT_TRUE(fsck.healthy());
+      std::filesystem::remove_all(dir);
+
+    } else if (site.name == "persist.torn_write" ||
+               site.name == "persist.corrupt") {
+      EXPECT_EQ(site.policy, Policy::kSnapshotFallback);
+      const std::string dir =
+          ::testing::TempDir() + "iqs_fault_" + site.name;
+      std::filesystem::remove_all(dir);
+      ASSERT_OK(SaveSystem(ship_, dir));
+      const std::string first = persist::ReadCurrent(dir);
+      {
+        // The damaged write goes unnoticed at save time — exactly the
+        // failure mode checksums exist for.
+        ScopedFailpoint fp(site.name, site.name == "persist.torn_write"
+                                          ? "torn(CLASS.csv,9)"
+                                          : "corrupt(RULE_REL.csv)");
+        ASSERT_TRUE(fp.ok());
+        ASSERT_OK(SaveSystem(ship_, dir));
+      }
+      ASSERT_NE(persist::ReadCurrent(dir), first);
+      // Load verifies checksums, rejects the damaged snapshot, and falls
+      // back to the previous intact one with a degradation event.
+      LoadReport report;
+      auto loaded = LoadSystem(dir, {}, &report);
+      ASSERT_TRUE(loaded.ok()) << loaded.status();
+      EXPECT_TRUE(report.fallback);
+      EXPECT_EQ(report.snapshot, first);
+      ASSERT_EQ(report.degradations.size(), 1u);
+      EXPECT_EQ(report.degradations[0].action,
+                fault::DegradeAction::kSnapshotFallback);
+      EXPECT_EQ(report.degradations[0].stage, "persistence");
+      // The recovered system carries the state the first save captured.
+      ASSERT_OK_AND_ASSIGN(const Relation* before,
+                           ship_->database().Get("CLASS"));
+      ASSERT_OK_AND_ASSIGN(const Relation* after,
+                           (*loaded)->database().Get("CLASS"));
+      EXPECT_EQ(after->rows(), before->rows());
+      EXPECT_EQ((*loaded)->dictionary().induced_rules_snapshot()->size(),
+                ship_->dictionary().induced_rules_snapshot()->size());
+      ASSERT_OK_AND_ASSIGN(persist::FsckReport fsck,
+                           persist::FsckDirectory(dir));
+      EXPECT_FALSE(fsck.healthy());
+      std::filesystem::remove_all(dir);
+
     } else if (site.name == "cache.lookup") {
       EXPECT_EQ(site.policy, Policy::kCacheBypass);
       cache::QueryCache& cache = ship_->processor().cache();
@@ -308,7 +394,7 @@ TEST_F(FaultMatrixTest, EveryManifestSiteDegradesAsDeclared) {
     FailpointRegistry::Global().ClearAll();
   }
   // Sanity: the manifest did not shrink out from under the matrix.
-  EXPECT_GE(driven, 15u);
+  EXPECT_GE(driven, 19u);
 }
 
 // With any single intensional-side failpoint active, every golden query

@@ -7,11 +7,13 @@
 // which rewrites the files in the source tree (IQS_GOLDEN_DIR).
 
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/persistence.h"
 #include "fault/failpoint.h"
 #include "gtest/gtest.h"
 #include "tests/test_util.h"
@@ -193,6 +195,53 @@ TEST_F(GoldenAnswersTest, EmployeeQueriesDegradeToGoldenExtensionalAnswers) {
     CheckOrUpdate(std::string(c.name) + "_degraded",
                   RenderDegraded(*employee_, c.sql, Render(*employee_, c.sql)));
   }
+}
+
+// Recovered goldens: save the system twice with the second snapshot
+// silently corrupted, load (which falls back to the first intact
+// snapshot), and render from the recovered system. Pinned to
+// <stem>_recovered.txt: crash recovery must reproduce answers
+// byte-for-byte, intensional prose included.
+std::string RenderRecovered(IqsSystem& system, const std::string& sql,
+                            FormatterOptions options,
+                            const std::string& stem) {
+  const std::string dir = ::testing::TempDir() + "iqs_recovered_" + stem;
+  std::filesystem::remove_all(dir);
+  EXPECT_OK(SaveSystem(&system, dir));
+  {
+    // manifest.csv is essential, so the whole damaged snapshot is
+    // rejected at load — nothing from it can leak into the answers.
+    fault::ScopedFailpoint fp("persist.corrupt", "corrupt(manifest.csv)");
+    EXPECT_TRUE(fp.ok());
+    EXPECT_OK(SaveSystem(&system, dir));
+  }
+  LoadReport report;
+  auto loaded = LoadSystem(dir, std::move(options), &report);
+  EXPECT_TRUE(loaded.ok()) << loaded.status();
+  if (!loaded.ok()) return {};
+  EXPECT_TRUE(report.fallback) << stem;
+  std::string rendered = Render(**loaded, sql);
+  std::filesystem::remove_all(dir);
+  return rendered;
+}
+
+TEST_F(GoldenAnswersTest, RecoveredSystemsRenderGoldenAnswers) {
+  ASSERT_NE(ship_, nullptr);
+  ASSERT_NE(employee_, nullptr);
+  FormatterOptions ship_options;
+  ship_options.entity_noun = "Ship";
+  ship_options.relationship_phrase = "is equipped with";
+  CheckOrUpdate("ship_example1_recovered",
+                RenderRecovered(*ship_, Example1Sql(), ship_options,
+                                "ship_example1"));
+  FormatterOptions employee_options;
+  employee_options.entity_noun = "Employee";
+  employee_options.relationship_phrase = "works in";
+  CheckOrUpdate("employee_high_salary_recovered",
+                RenderRecovered(*employee_,
+                                "SELECT Name FROM EMPLOYEE WHERE Salary > "
+                                "100000",
+                                employee_options, "employee_high_salary"));
 }
 
 // Caching can never change answers: every golden query renders

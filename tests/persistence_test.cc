@@ -1,7 +1,12 @@
 #include "core/persistence.h"
 
 #include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
 
+#include "common/string_util.h"
+#include "core/snapshot.h"
 #include "gtest/gtest.h"
 #include "testbed/employee_db.h"
 #include "testbed/ship_db.h"
@@ -19,8 +24,50 @@ class PersistenceTest : public ::testing::Test {
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
 
+  // Path of the committed snapshot directory.
+  std::string CurrentDir() const {
+    std::string current = persist::ReadCurrent(dir_);
+    EXPECT_FALSE(current.empty()) << "no CURRENT in " << dir_;
+    return dir_ + "/" + current;
+  }
+
+  // Flips one byte in the middle of `path` without changing its length.
+  static void FlipByte(const std::string& path) {
+    std::fstream file(path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file) << path;
+    file.seekg(0, std::ios::end);
+    auto size = static_cast<long>(file.tellg());
+    ASSERT_GT(size, 0) << path;
+    file.seekg(size / 2);
+    char c = 0;
+    file.get(c);
+    file.seekp(size / 2);
+    file.put(static_cast<char>(c ^ 0x40));
+  }
+
   std::string dir_;
 };
+
+// Two systems hold the same persisted state: identical relations (the
+// saved one carries the rule meta-relations, so compare its names) and
+// identical induced rules.
+void ExpectSameState(IqsSystem* saved, IqsSystem* loaded) {
+  ASSERT_EQ(saved->database().RelationNames(),
+            loaded->database().RelationNames());
+  for (const std::string& name : saved->database().RelationNames()) {
+    ASSERT_OK_AND_ASSIGN(const Relation* a, saved->database().Get(name));
+    ASSERT_OK_AND_ASSIGN(const Relation* b, loaded->database().Get(name));
+    EXPECT_EQ(a->rows(), b->rows()) << name;
+    EXPECT_EQ(a->schema(), b->schema()) << name;
+  }
+  ASSERT_EQ(saved->dictionary().induced_rules().size(),
+            loaded->dictionary().induced_rules().size());
+  for (size_t i = 0; i < saved->dictionary().induced_rules().size(); ++i) {
+    EXPECT_EQ(saved->dictionary().induced_rules().rule(i),
+              loaded->dictionary().induced_rules().rule(i));
+  }
+}
 
 TEST_F(PersistenceTest, ShipSystemRoundTrips) {
   ASSERT_OK_AND_ASSIGN(auto original, BuildShipSystem());
@@ -28,30 +75,25 @@ TEST_F(PersistenceTest, ShipSystemRoundTrips) {
   config.min_support = 3;
   ASSERT_OK(original->Induce(config));
   ASSERT_OK(SaveSystem(original.get(), dir_));
-  EXPECT_TRUE(std::filesystem::exists(dir_ + "/schema.ker"));
-  EXPECT_TRUE(std::filesystem::exists(dir_ + "/manifest.csv"));
-  EXPECT_TRUE(std::filesystem::exists(dir_ + "/SUBMARINE.csv"));
-  EXPECT_TRUE(std::filesystem::exists(dir_ + "/RULE_REL.csv"));
+  std::string snap = CurrentDir();
+  EXPECT_TRUE(std::filesystem::exists(snap + "/schema.ker"));
+  EXPECT_TRUE(std::filesystem::exists(snap + "/manifest.csv"));
+  EXPECT_TRUE(std::filesystem::exists(snap + "/SUBMARINE.csv"));
+  EXPECT_TRUE(std::filesystem::exists(snap + "/RULE_REL.csv"));
+  EXPECT_TRUE(std::filesystem::exists(snap + "/MANIFEST"));
 
   FormatterOptions options;
   options.entity_noun = "Ship";
   options.relationship_phrase = "is equipped with";
-  ASSERT_OK_AND_ASSIGN(auto loaded, LoadSystem(dir_, options));
+  LoadReport report;
+  ASSERT_OK_AND_ASSIGN(auto loaded, LoadSystem(dir_, options, &report));
+  EXPECT_FALSE(report.legacy);
+  EXPECT_FALSE(report.fallback);
+  EXPECT_TRUE(report.quarantined.empty());
+  EXPECT_EQ(report.format_version, persist::kFormatVersion);
+  EXPECT_EQ(report.snapshot, persist::ReadCurrent(dir_));
 
-  // Data identical.
-  for (const char* name : {"SUBMARINE", "CLASS", "TYPE", "SONAR", "INSTALL"}) {
-    ASSERT_OK_AND_ASSIGN(const Relation* a, original->database().Get(name));
-    ASSERT_OK_AND_ASSIGN(const Relation* b, loaded->database().Get(name));
-    EXPECT_EQ(a->rows(), b->rows()) << name;
-    EXPECT_EQ(a->schema(), b->schema()) << name;
-  }
-  // Rules identical (without re-running induction).
-  ASSERT_EQ(loaded->dictionary().induced_rules().size(),
-            original->dictionary().induced_rules().size());
-  for (size_t i = 0; i < loaded->dictionary().induced_rules().size(); ++i) {
-    EXPECT_EQ(loaded->dictionary().induced_rules().rule(i),
-              original->dictionary().induced_rules().rule(i));
-  }
+  ExpectSameState(original.get(), loaded.get());
   // The hierarchy came back through the DDL.
   EXPECT_TRUE(loaded->catalog().hierarchy().Contains("C0204"));
   // And the loaded system answers the paper's Example 1.
@@ -82,31 +124,258 @@ TEST_F(PersistenceTest, LoadMissingDirectoryFails) {
             StatusCode::kNotFound);
 }
 
+// The footer checksums catch a truncated manifest; with no older
+// snapshot to fall back to and the manifest being essential, the load
+// reports corruption instead of parsing garbage.
 TEST_F(PersistenceTest, LoadRejectsCorruptManifest) {
   ASSERT_OK_AND_ASSIGN(auto original, BuildShipSystem());
   ASSERT_OK(SaveSystem(original.get(), dir_));
-  // Truncate the manifest mid-file.
-  std::filesystem::resize_file(dir_ + "/manifest.csv", 40);
-  EXPECT_FALSE(LoadSystem(dir_).ok());
+  std::filesystem::resize_file(CurrentDir() + "/manifest.csv", 40);
+  auto loaded = LoadSystem(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
 }
 
-TEST_F(PersistenceTest, LoadRejectsMissingRelationFile) {
+// A damaged non-rule relation in the only snapshot is quarantined: the
+// rest of the system loads, the relation is reported, not resurrected.
+TEST_F(PersistenceTest, QuarantinesCorruptRelationWhenNoFallbackExists) {
   ASSERT_OK_AND_ASSIGN(auto original, BuildShipSystem());
   ASSERT_OK(SaveSystem(original.get(), dir_));
-  std::filesystem::remove(dir_ + "/SONAR.csv");
-  EXPECT_EQ(LoadSystem(dir_).status().code(), StatusCode::kNotFound);
+  FlipByte(CurrentDir() + "/SONAR.csv");
+  LoadReport report;
+  ASSERT_OK_AND_ASSIGN(auto loaded, LoadSystem(dir_, {}, &report));
+  EXPECT_EQ(report.quarantined, std::vector<std::string>{"SONAR"});
+  EXPECT_FALSE(loaded->database().Contains("SONAR"));
+  EXPECT_TRUE(loaded->database().Contains("SUBMARINE"));
+  ASSERT_EQ(report.degradations.size(), 1u);
+  EXPECT_EQ(report.degradations[0].action, fault::DegradeAction::kQuarantine);
 }
 
-TEST_F(PersistenceTest, SaveIsIdempotent) {
+TEST_F(PersistenceTest, QuarantinesMissingRelationFile) {
+  ASSERT_OK_AND_ASSIGN(auto original, BuildShipSystem());
+  ASSERT_OK(SaveSystem(original.get(), dir_));
+  std::filesystem::remove(CurrentDir() + "/SONAR.csv");
+  LoadReport report;
+  ASSERT_OK_AND_ASSIGN(auto loaded, LoadSystem(dir_, {}, &report));
+  EXPECT_EQ(report.quarantined, std::vector<std::string>{"SONAR"});
+  EXPECT_FALSE(loaded->database().Contains("SONAR"));
+}
+
+// Corrupt induced knowledge must never be silently dropped: a rule
+// meta-relation is essential, so with no intact snapshot the load fails.
+TEST_F(PersistenceTest, CorruptRuleRelationFailsLoad) {
   ASSERT_OK_AND_ASSIGN(auto original, BuildShipSystem());
   InductionConfig config;
   config.min_support = 3;
   ASSERT_OK(original->Induce(config));
   ASSERT_OK(SaveSystem(original.get(), dir_));
-  ASSERT_OK(SaveSystem(original.get(), dir_));  // overwrite in place
+  FlipByte(CurrentDir() + "/RULE_REL.csv");
+  auto loaded = LoadSystem(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+// A corrupt current snapshot falls back to the previous intact one and
+// says so: the answer is the complete pre-corruption state, never a mix.
+TEST_F(PersistenceTest, FallsBackToPreviousSnapshotOnCorruption) {
+  ASSERT_OK_AND_ASSIGN(auto original, BuildShipSystem());
+  ASSERT_OK(SaveSystem(original.get(), dir_));
+  std::string first = persist::ReadCurrent(dir_);
+
+  // Second snapshot with more state (rules induced), then damage it.
+  InductionConfig config;
+  config.min_support = 3;
+  ASSERT_OK(original->Induce(config));
+  ASSERT_OK(SaveSystem(original.get(), dir_));
+  std::string second = persist::ReadCurrent(dir_);
+  ASSERT_NE(first, second);
+  FlipByte(dir_ + "/" + second + "/CLASS.csv");
+
+  LoadReport report;
+  ASSERT_OK_AND_ASSIGN(auto loaded, LoadSystem(dir_, {}, &report));
+  EXPECT_TRUE(report.fallback);
+  EXPECT_EQ(report.snapshot, first);
+  ASSERT_EQ(report.degradations.size(), 1u);
+  EXPECT_EQ(report.degradations[0].action,
+            fault::DegradeAction::kSnapshotFallback);
+  // The first snapshot had no induced rules yet.
+  EXPECT_TRUE(loaded->dictionary().induced_rules().empty());
+  ASSERT_OK_AND_ASSIGN(const Relation* classes,
+                       loaded->database().Get("CLASS"));
+  ASSERT_OK_AND_ASSIGN(const Relation* original_classes,
+                       original->database().Get("CLASS"));
+  EXPECT_EQ(classes->rows(), original_classes->rows());
+}
+
+TEST_F(PersistenceTest, MissingCurrentFallsBackToNewestSnapshot) {
+  ASSERT_OK_AND_ASSIGN(auto original, BuildShipSystem());
+  ASSERT_OK(SaveSystem(original.get(), dir_));
+  std::string snap = persist::ReadCurrent(dir_);
+  std::filesystem::remove(dir_ + "/" + persist::kCurrentFile);
+  LoadReport report;
+  ASSERT_OK_AND_ASSIGN(auto loaded, LoadSystem(dir_, {}, &report));
+  EXPECT_TRUE(report.fallback);
+  EXPECT_EQ(report.snapshot, snap);
+  ExpectSameState(original.get(), loaded.get());
+}
+
+// Regression for the orphan-file bug of the flat layout: a relation
+// dropped between saves must not resurrect on load, because every save
+// builds a fresh snapshot directory instead of overwriting in place.
+TEST_F(PersistenceTest, DroppedRelationDoesNotResurrect) {
+  ASSERT_OK_AND_ASSIGN(auto original, BuildShipSystem());
+  ASSERT_OK(SaveSystem(original.get(), dir_));
+  ASSERT_OK(original->database().Drop("SONAR"));
+  ASSERT_OK(SaveSystem(original.get(), dir_));
+  EXPECT_FALSE(std::filesystem::exists(CurrentDir() + "/SONAR.csv"));
+  ASSERT_OK_AND_ASSIGN(auto loaded, LoadSystem(dir_));
+  EXPECT_FALSE(loaded->database().Contains("SONAR"));
+  EXPECT_TRUE(loaded->database().Contains("SUBMARINE"));
+}
+
+TEST_F(PersistenceTest, SaveIsIdempotentAndGcKeepsTheConfiguredCount) {
+  ASSERT_OK_AND_ASSIGN(auto original, BuildShipSystem());
+  InductionConfig config;
+  config.min_support = 3;
+  ASSERT_OK(original->Induce(config));
+  ASSERT_OK(SaveSystem(original.get(), dir_));
+  ASSERT_OK(SaveSystem(original.get(), dir_));
+  ASSERT_OK(SaveSystem(original.get(), dir_));
+  // Default keep-count is 2; the third save collected the first.
+  EXPECT_EQ(persist::ListSnapshotIds(dir_).size(), 2u);
   ASSERT_OK_AND_ASSIGN(auto loaded, LoadSystem(dir_));
   EXPECT_EQ(loaded->dictionary().induced_rules().size(),
             original->dictionary().induced_rules().size());
+
+  SaveOptions keep_one;
+  keep_one.keep_snapshots = 1;
+  ASSERT_OK(SaveSystem(original.get(), dir_, keep_one));
+  std::vector<uint64_t> ids = persist::ListSnapshotIds(dir_);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(persist::SnapshotDirName(ids[0]), persist::ReadCurrent(dir_));
+}
+
+// Directories written by the pre-snapshot flat layout still load.
+TEST_F(PersistenceTest, LegacyFlatLayoutStillLoads) {
+  ASSERT_OK_AND_ASSIGN(auto original, BuildShipSystem());
+  InductionConfig config;
+  config.min_support = 3;
+  ASSERT_OK(original->Induce(config));
+  ASSERT_OK(SaveSystem(original.get(), dir_));
+  // Rebuild the legacy layout: the snapshot's files, flat, with no
+  // CURRENT and no footer.
+  std::string legacy = dir_ + "_legacy";
+  std::filesystem::remove_all(legacy);
+  std::filesystem::create_directories(legacy);
+  for (const auto& entry :
+       std::filesystem::directory_iterator(CurrentDir())) {
+    std::string name = entry.path().filename().string();
+    if (name == persist::kFooterFile) continue;
+    std::filesystem::copy_file(entry.path(), legacy + "/" + name);
+  }
+  LoadReport report;
+  ASSERT_OK_AND_ASSIGN(auto loaded, LoadSystem(legacy, {}, &report));
+  EXPECT_TRUE(report.legacy);
+  EXPECT_EQ(report.format_version, 0u);
+  ExpectSameState(original.get(), loaded.get());
+  std::filesystem::remove_all(legacy);
+}
+
+class ManifestValidationTest : public PersistenceTest {
+ protected:
+  // Saves the ship system, then rebuilds it as a legacy flat directory
+  // (no footer checksums) so a doctored manifest.csv reaches the
+  // manifest validator instead of the checksum verifier.
+  void BuildFlatDir() {
+    ASSERT_OK_AND_ASSIGN(auto original, BuildShipSystem());
+    ASSERT_OK(SaveSystem(original.get(), dir_));
+    flat_ = dir_ + "_flat";
+    std::filesystem::remove_all(flat_);
+    std::filesystem::create_directories(flat_);
+    for (const auto& entry :
+         std::filesystem::directory_iterator(CurrentDir())) {
+      std::string name = entry.path().filename().string();
+      if (name == persist::kFooterFile) continue;
+      std::filesystem::copy_file(entry.path(), flat_ + "/" + name);
+    }
+  }
+  void TearDown() override {
+    if (!flat_.empty()) std::filesystem::remove_all(flat_);
+    PersistenceTest::TearDown();
+  }
+
+  // Rewrites the Position field (last CSV column) of manifest row
+  // `row_index` (0-based, excluding the header) to `position`.
+  void SetManifestPosition(size_t row_index, const std::string& position) {
+    std::string path = flat_ + "/manifest.csv";
+    ASSERT_OK_AND_ASSIGN(std::string text, persist::ReadFileToString(path));
+    std::vector<std::string> lines = Split(text, '\n');
+    ASSERT_GT(lines.size(), row_index + 1);
+    std::string& line = lines[row_index + 1];
+    size_t comma = line.rfind(',');
+    ASSERT_NE(comma, std::string::npos);
+    line = line.substr(0, comma + 1) + position;
+    ASSERT_OK(persist::WriteFileDurable(path, Join(lines, "\n")));
+  }
+
+  std::string flat_;
+};
+
+// Satellite: duplicate (Relation, Position) rows used to silently
+// overwrite each other through a std::map; now they are rejected.
+TEST_F(ManifestValidationTest, DuplicatePositionRejected) {
+  BuildFlatDir();
+  // Rows 0 and 1 describe the first relation's attributes 0 and 1;
+  // making row 1 claim position 0 duplicates it.
+  SetManifestPosition(1, "0");
+  auto loaded = LoadSystem(flat_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("repeats position"),
+            std::string::npos)
+      << loaded.status().message();
+  EXPECT_NE(loaded.status().message().find("manifest.csv"),
+            std::string::npos)
+      << loaded.status().message();
+}
+
+TEST_F(ManifestValidationTest, PositionGapRejected) {
+  BuildFlatDir();
+  SetManifestPosition(1, "7");
+  auto loaded = LoadSystem(flat_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("non-contiguous"),
+            std::string::npos)
+      << loaded.status().message();
+}
+
+// Satellite: persistence errors name the file they came from.
+TEST_F(PersistenceTest, ErrorsArePathQualified) {
+  ASSERT_OK_AND_ASSIGN(auto original, BuildShipSystem());
+  ASSERT_OK(SaveSystem(original.get(), dir_));
+  // Legacy copy (no checksums) so the CSV parser is what fails.
+  std::string legacy = dir_ + "_flat";
+  std::filesystem::remove_all(legacy);
+  std::filesystem::create_directories(legacy);
+  for (const auto& entry :
+       std::filesystem::directory_iterator(CurrentDir())) {
+    std::string name = entry.path().filename().string();
+    if (name == persist::kFooterFile) continue;
+    std::filesystem::copy_file(entry.path(), legacy + "/" + name);
+  }
+  // Break one data CSV's header.
+  {
+    ASSERT_OK_AND_ASSIGN(std::string text,
+                         persist::ReadFileToString(legacy + "/SONAR.csv"));
+    text[0] = '#';
+    ASSERT_OK(persist::WriteFileDurable(legacy + "/SONAR.csv", text));
+  }
+  auto loaded = LoadSystem(legacy);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("SONAR.csv"), std::string::npos)
+      << loaded.status().message();
+  std::filesystem::remove_all(legacy);
 }
 
 }  // namespace

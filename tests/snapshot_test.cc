@@ -1,0 +1,220 @@
+#include "core/snapshot.h"
+
+#include <filesystem>
+#include <string>
+
+#include "common/crc32c.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace persist {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/iqs_snapshot_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST(Crc32cTest, MatchesKnownVectors) {
+  // The standard CRC32C check value.
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(""), 0u);
+  // Extending in two steps equals one pass.
+  uint32_t partial = Crc32cExtend(0, "12345", 5);
+  EXPECT_EQ(Crc32cExtend(partial, "6789", 4), 0xE3069283u);
+  // Sensitive to a single flipped bit.
+  EXPECT_NE(Crc32c("123456789"), Crc32c("123456788"));
+}
+
+TEST(SnapshotManifestTest, SerializeParseRoundTrips) {
+  SnapshotManifest manifest;
+  manifest.rule_epoch = 7;
+  manifest.db_epoch = 19;
+  manifest.files.push_back(FileEntry{"schema.ker", 1043, 0xE3069283u});
+  manifest.files.push_back(FileEntry{"MY REL.csv", 0, 0});
+  std::string text = manifest.Serialize();
+  ASSERT_OK_AND_ASSIGN(SnapshotManifest parsed,
+                       SnapshotManifest::Parse(text));
+  EXPECT_EQ(parsed.format_version, kFormatVersion);
+  EXPECT_EQ(parsed.rule_epoch, 7u);
+  EXPECT_EQ(parsed.db_epoch, 19u);
+  ASSERT_EQ(parsed.files.size(), 2u);
+  EXPECT_EQ(parsed.files[0].name, "schema.ker");
+  EXPECT_EQ(parsed.files[0].bytes, 1043u);
+  EXPECT_EQ(parsed.files[0].crc32c, 0xE3069283u);
+  // File names may contain spaces (the name field comes last).
+  EXPECT_EQ(parsed.files[1].name, "MY REL.csv");
+  ASSERT_NE(parsed.Find("schema.ker"), nullptr);
+  EXPECT_EQ(parsed.Find("nope.csv"), nullptr);
+}
+
+TEST(SnapshotManifestTest, RejectsDamageAsCorruption) {
+  for (const char* text : {
+           "",                                   // empty
+           "BOGUS 1\nrule_epoch 0\ndb_epoch 0\n",  // wrong magic
+           "IQS_SNAPSHOT 99\nrule_epoch 0\ndb_epoch 0\n",  // future version
+           "IQS_SNAPSHOT 1\ndb_epoch 0\n",       // missing epoch
+           "IQS_SNAPSHOT 1\nrule_epoch x\ndb_epoch 0\n",   // bad number
+           "IQS_SNAPSHOT 1\nrule_epoch 0\ndb_epoch 0\nfile 12 zz\n",
+           "IQS_SNAPSHOT 1\nrule_epoch 0\ndb_epoch 0\njunk row\n",
+       }) {
+    auto parsed = SnapshotManifest::Parse(text);
+    ASSERT_FALSE(parsed.ok()) << "'" << text << "'";
+    EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption) << text;
+  }
+}
+
+TEST_F(SnapshotTest, DurableWriteReadRoundTrips) {
+  std::string path = dir_ + "/data.txt";
+  ASSERT_OK(WriteFileDurable(path, "hello\nsnapshot\n"));
+  ASSERT_OK_AND_ASSIGN(std::string read, ReadFileToString(path));
+  EXPECT_EQ(read, "hello\nsnapshot\n");
+  EXPECT_EQ(ReadFileToString(dir_ + "/absent").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotTest, AtomicReplaceSwapsContent) {
+  std::string path = dir_ + "/CURRENT";
+  ASSERT_OK(AtomicReplaceFile(path, "snapshot-000001\n"));
+  ASSERT_OK(AtomicReplaceFile(path, "snapshot-000002\n"));
+  EXPECT_EQ(ReadCurrent(dir_), "snapshot-000002");
+  // No temp file left behind.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(SnapshotNamesTest, DirNameAndIdRoundTrip) {
+  EXPECT_EQ(SnapshotDirName(0), "snapshot-000000");
+  EXPECT_EQ(SnapshotDirName(42), "snapshot-000042");
+  EXPECT_EQ(ParseSnapshotId("snapshot-000042"), 42);
+  EXPECT_EQ(ParseSnapshotId("snapshot-000042.tmp"), -1);
+  EXPECT_EQ(ParseSnapshotId("CURRENT"), -1);
+  EXPECT_EQ(ParseSnapshotId("snapshot-"), -1);
+}
+
+TEST_F(SnapshotTest, ListingsSeparateCommittedFromTmp) {
+  std::filesystem::create_directories(dir_ + "/snapshot-000003");
+  std::filesystem::create_directories(dir_ + "/snapshot-000001");
+  std::filesystem::create_directories(dir_ + "/snapshot-000002.tmp");
+  std::filesystem::create_directories(dir_ + "/unrelated");
+  EXPECT_EQ(ListSnapshotIds(dir_), (std::vector<uint64_t>{1, 3}));
+  EXPECT_EQ(ListTmpDirs(dir_),
+            (std::vector<std::string>{"snapshot-000002.tmp"}));
+}
+
+// A hand-built snapshot directory: VerifySnapshot accepts it, then
+// catches truncation and bit rot.
+TEST_F(SnapshotTest, VerifyCatchesTruncationAndBitRot) {
+  std::string snap = dir_ + "/snapshot-000000";
+  std::filesystem::create_directories(snap);
+  SnapshotManifest manifest;
+  std::string a = "alpha content\n";
+  std::string b = "beta content\n";
+  manifest.files.push_back(
+      FileEntry{"a.csv", static_cast<uint64_t>(a.size()), Crc32c(a)});
+  manifest.files.push_back(
+      FileEntry{"b.csv", static_cast<uint64_t>(b.size()), Crc32c(b)});
+  ASSERT_OK(WriteFileDurable(snap + "/a.csv", a));
+  ASSERT_OK(WriteFileDurable(snap + "/b.csv", b));
+  ASSERT_OK(WriteFileDurable(snap + "/MANIFEST", manifest.Serialize()));
+  EXPECT_TRUE(VerifySnapshot(snap).intact);
+
+  // Truncation: wrong length.
+  std::filesystem::resize_file(snap + "/a.csv", 4);
+  SnapshotHealth health = VerifySnapshot(snap);
+  EXPECT_FALSE(health.intact);
+  EXPECT_TRUE(health.footer_ok);
+  EXPECT_EQ(health.bad_files, (std::vector<std::string>{"a.csv"}));
+
+  // Bit rot: right length, wrong checksum.
+  ASSERT_OK(WriteFileDurable(snap + "/a.csv", a));
+  std::string rotten = b;
+  rotten[3] ^= 0x01;
+  ASSERT_OK(WriteFileDurable(snap + "/b.csv", rotten));
+  health = VerifySnapshot(snap);
+  EXPECT_FALSE(health.intact);
+  EXPECT_EQ(health.bad_files, (std::vector<std::string>{"b.csv"}));
+
+  // Missing file.
+  std::filesystem::remove(snap + "/b.csv");
+  health = VerifySnapshot(snap);
+  EXPECT_FALSE(health.intact);
+
+  // Missing footer.
+  std::filesystem::remove(snap + "/MANIFEST");
+  health = VerifySnapshot(snap);
+  EXPECT_FALSE(health.intact);
+  EXPECT_FALSE(health.footer_ok);
+}
+
+TEST_F(SnapshotTest, FsckReportsOrphansAndDamage) {
+  // Healthy committed snapshot.
+  std::string snap = dir_ + "/snapshot-000000";
+  std::filesystem::create_directories(snap);
+  SnapshotManifest manifest;
+  std::string content = "data\n";
+  manifest.files.push_back(FileEntry{
+      "a.csv", static_cast<uint64_t>(content.size()), Crc32c(content)});
+  ASSERT_OK(WriteFileDurable(snap + "/a.csv", content));
+  ASSERT_OK(WriteFileDurable(snap + "/MANIFEST", manifest.Serialize()));
+  ASSERT_OK(AtomicReplaceFile(dir_ + "/CURRENT", "snapshot-000000\n"));
+  ASSERT_OK_AND_ASSIGN(FsckReport report, FsckDirectory(dir_));
+  EXPECT_TRUE(report.healthy());
+  EXPECT_EQ(report.current, "snapshot-000000");
+
+  // A crashed save's tmp dir is an orphan.
+  std::filesystem::create_directories(dir_ + "/snapshot-000001.tmp");
+  ASSERT_OK_AND_ASSIGN(report, FsckDirectory(dir_));
+  EXPECT_FALSE(report.healthy());
+  ASSERT_EQ(report.orphans.size(), 1u);
+  EXPECT_NE(report.orphans[0].find("snapshot-000001.tmp"),
+            std::string::npos);
+  std::filesystem::remove_all(dir_ + "/snapshot-000001.tmp");
+
+  // A committed snapshot newer than CURRENT (killed between rename and
+  // CURRENT flip) is flagged too.
+  std::string newer = dir_ + "/snapshot-000002";
+  std::filesystem::create_directories(newer);
+  ASSERT_OK(WriteFileDurable(newer + "/a.csv", content));
+  ASSERT_OK(WriteFileDurable(newer + "/MANIFEST", manifest.Serialize()));
+  ASSERT_OK_AND_ASSIGN(report, FsckDirectory(dir_));
+  EXPECT_FALSE(report.healthy());
+  ASSERT_EQ(report.orphans.size(), 1u);
+  EXPECT_NE(report.orphans[0].find("never made CURRENT"), std::string::npos);
+  std::filesystem::remove_all(newer);
+
+  // Damage to the CURRENT snapshot shows up in the rendering.
+  std::filesystem::resize_file(snap + "/a.csv", 2);
+  ASSERT_OK_AND_ASSIGN(report, FsckDirectory(dir_));
+  EXPECT_FALSE(report.healthy());
+  EXPECT_NE(report.ToString().find("DAMAGED"), std::string::npos);
+
+  EXPECT_EQ(FsckDirectory(dir_ + "/nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotTest, FsckFlagsDanglingCurrent) {
+  ASSERT_OK(AtomicReplaceFile(dir_ + "/CURRENT", "snapshot-000009\n"));
+  ASSERT_OK_AND_ASSIGN(FsckReport report, FsckDirectory(dir_));
+  EXPECT_FALSE(report.healthy());
+  ASSERT_EQ(report.orphans.size(), 1u);
+  EXPECT_NE(report.orphans[0].find("target missing"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, FsckTreatsEmptyDirAsLegacy) {
+  ASSERT_OK_AND_ASSIGN(FsckReport report, FsckDirectory(dir_));
+  EXPECT_TRUE(report.legacy);
+  EXPECT_TRUE(report.healthy());
+}
+
+}  // namespace
+}  // namespace persist
+}  // namespace iqs
