@@ -5,7 +5,8 @@
 // writes BENCH_<name>.json into the working directory so the perf
 // trajectory is tracked across PRs. Entries are (metric, value, unit)
 // triples plus optional QueryStats per-stage breakdowns of representative
-// queries.
+// queries, plus a tail-latency section (count/mean/p50/p99/p999) for
+// every latency histogram the run populated in the global registry.
 
 #include <cstdio>
 #include <fstream>
@@ -58,7 +59,23 @@ class BenchReport {
       out << "\n    \"" << obs::JsonEscape(query_stats_[i].first)
           << "\": " << query_stats_[i].second;
     }
-    out << (query_stats_.empty() ? "}\n" : "\n  }\n");
+    out << (query_stats_.empty() ? "},\n" : "\n  },\n");
+    out << "  \"histograms\": {";
+    obs::MetricsSnapshot snapshot = obs::GlobalMetrics().Snapshot();
+    bool first = true;
+    for (const obs::HistogramSnapshot& h : snapshot.histograms) {
+      if (h.count == 0) continue;
+      if (!first) out << ",";
+      first = false;
+      char mean[64];
+      std::snprintf(mean, sizeof(mean), "%.6g", h.Mean());
+      out << "\n    \"" << obs::JsonEscape(h.name)
+          << "\": {\"count\": " << h.count << ", \"mean\": " << mean
+          << ", \"p50\": " << h.Quantile(0.5)
+          << ", \"p99\": " << h.Quantile(0.99)
+          << ", \"p999\": " << h.Quantile(0.999) << "}";
+    }
+    out << (first ? "}\n" : "\n  }\n");
     out << "}\n";
     std::printf("wrote %s\n", path.c_str());
     return true;

@@ -16,6 +16,7 @@
 //
 // Also serves as a scriptable driver: echo "rules" | ./iqs_shell --quiet
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -31,6 +32,8 @@
 #include "fault/failpoint.h"
 #include "ker/validator.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 #include "quel/quel_session.h"
 #include "testbed/ship_db.h"
@@ -60,6 +63,17 @@ void PrintHelp() {
       "  stats | \\stats        print the metrics registry snapshot\n"
       "  stats json            same, as JSON\n"
       "  stats reset           zero all metrics\n"
+      "  metrics prom          print the metrics in Prometheus text\n"
+      "                        exposition format (scrape-ready)\n"
+      "  trace export <file>   write the recent traces as a Chrome\n"
+      "                        trace_event JSON file (chrome://tracing,\n"
+      "                        Perfetto)\n"
+      "  log                   show query-log status (records, sink,\n"
+      "                        slow threshold, rotate size)\n"
+      "  set log file <path>   stream one JSONL record per query to path\n"
+      "  set log slow <micros> mark queries at/above this as slow\n"
+      "  set log rotate <bytes>\n"
+      "                        rotate the sink to <path>.1 at this size\n"
       "  set threads <N>       resize the execution pool (1 = serial);\n"
       "                        overrides the IQS_THREADS environment value\n"
       "  threads               show the current worker count\n"
@@ -178,6 +192,83 @@ int main(int argc, char** argv) {
       std::cout << "metrics reset\n";
       continue;
     }
+    if (lower == "metrics prom") {
+      std::cout << iqs::obs::RenderPrometheus(
+          iqs::obs::GlobalMetrics().Snapshot());
+      continue;
+    }
+    if (iqs::StartsWith(lower, "trace export ")) {
+      std::string path(iqs::StripWhitespace(trimmed.substr(13)));
+      if (path.empty()) {
+        std::cout << "usage: trace export <file>\n";
+        continue;
+      }
+      std::vector<iqs::obs::Trace> traces =
+          iqs::obs::GlobalTraces().Recent();
+      std::string json = iqs::obs::TracesToChromeJson(traces);
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (f == nullptr) {
+        std::cout << "cannot open '" << path << "' for writing\n";
+        continue;
+      }
+      size_t written = std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      if (written != json.size()) {
+        std::cout << "short write to '" << path << "'\n";
+        continue;
+      }
+      std::cout << "exported " << traces.size() << " trace(s) to " << path
+                << "\n";
+      continue;
+    }
+    if (lower == "log") {
+      iqs::obs::QueryLog& qlog = iqs::obs::GlobalQueryLog();
+      std::cout << "query log: " << qlog.appended() << " record(s), ring "
+                << qlog.Recent().size() << "/" << qlog.ring_capacity()
+                << "\n  sink: "
+                << (qlog.file_path().empty() ? "(none)" : qlog.file_path())
+                << "\n  slow threshold: " << qlog.slow_micros()
+                << " micros\n  rotate at: " << qlog.rotate_bytes()
+                << " bytes\n";
+      continue;
+    }
+    if (iqs::StartsWith(lower, "set log ")) {
+      iqs::obs::QueryLog& qlog = iqs::obs::GlobalQueryLog();
+      std::string rest(iqs::StripWhitespace(trimmed.substr(8)));
+      size_t space = rest.find(' ');
+      std::string which = iqs::ToLower(rest.substr(0, space));
+      std::string arg = space == std::string::npos
+                            ? std::string()
+                            : std::string(iqs::StripWhitespace(
+                                  rest.substr(space + 1)));
+      if (which == "file" && !arg.empty()) {
+        if (auto s = qlog.SetFile(arg); !s.ok()) {
+          std::cout << s << "\n";
+        } else {
+          std::cout << "query log sink: " << arg << "\n";
+        }
+        continue;
+      }
+      if ((which == "slow" || which == "rotate") && !arg.empty()) {
+        char* end = nullptr;
+        long n = std::strtol(arg.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || n < 0) {
+          std::cout << "usage: set log " << which << " <non-negative N>\n";
+          continue;
+        }
+        if (which == "slow") {
+          qlog.set_slow_micros(static_cast<int64_t>(n));
+          std::cout << "slow threshold: " << n << " micros\n";
+        } else {
+          qlog.set_rotate_bytes(static_cast<size_t>(n));
+          std::cout << "rotate at: " << n << " bytes\n";
+        }
+        continue;
+      }
+      std::cout << "usage: set log file <path> | set log slow <micros> | "
+                   "set log rotate <bytes>\n";
+      continue;
+    }
     if (iqs::StartsWith(lower, "trace")) {
       std::string arg(iqs::StripWhitespace(lower.substr(5)));
       trace_queries = arg != "off";
@@ -234,10 +325,24 @@ int main(int argc, char** argv) {
         std::cout << "  " << name << "  ("
                   << (rel.ok() ? (*rel)->size() : 0) << " rows)\n";
       }
+      for (const std::string& name :
+           system->database().VirtualRelationNames()) {
+        std::cout << "  " << name << "  (virtual)\n";
+      }
       continue;
     }
     if (iqs::StartsWith(lower, "show ")) {
-      auto rel = system->database().Get(trimmed.substr(5));
+      std::string name(iqs::StripWhitespace(trimmed.substr(5)));
+      if (system->database().IsVirtual(name)) {
+        auto snapshot = system->database().MaterializeVirtual(name);
+        if (!snapshot.ok()) {
+          std::cout << snapshot.status() << "\n";
+        } else {
+          std::cout << snapshot->ToTable();
+        }
+        continue;
+      }
+      auto rel = system->database().Get(name);
       if (!rel.ok()) {
         std::cout << rel.status() << "\n";
       } else {

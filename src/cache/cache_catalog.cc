@@ -1,0 +1,55 @@
+#include "cache/cache_catalog.h"
+
+#include "common/string_util.h"
+
+namespace iqs {
+namespace cache {
+
+namespace {
+
+Schema CacheSchema() {
+  return Schema({{"cache", ValueType::kString, false},
+                 {"enabled", ValueType::kInt, false},
+                 {"capacity", ValueType::kInt, false},
+                 {"size", ValueType::kInt, false},
+                 {"hits", ValueType::kInt, false},
+                 {"misses", ValueType::kInt, false},
+                 {"inserts", ValueType::kInt, false},
+                 {"evictions", ValueType::kInt, false},
+                 {"hit_ratio", ValueType::kReal, false}});
+}
+
+template <typename CacheT>
+Tuple CacheRow(const std::string& which, bool enabled, const CacheT& cache) {
+  CacheCounters c = cache.counters();
+  return Tuple{Value::String(which),
+               Value::Int(enabled ? 1 : 0),
+               Value::Int(static_cast<int64_t>(cache.capacity())),
+               Value::Int(static_cast<int64_t>(cache.size())),
+               Value::Int(static_cast<int64_t>(c.hits)),
+               Value::Int(static_cast<int64_t>(c.misses)),
+               Value::Int(static_cast<int64_t>(c.inserts)),
+               Value::Int(static_cast<int64_t>(c.evictions)),
+               Value::Real(c.hit_ratio())};
+}
+
+}  // namespace
+
+std::vector<std::string> CacheCatalogProvider::RelationNames() const {
+  return {"sys.cache"};
+}
+
+Result<Relation> CacheCatalogProvider::Materialize(
+    const std::string& name) const {
+  if (!EqualsIgnoreCase(name, "sys.cache")) {
+    return Status::NotFound("cache catalog does not serve '" + name + "'");
+  }
+  Relation rel(name, CacheSchema());
+  bool enabled = cache_->enabled();
+  rel.AppendUnchecked(CacheRow("plan", enabled, cache_->plans()));
+  rel.AppendUnchecked(CacheRow("answer", enabled, cache_->answers()));
+  return rel;
+}
+
+}  // namespace cache
+}  // namespace iqs

@@ -1,0 +1,28 @@
+#ifndef IQS_CACHE_CACHE_CATALOG_H_
+#define IQS_CACHE_CACHE_CATALOG_H_
+
+#include "cache/query_cache.h"
+#include "relational/virtual_relation.h"
+
+namespace iqs {
+namespace cache {
+
+// Catalog provider for the versioned query cache (DESIGN.md §11):
+// sys.cache has one row per cache (plan, answer) with capacity,
+// occupancy, and lifetime hit/miss/insert/eviction counters.
+class CacheCatalogProvider : public VirtualRelationProvider {
+ public:
+  // `cache` must outlive the provider (both owned by IqsSystem).
+  explicit CacheCatalogProvider(const QueryCache* cache) : cache_(cache) {}
+
+  std::vector<std::string> RelationNames() const override;
+  Result<Relation> Materialize(const std::string& name) const override;
+
+ private:
+  const QueryCache* cache_;
+};
+
+}  // namespace cache
+}  // namespace iqs
+
+#endif  // IQS_CACHE_CACHE_CATALOG_H_

@@ -1,10 +1,12 @@
 #include "core/query_processor.h"
 
 #include <chrono>
+#include <map>
 
 #include "common/string_util.h"
 #include "fault/failpoint.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 #include "rules/subsumption.h"
 
@@ -21,15 +23,30 @@ int64_t MicrosBetween(std::chrono::steady_clock::time_point from,
   return nanos <= 0 ? 0 : (nanos + 999) / 1000;
 }
 
+// Per-call snapshots of virtual sys.* relations named in FROM, keyed by
+// lowercased name. Describe() consults schemas only, so materializing a
+// snapshot distinct from the executor's is safe: virtual schemas are fixed
+// even though their rows are live.
+using VirtualSnapshots = std::map<std::string, Relation>;
+
+Result<const Relation*> LookupRelation(const Database& db,
+                                       const VirtualSnapshots& virtuals,
+                                       const std::string& name) {
+  auto it = virtuals.find(ToLower(name));
+  if (it != virtuals.end()) return &it->second;
+  return db.Get(name);
+}
+
 // Finds the relation (by real name) owning `ref` among the FROM tables.
 Result<std::pair<std::string, const Relation*>> OwnerTable(
-    const Database& db, const std::vector<TableRef>& from,
-    const ColumnRef& ref) {
+    const Database& db, const VirtualSnapshots& virtuals,
+    const std::vector<TableRef>& from, const ColumnRef& ref) {
   if (!ref.qualifier.empty()) {
     for (const TableRef& table : from) {
       if (EqualsIgnoreCase(table.effective_name(), ref.qualifier) ||
           EqualsIgnoreCase(table.name, ref.qualifier)) {
-        IQS_ASSIGN_OR_RETURN(const Relation* rel, db.Get(table.name));
+        IQS_ASSIGN_OR_RETURN(const Relation* rel,
+                             LookupRelation(db, virtuals, table.name));
         if (!rel->schema().Contains(ref.name)) {
           return Status::NotFound("table '" + table.name +
                                   "' has no column '" + ref.name + "'");
@@ -42,7 +59,8 @@ Result<std::pair<std::string, const Relation*>> OwnerTable(
   }
   std::pair<std::string, const Relation*> found{"", nullptr};
   for (const TableRef& table : from) {
-    IQS_ASSIGN_OR_RETURN(const Relation* rel, db.Get(table.name));
+    IQS_ASSIGN_OR_RETURN(const Relation* rel,
+                         LookupRelation(db, virtuals, table.name));
     if (rel->schema().Contains(ref.name)) {
       if (found.second != nullptr) {
         return Status::InvalidArgument("column '" + ref.name +
@@ -80,8 +98,18 @@ Result<QueryDescription> IntensionalQueryProcessor::Describe(
     const SelectStatement& stmt) const {
   IQS_SPAN("query.describe");
   QueryDescription description;
+  VirtualSnapshots virtuals;
   for (const TableRef& table : stmt.from) {
-    IQS_ASSIGN_OR_RETURN(const Relation* rel, db_->Get(table.name));
+    if (db_->IsVirtual(table.name) &&
+        virtuals.count(ToLower(table.name)) == 0) {
+      IQS_ASSIGN_OR_RETURN(Relation snapshot,
+                           db_->MaterializeVirtual(table.name));
+      virtuals.emplace(ToLower(table.name), std::move(snapshot));
+    }
+  }
+  for (const TableRef& table : stmt.from) {
+    IQS_ASSIGN_OR_RETURN(const Relation* rel,
+                         LookupRelation(*db_, virtuals, table.name));
     description.object_types.push_back(rel->name());
   }
   for (const SqlExpr* conjunct : TopLevelConjuncts(stmt.where.get())) {
@@ -109,9 +137,11 @@ Result<QueryDescription> IntensionalQueryProcessor::Describe(
       } else {
         continue;
       }
-      if (op == CompareOp::kNe) continue;  // not a single interval
-      IQS_ASSIGN_OR_RETURN(auto owner,
-                           OwnerTable(*db_, stmt.from, col->column));
+      if (op == CompareOp::kNe || op == CompareOp::kLike) {
+        continue;  // not a single interval
+      }
+      IQS_ASSIGN_OR_RETURN(
+          auto owner, OwnerTable(*db_, virtuals, stmt.from, col->column));
       IQS_ASSIGN_OR_RETURN(size_t idx, owner.second->schema().IndexOf(
                                            col->column.name));
       ValueType type = owner.second->schema().attribute(idx).type;
@@ -127,8 +157,9 @@ Result<QueryDescription> IntensionalQueryProcessor::Describe(
           conjunct->high.kind != SqlOperand::Kind::kLiteral) {
         continue;
       }
-      IQS_ASSIGN_OR_RETURN(auto owner,
-                           OwnerTable(*db_, stmt.from, conjunct->lhs.column));
+      IQS_ASSIGN_OR_RETURN(
+          auto owner,
+          OwnerTable(*db_, virtuals, stmt.from, conjunct->lhs.column));
       IQS_ASSIGN_OR_RETURN(size_t idx, owner.second->schema().IndexOf(
                                            conjunct->lhs.column.name));
       ValueType type = owner.second->schema().attribute(idx).type;
@@ -157,6 +188,31 @@ void RecordOutcome(const Result<QueryResult>& result) {
   } else {
     budget.RecordOk();
   }
+}
+
+// Appends one structured record for this query to the global query log
+// (success and failure alike). Runs after RecordOutcome so a log reader
+// and the error budget agree on every query's disposition.
+void LogQuery(const std::string& sql, InferenceMode mode,
+              uint64_t rule_epoch, uint64_t db_epoch,
+              const Result<QueryResult>& result) {
+  obs::QueryLogRecord record;
+  record.trace_id = obs::Tracer::CurrentTraceId();
+  record.sql = cache::NormalizeSql(sql);
+  record.mode = InferenceModeName(mode);
+  record.ok = result.ok();
+  record.rule_epoch = rule_epoch;
+  record.db_epoch = db_epoch;
+  if (result.ok()) {
+    record.stats = result->stats;
+    record.degradations.reserve(result->degradations.size());
+    for (const fault::DegradationEvent& event : result->degradations) {
+      record.degradations.push_back(event.ToString());
+    }
+  } else {
+    record.error = result.status().ToString();
+  }
+  obs::GlobalQueryLog().Append(std::move(record));
 }
 
 }  // namespace
@@ -188,6 +244,7 @@ Result<QueryResult> IntensionalQueryProcessor::Process(
                                            std::move(pre),
                                            versioned ? &epochs : nullptr);
   RecordOutcome(result);
+  LogQuery(sql, mode, epochs.rule_epoch, epochs.db_epoch, result);
   return result;
 }
 
@@ -197,6 +254,7 @@ Result<QueryResult> IntensionalQueryProcessor::ProcessWith(
   // never cached (the plan cache, keyed on text alone, still applies).
   Result<QueryResult> result = ProcessImpl(sql, mode, &rules, {}, nullptr);
   RecordOutcome(result);
+  LogQuery(sql, mode, /*rule_epoch=*/0, /*db_epoch=*/0, result);
   return result;
 }
 
@@ -240,6 +298,7 @@ Result<QueryResult> IntensionalQueryProcessor::ProcessImpl(
       IQS_COUNTER_INC("cache.plan.inserts");
     }
   }
+  result.stats.plan_cache_hit = plan_hit;
   Clock::time_point t1 = Clock::now();
   result.stats.parse_micros = MicrosBetween(t0, t1);
 
@@ -336,6 +395,7 @@ Result<QueryResult> IntensionalQueryProcessor::ProcessImpl(
       IQS_COUNTER_INC("query.extensional_fallbacks");
     }
   }
+  result.stats.answer_cache_hit = answer_hit;
   Clock::time_point t4 = Clock::now();
   result.stats.infer_micros = MicrosBetween(t3, t4);
   result.stats.total_micros = MicrosBetween(t0, t4);

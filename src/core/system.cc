@@ -26,6 +26,16 @@ Result<std::unique_ptr<IqsSystem>> IqsSystem::Create(
       system->db_.get(), system->dictionary_.get());
   system->formatter_ = std::make_unique<AnswerFormatter>(
       system->dictionary_.get(), std::move(formatter_options));
+  system->obs_catalog_ = std::make_unique<obs::ObsCatalogProvider>();
+  system->fault_catalog_ = std::make_unique<fault::FaultCatalogProvider>();
+  system->cache_catalog_ = std::make_unique<cache::CacheCatalogProvider>(
+      &system->processor_->cache());
+  system->dictionary_catalog_ = std::make_unique<DictionaryCatalogProvider>(
+      system->dictionary_.get());
+  system->db_->RegisterVirtualProvider(system->obs_catalog_.get());
+  system->db_->RegisterVirtualProvider(system->fault_catalog_.get());
+  system->db_->RegisterVirtualProvider(system->cache_catalog_.get());
+  system->db_->RegisterVirtualProvider(system->dictionary_catalog_.get());
   return system;
 }
 

@@ -4,9 +4,13 @@
 #include <memory>
 #include <string>
 
+#include "cache/cache_catalog.h"
 #include "core/answer_formatter.h"
 #include "core/query_processor.h"
+#include "dictionary/dictionary_catalog.h"
+#include "fault/fault_catalog.h"
 #include "induction/ils.h"
+#include "obs/sys_catalog.h"
 
 namespace iqs {
 
@@ -68,6 +72,14 @@ class IqsSystem {
   std::unique_ptr<InductiveLearningSubsystem> ils_;
   std::unique_ptr<IntensionalQueryProcessor> processor_;
   std::unique_ptr<AnswerFormatter> formatter_;
+
+  // Virtual sys.* catalog providers (DESIGN.md §11), registered on db_ at
+  // Create() so stock SELECT/RANGE statements can scan live introspection
+  // state. Owned here because Database keeps raw pointers to them.
+  std::unique_ptr<obs::ObsCatalogProvider> obs_catalog_;
+  std::unique_ptr<fault::FaultCatalogProvider> fault_catalog_;
+  std::unique_ptr<cache::CacheCatalogProvider> cache_catalog_;
+  std::unique_ptr<DictionaryCatalogProvider> dictionary_catalog_;
 };
 
 }  // namespace iqs

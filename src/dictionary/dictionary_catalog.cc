@@ -1,0 +1,51 @@
+#include "dictionary/dictionary_catalog.h"
+
+#include "common/string_util.h"
+
+namespace iqs {
+
+namespace {
+
+Schema RulesSchema() {
+  return Schema({{"source", ValueType::kString, false},
+                 {"id", ValueType::kInt, false},
+                 {"scheme", ValueType::kString, false},
+                 {"relation", ValueType::kString, false},
+                 {"body", ValueType::kString, false},
+                 {"support", ValueType::kInt, false},
+                 {"family_complete", ValueType::kInt, false}});
+}
+
+void AppendRules(const std::string& source, const RuleSet& rules,
+                 Relation& rel) {
+  for (const Rule& rule : rules.rules()) {
+    rel.AppendUnchecked(Tuple{
+        Value::String(source), Value::Int(rule.id),
+        Value::String(rule.scheme), Value::String(rule.source_relation),
+        Value::String(rule.Body()), Value::Int(rule.support),
+        Value::Int(rule.family_complete ? 1 : 0)});
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> DictionaryCatalogProvider::RelationNames() const {
+  return {"sys.rules"};
+}
+
+Result<Relation> DictionaryCatalogProvider::Materialize(
+    const std::string& name) const {
+  if (!EqualsIgnoreCase(name, "sys.rules")) {
+    return Status::NotFound("dictionary catalog does not serve '" + name +
+                            "'");
+  }
+  Relation rel(name, RulesSchema());
+  AppendRules("declared", dictionary_->declared_rules(), rel);
+  // Snapshot: a concurrent re-induction swaps the set under us.
+  std::shared_ptr<const RuleSet> induced =
+      dictionary_->induced_rules_snapshot();
+  if (induced != nullptr) AppendRules("induced", *induced, rel);
+  return rel;
+}
+
+}  // namespace iqs

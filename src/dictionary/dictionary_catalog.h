@@ -1,0 +1,27 @@
+#ifndef IQS_DICTIONARY_DICTIONARY_CATALOG_H_
+#define IQS_DICTIONARY_DICTIONARY_CATALOG_H_
+
+#include "dictionary/data_dictionary.h"
+#include "relational/virtual_relation.h"
+
+namespace iqs {
+
+// Catalog provider for the KER dictionary (DESIGN.md §11): sys.rules has
+// one row per declared and induced rule — the rule base queried with the
+// engine it powers, which is the paper's own premise made literal.
+class DictionaryCatalogProvider : public VirtualRelationProvider {
+ public:
+  // `dictionary` must outlive the provider (both owned by IqsSystem).
+  explicit DictionaryCatalogProvider(const DataDictionary* dictionary)
+      : dictionary_(dictionary) {}
+
+  std::vector<std::string> RelationNames() const override;
+  Result<Relation> Materialize(const std::string& name) const override;
+
+ private:
+  const DataDictionary* dictionary_;
+};
+
+}  // namespace iqs
+
+#endif  // IQS_DICTIONARY_DICTIONARY_CATALOG_H_

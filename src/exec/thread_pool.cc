@@ -144,6 +144,28 @@ void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
   if (state->error != nullptr) std::rethrow_exception(state->error);
 }
 
+void ThreadPool::Post(std::function<void()> task) {
+  auto wrapped = [fn = std::move(task)] {
+    try {
+      fn();
+    } catch (...) {
+      IQS_COUNTER_INC("exec.pool.post_errors");
+    }
+  };
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    WorkerQueue& q = *queues_[next_queue_];
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    {
+      std::lock_guard<std::mutex> qlock(q.mu);
+      q.tasks.push_back(std::move(wrapped));
+    }
+    ++pending_;
+    IQS_GAUGE_SET("exec.pool.queue_depth", pending_);
+  }
+  wake_cv_.notify_one();
+}
+
 size_t DefaultThreadCount() {
   if (const char* env = std::getenv("IQS_THREADS"); env != nullptr) {
     char* end = nullptr;

@@ -47,6 +47,13 @@ class ThreadPool {
   // batch inline instead (deadlock safety).
   void RunBatch(std::vector<std::function<void()>> tasks);
 
+  // Fire-and-forget: enqueues one task and returns immediately. The task
+  // runs on some worker eventually; exceptions it throws are swallowed
+  // (there is no submitter left to rethrow to). Tasks still queued when
+  // the pool is destroyed are dropped, so callers that need completion
+  // must keep their own "work done" signal (the query log's Flush does).
+  void Post(std::function<void()> task);
+
   // True when the calling thread is a worker of any ThreadPool.
   static bool OnWorkerThread();
 

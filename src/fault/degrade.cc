@@ -35,6 +35,39 @@ void RecordDegradation(const DegradationEvent& event) {
   IQS_COUNTER_INC("fault.degraded");
   obs::GlobalMetrics().GetCounter("fault.degraded." + event.stage)->Increment();
   IQS_SPAN_ANNOTATE("degraded", event.stage + ": " + event.reason);
+  GlobalDegradations().Push(event);
+}
+
+void DegradationLog::Push(const DegradationEvent& event) {
+  int64_t now = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::system_clock::now().time_since_epoch())
+                    .count();
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(RecordedDegradation{next_seq_++, now, event});
+  if (ring_.size() > capacity_) {
+    ring_.erase(ring_.begin(),
+                ring_.begin() + static_cast<long>(ring_.size() - capacity_));
+  }
+}
+
+std::vector<RecordedDegradation> DegradationLog::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_;
+}
+
+uint64_t DegradationLog::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+void DegradationLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+DegradationLog& GlobalDegradations() {
+  static DegradationLog* log = new DegradationLog();
+  return *log;
 }
 
 bool IsTransient(const Status& status) {

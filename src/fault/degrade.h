@@ -43,9 +43,39 @@ struct DegradationEvent {
 };
 
 // Counts the event in the metrics registry ("fault.degraded",
-// "fault.degraded.<stage>") and annotates the innermost open trace span
-// ("degraded" = "<stage>: <reason>").
+// "fault.degraded.<stage>"), annotates the innermost open trace span
+// ("degraded" = "<stage>: <reason>"), and lands the event in the
+// GlobalDegradations() ring (the backing store of sys.degradations).
 void RecordDegradation(const DegradationEvent& event);
+
+// One entry of the recent-degradations ring: the event plus when it was
+// recorded and its position in the lifetime sequence.
+struct RecordedDegradation {
+  uint64_t seq = 0;         // monotone from 1, never reset by eviction
+  int64_t unix_micros = 0;  // wall-clock record time
+  DegradationEvent event;
+};
+
+// Bounded ring of the most recent degradation events.
+class DegradationLog {
+ public:
+  explicit DegradationLog(size_t capacity = 256) : capacity_(capacity) {}
+
+  void Push(const DegradationEvent& event);
+  // Oldest to newest.
+  std::vector<RecordedDegradation> Recent() const;
+  uint64_t total() const;  // lifetime count
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<RecordedDegradation> ring_;  // used as a deque via erase
+  uint64_t next_seq_ = 1;
+};
+
+// The ring RecordDegradation reports into.
+DegradationLog& GlobalDegradations();
 
 // True for faults worth retrying (StatusCode::kUnavailable).
 bool IsTransient(const Status& status);

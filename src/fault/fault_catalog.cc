@@ -1,0 +1,73 @@
+#include "fault/fault_catalog.h"
+
+#include "common/string_util.h"
+#include "fault/degrade.h"
+#include "fault/failpoint.h"
+
+namespace iqs {
+namespace fault {
+
+namespace {
+
+Schema FailpointsSchema() {
+  return Schema({{"name", ValueType::kString, false},
+                 {"policy", ValueType::kString, false},
+                 {"armed", ValueType::kInt, false},
+                 {"spec", ValueType::kString, false},
+                 {"hits", ValueType::kInt, false},
+                 {"fires", ValueType::kInt, false},
+                 {"description", ValueType::kString, false}});
+}
+
+Relation MaterializeFailpoints(const std::string& name) {
+  Relation rel(name, FailpointsSchema());
+  for (const SiteInfo& site : FailpointRegistry::Global().List()) {
+    rel.AppendUnchecked(
+        Tuple{Value::String(site.name), Value::String(PolicyName(site.policy)),
+              Value::Int(site.spec.empty() ? 0 : 1), Value::String(site.spec),
+              Value::Int(static_cast<int64_t>(site.hits)),
+              Value::Int(static_cast<int64_t>(site.fires)),
+              Value::String(site.description)});
+  }
+  return rel;
+}
+
+Schema DegradationsSchema() {
+  return Schema({{"seq", ValueType::kInt, false},
+                 {"unix_micros", ValueType::kInt, false},
+                 {"stage", ValueType::kString, false},
+                 {"action", ValueType::kString, false},
+                 {"reason", ValueType::kString, false}});
+}
+
+Relation MaterializeDegradations(const std::string& name) {
+  Relation rel(name, DegradationsSchema());
+  for (const RecordedDegradation& r : GlobalDegradations().Recent()) {
+    rel.AppendUnchecked(Tuple{Value::Int(static_cast<int64_t>(r.seq)),
+                              Value::Int(r.unix_micros),
+                              Value::String(r.event.stage),
+                              Value::String(DegradeActionName(r.event.action)),
+                              Value::String(r.event.reason)});
+  }
+  return rel;
+}
+
+}  // namespace
+
+std::vector<std::string> FaultCatalogProvider::RelationNames() const {
+  return {"sys.failpoints", "sys.degradations"};
+}
+
+Result<Relation> FaultCatalogProvider::Materialize(
+    const std::string& name) const {
+  if (EqualsIgnoreCase(name, "sys.failpoints")) {
+    return MaterializeFailpoints(name);
+  }
+  if (EqualsIgnoreCase(name, "sys.degradations")) {
+    return MaterializeDegradations(name);
+  }
+  return Status::NotFound("fault catalog does not serve '" + name + "'");
+}
+
+}  // namespace fault
+}  // namespace iqs

@@ -1,0 +1,23 @@
+#ifndef IQS_FAULT_FAULT_CATALOG_H_
+#define IQS_FAULT_FAULT_CATALOG_H_
+
+#include "relational/virtual_relation.h"
+
+namespace iqs {
+namespace fault {
+
+// Catalog provider for the fault-injection subsystem (DESIGN.md §11):
+//
+//   sys.failpoints    every manifest/ad-hoc site with its armed spec and
+//                     hit/fire counters (FailpointRegistry::Global())
+//   sys.degradations  the GlobalDegradations() ring of absorbed faults
+class FaultCatalogProvider : public VirtualRelationProvider {
+ public:
+  std::vector<std::string> RelationNames() const override;
+  Result<Relation> Materialize(const std::string& name) const override;
+};
+
+}  // namespace fault
+}  // namespace iqs
+
+#endif  // IQS_FAULT_FAULT_CATALOG_H_

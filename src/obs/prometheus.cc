@@ -1,0 +1,74 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace iqs {
+namespace obs {
+
+namespace {
+
+// Prometheus sample values are float64; int64 metric values render
+// losslessly as integers (%lld) since every IQS metric is integral.
+std::string Int64Text(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+std::string UInt64Text(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "iqs_";
+  for (char c : name) {
+    bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+              c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const CounterSnapshot& c : snapshot.counters) {
+    std::string name = PrometheusName(c.name) + "_total";
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + UInt64Text(c.value) + "\n";
+  }
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    std::string name = PrometheusName(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + Int64Text(g.value) + "\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    std::string name = PrometheusName(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += i < h.buckets.size() ? h.buckets[i] : 0;
+      out += name + "_bucket{le=\"" + Int64Text(h.bounds[i]) + "\"} " +
+             UInt64Text(cumulative) + "\n";
+    }
+    // +Inf must equal _count and buckets must be non-decreasing; deriving
+    // both from the bucket sum (rather than the separately-read count
+    // atomic) keeps the series valid even if a racing Observe landed
+    // between the snapshot's bucket and count reads.
+    if (h.buckets.size() > h.bounds.size()) {
+      cumulative += h.buckets.back();  // overflow bucket
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + UInt64Text(cumulative) + "\n";
+    out += name + "_sum " + Int64Text(h.sum) + "\n";
+    out += name + "_count " + UInt64Text(cumulative) + "\n";
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace iqs

@@ -1,0 +1,28 @@
+#ifndef IQS_OBS_PROMETHEUS_H_
+#define IQS_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace iqs {
+namespace obs {
+
+// Renders a metrics snapshot in the Prometheus text exposition format
+// (version 0.0.4): every metric gets a `# TYPE` line, counters carry the
+// `_total` suffix, and histograms expose cumulative `_bucket{le="..."}`
+// series ending in `le="+Inf"` plus `_sum` and `_count`. Metric names are
+// sanitized to [a-zA-Z0-9_:] and prefixed "iqs_" ("cache.plan.hits" ->
+// "iqs_cache_plan_hits_total"). This is the payload a future
+// iqs_serverd /metrics endpoint serves; the shell exposes it as
+// `metrics prom`.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+// Sanitized Prometheus name for an IQS metric name (without any type
+// suffix). Exposed for tests.
+std::string PrometheusName(const std::string& name);
+
+}  // namespace obs
+}  // namespace iqs
+
+#endif  // IQS_OBS_PROMETHEUS_H_

@@ -1,0 +1,210 @@
+#include "obs/query_log.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace iqs {
+namespace obs {
+
+namespace {
+
+int64_t NowUnixMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string QueryLogRecord::ToJson() const {
+  std::string out = "{\"seq\": " + std::to_string(seq) +
+                    ", \"unix_micros\": " + std::to_string(unix_micros) +
+                    ", \"trace_id\": " + std::to_string(trace_id) +
+                    ", \"sql\": \"" + JsonEscape(sql) + "\"" +
+                    ", \"mode\": \"" + JsonEscape(mode) + "\"" +
+                    ", \"ok\": " + (ok ? "true" : "false");
+  if (!ok) out += ", \"error\": \"" + JsonEscape(error) + "\"";
+  out += std::string(", \"slow\": ") + (slow ? "true" : "false") +
+         ", \"rule_epoch\": " + std::to_string(rule_epoch) +
+         ", \"db_epoch\": " + std::to_string(db_epoch) +
+         ", \"stats\": " + stats.ToJson();
+  out += ", \"degradations\": [";
+  for (size_t i = 0; i < degradations.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + JsonEscape(degradations[i]) + "\"";
+  }
+  out += "]}";
+  return out;
+}
+
+QueryLog::QueryLog(size_t ring_capacity) : ring_capacity_(ring_capacity) {}
+
+QueryLog::~QueryLog() { Flush(); }
+
+void QueryLog::Append(QueryLogRecord record) {
+  bool schedule = false;
+  bool slow = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    record.seq = next_seq_++;
+    record.unix_micros = NowUnixMicros();
+    record.slow =
+        slow_micros_ > 0 && record.stats.total_micros >= slow_micros_;
+    slow = record.slow;
+    ++appended_;
+    if (!path_.empty()) {
+      buffered_lines_.push_back(record.ToJson());
+      if (!drain_scheduled_) {
+        drain_scheduled_ = true;
+        schedule = true;
+      }
+    }
+    ring_.push_back(std::move(record));
+    while (ring_.size() > ring_capacity_) {
+      ring_.pop_front();
+      IQS_COUNTER_INC("obs.qlog.evicted");
+    }
+  }
+  IQS_COUNTER_INC("obs.qlog.appended");
+  if (slow) IQS_COUNTER_INC("obs.qlog.slow");
+  if (schedule) ScheduleDrain();
+}
+
+void QueryLog::ScheduleDrain() {
+  auto drain = [this] {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      drain_scheduled_ = false;
+    }
+    Flush();
+  };
+  // Only the immortal global instance may ride the pool: a posted task
+  // holding `this` must never outlive the log. Private instances (tests)
+  // and serial processes drain inline.
+  std::shared_ptr<exec::ThreadPool> pool =
+      this == &GlobalQueryLog() ? exec::GlobalPool() : nullptr;
+  if (pool != nullptr) {
+    pool->Post(std::move(drain));
+  } else {
+    drain();
+  }
+}
+
+void QueryLog::Flush() {
+  std::vector<std::string> lines;
+  std::string path;
+  uint64_t rotate = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (buffered_lines_.empty()) return;
+    if (path_.empty()) {
+      buffered_lines_.clear();  // sink closed with lines still buffered
+      return;
+    }
+    lines.swap(buffered_lines_);
+    path = path_;
+    rotate = rotate_bytes_;
+  }
+  std::lock_guard<std::mutex> file_lock(file_mu_);
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    IQS_COUNTER_INC("obs.qlog.write_errors");
+    return;
+  }
+  for (const std::string& line : lines) {
+    uint64_t bytes = line.size() + 1;
+    if (current_bytes_ > 0 && current_bytes_ + bytes > rotate) {
+      // Rotate before the line that would overflow: close, shift the
+      // current file to "<path>.1" (replacing any previous rotation),
+      // start fresh. Records are never split across the boundary.
+      std::fclose(f);
+      std::remove((path + ".1").c_str());
+      if (std::rename(path.c_str(), (path + ".1").c_str()) != 0) {
+        IQS_COUNTER_INC("obs.qlog.write_errors");
+      }
+      IQS_COUNTER_INC("obs.qlog.rotations");
+      f = std::fopen(path.c_str(), "a");
+      if (f == nullptr) {
+        IQS_COUNTER_INC("obs.qlog.write_errors");
+        return;
+      }
+      current_bytes_ = 0;
+    }
+    std::fwrite(line.data(), 1, line.size(), f);
+    std::fputc('\n', f);
+    current_bytes_ += bytes;
+  }
+  std::fclose(f);
+  IQS_COUNTER_INC("obs.qlog.flushes");
+}
+
+Status QueryLog::SetFile(const std::string& path) {
+  // Flush under the old sink first so buffered lines don't migrate.
+  Flush();
+  if (path.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    path_.clear();
+    return Status::Ok();
+  }
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open query log file '" + path +
+                                   "'");
+  }
+  long size = 0;
+  if (std::fseek(f, 0, SEEK_END) == 0) size = std::ftell(f);
+  std::fclose(f);
+  {
+    std::lock_guard<std::mutex> file_lock(file_mu_);
+    current_bytes_ = size < 0 ? 0 : static_cast<uint64_t>(size);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  path_ = path;
+  return Status::Ok();
+}
+
+std::string QueryLog::file_path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return path_;
+}
+
+void QueryLog::set_rotate_bytes(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rotate_bytes_ = bytes == 0 ? 1 : bytes;
+}
+
+uint64_t QueryLog::rotate_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rotate_bytes_;
+}
+
+void QueryLog::set_slow_micros(int64_t micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slow_micros_ = micros;
+}
+
+int64_t QueryLog::slow_micros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_micros_;
+}
+
+std::vector<QueryLogRecord> QueryLog::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<QueryLogRecord>(ring_.begin(), ring_.end());
+}
+
+uint64_t QueryLog::appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+QueryLog& GlobalQueryLog() {
+  static QueryLog* log = new QueryLog();
+  return *log;
+}
+
+}  // namespace obs
+}  // namespace iqs

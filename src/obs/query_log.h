@@ -1,0 +1,111 @@
+#ifndef IQS_OBS_QUERY_LOG_H_
+#define IQS_OBS_QUERY_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/query_stats.h"
+
+namespace iqs {
+namespace obs {
+
+// Structured query/event log (DESIGN.md §11): every query the processor
+// serves appends one record. Records always land in a bounded in-memory
+// ring (the backing store of the sys.query_log catalog relation); when a
+// JSONL file sink is configured each record is also serialized as one
+// line. File writes are buffered and drained off the hot path — by a
+// task posted to the global exec pool when one exists, inline otherwise
+// — and the file rotates to "<path>.1" when it would exceed the
+// configured size.
+
+struct QueryLogRecord {
+  uint64_t seq = 0;        // assigned by Append, monotone from 1
+  int64_t unix_micros = 0;  // wall-clock append time
+  uint64_t trace_id = 0;    // obs::Tracer id, 0 when untraced
+  std::string sql;          // normalized statement text
+  std::string mode;         // inference mode ("both", "forward", ...)
+  bool ok = true;
+  std::string error;        // status message when !ok
+  bool slow = false;        // total_micros >= the slow threshold
+  uint64_t rule_epoch = 0;
+  uint64_t db_epoch = 0;
+  QueryStats stats;
+  std::vector<std::string> degradations;  // "stage: reason" summaries
+
+  // One JSONL line (no trailing newline), escaped via obs::JsonEscape.
+  std::string ToJson() const;
+};
+
+class QueryLog {
+ public:
+  explicit QueryLog(size_t ring_capacity = 256);
+  // Flushes anything still buffered; the drainer task may also run
+  // later and find nothing to do.
+  ~QueryLog();
+
+  QueryLog(const QueryLog&) = delete;
+  QueryLog& operator=(const QueryLog&) = delete;
+
+  // Appends one record: assigns seq/slow, lands it in the ring, and —
+  // when a file sink is set — buffers its JSONL line and schedules a
+  // drain. Cheap and thread-safe; called once per query.
+  void Append(QueryLogRecord record);
+
+  // Synchronously writes all buffered lines to the file sink.
+  void Flush();
+
+  // Configures the JSONL file sink (append mode; the directory must
+  // exist). An empty path closes the sink.
+  Status SetFile(const std::string& path);
+  std::string file_path() const;
+
+  // Rotation threshold in bytes (default 1 MiB): when an append would
+  // push the file past it, the file is renamed to "<path>.1" (replacing
+  // any previous rotation) and a fresh file is started.
+  void set_rotate_bytes(uint64_t bytes);
+  uint64_t rotate_bytes() const;
+
+  // Queries at least this total_micros are flagged slow (default 100ms);
+  // 0 disables the flag.
+  void set_slow_micros(int64_t micros);
+  int64_t slow_micros() const;
+
+  // Ring contents, oldest to newest.
+  std::vector<QueryLogRecord> Recent() const;
+  // Total records ever appended (ring evictions do not decrease it).
+  uint64_t appended() const;
+  size_t ring_capacity() const { return ring_capacity_; }
+
+ private:
+  void ScheduleDrain();
+
+  const size_t ring_capacity_;
+
+  mutable std::mutex mu_;  // ring + buffer + config
+  std::deque<QueryLogRecord> ring_;
+  std::vector<std::string> buffered_lines_;
+  uint64_t next_seq_ = 1;
+  uint64_t appended_ = 0;
+  int64_t slow_micros_ = 100000;
+  uint64_t rotate_bytes_ = 1 << 20;
+  std::string path_;
+  bool drain_scheduled_ = false;
+
+  // Serializes file I/O separately from mu_ so Append never waits on
+  // disk. current_bytes_ tracks the open file's size for rotation.
+  std::mutex file_mu_;
+  uint64_t current_bytes_ = 0;
+};
+
+// The process-wide query log the query processors append to, the
+// sys.query_log relation scans, and the shell configures.
+QueryLog& GlobalQueryLog();
+
+}  // namespace obs
+}  // namespace iqs
+
+#endif  // IQS_OBS_QUERY_LOG_H_

@@ -26,6 +26,12 @@ std::string QueryStats::ToString() const {
       static_cast<unsigned long long>(backward_statements),
       static_cast<unsigned long long>(rules_fired));
   std::string out = buf;
+  if (plan_cache_hit || answer_cache_hit) {
+    std::snprintf(buf, sizeof(buf), "cache: plan %s, answer %s\n",
+                  plan_cache_hit ? "hit" : "miss",
+                  answer_cache_hit ? "hit" : "miss");
+    out += buf;
+  }
   if (degraded_events > 0) {
     std::snprintf(buf, sizeof(buf),
                   "degraded: %llu fault(s) absorbed while serving this query\n",
@@ -52,6 +58,7 @@ std::string QueryStats::ToJson() const {
       "\"index_prefiltered_tables\": %llu, \"forward_facts\": %llu, "
       "\"backward_statements\": %llu, \"rules_fired\": %llu, "
       "\"degraded_events\": %llu, "
+      "\"plan_cache_hit\": %s, \"answer_cache_hit\": %s, "
       "\"coverage\": %.6f, \"coverage_micros\": %lld}",
       static_cast<long long>(parse_micros),
       static_cast<long long>(execute_micros),
@@ -65,7 +72,9 @@ std::string QueryStats::ToJson() const {
       static_cast<unsigned long long>(forward_facts),
       static_cast<unsigned long long>(backward_statements),
       static_cast<unsigned long long>(rules_fired),
-      static_cast<unsigned long long>(degraded_events), coverage,
+      static_cast<unsigned long long>(degraded_events),
+      plan_cache_hit ? "true" : "false",
+      answer_cache_hit ? "true" : "false", coverage,
       static_cast<long long>(coverage_micros));
   return buf;
 }

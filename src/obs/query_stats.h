@@ -33,6 +33,11 @@ struct QueryStats {
   // events themselves ride on QueryResult::degradations.
   uint64_t degraded_events = 0;
 
+  // Versioned-cache outcome for this query (cache/query_cache.h): did
+  // the parsed plan / the intensional answer come from the cache?
+  bool plan_cache_hit = false;
+  bool answer_cache_hit = false;
+
   // Cost and value of the backward-coverage check (paper Example 2): how
   // completely the best exact backward statement covers the extensional
   // answer, and what computing that cost. coverage stays -1 when no

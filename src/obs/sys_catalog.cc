@@ -1,0 +1,169 @@
+#include "obs/sys_catalog.h"
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/query_log.h"
+#include "obs/trace.h"
+
+namespace iqs {
+namespace obs {
+
+namespace {
+
+Schema MetricsSchema() {
+  return Schema({{"name", ValueType::kString, false},
+                 {"kind", ValueType::kString, false},
+                 {"value", ValueType::kInt, false}});
+}
+
+Relation MaterializeMetrics(const std::string& name) {
+  Relation rel(name, MetricsSchema());
+  MetricsSnapshot snapshot = GlobalMetrics().Snapshot();
+  for (const CounterSnapshot& c : snapshot.counters) {
+    rel.AppendUnchecked(Tuple{Value::String(c.name),
+                              Value::String("counter"),
+                              Value::Int(static_cast<int64_t>(c.value))});
+  }
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    rel.AppendUnchecked(Tuple{Value::String(g.name), Value::String("gauge"),
+                              Value::Int(g.value)});
+  }
+  return rel;
+}
+
+Schema HistogramsSchema() {
+  return Schema({{"name", ValueType::kString, false},
+                 {"count", ValueType::kInt, false},
+                 {"sum", ValueType::kInt, false},
+                 {"mean", ValueType::kReal, false},
+                 {"p50", ValueType::kInt, false},
+                 {"p99", ValueType::kInt, false},
+                 {"p999", ValueType::kInt, false}});
+}
+
+Relation MaterializeHistograms(const std::string& name) {
+  Relation rel(name, HistogramsSchema());
+  MetricsSnapshot snapshot = GlobalMetrics().Snapshot();
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    rel.AppendUnchecked(
+        Tuple{Value::String(h.name),
+              Value::Int(static_cast<int64_t>(h.count)), Value::Int(h.sum),
+              Value::Real(h.Mean()), Value::Int(h.Quantile(0.50)),
+              Value::Int(h.Quantile(0.99)), Value::Int(h.Quantile(0.999))});
+  }
+  return rel;
+}
+
+Schema TracesSchema() {
+  return Schema({{"trace_id", ValueType::kInt, false},
+                 {"root", ValueType::kString, false},
+                 {"spans", ValueType::kInt, false},
+                 {"total_micros", ValueType::kInt, false}});
+}
+
+Relation MaterializeTraces(const std::string& name) {
+  Relation rel(name, TracesSchema());
+  for (const Trace& trace : GlobalTraces().Recent()) {
+    rel.AppendUnchecked(
+        Tuple{Value::Int(static_cast<int64_t>(trace.id())),
+              Value::String(trace.empty() ? "" : trace.spans()[0].name),
+              Value::Int(static_cast<int64_t>(trace.spans().size())),
+              Value::Int(trace.total_micros())});
+  }
+  return rel;
+}
+
+Schema SpansSchema() {
+  return Schema({{"trace_id", ValueType::kInt, false},
+                 {"span", ValueType::kInt, false},
+                 {"parent", ValueType::kInt, false},
+                 {"depth", ValueType::kInt, false},
+                 {"name", ValueType::kString, false},
+                 {"start_micros", ValueType::kInt, false},
+                 {"duration_micros", ValueType::kInt, false},
+                 {"annotations", ValueType::kString, false}});
+}
+
+Relation MaterializeSpans(const std::string& name) {
+  Relation rel(name, SpansSchema());
+  for (const Trace& trace : GlobalTraces().Recent()) {
+    const std::vector<Span>& spans = trace.spans();
+    for (size_t i = 0; i < spans.size(); ++i) {
+      const Span& span = spans[i];
+      std::string annotations;
+      for (const SpanAnnotation& a : span.annotations) {
+        if (!annotations.empty()) annotations += " ";
+        annotations += a.key + "=" + a.value;
+      }
+      rel.AppendUnchecked(
+          Tuple{Value::Int(static_cast<int64_t>(trace.id())),
+                Value::Int(static_cast<int64_t>(i)), Value::Int(span.parent),
+                Value::Int(span.depth), Value::String(span.name),
+                Value::Int((span.start_nanos + 999) / 1000),
+                Value::Int(span.duration_micros()),
+                Value::String(std::move(annotations))});
+    }
+  }
+  return rel;
+}
+
+Schema QueryLogSchema() {
+  return Schema({{"seq", ValueType::kInt, false},
+                 {"unix_micros", ValueType::kInt, false},
+                 {"trace_id", ValueType::kInt, false},
+                 {"sql", ValueType::kString, false},
+                 {"mode", ValueType::kString, false},
+                 {"ok", ValueType::kInt, false},
+                 {"slow", ValueType::kInt, false},
+                 {"total_micros", ValueType::kInt, false},
+                 {"rows_returned", ValueType::kInt, false},
+                 {"plan_cache_hit", ValueType::kInt, false},
+                 {"answer_cache_hit", ValueType::kInt, false},
+                 {"degraded_events", ValueType::kInt, false},
+                 {"error", ValueType::kString, false}});
+}
+
+Relation MaterializeQueryLog(const std::string& name) {
+  Relation rel(name, QueryLogSchema());
+  for (const QueryLogRecord& r : GlobalQueryLog().Recent()) {
+    rel.AppendUnchecked(
+        Tuple{Value::Int(static_cast<int64_t>(r.seq)),
+              Value::Int(r.unix_micros),
+              Value::Int(static_cast<int64_t>(r.trace_id)),
+              Value::String(r.sql), Value::String(r.mode),
+              Value::Int(r.ok ? 1 : 0), Value::Int(r.slow ? 1 : 0),
+              Value::Int(r.stats.total_micros),
+              Value::Int(static_cast<int64_t>(r.stats.rows_returned)),
+              Value::Int(r.stats.plan_cache_hit ? 1 : 0),
+              Value::Int(r.stats.answer_cache_hit ? 1 : 0),
+              Value::Int(static_cast<int64_t>(r.stats.degraded_events)),
+              Value::String(r.error)});
+  }
+  return rel;
+}
+
+}  // namespace
+
+std::vector<std::string> ObsCatalogProvider::RelationNames() const {
+  return {"sys.metrics", "sys.histograms", "sys.traces", "sys.spans",
+          "sys.query_log"};
+}
+
+Result<Relation> ObsCatalogProvider::Materialize(
+    const std::string& name) const {
+  if (EqualsIgnoreCase(name, "sys.metrics")) {
+    return MaterializeMetrics(name);
+  }
+  if (EqualsIgnoreCase(name, "sys.histograms")) {
+    return MaterializeHistograms(name);
+  }
+  if (EqualsIgnoreCase(name, "sys.traces")) return MaterializeTraces(name);
+  if (EqualsIgnoreCase(name, "sys.spans")) return MaterializeSpans(name);
+  if (EqualsIgnoreCase(name, "sys.query_log")) {
+    return MaterializeQueryLog(name);
+  }
+  return Status::NotFound("obs catalog does not serve '" + name + "'");
+}
+
+}  // namespace obs
+}  // namespace iqs

@@ -1,0 +1,27 @@
+#ifndef IQS_OBS_SYS_CATALOG_H_
+#define IQS_OBS_SYS_CATALOG_H_
+
+#include "relational/virtual_relation.h"
+
+namespace iqs {
+namespace obs {
+
+// Catalog provider for the observability registries (DESIGN.md §11):
+//
+//   sys.metrics     counters and gauges from GlobalMetrics()
+//   sys.histograms  histogram summaries (count, mean, p50/p99/p999)
+//   sys.traces      one row per trace in GlobalTraces()
+//   sys.spans       one row per span of those traces
+//   sys.query_log   the GlobalQueryLog() ring
+//
+// Every scan snapshots the live registry; nothing is stored.
+class ObsCatalogProvider : public VirtualRelationProvider {
+ public:
+  std::vector<std::string> RelationNames() const override;
+  Result<Relation> Materialize(const std::string& name) const override;
+};
+
+}  // namespace obs
+}  // namespace iqs
+
+#endif  // IQS_OBS_SYS_CATALOG_H_

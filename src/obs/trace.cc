@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <atomic>
 #include <cstdio>
 
 #include "obs/metrics.h"
@@ -88,11 +89,65 @@ std::string Trace::ToJson() const {
   return out;
 }
 
+namespace {
+
+// Appends one "ph":"X" (complete) event per span of `trace` to `out`.
+// Timestamps are micros with sub-microsecond precision; all traces share
+// pid 1 and each trace uses its id as the tid, so a multi-trace export
+// stacks the timelines.
+void AppendChromeEvents(const Trace& trace, std::string& out, bool& first) {
+  char buf[64];
+  for (const Span& span : trace.spans()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"name\": \"" + JsonEscape(span.name) +
+           "\", \"cat\": \"iqs\", \"ph\": \"X\"";
+    std::snprintf(buf, sizeof(buf), ", \"ts\": %.3f",
+                  static_cast<double>(span.start_nanos) / 1000.0);
+    out += buf;
+    int64_t dur = span.duration_nanos < 0 ? 0 : span.duration_nanos;
+    std::snprintf(buf, sizeof(buf), ", \"dur\": %.3f",
+                  static_cast<double>(dur) / 1000.0);
+    out += buf;
+    out += ", \"pid\": 1, \"tid\": " + std::to_string(trace.id());
+    out += ", \"args\": {";
+    for (size_t a = 0; a < span.annotations.size(); ++a) {
+      if (a > 0) out += ", ";
+      out += "\"" + JsonEscape(span.annotations[a].key) + "\": \"" +
+             JsonEscape(span.annotations[a].value) + "\"";
+    }
+    out += "}}";
+  }
+}
+
+}  // namespace
+
+std::string Trace::ToChromeJson() const {
+  return TracesToChromeJson({*this});
+}
+
+std::string TracesToChromeJson(const std::vector<Trace>& traces) {
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const Trace& trace : traces) {
+    AppendChromeEvents(trace, out, first);
+  }
+  out += first ? "]" : "\n]";
+  out += ", \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
 Trace* Tracer::current() { return tls_trace; }
+
+uint64_t Tracer::CurrentTraceId() {
+  return tls_trace == nullptr ? 0 : tls_trace->id();
+}
 
 Trace* Tracer::Begin() {
   if (tls_trace != nullptr) return nullptr;
+  static std::atomic<uint64_t> next_id{1};
   tls_trace = new Trace();
+  tls_trace->id_ = next_id.fetch_add(1, std::memory_order_relaxed);
   tls_trace->epoch_ = std::chrono::steady_clock::now();
   return tls_trace;
 }
@@ -154,9 +209,21 @@ void Tracer::Annotate(const char* key, int64_t value) {
 }
 
 void TraceRing::Push(Trace trace) {
-  std::lock_guard<std::mutex> lock(mu_);
-  traces_.push_back(std::move(trace));
-  while (traces_.size() > capacity_) traces_.pop_front();
+  size_t dropped = 0;
+  size_t occupancy = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    traces_.push_back(std::move(trace));
+    while (traces_.size() > capacity_) {
+      traces_.pop_front();
+      ++dropped;
+    }
+    occupancy = traces_.size();
+  }
+  // Overflow used to be silent; now every evicted unread trace counts,
+  // and the gauge shows how full the ring is sitting.
+  if (dropped > 0) IQS_COUNTER_ADD("obs.trace.dropped", dropped);
+  IQS_GAUGE_SET("obs.trace.ring_occupancy", occupancy);
 }
 
 std::vector<Trace> TraceRing::Recent() const {

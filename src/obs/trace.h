@@ -46,6 +46,11 @@ class Trace {
   const std::vector<Span>& spans() const { return spans_; }
   bool empty() const { return spans_.empty(); }
 
+  // Process-unique trace identifier, assigned by Tracer::Begin (0 for a
+  // default-constructed trace that never ran). Query-log records carry
+  // it so a slow query can be tied back to its span tree.
+  uint64_t id() const { return id_; }
+
   // First span with the given name, or nullptr.
   const Span* Find(const std::string& name) const;
 
@@ -58,18 +63,32 @@ class Trace {
   std::string Render() const;
   std::string ToJson() const;
 
+  // A complete Chrome/Perfetto trace document for this trace:
+  // {"traceEvents": [{"name", "cat", "ph": "X", "ts", "dur", "pid",
+  // "tid", "args"}, ...]} with microsecond timestamps. Load it at
+  // chrome://tracing or ui.perfetto.dev.
+  std::string ToChromeJson() const;
+
  private:
   friend class Tracer;
+  uint64_t id_ = 0;
   std::vector<Span> spans_;
   std::vector<int> open_;  // stack of open span indices
   std::chrono::steady_clock::time_point epoch_;
 };
+
+// One Chrome-trace document covering several traces (the export of the
+// whole ring): each trace renders as its own tid so the timelines stack.
+std::string TracesToChromeJson(const std::vector<Trace>& traces);
 
 // Static facade over the thread-local active trace.
 class Tracer {
  public:
   // The trace being recorded on this thread, or nullptr.
   static Trace* current();
+
+  // Id of the active trace on this thread, or 0 when none is running.
+  static uint64_t CurrentTraceId();
 
   // Installs a fresh trace as current; fails (returns nullptr) if one is
   // already active. Callers normally use ScopedTrace instead.

@@ -65,6 +65,15 @@ class QuelParser {
     }
     return Advance().text;
   }
+  // ident(.ident)* — relation names may be schema-qualified (sys.metrics).
+  Result<std::string> ExpectDottedIdent(const std::string& what) {
+    IQS_ASSIGN_OR_RETURN(std::string name, ExpectIdent(what));
+    while (Peek().IsSymbol(".") && Peek(1).kind == SqlTokenKind::kIdent) {
+      Advance();  // .
+      name += "." + Advance().text;
+    }
+    return name;
+  }
 
   Result<QuelStatement> ParseStatement() {
     QuelStatement stmt;
@@ -98,7 +107,7 @@ class QuelParser {
     QuelRangeStatement out;
     IQS_ASSIGN_OR_RETURN(out.variable, ExpectIdent("a tuple variable"));
     IQS_RETURN_IF_ERROR(ExpectKeyword("is"));
-    IQS_ASSIGN_OR_RETURN(out.relation, ExpectIdent("a relation name"));
+    IQS_ASSIGN_OR_RETURN(out.relation, ExpectDottedIdent("a relation name"));
     return out;
   }
 
@@ -116,7 +125,7 @@ class QuelParser {
     QuelRetrieveStatement out;
     if (Peek().IsKeyword("into")) {
       Advance();
-      IQS_ASSIGN_OR_RETURN(out.into, ExpectIdent("a relation name"));
+      IQS_ASSIGN_OR_RETURN(out.into, ExpectDottedIdent("a relation name"));
     }
     if (Peek().IsKeyword("unique")) {
       Advance();
@@ -176,7 +185,7 @@ class QuelParser {
     Advance();  // append
     IQS_RETURN_IF_ERROR(ExpectKeyword("to"));
     QuelAppendStatement out;
-    IQS_ASSIGN_OR_RETURN(out.relation, ExpectIdent("a relation name"));
+    IQS_ASSIGN_OR_RETURN(out.relation, ExpectDottedIdent("a relation name"));
     IQS_RETURN_IF_ERROR(ExpectSymbol("("));
     while (true) {
       IQS_ASSIGN_OR_RETURN(std::string attr, ExpectIdent("an attribute"));

@@ -55,6 +55,15 @@ Result<std::string> QuelSession::RelationOf(
 
 Result<QuelSession::ExecutionResult> QuelSession::ExecuteRange(
     const QuelRangeStatement& stmt) {
+  if (db_->IsVirtual(stmt.relation)) {
+    // Materialize once to validate the name and learn its registered
+    // spelling; the snapshot itself is discarded — each retrieve takes a
+    // fresh one.
+    IQS_ASSIGN_OR_RETURN(Relation snapshot,
+                         db_->MaterializeVirtual(stmt.relation));
+    ranges_[ToLower(stmt.variable)] = snapshot.name();
+    return ExecutionResult{};
+  }
   IQS_ASSIGN_OR_RETURN(const Relation* rel, db_->Get(stmt.relation));
   ranges_[ToLower(stmt.variable)] = rel->name();
   return ExecutionResult{};
@@ -83,6 +92,16 @@ void QuelSession::CollectVariables(const QuelExprPtr& expr,
 Result<const Relation*> QuelSession::ResolveVariable(
     const std::string& variable) const {
   IQS_ASSIGN_OR_RETURN(std::string relation, RelationOf(variable));
+  if (db_->IsVirtual(relation)) {
+    std::string key = ToLower(relation);
+    auto it = virtual_snapshots_.find(key);
+    if (it == virtual_snapshots_.end()) {
+      IQS_ASSIGN_OR_RETURN(Relation snapshot,
+                           db_->MaterializeVirtual(relation));
+      it = virtual_snapshots_.emplace(key, std::move(snapshot)).first;
+    }
+    return &it->second;
+  }
   return db_->Get(relation);
 }
 
@@ -151,6 +170,7 @@ Result<QuelSession::ExecutionResult> QuelSession::ExecuteRetrieve(
   if (stmt.targets.empty()) {
     return Status::InvalidArgument("retrieve needs a target list");
   }
+  virtual_snapshots_.clear();
   // Variables in first-use order: targets, then qualification.
   std::vector<std::string> variables;
   for (const QuelTarget& t : stmt.targets) {
@@ -248,7 +268,13 @@ Result<QuelSession::ExecutionResult> QuelSession::ExecuteRetrieve(
 
 Result<QuelSession::ExecutionResult> QuelSession::ExecuteDelete(
     const QuelDeleteStatement& stmt) {
+  virtual_snapshots_.clear();
   IQS_ASSIGN_OR_RETURN(std::string target_name, RelationOf(stmt.variable));
+  if (db_->IsVirtual(target_name)) {
+    return Status::InvalidArgument("relation '" + target_name +
+                                   "' is a virtual catalog relation and is "
+                                   "read-only");
+  }
   IQS_ASSIGN_OR_RETURN(Relation * target, db_->GetMutable(target_name));
 
   // Other variables mentioned by the qualification.
@@ -298,6 +324,11 @@ Result<QuelSession::ExecutionResult> QuelSession::ExecuteDelete(
 
 Result<QuelSession::ExecutionResult> QuelSession::ExecuteAppend(
     const QuelAppendStatement& stmt) {
+  if (db_->IsVirtual(stmt.relation)) {
+    return Status::InvalidArgument("relation '" + stmt.relation +
+                                   "' is a virtual catalog relation and is "
+                                   "read-only");
+  }
   IQS_ASSIGN_OR_RETURN(Relation * target, db_->GetMutable(stmt.relation));
   const Schema& schema = target->schema();
   std::vector<Value> row(schema.size(), Value::Null());

@@ -73,6 +73,12 @@ class QuelSession {
 
   Database* db_;
   std::map<std::string, std::string> ranges_;  // lower(var) -> relation
+  // Per-statement snapshots of virtual sys.* relations, keyed by
+  // lowercased relation name. Cleared at the start of every retrieve /
+  // delete so one statement reads one consistent snapshot while Binding
+  // pointers into it stay valid. Mutable: filled lazily by the const
+  // ResolveVariable().
+  mutable std::map<std::string, Relation> virtual_snapshots_;
 };
 
 }  // namespace iqs

@@ -8,6 +8,11 @@ namespace iqs {
 
 Result<Relation*> Database::CreateRelation(const std::string& name,
                                            Schema schema) {
+  if (IsSysRelationName(name)) {
+    return Status::InvalidArgument(
+        "cannot create '" + name +
+        "': the sys. schema is reserved for virtual catalog relations");
+  }
   std::string key = ToLower(name);
   if (relations_.count(key) > 0) {
     return Status::AlreadyExists("relation '" + name + "' already exists");
@@ -21,6 +26,11 @@ Result<Relation*> Database::CreateRelation(const std::string& name,
 }
 
 Status Database::AddRelation(Relation relation) {
+  if (IsSysRelationName(relation.name())) {
+    return Status::InvalidArgument(
+        "cannot add '" + relation.name() +
+        "': the sys. schema is reserved for virtual catalog relations");
+  }
   std::string key = ToLower(relation.name());
   if (relations_.count(key) > 0) {
     return Status::AlreadyExists("relation '" + relation.name() +
@@ -112,6 +122,31 @@ std::vector<std::string> Database::IndexedAttributes(
     if (pair.first == key) out.push_back(index.attribute());
   }
   return out;
+}
+
+void Database::RegisterVirtualProvider(
+    const VirtualRelationProvider* provider) {
+  for (const std::string& name : provider->RelationNames()) {
+    std::string key = ToLower(name);
+    if (virtual_relations_.count(key) == 0) virtual_order_.push_back(name);
+    virtual_relations_[key] = {provider, name};
+  }
+}
+
+bool Database::IsVirtual(const std::string& name) const {
+  return virtual_relations_.count(ToLower(name)) > 0;
+}
+
+Result<Relation> Database::MaterializeVirtual(const std::string& name) const {
+  auto it = virtual_relations_.find(ToLower(name));
+  if (it == virtual_relations_.end()) {
+    return Status::NotFound("no virtual relation named '" + name + "'");
+  }
+  return it->second.first->Materialize(it->second.second);
+}
+
+std::vector<std::string> Database::VirtualRelationNames() const {
+  return virtual_order_;
 }
 
 }  // namespace iqs

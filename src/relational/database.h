@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "relational/index.h"
 #include "relational/relation.h"
+#include "relational/virtual_relation.h"
 
 namespace iqs {
 
@@ -28,11 +29,15 @@ class Database {
       : relations_(std::move(other.relations_)),
         creation_order_(std::move(other.creation_order_)),
         indexes_(std::move(other.indexes_)),
+        virtual_relations_(std::move(other.virtual_relations_)),
+        virtual_order_(std::move(other.virtual_order_)),
         epoch_(other.epoch_.load(std::memory_order_relaxed)) {}
   Database& operator=(Database&& other) noexcept {
     relations_ = std::move(other.relations_);
     creation_order_ = std::move(other.creation_order_);
     indexes_ = std::move(other.indexes_);
+    virtual_relations_ = std::move(other.virtual_relations_);
+    virtual_order_ = std::move(other.virtual_order_);
     epoch_.store(other.epoch_.load(std::memory_order_relaxed),
                  std::memory_order_relaxed);
     return *this;
@@ -81,6 +86,26 @@ class Database {
   std::vector<std::string> IndexedAttributes(
       const std::string& relation) const;
 
+  // ---- virtual relations (sys.* catalog) -----------------------------
+
+  // Registers a provider of read-only virtual relations. The provider
+  // must outlive the database (IqsSystem owns both). Later registrations
+  // win on name collisions, though providers are expected to serve
+  // disjoint names.
+  void RegisterVirtualProvider(const VirtualRelationProvider* provider);
+
+  // True when `name` is served by a registered virtual provider.
+  bool IsVirtual(const std::string& name) const;
+
+  // Materializes a fresh snapshot of the named virtual relation;
+  // NotFound when no provider serves it. Virtual relations are never
+  // stored: every call rebuilds from live state.
+  Result<Relation> MaterializeVirtual(const std::string& name) const;
+
+  // Dotted names of all registered virtual relations, in registration
+  // order (providers first, then their declared order).
+  std::vector<std::string> VirtualRelationNames() const;
+
  private:
   void InvalidateIndexes(const std::string& lower_name);
 
@@ -89,6 +114,11 @@ class Database {
   std::vector<std::string> creation_order_;
   // Keyed by (lower relation, lower attribute).
   std::map<std::pair<std::string, std::string>, SortedIndex> indexes_;
+  // Lower-cased virtual name -> (provider, registered spelling).
+  std::map<std::string,
+           std::pair<const VirtualRelationProvider*, std::string>>
+      virtual_relations_;
+  std::vector<std::string> virtual_order_;
   std::atomic<uint64_t> epoch_{0};
 };
 

@@ -16,12 +16,43 @@ const char* CompareOpSymbol(CompareOp op) {
       return ">";
     case CompareOp::kGe:
       return ">=";
+    case CompareOp::kLike:
+      return "LIKE";
   }
   return "?";
 }
 
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  // Iterative greedy matcher with backtracking over the last '%': the
+  // classic O(n*m) wildcard algorithm, sufficient for catalog queries.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
 Result<bool> ApplyCompare(CompareOp op, const Value& lhs, const Value& rhs) {
   if (lhs.is_null() || rhs.is_null()) return false;
+  if (op == CompareOp::kLike) {
+    // LIKE matches over the rendered string forms, so integer-typed
+    // catalog columns still answer `value LIKE '1%'`.
+    return LikeMatch(lhs.ToString(), rhs.ToString());
+  }
   if (!lhs.ComparableWith(rhs)) {
     return Status::TypeError(std::string("cannot compare ") +
                              ValueTypeName(lhs.type()) + " with " +
@@ -41,6 +72,8 @@ Result<bool> ApplyCompare(CompareOp op, const Value& lhs, const Value& rhs) {
       return c > 0;
     case CompareOp::kGe:
       return c >= 0;
+    case CompareOp::kLike:
+      break;  // handled above
   }
   return Status::Internal("unreachable compare op");
 }

@@ -12,6 +12,9 @@
 namespace iqs {
 
 // Comparison operators available in WHERE clauses and rule conditions.
+// kLike is SQL pattern matching ('%' any sequence, '_' any single
+// character, case-sensitive) over the string forms of both operands; it
+// never describes an interval, so induction/inference skip it.
 enum class CompareOp {
   kEq,
   kNe,
@@ -19,9 +22,13 @@ enum class CompareOp {
   kLe,
   kGt,
   kGe,
+  kLike,
 };
 
 const char* CompareOpSymbol(CompareOp op);
+
+// SQL LIKE semantics: does `text` match `pattern`?
+bool LikeMatch(const std::string& text, const std::string& pattern);
 
 // Applies `op` to two values. Comparisons involving null are false (a
 // simplification of SQL's three-valued logic; the library never relies on

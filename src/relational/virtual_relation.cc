@@ -1,0 +1,18 @@
+#include "relational/virtual_relation.h"
+
+#include <cctype>
+
+namespace iqs {
+
+bool IsSysRelationName(const std::string& name) {
+  const std::string prefix = kSysSchemaPrefix;
+  if (name.size() < prefix.size()) return false;
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(name[i])) != prefix[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace iqs

@@ -41,6 +41,9 @@ Result<Interval> Interval::FromCompare(CompareOp op, Value constant) {
     case CompareOp::kNe:
       return Status::InvalidArgument(
           "'!=' does not describe a single interval");
+    case CompareOp::kLike:
+      return Status::InvalidArgument(
+          "LIKE does not describe a single interval");
   }
   return Status::Internal("unreachable compare op");
 }

@@ -291,17 +291,29 @@ Result<Relation> SqlExecutor::ExecuteInternal(
     return std::nullopt;
   };
 
-  // Load and qualify each table.
+  // Load and qualify each table. Virtual (sys.*) relations are
+  // materialized from live registries per scan; they have no indexes, so
+  // the fast path only applies to stored relations.
   std::vector<Relation> tables;
   std::set<std::string> names;
   for (const TableRef& ref : stmt.from) {
-    IQS_ASSIGN_OR_RETURN(const Relation* rel, db_->Get(ref.name));
+    std::optional<Relation> materialized;
+    const Relation* rel = nullptr;
+    if (db_->IsVirtual(ref.name)) {
+      IQS_ASSIGN_OR_RETURN(Relation snapshot,
+                           db_->MaterializeVirtual(ref.name));
+      materialized = std::move(snapshot);
+      rel = &*materialized;
+    } else {
+      IQS_ASSIGN_OR_RETURN(rel, db_->Get(ref.name));
+    }
     std::string effective = ref.effective_name();
     if (!names.insert(ToLower(effective)).second) {
       return Status::InvalidArgument("duplicate table name/alias '" +
                                      effective + "' in FROM");
     }
-    std::optional<std::vector<size_t>> admitted = index_rows(ref, *rel);
+    std::optional<std::vector<size_t>> admitted =
+        materialized.has_value() ? std::nullopt : index_rows(ref, *rel);
     if (admitted.has_value()) {
       ++stats_.index_prefiltered_tables;
       Relation filtered(rel->name(), rel->schema());

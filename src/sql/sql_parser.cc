@@ -55,7 +55,8 @@ class Parser {
   static bool IsReserved(const SqlToken& t) {
     for (const char* kw :
          {"select", "from", "where", "and", "or", "not", "order", "by",
-          "distinct", "between", "as", "asc", "desc", "group", "having"}) {
+          "distinct", "between", "like", "as", "asc", "desc", "group",
+          "having"}) {
       if (t.IsKeyword(kw)) return true;
     }
     return false;
@@ -94,16 +95,29 @@ class Parser {
     return item;
   }
 
-  Result<ColumnRef> ParseColumnRef() {
-    IQS_ASSIGN_OR_RETURN(std::string first, ExpectIdent("a column name"));
-    ColumnRef ref;
-    if (Peek().IsSymbol(".")) {
+  // "ident(.ident)*" — dotted names name catalog relations (sys.metrics),
+  // so a column ref may carry any number of leading qualifier segments.
+  Result<std::vector<std::string>> ParseDottedParts(const std::string& what) {
+    std::vector<std::string> parts;
+    IQS_ASSIGN_OR_RETURN(std::string first, ExpectIdent(what));
+    parts.push_back(std::move(first));
+    while (Peek().IsSymbol(".")) {
       Advance();
-      IQS_ASSIGN_OR_RETURN(std::string second, ExpectIdent("a column name"));
-      ref.qualifier = std::move(first);
-      ref.name = std::move(second);
-    } else {
-      ref.name = std::move(first);
+      IQS_ASSIGN_OR_RETURN(std::string next, ExpectIdent(what));
+      parts.push_back(std::move(next));
+    }
+    return parts;
+  }
+
+  Result<ColumnRef> ParseColumnRef() {
+    IQS_ASSIGN_OR_RETURN(std::vector<std::string> parts,
+                         ParseDottedParts("a column name"));
+    ColumnRef ref;
+    ref.name = std::move(parts.back());
+    parts.pop_back();
+    for (size_t i = 0; i < parts.size(); ++i) {
+      if (i > 0) ref.qualifier += '.';
+      ref.qualifier += parts[i];
     }
     return ref;
   }
@@ -132,7 +146,12 @@ class Parser {
     IQS_RETURN_IF_ERROR(ExpectKeyword("from"));
     while (true) {
       TableRef table;
-      IQS_ASSIGN_OR_RETURN(table.name, ExpectIdent("a table name"));
+      IQS_ASSIGN_OR_RETURN(std::vector<std::string> parts,
+                           ParseDottedParts("a table name"));
+      for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) table.name += '.';
+        table.name += parts[i];
+      }
       if (Peek().IsKeyword("as")) {
         Advance();
         IQS_ASSIGN_OR_RETURN(table.alias, ExpectIdent("an alias"));
@@ -256,7 +275,9 @@ class Parser {
       return node;
     }
     CompareOp op;
-    if (Peek().IsSymbol("=")) {
+    if (Peek().IsKeyword("like")) {
+      op = CompareOp::kLike;
+    } else if (Peek().IsSymbol("=")) {
       op = CompareOp::kEq;
     } else if (Peek().IsSymbol("!=")) {
       op = CompareOp::kNe;

@@ -8,6 +8,8 @@
 // beyond the OS scheduler itself.
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <random>
 #include <string>
@@ -18,7 +20,9 @@
 #include "exec/thread_pool.h"
 #include "fault/failpoint.h"
 #include "gtest/gtest.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
+#include "tests/json_test_util.h"
 #include "tests/test_util.h"
 
 namespace iqs {
@@ -308,6 +312,121 @@ TEST(ConcurrencyStressTest, CacheReadersRacingInvalidationStorm) {
     EXPECT_EQ(warm->extensional.ToTable(), expected[sql]) << sql;
   }
   EXPECT_GT(cache.answers().counters().hits, 0u);
+}
+
+TEST(ConcurrencyStressTest, QueryLogSinkRace) {
+  // Appenders, a ring reader, a flusher, and a knob-twiddler all hit one
+  // QueryLog with a file sink and a tiny rotation budget. Correctness
+  // bar: no lost appends, every flushed line is complete JSON (rotation
+  // never splits a record), and no data races under -DIQS_SANITIZE=thread.
+  std::string dir = ::testing::TempDir() + "/iqs_qlog_race";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  obs::QueryLog log(/*ring_capacity=*/32);
+  ASSERT_OK(log.SetFile(dir + "/q.jsonl"));
+  log.set_rotate_bytes(2048);
+
+  constexpr int kWriters = 3;
+  const int per_writer = kIterations * 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < per_writer; ++i) {
+        obs::QueryLogRecord r;
+        r.sql = "select " + std::to_string(w) + "/" + std::to_string(i);
+        r.mode = "combined";
+        r.stats.total_micros = i;
+        log.Append(std::move(r));
+      }
+    });
+  }
+  threads.emplace_back([&] {  // ring reader
+    for (int i = 0; i < per_writer; ++i) {
+      for (const obs::QueryLogRecord& r : log.Recent()) {
+        if (r.sql.empty()) failures.fetch_add(1);
+      }
+    }
+  });
+  threads.emplace_back([&] {  // flusher
+    for (int i = 0; i < per_writer; ++i) log.Flush();
+  });
+  threads.emplace_back([&] {  // knob twiddler
+    for (int i = 0; i < per_writer; ++i) {
+      log.set_slow_micros(i % 2 == 0 ? 0 : 100);
+      log.set_rotate_bytes(i % 2 == 0 ? 2048 : 4096);
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  log.Flush();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(log.appended(), static_cast<uint64_t>(kWriters * per_writer));
+
+  size_t lines = 0;
+  for (const std::string& file : {dir + "/q.jsonl", dir + "/q.jsonl.1"}) {
+    std::ifstream in(file);
+    std::string line;
+    while (std::getline(in, line)) {
+      ++lines;
+      EXPECT_TRUE(testing_util::IsValidJson(line)) << file << ": " << line;
+    }
+  }
+  EXPECT_GT(lines, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ConcurrencyStressTest, CatalogScansRaceLiveQueries) {
+  // sys.* scans materialize from the same registries the query threads
+  // are mutating (metrics, traces, the global query log ring). Every
+  // scan must succeed on a consistent snapshot while the registries
+  // churn underneath.
+  auto system = testing_util::ShipSystemOrFail();
+  ASSERT_TRUE(system);
+  InductionConfig nc3;
+  nc3.min_support = 3;
+  ASSERT_OK(system->Induce(nc3));
+  exec::SetGlobalThreadCount(4);
+
+  std::atomic<int> failures{0};
+  auto note_failure = [&failures](const std::string& what) {
+    failures.fetch_add(1);
+    ADD_FAILURE() << what;
+  };
+
+  const std::vector<std::string> scans = {
+      "SELECT * FROM sys.metrics",
+      "SELECT seq, sql, ok FROM sys.query_log",
+      "SELECT trace_id, root FROM sys.traces",
+      "SELECT name, value FROM sys.metrics WHERE name LIKE 'query.%'",
+  };
+  std::vector<std::thread> threads;
+  for (unsigned seed = 1; seed <= 2; ++seed) {
+    threads.emplace_back([&, seed] {
+      std::mt19937 rng(seed);
+      std::uniform_int_distribution<size_t> pick(0, StressQueries().size() - 1);
+      for (int i = 0; i < kIterations && failures.load() == 0; ++i) {
+        const std::string& sql = StressQueries()[pick(rng)];
+        auto result = system->Query(sql);
+        if (!result.ok()) {
+          note_failure(sql + " -> " + result.status().ToString());
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < kIterations && failures.load() == 0; ++i) {
+      const std::string& sql = scans[i % scans.size()];
+      auto result = system->Query(sql);
+      if (!result.ok()) {
+        note_failure("catalog scan failed under load: " + sql + " -> " +
+                     result.status().ToString());
+      }
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  exec::SetGlobalThreadCount(1);
+  EXPECT_EQ(failures.load(), 0);
 }
 
 TEST(ConcurrencyStressTest, ConcurrentReinductionConverges) {

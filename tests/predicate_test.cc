@@ -114,6 +114,47 @@ TEST(PredicateTest, ToStringUsesSchemaNames) {
   EXPECT_EQ(str->ToString(&schema), "Displacement = 'SSBN'");
 }
 
+TEST(LikeMatchTest, WildcardSemantics) {
+  // '%' matches any run (including empty), '_' exactly one character.
+  EXPECT_TRUE(LikeMatch("cache.plan.hits", "cache.%"));
+  EXPECT_TRUE(LikeMatch("cache.", "cache.%"));
+  EXPECT_FALSE(LikeMatch("cache", "cache.%"));
+  EXPECT_TRUE(LikeMatch("abc", "a_c"));
+  EXPECT_FALSE(LikeMatch("ac", "a_c"));
+  EXPECT_TRUE(LikeMatch("", ""));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  EXPECT_TRUE(LikeMatch("anything", "%"));
+  EXPECT_TRUE(LikeMatch("query.count", "%count"));
+  EXPECT_TRUE(LikeMatch("query.count", "%.%"));
+}
+
+TEST(LikeMatchTest, BacktracksAcrossGreedyWildcards) {
+  // The first '%' must give characters back for the suffix to land.
+  EXPECT_TRUE(LikeMatch("ababab", "%ab"));
+  EXPECT_TRUE(LikeMatch("aXbXcXb", "%X%b"));
+  EXPECT_FALSE(LikeMatch("abc", "%ab%d"));
+  EXPECT_TRUE(LikeMatch("mississippi", "%iss%ppi"));
+  EXPECT_FALSE(LikeMatch("mississippi", "%iss%ppX"));
+}
+
+TEST(LikeMatchTest, LiteralCharactersAreCaseSensitive) {
+  EXPECT_FALSE(LikeMatch("Cache.hits", "cache.%"));
+  EXPECT_TRUE(LikeMatch("Cache.hits", "Cache.%"));
+}
+
+TEST(LikeMatchTest, AppliesToRenderedNonStringValues) {
+  // LIKE compares rendered text, so integer catalog columns match too.
+  ASSERT_OK_AND_ASSIGN(
+      bool v, ApplyCompare(CompareOp::kLike, Value::Int(1234),
+                           Value::String("12%")));
+  EXPECT_TRUE(v);
+  ASSERT_OK_AND_ASSIGN(
+      bool null_like, ApplyCompare(CompareOp::kLike, Value::Null(),
+                                   Value::String("%")));
+  EXPECT_FALSE(null_like);
+}
+
 TEST(PredicateTest, MakeColumnCompareResolvesName) {
   Schema schema({{"A", ValueType::kInt, false},
                  {"B", ValueType::kInt, false}});

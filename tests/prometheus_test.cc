@@ -1,0 +1,373 @@
+// Export-format contracts of the observability layer (DESIGN.md §11):
+// the Prometheus text exposition renderer (grammar, cumulative buckets,
+// +Inf == _count), Chrome trace_event export, and the shared JSON
+// escaping all exports lean on — pinned by a property test over
+// adversarial names. Labeled "obs" in ctest.
+
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tests/json_test_util.h"
+
+namespace iqs {
+namespace obs {
+namespace {
+
+using testing_util::IsValidJson;
+
+// --- mini Prometheus text-exposition parser --------------------------------
+
+bool IsMetricNameChar(char c, bool first) {
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':') {
+    return true;
+  }
+  return !first && std::isdigit(static_cast<unsigned char>(c));
+}
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    if (!IsMetricNameChar(name[i], i == 0)) return false;
+  }
+  return true;
+}
+
+// One parsed sample line: name, optional {le="..."} label, value text.
+struct Sample {
+  std::string name;
+  std::string le;  // empty when unlabeled
+  std::string value;
+};
+
+// Validates the exposition text line by line; fills `samples` and the
+// `# TYPE` declarations. Returns false (with a diagnostic) on any
+// malformed line.
+bool ParseExposition(const std::string& text, std::vector<Sample>* samples,
+                     std::vector<std::pair<std::string, std::string>>* types,
+                     std::string* diag) {
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      *diag = "missing trailing newline";
+      return false;
+    }
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# TYPE <name> <counter|gauge|histogram>"
+      if (line.rfind("# TYPE ", 0) != 0) {
+        *diag = "unexpected comment: " + line;
+        return false;
+      }
+      std::string rest = line.substr(7);
+      size_t sp = rest.find(' ');
+      if (sp == std::string::npos) {
+        *diag = "malformed TYPE line: " + line;
+        return false;
+      }
+      std::string name = rest.substr(0, sp);
+      std::string kind = rest.substr(sp + 1);
+      if (!ValidMetricName(name) ||
+          (kind != "counter" && kind != "gauge" && kind != "histogram")) {
+        *diag = "bad TYPE line: " + line;
+        return false;
+      }
+      types->emplace_back(name, kind);
+      continue;
+    }
+    Sample sample;
+    size_t i = 0;
+    while (i < line.size() && IsMetricNameChar(line[i], i == 0)) ++i;
+    sample.name = line.substr(0, i);
+    if (!ValidMetricName(sample.name)) {
+      *diag = "bad sample name: " + line;
+      return false;
+    }
+    if (i < line.size() && line[i] == '{') {
+      size_t close = line.find('}', i);
+      if (close == std::string::npos) {
+        *diag = "unterminated label set: " + line;
+        return false;
+      }
+      std::string labels = line.substr(i + 1, close - i - 1);
+      if (labels.rfind("le=\"", 0) != 0 || labels.back() != '"') {
+        *diag = "expected le label: " + line;
+        return false;
+      }
+      sample.le = labels.substr(4, labels.size() - 5);
+      i = close + 1;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      *diag = "missing value separator: " + line;
+      return false;
+    }
+    sample.value = line.substr(i + 1);
+    if (sample.value.empty() ||
+        sample.value.find(' ') != std::string::npos) {
+      *diag = "bad value: " + line;
+      return false;
+    }
+    samples->push_back(std::move(sample));
+  }
+  return true;
+}
+
+// --- PrometheusName --------------------------------------------------------
+
+TEST(PrometheusNameTest, SanitizesAndPrefixes) {
+  EXPECT_EQ(PrometheusName("cache.plan.hits"), "iqs_cache_plan_hits");
+  EXPECT_EQ(PrometheusName("query.micros"), "iqs_query_micros");
+  EXPECT_EQ(PrometheusName("weird name-with%chars"),
+            "iqs_weird_name_with_chars");
+  EXPECT_EQ(PrometheusName("colon:kept_0"), "iqs_colon:kept_0");
+  EXPECT_TRUE(ValidMetricName(PrometheusName("0starts.with.digit")));
+}
+
+// --- RenderPrometheus ------------------------------------------------------
+
+MetricsSnapshot MakeSnapshot() {
+  MetricsSnapshot snapshot;
+  snapshot.counters.push_back({"query.count", 42});
+  snapshot.counters.push_back({"cache.plan.hits", 7});
+  snapshot.gauges.push_back({"exec.pool.queue_depth", -3});
+  HistogramSnapshot h;
+  h.name = "query.micros";
+  h.bounds = {10, 100, 1000};
+  h.buckets = {5, 3, 0, 2};  // 2 overflow observations
+  h.count = 10;
+  h.sum = 12345;
+  snapshot.histograms.push_back(std::move(h));
+  return snapshot;
+}
+
+TEST(RenderPrometheusTest, ParsesAsValidExposition) {
+  std::string text = RenderPrometheus(MakeSnapshot());
+  std::vector<Sample> samples;
+  std::vector<std::pair<std::string, std::string>> types;
+  std::string diag;
+  ASSERT_TRUE(ParseExposition(text, &samples, &types, &diag)) << diag;
+  ASSERT_EQ(types.size(), 4u);
+  EXPECT_EQ(types[0].first, "iqs_query_count_total");
+  EXPECT_EQ(types[0].second, "counter");
+  EXPECT_EQ(types[2].first, "iqs_exec_pool_queue_depth");
+  EXPECT_EQ(types[2].second, "gauge");
+  EXPECT_EQ(types[3].first, "iqs_query_micros");
+  EXPECT_EQ(types[3].second, "histogram");
+}
+
+TEST(RenderPrometheusTest, HistogramBucketsAreCumulativeWithInfEqualCount) {
+  std::string text = RenderPrometheus(MakeSnapshot());
+  std::vector<Sample> samples;
+  std::vector<std::pair<std::string, std::string>> types;
+  std::string diag;
+  ASSERT_TRUE(ParseExposition(text, &samples, &types, &diag)) << diag;
+
+  std::vector<uint64_t> buckets;
+  uint64_t inf = 0, count = 0;
+  bool saw_sum = false;
+  for (const Sample& s : samples) {
+    if (s.name == "iqs_query_micros_bucket") {
+      uint64_t v = std::stoull(s.value);
+      if (s.le == "+Inf") {
+        inf = v;
+      } else {
+        buckets.push_back(v);
+      }
+    } else if (s.name == "iqs_query_micros_count") {
+      count = std::stoull(s.value);
+    } else if (s.name == "iqs_query_micros_sum") {
+      saw_sum = true;
+      EXPECT_EQ(s.value, "12345");
+    }
+  }
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0], 5u);
+  EXPECT_EQ(buckets[1], 8u);
+  EXPECT_EQ(buckets[2], 8u);
+  for (size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_GE(buckets[i], buckets[i - 1]) << "buckets must be cumulative";
+  }
+  EXPECT_EQ(inf, 10u) << "+Inf must include the overflow bucket";
+  EXPECT_EQ(count, inf) << "_count must equal the +Inf bucket";
+  EXPECT_TRUE(saw_sum);
+}
+
+TEST(RenderPrometheusTest, GlobalRegistrySnapshotRendersClean) {
+  IQS_COUNTER_INC("promtest.counter");
+  IQS_GAUGE_SET("promtest.gauge", 5);
+  IQS_HISTOGRAM_OBSERVE("promtest.micros", 250);
+  std::string text = RenderPrometheus(GlobalMetrics().Snapshot());
+  std::vector<Sample> samples;
+  std::vector<std::pair<std::string, std::string>> types;
+  std::string diag;
+  ASSERT_TRUE(ParseExposition(text, &samples, &types, &diag)) << diag;
+  EXPECT_FALSE(samples.empty());
+}
+
+TEST(RenderPrometheusTest, EmptySnapshotRendersEmpty) {
+  EXPECT_EQ(RenderPrometheus(MetricsSnapshot{}), "");
+}
+
+// --- JsonEscape property test ----------------------------------------------
+
+// Decodes a JSON string body (the part between the quotes) produced by
+// JsonEscape; returns false on any sequence a strict parser would reject.
+bool JsonUnescape(const std::string& in, std::string* out) {
+  out->clear();
+  for (size_t i = 0; i < in.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(in[i]);
+    if (c < 0x20 || c == '"') return false;
+    if (c != '\\') {
+      out->push_back(static_cast<char>(c));
+      continue;
+    }
+    if (++i >= in.size()) return false;
+    switch (in[i]) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      case 't': out->push_back('\t'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'u': {
+        if (i + 4 >= in.size()) return false;
+        unsigned value = 0;
+        for (int k = 1; k <= 4; ++k) {
+          char h = in[i + k];
+          if (!std::isxdigit(static_cast<unsigned char>(h))) return false;
+          value = value * 16 +
+                  (std::isdigit(static_cast<unsigned char>(h))
+                       ? static_cast<unsigned>(h - '0')
+                       : static_cast<unsigned>(
+                             std::tolower(static_cast<unsigned char>(h)) -
+                             'a' + 10));
+        }
+        if (value > 0xff) return false;  // JsonEscape only emits \u00xx
+        out->push_back(static_cast<char>(value));
+        i += 4;
+        break;
+      }
+      default: return false;
+    }
+  }
+  return true;
+}
+
+TEST(JsonEscapeTest, AdversarialNamesRoundTrip) {
+  // Deterministic LCG over an alphabet biased toward JSON-hostile bytes.
+  const char alphabet[] = {'"', '\\', '\n', '\r', '\t', '\b',
+                           '\x01', '\x1f', '{', '}', '[', ']', ':', ',',
+                           'a', 'Z', '0', ' ', '%', '.',
+                           static_cast<char>(0xc3), static_cast<char>(0xa9)};
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<size_t>(state >> 33);
+  };
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string original;
+    size_t len = next() % 24;
+    for (size_t i = 0; i < len; ++i) {
+      original.push_back(alphabet[next() % sizeof(alphabet)]);
+    }
+    std::string escaped = JsonEscape(original);
+    EXPECT_TRUE(IsValidJson("\"" + escaped + "\""))
+        << "escaping produced invalid JSON for trial " << trial;
+    std::string decoded;
+    ASSERT_TRUE(JsonUnescape(escaped, &decoded)) << "trial " << trial;
+    EXPECT_EQ(decoded, original) << "trial " << trial;
+  }
+}
+
+TEST(JsonEscapeTest, EmbeddedInObjectStaysValid) {
+  std::string hostile = "he said \"hi\\there\"\n\x02end";
+  std::string doc = "{\"k\": \"" + JsonEscape(hostile) + "\"}";
+  EXPECT_TRUE(IsValidJson(doc)) << doc;
+}
+
+// --- Chrome trace export ---------------------------------------------------
+
+Trace MakeTrace() {
+  {
+    ScopedTrace root("export.root");
+    Tracer::Annotate("note", std::string("has \"quotes\" and \\slashes\\"));
+    {
+      ScopedTrace child("export.child");
+      Tracer::Annotate("rows", int64_t{12});
+    }
+  }
+  auto latest = GlobalTraces().Latest();
+  EXPECT_TRUE(latest.has_value());
+  return latest.has_value() ? *latest : Trace();
+}
+
+TEST(ChromeTraceTest, ExportIsValidJsonWithRequiredFields) {
+  Trace trace = MakeTrace();
+  ASSERT_GE(trace.spans().size(), 2u);
+  EXPECT_GT(trace.id(), 0u);
+  std::string json = trace.ToChromeJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"iqs\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": " + std::to_string(trace.id())),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"export.child\""), std::string::npos);
+  // The adversarial annotation survived escaping.
+  EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, MultiTraceExportStacksTimelines) {
+  Trace a = MakeTrace();
+  Trace b = MakeTrace();
+  ASSERT_NE(a.id(), b.id());
+  std::string json = TracesToChromeJson({a, b});
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"tid\": " + std::to_string(a.id())),
+            std::string::npos);
+  EXPECT_NE(json.find("\"tid\": " + std::to_string(b.id())),
+            std::string::npos);
+}
+
+TEST(ChromeTraceTest, EmptyExportIsValid) {
+  EXPECT_TRUE(IsValidJson(TracesToChromeJson({})));
+  EXPECT_TRUE(IsValidJson(Trace().ToChromeJson()));
+}
+
+// --- ring eviction accounting (satellite: obs.trace.dropped) ---------------
+
+TEST(TraceRingTest, EvictionCountsDroppedAndSetsOccupancy) {
+  // Record the traces first: ScopedTrace pushes into GlobalTraces (which
+  // would also update the occupancy gauge), so finish all global pushes
+  // before exercising the local ring.
+  std::vector<Trace> traces;
+  for (int i = 0; i < 5; ++i) {
+    { ScopedTrace scope("ring.fill"); }
+    traces.push_back(GlobalTraces().Latest().value_or(Trace()));
+  }
+  Counter* dropped = GlobalMetrics().GetCounter("obs.trace.dropped");
+  uint64_t before = dropped->value();
+  TraceRing ring(2);
+  for (const Trace& t : traces) ring.Push(t);
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(dropped->value(), before + 3);
+  EXPECT_EQ(GlobalMetrics().GetGauge("obs.trace.ring_occupancy")->value(),
+            2);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace iqs

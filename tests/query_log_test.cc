@@ -1,0 +1,197 @@
+// The structured query log (DESIGN.md §11): ring semantics, slow-query
+// flagging, JSONL sink validity, SetFile handover, and the
+// never-split-a-record rotation contract. Private QueryLog instances
+// drain inline, so every assertion here is deterministic. Labeled
+// "catalog" in ctest (`ctest -L catalog` / check-obs).
+
+#include "obs/query_log.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tests/json_test_util.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace obs {
+namespace {
+
+using testing_util::IsValidJson;
+
+class QueryLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/iqs_qlog_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& file) const { return dir_ + "/" + file; }
+
+  static std::vector<std::string> ReadLines(const std::string& path) {
+    std::vector<std::string> lines;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+  }
+
+  static QueryLogRecord MakeRecord(const std::string& sql,
+                                   int64_t total_micros = 10) {
+    QueryLogRecord r;
+    r.sql = sql;
+    r.mode = "combined";
+    r.stats.total_micros = total_micros;
+    return r;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(QueryLogTest, RecordToJsonIsOneValidLine) {
+  QueryLogRecord r = MakeRecord("select \"quoted\"\nnewline");
+  r.seq = 3;
+  r.trace_id = 9;
+  r.degradations = {"inference: extensional-fallback (engine \"down\")"};
+  std::string json = r.ToJson();
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "JSONL must be one line";
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"seq\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"degradations\": ["), std::string::npos);
+}
+
+TEST_F(QueryLogTest, FailedRecordCarriesError) {
+  QueryLogRecord r = MakeRecord("selec oops");
+  r.ok = false;
+  r.error = "ParseError: near offset 0";
+  std::string json = r.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"error\": "), std::string::npos);
+}
+
+TEST_F(QueryLogTest, AppendAssignsMonotoneSeqAndEvictsRing) {
+  QueryLog log(/*ring_capacity=*/3);
+  for (int i = 0; i < 5; ++i) {
+    log.Append(MakeRecord("q" + std::to_string(i)));
+  }
+  EXPECT_EQ(log.appended(), 5u);
+  std::vector<QueryLogRecord> recent = log.Recent();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].sql, "q2");
+  EXPECT_EQ(recent[2].sql, "q4");
+  EXPECT_EQ(recent[0].seq + 1, recent[1].seq);
+  EXPECT_EQ(recent[1].seq + 1, recent[2].seq);
+  EXPECT_GT(recent[0].unix_micros, 0);
+}
+
+TEST_F(QueryLogTest, SlowThresholdFlagsRecords) {
+  QueryLog log;
+  log.set_slow_micros(1000);
+  log.Append(MakeRecord("fast", /*total_micros=*/999));
+  log.Append(MakeRecord("slow", /*total_micros=*/1000));
+  std::vector<QueryLogRecord> recent = log.Recent();
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_FALSE(recent[0].slow);
+  EXPECT_TRUE(recent[1].slow);
+
+  log.set_slow_micros(0);  // 0 disables the flag entirely
+  log.Append(MakeRecord("huge", /*total_micros=*/1 << 30));
+  EXPECT_FALSE(log.Recent().back().slow);
+}
+
+TEST_F(QueryLogTest, FileSinkWritesValidJsonl) {
+  QueryLog log;
+  ASSERT_OK(log.SetFile(Path("q.jsonl")));
+  log.Append(MakeRecord("select 1"));
+  log.Append(MakeRecord("select \"two\"\twith tab"));
+  log.Flush();
+  std::vector<std::string> lines = ReadLines(Path("q.jsonl"));
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(IsValidJson(line)) << line;
+  }
+}
+
+TEST_F(QueryLogTest, SetFileToMissingDirectoryFails) {
+  QueryLog log;
+  EXPECT_FALSE(log.SetFile(Path("no/such/dir/q.jsonl")).ok());
+  EXPECT_TRUE(log.file_path().empty());
+}
+
+TEST_F(QueryLogTest, ClosingSinkStopsWritesAndReopeningAppends) {
+  QueryLog log;
+  ASSERT_OK(log.SetFile(Path("q.jsonl")));
+  log.Append(MakeRecord("first"));
+  log.Flush();
+  ASSERT_OK(log.SetFile(""));  // close
+  log.Append(MakeRecord("unsinked"));
+  log.Flush();
+  ASSERT_OK(log.SetFile(Path("q.jsonl")));  // reopen appends
+  log.Append(MakeRecord("second"));
+  log.Flush();
+  std::vector<std::string> lines = ReadLines(Path("q.jsonl"));
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("first"), std::string::npos);
+  EXPECT_NE(lines[1].find("second"), std::string::npos);
+}
+
+TEST_F(QueryLogTest, RotationNeverSplitsARecord) {
+  QueryLog log;
+  ASSERT_OK(log.SetFile(Path("q.jsonl")));
+  // Each record's line is ~300 bytes; rotate after ~2 lines.
+  log.set_rotate_bytes(700);
+  const int kRecords = 9;
+  for (int i = 0; i < kRecords; ++i) {
+    log.Append(MakeRecord("rotating statement number " + std::to_string(i)));
+    log.Flush();  // flush each to exercise the boundary repeatedly
+  }
+  ASSERT_TRUE(std::filesystem::exists(Path("q.jsonl.1")))
+      << "rotation never happened";
+  std::vector<std::string> current = ReadLines(Path("q.jsonl"));
+  std::vector<std::string> rotated = ReadLines(Path("q.jsonl.1"));
+  // Only one generation is kept: current + newest rotation. Every line in
+  // both files must be a complete, parseable record (never split).
+  EXPECT_FALSE(rotated.empty());
+  for (const std::string& line : current) {
+    EXPECT_TRUE(IsValidJson(line)) << line;
+  }
+  for (const std::string& line : rotated) {
+    EXPECT_TRUE(IsValidJson(line)) << line;
+  }
+  EXPECT_LE(current.size() + rotated.size(),
+            static_cast<size_t>(kRecords));
+  // The newest record is in the current file.
+  ASSERT_FALSE(current.empty());
+  EXPECT_NE(current.back().find("number 8"), std::string::npos);
+}
+
+TEST_F(QueryLogTest, RotationBoundaryIsByteExact) {
+  QueryLog log;
+  ASSERT_OK(log.SetFile(Path("q.jsonl")));
+  // Measure one real line (timestamps vary in length across machines,
+  // not across consecutive appends), then allow exactly two and a half:
+  // the third append must rotate, carrying the first two lines to .1.
+  log.Append(MakeRecord("x"));
+  log.Flush();
+  uint64_t line_bytes = std::filesystem::file_size(Path("q.jsonl"));
+  ASSERT_GT(line_bytes, 0u);
+  log.set_rotate_bytes(2 * line_bytes + line_bytes / 2);
+  log.Append(MakeRecord("x"));
+  log.Flush();
+  EXPECT_FALSE(std::filesystem::exists(Path("q.jsonl.1")));
+  log.Append(MakeRecord("x"));
+  log.Flush();
+  EXPECT_TRUE(std::filesystem::exists(Path("q.jsonl.1")));
+  EXPECT_EQ(ReadLines(Path("q.jsonl.1")).size(), 2u);
+  EXPECT_EQ(ReadLines(Path("q.jsonl")).size(), 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace iqs

@@ -1,0 +1,237 @@
+// The sys.* virtual catalog (DESIGN.md §11) through the *stock* query
+// paths: every relation scans via plain SELECT, LIKE filters work, scans
+// are live (two scans straddling real work disagree), virtual relations
+// join against base relations, QUEL range variables read them, and both
+// languages reject writes. Also pins the reserved "sys." prefix and that
+// a rotated JSONL query log living next to a snapshot leaves the
+// snapshot fsck-clean. Labeled "catalog" in ctest (check-obs).
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/persistence.h"
+#include "core/snapshot.h"
+#include "core/system.h"
+#include "fault/failpoint.h"
+#include "gtest/gtest.h"
+#include "obs/query_log.h"
+#include "quel/quel_session.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+using testing_util::ColumnText;
+using testing_util::MakeRelation;
+using testing_util::ShipSystemOrFail;
+
+class SysCatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    system_ = ShipSystemOrFail();
+    ASSERT_NE(system_, nullptr);
+  }
+
+  Relation Run(const std::string& sql) {
+    auto result = system_->Query(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status();
+    return result.ok() ? std::move(result->extensional) : Relation();
+  }
+
+  // Integer value of one named metric, read through the SQL surface.
+  int64_t MetricValue(const std::string& metric) {
+    Relation rel = Run("SELECT value FROM sys.metrics WHERE name = '" +
+                       metric + "'");
+    EXPECT_EQ(rel.size(), 1u) << metric;
+    if (rel.size() != 1) return -1;
+    return std::stoll(ColumnText(rel, "value")[0]);
+  }
+
+  std::unique_ptr<IqsSystem> system_;
+};
+
+TEST_F(SysCatalogTest, EveryCatalogRelationScansAndExplains) {
+  const std::vector<std::string> expected = {
+      "sys.metrics",   "sys.histograms",   "sys.traces",
+      "sys.spans",     "sys.query_log",    "sys.cache",
+      "sys.rules",     "sys.degradations", "sys.failpoints"};
+  std::vector<std::string> registered =
+      system_->database().VirtualRelationNames();
+  for (const std::string& name : expected) {
+    EXPECT_TRUE(system_->database().IsVirtual(name)) << name;
+  }
+  EXPECT_EQ(registered.size(), expected.size());
+
+  for (const std::string& name : expected) {
+    auto result = system_->Query("SELECT * FROM " + name);
+    ASSERT_TRUE(result.ok()) << name << " -> " << result.status();
+    std::string prose = system_->Explain(*result);
+    EXPECT_FALSE(prose.empty()) << name;
+  }
+}
+
+TEST_F(SysCatalogTest, LikeFilterSelectsOneMetricFamily) {
+  // Populate the cache.* counters, then carve them out with LIKE.
+  Run("SELECT Id FROM SUBMARINE WHERE Class = '0204'");
+  Relation rel =
+      Run("SELECT name, value FROM sys.metrics WHERE name LIKE 'cache.%'");
+  ASSERT_GT(rel.size(), 0u);
+  for (const std::string& name : ColumnText(rel, "name")) {
+    EXPECT_EQ(name.rfind("cache.", 0), 0u) << name;
+  }
+}
+
+TEST_F(SysCatalogTest, MetricsScanIsLive) {
+  Run("SELECT Id FROM SUBMARINE");  // ensure query.count exists
+  int64_t before = MetricValue("query.count");
+  Run("SELECT Class FROM CLASS WHERE Displacement > 8000");
+  int64_t after = MetricValue("query.count");
+  // Both catalog scans are themselves queries, so the delta is at
+  // least 2 (the CLASS query plus the first catalog scan).
+  EXPECT_GE(after, before + 2);
+}
+
+TEST_F(SysCatalogTest, QueryLogScanSeesEarlierQueries) {
+  Run("SELECT Id FROM SUBMARINE WHERE Id = 'Q31337'");
+  Relation rel = Run("SELECT seq, sql FROM sys.query_log WHERE ok = 1");
+  ASSERT_GT(rel.size(), 0u);
+  bool found = false;
+  for (const std::string& sql : ColumnText(rel, "sql")) {
+    if (sql.find("31337") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found) << "distinctive query not in sys.query_log";
+}
+
+TEST_F(SysCatalogTest, TraceAndSpanScansSeeEarlierQueries) {
+  Run("SELECT Id FROM SUBMARINE");
+  Relation traces = Run("SELECT trace_id, root FROM sys.traces");
+  ASSERT_GT(traces.size(), 0u);
+  bool rooted = false;
+  for (const std::string& root : ColumnText(traces, "root")) {
+    if (root == "sql.query") rooted = true;
+  }
+  EXPECT_TRUE(rooted) << "no sql.query trace recorded";
+
+  Relation spans =
+      Run("SELECT name FROM sys.spans WHERE name = 'query.process'");
+  EXPECT_GT(spans.size(), 0u);
+}
+
+TEST_F(SysCatalogTest, VirtualRelationJoinsAgainstBaseRelation) {
+  // A user watchlist of metric names, joined against the live registry
+  // through the completely ordinary join path.
+  Schema schema({{"metric", ValueType::kString, false}});
+  ASSERT_OK(system_->database().AddRelation(MakeRelation(
+      "WATCH", schema, {{"query.count"}, {"no.such.metric"}})));
+  Run("SELECT Id FROM SUBMARINE");  // ensure query.count exists
+
+  Relation rel = Run(
+      "SELECT WATCH.metric, sys.metrics.value FROM WATCH, sys.metrics "
+      "WHERE sys.metrics.name = WATCH.metric");
+  ASSERT_EQ(rel.size(), 1u);
+  EXPECT_EQ(ColumnText(rel, "metric")[0], "query.count");
+  EXPECT_GT(std::stoll(ColumnText(rel, "value")[0]), 0);
+}
+
+TEST_F(SysCatalogTest, ArmedFailpointIsVisibleInCatalog) {
+  ASSERT_OK(fault::FailpointRegistry::Global().Set("test.syscat",
+                                                   "error(internal)"));
+  Relation armed =
+      Run("SELECT name, spec FROM sys.failpoints WHERE armed = 1");
+  std::vector<std::string> names = ColumnText(armed, "name");
+  EXPECT_NE(std::find(names.begin(), names.end(), "test.syscat"),
+            names.end());
+
+  ASSERT_OK(fault::FailpointRegistry::Global().Set("test.syscat", "off"));
+  armed = Run("SELECT name FROM sys.failpoints WHERE armed = 1");
+  names = ColumnText(armed, "name");
+  EXPECT_EQ(std::find(names.begin(), names.end(), "test.syscat"),
+            names.end());
+}
+
+TEST_F(SysCatalogTest, CacheCatalogShowsBothCaches) {
+  Relation rel = Run("SELECT cache, size, hits FROM sys.cache");
+  std::vector<std::string> kinds = ColumnText(rel, "cache");
+  ASSERT_EQ(kinds.size(), 2u);
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), "plan"), kinds.end());
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), "answer"), kinds.end());
+}
+
+TEST_F(SysCatalogTest, RulesCatalogReflectsInduction) {
+  Relation before = Run("SELECT id FROM sys.rules WHERE source = 'induced'");
+  EXPECT_EQ(before.size(), 0u);
+  InductionConfig config;
+  config.min_support = 3;
+  ASSERT_OK(system_->Induce(config));
+  Relation after = Run("SELECT id, body FROM sys.rules "
+                       "WHERE source = 'induced'");
+  EXPECT_GT(after.size(), 0u);
+}
+
+TEST_F(SysCatalogTest, SysPrefixIsReservedForUserRelations) {
+  Schema schema({{"x", ValueType::kInt, false}});
+  EXPECT_FALSE(system_->database().CreateRelation("sys.mine", schema).ok());
+  EXPECT_FALSE(
+      system_->database().AddRelation(Relation("sys.mine", schema)).ok());
+  // Shadowing an existing catalog relation is equally rejected.
+  EXPECT_FALSE(
+      system_->database().AddRelation(Relation("SYS.METRICS", schema)).ok());
+}
+
+TEST_F(SysCatalogTest, QuelReadsCatalogAndRejectsWrites) {
+  Run("SELECT Id FROM SUBMARINE");  // ensure query.count exists
+  QuelSession session(&system_->database());
+  ASSERT_OK(session.ExecuteText("range of m is sys.metrics").status());
+  auto read = session.ExecuteText(
+      "retrieve (m.name, m.value) where m.name = \"query.count\"");
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->relation.size(), 1u);
+
+  auto del = session.ExecuteText("delete m");
+  ASSERT_FALSE(del.ok());
+  EXPECT_NE(del.status().ToString().find("read-only"), std::string::npos);
+
+  auto append = session.ExecuteText(
+      "append to sys.metrics (name = \"x\", kind = \"counter\", value = 1)");
+  EXPECT_FALSE(append.ok());
+
+  auto into = session.ExecuteText("retrieve into sys.copy (m.name)");
+  EXPECT_FALSE(into.ok());
+}
+
+TEST_F(SysCatalogTest, RotatedQueryLogLeavesSnapshotFsckClean) {
+  std::string dir = ::testing::TempDir() + "/iqs_syscat_fsck";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  ASSERT_OK(SaveSystem(system_.get(), dir));
+
+  // Park the global query log inside the snapshot directory with a tiny
+  // rotation budget, and push queries through until it rotates.
+  obs::QueryLog& log = obs::GlobalQueryLog();
+  ASSERT_OK(log.SetFile(dir + "/query_log.jsonl"));
+  log.set_rotate_bytes(512);
+  for (int i = 0; i < 8; ++i) {
+    Run("SELECT Id FROM SUBMARINE WHERE Id = 'X" + std::to_string(i) + "'");
+    log.Flush();
+  }
+  ASSERT_TRUE(std::filesystem::exists(dir + "/query_log.jsonl.1"))
+      << "query log never rotated";
+  ASSERT_OK(log.SetFile(""));
+  log.set_rotate_bytes(1 << 20);  // restore the default
+
+  // The snapshot must still verify, and load, with the foreign JSONL
+  // files sitting beside it.
+  ASSERT_OK_AND_ASSIGN(persist::FsckReport report, persist::FsckDirectory(dir));
+  EXPECT_TRUE(report.healthy()) << report.ToString();
+  auto loaded = LoadSystem(dir);
+  EXPECT_TRUE(loaded.ok()) << loaded.status();
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace iqs
