@@ -1,96 +1,195 @@
-// Experiment E11 (extension; DESIGN.md): semantic query optimization
-// with induced rules — the other use of the knowledge base, per the
-// paper's §1 discussion of [KING81, HAMM80] and the authors' companion
-// work (CHU90). For type-equality queries, the optimizer derives the
-// converse restriction from complete rule families and reports the scan
-// reduction an index-driven plan realizes, plus the completeness hazard
-// pruning introduces.
+// Experiment E11 (DESIGN.md §12): semantic query optimization with
+// induced rules — the other use of the knowledge base, per the paper's
+// §1 discussion of [KING81, HAMM80] and the authors' companion work
+// (CHU90). The rewrite pass runs inside the query processor, so the
+// bench measures end-to-end what the optimizer buys on a 2400-ship
+// fleet with an index on Displacement:
+//   * scan narrowing  — Type = '<t>' gains the converse displacement
+//     band as a BETWEEN the index fast path drives;
+//   * predicate elimination — a Displacement conjunct the band implies
+//     is dropped from the WHERE;
+//   * empty proof     — a Displacement conjunct disjoint from the band
+//     skips the scan outright;
+//   * intensional-only answering (mode = intensional) — the answer
+//     comes from the rules alone.
+// Plus the completeness hazard that limits all of this to complete
+// families (Appendix C: pruning loses the Typhoon).
 
 #include <cstdio>
 #include <iostream>
+#include <string>
 
+#include "bench_report.h"
 #include "core/semantic_optimizer.h"
 #include "core/system.h"
 #include "induction/ils.h"
 #include "testbed/fleet_generator.h"
 #include "testbed/ship_db.h"
 
+namespace {
+
+// Runs `sql` under the given rewrite mode and returns the result; exits
+// the bench on failure (these queries must work).
+iqs::QueryResult Run(const iqs::IqsSystem& system, iqs::SqoMode mode,
+                     const std::string& sql) {
+  system.processor().set_sqo_mode(mode);
+  auto result = system.Query(sql);
+  if (!result.ok()) {
+    std::cerr << "query failed: " << sql << ": " << result.status() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
+
 int main() {
   std::printf("=== E11: semantic query optimization with induced rules ===\n\n");
 
-  // Fleet at scale: Type = '<t>' queries get displacement-band
-  // restrictions.
   auto fleet = iqs::GenerateFleet(200, 11);
   auto catalog = iqs::BuildFleetCatalog();
   if (!fleet.ok() || !catalog.ok()) {
     std::cerr << "setup failed\n";
     return 1;
   }
-  iqs::DataDictionary dictionary(catalog->get());
-  if (!dictionary.BuildFrames().ok() ||
-      !dictionary.ComputeActiveDomains(**fleet).ok()) {
+  auto system_or =
+      iqs::IqsSystem::Create(std::move(fleet).value(),
+                             std::move(catalog).value());
+  if (!system_or.ok()) {
+    std::cerr << "system setup failed\n";
     return 1;
   }
-  iqs::InductiveLearningSubsystem ils(fleet->get(), catalog->get());
+  std::unique_ptr<iqs::IqsSystem> system = std::move(system_or).value();
+  if (!system->database().CreateIndex("BATTLESHIP", "Displacement").ok()) {
+    return 1;
+  }
   iqs::InductionConfig config;
   config.min_support = 3;
-  auto rules = ils.InduceAll(config);
-  if (!rules.ok()) return 1;
-  dictionary.SetInducedRules(std::move(rules).value());
-  iqs::SemanticOptimizer optimizer(&dictionary);
-  auto ships = (*fleet)->Get("BATTLESHIP");
-  if (!ships.ok()) return 1;
+  if (!system->Induce(config).ok()) return 1;
 
-  std::printf("fleet: %zu ships; query: SELECT ... WHERE Type = '<t>'\n\n",
-              (*ships)->size());
-  std::printf("%-6s %-44s %9s %9s %8s\n", "type", "implied restriction",
-              "admitted", "total", "scan");
-  for (const char* type : {"CVN", "SSBN", "DD", "FF", "BB"}) {
-    iqs::QueryDescription query;
-    query.object_types = {"BATTLESHIP"};
-    query.conditions.push_back(iqs::Clause::Equals(
-        "BATTLESHIP.Type", iqs::Value::String(type)));
-    auto implied = optimizer.Derive(query);
-    const iqs::ImpliedCondition* by_displacement = nullptr;
-    for (const iqs::ImpliedCondition& c : implied) {
-      if (c.attribute == "Displacement") by_displacement = &c;
+  // The CVN band from Table 1 — GenerateFleet forces both endpoints to
+  // occur, so the induced family matches the spec exactly and the bench
+  // can build in-band / out-of-band thresholds without peeking at rules.
+  int cvn_lo = 0;
+  int cvn_hi = 0;
+  for (const iqs::FleetTypeSpec& spec : iqs::Table1Specs()) {
+    if (std::string(spec.type) == "CVN") {
+      cvn_lo = spec.displacement_lo;
+      cvn_hi = spec.displacement_hi;
     }
-    if (by_displacement == nullptr) {
-      std::printf("%-6s (no displacement family)\n", type);
-      continue;
-    }
-    auto estimate = optimizer.EstimateScan(*by_displacement, **ships);
-    if (!estimate.ok()) continue;
-    std::printf("%-6s %-44s %9zu %9zu %7.1f%%\n", type,
-                by_displacement->ToString().c_str(), estimate->admitted,
-                estimate->total,
-                100.0 * static_cast<double>(estimate->admitted) /
-                    static_cast<double>(estimate->total));
   }
-  std::printf(
-      "\nshape check: isolated types (CVN, BB) admit ~1/12 of the fleet —\n"
-      "an index on Displacement turns the full scan into a band scan;\n"
-      "overlapping surface types admit more (their families fragment but\n"
-      "stay within the union of observed bands).\n\n");
 
-  // The completeness hazard on the ship database: at Nc = 3 the SSBN
-  // class family is incomplete and the implied restriction would lose
-  // the Typhoon.
-  auto system_or = iqs::BuildShipSystem();
-  if (!system_or.ok()) return 1;
-  std::unique_ptr<iqs::IqsSystem> system = std::move(system_or).value();
+  iqs::bench::BenchReport report("semantic_qo");
+  const std::string kNarrowQuery =
+      "SELECT Name FROM BATTLESHIP WHERE Type = 'CVN'";
+
+  // -- scan narrowing: off vs on ------------------------------------------
+  iqs::QueryResult off = Run(*system, iqs::SqoMode::kOff, kNarrowQuery);
+  iqs::QueryResult on = Run(*system, iqs::SqoMode::kOn, kNarrowQuery);
+  double reduction =
+      on.stats.rows_scanned == 0
+          ? 0.0
+          : static_cast<double>(off.stats.rows_scanned) /
+                static_cast<double>(on.stats.rows_scanned);
+  std::printf("-- scan narrowing (%s) --\n", kNarrowQuery.c_str());
+  std::printf("  sqo off: %llu rows scanned, %llu returned\n",
+              (unsigned long long)off.stats.rows_scanned,
+              (unsigned long long)off.stats.rows_returned);
+  std::printf("  sqo on : %llu rows scanned, %llu returned (%.1fx fewer)\n",
+              (unsigned long long)on.stats.rows_scanned,
+              (unsigned long long)on.stats.rows_returned, reduction);
+  std::string explain = system->Explain(on);
+  std::printf("%s\n", explain.c_str());
+  report.Add("narrow.rows_scanned_off",
+             static_cast<double>(off.stats.rows_scanned), "rows");
+  report.Add("narrow.rows_scanned_on",
+             static_cast<double>(on.stats.rows_scanned), "rows");
+  report.Add("narrow.scan_reduction", reduction, "x");
+  report.AddQueryStats("narrow_off", off.stats);
+  report.AddQueryStats("narrow_on", on.stats);
+  bool ok = true;
+  if (off.stats.rows_returned != on.stats.rows_returned ||
+      on.stats.sqo_narrowed == 0) {
+    std::fprintf(stderr, "FAIL: narrowing did not fire answer-preservingly\n");
+    ok = false;
+  }
+  if (reduction < 2.0) {
+    std::fprintf(stderr, "FAIL: scan reduction %.2fx < 2x\n", reduction);
+    ok = false;
+  }
+
+  // -- predicate elimination ----------------------------------------------
+  const std::string kElimQuery =
+      "SELECT Name FROM BATTLESHIP WHERE Type = 'CVN' AND Displacement > " +
+      std::to_string(cvn_lo - 1);
+  iqs::QueryResult elim_off = Run(*system, iqs::SqoMode::kOff, kElimQuery);
+  iqs::QueryResult elim_on = Run(*system, iqs::SqoMode::kOn, kElimQuery);
+  std::printf("-- predicate elimination (%s) --\n", kElimQuery.c_str());
+  std::printf("  %llu conjunct(s) eliminated; rows returned %llu == %llu\n",
+              (unsigned long long)elim_on.stats.sqo_eliminated,
+              (unsigned long long)elim_on.stats.rows_returned,
+              (unsigned long long)elim_off.stats.rows_returned);
+  std::printf("%s\n", system->Explain(elim_on).c_str());
+  report.Add("eliminate.conjuncts",
+             static_cast<double>(elim_on.stats.sqo_eliminated), "conjuncts");
+  report.AddQueryStats("eliminate_on", elim_on.stats);
+  if (elim_on.stats.sqo_eliminated == 0 ||
+      elim_on.stats.rows_returned != elim_off.stats.rows_returned) {
+    std::fprintf(stderr, "FAIL: elimination did not fire\n");
+    ok = false;
+  }
+
+  // -- empty proof --------------------------------------------------------
+  const std::string kEmptyQuery =
+      "SELECT Name FROM BATTLESHIP WHERE Type = 'CVN' AND Displacement > " +
+      std::to_string(cvn_hi + 1000);
+  iqs::QueryResult empty_on = Run(*system, iqs::SqoMode::kOn, kEmptyQuery);
+  std::printf("-- empty proof (%s) --\n", kEmptyQuery.c_str());
+  std::printf("  proven empty: %s; rows scanned %llu\n",
+              empty_on.stats.sqo_empty_proven ? "yes" : "NO",
+              (unsigned long long)empty_on.stats.rows_scanned);
+  std::printf("%s\n", system->Explain(empty_on).c_str());
+  report.Add("empty.rows_scanned",
+             static_cast<double>(empty_on.stats.rows_scanned), "rows");
+  report.AddQueryStats("empty_on", empty_on.stats);
+  if (!empty_on.stats.sqo_empty_proven || empty_on.stats.rows_scanned != 0 ||
+      empty_on.stats.rows_returned != 0) {
+    std::fprintf(stderr, "FAIL: empty proof did not fire\n");
+    ok = false;
+  }
+
+  // -- intensional-only answering -----------------------------------------
+  iqs::QueryResult intens =
+      Run(*system, iqs::SqoMode::kIntensional, kNarrowQuery);
+  std::printf("-- intensional-only (mode = intensional) --\n");
+  std::printf("  answered intensionally: %s; rows scanned %llu\n",
+              intens.stats.sqo_intensional_only ? "yes" : "NO",
+              (unsigned long long)intens.stats.rows_scanned);
+  std::printf("%s\n", system->Explain(intens).c_str());
+  report.Add("intensional.rows_scanned",
+             static_cast<double>(intens.stats.rows_scanned), "rows");
+  report.AddQueryStats("intensional", intens.stats);
+  system->processor().set_sqo_mode(iqs::SqoMode::kOff);
+
+  // -- completeness hazard (Appendix C, Type = 'SSBN') --------------------
+  // Why only complete families may rewrite: at Nc = 3 with pruning the
+  // SSBN class family loses the run covering class 1301 — the converse
+  // restriction would silently drop the Typhoon.
+  auto ship_or = iqs::BuildShipSystem();
+  if (!ship_or.ok()) return 1;
+  std::unique_ptr<iqs::IqsSystem> ships = std::move(ship_or).value();
   std::printf("-- completeness hazard (Appendix C, Type = 'SSBN') --\n");
   for (bool prune : {true, false}) {
     iqs::InductionConfig ship_config;
     ship_config.min_support = 3;
     ship_config.prune = prune;
-    if (!system->Induce(ship_config).ok()) return 1;
-    iqs::SemanticOptimizer ship_optimizer(&system->dictionary());
+    if (!ships->Induce(ship_config).ok()) return 1;
+    iqs::SemanticOptimizer optimizer(&ships->dictionary());
     iqs::QueryDescription query;
     query.object_types = {"SUBMARINE", "CLASS"};
     query.conditions.push_back(iqs::Clause::Equals(
         "CLASS.Type", iqs::Value::String("SSBN")));
-    auto implied = ship_optimizer.Derive(query);
+    auto implied = optimizer.Derive(query);
     for (const iqs::ImpliedCondition& c : implied) {
       if (c.attribute != "Class") continue;
       std::printf("  pruning %-3s -> %s (admits 1301: %s)\n",
@@ -100,6 +199,8 @@ int main() {
   }
   std::printf(
       "only complete families (pruning off, or schemes untouched by\n"
-      "pruning) may rewrite queries without losing answers.\n");
-  return 0;
+      "pruning) may rewrite queries without losing answers.\n\n");
+
+  if (!report.Write()) return 1;
+  return ok ? 0 : 1;
 }

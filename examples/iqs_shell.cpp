@@ -82,6 +82,14 @@ void PrintHelp() {
       "                        resize both caches (entries, LRU-evicted)\n"
       "  cache                 print cache stats (sizes, hit/miss/evict)\n"
       "  cache clear           drop every cached plan and answer\n"
+      "  set sqo on|off|intensional\n"
+      "                        semantic rewriting from induced rules:\n"
+      "                        'on' applies answer-preserving rewrites\n"
+      "                        (predicate elimination, scan narrowing,\n"
+      "                        empty proofs); 'intensional' additionally\n"
+      "                        answers rule-subsumed queries from the\n"
+      "                        rules alone, skipping the scan\n"
+      "  sqo                   show the current rewrite mode\n"
       "  save <dir>            write a crash-safe snapshot of the system\n"
       "  load <dir>            replace the system with the newest intact\n"
       "                        snapshot in <dir> (reports any recovery)\n"
@@ -407,6 +415,27 @@ int main(int argc, char** argv) {
         continue;
       }
       std::cout << "usage: set cache on|off | set cache capacity <N>\n";
+      continue;
+    }
+    if (iqs::StartsWith(lower, "set sqo")) {
+      std::string arg(iqs::StripWhitespace(lower.substr(7)));
+      if (arg == "on") {
+        system->processor().set_sqo_mode(iqs::SqoMode::kOn);
+      } else if (arg == "off") {
+        system->processor().set_sqo_mode(iqs::SqoMode::kOff);
+      } else if (arg == "intensional") {
+        system->processor().set_sqo_mode(iqs::SqoMode::kIntensional);
+      } else {
+        std::cout << "usage: set sqo on|off|intensional\n";
+        continue;
+      }
+      std::cout << "sqo: "
+                << iqs::SqoModeName(system->processor().sqo_mode()) << "\n";
+      continue;
+    }
+    if (lower == "sqo") {
+      std::cout << "sqo: "
+                << iqs::SqoModeName(system->processor().sqo_mode()) << "\n";
       continue;
     }
     if (lower == "cache" || lower == "cache clear") {

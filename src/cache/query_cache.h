@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "fault/degrade.h"
 #include "inference/engine.h"
 #include "sql/sql_ast.h"
+#include "sql/sqo_rewrite.h"
 
 namespace iqs {
 namespace cache {
@@ -36,6 +38,21 @@ namespace cache {
 struct CachedAnswer {
   IntensionalAnswer answer;
   std::vector<fault::DegradationEvent> degradations;
+};
+
+// A memoized parse plus (optionally) the semantic rewrite computed from
+// it. The statement alone is version-independent — parsing depends only
+// on the text. The rewrite is data- and rule-dependent, so it carries the
+// sqo mode and the rule/db epochs it was derived under; the processor
+// replays it only when all three still match, otherwise it re-optimizes
+// and refreshes the entry. A stale rewrite is therefore never replayed —
+// the statement half of the hit still saves the parse.
+struct CachedPlan {
+  SelectStatement statement;
+  std::optional<RewritePlan> rewrite;
+  SqoMode rewrite_mode = SqoMode::kOff;
+  uint64_t rewrite_rule_epoch = 0;
+  uint64_t rewrite_db_epoch = 0;
 };
 
 // Canonical form of `sql` for plan-cache keying: whitespace runs outside
@@ -77,9 +94,9 @@ class QueryCache {
     answers_.Clear();
   }
 
-  ShardedLruCache<SelectStatement>& plans() { return plans_; }
+  ShardedLruCache<CachedPlan>& plans() { return plans_; }
   ShardedLruCache<CachedAnswer>& answers() { return answers_; }
-  const ShardedLruCache<SelectStatement>& plans() const { return plans_; }
+  const ShardedLruCache<CachedPlan>& plans() const { return plans_; }
   const ShardedLruCache<CachedAnswer>& answers() const { return answers_; }
 
   // Aligned stats block for the shell's `cache` command.
@@ -87,7 +104,7 @@ class QueryCache {
 
  private:
   std::atomic<bool> enabled_{true};
-  ShardedLruCache<SelectStatement> plans_;
+  ShardedLruCache<CachedPlan> plans_;
   ShardedLruCache<CachedAnswer> answers_;
 };
 

@@ -245,6 +245,9 @@ std::string AnswerFormatter::Render(const QueryResult& result) const {
     }
     out += "\n";
   }
+  for (const RewriteStep& step : result.rewrites) {
+    out += "  rewrite: " + step.ToString() + "\n";
+  }
   for (const fault::DegradationEvent& e : result.degradations) {
     if (e.action == fault::DegradeAction::kExtensionalOnly) continue;
     out += "  degraded: " + e.ToString() + "\n";

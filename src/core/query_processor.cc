@@ -279,10 +279,12 @@ Result<QueryResult> IntensionalQueryProcessor::ProcessImpl(
   std::string plan_key;
   if (cache_on) plan_key = cache::NormalizeSql(sql);
   bool plan_hit = false;
+  std::shared_ptr<const cache::CachedPlan> plan;
   if (lookups_on) {
     IQS_SPAN("cache.plan.lookup");
-    if (auto plan = cache_.plans().Lookup(plan_key)) {
-      result.statement = *plan;
+    plan = cache_.plans().Lookup(plan_key);
+    if (plan != nullptr) {
+      result.statement = plan->statement;
       plan_hit = true;
       IQS_COUNTER_INC("cache.plan.hits");
       IQS_SPAN_ANNOTATE("cache_hit", int64_t{1});
@@ -293,8 +295,9 @@ Result<QueryResult> IntensionalQueryProcessor::ProcessImpl(
   if (!plan_hit) {
     IQS_ASSIGN_OR_RETURN(result.statement, ParseSelect(sql));
     if (cache_on && fault::Hit("cache.insert").ok()) {
-      cache_.plans().Insert(
-          plan_key, std::make_shared<const SelectStatement>(result.statement));
+      auto fresh = std::make_shared<cache::CachedPlan>();
+      fresh->statement = result.statement;
+      cache_.plans().Insert(plan_key, std::move(fresh));
       IQS_COUNTER_INC("cache.plan.inserts");
     }
   }
@@ -302,13 +305,113 @@ Result<QueryResult> IntensionalQueryProcessor::ProcessImpl(
   Clock::time_point t1 = Clock::now();
   result.stats.parse_micros = MicrosBetween(t0, t1);
 
+  // The description is derived from the statement AS PARSED, before any
+  // semantic rewrite: the intensional answer characterizes the query the
+  // user asked, and must not shift when the optimizer drops a conjunct
+  // the rules imply.
+  IQS_ASSIGN_OR_RETURN(result.description, Describe(result.statement));
+  Clock::time_point td = Clock::now();
+  result.stats.describe_micros = MicrosBetween(t1, td);
+
+  // ---- semantic rewrite (DESIGN.md §12) ---------------------------------
+  // Runs only on the versioned path: an explicit rule set (ProcessWith)
+  // carries no epochs, and a rewrite whose staleness cannot be judged is
+  // a rewrite that must not fire.
+  const SqoMode sqo = sqo_mode();
+  std::optional<RewritePlan> rewrite;
+  if (sqo != SqoMode::kOff && rules != nullptr && epochs != nullptr) {
+    if (Status fp = fault::Hit("sqo.rewrite"); !fp.ok()) {
+      fault::DegradationEvent event{
+          "sqo", fault::DegradeAction::kSkipRewrite, fp.message()};
+      fault::RecordDegradation(event);
+      result.degradations.push_back(std::move(event));
+    } else if (std::optional<uint64_t> induced_from =
+                   dictionary_->induced_db_epoch();
+               induced_from.has_value() &&
+               *induced_from != epochs->db_epoch) {
+      // The rules were induced from an older database state: they may no
+      // longer describe the rows, so rewriting from them could change
+      // answers. Rewriting pauses until re-induction catches up.
+      IQS_COUNTER_INC("sqo.stale_skips");
+    } else if (plan != nullptr && plan->rewrite.has_value() &&
+               plan->rewrite_mode == sqo &&
+               plan->rewrite_rule_epoch == epochs->rule_epoch &&
+               plan->rewrite_db_epoch == epochs->db_epoch) {
+      // A cached rewrite is replayed only under the exact mode and
+      // epochs it was derived under; anything else re-optimizes.
+      rewrite = plan->rewrite;
+      IQS_COUNTER_INC("sqo.plan_rewrites_reused");
+    } else {
+      Result<RewritePlan> fresh =
+          optimizer_.Rewrite(result.statement, *rules, sqo, *db_, engine_);
+      if (fresh.ok()) {
+        rewrite = std::move(fresh).value();
+        // Cache the rewritten plan under this version — and only while
+        // the version still holds, so a mid-rewrite mutation or
+        // re-induction cannot publish a stale rewrite under a live key.
+        if (rewrite->changed() && cache_on &&
+            fault::Hit("cache.insert").ok() &&
+            dictionary_->rule_epoch() == epochs->rule_epoch &&
+            db_->epoch() == epochs->db_epoch) {
+          auto entry = std::make_shared<cache::CachedPlan>();
+          entry->statement = result.statement;
+          entry->rewrite = *rewrite;
+          entry->rewrite_mode = sqo;
+          entry->rewrite_rule_epoch = epochs->rule_epoch;
+          entry->rewrite_db_epoch = epochs->db_epoch;
+          cache_.plans().Insert(plan_key, std::move(entry));
+          IQS_COUNTER_INC("sqo.plan_rewrites_cached");
+        }
+      } else {
+        // A failed rewrite costs the optimization, never the answer.
+        fault::DegradationEvent event{
+            "sqo", fault::DegradeAction::kSkipRewrite,
+            fresh.status().message()};
+        fault::RecordDegradation(event);
+        result.degradations.push_back(std::move(event));
+      }
+    }
+  }
+  if (rewrite.has_value() && !rewrite->changed()) rewrite.reset();
+  if (rewrite.has_value()) {
+    result.rewrites = rewrite->steps;
+    for (const RewriteStep& step : rewrite->steps) {
+      switch (step.kind) {
+        case RewriteKind::kEliminated:
+          IQS_COUNTER_INC("sqo.eliminated");
+          ++result.stats.sqo_eliminated;
+          break;
+        case RewriteKind::kNarrowed:
+          IQS_COUNTER_INC("sqo.narrowed");
+          ++result.stats.sqo_narrowed;
+          break;
+        case RewriteKind::kEmptyProven:
+          IQS_COUNTER_INC("sqo.empty_proven");
+          result.stats.sqo_empty_proven = true;
+          break;
+        case RewriteKind::kIntensionalOnly:
+          IQS_COUNTER_INC("sqo.intensional_only");
+          result.stats.sqo_intensional_only = true;
+          break;
+      }
+    }
+  }
+
   // The extensional scan retries transient faults with backoff before
-  // giving up — without it there is nothing worth degrading to.
+  // giving up — without it there is nothing worth degrading to. A plan
+  // with a proven-empty (or intensional-only) answer still runs the
+  // pipeline shape over zero rows, so the output schema is identical to
+  // a real scan that found nothing.
+  const SelectStatement& exec_stmt =
+      rewrite.has_value() ? rewrite->statement : result.statement;
+  const bool skip_scan = rewrite.has_value() && rewrite->skip_scan();
   int attempts = 0;
   Result<Relation> extensional = fault::RetryTransientResult<Relation>(
-      "exec.scan", /*max_attempts=*/3, [this, &result, &attempts]() {
+      "exec.scan", /*max_attempts=*/3,
+      [this, &exec_stmt, skip_scan, &attempts]() {
         ++attempts;
-        return executor_.Execute(result.statement);
+        return skip_scan ? executor_.ExecuteSchemaOnly(exec_stmt)
+                         : executor_.Execute(exec_stmt);
       });
   if (!extensional.ok()) return extensional.status();
   result.extensional = std::move(extensional).value();
@@ -320,16 +423,12 @@ Result<QueryResult> IntensionalQueryProcessor::ProcessImpl(
     fault::RecordDegradation(event);
     result.degradations.push_back(std::move(event));
   }
-  Clock::time_point t2 = Clock::now();
-  result.stats.execute_micros = MicrosBetween(t1, t2);
+  Clock::time_point t3 = Clock::now();
+  result.stats.execute_micros = MicrosBetween(td, t3);
   result.stats.rows_scanned = executor_.last_stats().base_rows_loaded;
   result.stats.rows_returned = result.extensional.size();
   result.stats.index_prefiltered_tables =
       executor_.last_stats().index_prefiltered_tables;
-
-  IQS_ASSIGN_OR_RETURN(result.description, Describe(result.statement));
-  Clock::time_point t3 = Clock::now();
-  result.stats.describe_micros = MicrosBetween(t2, t3);
 
   // Intensional-answer cache: the canonical predicate (description +
   // mode) versioned by the epochs this call started under. A hit

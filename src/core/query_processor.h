@@ -1,10 +1,12 @@
 #ifndef IQS_CORE_QUERY_PROCESSOR_H_
 #define IQS_CORE_QUERY_PROCESSOR_H_
 
+#include <atomic>
 #include <string>
 #include <vector>
 
 #include "cache/query_cache.h"
+#include "core/semantic_optimizer.h"
 #include "dictionary/data_dictionary.h"
 #include "fault/degrade.h"
 #include "inference/engine.h"
@@ -12,6 +14,7 @@
 #include "relational/database.h"
 #include "sql/sql_executor.h"
 #include "sql/sql_parser.h"
+#include "sql/sqo_rewrite.h"
 
 namespace iqs {
 
@@ -24,6 +27,12 @@ struct QueryResult {
   Relation extensional;
   QueryDescription description;
   IntensionalAnswer intensional;
+  // Semantic rewrites applied before execution (sqo mode on): one step
+  // per predicate elimination / scan narrowing / empty proof /
+  // intensional-only answer, each naming the rules that justified it.
+  // Empty when the pass is off or declined — `statement` is always the
+  // query as parsed, never the rewritten form.
+  std::vector<RewriteStep> rewrites;
   QueryStats stats;
   // Faults absorbed while producing this result (extensional-only
   // fallback, skipped rules, retries). Empty on a clean run; the
@@ -44,7 +53,8 @@ class IntensionalQueryProcessor {
       : db_(db),
         dictionary_(dictionary),
         executor_(db),
-        engine_(dictionary) {}
+        engine_(dictionary),
+        optimizer_(dictionary) {}
 
   // Executes `sql` and derives the intensional answer with the requested
   // inference mode, using the dictionary's induced rules. Faults in the
@@ -83,6 +93,19 @@ class IntensionalQueryProcessor {
   // through a cache hit returns byte-identical results to a cold run.
   cache::QueryCache& cache() const { return cache_; }
 
+  // Semantic-rewrite mode (DESIGN.md §12). kOff by default: every query
+  // runs the traditional plan unchanged. kOn applies only
+  // answer-preserving rewrites, so like the cache it is invisible in the
+  // extensional answer (the differential harness holds it to that);
+  // kIntensional additionally answers rule-subsumed queries from the
+  // rules alone, with the extensional scan deliberately skipped.
+  SqoMode sqo_mode() const {
+    return sqo_mode_.load(std::memory_order_relaxed);
+  }
+  void set_sqo_mode(SqoMode mode) const {
+    sqo_mode_.store(mode, std::memory_order_relaxed);
+  }
+
  private:
   // Epochs a Process() call read *before* doing any work; answers are
   // cached under them, and only if they still hold at insert time.
@@ -106,7 +129,9 @@ class IntensionalQueryProcessor {
   const DataDictionary* dictionary_;
   SqlExecutor executor_;
   InferenceEngine engine_;
+  SemanticOptimizer optimizer_;
   mutable cache::QueryCache cache_;
+  mutable std::atomic<SqoMode> sqo_mode_{SqoMode::kOff};
 };
 
 }  // namespace iqs

@@ -1,6 +1,10 @@
 #include "core/semantic_optimizer.h"
 
+#include <algorithm>
 #include <map>
+#include <optional>
+#include <set>
+#include <utility>
 
 #include "common/string_util.h"
 #include "obs/metrics.h"
@@ -8,6 +12,190 @@
 #include "rules/subsumption.h"
 
 namespace iqs {
+
+namespace {
+
+std::string AttrBaseName(const std::string& attribute) {
+  size_t pos = attribute.rfind('.');
+  return pos == std::string::npos ? attribute : attribute.substr(pos + 1);
+}
+
+// Mirrors the executor's literal coercion (numeric literals against CHAR
+// columns keep their spelling, int widens to real, strings parse as
+// dates) so the rewrite reasons over exactly the values the scan would
+// compare.
+Result<Value> CoerceForColumn(const Value& literal, const std::string& raw,
+                              ValueType type) {
+  if (literal.is_null()) return literal;
+  if (literal.type() == type) return literal;
+  switch (type) {
+    case ValueType::kString:
+      return Value::String(raw.empty() ? literal.ToString() : raw);
+    case ValueType::kReal:
+      if (literal.type() == ValueType::kInt) {
+        return Value::Real(static_cast<double>(literal.AsInt()));
+      }
+      break;
+    case ValueType::kInt:
+      if (literal.type() == ValueType::kReal) return literal;
+      if (literal.type() == ValueType::kString) {
+        return Value::FromText(ValueType::kInt, literal.AsString());
+      }
+      break;
+    case ValueType::kDate:
+      if (literal.type() == ValueType::kString) {
+        return Value::FromText(ValueType::kDate, literal.AsString());
+      }
+      break;
+    default:
+      break;
+  }
+  return Status::TypeError("uncoercible literal");
+}
+
+// A column resolved to its owning FROM entry and schema slot, the way the
+// executor's bind step would resolve it: qualified refs match the entry's
+// effective name (alias wins); unqualified refs must resolve in exactly
+// one entry.
+struct ColumnSite {
+  size_t table = 0;
+  size_t column = 0;
+};
+
+std::optional<ColumnSite> ResolveSite(const Database& db,
+                                      const std::vector<TableRef>& from,
+                                      const ColumnRef& ref) {
+  std::optional<ColumnSite> found;
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (!ref.qualifier.empty() &&
+        !EqualsIgnoreCase(ref.qualifier, from[i].effective_name())) {
+      continue;
+    }
+    Result<const Relation*> rel = db.Get(from[i].name);
+    if (!rel.ok()) return std::nullopt;  // executor will error identically
+    Result<size_t> idx = (*rel)->schema().IndexOf(ref.name);
+    if (!idx.ok()) continue;
+    if (found.has_value()) return std::nullopt;  // ambiguous
+    found = ColumnSite{i, *idx};
+  }
+  return found;
+}
+
+bool NumericType(ValueType t) {
+  return t == ValueType::kInt || t == ValueType::kReal;
+}
+
+// A top-level WHERE conjunct as the optimizer understands it. `safe`
+// means the conjunct cannot raise at bind or eval time (columns resolve,
+// literals coerce, compared domains are comparable) — the precondition
+// for any rewrite of the statement. `recognized` additionally means the
+// conjunct restricts one column to one interval.
+struct BoundConjunct {
+  const SqlExpr* expr = nullptr;
+  bool safe = false;
+  bool recognized = false;
+  size_t table = 0;        // owning FROM entry (recognized only)
+  std::string attribute;   // canonical schema spelling (recognized only)
+  Interval interval;       // admitted values (recognized only)
+  bool has_family = false;          // point seed with a complete family
+  std::vector<int> family_ids;      // ids of those families' rules
+};
+
+BoundConjunct Classify(const Database& db, const std::vector<TableRef>& from,
+                       const SqlExpr* expr) {
+  BoundConjunct b;
+  b.expr = expr;
+  if (expr->kind == SqlExpr::Kind::kComparison) {
+    if (expr->lhs.kind == SqlOperand::Kind::kColumn &&
+        expr->rhs.kind == SqlOperand::Kind::kColumn) {
+      // Join / column-column comparison: safe when both sides resolve to
+      // comparable domains (ApplyCompare never errors then).
+      std::optional<ColumnSite> l = ResolveSite(db, from, expr->lhs.column);
+      std::optional<ColumnSite> r = ResolveSite(db, from, expr->rhs.column);
+      if (!l.has_value() || !r.has_value()) return b;
+      ValueType lt =
+          (*db.Get(from[l->table].name))->schema().attribute(l->column).type;
+      ValueType rt =
+          (*db.Get(from[r->table].name))->schema().attribute(r->column).type;
+      if (lt == rt || (NumericType(lt) && NumericType(rt))) b.safe = true;
+      return b;
+    }
+    const SqlOperand* col = nullptr;
+    const SqlOperand* lit = nullptr;
+    CompareOp op = expr->op;
+    if (expr->lhs.kind == SqlOperand::Kind::kColumn &&
+        expr->rhs.kind == SqlOperand::Kind::kLiteral) {
+      col = &expr->lhs;
+      lit = &expr->rhs;
+    } else if (expr->rhs.kind == SqlOperand::Kind::kColumn &&
+               expr->lhs.kind == SqlOperand::Kind::kLiteral) {
+      col = &expr->rhs;
+      lit = &expr->lhs;
+      switch (op) {  // mirror
+        case CompareOp::kLt: op = CompareOp::kGt; break;
+        case CompareOp::kLe: op = CompareOp::kGe; break;
+        case CompareOp::kGt: op = CompareOp::kLt; break;
+        case CompareOp::kGe: op = CompareOp::kLe; break;
+        default: break;
+      }
+    } else {
+      return b;  // literal-literal: could TypeError at eval
+    }
+    std::optional<ColumnSite> site = ResolveSite(db, from, col->column);
+    if (!site.has_value()) return b;
+    const Relation& rel = **db.Get(from[site->table].name);
+    const AttributeDef& def = rel.schema().attribute(site->column);
+    Result<Value> coerced = CoerceForColumn(lit->literal, lit->raw, def.type);
+    if (!coerced.ok()) return b;
+    if (coerced->is_null()) {
+      b.safe = true;  // null comparisons are false, never an error
+      return b;
+    }
+    if (op == CompareOp::kNe || op == CompareOp::kLike) {
+      b.safe = true;  // total but not interval-representable
+      return b;
+    }
+    Result<Interval> interval = Interval::FromCompare(op, *coerced);
+    if (!interval.ok()) {
+      b.safe = true;
+      return b;
+    }
+    b.safe = true;
+    b.recognized = true;
+    b.table = site->table;
+    b.attribute = def.name;
+    b.interval = *interval;
+    return b;
+  }
+  if (expr->kind == SqlExpr::Kind::kBetween) {
+    if (expr->lhs.kind != SqlOperand::Kind::kColumn ||
+        expr->low.kind != SqlOperand::Kind::kLiteral ||
+        expr->high.kind != SqlOperand::Kind::kLiteral) {
+      return b;
+    }
+    std::optional<ColumnSite> site = ResolveSite(db, from, expr->lhs.column);
+    if (!site.has_value()) return b;
+    const Relation& rel = **db.Get(from[site->table].name);
+    const AttributeDef& def = rel.schema().attribute(site->column);
+    Result<Value> lo = CoerceForColumn(expr->low.literal, expr->low.raw,
+                                       def.type);
+    Result<Value> hi = CoerceForColumn(expr->high.literal, expr->high.raw,
+                                       def.type);
+    if (!lo.ok() || !hi.ok()) return b;
+    b.safe = true;
+    if (lo->is_null() || hi->is_null() || *lo > *hi) return b;  // empty/false
+    Result<Interval> interval = Interval::Closed(*lo, *hi);
+    if (!interval.ok()) return b;
+    b.recognized = true;
+    b.table = site->table;
+    b.attribute = def.name;
+    b.interval = *interval;
+    return b;
+  }
+  return b;  // OR / NOT subtrees: not analyzed, may error at eval
+}
+
+}  // namespace
 
 bool ImpliedCondition::Admits(const Value& v) const {
   for (const Interval& interval : intervals) {
@@ -77,6 +265,302 @@ std::vector<ImpliedCondition> SemanticOptimizer::Derive(
     const QueryDescription& query) const {
   std::shared_ptr<const RuleSet> rules = dictionary_->induced_rules_snapshot();
   return Derive(query, *rules);
+}
+
+Result<RewritePlan> SemanticOptimizer::Rewrite(
+    const SelectStatement& stmt, const RuleSet& rules, SqoMode mode,
+    const Database& db, const InferenceEngine& engine) const {
+  IQS_SPAN("optimizer.rewrite");
+  IQS_COUNTER_INC("optimizer.rewrite.count");
+  RewritePlan plan;
+  plan.statement = stmt;
+  if (mode == SqoMode::kOff || stmt.where == nullptr) return plan;
+  for (const TableRef& ref : stmt.from) {
+    if (db.IsVirtual(ref.name)) return plan;  // sys.* snapshots have no rules
+  }
+
+  std::vector<const SqlExpr*> conjuncts = TopLevelConjuncts(stmt.where.get());
+  std::vector<BoundConjunct> bound;
+  bound.reserve(conjuncts.size());
+  bool all_safe = true;
+  for (const SqlExpr* expr : conjuncts) {
+    bound.push_back(Classify(db, stmt.from, expr));
+    all_safe = all_safe && bound.back().safe;
+  }
+  // Every rewrite changes which rows get loaded or evaluated, so the pass
+  // declines unless no conjunct can raise at eval time: otherwise skipping
+  // a row (or an eval) could suppress an error the unoptimized run
+  // reports, and on/off answers would diverge.
+  if (!all_safe) {
+    IQS_COUNTER_INC("optimizer.rewrite.unshaped");
+    return plan;
+  }
+
+  const size_t n = bound.size();
+  std::vector<bool> eliminated(n, false);
+  // A conjunct whose implication justified a rewrite is pinned: dropping
+  // it later would orphan that justification (mutual implications must
+  // keep one side).
+  std::vector<bool> load_bearing(n, false);
+  std::vector<SqlExprPtr> narrows;
+  std::set<std::pair<size_t, std::string>> narrowed;
+  std::map<std::pair<size_t, std::string>, bool> null_cache;
+
+  // Nulls do not participate in induction, so "seed ⇒ X ∈ hull" only
+  // covers rows with non-null X; eliminating or adding a conjunct over a
+  // nullable column could flip a null row in or out of the answer.
+  auto column_is_nullable = [&](size_t table, const std::string& attr) {
+    auto key = std::make_pair(table, ToLower(attr));
+    auto it = null_cache.find(key);
+    if (it != null_cache.end()) return it->second;
+    bool nullable = true;
+    Result<const Relation*> rel = db.Get(stmt.from[table].name);
+    if (rel.ok()) {
+      Result<size_t> idx = (*rel)->schema().IndexOf(attr);
+      if (idx.ok()) {
+        nullable = false;
+        for (const Tuple& row : (*rel)->rows()) {
+          if (row.at(*idx).is_null()) {
+            nullable = true;
+            break;
+          }
+        }
+      }
+    }
+    null_cache[key] = nullable;
+    return nullable;
+  };
+
+  for (size_t ci = 0; ci < n && !plan.proven_empty; ++ci) {
+    BoundConjunct& seed = bound[ci];
+    if (!seed.recognized || eliminated[ci] || !seed.interval.IsPoint()) {
+      continue;
+    }
+    const Value& y = *seed.interval.lo();
+    const TableRef& owner = stmt.from[seed.table];
+
+    // Complete single-LHS rule families on the seed's relation concluding
+    // `attribute = y`, grouped by scheme. Inter-object rules carry role
+    // qualifiers ("x.Class") and a relationship source; requiring the
+    // source relation and bare/matching qualifiers keeps them out.
+    struct Family {
+      std::string x_attr;
+      std::vector<Interval> intervals;
+      std::vector<int> ids;
+      bool complete = true;
+    };
+    std::map<std::string, Family> families;
+    for (const Rule& rule : rules.rules()) {
+      if (rule.lhs.size() != 1) continue;
+      if (!EqualsIgnoreCase(rule.source_relation, owner.name)) continue;
+      std::string rhs_qual = rule.rhs.clause.Qualifier();
+      std::string lhs_qual = rule.lhs[0].Qualifier();
+      if (!rhs_qual.empty() && !EqualsIgnoreCase(rhs_qual, owner.name)) {
+        continue;
+      }
+      if (!lhs_qual.empty() && !EqualsIgnoreCase(lhs_qual, owner.name)) {
+        continue;
+      }
+      if (!SameAttribute(rule.rhs.clause.attribute(), seed.attribute,
+                         AttributeMatch::kBaseName)) {
+        continue;
+      }
+      if (!rule.rhs.clause.IsPoint() ||
+          *rule.rhs.clause.interval().lo() != y) {
+        continue;
+      }
+      Family& f = families[rule.scheme];
+      if (f.x_attr.empty()) f.x_attr = rule.lhs[0].attribute();
+      f.intervals.push_back(rule.lhs[0].interval());
+      f.ids.push_back(rule.id);
+      f.complete = f.complete && rule.family_complete;
+    }
+
+    for (auto& [scheme, family] : families) {
+      // Only a complete family supports the converse reading
+      // "attribute = y ⇒ X ∈ (union of the family's LHS intervals)".
+      if (!family.complete) {
+        IQS_COUNTER_INC("optimizer.incomplete_families");
+        continue;
+      }
+      std::string x_base = AttrBaseName(family.x_attr);
+      if (SameAttribute(family.x_attr, seed.attribute,
+                        AttributeMatch::kBaseName)) {
+        continue;  // vacuous self-restriction
+      }
+      std::sort(family.ids.begin(), family.ids.end());
+      seed.has_family = true;
+      seed.family_ids.insert(seed.family_ids.end(), family.ids.begin(),
+                             family.ids.end());
+
+      // Closed hull of the union: used by the contradiction test and by
+      // narrowing, both of which tolerate the over-approximation.
+      std::optional<Interval> hull;
+      {
+        const Value* lo = nullptr;
+        const Value* hi = nullptr;
+        bool bounded = true;
+        for (const Interval& iv : family.intervals) {
+          if (!iv.lo().has_value() || !iv.hi().has_value()) {
+            bounded = false;
+            break;
+          }
+          if (lo == nullptr || *iv.lo() < *lo) lo = &*iv.lo();
+          if (hi == nullptr || *iv.hi() > *hi) hi = &*iv.hi();
+        }
+        if (bounded && lo != nullptr) {
+          Result<Interval> h = Interval::Closed(*lo, *hi);
+          if (h.ok()) hull = *h;
+        }
+      }
+
+      // (a) elimination and (b) empty-proof against every other conjunct
+      // over X on the same FROM entry.
+      for (size_t di = 0; di < n && !plan.proven_empty; ++di) {
+        if (di == ci || eliminated[di]) continue;
+        const BoundConjunct& other = bound[di];
+        if (!other.recognized || other.table != seed.table) continue;
+        if (!SameAttribute(other.attribute, x_base,
+                           AttributeMatch::kBaseName)) {
+          continue;
+        }
+        bool implied = true;
+        for (const Interval& iv : family.intervals) {
+          if (!other.interval.ContainsInterval(iv)) {
+            implied = false;
+            break;
+          }
+        }
+        if (implied) {
+          if (load_bearing[di] ||
+              column_is_nullable(seed.table, other.attribute)) {
+            continue;
+          }
+          eliminated[di] = true;
+          load_bearing[ci] = true;
+          plan.steps.push_back(
+              RewriteStep{RewriteKind::kEliminated, family.ids,
+                          "eliminated `" + other.expr->ToString() + "`"});
+          continue;
+        }
+        if (!hull.has_value()) continue;
+        std::string qualified = owner.effective_name() + "." + x_base;
+        std::vector<Fact> facts;
+        facts.push_back(Fact::Range(Clause(qualified, *hull), family.ids,
+                                    Fact::Origin::kRule));
+        facts.push_back(Fact::Range(Clause(qualified, other.interval)));
+        if (engine.DetectContradiction(facts).has_value()) {
+          plan.proven_empty = true;
+          load_bearing[ci] = true;
+          plan.steps.push_back(RewriteStep{
+              RewriteKind::kEmptyProven, family.ids,
+              "proved empty: `" + other.expr->ToString() +
+                  "` is disjoint from rule-implied " + qualified + " in " +
+                  hull->ToString()});
+        }
+      }
+      if (plan.proven_empty) break;
+
+      // (c) scan narrowing: hand the hull to the index/predicate layer as
+      // an extra BETWEEN conjunct. The full WHERE still applies, so the
+      // closed-hull over-approximation of the union is safe.
+      if (!hull.has_value()) continue;
+      auto key = std::make_pair(seed.table, ToLower(x_base));
+      if (narrowed.count(key) > 0) continue;
+      Result<const Relation*> rel = db.Get(owner.name);
+      if (!rel.ok()) continue;
+      Result<size_t> xi = (*rel)->schema().IndexOf(x_base);
+      if (!xi.ok()) continue;
+      const AttributeDef& x_def = (*rel)->schema().attribute(*xi);
+      bool already_tight = false;
+      for (size_t di = 0; di < n; ++di) {
+        if (eliminated[di] || !bound[di].recognized) continue;
+        if (bound[di].table != seed.table) continue;
+        if (!SameAttribute(bound[di].attribute, x_base,
+                           AttributeMatch::kBaseName)) {
+          continue;
+        }
+        if (hull->ContainsInterval(bound[di].interval)) {
+          already_tight = true;
+          break;
+        }
+      }
+      if (already_tight) continue;
+      if (column_is_nullable(seed.table, x_def.name)) continue;
+      auto narrow = std::make_shared<SqlExpr>();
+      narrow->kind = SqlExpr::Kind::kBetween;
+      narrow->lhs = SqlOperand::Column(
+          ColumnRef{owner.effective_name(), x_def.name});
+      narrow->low = SqlOperand::Literal(*hull->lo(), hull->lo()->ToString());
+      narrow->high = SqlOperand::Literal(*hull->hi(), hull->hi()->ToString());
+      plan.steps.push_back(
+          RewriteStep{RewriteKind::kNarrowed, family.ids,
+                      "narrowed scan: `" + narrow->ToString() + "`"});
+      narrows.push_back(std::move(narrow));
+      narrowed.insert(key);
+      load_bearing[ci] = true;
+    }
+  }
+
+  // (d) intensional-only answering: every surviving conjunct is a point
+  // restriction characterized by a complete family, so the rule base
+  // subsumes the predicate and the extensional pass can be skipped.
+  if (mode == SqoMode::kIntensional && !plan.proven_empty &&
+      stmt.from.size() == 1 && !stmt.has_aggregates() &&
+      stmt.group_by.empty() && stmt.having == nullptr && n > 0) {
+    bool subsumed = true;
+    bool any_seed = false;
+    std::vector<int> ids;
+    for (size_t i = 0; i < n; ++i) {
+      if (eliminated[i]) continue;
+      if (!bound[i].recognized || !bound[i].interval.IsPoint() ||
+          !bound[i].has_family) {
+        subsumed = false;
+        break;
+      }
+      any_seed = true;
+      ids.insert(ids.end(), bound[i].family_ids.begin(),
+                 bound[i].family_ids.end());
+    }
+    if (subsumed && any_seed) {
+      std::sort(ids.begin(), ids.end());
+      ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+      plan.intensional_only = true;
+      plan.steps.push_back(RewriteStep{
+          RewriteKind::kIntensionalOnly, std::move(ids),
+          "rule base subsumes the predicate; answered intensionally, "
+          "extensional scan skipped"});
+    }
+  }
+
+  // Rebuild the WHERE clause when conjuncts were dropped or added.
+  bool any_eliminated =
+      std::find(eliminated.begin(), eliminated.end(), true) !=
+      eliminated.end();
+  if (any_eliminated || !narrows.empty()) {
+    std::vector<SqlExprPtr> kept;
+    for (size_t i = 0; i < n; ++i) {
+      if (!eliminated[i]) {
+        kept.push_back(std::make_shared<SqlExpr>(*conjuncts[i]));
+      }
+    }
+    kept.insert(kept.end(), narrows.begin(), narrows.end());
+    SqlExprPtr where;
+    for (SqlExprPtr& part : kept) {
+      if (where == nullptr) {
+        where = std::move(part);
+        continue;
+      }
+      auto conj = std::make_shared<SqlExpr>();
+      conj->kind = SqlExpr::Kind::kAnd;
+      conj->left = std::move(where);
+      conj->right = std::move(part);
+      where = std::move(conj);
+    }
+    plan.statement.where = std::move(where);  // null: WHERE fully eliminated
+  }
+  IQS_SPAN_ANNOTATE("steps", static_cast<int64_t>(plan.steps.size()));
+  return plan;
 }
 
 Result<SemanticOptimizer::ScanEstimate> SemanticOptimizer::EstimateScan(

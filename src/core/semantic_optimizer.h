@@ -6,6 +6,8 @@
 
 #include "dictionary/data_dictionary.h"
 #include "inference/engine.h"
+#include "relational/database.h"
+#include "sql/sqo_rewrite.h"
 
 namespace iqs {
 
@@ -49,6 +51,33 @@ class SemanticOptimizer {
 
   // Same, using the dictionary's induced rules.
   std::vector<ImpliedCondition> Derive(const QueryDescription& query) const;
+
+  // The rewrite pass (DESIGN.md §12), run by the query processor between
+  // parse and execution. Applies, in converse-restriction order:
+  //  (a) predicate elimination — a WHERE conjunct implied by a point
+  //      conjunct plus a complete rule family is dropped;
+  //  (b) empty-result detection — when a family's implied interval hull
+  //      and another conjunct over the same attribute are disjoint
+  //      (InferenceEngine::DetectContradiction), the answer is provably
+  //      empty and the scan is skipped;
+  //  (c) scan narrowing — the implied hull is appended as a BETWEEN
+  //      conjunct, which the executor's index fast path can drive;
+  //  (d) intensional-only answering (mode == kIntensional) — when every
+  //      surviving conjunct is characterized by a complete family, the
+  //      scan is skipped and the answer comes from the rules alone.
+  //
+  // Soundness guardrails: only complete families are used (converse
+  // implication); the pass declines entirely unless every top-level
+  // conjunct is statically understood and total at eval time (so on/off
+  // runs agree even on errors); value-restricting rewrites require the
+  // implied column to be null-free (nulls do not participate in
+  // induction); and a conjunct whose implication was used is pinned
+  // against elimination (mutual implications cannot drop both sides).
+  // An unchanged statement comes back as a RewritePlan with no steps.
+  Result<RewritePlan> Rewrite(const SelectStatement& stmt,
+                              const RuleSet& rules, SqoMode mode,
+                              const Database& db,
+                              const InferenceEngine& engine) const;
 
   // Scan-saving estimate for `implied` against a relation: how many rows
   // of `relation` the implied restriction admits (an index-driven plan

@@ -40,8 +40,14 @@ Result<std::unique_ptr<IqsSystem>> IqsSystem::Create(
 }
 
 Status IqsSystem::Induce(const InductionConfig& config) {
+  // The database epoch is read BEFORE induction scans the data: if a
+  // mutation lands mid-induction the recorded epoch is already behind,
+  // and the semantic optimizer (which trusts induced rules to describe
+  // the current rows) correctly declines to rewrite until the next
+  // Induce.
+  uint64_t db_epoch = db_->epoch();
   IQS_ASSIGN_OR_RETURN(RuleSet rules, ils_->InduceAll(config));
-  dictionary_->SetInducedRules(std::move(rules));
+  dictionary_->SetInducedRules(std::move(rules), db_epoch);
   return Status::Ok();
 }
 

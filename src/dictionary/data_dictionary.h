@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -96,6 +97,29 @@ class DataDictionary {
     std::lock_guard<std::mutex> lock(induced_mu_);
     induced_ = std::move(fresh);
     ++rule_epoch_;
+    induced_db_epoch_.reset();
+  }
+
+  // Same, recording the database epoch the rules were induced from. The
+  // semantic optimizer's rewrites are data-dependent (they trust the
+  // induced families to describe the current rows), so the query
+  // processor only rewrites while the database epoch still matches; after
+  // a mutation, rewriting pauses until re-induction. Rule bases installed
+  // without an epoch (legacy callers, snapshot import) leave it unset,
+  // which the processor treats as "induced from the current data".
+  void SetInducedRules(RuleSet rules, uint64_t db_epoch) {
+    auto fresh = std::make_shared<const RuleSet>(std::move(rules));
+    std::lock_guard<std::mutex> lock(induced_mu_);
+    induced_ = std::move(fresh);
+    ++rule_epoch_;
+    induced_db_epoch_ = db_epoch;
+  }
+
+  // The database epoch the current induced rules were derived from, when
+  // the installer recorded one.
+  std::optional<uint64_t> induced_db_epoch() const {
+    std::lock_guard<std::mutex> lock(induced_mu_);
+    return induced_db_epoch_;
   }
 
   // Declared followed by induced rules, renumbered 1..n — what the
@@ -135,6 +159,9 @@ class DataDictionary {
   mutable std::mutex induced_mu_;
   std::shared_ptr<const RuleSet> induced_ = std::make_shared<const RuleSet>();
   uint64_t rule_epoch_ = 0;  // guarded by induced_mu_
+  // Database epoch the induced rules were derived from, when known.
+  // Guarded by induced_mu_.
+  std::optional<uint64_t> induced_db_epoch_;
   std::vector<AttributeDomain> active_domains_;
 };
 

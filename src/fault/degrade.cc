@@ -23,6 +23,8 @@ const char* DegradeActionName(DegradeAction action) {
       return "snapshot-fallback";
     case DegradeAction::kQuarantine:
       return "quarantine";
+    case DegradeAction::kSkipRewrite:
+      return "skip-rewrite";
   }
   return "unknown";
 }

@@ -28,6 +28,7 @@ enum class DegradeAction {
   kSerialFallback,    // parallel region re-executed serially
   kSnapshotFallback,  // damaged snapshot skipped, previous intact one loaded
   kQuarantine,        // one corrupt non-rule relation skipped on load
+  kSkipRewrite,       // semantic rewrite pass skipped, query ran unoptimized
 };
 
 const char* DegradeActionName(DegradeAction action);

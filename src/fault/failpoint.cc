@@ -45,6 +45,7 @@ constexpr ManifestEntry kManifest[] = {
      "snapshot file bit-flipped during write"},
     {"cache.lookup", Policy::kCacheBypass, "query-cache lookup"},
     {"cache.insert", Policy::kCacheBypass, "query-cache insert"},
+    {"sqo.rewrite", Policy::kSkipRewrite, "semantic rewrite pass"},
 };
 
 Result<StatusCode> CodeFromName(const std::string& name) {
@@ -149,6 +150,8 @@ const char* PolicyName(Policy policy) {
       return "cache-bypass";
     case Policy::kSnapshotFallback:
       return "snapshot-fallback";
+    case Policy::kSkipRewrite:
+      return "skip-rewrite";
   }
   return "unknown";
 }

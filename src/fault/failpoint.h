@@ -42,6 +42,8 @@ enum class Policy {
                        // identical answer (slower, never degraded)
   kSnapshotFallback,   // a killed or damaged save never surfaces: load
                        // recovers the previous intact snapshot
+  kSkipRewrite,        // semantic rewrite pass skipped; the query runs
+                       // unoptimized and the answer is unchanged
 };
 
 const char* PolicyName(Policy policy);

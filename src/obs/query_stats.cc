@@ -32,6 +32,16 @@ std::string QueryStats::ToString() const {
                   answer_cache_hit ? "hit" : "miss");
     out += buf;
   }
+  if (sqo_eliminated > 0 || sqo_narrowed > 0 || sqo_empty_proven ||
+      sqo_intensional_only) {
+    std::snprintf(buf, sizeof(buf),
+                  "sqo: %llu conjunct(s) eliminated, %llu scan(s) narrowed%s%s\n",
+                  static_cast<unsigned long long>(sqo_eliminated),
+                  static_cast<unsigned long long>(sqo_narrowed),
+                  sqo_empty_proven ? ", answer proven empty" : "",
+                  sqo_intensional_only ? ", answered intensionally" : "");
+    out += buf;
+  }
   if (degraded_events > 0) {
     std::snprintf(buf, sizeof(buf),
                   "degraded: %llu fault(s) absorbed while serving this query\n",
@@ -48,7 +58,7 @@ std::string QueryStats::ToString() const {
 }
 
 std::string QueryStats::ToJson() const {
-  char buf[640];
+  char buf[832];
   std::snprintf(
       buf, sizeof(buf),
       "{\"parse_micros\": %lld, \"execute_micros\": %lld, "
@@ -59,6 +69,8 @@ std::string QueryStats::ToJson() const {
       "\"backward_statements\": %llu, \"rules_fired\": %llu, "
       "\"degraded_events\": %llu, "
       "\"plan_cache_hit\": %s, \"answer_cache_hit\": %s, "
+      "\"sqo_eliminated\": %llu, \"sqo_narrowed\": %llu, "
+      "\"sqo_empty_proven\": %s, \"sqo_intensional_only\": %s, "
       "\"coverage\": %.6f, \"coverage_micros\": %lld}",
       static_cast<long long>(parse_micros),
       static_cast<long long>(execute_micros),
@@ -74,7 +86,11 @@ std::string QueryStats::ToJson() const {
       static_cast<unsigned long long>(rules_fired),
       static_cast<unsigned long long>(degraded_events),
       plan_cache_hit ? "true" : "false",
-      answer_cache_hit ? "true" : "false", coverage,
+      answer_cache_hit ? "true" : "false",
+      static_cast<unsigned long long>(sqo_eliminated),
+      static_cast<unsigned long long>(sqo_narrowed),
+      sqo_empty_proven ? "true" : "false",
+      sqo_intensional_only ? "true" : "false", coverage,
       static_cast<long long>(coverage_micros));
   return buf;
 }

@@ -38,6 +38,16 @@ struct QueryStats {
   bool plan_cache_hit = false;
   bool answer_cache_hit = false;
 
+  // Semantic rewrite pass (core/semantic_optimizer.h): how many WHERE
+  // conjuncts the induced rules eliminated, how many implied BETWEEN
+  // restrictions narrowed the scan, and whether the answer was proven
+  // empty / served intensionally with the scan skipped. All zero/false
+  // when sqo is off or the pass declined.
+  uint64_t sqo_eliminated = 0;
+  uint64_t sqo_narrowed = 0;
+  bool sqo_empty_proven = false;
+  bool sqo_intensional_only = false;
+
   // Cost and value of the backward-coverage check (paper Example 2): how
   // completely the best exact backward statement covers the extensional
   // answer, and what computing that cost. coverage stays -1 when no

@@ -179,12 +179,23 @@ Result<PredicatePtr> SqlExecutor::BindExpr(const Schema& schema,
 }
 
 Result<Relation> SqlExecutor::Execute(const SelectStatement& stmt) const {
+  return ExecuteMeasured(stmt, /*schema_only=*/false);
+}
+
+Result<Relation> SqlExecutor::ExecuteSchemaOnly(
+    const SelectStatement& stmt) const {
+  IQS_COUNTER_INC("sql.execute.schema_only");
+  return ExecuteMeasured(stmt, /*schema_only=*/true);
+}
+
+Result<Relation> SqlExecutor::ExecuteMeasured(const SelectStatement& stmt,
+                                              bool schema_only) const {
   IQS_SPAN("sql.execute");
   IQS_COUNTER_INC("sql.execute.count");
   IQS_FAILPOINT("exec.scan");
   auto start = std::chrono::steady_clock::now();
   stats_ = ExecutionStats();
-  Result<Relation> result = ExecuteInternal(stmt);
+  Result<Relation> result = ExecuteInternal(stmt, schema_only);
   int64_t micros = std::chrono::duration_cast<std::chrono::microseconds>(
                        std::chrono::steady_clock::now() - start)
                        .count();
@@ -210,18 +221,48 @@ Result<Relation> SqlExecutor::Execute(const SelectStatement& stmt) const {
   return result;
 }
 
-Result<Relation> SqlExecutor::ExecuteInternal(
-    const SelectStatement& stmt) const {
+Result<Relation> SqlExecutor::ExecuteInternal(const SelectStatement& stmt,
+                                              bool schema_only) const {
   if (stmt.from.empty()) {
     return Status::InvalidArgument("FROM list must not be empty");
   }
-  // Index fast path: a conjunct `col op literal` over an indexed column
-  // of a FROM table lets us materialize only the admitted rows. The full
-  // WHERE is re-applied later, so over-approximating (closed hull of an
-  // open interval) is safe.
+  // Index fast path: a conjunct `col op literal` (or `col BETWEEN lit AND
+  // lit` — the shape the semantic optimizer's narrowing emits) over an
+  // indexed column of a FROM table lets us materialize only the admitted
+  // rows. The full WHERE is re-applied later, so over-approximating
+  // (closed hull of an open interval) is safe. Admitted row ids come back
+  // ascending, so the filtered table keeps base-relation row order.
   auto index_rows = [&](const TableRef& ref, const Relation& rel)
       -> std::optional<std::vector<size_t>> {
     for (const SqlExpr* conjunct : TopLevelConjuncts(stmt.where.get())) {
+      if (conjunct->kind == SqlExpr::Kind::kBetween) {
+        if (conjunct->lhs.kind != SqlOperand::Kind::kColumn ||
+            conjunct->low.kind != SqlOperand::Kind::kLiteral ||
+            conjunct->high.kind != SqlOperand::Kind::kLiteral) {
+          continue;
+        }
+        const ColumnRef& column = conjunct->lhs.column;
+        if (!column.qualifier.empty()) {
+          if (!EqualsIgnoreCase(column.qualifier, ref.effective_name()) &&
+              !EqualsIgnoreCase(column.qualifier, ref.name)) {
+            continue;
+          }
+        } else if (stmt.from.size() != 1) {
+          continue;
+        }
+        auto attr_idx = rel.schema().IndexOf(column.name);
+        if (!attr_idx.ok()) continue;
+        const SortedIndex* index = db_->GetIndex(ref.name, column.name);
+        if (index == nullptr) continue;
+        ValueType type = rel.schema().attribute(*attr_idx).type;
+        auto lo = CoerceLiteral(conjunct->low.literal, conjunct->low.raw, type);
+        auto hi =
+            CoerceLiteral(conjunct->high.literal, conjunct->high.raw, type);
+        if (!lo.ok() || !hi.ok()) continue;
+        if (!lo->ComparableWith(*hi)) continue;
+        if (*lo > *hi) return std::vector<size_t>{};
+        return index->Range(*lo, *hi);
+      }
       if (conjunct->kind != SqlExpr::Kind::kComparison) continue;
       if (conjunct->op == CompareOp::kNe) continue;
       const SqlOperand* col = nullptr;
@@ -311,6 +352,14 @@ Result<Relation> SqlExecutor::ExecuteInternal(
     if (!names.insert(ToLower(effective)).second) {
       return Status::InvalidArgument("duplicate table name/alias '" +
                                      effective + "' in FROM");
+    }
+    if (schema_only) {
+      // Proven-empty scan skip: only the schema participates; joins,
+      // WHERE binding, aggregation, and projection all still run so the
+      // output shape (and any error) matches a real scan of zero rows.
+      Relation empty(rel->name(), rel->schema());
+      tables.push_back(QualifyFor(empty, effective));
+      continue;
     }
     std::optional<std::vector<size_t>> admitted =
         materialized.has_value() ? std::nullopt : index_rows(ref, *rel);

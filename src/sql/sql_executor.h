@@ -22,6 +22,14 @@ class SqlExecutor {
 
   Result<Relation> Execute(const SelectStatement& stmt) const;
 
+  // Runs the full pipeline with every FROM table materialized as its
+  // schema over ZERO rows. Used by the semantic optimizer when the WHERE
+  // clause is provably unsatisfiable: the result has exactly the schema,
+  // aggregate, and ordering shape a real scan of an empty answer would
+  // produce (an aggregate query without GROUP BY still yields its single
+  // group row), but no base rows are read and rows_scanned stays 0.
+  Result<Relation> ExecuteSchemaOnly(const SelectStatement& stmt) const;
+
   // Parses and executes.
   Result<Relation> ExecuteSql(const std::string& sql) const;
 
@@ -48,9 +56,15 @@ class SqlExecutor {
                                       const ColumnRef& ref);
 
  private:
+  // Shared instrumentation wrapper around ExecuteInternal.
+  Result<Relation> ExecuteMeasured(const SelectStatement& stmt,
+                                   bool schema_only) const;
+
   // Execute minus the instrumentation wrapper: the join/filter/project
-  // pipeline with its many exit points.
-  Result<Relation> ExecuteInternal(const SelectStatement& stmt) const;
+  // pipeline with its many exit points. With `schema_only`, FROM tables
+  // contribute their schemas but no rows.
+  Result<Relation> ExecuteInternal(const SelectStatement& stmt,
+                                   bool schema_only) const;
 
   // Copies `relation` with attributes renamed "<effective>.<attr>".
   static Relation QualifyFor(const Relation& relation,

@@ -1,0 +1,40 @@
+#include "sql/sqo_rewrite.h"
+
+namespace iqs {
+
+const char* SqoModeName(SqoMode mode) {
+  switch (mode) {
+    case SqoMode::kOff:
+      return "off";
+    case SqoMode::kOn:
+      return "on";
+    case SqoMode::kIntensional:
+      return "intensional";
+  }
+  return "unknown";
+}
+
+const char* RewriteKindName(RewriteKind kind) {
+  switch (kind) {
+    case RewriteKind::kEliminated:
+      return "eliminated";
+    case RewriteKind::kNarrowed:
+      return "narrowed";
+    case RewriteKind::kEmptyProven:
+      return "empty-proven";
+    case RewriteKind::kIntensionalOnly:
+      return "intensional-only";
+  }
+  return "unknown";
+}
+
+std::string RewriteStep::ToString() const {
+  std::string out = rule_ids.size() == 1 ? "rule" : "rules";
+  for (size_t i = 0; i < rule_ids.size(); ++i) {
+    out += (i == 0 ? " R" : ",R") + std::to_string(rule_ids[i]);
+  }
+  out += " fired: " + detail;
+  return out;
+}
+
+}  // namespace iqs

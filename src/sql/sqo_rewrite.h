@@ -1,0 +1,63 @@
+#ifndef IQS_SQL_SQO_REWRITE_H_
+#define IQS_SQL_SQO_REWRITE_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/sql_ast.h"
+
+namespace iqs {
+
+// Vocabulary of the semantic-query-optimization rewrite pass (DESIGN.md
+// §12). The pass itself lives in core/semantic_optimizer.{h,cc}; these
+// types sit in the sql layer so the plan cache (cache/) can memoize a
+// rewritten statement without depending on core.
+
+// How aggressively the query processor rewrites. kOn applies only
+// answer-preserving rewrites — predicate elimination, scan narrowing,
+// empty-result proofs — so the extensional answer stays byte-identical
+// to an unoptimized run (the differential harness's invariant).
+// kIntensional additionally answers rule-subsumed queries purely from
+// the rule base, skipping the extensional pass entirely (the answer is
+// annotated; its extensional half is intentionally empty).
+enum class SqoMode { kOff, kOn, kIntensional };
+
+const char* SqoModeName(SqoMode mode);
+
+enum class RewriteKind {
+  kEliminated,       // redundant WHERE conjunct dropped
+  kNarrowed,         // rule-implied bound added for the index/predicate layer
+  kEmptyProven,      // predicate contradicts a rule family: no scan needed
+  kIntensionalOnly,  // rule base subsumes the predicate: answered from rules
+};
+
+const char* RewriteKindName(RewriteKind kind);
+
+// One rewrite applied to a statement, with rule provenance. Rendered in
+// EXPLAIN as e.g. "rules R3,R7 fired: eliminated `CLASS.Displacement >
+// 1000`".
+struct RewriteStep {
+  RewriteKind kind = RewriteKind::kEliminated;
+  std::vector<int> rule_ids;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+// Outcome of one rewrite pass: the statement to execute plus what was
+// done to it. When `proven_empty` or `intensional_only` is set the
+// extensional scan is skipped outright — the executor materializes
+// schemas only and the pipeline runs over zero base rows.
+struct RewritePlan {
+  SelectStatement statement;
+  std::vector<RewriteStep> steps;
+  bool proven_empty = false;
+  bool intensional_only = false;
+
+  bool changed() const { return !steps.empty(); }
+  bool skip_scan() const { return proven_empty || intensional_only; }
+};
+
+}  // namespace iqs
+
+#endif  // IQS_SQL_SQO_REWRITE_H_

@@ -22,6 +22,7 @@
 #include "gtest/gtest.h"
 #include "obs/query_log.h"
 #include "obs/trace.h"
+#include "sql/sqo_rewrite.h"
 #include "tests/json_test_util.h"
 #include "tests/test_util.h"
 
@@ -462,6 +463,94 @@ TEST(ConcurrencyStressTest, ConcurrentReinductionConverges) {
   exec::SetGlobalThreadCount(1);
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(system->dictionary().induced_rules().ToString(), canonical);
+}
+
+TEST(ConcurrencyStressTest, SemanticRewritesUnderReinductionStorm) {
+  // The rewrite pass (DESIGN.md §12) races re-induction and an
+  // epoch-bump storm with sqo on. GetMutable bumps the database epoch
+  // without editing rows, so the data never changes: whether any given
+  // query rewrites (fresh epochs), replays a cached rewrite, or hits
+  // the stale gate and declines, the extensional bytes must equal the
+  // serial sqo-off baseline. This is exactly the window where a stale
+  // rewrite would show up as drift.
+  auto system = testing_util::ShipSystemOrFail();
+  ASSERT_TRUE(system);
+  InductionConfig nc3;
+  nc3.min_support = 3;
+  ASSERT_OK(system->Induce(nc3));
+  exec::SetGlobalThreadCount(4);
+
+  std::map<std::string, std::string> expected;
+  for (const std::string& sql : StressQueries()) {
+    auto result = system->Query(sql);
+    ASSERT_TRUE(result.ok()) << sql << " -> " << result.status();
+    expected[sql] = result->extensional.ToTable();
+  }
+  system->processor().set_sqo_mode(SqoMode::kOn);
+
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> rewritten{0};
+  auto note_failure = [&failures](const std::string& what) {
+    failures.fetch_add(1);
+    ADD_FAILURE() << what;
+  };
+
+  std::vector<std::thread> threads;
+  for (unsigned seed = 5; seed <= 7; ++seed) {
+    threads.emplace_back([&, seed] {
+      std::mt19937 rng(seed);
+      std::uniform_int_distribution<size_t> pick(0, StressQueries().size() - 1);
+      for (int i = 0; i < kIterations && failures.load() == 0; ++i) {
+        const std::string& sql = StressQueries()[pick(rng)];
+        auto result = system->Query(sql);
+        if (!result.ok()) {
+          note_failure("sqo query failed: " + sql + " -> " +
+                       result.status().ToString());
+          continue;
+        }
+        rewritten.fetch_add(result->rewrites.size());
+        if (result->extensional.ToTable() != expected[sql]) {
+          note_failure("semantic rewrite changed an answer under load: " +
+                       sql);
+        }
+      }
+    });
+  }
+  // Re-induction thread: every install moves the rule epoch and refreshes
+  // the induced-from db epoch, re-arming the pass after each storm bump.
+  threads.emplace_back([&] {
+    for (int i = 0; i < kIterations && failures.load() == 0; ++i) {
+      Status s = system->Induce(nc3);
+      if (!s.ok()) note_failure("induce -> " + s.ToString());
+    }
+  });
+  // Epoch storm: GetMutable invalidates indexes and bumps the database
+  // epoch (no row edits), repeatedly tripping the stale gate until the
+  // next re-induction lands.
+  threads.emplace_back([&] {
+    for (int i = 0; i < kIterations && failures.load() == 0; ++i) {
+      auto mutated = system->database().GetMutable("SUBMARINE");
+      if (!mutated.ok()) {
+        note_failure("GetMutable -> " + mutated.status().ToString());
+      }
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  exec::SetGlobalThreadCount(1);
+  EXPECT_EQ(failures.load(), 0);
+
+  // Settle: one more induction realigns epochs, after which the pass
+  // must fire again and still answer identically.
+  ASSERT_OK(system->Induce(nc3));
+  system->processor().cache().Clear();
+  const std::string probe =
+      "SELECT Id FROM SUBMARINE WHERE SUBMARINE.Class = '0204'";
+  auto settled = system->Query(probe);
+  ASSERT_TRUE(settled.ok());
+  EXPECT_FALSE(settled->rewrites.empty())
+      << "pass stayed disarmed after epochs realigned";
+  EXPECT_EQ(settled->extensional.ToTable(), expected[probe]);
+  system->processor().set_sqo_mode(SqoMode::kOff);
 }
 
 }  // namespace

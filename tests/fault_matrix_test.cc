@@ -387,6 +387,26 @@ TEST_F(FaultMatrixTest, EveryManifestSiteDegradesAsDeclared) {
       EXPECT_GT(FailpointRegistry::Global().GetSite(site.name)->fires(),
                 fires_before);
 
+    } else if (site.name == "sqo.rewrite") {
+      EXPECT_EQ(site.policy, Policy::kSkipRewrite);
+      // With the rewrite pass faulted, the query runs unoptimized: the
+      // extensional answer is byte-identical, and the skip is annotated.
+      ship_->processor().set_sqo_mode(SqoMode::kOn);
+      ScopedFailpoint fp(site.name, "error(unavailable,optimizer offline)");
+      ASSERT_TRUE(fp.ok());
+      QueryResult result = QueryDegraded();
+      ASSERT_EQ(result.degradations.size(), 1u);
+      EXPECT_EQ(result.degradations[0].stage, "sqo");
+      EXPECT_EQ(result.degradations[0].action,
+                fault::DegradeAction::kSkipRewrite);
+      EXPECT_TRUE(result.rewrites.empty());
+      EXPECT_GT(result.intensional.size(), 0u);  // inference unaffected
+      std::string rendered = ship_->Explain(result);
+      EXPECT_NE(rendered.find("degraded: sqo: skip-rewrite"),
+                std::string::npos)
+          << rendered;
+      ship_->processor().set_sqo_mode(SqoMode::kOff);
+
     } else {
       ADD_FAILURE() << "manifest site '" << site.name
                     << "' has no fault-matrix driver — add one here";
@@ -394,7 +414,7 @@ TEST_F(FaultMatrixTest, EveryManifestSiteDegradesAsDeclared) {
     FailpointRegistry::Global().ClearAll();
   }
   // Sanity: the manifest did not shrink out from under the matrix.
-  EXPECT_GE(driven, 19u);
+  EXPECT_GE(driven, 20u);
 }
 
 // With any single intensional-side failpoint active, every golden query

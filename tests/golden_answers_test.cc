@@ -15,6 +15,7 @@
 
 #include "core/persistence.h"
 #include "fault/failpoint.h"
+#include "sql/sqo_rewrite.h"
 #include "gtest/gtest.h"
 #include "tests/test_util.h"
 
@@ -242,6 +243,68 @@ TEST_F(GoldenAnswersTest, RecoveredSystemsRenderGoldenAnswers) {
                                 "SELECT Name FROM EMPLOYEE WHERE Salary > "
                                 "100000",
                                 employee_options, "employee_high_salary"));
+}
+
+// Rewritten goldens: the same queries with the semantic rewrite pass on
+// (DESIGN.md §12), pinned to <stem>_rewritten.txt. The extensional block
+// must be byte-identical to the healthy golden's — rewrites change the
+// plan, never the rows — and the rendering gains the "rewrite: rule R…
+// fired" annotations, so the EXPLAIN surface of every rewrite kind is
+// itself regression-tested.
+const std::vector<GoldenCase>& RewrittenShipCases() {
+  static const std::vector<GoldenCase> cases = {
+      // Point restriction on an induced scheme: scan narrowing.
+      {"ship_class_0204",
+       "SELECT Id FROM SUBMARINE WHERE SUBMARINE.Class = '0204'"},
+      // Conjunct implied by the SSBN displacement band: elimination.
+      {"ship_ssbn_implied_range",
+       "SELECT ClassName FROM CLASS WHERE Type = 'SSBN' "
+       "AND Displacement > 1000"},
+      // Conjunct disjoint from the band: proven empty, scan skipped.
+      {"ship_ssbn_disjoint_range",
+       "SELECT ClassName FROM CLASS WHERE Type = 'SSBN' "
+       "AND Displacement > 99999"},
+  };
+  return cases;
+}
+
+std::string RenderRewritten(IqsSystem& system, const std::string& sql,
+                            const std::string& healthy) {
+  // Cached plans/answers from the healthy render would mask the pass;
+  // rewriting must happen on the live path.
+  system.processor().cache().Clear();
+  system.processor().set_sqo_mode(SqoMode::kOn);
+  std::string rendered = Render(system, sql);
+  system.processor().set_sqo_mode(SqoMode::kOff);
+  const std::string marker = "-- intensional --\n";
+  size_t healthy_cut = healthy.find(marker);
+  size_t rewritten_cut = rendered.find(marker);
+  EXPECT_NE(healthy_cut, std::string::npos);
+  EXPECT_NE(rewritten_cut, std::string::npos);
+  if (healthy_cut != std::string::npos &&
+      rewritten_cut != std::string::npos) {
+    EXPECT_EQ(rendered.substr(0, rewritten_cut),
+              healthy.substr(0, healthy_cut))
+        << sql << ": the rewrite perturbed the extensional answer";
+  }
+  EXPECT_NE(rendered.find("rewrite: rule"), std::string::npos)
+      << sql << ": no rewrite annotation in the rendering";
+  return rendered;
+}
+
+TEST_F(GoldenAnswersTest, ShipQueriesRewriteToGoldenAnswers) {
+  ASSERT_NE(ship_, nullptr);
+  // Earlier tests may have mutated the database (rule export bumps the
+  // epoch), which rightly disarms the pass; re-induce so the rule base
+  // describes the current data again. Induction is deterministic, so
+  // the rule numbering in the goldens is stable.
+  InductionConfig config;
+  config.min_support = 3;
+  ASSERT_OK(ship_->Induce(config));
+  for (const GoldenCase& c : RewrittenShipCases()) {
+    CheckOrUpdate(std::string(c.name) + "_rewritten",
+                  RenderRewritten(*ship_, c.sql, Render(*ship_, c.sql)));
+  }
 }
 
 // Caching can never change answers: every golden query renders

@@ -1,0 +1,130 @@
+// Regression tests for the plan-cache / semantic-rewrite interaction
+// (DESIGN.md §12): a cached rewrite is replayed only while the rule
+// epoch AND the database epoch it was minted under still hold, and the
+// live pass itself refuses to rewrite once the database has moved past
+// the snapshot the rules were induced from. Labeled "sqo".
+
+#include <memory>
+#include <string>
+
+#include "core/system.h"
+#include "gtest/gtest.h"
+#include "induction/ils.h"
+#include "obs/metrics.h"
+#include "sql/sqo_rewrite.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+class SqoCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    system_ = testing_util::ShipSystemOrFail();
+    InductionConfig config;
+    config.min_support = 3;
+    ASSERT_OK(system_->Induce(config));
+    system_->processor().set_sqo_mode(SqoMode::kOn);
+  }
+
+  QueryResult Query(const std::string& sql) {
+    auto result = system_->Query(sql);
+    EXPECT_OK(result.status());
+    return result.ok() ? std::move(result).value() : QueryResult{};
+  }
+
+  static uint64_t Counter(const std::string& name) {
+    return obs::GlobalMetrics().GetCounter(name)->value();
+  }
+
+  std::unique_ptr<IqsSystem> system_;
+  const std::string sql_ =
+      "SELECT Id FROM SUBMARINE WHERE SUBMARINE.Class = '0204'";
+};
+
+TEST_F(SqoCacheTest, CachedRewriteIsReplayedUnderUnchangedEpochs) {
+  const uint64_t cached_before = Counter("sqo.plan_rewrites_cached");
+  const uint64_t reused_before = Counter("sqo.plan_rewrites_reused");
+
+  QueryResult first = Query(sql_);
+  ASSERT_FALSE(first.rewrites.empty()) << "query must be rewritable";
+  EXPECT_FALSE(first.stats.plan_cache_hit);
+  EXPECT_EQ(Counter("sqo.plan_rewrites_cached"), cached_before + 1);
+
+  QueryResult second = Query(sql_);
+  EXPECT_TRUE(second.stats.plan_cache_hit);
+  EXPECT_EQ(Counter("sqo.plan_rewrites_reused"), reused_before + 1);
+  ASSERT_EQ(second.rewrites.size(), first.rewrites.size());
+  for (size_t i = 0; i < first.rewrites.size(); ++i) {
+    EXPECT_EQ(second.rewrites[i].ToString(), first.rewrites[i].ToString());
+  }
+  EXPECT_EQ(second.extensional.ToTable(), first.extensional.ToTable());
+}
+
+TEST_F(SqoCacheTest, DatabaseMutationInvalidatesCachedRewrite) {
+  QueryResult first = Query(sql_);
+  ASSERT_FALSE(first.rewrites.empty());
+
+  // Induce, cache the rewritten plan, then mutate the database: the
+  // epoch bump must force re-optimization — and because the installed
+  // rules were induced from the pre-mutation snapshot, the live pass
+  // must decline too (stale gate), so no rewrite fires at all.
+  const uint64_t stale_before = Counter("sqo.stale_skips");
+  ASSERT_OK(system_->database().GetMutable("SUBMARINE").status());
+
+  QueryResult after = Query(sql_);
+  EXPECT_TRUE(after.rewrites.empty())
+      << "stale rules rewrote a query after the database moved on";
+  EXPECT_GE(Counter("sqo.stale_skips"), stale_before + 1);
+  EXPECT_EQ(after.extensional.ToTable(), first.extensional.ToTable());
+
+  // Re-induction realigns the rule base with the data: rewrites resume
+  // and the refreshed plan is cached again.
+  InductionConfig config;
+  config.min_support = 3;
+  ASSERT_OK(system_->Induce(config));
+  QueryResult again = Query(sql_);
+  ASSERT_EQ(again.rewrites.size(), first.rewrites.size());
+  for (size_t i = 0; i < first.rewrites.size(); ++i) {
+    EXPECT_EQ(again.rewrites[i].ToString(), first.rewrites[i].ToString());
+  }
+  EXPECT_EQ(again.extensional.ToTable(), first.extensional.ToTable());
+}
+
+TEST_F(SqoCacheTest, ReInductionInvalidatesCachedRewrite) {
+  QueryResult first = Query(sql_);
+  ASSERT_FALSE(first.rewrites.empty());
+
+  // A new rule epoch (same data) must not replay the old plan's rewrite
+  // blindly; the pass recomputes against the fresh rules.
+  InductionConfig config;
+  config.min_support = 3;
+  ASSERT_OK(system_->Induce(config));
+  const uint64_t reused_before = Counter("sqo.plan_rewrites_reused");
+  const uint64_t cached_before = Counter("sqo.plan_rewrites_cached");
+  QueryResult second = Query(sql_);
+  EXPECT_EQ(Counter("sqo.plan_rewrites_reused"), reused_before)
+      << "cached rewrite from a dead rule epoch was replayed";
+  EXPECT_EQ(Counter("sqo.plan_rewrites_cached"), cached_before + 1);
+  EXPECT_FALSE(second.rewrites.empty());
+  EXPECT_EQ(second.extensional.ToTable(), first.extensional.ToTable());
+}
+
+TEST_F(SqoCacheTest, ModeChangeDoesNotReplayCachedRewrite) {
+  QueryResult first = Query(sql_);
+  ASSERT_FALSE(first.rewrites.empty());
+
+  system_->processor().set_sqo_mode(SqoMode::kOff);
+  QueryResult off = Query(sql_);
+  EXPECT_TRUE(off.rewrites.empty())
+      << "sqo off must never fire rewrites, cached or not";
+  EXPECT_EQ(off.extensional.ToTable(), first.extensional.ToTable());
+
+  system_->processor().set_sqo_mode(SqoMode::kOn);
+  QueryResult back = Query(sql_);
+  EXPECT_FALSE(back.rewrites.empty());
+  EXPECT_EQ(back.extensional.ToTable(), first.extensional.ToTable());
+}
+
+}  // namespace
+}  // namespace iqs
