@@ -1,0 +1,157 @@
+// E14: network front-end throughput and tail latency. An open-loop
+// generator (seeded exponential arrivals, so a slow server cannot slow
+// the offered load down) drives a live iqs_serverd loopback instance
+// with the protocol's query mix and reports achieved qps plus
+// p50/p99/p999 wire latency measured from each request's *scheduled*
+// arrival — queueing delay counts against the server, as it would for a
+// real client. Writes BENCH_server.json; exits nonzero if throughput
+// falls below the 1k qps floor.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_report.h"
+#include "core/system.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "testbed/ship_db.h"
+
+namespace iqs {
+namespace {
+
+constexpr int kClients = 8;
+constexpr int kRequestsPerClient = 500;
+constexpr double kOfferedQps = 2000.0;  // across all clients
+constexpr double kFloorQps = 1000.0;
+
+const std::vector<std::string>& RequestMix() {
+  static const std::vector<std::string> mix = {
+      R"({"verb":"ping"})",
+      R"({"verb":"query","sql":"SELECT Id FROM SUBMARINE WHERE SUBMARINE.Class = '0204'"})",
+      R"({"verb":"query","sql":"SELECT ClassName, Type FROM CLASS WHERE Displacement >= 7250"})",
+      R"({"verb":"query","sql":"SELECT Type, COUNT(*) FROM CLASS GROUP BY Type ORDER BY Type"})",
+  };
+  return mix;
+}
+
+int Run() {
+  auto system = BuildShipSystem();
+  if (!system.ok()) {
+    std::fprintf(stderr, "ship testbed: %s\n",
+                 system.status().ToString().c_str());
+    return 1;
+  }
+  InductionConfig induction;
+  induction.min_support = 3;
+  if (Status s = (*system)->Induce(induction); !s.ok()) {
+    std::fprintf(stderr, "induce: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  net::ServerConfig config;
+  config.host = "127.0.0.1";
+  config.port = 0;
+  config.max_sessions = kClients + 4;
+  net::IqsServer server(system->get(), config);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "server start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  using Clock = std::chrono::steady_clock;
+  std::vector<std::vector<double>> latencies(kClients);
+  std::vector<std::thread> threads;
+  std::atomic<int> errors{0};
+  const Clock::time_point start = Clock::now();
+
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      net::BlockingClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        errors.fetch_add(kRequestsPerClient);
+        return;
+      }
+      // Open loop: the arrival schedule is fixed up front from a seeded
+      // exponential process and never adjusts to response times.
+      std::mt19937 rng(1000 + c);
+      std::exponential_distribution<double> gap(kOfferedQps / kClients);
+      std::uniform_int_distribution<size_t> pick(0, RequestMix().size() - 1);
+      latencies[c].reserve(kRequestsPerClient);
+      double offset_s = 0.0;
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        offset_s += gap(rng);
+        const Clock::time_point scheduled =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(offset_s));
+        std::this_thread::sleep_until(scheduled);
+        auto response = client.Call(RequestMix()[pick(rng)],
+                                    /*timeout_ms=*/30000);
+        const Clock::time_point done = Clock::now();
+        if (!response.ok()) {
+          errors.fetch_add(1);
+          continue;
+        }
+        latencies[c].push_back(
+            std::chrono::duration<double, std::micro>(done - scheduled)
+                .count());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  server.Shutdown();
+
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  if (all.empty()) {
+    std::fprintf(stderr, "no successful requests\n");
+    return 1;
+  }
+  std::sort(all.begin(), all.end());
+  auto quantile = [&all](double q) {
+    const size_t idx = static_cast<size_t>(q * (all.size() - 1));
+    return all[idx];
+  };
+  const double qps = static_cast<double>(all.size()) / elapsed_s;
+  const double p50 = quantile(0.5);
+  const double p99 = quantile(0.99);
+  const double p999 = quantile(0.999);
+
+  std::printf("E14: server wire latency (open loop, %d clients, %.0f qps "
+              "offered)\n",
+              kClients, kOfferedQps);
+  std::printf("  served %zu requests in %.2fs -> %.0f qps, %d errors\n",
+              all.size(), elapsed_s, qps, errors.load());
+  std::printf("  latency micros: p50 %.0f  p99 %.0f  p999 %.0f\n", p50, p99,
+              p999);
+
+  bench::BenchReport report("server");
+  report.Add("offered_qps", kOfferedQps, "qps");
+  report.Add("achieved_qps", qps, "qps");
+  report.Add("requests", static_cast<double>(all.size()), "count");
+  report.Add("errors", errors.load(), "count");
+  report.Add("latency_p50", p50, "micros");
+  report.Add("latency_p99", p99, "micros");
+  report.Add("latency_p999", p999, "micros");
+  report.Write();
+
+  if (qps < kFloorQps) {
+    std::fprintf(stderr, "FAIL: %.0f qps is below the %.0f qps floor\n", qps,
+                 kFloorQps);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace iqs
+
+int main() { return iqs::Run(); }

@@ -1,0 +1,128 @@
+// iqs_client: sample client for iqs_serverd (DESIGN.md §13). Each
+// command-line argument (or stdin line) becomes one request: arguments
+// starting with '{' are sent as raw protocol JSON; anything else is
+// wrapped as {"verb":"query","sql":...} and the response's table and
+// explain text are printed — the same surfaces the shell prints locally.
+//
+//   $ ./build/examples/iqs_client --port 7461 \
+//       "SELECT Name FROM SUBMARINE, CLASS WHERE SUBMARINE.CLASS =
+//        CLASS.CLASS AND CLASS.DISPLACEMENT > 8000"
+//   $ ./build/examples/iqs_client --port 7461 '{"verb":"metrics"}'
+//   $ echo '{"verb":"ping"}' | ./build/examples/iqs_client --port 7461
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "net/json.h"
+
+namespace {
+
+void PrintUsage(const char* argv0) {
+  std::cout << "usage: " << argv0
+            << " [--host <ip>] [--port <n>] [request ...]\n"
+            << "  request     '{...}' raw protocol JSON, else SQL for a "
+               "query verb\n"
+            << "  (no requests: read one request per stdin line)\n";
+}
+
+// Prints a response: for query responses the human-facing surfaces, for
+// everything else the raw JSON.
+int PrintResponse(const std::string& payload) {
+  auto parsed = iqs::net::JsonValue::Parse(payload);
+  if (!parsed.ok() || !parsed->is_object()) {
+    std::cout << payload << "\n";
+    return 0;
+  }
+  const iqs::net::JsonValue* ok = parsed->Find("ok");
+  if (ok != nullptr && ok->is_bool() && !ok->AsBool()) {
+    const iqs::net::JsonValue* error = parsed->Find("error");
+    std::cerr << "error: "
+              << (error != nullptr ? error->Dump() : payload) << "\n";
+    return 1;
+  }
+  const iqs::net::JsonValue* table = parsed->Find("table");
+  const iqs::net::JsonValue* explain = parsed->Find("explain");
+  if (table != nullptr && table->is_string() && explain != nullptr &&
+      explain->is_string()) {
+    std::cout << table->AsString() << explain->AsString();
+    const iqs::net::JsonValue* degradations = parsed->Find("degradations");
+    if (degradations != nullptr && !degradations->items().empty()) {
+      for (const auto& event : degradations->items()) {
+        std::cout << "! degraded: " << event.AsString() << "\n";
+      }
+    }
+    return 0;
+  }
+  std::cout << payload << "\n";
+  return 0;
+}
+
+std::string WrapRequest(const std::string& text, uint64_t id) {
+  if (!text.empty() && text[0] == '{') return text;
+  iqs::net::JsonWriter w;
+  w.BeginObject();
+  w.Field("verb", std::string("query"));
+  w.Field("sql", text);
+  w.Field("id", id);
+  w.EndObject();
+  return w.Take();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  long port = 7461;
+  std::vector<std::string> requests;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      PrintUsage(argv[0]);
+      return 0;
+    } else if (flag == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (flag == "--port" && i + 1 < argc) {
+      port = std::strtol(argv[++i], nullptr, 10);
+    } else {
+      requests.push_back(flag);
+    }
+  }
+  if (port <= 0 || port > 65535) {
+    std::cerr << "--port must be 1..65535\n";
+    return 2;
+  }
+
+  iqs::net::BlockingClient client;
+  if (auto s = client.Connect(host, static_cast<uint16_t>(port)); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+
+  uint64_t id = 0;
+  int exit_code = 0;
+  auto run_one = [&](const std::string& text) {
+    auto response = client.Call(WrapRequest(text, ++id));
+    if (!response.ok()) {
+      std::cerr << response.status() << "\n";
+      exit_code = 1;
+      return;
+    }
+    if (PrintResponse(*response) != 0) exit_code = 1;
+  };
+
+  if (requests.empty()) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      run_one(line);
+    }
+  } else {
+    for (const std::string& request : requests) run_one(request);
+  }
+  return exit_code;
+}

@@ -22,6 +22,8 @@ enum class StatusCode {
   kUnavailable,       // transient fault; safe to retry (see fault/degrade.h)
   kCorruption,        // persisted bytes failed an integrity check; not
                       // retryable — recovery picks another snapshot
+  kOverloaded,        // admission control shed the request; retry later
+                      // against a less-loaded server (see src/net/)
 };
 
 // Returns a short stable name such as "NotFound" for diagnostics.
@@ -70,6 +72,9 @@ class [[nodiscard]] Status {
   }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

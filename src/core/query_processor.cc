@@ -219,6 +219,13 @@ void LogQuery(const std::string& sql, InferenceMode mode,
 
 Result<QueryResult> IntensionalQueryProcessor::Process(
     const std::string& sql, InferenceMode mode) const {
+  QueryOptions options;
+  options.mode = mode;
+  return Process(sql, options);
+}
+
+Result<QueryResult> IntensionalQueryProcessor::Process(
+    const std::string& sql, const QueryOptions& options) const {
   // Snapshot: concurrent re-induction swaps the set; this query keeps
   // reading the version it started with. When the snapshot load faults
   // the query degrades to extensional-only instead of failing.
@@ -240,11 +247,15 @@ Result<QueryResult> IntensionalQueryProcessor::Process(
     epochs.db_epoch = db_->epoch();
     versioned = true;
   }
-  Result<QueryResult> result = ProcessImpl(sql, mode, rules.get(),
+  Result<QueryResult> result = ProcessImpl(sql, options, rules.get(),
                                            std::move(pre),
                                            versioned ? &epochs : nullptr);
+  if (result.ok() && versioned) {
+    result->rule_epoch = epochs.rule_epoch;
+    result->db_epoch = epochs.db_epoch;
+  }
   RecordOutcome(result);
-  LogQuery(sql, mode, epochs.rule_epoch, epochs.db_epoch, result);
+  LogQuery(sql, options.mode, epochs.rule_epoch, epochs.db_epoch, result);
   return result;
 }
 
@@ -252,27 +263,31 @@ Result<QueryResult> IntensionalQueryProcessor::ProcessWith(
     const std::string& sql, InferenceMode mode, const RuleSet& rules) const {
   // Explicit rule sets carry no epoch, so answers derived from them are
   // never cached (the plan cache, keyed on text alone, still applies).
-  Result<QueryResult> result = ProcessImpl(sql, mode, &rules, {}, nullptr);
+  QueryOptions options;
+  options.mode = mode;
+  Result<QueryResult> result = ProcessImpl(sql, options, &rules, {}, nullptr);
   RecordOutcome(result);
   LogQuery(sql, mode, /*rule_epoch=*/0, /*db_epoch=*/0, result);
   return result;
 }
 
 Result<QueryResult> IntensionalQueryProcessor::ProcessImpl(
-    const std::string& sql, InferenceMode mode, const RuleSet* rules,
-    std::vector<fault::DegradationEvent> pre,
+    const std::string& sql, const QueryOptions& options,
+    const RuleSet* rules, std::vector<fault::DegradationEvent> pre,
     const CacheEpochs* epochs) const {
   IQS_SPAN("query.process");
   IQS_COUNTER_INC("query.count");
   using Clock = std::chrono::steady_clock;
+  const InferenceMode mode = options.mode;
   QueryResult result;
   result.degradations = std::move(pre);
 
   // A fired cache failpoint bypasses the cache for this query: the
   // uncached path serves the identical answer, so nothing is degraded
   // and no event is recorded — the site's fire counter is the
-  // observable (policy kCacheBypass).
-  const bool cache_on = cache_.enabled();
+  // observable (policy kCacheBypass). A per-call use_cache=false (a
+  // session's `set cache off`) bypasses it the same way.
+  const bool cache_on = options.use_cache && cache_.enabled();
   const bool lookups_on = cache_on && fault::Hit("cache.lookup").ok();
 
   Clock::time_point t0 = Clock::now();
@@ -317,7 +332,7 @@ Result<QueryResult> IntensionalQueryProcessor::ProcessImpl(
   // Runs only on the versioned path: an explicit rule set (ProcessWith)
   // carries no epochs, and a rewrite whose staleness cannot be judged is
   // a rewrite that must not fire.
-  const SqoMode sqo = sqo_mode();
+  const SqoMode sqo = options.sqo.value_or(sqo_mode());
   std::optional<RewritePlan> rewrite;
   if (sqo != SqoMode::kOff && rules != nullptr && epochs != nullptr) {
     if (Status fp = fault::Hit("sqo.rewrite"); !fp.ok()) {

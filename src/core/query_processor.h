@@ -2,6 +2,7 @@
 #define IQS_CORE_QUERY_PROCESSOR_H_
 
 #include <atomic>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,13 @@ struct QueryResult {
   Relation extensional;
   QueryDescription description;
   IntensionalAnswer intensional;
+  // Rule/db epochs the answer was derived under (read before any work,
+  // together with the rule-base snapshot). Both stay 0 on unversioned
+  // paths (explicit-rules baseline, degraded snapshot load). The network
+  // layer surfaces them so clients can correlate answers with induction
+  // and mutation traffic.
+  uint64_t rule_epoch = 0;
+  uint64_t db_epoch = 0;
   // Semantic rewrites applied before execution (sqo mode on): one step
   // per predicate elimination / scan narrowing / empty proof /
   // intensional-only answer, each naming the rules that justified it.
@@ -40,6 +48,20 @@ struct QueryResult {
   std::vector<fault::DegradationEvent> degradations;
 
   bool degraded() const { return !degradations.empty(); }
+};
+
+// Per-call knobs for Process(). The defaults reproduce the plain
+// Process(sql, mode) behavior; the network layer passes one of these per
+// request so concurrent sessions with different `set` options never race
+// on the processor-wide state.
+struct QueryOptions {
+  InferenceMode mode = InferenceMode::kCombined;
+  // Semantic-rewrite mode for this call; nullopt uses the processor-wide
+  // sqo_mode().
+  std::optional<SqoMode> sqo;
+  // false bypasses the plan + answer caches for this call only (lookups
+  // and inserts); the uncached path serves the identical answer.
+  bool use_cache = true;
 };
 
 // The intensional query processing system (paper §5.1, Figure 6): a
@@ -64,6 +86,11 @@ class IntensionalQueryProcessor {
   Result<QueryResult> Process(const std::string& sql,
                               InferenceMode mode = InferenceMode::kCombined)
       const;
+
+  // Same, with explicit per-call options (inference mode, sqo override,
+  // cache bypass). Process(sql, mode) forwards here.
+  Result<QueryResult> Process(const std::string& sql,
+                              const QueryOptions& options) const;
 
   // Same, against an explicit rule set (used by the integrity-constraint
   // baseline).
@@ -121,8 +148,8 @@ class IntensionalQueryProcessor {
   // degraded snapshot), which disables the answer cache but not the plan
   // cache.
   Result<QueryResult> ProcessImpl(
-      const std::string& sql, InferenceMode mode, const RuleSet* rules,
-      std::vector<fault::DegradationEvent> pre,
+      const std::string& sql, const QueryOptions& options,
+      const RuleSet* rules, std::vector<fault::DegradationEvent> pre,
       const CacheEpochs* epochs) const;
 
   const Database* db_;

@@ -57,6 +57,12 @@ Result<QueryResult> IqsSystem::Query(const std::string& sql,
   return processor_->Process(sql, mode);
 }
 
+Result<QueryResult> IqsSystem::Query(const std::string& sql,
+                                     const QueryOptions& options) const {
+  IQS_TRACE_SCOPE("sql.query");
+  return processor_->Process(sql, options);
+}
+
 std::string IqsSystem::Explain(QueryResult& result) const {
   auto start = std::chrono::steady_clock::now();
   std::string out = formatter_->Render(result);

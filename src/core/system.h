@@ -44,6 +44,12 @@ class IqsSystem {
                             InferenceMode mode = InferenceMode::kCombined)
       const;
 
+  // Same, with explicit per-call options (inference mode, sqo override,
+  // cache bypass) — used by the network layer so concurrent sessions with
+  // different `set` options never race on processor-wide state.
+  Result<QueryResult> Query(const std::string& sql,
+                            const QueryOptions& options) const;
+
   // Paper-style prose for a query result. The non-const overload also
   // records the formatting cost into result.stats.format_micros.
   std::string Explain(QueryResult& result) const;

@@ -46,6 +46,14 @@ constexpr ManifestEntry kManifest[] = {
     {"cache.lookup", Policy::kCacheBypass, "query-cache lookup"},
     {"cache.insert", Policy::kCacheBypass, "query-cache insert"},
     {"sqo.rewrite", Policy::kSkipRewrite, "semantic rewrite pass"},
+    {"net.accept", Policy::kSkipAndLog,
+     "listener accept of one inbound connection"},
+    {"net.frame.read", Policy::kFailFast,
+     "connection frame read (torn/faulted request stream)"},
+    {"net.frame.write", Policy::kSkipAndLog,
+     "connection frame write (response send)"},
+    {"net.overload", Policy::kFailFast,
+     "server admission-control check"},
 };
 
 Result<StatusCode> CodeFromName(const std::string& name) {
@@ -67,6 +75,7 @@ Result<StatusCode> CodeFromName(const std::string& name) {
   if (lower == "corruption" || lower == "corrupt") {
     return StatusCode::kCorruption;
   }
+  if (lower == "overloaded") return StatusCode::kOverloaded;
   return Status::InvalidArgument("unknown failpoint error code '" + name +
                                  "'");
 }

@@ -54,7 +54,7 @@ const char* PolicyName(Policy policy);
 //   action  := "error(code[,message])" | "crash"
 //            | "torn(file,bytes)" | "corrupt(file)"
 //   code    := unavailable | internal | notfound | invalid | parse |
-//              type | constraint | exists | corruption
+//              type | constraint | exists | corruption | overloaded
 // "once" fires on the first hit only; "after(N)" passes N hits then fires
 // on every later one; "times(N)" fires on the first N hits then passes;
 // "prob(P,SEED)" fires each hit with probability P, deterministically

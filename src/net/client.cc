@@ -1,0 +1,137 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace iqs {
+namespace net {
+
+BlockingClient::BlockingClient(BlockingClient&& other) noexcept
+    : fd_(other.fd_), decoder_(std::move(other.decoder_)) {
+  other.fd_ = -1;
+}
+
+BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    decoder_ = std::move(other.decoder_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status BlockingClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("client host must be an IPv4 address, "
+                                   "got '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status s = Status::Unavailable(std::string("connect ") + host +
+                                         ":" + std::to_string(port) + ": " +
+                                         std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  fd_ = fd;
+  decoder_ = FrameDecoder(kDefaultMaxFrameBytes);
+  return Status::Ok();
+}
+
+void BlockingClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status BlockingClient::SendFrame(const std::string& payload) {
+  return SendRaw(EncodeFrame(payload));
+}
+
+Status BlockingClient::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return Status::Unavailable("client not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t wrote = ::send(fd_, bytes.data() + sent,
+                                 bytes.size() - sent, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("send: ") +
+                                 std::strerror(errno));
+    }
+    sent += static_cast<size_t>(wrote);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> BlockingClient::ReadFrame(int timeout_ms) {
+  if (fd_ < 0) return Status::Unavailable("client not connected");
+  for (;;) {
+    std::string payload;
+    Status error;
+    switch (decoder_.Next(&payload, &error)) {
+      case FrameDecoder::Event::kFrame:
+        return payload;
+      case FrameDecoder::Event::kBadFrame:
+        // The server never produces malformed frames; a bad inbound
+        // frame means the stream is corrupt beyond use.
+        return Status::Internal("malformed response frame: " +
+                                error.message());
+      case FrameDecoder::Event::kNeedMore:
+        break;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int n = ::poll(&pfd, 1, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("poll: ") +
+                                 std::strerror(errno));
+    }
+    if (n == 0) return Status::Unavailable("response timeout");
+    char buf[64 * 1024];
+    const ssize_t got = ::recv(fd_, buf, sizeof(buf), 0);
+    if (got == 0) {
+      return decoder_.AtFrameBoundary()
+                 ? Status::NotFound("server closed the connection")
+                 : Status::Unavailable("stream ended mid-frame");
+    }
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("recv: ") +
+                                 std::strerror(errno));
+    }
+    decoder_.Append(buf, static_cast<size_t>(got));
+  }
+}
+
+Result<std::string> BlockingClient::Call(const std::string& payload,
+                                         int timeout_ms) {
+  if (Status s = SendFrame(payload); !s.ok()) return s;
+  return ReadFrame(timeout_ms);
+}
+
+}  // namespace net
+}  // namespace iqs

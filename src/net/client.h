@@ -1,0 +1,57 @@
+#ifndef IQS_NET_CLIENT_H_
+#define IQS_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace iqs {
+namespace net {
+
+// Minimal blocking protocol client: one socket, framed request/response.
+// This is the only client implementation in the tree — iqs_client, the
+// protocol conformance suite, the stress harness, and the server bench
+// all speak through it, so a framing bug cannot hide in a test-only
+// copy.
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient() { Close(); }
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+  BlockingClient(BlockingClient&& other) noexcept;
+  BlockingClient& operator=(BlockingClient&& other) noexcept;
+
+  Status Connect(const std::string& host, uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  // Frames `payload` and writes it fully.
+  Status SendFrame(const std::string& payload);
+
+  // Writes bytes with no framing — the conformance and fuzz suites use
+  // this to put malformed data on the wire.
+  Status SendRaw(const std::string& bytes);
+
+  // Blocks up to `timeout_ms` for one response frame. NotFound on clean
+  // EOF at a frame boundary (server closed the session), Unavailable on
+  // timeout or a torn stream.
+  Result<std::string> ReadFrame(int timeout_ms = 10000);
+
+  // SendFrame + ReadFrame.
+  Result<std::string> Call(const std::string& payload,
+                           int timeout_ms = 10000);
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_{kDefaultMaxFrameBytes};
+};
+
+}  // namespace net
+}  // namespace iqs
+
+#endif  // IQS_NET_CLIENT_H_

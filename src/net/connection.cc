@@ -1,0 +1,122 @@
+#include "net/connection.h"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "fault/failpoint.h"
+#include "obs/metrics.h"
+
+namespace iqs {
+namespace net {
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Connection::ReadEvent Connection::ReadFrame(std::string* payload,
+                                            Status* error,
+                                            int idle_timeout_ms,
+                                            int read_timeout_ms,
+                                            int wake_fd) {
+  for (;;) {
+    // Serve buffered frames before the socket: one TCP segment may carry
+    // many frames.
+    switch (decoder_.Next(payload, error)) {
+      case FrameDecoder::Event::kFrame: {
+        const Status faulted = fault::Hit("net.frame.read");
+        if (!faulted.ok()) {
+          IQS_COUNTER_INC("net.read.faulted");
+          *error = faulted;
+          return ReadEvent::kClosed;
+        }
+        return ReadEvent::kFrame;
+      }
+      case FrameDecoder::Event::kBadFrame:
+        IQS_COUNTER_INC("net.frames.bad");
+        return ReadEvent::kBadFrame;
+      case FrameDecoder::Event::kNeedMore:
+        break;
+    }
+
+    const int timeout_ms =
+        decoder_.AtFrameBoundary() ? idle_timeout_ms : read_timeout_ms;
+    pollfd fds[2];
+    fds[0] = {fd_, POLLIN, 0};
+    fds[1] = {wake_fd, POLLIN, 0};
+    const int n = ::poll(fds, 2, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = Status::Unavailable(std::string("poll: ") +
+                                   std::strerror(errno));
+      return ReadEvent::kClosed;
+    }
+    if (n == 0) {
+      *error = decoder_.AtFrameBoundary()
+                   ? Status::Unavailable("idle timeout")
+                   : Status::Unavailable("read timeout mid-frame");
+      return ReadEvent::kTimeout;
+    }
+    if (fds[1].revents != 0) {
+      *error = Status::Unavailable("server draining");
+      return ReadEvent::kWoken;
+    }
+    if (fds[0].revents == 0) continue;
+
+    char buf[64 * 1024];
+    const ssize_t got = ::recv(fd_, buf, sizeof(buf), 0);
+    if (got == 0) {
+      *error = decoder_.AtFrameBoundary()
+                   ? Status::Ok()
+                   : Status::Unavailable("stream ended mid-frame");
+      return ReadEvent::kClosed;
+    }
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      *error = Status::Unavailable(std::string("recv: ") +
+                                   std::strerror(errno));
+      return ReadEvent::kClosed;
+    }
+    decoder_.Append(buf, static_cast<size_t>(got));
+    IQS_COUNTER_ADD("net.bytes.read", static_cast<uint64_t>(got));
+  }
+}
+
+Status Connection::WriteFrame(const std::string& payload,
+                              int write_timeout_ms) {
+  {
+    const Status faulted = fault::Hit("net.frame.write");
+    if (!faulted.ok()) {
+      // kSkipAndLog: the response is dropped, the connection survives.
+      IQS_COUNTER_INC("net.write.skipped");
+      return Status::Ok();
+    }
+  }
+  const std::string frame = EncodeFrame(payload);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    pollfd pfd{fd_, POLLOUT, 0};
+    const int n = ::poll(&pfd, 1, write_timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("poll: ") +
+                                 std::strerror(errno));
+    }
+    if (n == 0) return Status::Unavailable("write timeout");
+    const ssize_t wrote =
+        ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("send: ") +
+                                 std::strerror(errno));
+    }
+    sent += static_cast<size_t>(wrote);
+  }
+  IQS_COUNTER_ADD("net.bytes.written", frame.size());
+  return Status::Ok();
+}
+
+}  // namespace net
+}  // namespace iqs

@@ -1,0 +1,60 @@
+#ifndef IQS_NET_CONNECTION_H_
+#define IQS_NET_CONNECTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace iqs {
+namespace net {
+
+// One accepted socket plus its inbound frame decoder. All I/O is
+// poll-bounded: a read waits at most the idle timeout between frames and
+// the (usually shorter) read timeout once a frame has started arriving —
+// that split is what distinguishes a quiet-but-healthy client from one
+// that tore mid-frame. Writes block at most the write timeout per
+// syscall.
+class Connection {
+ public:
+  // Takes ownership of `fd`.
+  Connection(int fd, size_t max_frame_bytes)
+      : fd_(fd), decoder_(max_frame_bytes) {}
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  enum class ReadEvent {
+    kFrame,     // *payload holds one request payload
+    kBadFrame,  // recoverable framing violation; *error says what
+    kClosed,    // peer closed (or read failed); connection is done
+    kTimeout,   // idle/read timeout expired; connection is done
+    kWoken,     // wake_fd fired (server drain); connection is done
+  };
+
+  // Returns the next inbound event. Frames already buffered are served
+  // without touching the socket, so a client that batches requests into
+  // one write still gets every response. The "net.frame.read" failpoint
+  // fires here, modeling a torn request stream: it closes the
+  // connection, as a real torn read would.
+  ReadEvent ReadFrame(std::string* payload, Status* error,
+                      int idle_timeout_ms, int read_timeout_ms, int wake_fd);
+
+  // Frames `payload` and writes it fully. The "net.frame.write"
+  // failpoint models a dropped response: the write is skipped (counted
+  // in net.write.skipped) but the connection survives — kSkipAndLog
+  // semantics, matching a response lost in flight rather than a broken
+  // socket.
+  Status WriteFrame(const std::string& payload, int write_timeout_ms);
+
+ private:
+  int fd_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace net
+}  // namespace iqs
+
+#endif  // IQS_NET_CONNECTION_H_

@@ -1,0 +1,482 @@
+#include "net/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace iqs {
+namespace net {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Int(int64_t i) {
+  JsonValue v;
+  v.kind_ = Kind::kInt;
+  v.int_ = i;
+  return v;
+}
+
+JsonValue JsonValue::Double(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kDouble;
+  v.double_ = d;
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Recursive-descent parser over the whole input. Positions are byte
+// offsets; errors carry the offset so a conformance failure names the
+// exact malformed byte.
+class Parser {
+ public:
+  Parser(const std::string& text, size_t max_depth)
+      : s_(text), max_depth_(max_depth) {}
+
+  Result<JsonValue> Run() {
+    SkipWs();
+    JsonValue value;
+    IQS_RETURN_IF_ERROR(ParseValue(0, &value));
+    SkipWs();
+    if (pos_ != s_.size()) {
+      return Err("trailing bytes after the JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Err(const std::string& what) const {
+    return Status::ParseError("json: " + what + " at byte " +
+                              std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  Status ParseValue(size_t depth, JsonValue* out) {
+    if (depth > max_depth_) return Err("nesting too deep");
+    switch (Peek()) {
+      case '{':
+        return ParseObject(depth, out);
+      case '[':
+        return ParseArray(depth, out);
+      case '"': {
+        std::string s;
+        IQS_RETURN_IF_ERROR(ParseString(&s));
+        *out = JsonValue::Str(std::move(s));
+        return Status::Ok();
+      }
+      case 't':
+        IQS_RETURN_IF_ERROR(Literal("true"));
+        *out = JsonValue::Bool(true);
+        return Status::Ok();
+      case 'f':
+        IQS_RETURN_IF_ERROR(Literal("false"));
+        *out = JsonValue::Bool(false);
+        return Status::Ok();
+      case 'n':
+        IQS_RETURN_IF_ERROR(Literal("null"));
+        *out = JsonValue::Null();
+        return Status::Ok();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(size_t depth, JsonValue* out) {
+    ++pos_;  // {
+    *out = JsonValue::Object();
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      IQS_RETURN_IF_ERROR(ParseString(&key));
+      SkipWs();
+      if (Peek() != ':') return Err("expected ':' in object");
+      ++pos_;
+      SkipWs();
+      JsonValue value;
+      IQS_RETURN_IF_ERROR(ParseValue(depth + 1, &value));
+      out->Set(std::move(key), std::move(value));
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return Status::Ok();
+      }
+      return Err("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(size_t depth, JsonValue* out) {
+    ++pos_;  // [
+    *out = JsonValue::Array();
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWs();
+      JsonValue value;
+      IQS_RETURN_IF_ERROR(ParseValue(depth + 1, &value));
+      out->Append(std::move(value));
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return Status::Ok();
+      }
+      return Err("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (Peek() != '"') return Err("expected string");
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size()) {
+      unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (c < 0x20) return Err("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) break;
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return Err("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = s_[pos_ + i];
+              unsigned digit;
+              if (h >= '0' && h <= '9') {
+                digit = h - '0';
+              } else if (h >= 'a' && h <= 'f') {
+                digit = h - 'a' + 10;
+              } else if (h >= 'A' && h <= 'F') {
+                digit = h - 'A' + 10;
+              } else {
+                return Err("bad hex digit in \\u escape");
+              }
+              code = code * 16 + digit;
+            }
+            pos_ += 4;
+            // UTF-8 encode the BMP code point; surrogate pairs are kept
+            // as two 3-byte sequences (the protocol never round-trips
+            // astral text, and lossy-but-lossless-bytes beats rejecting).
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            --pos_;
+            return Err("bad escape character");
+        }
+        continue;
+      }
+      out->push_back(static_cast<char>(c));
+      ++pos_;
+    }
+    return Err("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+      pos_ = start;
+      return Err("expected a JSON value");
+    }
+    // No leading zeros: "0" or [1-9][0-9]*.
+    if (Peek() == '0') {
+      ++pos_;
+      if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Err("leading zero in number");
+      }
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    bool integral = true;
+    if (Peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Err("expected digit after decimal point");
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      integral = false;
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Err("expected digit in exponent");
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    const std::string text = s_.substr(start, pos_ - start);
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(text.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        *out = JsonValue::Int(static_cast<int64_t>(v));
+        return Status::Ok();
+      }
+      // Out of int64 range: fall through to double.
+    }
+    errno = 0;
+    double d = std::strtod(text.c_str(), nullptr);
+    if (errno != 0 && !std::isfinite(d)) {
+      return Err("number out of range");
+    }
+    *out = JsonValue::Double(d);
+    return Status::Ok();
+  }
+
+  Status Literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) {
+        return Err(std::string("bad literal (expected '") + word + "')");
+      }
+      ++pos_;
+    }
+    return Status::Ok();
+  }
+
+  const std::string& s_;
+  const size_t max_depth_;
+  size_t pos_ = 0;
+};
+
+std::string DumpDouble(double d) {
+  if (!std::isfinite(d)) return "null";  // JSON has no Inf/NaN
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  return buf;
+}
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(const std::string& text,
+                                   size_t max_depth) {
+  return Parser(text, max_depth).Run();
+}
+
+std::string JsonEscapeString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonValue::Dump() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return bool_ ? "true" : "false";
+    case Kind::kInt:
+      return std::to_string(int_);
+    case Kind::kDouble:
+      return DumpDouble(double_);
+    case Kind::kString:
+      return "\"" + JsonEscapeString(string_) + "\"";
+    case Kind::kArray: {
+      std::string out = "[";
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += items_[i].Dump();
+      }
+      return out + "]";
+    }
+    case Kind::kObject: {
+      std::string out = "{";
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "\"" + JsonEscapeString(members_[i].first) +
+               "\":" + members_[i].second.Dump();
+      }
+      return out + "}";
+    }
+  }
+  return "null";
+}
+
+void JsonWriter::Comma() {
+  if (need_comma_) out_ += ",";
+  need_comma_ = false;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Comma();
+  out_ += "{";
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_ += "}";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray(const std::string& key) {
+  Key(key);
+  out_ += "[";
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_ += "]";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& key) {
+  Comma();
+  out_ += "\"" + JsonEscapeString(key) + "\":";
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& value) {
+  Comma();
+  out_ += "\"" + JsonEscapeString(value) + "\"";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(const std::string& json) {
+  Comma();
+  out_ += json;
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  Comma();
+  out_ += std::to_string(value);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t value) {
+  Comma();
+  out_ += std::to_string(value);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  Comma();
+  out_ += DumpDouble(value);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  Comma();
+  out_ += value ? "true" : "false";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  Comma();
+  out_ += "null";
+  need_comma_ = true;
+  return *this;
+}
+
+}  // namespace net
+}  // namespace iqs

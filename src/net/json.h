@@ -1,0 +1,144 @@
+#ifndef IQS_NET_JSON_H_
+#define IQS_NET_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace iqs {
+namespace net {
+
+// Minimal JSON value tree for the wire protocol (DESIGN.md §13): the
+// request router parses inbound frames with JsonValue::Parse and builds
+// responses with JsonWriter. The obs layer already *emits* JSON by string
+// concatenation; this is the first subsystem that must *read* untrusted
+// JSON, so parsing is strict (RFC 8259 syntax, depth-capped, whole-input)
+// and every malformed byte sequence yields a typed ParseError — never a
+// crash, which the wire-format fuzz suite holds it to.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Int(int64_t i);
+  static JsonValue Double(double d);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  // Strict parse of exactly one JSON value spanning the whole input.
+  // `max_depth` bounds array/object nesting so a hostile frame of ten
+  // thousand '[' cannot overflow the stack.
+  static Result<JsonValue> Parse(const std::string& text,
+                                 size_t max_depth = 64);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  int64_t AsInt() const {
+    return kind_ == Kind::kDouble ? static_cast<int64_t>(double_) : int_;
+  }
+  double AsDouble() const {
+    return kind_ == Kind::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& AsString() const { return string_; }
+
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  // Object member lookup (first match); nullptr when absent or not an
+  // object.
+  const JsonValue* Find(const std::string& key) const;
+
+  // Mutation helpers for building values programmatically (tests, the
+  // sample client). The router builds responses with JsonWriter instead.
+  void Append(JsonValue v) { items_.push_back(std::move(v)); }
+  void Set(std::string key, JsonValue v) {
+    members_.emplace_back(std::move(key), std::move(v));
+  }
+
+  // Serializes back to compact JSON (keys in insertion order).
+  std::string Dump() const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+// Escapes `s` for inclusion in a JSON string literal (quotes not
+// included): ", \, and control characters; everything else passes
+// through byte-for-byte, so UTF-8 survives unmodified.
+std::string JsonEscapeString(const std::string& s);
+
+// Incremental compact-JSON object/array builder for the response path:
+// pure string appends, no intermediate tree. Scope-correctness is the
+// caller's job (the router's response shapes are all statically known).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray(const std::string& key);  // "key": [
+  JsonWriter& EndArray();
+  JsonWriter& Key(const std::string& key);         // "key":
+  JsonWriter& String(const std::string& value);    // value escaped
+  JsonWriter& Raw(const std::string& json);        // pre-serialized JSON
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  // Key/value conveniences.
+  JsonWriter& Field(const std::string& key, const std::string& value) {
+    return Key(key).String(value);
+  }
+  JsonWriter& Field(const std::string& key, int64_t value) {
+    return Key(key).Int(value);
+  }
+  JsonWriter& Field(const std::string& key, uint64_t value) {
+    return Key(key).UInt(value);
+  }
+  JsonWriter& Field(const std::string& key, bool value) {
+    return Key(key).Bool(value);
+  }
+  JsonWriter& RawField(const std::string& key, const std::string& json) {
+    return Key(key).Raw(json);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Comma();
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+}  // namespace net
+}  // namespace iqs
+
+#endif  // IQS_NET_JSON_H_

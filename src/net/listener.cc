@@ -1,0 +1,96 @@
+#include "net/listener.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace iqs {
+namespace net {
+
+Status Listener::Open(const std::string& host, uint16_t port) {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("listener host must be an IPv4 address, "
+                                   "got '" + host + "'");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status s = Status::Unavailable(std::string("bind ") + host + ":" +
+                                         std::to_string(port) + ": " +
+                                         std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    const Status s =
+        Status::Unavailable(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const Status s = Status::Internal(std::string("getsockname: ") +
+                                      std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  return Status::Ok();
+}
+
+Result<int> Listener::Accept(int wake_fd) {
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {fd_, POLLIN, 0};
+    fds[1] = {wake_fd, POLLIN, 0};
+    const int n = ::poll(fds, 2, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("poll: ") + std::strerror(errno));
+    }
+    if (fds[1].revents != 0) {
+      return Status::Unavailable("listener woken for shutdown");
+    }
+    if (fds[0].revents == 0) continue;
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return Status::Unavailable(std::string("accept: ") +
+                                 std::strerror(errno));
+    }
+    ::fcntl(client, F_SETFD, FD_CLOEXEC);
+    const int one = 1;
+    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return client;
+  }
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace net
+}  // namespace iqs

@@ -1,0 +1,48 @@
+#ifndef IQS_NET_LISTENER_H_
+#define IQS_NET_LISTENER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace iqs {
+namespace net {
+
+// A bound, listening TCP socket. Accept() multiplexes the listen fd with
+// a wake fd (the server's shutdown pipe) so a blocked accept loop can be
+// interrupted without signals or timeouts.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  // Binds `host:port` (port 0 picks an ephemeral port — the norm for
+  // tests) and starts listening. SO_REUSEADDR is set so rapid test
+  // restarts do not trip TIME_WAIT.
+  Status Open(const std::string& host, uint16_t port);
+
+  // Blocks until a connection arrives (returns its fd), `wake_fd`
+  // becomes readable (returns Unavailable "listener woken"), or the
+  // socket fails. The caller owns the returned fd.
+  Result<int> Accept(int wake_fd);
+
+  void Close();
+
+  bool listening() const { return fd_ >= 0; }
+  // The actual bound port (resolves port 0 to the kernel's choice).
+  uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace net
+}  // namespace iqs
+
+#endif  // IQS_NET_LISTENER_H_

@@ -1,0 +1,483 @@
+#include "net/router.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/snapshot.h"
+#include "exec/thread_pool.h"
+#include "fault/failpoint.h"
+#include "induction/induction_config.h"
+#include "net/json.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+
+namespace iqs {
+namespace net {
+namespace {
+
+// Protocol revision reported by `ping`. Bump on any incompatible change
+// to the frame format or response shapes.
+constexpr int64_t kProtocolVersion = 1;
+
+// {"ok":false,"error":{"code":...,"message":...}}, id echoed when the
+// request carried one.
+std::string ErrorResponse(const Status& status, const std::string& id_json) {
+  JsonWriter w;
+  w.BeginObject();
+  if (!id_json.empty()) w.RawField("id", id_json);
+  w.Field("ok", false);
+  w.Key("error").BeginObject();
+  w.Field("code", std::string(StatusCodeName(status.code())));
+  w.Field("message", status.message());
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
+}
+
+// Pulls a required string member; error mentions the verb for context.
+Result<std::string> RequiredString(const JsonValue& request,
+                                   const std::string& verb,
+                                   const std::string& key) {
+  const JsonValue* v = request.Find(key);
+  if (v == nullptr || !v->is_string()) {
+    return Status::InvalidArgument(verb + " requires a string \"" + key +
+                                   "\" member");
+  }
+  return v->AsString();
+}
+
+Result<InferenceMode> ParseMode(const std::string& name) {
+  if (name == "forward") return InferenceMode::kForward;
+  if (name == "backward") return InferenceMode::kBackward;
+  if (name == "combined") return InferenceMode::kCombined;
+  return Status::InvalidArgument("unknown inference mode '" + name +
+                                 "' (forward|backward|combined)");
+}
+
+Result<SqoMode> ParseSqo(const std::string& name) {
+  if (name == "off") return SqoMode::kOff;
+  if (name == "on") return SqoMode::kOn;
+  if (name == "intensional") return SqoMode::kIntensional;
+  return Status::InvalidArgument("unknown sqo mode '" + name +
+                                 "' (on|off|intensional)");
+}
+
+void WriteSessionOptions(JsonWriter& w, const Session& session) {
+  w.Key("options").BeginObject();
+  w.Field("mode", std::string(InferenceModeName(session.mode)));
+  w.Field("sqo", std::string(SqoModeName(session.sqo)));
+  w.Field("cache", session.use_cache);
+  w.EndObject();
+}
+
+void WriteBudget(JsonWriter& w, const Session& session) {
+  const fault::ErrorBudget::Snapshot b = session.budget.snapshot();
+  w.Key("budget").BeginObject();
+  w.Field("ok", b.ok);
+  w.Field("degraded", b.degraded);
+  w.Field("failed", b.failed);
+  w.Key("window_ratio").Double(b.window_ratio);
+  w.Field("exhausted", b.exhausted);
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string RequestRouter::FramingError(const Status& status) {
+  return ErrorResponse(status, /*id_json=*/"");
+}
+
+std::string RequestRouter::Handle(const std::string& payload,
+                                  Session& session) const {
+  session.requests++;
+  IQS_COUNTER_INC("net.requests");
+
+  auto parsed = JsonValue::Parse(payload);
+  if (!parsed.ok()) {
+    session.errors++;
+    IQS_COUNTER_INC("net.requests.error");
+    return ErrorResponse(parsed.status(), "");
+  }
+  if (!parsed->is_object()) {
+    session.errors++;
+    IQS_COUNTER_INC("net.requests.error");
+    return ErrorResponse(
+        Status::InvalidArgument("request must be a JSON object"), "");
+  }
+
+  // Echo the id verbatim (any JSON value) in success and error alike, so
+  // clients can pipeline requests and match responses.
+  std::string id_json;
+  if (const JsonValue* id = parsed->Find("id")) id_json = id->Dump();
+
+  const JsonValue* verb_member = parsed->Find("verb");
+  if (verb_member == nullptr || !verb_member->is_string()) {
+    session.errors++;
+    IQS_COUNTER_INC("net.requests.error");
+    return ErrorResponse(
+        Status::InvalidArgument("request has no string \"verb\" member"),
+        id_json);
+  }
+  const std::string& verb = verb_member->AsString();
+
+  // Per-verb counters use the closed verb set — a fuzzed stream of novel
+  // verbs must not grow the metrics registry without bound. Dynamic
+  // names also cannot use the caching macros.
+  static const std::set<std::string> kVerbs = {
+      "ping",    "query", "explain", "describe", "induce", "rules",
+      "fsck",    "metrics", "sys",   "set",      "session"};
+  const std::string counter_verb =
+      kVerbs.count(verb) ? verb : std::string("unknown");
+  auto fail = [&](const Status& status) {
+    session.errors++;
+    IQS_COUNTER_INC("net.requests.error");
+    obs::GlobalMetrics()
+        .GetCounter("net.verb." + counter_verb + ".error")
+        ->Increment(1);
+    return ErrorResponse(status, id_json);
+  };
+  obs::GlobalMetrics().GetCounter("net.verb." + counter_verb)->Increment(1);
+
+  // ---- ping ----------------------------------------------------------
+  if (verb == "ping") {
+    JsonWriter w;
+    w.BeginObject();
+    if (!id_json.empty()) w.RawField("id", id_json);
+    w.Field("ok", true);
+    w.Field("pong", true);
+    w.Field("protocol", kProtocolVersion);
+    w.EndObject();
+    return w.Take();
+  }
+
+  // ---- query / explain -----------------------------------------------
+  if (verb == "query" || verb == "explain") {
+    auto sql = RequiredString(*parsed, verb, "sql");
+    if (!sql.ok()) return fail(sql.status());
+
+    QueryOptions options = session.query_options();
+    if (const JsonValue* m = parsed->Find("mode")) {
+      if (!m->is_string()) {
+        return fail(Status::InvalidArgument("\"mode\" must be a string"));
+      }
+      auto mode = ParseMode(m->AsString());
+      if (!mode.ok()) return fail(mode.status());
+      options.mode = *mode;
+    }
+
+    auto result = system_->Query(*sql, options);
+    if (!result.ok()) {
+      session.budget.RecordFailed();
+      return fail(result.status());
+    }
+    if (result->degraded()) {
+      session.budget.RecordDegraded();
+    } else {
+      session.budget.RecordOk();
+    }
+
+    // Non-const Explain records format_micros before stats serialize, so
+    // the wire stats match what the shell would print.
+    const std::string explain = system_->Explain(*result);
+
+    JsonWriter w;
+    w.BeginObject();
+    if (!id_json.empty()) w.RawField("id", id_json);
+    w.Field("ok", true);
+    w.Field("mode", std::string(InferenceModeName(options.mode)));
+    w.Field("sqo",
+            std::string(SqoModeName(options.sqo.value_or(SqoMode::kOff))));
+    w.Field("rows", static_cast<uint64_t>(result->extensional.size()));
+    w.Field("table", result->extensional.ToTable());
+    w.Field("explain", explain);
+    w.Field("rule_epoch", result->rule_epoch);
+    w.Field("db_epoch", result->db_epoch);
+    w.BeginArray("rewrites");
+    for (const RewriteStep& step : result->rewrites) w.String(step.ToString());
+    w.EndArray();
+    w.BeginArray("degradations");
+    for (const auto& event : result->degradations) w.String(event.ToString());
+    w.EndArray();
+    w.Field("degraded", result->degraded());
+    w.RawField("stats", result->stats.ToJson());
+    if (verb == "explain") w.Field("stats_text", result->stats.ToString());
+    const auto budget = session.budget.snapshot();
+    if (budget.exhausted) w.Field("budget_exhausted", true);
+    w.EndObject();
+    return w.Take();
+  }
+
+  // ---- describe ------------------------------------------------------
+  if (verb == "describe") {
+    const Database& db = system_->database();
+    const JsonValue* rel_member = parsed->Find("relation");
+    if (rel_member == nullptr) {
+      JsonWriter w;
+      w.BeginObject();
+      if (!id_json.empty()) w.RawField("id", id_json);
+      w.Field("ok", true);
+      w.BeginArray("relations");
+      for (const std::string& name : db.RelationNames()) w.String(name);
+      w.EndArray();
+      w.BeginArray("virtual");
+      for (const std::string& name : db.VirtualRelationNames()) {
+        w.String(name);
+      }
+      w.EndArray();
+      w.Field("db_epoch", db.epoch());
+      w.EndObject();
+      return w.Take();
+    }
+    if (!rel_member->is_string()) {
+      return fail(Status::InvalidArgument("\"relation\" must be a string"));
+    }
+    const std::string& name = rel_member->AsString();
+    const Relation* relation = nullptr;
+    Relation materialized;
+    if (db.IsVirtual(name)) {
+      auto snapshot = db.MaterializeVirtual(name);
+      if (!snapshot.ok()) return fail(snapshot.status());
+      materialized = std::move(*snapshot);
+      relation = &materialized;
+    } else {
+      auto found = db.Get(name);
+      if (!found.ok()) return fail(found.status());
+      relation = *found;
+    }
+    JsonWriter w;
+    w.BeginObject();
+    if (!id_json.empty()) w.RawField("id", id_json);
+    w.Field("ok", true);
+    w.Field("relation", relation->name());
+    w.Field("schema", relation->schema().ToString());
+    w.BeginArray("columns");
+    for (const AttributeDef& attr : relation->schema().attributes()) {
+      w.BeginObject();
+      w.Field("name", attr.name);
+      w.Field("type", std::string(ValueTypeName(attr.type)));
+      w.Field("key", attr.is_key);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Field("rows", static_cast<uint64_t>(relation->size()));
+    w.EndObject();
+    return w.Take();
+  }
+
+  // ---- induce --------------------------------------------------------
+  if (verb == "induce") {
+    InductionConfig config;
+    if (const JsonValue* nc = parsed->Find("nc")) {
+      if (!nc->is_number()) {
+        return fail(Status::InvalidArgument("\"nc\" must be a number"));
+      }
+      config.min_support = nc->AsInt();
+    }
+    {
+      std::lock_guard<std::mutex> lock(induce_mu_);
+      if (Status s = system_->Induce(config); !s.ok()) return fail(s);
+    }
+    JsonWriter w;
+    w.BeginObject();
+    if (!id_json.empty()) w.RawField("id", id_json);
+    w.Field("ok", true);
+    w.Field("rules",
+            static_cast<uint64_t>(system_->dictionary().induced_rules().size()));
+    w.Field("nc", static_cast<int64_t>(config.min_support));
+    w.Field("rule_epoch", system_->dictionary().rule_epoch());
+    w.Field("db_epoch", system_->database().epoch());
+    w.EndObject();
+    return w.Take();
+  }
+
+  // ---- rules ---------------------------------------------------------
+  if (verb == "rules") {
+    JsonWriter w;
+    w.BeginObject();
+    if (!id_json.empty()) w.RawField("id", id_json);
+    w.Field("ok", true);
+    w.Field("count",
+            static_cast<uint64_t>(system_->dictionary().induced_rules().size()));
+    w.Field("text", system_->dictionary().induced_rules().ToString());
+    w.Field("rule_epoch", system_->dictionary().rule_epoch());
+    w.EndObject();
+    return w.Take();
+  }
+
+  // ---- fsck ----------------------------------------------------------
+  if (verb == "fsck") {
+    auto dir = RequiredString(*parsed, verb, "dir");
+    if (!dir.ok()) return fail(dir.status());
+    auto report = persist::FsckDirectory(*dir);
+    if (!report.ok()) return fail(report.status());
+    JsonWriter w;
+    w.BeginObject();
+    if (!id_json.empty()) w.RawField("id", id_json);
+    w.Field("ok", true);
+    w.Field("healthy", report->healthy());
+    w.Field("report", report->ToString());
+    w.EndObject();
+    return w.Take();
+  }
+
+  // ---- metrics -------------------------------------------------------
+  if (verb == "metrics") {
+    std::string format = "json";
+    if (const JsonValue* f = parsed->Find("format")) {
+      if (!f->is_string()) {
+        return fail(Status::InvalidArgument("\"format\" must be a string"));
+      }
+      format = f->AsString();
+    }
+    const obs::MetricsSnapshot snapshot = obs::GlobalMetrics().Snapshot();
+    JsonWriter w;
+    w.BeginObject();
+    if (!id_json.empty()) w.RawField("id", id_json);
+    w.Field("ok", true);
+    w.Field("format", format);
+    if (format == "json") {
+      w.RawField("metrics", snapshot.ToJson());
+    } else if (format == "text") {
+      w.Field("metrics_text", snapshot.ToText());
+    } else if (format == "prom") {
+      w.Field("metrics_prom", obs::RenderPrometheus(snapshot));
+    } else {
+      return fail(Status::InvalidArgument("unknown metrics format '" +
+                                          format + "' (json|text|prom)"));
+    }
+    w.EndObject();
+    return w.Take();
+  }
+
+  // ---- sys -----------------------------------------------------------
+  if (verb == "sys") {
+    const Database& db = system_->database();
+    const JsonValue* rel_member = parsed->Find("relation");
+    if (rel_member == nullptr) {
+      JsonWriter w;
+      w.BeginObject();
+      if (!id_json.empty()) w.RawField("id", id_json);
+      w.Field("ok", true);
+      w.BeginArray("relations");
+      for (const std::string& name : db.VirtualRelationNames()) {
+        w.String(name);
+      }
+      w.EndArray();
+      w.EndObject();
+      return w.Take();
+    }
+    if (!rel_member->is_string()) {
+      return fail(Status::InvalidArgument("\"relation\" must be a string"));
+    }
+    auto snapshot = db.MaterializeVirtual(rel_member->AsString());
+    if (!snapshot.ok()) return fail(snapshot.status());
+    JsonWriter w;
+    w.BeginObject();
+    if (!id_json.empty()) w.RawField("id", id_json);
+    w.Field("ok", true);
+    w.Field("relation", rel_member->AsString());
+    w.Field("rows", static_cast<uint64_t>(snapshot->size()));
+    w.Field("table", snapshot->ToTable());
+    w.EndObject();
+    return w.Take();
+  }
+
+  // ---- set -----------------------------------------------------------
+  if (verb == "set") {
+    auto option = RequiredString(*parsed, verb, "option");
+    if (!option.ok()) return fail(option.status());
+
+    std::string scope = "session";
+    std::string applied;
+    if (*option == "mode") {
+      auto value = RequiredString(*parsed, verb, "value");
+      if (!value.ok()) return fail(value.status());
+      auto mode = ParseMode(*value);
+      if (!mode.ok()) return fail(mode.status());
+      session.mode = *mode;
+      applied = *value;
+    } else if (*option == "sqo") {
+      auto value = RequiredString(*parsed, verb, "value");
+      if (!value.ok()) return fail(value.status());
+      auto sqo = ParseSqo(*value);
+      if (!sqo.ok()) return fail(sqo.status());
+      session.sqo = *sqo;
+      applied = *value;
+    } else if (*option == "cache") {
+      auto value = RequiredString(*parsed, verb, "value");
+      if (!value.ok()) return fail(value.status());
+      if (*value != "on" && *value != "off") {
+        return fail(Status::InvalidArgument("\"cache\" takes on|off"));
+      }
+      session.use_cache = (*value == "on");
+      applied = *value;
+    } else if (*option == "threads") {
+      const JsonValue* n = parsed->Find("value");
+      if (n == nullptr || !n->is_number() || n->AsInt() < 1 ||
+          n->AsInt() > 512) {
+        return fail(Status::InvalidArgument(
+            "\"threads\" takes a number between 1 and 512"));
+      }
+      // The pool is process-wide; in-flight parallel regions keep the old
+      // pool alive through their shared_ptr, so a resize is safe to issue
+      // while other sessions run queries.
+      exec::SetGlobalThreadCount(static_cast<size_t>(n->AsInt()));
+      scope = "process";
+      applied = std::to_string(n->AsInt());
+    } else if (*option == "failpoint") {
+      if (!config_.allow_failpoints) {
+        return fail(Status::InvalidArgument(
+            "failpoint arming is disabled; start iqs_serverd with "
+            "--allow-failpoints"));
+      }
+      auto name = RequiredString(*parsed, verb, "name");
+      if (!name.ok()) return fail(name.status());
+      auto value = RequiredString(*parsed, verb, "value");
+      if (!value.ok()) return fail(value.status());
+      if (Status s = fault::FailpointRegistry::Global().Set(*name, *value);
+          !s.ok()) {
+        return fail(s);
+      }
+      scope = "process";
+      applied = *name + "=" + *value;
+    } else {
+      return fail(Status::InvalidArgument(
+          "unknown option '" + *option +
+          "' (mode|sqo|cache|threads|failpoint)"));
+    }
+
+    JsonWriter w;
+    w.BeginObject();
+    if (!id_json.empty()) w.RawField("id", id_json);
+    w.Field("ok", true);
+    w.Field("option", *option);
+    w.Field("value", applied);
+    w.Field("scope", scope);
+    w.EndObject();
+    return w.Take();
+  }
+
+  // ---- session -------------------------------------------------------
+  if (verb == "session") {
+    JsonWriter w;
+    w.BeginObject();
+    if (!id_json.empty()) w.RawField("id", id_json);
+    w.Field("ok", true);
+    w.Field("session_id", session.id);
+    w.Field("requests", session.requests);
+    w.Field("errors", session.errors);
+    WriteSessionOptions(w, session);
+    WriteBudget(w, session);
+    w.EndObject();
+    return w.Take();
+  }
+
+  return fail(Status::InvalidArgument(
+      "unknown verb '" + verb +
+      "' (ping|query|explain|describe|induce|rules|fsck|metrics|sys|set|"
+      "session)"));
+}
+
+}  // namespace net
+}  // namespace iqs

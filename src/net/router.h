@@ -1,0 +1,64 @@
+#ifndef IQS_NET_ROUTER_H_
+#define IQS_NET_ROUTER_H_
+
+#include <mutex>
+#include <string>
+
+#include "core/system.h"
+#include "net/session.h"
+
+namespace iqs {
+namespace net {
+
+// Router-level knobs, copied from the server flags.
+struct RouterConfig {
+  // `set failpoint` over the wire is refused unless the operator started
+  // the server with --allow-failpoints: arming fault injection is a
+  // process-wide act no ordinary client should reach.
+  bool allow_failpoints = false;
+};
+
+// Maps one request payload to one response payload (DESIGN.md §13). The
+// router is deliberately socket-free: it is a pure function of (request
+// JSON, session state), which is what lets the protocol suite and the
+// fuzz harness drive every verb and every malformed payload without a
+// server, and guarantees the in-process and over-the-wire answer paths
+// share one implementation.
+//
+// Handle() never throws and always returns a well-formed response
+// object: {"ok":true,...} or {"ok":false,"error":{"code","message"}},
+// echoing the request's "id" member when one was sent. Malformed JSON,
+// a missing/unknown verb, or bad arguments are *responses*, not
+// connection errors — only the framing layer can condemn a connection.
+//
+// One router serves every session of a server concurrently. It owns no
+// mutable state besides the induce mutex (re-induction swaps the shared
+// rule base; serializing it keeps concurrent `induce` verbs from
+// interleaving their ILS scans against a mutating dictionary).
+class RequestRouter {
+ public:
+  // `system` must outlive the router and is shared with any in-process
+  // callers (the golden harness serves the very system it compares
+  // against).
+  explicit RequestRouter(IqsSystem* system, RouterConfig config = {})
+      : system_(system), config_(config) {}
+
+  // Handles one decoded frame payload. Updates session counters and its
+  // error budget as a side effect.
+  std::string Handle(const std::string& payload, Session& session) const;
+
+  // Response payload for a recoverable framing violation (empty or
+  // oversized frame). No id: the frame never parsed far enough to have
+  // one.
+  static std::string FramingError(const Status& status);
+
+ private:
+  IqsSystem* system_;
+  RouterConfig config_;
+  mutable std::mutex induce_mu_;
+};
+
+}  // namespace net
+}  // namespace iqs
+
+#endif  // IQS_NET_ROUTER_H_

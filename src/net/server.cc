@@ -1,0 +1,214 @@
+#include "net/server.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "fault/failpoint.h"
+#include "net/connection.h"
+#include "obs/metrics.h"
+
+namespace iqs {
+namespace net {
+
+IqsServer::IqsServer(IqsSystem* system, ServerConfig config)
+    : system_(system),
+      config_(std::move(config)),
+      router_(system, RouterConfig{config_.allow_failpoints}) {}
+
+IqsServer::~IqsServer() {
+  Shutdown();
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+Status IqsServer::Start() {
+  if (::pipe(wake_pipe_) != 0) {
+    return Status::Internal("pipe: cannot create shutdown pipe");
+  }
+  for (int fd : wake_pipe_) {
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    ::fcntl(fd, F_SETFL, O_NONBLOCK);
+  }
+  if (Status s = listener_.Open(config_.host, config_.port); !s.ok()) {
+    return s;
+  }
+  accept_thread_ = std::thread(&IqsServer::AcceptLoop, this);
+  IQS_COUNTER_INC("net.server.starts");
+  return Status::Ok();
+}
+
+void IqsServer::AcceptLoop() {
+  for (;;) {
+    auto fd = listener_.Accept(wake_pipe_[0]);
+    if (!fd.ok()) {
+      if (shutting_down_.load(std::memory_order_acquire)) return;
+      IQS_COUNTER_INC("net.accept.error");
+      // The listener itself failed (not a per-connection error, those
+      // retry inside Accept). Nothing to serve anymore.
+      return;
+    }
+    // net.accept models a connection dropped at the door (kSkipAndLog):
+    // the client sees a close, the server keeps accepting.
+    if (Status s = fault::Hit("net.accept"); !s.ok()) {
+      IQS_COUNTER_INC("net.accept.skipped");
+      ::close(*fd);
+      continue;
+    }
+    // net.overload forces the shed path without needing max_sessions
+    // real connections (kFailFast: the typed rejection is the contract).
+    const bool forced_shed = !fault::Hit("net.overload").ok();
+
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ReapFinishedLocked();
+      if (shutting_down_.load(std::memory_order_acquire)) {
+        ::close(*fd);
+        return;
+      }
+      if (!forced_shed) admitted = AdmitOrQueueLocked(*fd);
+    }
+    if (admitted) continue;
+
+    // Shed: a typed kOverloaded response, then close. Written outside
+    // mu_ so a slow reader cannot stall admission of other clients.
+    overload_rejections_.fetch_add(1, std::memory_order_relaxed);
+    IQS_COUNTER_INC("net.overloaded");
+    Connection doomed(*fd, config_.max_frame_bytes);
+    (void)doomed.WriteFrame(
+        RequestRouter::FramingError(Status::Overloaded(
+            "server at capacity (" + std::to_string(config_.max_sessions) +
+            " sessions, " + std::to_string(config_.queue_depth) +
+            " queued); retry later")),
+        config_.write_timeout_ms);
+  }
+}
+
+bool IqsServer::AdmitOrQueueLocked(int fd) {
+  if (active_sessions_ < config_.max_sessions) {
+    SpawnSessionLocked(fd);
+    return true;
+  }
+  if (pending_.size() < config_.queue_depth) {
+    pending_.push_back(fd);
+    IQS_GAUGE_SET("net.sessions.queued", pending_.size());
+    return true;
+  }
+  return false;
+}
+
+void IqsServer::SpawnSessionLocked(int fd) {
+  const uint64_t id = ++next_session_id_;
+  ++active_sessions_;
+  sessions_served_.fetch_add(1, std::memory_order_relaxed);
+  IQS_GAUGE_SET("net.sessions.active", active_sessions_);
+  session_threads_.emplace(id,
+                           std::thread(&IqsServer::SessionLoop, this, fd, id));
+}
+
+void IqsServer::ReapFinishedLocked() {
+  for (uint64_t id : finished_) {
+    auto it = session_threads_.find(id);
+    if (it == session_threads_.end()) continue;
+    // The owner pushed its id as its last act under mu_; the join below
+    // waits only for its function epilogue.
+    it->second.join();
+    session_threads_.erase(it);
+  }
+  finished_.clear();
+}
+
+void IqsServer::SessionLoop(int fd, uint64_t session_id) {
+  {
+    Connection conn(fd, config_.max_frame_bytes);
+    Session session;
+    session.id = session_id;
+
+    while (!shutting_down_.load(std::memory_order_acquire)) {
+      std::string payload;
+      Status error;
+      const Connection::ReadEvent event =
+          conn.ReadFrame(&payload, &error, config_.idle_timeout_ms,
+                         config_.read_timeout_ms, wake_pipe_[0]);
+      if (event == Connection::ReadEvent::kFrame) {
+        const std::string response = router_.Handle(payload, session);
+        if (!conn.WriteFrame(response, config_.write_timeout_ms).ok()) break;
+        continue;
+      }
+      if (event == Connection::ReadEvent::kBadFrame) {
+        // Recoverable: answer the violation, keep the session.
+        if (!conn.WriteFrame(RequestRouter::FramingError(error),
+                             config_.write_timeout_ms)
+                 .ok()) {
+          break;
+        }
+        continue;
+      }
+      if (event == Connection::ReadEvent::kTimeout) {
+        IQS_COUNTER_INC("net.sessions.reaped");
+      }
+      break;  // kClosed / kTimeout / kWoken all end the session
+    }
+  }  // Connection closes fd here, before the slot frees up.
+
+  std::lock_guard<std::mutex> lock(mu_);
+  --active_sessions_;
+  finished_.push_back(session_id);
+  IQS_GAUGE_SET("net.sessions.active", active_sessions_);
+  if (!shutting_down_.load(std::memory_order_acquire) && !pending_.empty() &&
+      active_sessions_ < config_.max_sessions) {
+    const int next = pending_.front();
+    pending_.pop_front();
+    IQS_GAUGE_SET("net.sessions.queued", pending_.size());
+    SpawnSessionLocked(next);
+  }
+}
+
+void IqsServer::Shutdown() {
+  // Serialized + idempotent: the destructor calls this unconditionally
+  // after an explicit Shutdown already ran.
+  std::lock_guard<std::mutex> shutdown_guard(shutdown_mu_);
+  shutting_down_.store(true, std::memory_order_release);
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 1;
+    (void)!::write(wake_pipe_[1], &byte, 1);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+
+  // Queued-but-unserved connections get a clean typed close instead of a
+  // silent RST.
+  std::deque<int> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending.swap(pending_);
+  }
+  for (int fd : pending) {
+    Connection doomed(fd, config_.max_frame_bytes);
+    (void)doomed.WriteFrame(
+        RequestRouter::FramingError(Status::Unavailable("server draining")),
+        config_.write_timeout_ms);
+  }
+
+  // Sessions woke via the pipe; each finishes its in-flight request and
+  // flushes the response before exiting its loop.
+  for (;;) {
+    std::unordered_map<uint64_t, std::thread> grab;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      grab.swap(session_threads_);
+      finished_.clear();
+    }
+    if (grab.empty()) break;
+    for (auto& entry : grab) entry.second.join();
+  }
+}
+
+}  // namespace net
+}  // namespace iqs

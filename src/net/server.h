@@ -1,0 +1,112 @@
+#ifndef IQS_NET_SERVER_H_
+#define IQS_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/system.h"
+#include "net/listener.h"
+#include "net/router.h"
+#include "net/wire.h"
+
+namespace iqs {
+namespace net {
+
+// Operator-facing knobs of one server instance; every field maps to an
+// iqs_serverd flag.
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 picks an ephemeral port (tests)
+
+  // Admission control: at most `max_sessions` connections are served
+  // concurrently; the next `queue_depth` wait in accept order for a slot;
+  // beyond that a typed kOverloaded response is written and the
+  // connection closed — load is shed at the door, not by stalling every
+  // client a little (DESIGN.md §13).
+  size_t max_sessions = 64;
+  size_t queue_depth = 16;
+
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  int read_timeout_ms = 5000;   // mid-frame: peer started a frame, then stalled
+  int write_timeout_ms = 5000;  // per blocked send
+  int idle_timeout_ms = 60000;  // between frames: quiet sessions are reaped
+  int drain_timeout_ms = 5000;  // graceful-drain bound on Shutdown
+
+  // Gates `set failpoint` over the wire (see RouterConfig).
+  bool allow_failpoints = false;
+};
+
+// The iqs_serverd core: accept loop + one thread per admitted session,
+// all over a borrowed IqsSystem. Borrowed is the point — the golden
+// harness serves the very system it compares against, so the wire and
+// in-process answers come from one engine instance.
+//
+// Lifecycle: Start() binds and spawns the accept thread; Shutdown()
+// drains gracefully — stop accepting, wake every session's poll, let
+// in-flight requests finish and their responses flush, join everything.
+// Shutdown() is idempotent and also runs from the destructor, so a
+// server object can simply go out of scope in tests.
+class IqsServer {
+ public:
+  // `system` must outlive the server.
+  IqsServer(IqsSystem* system, ServerConfig config);
+  ~IqsServer();
+
+  IqsServer(const IqsServer&) = delete;
+  IqsServer& operator=(const IqsServer&) = delete;
+
+  Status Start();
+  void Shutdown();
+
+  // The actual port (after Start resolves port 0).
+  uint16_t port() const { return listener_.port(); }
+
+  // Lifetime counters, for tests and the `sys.*` surfaces.
+  uint64_t sessions_served() const {
+    return sessions_served_.load(std::memory_order_relaxed);
+  }
+  uint64_t overload_rejections() const {
+    return overload_rejections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void SessionLoop(int fd, uint64_t session_id);
+  // Called with mu_ held: admit `fd` now (spawn its thread) or queue it;
+  // returns false when both are full (caller sheds it).
+  bool AdmitOrQueueLocked(int fd);
+  void SpawnSessionLocked(int fd);
+  void ReapFinishedLocked();
+
+  IqsSystem* system_;
+  const ServerConfig config_;
+  RequestRouter router_;
+
+  Listener listener_;
+  int wake_pipe_[2] = {-1, -1};  // [read, write]; written once on Shutdown
+  std::atomic<bool> shutting_down_{false};
+  std::thread accept_thread_;
+
+  std::mutex shutdown_mu_;  // serializes Shutdown (destructor re-entry)
+
+  std::mutex mu_;
+  uint64_t next_session_id_ = 0;
+  size_t active_sessions_ = 0;
+  std::deque<int> pending_;  // admitted-but-waiting connection fds
+  std::unordered_map<uint64_t, std::thread> session_threads_;
+  std::vector<uint64_t> finished_;  // ids ready to join
+
+  std::atomic<uint64_t> sessions_served_{0};
+  std::atomic<uint64_t> overload_rejections_{0};
+};
+
+}  // namespace net
+}  // namespace iqs
+
+#endif  // IQS_NET_SERVER_H_

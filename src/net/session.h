@@ -1,0 +1,58 @@
+#ifndef IQS_NET_SESSION_H_
+#define IQS_NET_SESSION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/query_processor.h"
+#include "fault/degrade.h"
+#include "inference/engine.h"
+#include "sql/sqo_rewrite.h"
+
+namespace iqs {
+namespace net {
+
+// Per-connection session state (DESIGN.md §13). Every connection gets its
+// own Session the moment admission control admits it; `set` verbs mutate
+// only this object, so two clients with different modes can interleave
+// requests against one IqsSystem without observing each other — the
+// options travel to the processor per call via QueryOptions, never
+// through processor-wide knobs.
+//
+// A Session is confined to its connection thread; nothing here needs
+// locking. The error budget tracks this client's recent outcomes over a
+// sliding window (fault::ErrorBudget semantics: exhaustion is a signal
+// surfaced in responses, not a gate — extensional answers are always
+// worth serving).
+struct Session {
+  uint64_t id = 0;
+
+  // `set mode forward|backward|combined`
+  InferenceMode mode = InferenceMode::kCombined;
+  // `set sqo on|off|intensional`
+  SqoMode sqo = SqoMode::kOff;
+  // `set cache on|off` — false bypasses the shared plan/answer caches
+  // for this session's queries only.
+  bool use_cache = true;
+
+  // Lifetime request counters for the `session` verb.
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+
+  // Sliding-window error budget over this client's query outcomes.
+  fault::ErrorBudget budget{/*window=*/64, /*threshold=*/0.5};
+
+  // The per-call options this session's current settings translate to.
+  QueryOptions query_options() const {
+    QueryOptions options;
+    options.mode = mode;
+    options.sqo = sqo;
+    options.use_cache = use_cache;
+    return options;
+  }
+};
+
+}  // namespace net
+}  // namespace iqs
+
+#endif  // IQS_NET_SESSION_H_

@@ -1,0 +1,70 @@
+#include "net/wire.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace iqs {
+namespace net {
+
+std::string EncodeFrame(const std::string& payload) {
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.push_back(static_cast<char>((n >> 24) & 0xFF));
+  out.push_back(static_cast<char>((n >> 16) & 0xFF));
+  out.push_back(static_cast<char>((n >> 8) & 0xFF));
+  out.push_back(static_cast<char>(n & 0xFF));
+  out += payload;
+  return out;
+}
+
+void FrameDecoder::Append(const char* data, size_t n) {
+  buffer_.append(data, n);
+}
+
+FrameDecoder::Event FrameDecoder::Next(std::string* payload, Status* error) {
+  // Finish discarding an oversized payload before looking for a header.
+  if (skip_remaining_ > 0) {
+    const size_t drop =
+        static_cast<size_t>(std::min<uint64_t>(skip_remaining_,
+                                               buffer_.size()));
+    buffer_.erase(0, drop);
+    skip_remaining_ -= drop;
+    if (skip_remaining_ > 0) return Event::kNeedMore;
+  }
+  if (buffer_.size() < kFrameHeaderBytes) return Event::kNeedMore;
+  const unsigned char* h =
+      reinterpret_cast<const unsigned char*>(buffer_.data());
+  const uint64_t length = (static_cast<uint64_t>(h[0]) << 24) |
+                          (static_cast<uint64_t>(h[1]) << 16) |
+                          (static_cast<uint64_t>(h[2]) << 8) |
+                          static_cast<uint64_t>(h[3]);
+  if (length == 0) {
+    buffer_.erase(0, kFrameHeaderBytes);
+    *error = Status::InvalidArgument(
+        "empty frame: length prefix must be at least 1");
+    return Event::kBadFrame;
+  }
+  if (length > max_frame_bytes_) {
+    buffer_.erase(0, kFrameHeaderBytes);
+    skip_remaining_ = length;
+    // Eagerly drop whatever portion already arrived so AtFrameBoundary
+    // reflects the resynchronized stream.
+    const size_t drop =
+        static_cast<size_t>(std::min<uint64_t>(skip_remaining_,
+                                               buffer_.size()));
+    buffer_.erase(0, drop);
+    skip_remaining_ -= drop;
+    *error = Status::InvalidArgument(
+        "oversized frame: " + std::to_string(length) + " bytes exceeds " +
+        std::to_string(max_frame_bytes_) + "-byte limit");
+    return Event::kBadFrame;
+  }
+  if (buffer_.size() < kFrameHeaderBytes + length) return Event::kNeedMore;
+  payload->assign(buffer_, kFrameHeaderBytes, static_cast<size_t>(length));
+  buffer_.erase(0, kFrameHeaderBytes + static_cast<size_t>(length));
+  return Event::kFrame;
+}
+
+}  // namespace net
+}  // namespace iqs

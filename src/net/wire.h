@@ -1,0 +1,82 @@
+#ifndef IQS_NET_WIRE_H_
+#define IQS_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace iqs {
+namespace net {
+
+// Wire framing (DESIGN.md §13): every protocol message — request and
+// response alike — is one frame:
+//
+//   +-----------------+---------------------+
+//   | length (4B, BE) | payload (JSON text) |
+//   +-----------------+---------------------+
+//
+// The length counts payload bytes only and must satisfy
+// 1 <= length <= max_frame_bytes. A violation is a *recoverable* framing
+// error: the decoder reports it, the server answers with a typed error
+// response, and the stream resynchronizes (an oversized frame's payload
+// is discarded byte-for-byte; a zero-length frame has nothing to skip).
+// Only a stream that ends or times out mid-frame closes the connection,
+// because the remaining byte count is unknowable.
+
+inline constexpr size_t kDefaultMaxFrameBytes = 1 << 20;  // 1 MiB
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+// Header + payload. Payloads above 2^32-1 bytes cannot be framed; the
+// router never produces one (responses embed tables, not relations).
+std::string EncodeFrame(const std::string& payload);
+
+// Incremental frame decoder for one connection's inbound byte stream.
+// Feed arbitrary chunks; poll Next() for complete frames. The decoder
+// never throws and never over-reads: a torn TCP segmentation (1-byte
+// reads included) reassembles identically to a single write, which the
+// fuzz suite drives hard.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  // Appends raw bytes received from the peer.
+  void Append(const char* data, size_t n);
+  void Append(const std::string& bytes) {
+    Append(bytes.data(), bytes.size());
+  }
+
+  enum class Event {
+    kNeedMore,  // no complete frame buffered yet
+    kFrame,     // *payload holds one complete frame's payload
+    kBadFrame,  // *error describes a recoverable framing violation
+  };
+
+  // Extracts the next event. After kBadFrame the decoder has already
+  // resynchronized itself (oversized payloads enter skip mode and are
+  // discarded as bytes arrive), so callers keep feeding and polling.
+  Event Next(std::string* payload, Status* error);
+
+  // True while the decoder sits between frames (nothing buffered, not
+  // skipping): an EOF here is a clean close, an EOF anywhere else is a
+  // truncated frame.
+  bool AtFrameBoundary() const {
+    return buffer_.empty() && skip_remaining_ == 0;
+  }
+
+  // Bytes buffered but not yet consumed (diagnostics).
+  size_t buffered() const { return buffer_.size(); }
+
+ private:
+  // Not const so decoders stay assignable (client reconnect resets one).
+  size_t max_frame_bytes_;
+  std::string buffer_;
+  uint64_t skip_remaining_ = 0;  // oversized-frame payload left to discard
+};
+
+}  // namespace net
+}  // namespace iqs
+
+#endif  // IQS_NET_WIRE_H_

@@ -23,6 +23,9 @@
 #include "fault/failpoint.h"
 #include "gtest/gtest.h"
 #include "ker/ddl_parser.h"
+#include "net/client.h"
+#include "net/json.h"
+#include "net/server.h"
 #include "quel/quel_parser.h"
 #include "tests/test_util.h"
 
@@ -407,6 +410,90 @@ TEST_F(FaultMatrixTest, EveryManifestSiteDegradesAsDeclared) {
           << rendered;
       ship_->processor().set_sqo_mode(SqoMode::kOff);
 
+    } else if (site.name == "net.accept" || site.name == "net.frame.read" ||
+               site.name == "net.frame.write" || site.name == "net.overload") {
+      // Each wire site gets its own short-timeout server over the shared
+      // ship system, so a faulted exchange cannot bleed into the next
+      // driver. All four contracts end the same way: the NEXT conformant
+      // client is served — the server survives every injected fault.
+      net::ServerConfig server_config;
+      server_config.host = "127.0.0.1";
+      server_config.port = 0;
+      server_config.read_timeout_ms = 2000;
+      server_config.idle_timeout_ms = 2000;
+      net::IqsServer server(ship_, server_config);
+      ASSERT_OK(server.Start());
+      constexpr char kPing[] = R"({"verb":"ping"})";
+
+      if (site.name == "net.accept") {
+        // kSkipAndLog: the faulted connection is dropped at the door;
+        // the accept loop keeps going.
+        EXPECT_EQ(site.policy, Policy::kSkipAndLog);
+        ScopedFailpoint fp(site.name,
+                           "times(1):error(unavailable,accept fault)");
+        ASSERT_TRUE(fp.ok());
+        net::BlockingClient dropped;
+        ASSERT_OK(dropped.Connect("127.0.0.1", server.port()));
+        (void)dropped.SendFrame(kPing);
+        EXPECT_FALSE(dropped.ReadFrame(/*timeout_ms=*/2000).ok());
+
+      } else if (site.name == "net.frame.read") {
+        // kFailFast: a torn read stream closes that connection only.
+        EXPECT_EQ(site.policy, Policy::kFailFast);
+        ScopedFailpoint fp(site.name,
+                           "times(1):error(unavailable,torn stream)");
+        ASSERT_TRUE(fp.ok());
+        net::BlockingClient torn;
+        ASSERT_OK(torn.Connect("127.0.0.1", server.port()));
+        ASSERT_OK(torn.SendFrame(kPing));
+        EXPECT_FALSE(torn.ReadFrame(/*timeout_ms=*/2000).ok());
+
+      } else if (site.name == "net.frame.write") {
+        // kSkipAndLog: the response frame is dropped, the connection and
+        // the session survive — the same client just asks again.
+        EXPECT_EQ(site.policy, Policy::kSkipAndLog);
+        net::BlockingClient client;
+        ASSERT_OK(client.Connect("127.0.0.1", server.port()));
+        {
+          ScopedFailpoint fp(site.name,
+                             "times(1):error(unavailable,write fault)");
+          ASSERT_TRUE(fp.ok());
+          ASSERT_OK(client.SendFrame(kPing));
+          EXPECT_FALSE(client.ReadFrame(/*timeout_ms=*/500).ok());
+        }
+        auto retry = client.Call(kPing, /*timeout_ms=*/10000);
+        ASSERT_TRUE(retry.ok()) << retry.status();
+
+      } else {  // net.overload
+        // kFailFast: the forced-shed path answers with the same typed
+        // kOverloaded rejection real capacity exhaustion produces.
+        EXPECT_EQ(site.policy, Policy::kFailFast);
+        ScopedFailpoint fp(site.name,
+                           "times(1):error(unavailable,forced overload)");
+        ASSERT_TRUE(fp.ok());
+        net::BlockingClient shed;
+        ASSERT_OK(shed.Connect("127.0.0.1", server.port()));
+        auto rejection = shed.ReadFrame(/*timeout_ms=*/5000);
+        ASSERT_TRUE(rejection.ok()) << rejection.status();
+        auto parsed = net::JsonValue::Parse(*rejection);
+        ASSERT_TRUE(parsed.ok()) << *rejection;
+        const net::JsonValue* error = parsed->Find("error");
+        ASSERT_NE(error, nullptr);
+        const net::JsonValue* code = error->Find("code");
+        ASSERT_NE(code, nullptr);
+        EXPECT_EQ(code->AsString(), "Overloaded");
+        EXPECT_EQ(server.overload_rejections(), 1u);
+      }
+
+      // The survival clause, common to all four sites.
+      net::BlockingClient survivor;
+      ASSERT_OK(survivor.Connect("127.0.0.1", server.port()));
+      auto pong = survivor.Call(kPing, /*timeout_ms=*/10000);
+      ASSERT_TRUE(pong.ok()) << site.name
+                             << ": server did not survive the fault: "
+                             << pong.status();
+      server.Shutdown();
+
     } else {
       ADD_FAILURE() << "manifest site '" << site.name
                     << "' has no fault-matrix driver — add one here";
@@ -414,7 +501,7 @@ TEST_F(FaultMatrixTest, EveryManifestSiteDegradesAsDeclared) {
     FailpointRegistry::Global().ClearAll();
   }
   // Sanity: the manifest did not shrink out from under the matrix.
-  EXPECT_GE(driven, 20u);
+  EXPECT_GE(driven, 24u);
 }
 
 // With any single intensional-side failpoint active, every golden query

@@ -15,6 +15,9 @@
 
 #include "core/persistence.h"
 #include "fault/failpoint.h"
+#include "net/client.h"
+#include "net/json.h"
+#include "net/server.h"
 #include "sql/sqo_rewrite.h"
 #include "gtest/gtest.h"
 #include "tests/test_util.h"
@@ -335,6 +338,126 @@ TEST_F(GoldenAnswersTest, RenderingIsByteIdenticalCacheOnVsOff) {
     EXPECT_EQ(cold, warm) << t.sql << ": warm hit changed the rendering";
     EXPECT_EQ(cold, uncached) << t.sql << ": caching changed the rendering";
   }
+}
+
+// Over-the-wire goldens: the same renders reconstructed from iqs_serverd
+// query responses. The server adds transport, never semantics, so the
+// reassembled "-- query --/-- extensional --/-- intensional --" document
+// must be byte-identical to the in-process render — and therefore to the
+// pinned golden files, rewritten and degraded variants included.
+std::string WireRender(net::BlockingClient& client, const std::string& sql) {
+  net::JsonWriter w;
+  w.BeginObject();
+  w.Field("verb", std::string("query"));
+  w.Field("sql", sql);
+  w.EndObject();
+  auto response = client.Call(w.Take(), /*timeout_ms=*/30000);
+  EXPECT_TRUE(response.ok()) << sql << " -> " << response.status();
+  if (!response.ok()) return {};
+  auto parsed = net::JsonValue::Parse(*response);
+  EXPECT_TRUE(parsed.ok()) << *response;
+  if (!parsed.ok()) return {};
+  const net::JsonValue* ok = parsed->Find("ok");
+  EXPECT_TRUE(ok != nullptr && ok->is_bool() && ok->AsBool()) << *response;
+  const net::JsonValue* table = parsed->Find("table");
+  const net::JsonValue* explain = parsed->Find("explain");
+  EXPECT_TRUE(table != nullptr && table->is_string()) << sql;
+  EXPECT_TRUE(explain != nullptr && explain->is_string()) << sql;
+  if (table == nullptr || !table->is_string() || explain == nullptr ||
+      !explain->is_string()) {
+    return {};
+  }
+  return "-- query --\n" + sql + "\n-- extensional --\n" + table->AsString() +
+         "-- intensional --\n" + explain->AsString();
+}
+
+void WireSetSqo(net::BlockingClient& client, const std::string& value) {
+  net::JsonWriter w;
+  w.BeginObject();
+  w.Field("verb", std::string("set"));
+  w.Field("option", std::string("sqo"));
+  w.Field("value", value);
+  w.EndObject();
+  auto response = client.Call(w.Take(), /*timeout_ms=*/30000);
+  ASSERT_TRUE(response.ok()) << response.status();
+}
+
+TEST_F(GoldenAnswersTest, WireAnswersAreByteIdenticalToInProcess) {
+  ASSERT_NE(ship_, nullptr);
+  ASSERT_NE(employee_, nullptr);
+  // Earlier tests mutated epochs (snapshot export); realign the rule
+  // base so the rewrite pass is armed, exactly as the in-process
+  // rewritten-golden test does.
+  InductionConfig config;
+  config.min_support = 3;
+  ASSERT_OK(ship_->Induce(config));
+  ASSERT_OK(employee_->Induce(config));
+
+  net::ServerConfig server_config;
+  server_config.host = "127.0.0.1";
+  server_config.port = 0;
+  net::IqsServer ship_server(ship_, server_config);
+  net::IqsServer employee_server(employee_, server_config);
+  ASSERT_OK(ship_server.Start());
+  ASSERT_OK(employee_server.Start());
+  net::BlockingClient ship_client;
+  ASSERT_OK(ship_client.Connect("127.0.0.1", ship_server.port()));
+  net::BlockingClient employee_client;
+  ASSERT_OK(employee_client.Connect("127.0.0.1", employee_server.port()));
+
+  // Healthy renders, checked against the same golden files as the
+  // in-process suite.
+  for (const GoldenCase& c : ShipCases()) {
+    const std::string sql = ShipSql(c);
+    const std::string wire = WireRender(ship_client, sql);
+    EXPECT_EQ(wire, Render(*ship_, sql)) << c.name;
+    if (!update_golden) CheckOrUpdate(c.name, wire);
+  }
+  for (const GoldenCase& c : EmployeeCases()) {
+    const std::string wire = WireRender(employee_client, c.sql);
+    EXPECT_EQ(wire, Render(*employee_, c.sql)) << c.name;
+    if (!update_golden) CheckOrUpdate(c.name, wire);
+  }
+
+  // Degraded variants: the failpoint is armed in-process (the server
+  // shares this process), so the wire query walks the same degraded
+  // path the shell would.
+  for (const GoldenCase& c : ShipCases()) {
+    const std::string sql = ShipSql(c);
+    fault::ScopedFailpoint fp("infer.fire",
+                              "error(unavailable,inference engine offline)");
+    ASSERT_TRUE(fp.ok());
+    ship_->processor().cache().Clear();
+    const std::string wire = WireRender(ship_client, sql);
+    ship_->processor().cache().Clear();
+    EXPECT_EQ(wire, Render(*ship_, sql)) << c.name;
+    EXPECT_NE(wire.find("intensional unavailable"), std::string::npos)
+        << c.name;
+    if (!update_golden) {
+      CheckOrUpdate(std::string(c.name) + "_degraded", wire);
+    }
+  }
+
+  // Rewritten variants: sqo armed per-session over the wire (the
+  // session option is the wire-facing twin of set_sqo_mode).
+  WireSetSqo(ship_client, "on");
+  for (const GoldenCase& c : RewrittenShipCases()) {
+    ship_->processor().cache().Clear();
+    const std::string wire = WireRender(ship_client, c.sql);
+    ship_->processor().cache().Clear();
+    ship_->processor().set_sqo_mode(SqoMode::kOn);
+    const std::string in_process = Render(*ship_, c.sql);
+    ship_->processor().set_sqo_mode(SqoMode::kOff);
+    EXPECT_EQ(wire, in_process) << c.name;
+    EXPECT_NE(wire.find("rewrite: rule"), std::string::npos) << c.name;
+    if (!update_golden) {
+      CheckOrUpdate(std::string(c.name) + "_rewritten", wire);
+    }
+  }
+  WireSetSqo(ship_client, "off");
+
+  ship_server.Shutdown();
+  employee_server.Shutdown();
 }
 
 }  // namespace

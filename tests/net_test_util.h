@@ -1,0 +1,126 @@
+#ifndef IQS_TESTS_NET_TEST_UTIL_H_
+#define IQS_TESTS_NET_TEST_UTIL_H_
+
+// Loopback harness for the network front end: a real IqsServer on an
+// ephemeral 127.0.0.1 port over a real testbed system, plus request/
+// response conveniences over the BlockingClient. Shared by the protocol
+// conformance suite, the wire fuzz suite, the concurrent-session stress
+// case, and the over-the-wire golden runner.
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/system.h"
+#include "net/client.h"
+#include "net/json.h"
+#include "net/server.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace net_testing {
+
+// A served system. The system outlives the server (member order), and
+// tests may drive both sides: in-process calls through system() and wire
+// calls through Connect() — that pairing is exactly what the golden
+// equivalence suite proves.
+struct TestServer {
+  std::unique_ptr<IqsSystem> system;
+  std::unique_ptr<net::IqsServer> server;
+
+  ~TestServer() {
+    if (server != nullptr) server->Shutdown();
+  }
+
+  uint16_t port() const { return server->port(); }
+};
+
+// Starts a server over the ship testbed (induced at Nc=3). Returns null
+// after recording a failure, so callers ASSERT_NE(.., nullptr).
+inline std::unique_ptr<TestServer> StartShipServer(
+    net::ServerConfig config = {}) {
+  auto harness = std::make_unique<TestServer>();
+  harness->system = testing_util::ShipSystemOrFail();
+  if (harness->system == nullptr) return nullptr;
+  InductionConfig induction;
+  induction.min_support = 3;
+  EXPECT_OK(harness->system->Induce(induction));
+  config.host = "127.0.0.1";
+  config.port = 0;  // always ephemeral under test
+  harness->server =
+      std::make_unique<net::IqsServer>(harness->system.get(), config);
+  Status started = harness->server->Start();
+  EXPECT_TRUE(started.ok()) << started;
+  if (!started.ok()) return nullptr;
+  return harness;
+}
+
+inline net::BlockingClient Connect(const TestServer& harness) {
+  net::BlockingClient client;
+  EXPECT_OK(client.Connect("127.0.0.1", harness.port()));
+  return client;
+}
+
+// {"verb":..,"id":..} with optional extra string members.
+inline std::string BuildRequest(
+    const std::string& verb, int64_t id,
+    const std::vector<std::pair<std::string, std::string>>& fields = {}) {
+  net::JsonWriter w;
+  w.BeginObject();
+  w.Field("verb", verb);
+  w.Field("id", id);
+  for (const auto& field : fields) w.Field(field.first, field.second);
+  w.EndObject();
+  return w.Take();
+}
+
+// Calls and parses; records a failure (returning null JSON) when the
+// transport or the response parse fails — response payloads must always
+// be valid JSON, which this asserts for every exchange in every suite.
+inline net::JsonValue CallParsed(net::BlockingClient& client,
+                                 const std::string& payload,
+                                 int timeout_ms = 20000) {
+  auto response = client.Call(payload, timeout_ms);
+  EXPECT_TRUE(response.ok()) << payload << " -> " << response.status();
+  if (!response.ok()) return net::JsonValue();
+  auto parsed = net::JsonValue::Parse(*response);
+  EXPECT_TRUE(parsed.ok()) << "unparseable response: " << *response;
+  if (!parsed.ok()) return net::JsonValue();
+  EXPECT_TRUE(parsed->is_object()) << *response;
+  return std::move(*parsed);
+}
+
+// True when the response object has "ok": true.
+inline bool IsOk(const net::JsonValue& response) {
+  const net::JsonValue* ok = response.Find("ok");
+  return ok != nullptr && ok->is_bool() && ok->AsBool();
+}
+
+// The error.code of a failed response, "" when absent.
+inline std::string ErrorCode(const net::JsonValue& response) {
+  const net::JsonValue* error = response.Find("error");
+  if (error == nullptr || !error->is_object()) return "";
+  const net::JsonValue* code = error->Find("code");
+  return code != nullptr && code->is_string() ? code->AsString() : "";
+}
+
+// Member string accessor with a test-failure default.
+inline std::string GetString(const net::JsonValue& response,
+                             const std::string& key) {
+  const net::JsonValue* v = response.Find(key);
+  EXPECT_TRUE(v != nullptr && v->is_string()) << "missing string " << key;
+  return v != nullptr && v->is_string() ? v->AsString() : "";
+}
+
+inline int64_t GetInt(const net::JsonValue& response,
+                      const std::string& key) {
+  const net::JsonValue* v = response.Find(key);
+  EXPECT_TRUE(v != nullptr && v->is_number()) << "missing number " << key;
+  return v != nullptr && v->is_number() ? v->AsInt() : -1;
+}
+
+}  // namespace net_testing
+}  // namespace iqs
+
+#endif  // IQS_TESTS_NET_TEST_UTIL_H_

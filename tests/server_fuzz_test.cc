@@ -1,0 +1,270 @@
+// Wire-format fuzzing for the network front end (mirrors the style of
+// sql_parser_fuzz_test.cc): seeded random byte-streams and mutated
+// valid frames against the frame decoder, the JSON parser, the request
+// router, and a live server socket. The contract under fuzz is total:
+// no crash, no hang, every well-framed input answered with valid JSON,
+// every unrecoverable stream closed cleanly — and the server always
+// survives to serve the next connection. Labeled "fuzz".
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "net/json.h"
+#include "net/router.h"
+#include "net/session.h"
+#include "net/wire.h"
+#include "gtest/gtest.h"
+#include "tests/net_test_util.h"
+
+namespace iqs {
+namespace {
+
+#ifdef IQS_TSAN
+constexpr int kDecoderStreams = 80;
+constexpr int kRouterPayloads = 60;
+constexpr int kSocketStreams = 10;
+#else
+constexpr int kDecoderStreams = 400;
+constexpr int kRouterPayloads = 250;
+constexpr int kSocketStreams = 30;
+#endif
+
+std::string RandomBytes(std::mt19937& rng, size_t max_len) {
+  std::uniform_int_distribution<size_t> len(0, max_len);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::string out(len(rng), '\0');
+  for (char& c : out) c = static_cast<char>(byte(rng));
+  return out;
+}
+
+// Valid request payloads used as the mutation corpus. Deliberately no
+// induce (slow under 250 mutations) and no `set threads` (would resize
+// the process pool mid-suite); the conformance suite covers those.
+const std::vector<std::string>& CorpusPayloads() {
+  static const std::vector<std::string> corpus = {
+      R"({"verb":"ping","id":1})",
+      R"({"verb":"query","id":2,"sql":"SELECT Name FROM SUBMARINE"})",
+      R"({"verb":"explain","sql":"SELECT Id FROM SUBMARINE WHERE Class = '0204'"})",
+      R"({"verb":"describe","relation":"CLASS"})",
+      R"({"verb":"rules"})",
+      R"({"verb":"metrics","format":"prom"})",
+      R"({"verb":"sys","relation":"sys.metrics"})",
+      R"({"verb":"set","option":"mode","value":"backward"})",
+      R"({"verb":"session","id":{"nested":[1,2,{"deep":true}]}})",
+  };
+  return corpus;
+}
+
+std::string Mutate(std::string input, std::mt19937& rng) {
+  std::uniform_int_distribution<int> op(0, 3);
+  std::uniform_int_distribution<int> byte(0, 255);
+  if (input.empty()) return input;
+  std::uniform_int_distribution<size_t> pos(0, input.size() - 1);
+  switch (op(rng)) {
+    case 0:  // flip one byte
+      input[pos(rng)] = static_cast<char>(byte(rng));
+      break;
+    case 1:  // truncate
+      input.resize(pos(rng));
+      break;
+    case 2:  // duplicate a slice
+      input += input.substr(pos(rng));
+      break;
+    case 3:  // insert a byte
+      input.insert(pos(rng), 1, static_cast<char>(byte(rng)));
+      break;
+  }
+  return input;
+}
+
+// ---- frame decoder ---------------------------------------------------
+
+TEST(WireFuzzTest, DecoderSurvivesRandomByteStreams) {
+  for (int seed = 1; seed <= kDecoderStreams; ++seed) {
+    std::mt19937 rng(seed);
+    const std::string stream = RandomBytes(rng, 512);
+    net::FrameDecoder decoder(/*max_frame_bytes=*/256);
+    std::uniform_int_distribution<size_t> chunk(1, 64);
+    size_t offset = 0;
+    int events = 0;
+    while (offset < stream.size()) {
+      const size_t n = std::min(chunk(rng), stream.size() - offset);
+      decoder.Append(stream.data() + offset, n);
+      offset += n;
+      // Drain every available event; the decoder must always make
+      // progress (bounded by bytes fed, so this cannot spin forever).
+      for (;;) {
+        std::string payload;
+        Status error;
+        const auto event = decoder.Next(&payload, &error);
+        if (event == net::FrameDecoder::Event::kNeedMore) break;
+        if (event == net::FrameDecoder::Event::kBadFrame) {
+          EXPECT_FALSE(error.ok());
+        }
+        ASSERT_LT(++events, 4096) << "decoder failed to make progress";
+      }
+    }
+  }
+}
+
+TEST(WireFuzzTest, DecoderReassemblyIsChunkingInvariant) {
+  for (int seed = 1; seed <= kDecoderStreams; ++seed) {
+    std::mt19937 rng(seed + 9000);
+    // A stream of valid frames with occasional corruption.
+    std::string stream;
+    std::vector<std::string> sent;
+    for (int i = 0; i < 5; ++i) {
+      std::string payload = RandomBytes(rng, 40);
+      if (payload.empty()) payload = "x";
+      sent.push_back(payload);
+      stream += net::EncodeFrame(payload);
+    }
+    auto drain = [](net::FrameDecoder& decoder) {
+      std::vector<std::string> got;
+      for (;;) {
+        std::string payload;
+        Status error;
+        const auto event = decoder.Next(&payload, &error);
+        if (event == net::FrameDecoder::Event::kNeedMore) break;
+        if (event == net::FrameDecoder::Event::kFrame) {
+          got.push_back(payload);
+        }
+      }
+      return got;
+    };
+    net::FrameDecoder whole(1024);
+    whole.Append(stream);
+    const std::vector<std::string> at_once = drain(whole);
+
+    net::FrameDecoder trickle(1024);
+    std::vector<std::string> byte_by_byte;
+    for (char c : stream) {
+      trickle.Append(&c, 1);
+      for (std::string& payload : drain(trickle)) {
+        byte_by_byte.push_back(std::move(payload));
+      }
+    }
+    EXPECT_EQ(at_once, sent);
+    EXPECT_EQ(byte_by_byte, sent);
+  }
+}
+
+// ---- JSON parser -----------------------------------------------------
+
+TEST(WireFuzzTest, JsonParserSurvivesRandomAndMutatedInput) {
+  for (int seed = 1; seed <= kRouterPayloads; ++seed) {
+    std::mt19937 rng(seed);
+    auto probe = [](const std::string& text) {
+      auto parsed = net::JsonValue::Parse(text);
+      if (parsed.ok()) {
+        // Whatever parses must round-trip through its own dump.
+        auto again = net::JsonValue::Parse(parsed->Dump());
+        EXPECT_TRUE(again.ok()) << text;
+      } else {
+        EXPECT_FALSE(parsed.status().message().empty());
+      }
+    };
+    probe(RandomBytes(rng, 200));
+    std::uniform_int_distribution<size_t> pick(0,
+                                               CorpusPayloads().size() - 1);
+    probe(Mutate(CorpusPayloads()[pick(rng)], rng));
+    // Deep nesting must hit the depth cap, not the stack guard page.
+    probe(std::string(10000, '[') + std::string(10000, ']'));
+  }
+}
+
+// ---- request router (socket-free) ------------------------------------
+
+class RouterFuzzTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    system_ = testing_util::ShipSystemOrFail().release();
+    if (system_ != nullptr) {
+      InductionConfig config;
+      config.min_support = 3;
+      ASSERT_OK(system_->Induce(config));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    system_ = nullptr;
+  }
+  static IqsSystem* system_;
+};
+
+IqsSystem* RouterFuzzTest::system_ = nullptr;
+
+TEST_F(RouterFuzzTest, RouterAlwaysAnswersWithValidJson) {
+  ASSERT_NE(system_, nullptr);
+  net::RequestRouter router(system_);
+  net::Session session;
+  for (int seed = 1; seed <= kRouterPayloads; ++seed) {
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<size_t> pick(0,
+                                               CorpusPayloads().size() - 1);
+    const std::string inputs[] = {
+        RandomBytes(rng, 160),
+        Mutate(CorpusPayloads()[pick(rng)], rng),
+        CorpusPayloads()[pick(rng)],
+    };
+    for (const std::string& payload : inputs) {
+      const std::string response = router.Handle(payload, session);
+      auto parsed = net::JsonValue::Parse(response);
+      ASSERT_TRUE(parsed.ok())
+          << "router produced unparseable JSON for: " << payload;
+      ASSERT_TRUE(parsed->is_object());
+      ASSERT_NE(parsed->Find("ok"), nullptr);
+    }
+  }
+}
+
+// ---- live socket -----------------------------------------------------
+
+TEST(ServerFuzzTest, ServerSurvivesRandomAndMutatedStreams) {
+  net::ServerConfig config;
+  // Short reaping so abandoned half-frames do not pile sessions up.
+  config.read_timeout_ms = 500;
+  config.idle_timeout_ms = 1000;
+  auto harness = net_testing::StartShipServer(config);
+  ASSERT_NE(harness, nullptr);
+
+  for (int seed = 1; seed <= kSocketStreams; ++seed) {
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<size_t> pick(0,
+                                               CorpusPayloads().size() - 1);
+    {
+      net::BlockingClient chaos;
+      ASSERT_OK(chaos.Connect("127.0.0.1", harness->port()));
+      // Random garbage, then a mutated frame, then a mutated framed
+      // payload of a valid request — whatever happens to the stream,
+      // the server must shrug it off.
+      (void)chaos.SendRaw(RandomBytes(rng, 300));
+      (void)chaos.SendRaw(
+          Mutate(net::EncodeFrame(CorpusPayloads()[pick(rng)]), rng));
+      (void)chaos.SendRaw(
+          net::EncodeFrame(Mutate(CorpusPayloads()[pick(rng)], rng)));
+      // Read whatever comes back (typed errors, maybe a success) until
+      // quiet; never hang on it.
+      for (int i = 0; i < 8; ++i) {
+        auto response = chaos.ReadFrame(/*timeout_ms=*/200);
+        if (!response.ok()) break;
+        auto parsed = net::JsonValue::Parse(*response);
+        EXPECT_TRUE(parsed.ok()) << *response;
+      }
+    }
+    // The proof of survival: a fresh conformant client is served.
+    net::BlockingClient probe;
+    ASSERT_OK(probe.Connect("127.0.0.1", harness->port()));
+    auto pong = probe.Call(R"({"verb":"ping"})", /*timeout_ms=*/10000);
+    ASSERT_TRUE(pong.ok()) << "server unresponsive after fuzz stream "
+                           << seed << ": " << pong.status();
+    auto parsed = net::JsonValue::Parse(*pong);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(net_testing::IsOk(*parsed));
+  }
+}
+
+}  // namespace
+}  // namespace iqs

@@ -1,0 +1,552 @@
+// Protocol conformance suite for the network front end (DESIGN.md §13):
+// every verb round-tripped over a real socket, every malformed-frame
+// class answered with a typed error that kills neither the connection
+// nor the server, and the admission/timeout/drain contracts observed
+// from the client side.
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/failpoint.h"
+#include "net/wire.h"
+#include "gtest/gtest.h"
+#include "tests/net_test_util.h"
+
+namespace iqs {
+namespace {
+
+using net::BlockingClient;
+using net::JsonValue;
+using net_testing::BuildRequest;
+using net_testing::CallParsed;
+using net_testing::Connect;
+using net_testing::ErrorCode;
+using net_testing::GetInt;
+using net_testing::GetString;
+using net_testing::IsOk;
+using net_testing::StartShipServer;
+using net_testing::TestServer;
+
+constexpr const char* kDisplacementQuery =
+    "SELECT Name FROM SUBMARINE, CLASS WHERE SUBMARINE.CLASS = CLASS.CLASS "
+    "AND CLASS.DISPLACEMENT > 8000";
+
+// One server for the whole verb-conformance group; cases that need
+// special ServerConfig knobs start their own.
+class ServerProtocolTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { harness_ = StartShipServer().release(); }
+  static void TearDownTestSuite() {
+    delete harness_;
+    harness_ = nullptr;
+  }
+  void SetUp() override { ASSERT_NE(harness_, nullptr); }
+  static TestServer* harness_;
+};
+
+TestServer* ServerProtocolTest::harness_ = nullptr;
+
+TEST_F(ServerProtocolTest, PingEchoesIdAndProtocolVersion) {
+  BlockingClient client = Connect(*harness_);
+  JsonValue response = CallParsed(client, BuildRequest("ping", 7));
+  EXPECT_TRUE(IsOk(response));
+  EXPECT_EQ(GetInt(response, "id"), 7);
+  EXPECT_EQ(GetInt(response, "protocol"), 1);
+  // Ids are echoed verbatim, whatever their JSON type.
+  JsonValue named = CallParsed(
+      client, R"({"verb":"ping","id":{"batch":"b1","seq":2}})");
+  const JsonValue* id = named.Find("id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->Dump(), R"({"batch":"b1","seq":2})");
+}
+
+TEST_F(ServerProtocolTest, QueryCarriesAnswerStatsEpochsAndAnnotations) {
+  BlockingClient client = Connect(*harness_);
+  net::JsonWriter w;
+  w.BeginObject();
+  w.Field("verb", std::string("query"));
+  w.Field("id", static_cast<int64_t>(1));
+  w.Field("sql", std::string(kDisplacementQuery));
+  w.EndObject();
+  JsonValue response = CallParsed(client, w.Take());
+  ASSERT_TRUE(IsOk(response));
+  EXPECT_EQ(GetInt(response, "rows"), 2);
+  EXPECT_NE(GetString(response, "table").find("Typhoon"), std::string::npos);
+  EXPECT_NE(GetString(response, "explain").find("SSBN"), std::string::npos);
+  EXPECT_GE(GetInt(response, "rule_epoch"), 1);
+  EXPECT_GE(GetInt(response, "db_epoch"), 1);
+  EXPECT_EQ(GetString(response, "mode"), "combined");
+  const JsonValue* stats = response.Find("stats");
+  ASSERT_NE(stats, nullptr);
+  ASSERT_TRUE(stats->is_object());
+  const JsonValue* fired = stats->Find("rules_fired");
+  ASSERT_NE(fired, nullptr);
+  EXPECT_GE(fired->AsInt(), 1);
+  const JsonValue* degradations = response.Find("degradations");
+  ASSERT_NE(degradations, nullptr);
+  EXPECT_TRUE(degradations->items().empty());
+  const JsonValue* degraded = response.Find("degraded");
+  ASSERT_NE(degraded, nullptr);
+  EXPECT_FALSE(degraded->AsBool());
+}
+
+TEST_F(ServerProtocolTest, ExplainAddsTheStatsText) {
+  BlockingClient client = Connect(*harness_);
+  net::JsonWriter w;
+  w.BeginObject();
+  w.Field("verb", std::string("explain"));
+  w.Field("sql", std::string("SELECT Name FROM SUBMARINE"));
+  w.EndObject();
+  JsonValue response = CallParsed(client, w.Take());
+  ASSERT_TRUE(IsOk(response));
+  EXPECT_NE(GetString(response, "stats_text").find("execute"),
+            std::string::npos);
+}
+
+TEST_F(ServerProtocolTest, QueryHonorsPerRequestModeOverride) {
+  BlockingClient client = Connect(*harness_);
+  net::JsonWriter w;
+  w.BeginObject();
+  w.Field("verb", std::string("query"));
+  w.Field("sql", std::string(kDisplacementQuery));
+  w.Field("mode", std::string("forward"));
+  w.EndObject();
+  JsonValue response = CallParsed(client, w.Take());
+  ASSERT_TRUE(IsOk(response));
+  EXPECT_EQ(GetString(response, "mode"), "forward");
+}
+
+TEST_F(ServerProtocolTest, DescribeListsAndDetailsRelations) {
+  BlockingClient client = Connect(*harness_);
+  JsonValue listing = CallParsed(client, BuildRequest("describe", 1));
+  ASSERT_TRUE(IsOk(listing));
+  const JsonValue* relations = listing.Find("relations");
+  ASSERT_NE(relations, nullptr);
+  bool has_submarine = false;
+  for (const JsonValue& name : relations->items()) {
+    if (name.AsString() == "SUBMARINE") has_submarine = true;
+  }
+  EXPECT_TRUE(has_submarine);
+  const JsonValue* virtuals = listing.Find("virtual");
+  ASSERT_NE(virtuals, nullptr);
+  EXPECT_FALSE(virtuals->items().empty());
+
+  JsonValue detail = CallParsed(
+      client, BuildRequest("describe", 2, {{"relation", "SUBMARINE"}}));
+  ASSERT_TRUE(IsOk(detail));
+  EXPECT_GE(GetInt(detail, "rows"), 1);
+  const JsonValue* columns = detail.Find("columns");
+  ASSERT_NE(columns, nullptr);
+  bool has_class_column = false;
+  for (const JsonValue& column : columns->items()) {
+    if (column.Find("name") != nullptr &&
+        column.Find("name")->AsString() == "Class") {
+      has_class_column = true;
+    }
+  }
+  EXPECT_TRUE(has_class_column);
+
+  JsonValue missing = CallParsed(
+      client, BuildRequest("describe", 3, {{"relation", "NO_SUCH"}}));
+  EXPECT_FALSE(IsOk(missing));
+  EXPECT_EQ(ErrorCode(missing), "NotFound");
+}
+
+TEST_F(ServerProtocolTest, InduceReinducesAndBumpsTheRuleEpoch) {
+  BlockingClient client = Connect(*harness_);
+  JsonValue first = CallParsed(client, BuildRequest("induce", 1));
+  ASSERT_TRUE(IsOk(first));
+  EXPECT_GE(GetInt(first, "rules"), 1);
+  JsonValue second = CallParsed(client, BuildRequest("induce", 2));
+  ASSERT_TRUE(IsOk(second));
+  EXPECT_GT(GetInt(second, "rule_epoch"), GetInt(first, "rule_epoch"));
+
+  net::JsonWriter w;
+  w.BeginObject();
+  w.Field("verb", std::string("induce"));
+  w.Key("nc").Int(1000000);
+  w.EndObject();
+  JsonValue pruned = CallParsed(client, w.Take());
+  ASSERT_TRUE(IsOk(pruned));
+  EXPECT_EQ(GetInt(pruned, "rules"), 0);
+
+  // Restore the standard rule base for the suite's remaining cases.
+  JsonValue restored = CallParsed(client, BuildRequest("induce", 3));
+  ASSERT_TRUE(IsOk(restored));
+  EXPECT_GE(GetInt(restored, "rules"), 1);
+}
+
+TEST_F(ServerProtocolTest, RulesReturnsTheRuleBaseText) {
+  BlockingClient client = Connect(*harness_);
+  JsonValue response = CallParsed(client, BuildRequest("rules", 1));
+  ASSERT_TRUE(IsOk(response));
+  EXPECT_GE(GetInt(response, "count"), 1);
+  EXPECT_NE(GetString(response, "text").find("R1"), std::string::npos);
+}
+
+TEST_F(ServerProtocolTest, FsckReportsOnADirectory) {
+  BlockingClient client = Connect(*harness_);
+  const std::string dir = ::testing::TempDir() + "iqs_server_fsck_missing";
+  JsonValue response =
+      CallParsed(client, BuildRequest("fsck", 1, {{"dir", dir}}));
+  // A missing directory is a typed error or an unhealthy report,
+  // depending on the persistence layer — never a dead connection.
+  if (IsOk(response)) {
+    const JsonValue* healthy = response.Find("healthy");
+    ASSERT_NE(healthy, nullptr);
+    EXPECT_FALSE(healthy->AsBool());
+  } else {
+    EXPECT_FALSE(ErrorCode(response).empty());
+  }
+  JsonValue alive = CallParsed(client, BuildRequest("ping", 2));
+  EXPECT_TRUE(IsOk(alive));
+}
+
+TEST_F(ServerProtocolTest, MetricsServesAllThreeFormats) {
+  BlockingClient client = Connect(*harness_);
+  JsonValue json_format = CallParsed(client, BuildRequest("metrics", 1));
+  ASSERT_TRUE(IsOk(json_format));
+  const JsonValue* metrics = json_format.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_TRUE(metrics->is_object());
+
+  JsonValue text = CallParsed(
+      client, BuildRequest("metrics", 2, {{"format", "text"}}));
+  ASSERT_TRUE(IsOk(text));
+  EXPECT_NE(GetString(text, "metrics_text").find("net.requests"),
+            std::string::npos);
+
+  JsonValue prom = CallParsed(
+      client, BuildRequest("metrics", 3, {{"format", "prom"}}));
+  ASSERT_TRUE(IsOk(prom));
+  EXPECT_NE(GetString(prom, "metrics_prom").find("# TYPE"),
+            std::string::npos);
+
+  JsonValue unknown = CallParsed(
+      client, BuildRequest("metrics", 4, {{"format", "xml"}}));
+  EXPECT_FALSE(IsOk(unknown));
+  EXPECT_EQ(ErrorCode(unknown), "InvalidArgument");
+}
+
+TEST_F(ServerProtocolTest, SysListsAndMaterializesVirtualRelations) {
+  BlockingClient client = Connect(*harness_);
+  JsonValue listing = CallParsed(client, BuildRequest("sys", 1));
+  ASSERT_TRUE(IsOk(listing));
+  const JsonValue* relations = listing.Find("relations");
+  ASSERT_NE(relations, nullptr);
+  bool has_metrics = false;
+  std::string first;
+  for (const JsonValue& name : relations->items()) {
+    if (first.empty()) first = name.AsString();
+    if (name.AsString() == "sys.metrics") has_metrics = true;
+  }
+  EXPECT_TRUE(has_metrics);
+
+  JsonValue table = CallParsed(
+      client, BuildRequest("sys", 2, {{"relation", "sys.metrics"}}));
+  ASSERT_TRUE(IsOk(table));
+  EXPECT_GE(GetInt(table, "rows"), 1);
+  EXPECT_NE(GetString(table, "table").find("net.requests"),
+            std::string::npos);
+
+  JsonValue missing = CallParsed(
+      client, BuildRequest("sys", 3, {{"relation", "sys.nope"}}));
+  EXPECT_FALSE(IsOk(missing));
+  EXPECT_EQ(ErrorCode(missing), "NotFound");
+}
+
+TEST_F(ServerProtocolTest, SetAppliesSessionScopedOptions) {
+  BlockingClient client = Connect(*harness_);
+  for (const auto& [option, value] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"mode", "backward"}, {"sqo", "on"}, {"cache", "off"}}) {
+    JsonValue response = CallParsed(
+        client,
+        BuildRequest("set", 1, {{"option", option}, {"value", value}}));
+    ASSERT_TRUE(IsOk(response)) << option;
+    EXPECT_EQ(GetString(response, "scope"), "session") << option;
+  }
+  JsonValue session = CallParsed(client, BuildRequest("session", 2));
+  ASSERT_TRUE(IsOk(session));
+  const JsonValue* options = session.Find("options");
+  ASSERT_NE(options, nullptr);
+  EXPECT_EQ(options->Find("mode")->AsString(), "backward");
+  EXPECT_EQ(options->Find("sqo")->AsString(), "on");
+  EXPECT_FALSE(options->Find("cache")->AsBool());
+
+  JsonValue bad = CallParsed(
+      client, BuildRequest("set", 3, {{"option", "mode"}, {"value", "up"}}));
+  EXPECT_FALSE(IsOk(bad));
+  EXPECT_EQ(ErrorCode(bad), "InvalidArgument");
+}
+
+TEST_F(ServerProtocolTest, SetOptionsAreIsolatedBetweenSessions) {
+  BlockingClient first = Connect(*harness_);
+  BlockingClient second = Connect(*harness_);
+  JsonValue applied = CallParsed(
+      first,
+      BuildRequest("set", 1, {{"option", "mode"}, {"value", "forward"}}));
+  ASSERT_TRUE(IsOk(applied));
+  JsonValue other = CallParsed(second, BuildRequest("session", 1));
+  ASSERT_TRUE(IsOk(other));
+  EXPECT_EQ(other.Find("options")->Find("mode")->AsString(), "combined");
+}
+
+TEST_F(ServerProtocolTest, FailpointArmingIsRefusedUnlessEnabled) {
+  BlockingClient client = Connect(*harness_);
+  JsonValue denied = CallParsed(
+      client, BuildRequest("set", 1,
+                           {{"option", "failpoint"},
+                            {"name", "net.frame.write"},
+                            {"value", "off"}}));
+  EXPECT_FALSE(IsOk(denied));
+  EXPECT_EQ(ErrorCode(denied), "InvalidArgument");
+  EXPECT_NE(GetString(denied.Find("error") != nullptr
+                          ? *denied.Find("error")
+                          : denied,
+                      "message")
+                .find("--allow-failpoints"),
+            std::string::npos);
+
+  // A server started with the flag accepts the same request.
+  net::ServerConfig config;
+  config.allow_failpoints = true;
+  auto armed = StartShipServer(config);
+  ASSERT_NE(armed, nullptr);
+  BlockingClient privileged = Connect(*armed);
+  JsonValue accepted = CallParsed(
+      privileged, BuildRequest("set", 2,
+                               {{"option", "failpoint"},
+                                {"name", "net.frame.write"},
+                                {"value", "off"}}));
+  EXPECT_TRUE(IsOk(accepted));
+  EXPECT_EQ(GetString(accepted, "scope"), "process");
+}
+
+TEST_F(ServerProtocolTest, SessionReportsCountersAndBudget) {
+  BlockingClient client = Connect(*harness_);
+  CallParsed(client, BuildRequest("ping", 1));
+  CallParsed(client, BuildRequest("nonsense", 2));
+  JsonValue session = CallParsed(client, BuildRequest("session", 3));
+  ASSERT_TRUE(IsOk(session));
+  EXPECT_EQ(GetInt(session, "requests"), 3);
+  EXPECT_EQ(GetInt(session, "errors"), 1);
+  const JsonValue* budget = session.Find("budget");
+  ASSERT_NE(budget, nullptr);
+  EXPECT_FALSE(budget->Find("exhausted")->AsBool());
+}
+
+// ---- malformed frames ------------------------------------------------
+
+TEST_F(ServerProtocolTest, ZeroLengthFrameYieldsTypedErrorAndSurvives) {
+  BlockingClient client = Connect(*harness_);
+  ASSERT_OK(client.SendRaw(std::string(4, '\0')));
+  auto error = client.ReadFrame();
+  ASSERT_TRUE(error.ok()) << error.status();
+  auto parsed = net::JsonValue::Parse(*error);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(IsOk(*parsed));
+  EXPECT_EQ(ErrorCode(*parsed), "InvalidArgument");
+  // Same connection still serves.
+  JsonValue alive = CallParsed(client, BuildRequest("ping", 1));
+  EXPECT_TRUE(IsOk(alive));
+}
+
+TEST_F(ServerProtocolTest, OversizedFrameYieldsTypedErrorAndResyncs) {
+  BlockingClient client = Connect(*harness_);
+  const size_t declared = net::kDefaultMaxFrameBytes + 1;
+  std::string header;
+  header.push_back(static_cast<char>((declared >> 24) & 0xFF));
+  header.push_back(static_cast<char>((declared >> 16) & 0xFF));
+  header.push_back(static_cast<char>((declared >> 8) & 0xFF));
+  header.push_back(static_cast<char>(declared & 0xFF));
+  ASSERT_OK(client.SendRaw(header));
+  auto error = client.ReadFrame();
+  ASSERT_TRUE(error.ok()) << error.status();
+  auto parsed = net::JsonValue::Parse(*error);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(ErrorCode(*parsed), "InvalidArgument");
+  // Deliver the declared payload so the stream resynchronizes, then the
+  // connection keeps serving.
+  ASSERT_OK(client.SendRaw(std::string(declared, 'x')));
+  JsonValue alive = CallParsed(client, BuildRequest("ping", 1));
+  EXPECT_TRUE(IsOk(alive));
+}
+
+TEST_F(ServerProtocolTest, InvalidJsonPayloadYieldsTypedError) {
+  BlockingClient client = Connect(*harness_);
+  auto response = client.Call("this is not json");
+  ASSERT_TRUE(response.ok()) << response.status();
+  auto parsed = net::JsonValue::Parse(*response);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(IsOk(*parsed));
+  EXPECT_EQ(ErrorCode(*parsed), "ParseError");
+
+  // Well-formed JSON that is not an object is equally typed.
+  JsonValue array = CallParsed(client, "[1,2,3]");
+  EXPECT_FALSE(IsOk(array));
+  JsonValue alive = CallParsed(client, BuildRequest("ping", 1));
+  EXPECT_TRUE(IsOk(alive));
+}
+
+TEST_F(ServerProtocolTest, UnknownVerbAndMissingVerbAreTypedErrors) {
+  BlockingClient client = Connect(*harness_);
+  JsonValue unknown = CallParsed(client, BuildRequest("frobnicate", 5));
+  EXPECT_FALSE(IsOk(unknown));
+  EXPECT_EQ(ErrorCode(unknown), "InvalidArgument");
+  EXPECT_EQ(GetInt(unknown, "id"), 5);  // id echoed on errors too
+
+  JsonValue missing = CallParsed(client, R"({"sql":"SELECT 1"})");
+  EXPECT_FALSE(IsOk(missing));
+  JsonValue alive = CallParsed(client, BuildRequest("ping", 6));
+  EXPECT_TRUE(IsOk(alive));
+}
+
+TEST_F(ServerProtocolTest, TruncatedFrameClosesOnlyThatConnection) {
+  {
+    BlockingClient client = Connect(*harness_);
+    // Declare 100 bytes, deliver 3, close. The server cannot resync an
+    // abandoned stream; it must drop the connection and nothing else.
+    ASSERT_OK(client.SendRaw(std::string("\x00\x00\x00\x64", 4) + "abc"));
+  }
+  BlockingClient next = Connect(*harness_);
+  JsonValue alive = CallParsed(next, BuildRequest("ping", 1));
+  EXPECT_TRUE(IsOk(alive));
+}
+
+TEST_F(ServerProtocolTest, QuerySqlErrorsAreTypedResponses) {
+  BlockingClient client = Connect(*harness_);
+  net::JsonWriter w;
+  w.BeginObject();
+  w.Field("verb", std::string("query"));
+  w.Field("sql", std::string("SELEKT nonsense"));
+  w.EndObject();
+  JsonValue response = CallParsed(client, w.Take());
+  EXPECT_FALSE(IsOk(response));
+  EXPECT_EQ(ErrorCode(response), "ParseError");
+  JsonValue alive = CallParsed(client, BuildRequest("ping", 1));
+  EXPECT_TRUE(IsOk(alive));
+}
+
+// ---- admission control and timeouts ----------------------------------
+
+TEST(ServerAdmissionTest, OverCapacityConnectionsGetTypedOverload) {
+  net::ServerConfig config;
+  config.max_sessions = 1;
+  config.queue_depth = 0;
+  auto harness = StartShipServer(config);
+  ASSERT_NE(harness, nullptr);
+
+  BlockingClient first = Connect(*harness);
+  JsonValue served = CallParsed(first, BuildRequest("ping", 1));
+  ASSERT_TRUE(IsOk(served));
+
+  BlockingClient second;
+  ASSERT_OK(second.Connect("127.0.0.1", harness->port()));
+  auto shed = second.ReadFrame();
+  ASSERT_TRUE(shed.ok()) << shed.status();
+  auto parsed = net::JsonValue::Parse(*shed);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(IsOk(*parsed));
+  EXPECT_EQ(ErrorCode(*parsed), "Overloaded");
+  EXPECT_GE(harness->server->overload_rejections(), 1u);
+
+  // Freeing the slot readmits: close the first session, then a fresh
+  // client is served.
+  first.Close();
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    BlockingClient retry;
+    ASSERT_OK(retry.Connect("127.0.0.1", harness->port()));
+    auto response = retry.Call(BuildRequest("ping", 2));
+    if (response.ok()) {
+      auto ok = net::JsonValue::Parse(*response);
+      ASSERT_TRUE(ok.ok());
+      if (IsOk(*ok)) return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  FAIL() << "slot never freed after the first session closed";
+}
+
+TEST(ServerAdmissionTest, QueuedConnectionsAreServedInOrderWhenSlotsFree) {
+  net::ServerConfig config;
+  config.max_sessions = 1;
+  config.queue_depth = 4;
+  auto harness = StartShipServer(config);
+  ASSERT_NE(harness, nullptr);
+
+  BlockingClient active = Connect(*harness);
+  ASSERT_TRUE(IsOk(CallParsed(active, BuildRequest("ping", 1))));
+
+  BlockingClient queued;
+  ASSERT_OK(queued.Connect("127.0.0.1", harness->port()));
+  ASSERT_OK(queued.SendFrame(BuildRequest("ping", 2)));
+  // Queued: no response while the slot is held.
+  auto premature = queued.ReadFrame(/*timeout_ms=*/200);
+  EXPECT_FALSE(premature.ok());
+
+  active.Close();
+  auto response = queued.ReadFrame(/*timeout_ms=*/10000);
+  ASSERT_TRUE(response.ok()) << response.status();
+  auto parsed = net::JsonValue::Parse(*response);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(IsOk(*parsed));
+}
+
+TEST(ServerTimeoutTest, IdleSessionsAreReaped) {
+  net::ServerConfig config;
+  config.idle_timeout_ms = 150;
+  auto harness = StartShipServer(config);
+  ASSERT_NE(harness, nullptr);
+  BlockingClient client = Connect(*harness);
+  ASSERT_TRUE(IsOk(CallParsed(client, BuildRequest("ping", 1))));
+  // Stay silent past the idle deadline: the server closes cleanly.
+  auto reaped = client.ReadFrame(/*timeout_ms=*/5000);
+  EXPECT_FALSE(reaped.ok());
+  EXPECT_EQ(reaped.status().code(), StatusCode::kNotFound)
+      << reaped.status();
+}
+
+TEST(ServerTimeoutTest, TornFrameIsReapedByTheReadTimeout) {
+  net::ServerConfig config;
+  config.read_timeout_ms = 150;
+  config.idle_timeout_ms = 60000;
+  auto harness = StartShipServer(config);
+  ASSERT_NE(harness, nullptr);
+  BlockingClient client = Connect(*harness);
+  // Start a frame, never finish it: the (shorter) mid-frame read timeout
+  // applies, not the idle timeout.
+  ASSERT_OK(client.SendRaw(std::string("\x00\x00\x00\x10", 4) + "abc"));
+  const auto start = std::chrono::steady_clock::now();
+  auto reaped = client.ReadFrame(/*timeout_ms=*/30000);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(reaped.ok());
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            10000);
+}
+
+TEST(ServerDrainTest, ShutdownDrainsIdleSessionsCleanly) {
+  auto harness = StartShipServer();
+  ASSERT_NE(harness, nullptr);
+  BlockingClient client = Connect(*harness);
+  ASSERT_TRUE(IsOk(CallParsed(client, BuildRequest("ping", 1))));
+  harness->server->Shutdown();
+  // The drained session closes at a frame boundary — a clean EOF.
+  auto closed = client.ReadFrame(/*timeout_ms=*/5000);
+  EXPECT_FALSE(closed.ok());
+  EXPECT_EQ(closed.status().code(), StatusCode::kNotFound)
+      << closed.status();
+  // New connections are refused outright once draining.
+  BlockingClient late;
+  Status connect = late.Connect("127.0.0.1", harness->port());
+  if (connect.ok()) {
+    auto response = late.Call(BuildRequest("ping", 2), /*timeout_ms=*/2000);
+    EXPECT_FALSE(response.ok());
+  }
+}
+
+}  // namespace
+}  // namespace iqs

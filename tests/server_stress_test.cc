@@ -1,0 +1,282 @@
+// Concurrent sessions against a live iqs_serverd instance (stress
+// label; run under -DIQS_SANITIZE=thread via check-tsan). N wire
+// clients interleave queries, per-session `set` changes, and induce
+// while a mutator thread appends rows and bumps epochs on the served
+// system. The bar: per-session options never bleed across sessions,
+// extensional answers never drift from the serial baseline, epochs in
+// responses are monotone per session, and a shutdown mid-traffic
+// drains cleanly.
+//
+// Mutation discipline (same as concurrency_stress_test.cc): the engine
+// has no row locks, so the single mutator thread owns every row edit
+// and confines them to a scratch relation no wire query ever scans;
+// cross-thread visibility runs through the epoch counters and the
+// dictionary snapshot swap, both already proven race-free in-process.
+
+#include <atomic>
+#include <map>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "net/client.h"
+#include "net/json.h"
+#include "relational/database.h"
+#include "tests/net_test_util.h"
+
+namespace iqs {
+namespace {
+
+#ifdef IQS_TSAN
+constexpr int kIterations = 8;  // TSan multiplies runtime ~10x
+#else
+constexpr int kIterations = 40;
+#endif
+
+const std::vector<std::string>& WireQueries() {
+  static const std::vector<std::string> queries = {
+      "SELECT ClassName, Type FROM CLASS WHERE Displacement >= 7250",
+      "SELECT Id FROM SUBMARINE WHERE SUBMARINE.Class = '0204'",
+      "SELECT Type, COUNT(*) FROM CLASS GROUP BY Type ORDER BY Type",
+  };
+  return queries;
+}
+
+std::string QueryRequest(const std::string& sql) {
+  net::JsonWriter w;
+  w.BeginObject();
+  w.Field("verb", std::string("query"));
+  w.Field("sql", sql);
+  w.EndObject();
+  return w.Take();
+}
+
+TEST(ServerStressTest, ConcurrentSessionsStayIsolatedUnderMutation) {
+  auto harness = net_testing::StartShipServer();
+  ASSERT_NE(harness, nullptr);
+  IqsSystem& system = *harness->system;
+
+  // Scratch relation the mutator appends to. Created before the server
+  // takes traffic so the catalog map itself never changes under readers.
+  {
+    Schema schema({{"Tick", ValueType::kInt, true},
+                   {"Label", ValueType::kString, false}});
+    auto scratch =
+        system.database().CreateRelation("STRESS_SCRATCH", std::move(schema));
+    ASSERT_TRUE(scratch.ok()) << scratch.status();
+  }
+
+  // Serial over-the-wire baseline.
+  std::map<std::string, std::string> expected;
+  {
+    net::BlockingClient client = net_testing::Connect(*harness);
+    for (const std::string& sql : WireQueries()) {
+      net::JsonValue response =
+          net_testing::CallParsed(client, QueryRequest(sql));
+      ASSERT_TRUE(net_testing::IsOk(response)) << sql << " -> "
+                                               << response.Dump();
+      expected[sql] = net_testing::GetString(response, "table");
+    }
+  }
+
+  std::atomic<int> failures{0};
+  auto note_failure = [&failures](const std::string& what) {
+    failures.fetch_add(1);
+    ADD_FAILURE() << what;
+  };
+
+  // ---- phase 1: option-isolation traffic against a mutating system ---
+  std::atomic<bool> stop_mutator{false};
+  std::thread mutator([&] {
+    InductionConfig nc3;
+    nc3.min_support = 3;
+    for (int i = 0; !stop_mutator.load(std::memory_order_acquire); ++i) {
+      switch (i % 3) {
+        case 0: {
+          // Row append: this thread is the only one that ever touches
+          // STRESS_SCRATCH rows, and the induce below runs on this same
+          // thread, so the scan and the append are serialized.
+          auto scratch = system.database().GetMutable("STRESS_SCRATCH");
+          if (!scratch.ok()) {
+            note_failure("GetMutable(STRESS_SCRATCH) -> " +
+                         scratch.status().ToString());
+            break;
+          }
+          Status inserted = (*scratch)->InsertText(
+              {std::to_string(i), "tick-" + std::to_string(i)});
+          if (!inserted.ok()) {
+            note_failure("scratch insert -> " + inserted.ToString());
+          }
+          break;
+        }
+        case 1:
+          // Epoch bump without a row edit: invalidates every cached
+          // answer the wire sessions might otherwise coast on.
+          if (!system.database().GetMutable("SUBMARINE").ok()) {
+            note_failure("GetMutable(SUBMARINE) failed");
+          }
+          break;
+        case 2: {
+          Status s = system.Induce(nc3);
+          if (!s.ok()) note_failure("mutator induce -> " + s.ToString());
+          break;
+        }
+      }
+    }
+  });
+
+  std::vector<std::thread> clients;
+  for (unsigned seed = 1; seed <= 4; ++seed) {
+    clients.emplace_back([&, seed] {
+      const std::string mode = seed % 2 == 0 ? "forward" : "backward";
+      const std::string sqo = seed % 2 == 0 ? "on" : "off";
+      net::BlockingClient client = net_testing::Connect(*harness);
+      net::JsonValue set_mode = net_testing::CallParsed(
+          client, net_testing::BuildRequest("set", 1, {{"option", "mode"},
+                                                       {"value", mode}}));
+      net::JsonValue set_sqo = net_testing::CallParsed(
+          client, net_testing::BuildRequest("set", 2, {{"option", "sqo"},
+                                                       {"value", sqo}}));
+      if (!net_testing::IsOk(set_mode) || !net_testing::IsOk(set_sqo)) {
+        note_failure("session setup failed for seed " +
+                     std::to_string(seed));
+        return;
+      }
+      std::mt19937 rng(seed);
+      std::uniform_int_distribution<size_t> pick(0, WireQueries().size() - 1);
+      int64_t last_db_epoch = 0;
+      for (int i = 0; i < kIterations && failures.load() == 0; ++i) {
+        const std::string& sql = WireQueries()[pick(rng)];
+        net::JsonValue response =
+            net_testing::CallParsed(client, QueryRequest(sql));
+        if (!net_testing::IsOk(response)) {
+          note_failure("wire query failed under load: " + sql);
+          continue;
+        }
+        if (net_testing::GetString(response, "table") != expected[sql]) {
+          note_failure("extensional drift over the wire: " + sql);
+        }
+        // The response must reflect THIS session's options, regardless
+        // of what its neighbours set (the isolation contract).
+        if (net_testing::GetString(response, "mode") != mode) {
+          note_failure("mode bled across sessions for seed " +
+                       std::to_string(seed));
+        }
+        const int64_t db_epoch = net_testing::GetInt(response, "db_epoch");
+        if (db_epoch < last_db_epoch) {
+          note_failure("db_epoch went backwards within a session");
+        }
+        last_db_epoch = db_epoch;
+        if (i % 5 == 4) {
+          net::JsonValue info = net_testing::CallParsed(
+              client, net_testing::BuildRequest("session", 100 + i));
+          const net::JsonValue* options = info.Find("options");
+          if (options == nullptr ||
+              net_testing::GetString(*options, "mode") != mode ||
+              net_testing::GetString(*options, "sqo") != sqo) {
+            note_failure("session options drifted for seed " +
+                         std::to_string(seed));
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  stop_mutator.store(true, std::memory_order_release);
+  mutator.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // ---- phase 2: wire-driven re-induction with epoch-consistent answers
+  // (the mutator is parked; induce traffic now arrives over the wire and
+  // is serialized by the router).
+  std::vector<std::thread> phase2;
+  for (unsigned seed = 10; seed <= 12; ++seed) {
+    phase2.emplace_back([&, seed] {
+      net::BlockingClient client = net_testing::Connect(*harness);
+      std::mt19937 rng(seed);
+      std::uniform_int_distribution<size_t> pick(0, WireQueries().size() - 1);
+      int64_t last_rule_epoch = 0;
+      for (int i = 0; i < kIterations && failures.load() == 0; ++i) {
+        if (i % 4 == 0) {
+          net::JsonWriter w;
+          w.BeginObject();
+          w.Field("verb", std::string("induce"));
+          w.Field("id", static_cast<int64_t>(i));
+          w.Field("nc", static_cast<int64_t>(3));
+          w.EndObject();
+          net::JsonValue induced = net_testing::CallParsed(
+              client, w.Take(), /*timeout_ms=*/60000);
+          if (!net_testing::IsOk(induced)) {
+            note_failure("wire induce failed");
+            continue;
+          }
+          last_rule_epoch = net_testing::GetInt(induced, "rule_epoch");
+          continue;
+        }
+        const std::string& sql = WireQueries()[pick(rng)];
+        net::JsonValue response =
+            net_testing::CallParsed(client, QueryRequest(sql));
+        if (!net_testing::IsOk(response)) {
+          note_failure("phase-2 query failed: " + sql);
+          continue;
+        }
+        if (net_testing::GetString(response, "table") != expected[sql]) {
+          note_failure("phase-2 extensional drift: " + sql);
+        }
+        if (net_testing::GetInt(response, "rule_epoch") < last_rule_epoch) {
+          note_failure("rule_epoch went backwards after a wire induce");
+        }
+      }
+    });
+  }
+  for (std::thread& t : phase2) t.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // Settled: every session sees byte-identical answers and prose.
+  {
+    net::BlockingClient a = net_testing::Connect(*harness);
+    net::BlockingClient b = net_testing::Connect(*harness);
+    for (const std::string& sql : WireQueries()) {
+      net::JsonValue ra = net_testing::CallParsed(a, QueryRequest(sql));
+      net::JsonValue rb = net_testing::CallParsed(b, QueryRequest(sql));
+      ASSERT_TRUE(net_testing::IsOk(ra)) << sql;
+      ASSERT_TRUE(net_testing::IsOk(rb)) << sql;
+      EXPECT_EQ(net_testing::GetString(ra, "table"), expected[sql]) << sql;
+      EXPECT_EQ(net_testing::GetString(ra, "table"),
+                net_testing::GetString(rb, "table"))
+          << sql;
+      EXPECT_EQ(net_testing::GetString(ra, "explain"),
+                net_testing::GetString(rb, "explain"))
+          << sql;
+    }
+  }
+
+  // ---- phase 3: shutdown drains live sessions without a crash --------
+  std::atomic<int> clean_ends{0};
+  std::vector<std::thread> pingers;
+  for (int p = 0; p < 3; ++p) {
+    pingers.emplace_back([&] {
+      net::BlockingClient client = net_testing::Connect(*harness);
+      for (;;) {
+        auto pong = client.Call(R"({"verb":"ping"})", /*timeout_ms=*/5000);
+        if (!pong.ok()) {
+          // Drain closes the stream after the in-flight response; both a
+          // clean EOF and a reset-while-writing are acceptable ends.
+          clean_ends.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  harness->server->Shutdown();
+  for (std::thread& t : pingers) t.join();
+  EXPECT_EQ(clean_ends.load(), 3);
+  EXPECT_GT(harness->server->sessions_served(), 10u);
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace iqs
