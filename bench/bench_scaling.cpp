@@ -6,22 +6,30 @@
 //   * relationship-view construction vs size,
 //   * forward inference latency vs rule-base size,
 //   * rule-relation encode/decode vs rule count,
-//   * induction speedup vs worker count (--threads sweep).
+//   * induction speedup vs worker count (--threads sweep),
+//   * row vs columnar induction (DESIGN.md §14) — also written to
+//     BENCH_columnar.json with a 3x speedup floor (exit nonzero below).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_report.h"
 #include "dictionary/data_dictionary.h"
 #include "exec/thread_pool.h"
 #include "induction/ils.h"
 #include "induction/rule_induction.h"
 #include "induction/inter_object.h"
 #include "inference/engine.h"
+#include "relational/column_store.h"
+#include "relational/database.h"
+#include "relational/relation.h"
 #include "rules/rule_relation.h"
 #include "sql/sql_executor.h"
 #include "testbed/fleet_generator.h"
@@ -44,6 +52,39 @@ void BM_InduceSchemeVsRows(benchmark::State& state) {
   state.counters["rows"] = static_cast<double>(ships->size());
 }
 BENCHMARK(BM_InduceSchemeVsRows)->Arg(10)->Arg(100)->Arg(1000)->Arg(4000);
+
+// Row reference vs columnar sort-and-segment induction (DESIGN.md §14)
+// over the same fleet relation, arg 1 selecting the path. The columnar
+// snapshot is transposed once outside the timed loop, matching how
+// Database::ColumnarSnapshot amortizes it across every induced pair.
+void BM_InducePathVsRows(benchmark::State& state) {
+  size_t per_type = static_cast<size_t>(state.range(0));
+  bool columnar = state.range(1) != 0;
+  auto db = GenerateFleet(per_type, 42);
+  const Relation* ships = *db.value()->Get("BATTLESHIP");
+  ColumnarRelation columns = ColumnarRelation::FromRelation(*ships);
+  InductionConfig config;
+  config.min_support = 3;
+  InductionStats stats;
+  for (auto _ : state) {
+    auto rules = columnar
+                     ? InduceSchemeColumnarWithStats(columns, "Displacement",
+                                                     "Type", config, &stats)
+                     : InduceSchemeRowsWithStats(*ships, "Displacement", "Type",
+                                                 config, &stats);
+    benchmark::DoNotOptimize(rules);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ships->size()));
+  state.counters["rows"] = static_cast<double>(ships->size());
+  state.counters["columnar"] = columnar ? 1.0 : 0.0;
+}
+BENCHMARK(BM_InducePathVsRows)
+    ->ArgNames({"rows_per_type", "columnar"})
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({4000, 0})
+    ->Args({4000, 1});
 
 void BM_InduceAllFleet(benchmark::State& state) {
   size_t per_type = static_cast<size_t>(state.range(0));
@@ -176,6 +217,141 @@ void BM_InduceAllFleetParallel(benchmark::State& state) {
   state.counters["threads"] = static_cast<double>(threads);
 }
 
+// E15 artifact: BENCH_columnar.json. One multi-block synthetic relation,
+// two measurements — row vs columnar induction (floor: columnar must be
+// at least 3x faster), and a narrow-band SQL scan whose zone maps prune
+// most blocks, with the EXPLAIN-surface block counters recorded as proof
+// the pruning fires (DESIGN.md §14).
+constexpr size_t kColumnarBenchRows = 240 * 1024;  // 240 blocks of 1024
+constexpr double kColumnarFloorSpeedup = 3.0;
+
+// READINGS(K int, Tag string, D real): K cycles through 60k distinct
+// values (every X value has support 4), Tag bands runs of 500 consecutive
+// K values (the induced rules are ranges), and D ascends with the row
+// index (narrow D bands cluster into single blocks, so zone maps prune).
+Relation BuildReadings() {
+  Relation rel("READINGS", Schema({{"K", ValueType::kInt, false},
+                                   {"Tag", ValueType::kString, false},
+                                   {"D", ValueType::kReal, false}}));
+  for (size_t i = 0; i < kColumnarBenchRows; ++i) {
+    const int64_t k = static_cast<int64_t>(i % 60000);
+    Tuple row;
+    row.Append(Value::Int(k));
+    row.Append(Value::String("g" + std::to_string(k / 500)));
+    row.Append(Value::Real(static_cast<double>(i)));
+    rel.AppendUnchecked(std::move(row));
+  }
+  return rel;
+}
+
+template <typename Fn>
+double BestMicros(Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < 5; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const double micros = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+    if (r == 0 || micros < best) best = micros;
+  }
+  return best;
+}
+
+int ColumnarFloorReport() {
+  Relation rel = BuildReadings();
+  InductionConfig config;
+  config.min_support = 3;
+
+  // Transpose once, as Database::ColumnarSnapshot would per epoch.
+  const auto transpose_start = std::chrono::steady_clock::now();
+  ColumnarRelation columns = ColumnarRelation::FromRelation(rel);
+  const double transpose_micros =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - transpose_start)
+          .count();
+
+  InductionStats row_stats;
+  InductionStats col_stats;
+  size_t row_rules = 0;
+  size_t col_rules = 0;
+  const double rows_micros = BestMicros([&] {
+    auto rules = InduceSchemeRowsWithStats(rel, "K", "Tag", config, &row_stats);
+    if (!rules.ok()) std::abort();
+    row_rules = rules->size();
+  });
+  const double columnar_micros = BestMicros([&] {
+    auto rules =
+        InduceSchemeColumnarWithStats(columns, "K", "Tag", config, &col_stats);
+    if (!rules.ok()) std::abort();
+    col_rules = rules->size();
+  });
+  if (row_rules != col_rules ||
+      row_stats.distinct_pairs != col_stats.distinct_pairs) {
+    std::fprintf(stderr, "FAIL: induction paths disagree (%zu vs %zu rules)\n",
+                 row_rules, col_rules);
+    return 1;
+  }
+  const double speedup = rows_micros / columnar_micros;
+
+  // Rows 10240..10260 of D live in a single block; the zone maps should
+  // discard everything else.
+  Database db;
+  if (Status s = db.AddRelation(std::move(rel)); !s.ok()) {
+    std::fprintf(stderr, "add relation: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  SqlExecutor executor(&db);
+  auto scan = executor.ExecuteSql(
+      "SELECT K FROM READINGS WHERE READINGS.D >= 10240 AND READINGS.D <= "
+      "10260");
+  if (!scan.ok()) {
+    std::fprintf(stderr, "scan: %s\n", scan.status().ToString().c_str());
+    return 1;
+  }
+  const SqlExecutor::ExecutionStats& stats = executor.last_stats();
+
+  std::printf(
+      "E15: columnar induction + zone-map scan (%zu rows, %zu blocks)\n",
+      kColumnarBenchRows, columns.block_count());
+  std::printf("  induce rows %.0fus, columnar %.0fus -> %.2fx "
+              "(transpose %.0fus, %zu rules)\n",
+              rows_micros, columnar_micros, speedup, transpose_micros,
+              row_rules);
+  std::printf("  narrow band kept %zu rows; pruned %zu of %zu blocks\n",
+              scan->size(), stats.columnar_blocks_pruned,
+              stats.columnar_blocks_total);
+
+  bench::BenchReport report("columnar");
+  report.Add("rows", static_cast<double>(kColumnarBenchRows), "count");
+  report.Add("blocks", static_cast<double>(columns.block_count()), "count");
+  report.Add("induce_rows", rows_micros, "micros");
+  report.Add("induce_columnar", columnar_micros, "micros");
+  report.Add("induce_speedup", speedup, "x");
+  report.Add("transpose", transpose_micros, "micros");
+  report.Add("rules_induced", static_cast<double>(row_rules), "count");
+  report.Add("scan_rows_selected", static_cast<double>(scan->size()),
+             "count");
+  report.Add("scan_blocks_total",
+             static_cast<double>(stats.columnar_blocks_total), "count");
+  report.Add("scan_blocks_pruned",
+             static_cast<double>(stats.columnar_blocks_pruned), "count");
+  report.Write();
+
+  if (stats.columnar_tables == 0 || stats.columnar_blocks_pruned == 0) {
+    std::fprintf(stderr, "FAIL: zone maps pruned nothing (%zu of %zu)\n",
+                 stats.columnar_blocks_pruned, stats.columnar_blocks_total);
+    return 1;
+  }
+  if (speedup < kColumnarFloorSpeedup) {
+    std::fprintf(stderr,
+                 "FAIL: %.2fx induce speedup is below the %.1fx floor\n",
+                 speedup, kColumnarFloorSpeedup);
+    return 1;
+  }
+  return 0;
+}
+
 void RegisterThreadSweep(const std::vector<long>& thread_counts) {
   benchmark::internal::Benchmark* bench = benchmark::RegisterBenchmark(
       "BM_InduceAllFleetParallel", BM_InduceAllFleetParallel);
@@ -234,5 +410,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (!has_out) std::cout << "wrote BENCH_scaling.json\n";
-  return 0;
+  // E15 artifact + floor: BENCH_columnar.json (DESIGN.md §14).
+  return iqs::ColumnarFloorReport();
 }

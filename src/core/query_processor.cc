@@ -444,6 +444,11 @@ Result<QueryResult> IntensionalQueryProcessor::ProcessImpl(
   result.stats.rows_returned = result.extensional.size();
   result.stats.index_prefiltered_tables =
       executor_.last_stats().index_prefiltered_tables;
+  result.stats.columnar_tables = executor_.last_stats().columnar_tables;
+  result.stats.columnar_blocks_total =
+      executor_.last_stats().columnar_blocks_total;
+  result.stats.columnar_blocks_pruned =
+      executor_.last_stats().columnar_blocks_pruned;
 
   // Intensional-answer cache: the canonical predicate (description +
   // mode) versioned by the epochs this call started under. A hit

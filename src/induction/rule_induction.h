@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "induction/induction_config.h"
+#include "relational/column_store.h"
 #include "relational/relation.h"
 #include "rules/rule.h"
 
@@ -43,11 +44,33 @@ struct InductionStats {
   size_t pruned = 0;               // rules dropped in step 4
 };
 
+// Dispatches to the columnar implementation when ColumnarEnabled()
+// (transposing `relation` on the fly), else to the row reference.
 Result<std::vector<Rule>> InduceSchemeWithStats(const Relation& relation,
                                                 const std::string& x_attr,
                                                 const std::string& y_attr,
                                                 const InductionConfig& config,
                                                 InductionStats* stats);
+
+// The row-at-a-time reference implementation — always available so the
+// differential suite (and the scaling bench) can pit the two paths
+// against each other regardless of the process-wide toggle.
+Result<std::vector<Rule>> InduceSchemeRowsWithStats(
+    const Relation& relation, const std::string& x_attr,
+    const std::string& y_attr, const InductionConfig& config,
+    InductionStats* stats);
+
+// The columnar implementation (DESIGN.md §14) over a prebuilt snapshot:
+// filter both columns to non-null rows, sort ids by (X, Y, row index),
+// segment into X groups / Y subsegments. The row-index tie-break pins
+// every representative value to the lowest-row-index spelling among
+// Compare-equal values — exactly the spelling the reference's
+// first-insertion map/set semantics keep — so rules, stats, and error
+// text are byte-identical to InduceSchemeRowsWithStats.
+Result<std::vector<Rule>> InduceSchemeColumnarWithStats(
+    const ColumnarRelation& relation, const std::string& x_attr,
+    const std::string& y_attr, const InductionConfig& config,
+    InductionStats* stats);
 
 }  // namespace iqs
 

@@ -1,6 +1,7 @@
 #include "net/json.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -206,26 +207,37 @@ class Parser {
           case 'r': out->push_back('\r'); break;
           case 't': out->push_back('\t'); break;
           case 'u': {
-            if (pos_ + 4 > s_.size()) return Err("truncated \\u escape");
             unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              char h = s_[pos_ + i];
-              unsigned digit;
-              if (h >= '0' && h <= '9') {
-                digit = h - '0';
-              } else if (h >= 'a' && h <= 'f') {
-                digit = h - 'a' + 10;
-              } else if (h >= 'A' && h <= 'F') {
-                digit = h - 'A' + 10;
-              } else {
-                return Err("bad hex digit in \\u escape");
+            Status hex = ReadHex4(&code);
+            if (!hex.ok()) return hex;
+            // A surrogate pair combines into one supplementary code
+            // point encoded as four UTF-8 bytes (RFC 8259 §7). Emitting
+            // the two halves as separate 3-byte sequences would be
+            // CESU-8, which downstream UTF-8 consumers reject. An
+            // unpaired surrogate half becomes U+FFFD.
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              size_t save = pos_;
+              unsigned low = 0;
+              if (pos_ + 2 <= s_.size() && s_[pos_] == '\\' &&
+                  s_[pos_ + 1] == 'u') {
+                pos_ += 2;
+                if (ReadHex4(&low).ok() && low >= 0xDC00 && low <= 0xDFFF) {
+                  unsigned cp =
+                      0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                  out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+                  out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+                  out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+                  out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+                  break;
+                }
+                // Not a low surrogate: leave the escape for the loop to
+                // parse on its own and replace the lone high half.
+                pos_ = save;
               }
-              code = code * 16 + digit;
+              code = 0xFFFD;
+            } else if (code >= 0xDC00 && code <= 0xDFFF) {
+              code = 0xFFFD;  // low half with no preceding high half
             }
-            pos_ += 4;
-            // UTF-8 encode the BMP code point; surrogate pairs are kept
-            // as two 3-byte sequences (the protocol never round-trips
-            // astral text, and lossy-but-lossless-bytes beats rejecting).
             if (code < 0x80) {
               out->push_back(static_cast<char>(code));
             } else if (code < 0x800) {
@@ -289,11 +301,17 @@ class Parser {
       errno = 0;
       char* end = nullptr;
       long long v = std::strtoll(text.c_str(), &end, 10);
+      if (errno == ERANGE) {
+        // An integral token outside int64 must not degrade silently to a
+        // double — the nearest representable double changes the value
+        // (9223372036854775808 would read back as ...5808.0 == 2^63),
+        // and callers storing Int columns would corrupt them.
+        return Err("number out of int64 range");
+      }
       if (errno == 0 && end != nullptr && *end == '\0') {
         *out = JsonValue::Int(static_cast<int64_t>(v));
         return Status::Ok();
       }
-      // Out of int64 range: fall through to double.
     }
     errno = 0;
     double d = std::strtod(text.c_str(), nullptr);
@@ -301,6 +319,30 @@ class Parser {
       return Err("number out of range");
     }
     *out = JsonValue::Double(d);
+    return Status::Ok();
+  }
+
+  // Four hex digits of a \u escape at pos_; advances past them only on
+  // success.
+  Status ReadHex4(unsigned* code) {
+    if (pos_ + 4 > s_.size()) return Err("truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = s_[pos_ + i];
+      unsigned digit;
+      if (h >= '0' && h <= '9') {
+        digit = h - '0';
+      } else if (h >= 'a' && h <= 'f') {
+        digit = h - 'a' + 10;
+      } else if (h >= 'A' && h <= 'F') {
+        digit = h - 'A' + 10;
+      } else {
+        return Err("bad hex digit in \\u escape");
+      }
+      value = value * 16 + digit;
+    }
+    pos_ += 4;
+    *code = value;
     return Status::Ok();
   }
 

@@ -32,6 +32,15 @@ std::string QueryStats::ToString() const {
                   answer_cache_hit ? "hit" : "miss");
     out += buf;
   }
+  if (columnar_tables > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "columnar: %llu table(s) batch-scanned, "
+                  "%llu of %llu block(s) zone-map pruned\n",
+                  static_cast<unsigned long long>(columnar_tables),
+                  static_cast<unsigned long long>(columnar_blocks_pruned),
+                  static_cast<unsigned long long>(columnar_blocks_total));
+    out += buf;
+  }
   if (sqo_eliminated > 0 || sqo_narrowed > 0 || sqo_empty_proven ||
       sqo_intensional_only) {
     std::snprintf(buf, sizeof(buf),
@@ -58,14 +67,16 @@ std::string QueryStats::ToString() const {
 }
 
 std::string QueryStats::ToJson() const {
-  char buf[832];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "{\"parse_micros\": %lld, \"execute_micros\": %lld, "
       "\"describe_micros\": %lld, \"infer_micros\": %lld, "
       "\"format_micros\": %lld, \"total_micros\": %lld, "
       "\"rows_scanned\": %llu, \"rows_returned\": %llu, "
-      "\"index_prefiltered_tables\": %llu, \"forward_facts\": %llu, "
+      "\"index_prefiltered_tables\": %llu, \"columnar_tables\": %llu, "
+      "\"columnar_blocks_total\": %llu, \"columnar_blocks_pruned\": %llu, "
+      "\"forward_facts\": %llu, "
       "\"backward_statements\": %llu, \"rules_fired\": %llu, "
       "\"degraded_events\": %llu, "
       "\"plan_cache_hit\": %s, \"answer_cache_hit\": %s, "
@@ -81,6 +92,9 @@ std::string QueryStats::ToJson() const {
       static_cast<unsigned long long>(rows_scanned),
       static_cast<unsigned long long>(rows_returned),
       static_cast<unsigned long long>(index_prefiltered_tables),
+      static_cast<unsigned long long>(columnar_tables),
+      static_cast<unsigned long long>(columnar_blocks_total),
+      static_cast<unsigned long long>(columnar_blocks_pruned),
       static_cast<unsigned long long>(forward_facts),
       static_cast<unsigned long long>(backward_statements),
       static_cast<unsigned long long>(rules_fired),

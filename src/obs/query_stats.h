@@ -24,6 +24,14 @@ struct QueryStats {
   uint64_t rows_returned = 0;  // extensional answer size
   uint64_t index_prefiltered_tables = 0;
 
+  // Columnar fast path (DESIGN.md §14): FROM tables answered from the
+  // column-major snapshot, with zone-map block accounting. rows_scanned
+  // still reports the full relation size for such tables; skipping
+  // shows up as columnar_blocks_pruned.
+  uint64_t columnar_tables = 0;
+  uint64_t columnar_blocks_total = 0;
+  uint64_t columnar_blocks_pruned = 0;
+
   // Inference processor.
   uint64_t forward_facts = 0;         // facts in the forward statement
   uint64_t backward_statements = 0;   // contained-in statements

@@ -5,6 +5,7 @@
 
 #include "common/string_util.h"
 #include "quel/quel_parser.h"
+#include "relational/algebra.h"
 
 namespace iqs {
 
@@ -165,6 +166,104 @@ Result<bool> QuelSession::Eval(const QuelExpr& expr,
   return Status::Internal("unreachable QUEL expression kind");
 }
 
+bool QuelSession::TryConvertOperand(const QuelExpr::Operand& operand,
+                                    const Binding& binding,
+                                    const QuelExpr::Operand& other,
+                                    ExprPtr* out) {
+  if (operand.is_attr) {
+    if (!EqualsIgnoreCase(operand.attr.variable, binding.variable)) {
+      return false;
+    }
+    auto idx = binding.relation->schema().IndexOf(operand.attr.attribute);
+    // An unknown attribute is a PER-ROW error in the row path (an empty
+    // relation yields an empty answer, not an error) — fall back so the
+    // row path reproduces that behavior exactly.
+    if (!idx.ok()) return false;
+    *out = MakeColumn(*idx);
+    return true;
+  }
+  // Mirror EvalOperand's coercion: a non-string constant compared with a
+  // string attribute keeps its raw spelling.
+  Value v = operand.constant;
+  if (other.is_attr && v.type() != ValueType::kString &&
+      EqualsIgnoreCase(other.attr.variable, binding.variable)) {
+    auto idx = binding.relation->schema().IndexOf(other.attr.attribute);
+    if (idx.ok() &&
+        binding.relation->schema().attribute(*idx).type ==
+            ValueType::kString) {
+      v = Value::String(operand.raw.empty() ? v.ToString() : operand.raw);
+    }
+  }
+  *out = MakeConstant(std::move(v));
+  return true;
+}
+
+bool QuelSession::TryConvertExpr(const QuelExpr& expr, const Binding& binding,
+                                 PredicatePtr* out) {
+  switch (expr.kind) {
+    case QuelExpr::Kind::kComparison: {
+      ExprPtr lhs, rhs;
+      if (!TryConvertOperand(expr.lhs, binding, expr.rhs, &lhs) ||
+          !TryConvertOperand(expr.rhs, binding, expr.lhs, &rhs)) {
+        return false;
+      }
+      *out = MakeCompare(expr.op, std::move(lhs), std::move(rhs));
+      return true;
+    }
+    case QuelExpr::Kind::kAnd:
+    case QuelExpr::Kind::kOr: {
+      PredicatePtr l, r;
+      if (!TryConvertExpr(*expr.left, binding, &l) ||
+          !TryConvertExpr(*expr.right, binding, &r)) {
+        return false;
+      }
+      *out = expr.kind == QuelExpr::Kind::kAnd
+                 ? MakeAnd(std::move(l), std::move(r))
+                 : MakeOr(std::move(l), std::move(r));
+      return true;
+    }
+    case QuelExpr::Kind::kNot: {
+      PredicatePtr inner;
+      if (!TryConvertExpr(*expr.left, binding, &inner)) return false;
+      *out = MakeNot(std::move(inner));
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<bool> QuelSession::TryColumnarRetrieve(
+    const QuelRetrieveStatement& stmt, const Binding& binding,
+    const std::vector<std::pair<size_t, size_t>>& sources, Relation* result,
+    ExecutionResult* counters) const {
+  IQS_ASSIGN_OR_RETURN(std::string relation, RelationOf(binding.variable));
+  if (db_->IsVirtual(relation)) return false;
+  PredicatePtr pred;
+  if (!TryConvertExpr(*stmt.where, binding, &pred)) return false;
+  Result<std::shared_ptr<const ColumnarRelation>> snap =
+      db_->ColumnarSnapshot(relation);
+  if (!snap.ok()) return false;
+  ExtractedConjuncts split = ExtractColumnConditions(pred, **snap);
+  if (split.conditions.empty()) return false;
+  ColumnarScanStats scan_stats;
+  IQS_ASSIGN_OR_RETURN(std::vector<uint32_t> admitted,
+                       ColumnarScan(**snap, split.conditions,
+                                    split.residual.get(), &scan_stats));
+  std::set<Tuple> seen;
+  for (uint32_t r : admitted) {
+    Tuple row;
+    for (const auto& [which, column] : sources) {
+      (void)which;  // single binding: always 0
+      row.Append((*snap)->column(column).Get(r));
+    }
+    if (stmt.unique && !seen.insert(row).second) continue;
+    result->AppendUnchecked(std::move(row));
+  }
+  counters->columnar_blocks_total += scan_stats.blocks_total;
+  counters->columnar_blocks_pruned += scan_stats.blocks_pruned;
+  return true;
+}
+
 Result<QuelSession::ExecutionResult> QuelSession::ExecuteRetrieve(
     const QuelRetrieveStatement& stmt) {
   if (stmt.targets.empty()) {
@@ -208,31 +307,42 @@ Result<QuelSession::ExecutionResult> QuelSession::ExecuteRetrieve(
   Relation result(stmt.into.empty() ? "retrieve" : stmt.into,
                   std::move(schema));
 
-  // Iterate the cross product of the bindings.
-  std::set<Tuple> seen;
-  Status failure = Status::Ok();
-  auto emit = [&]() -> Status {
-    if (stmt.where != nullptr) {
-      IQS_ASSIGN_OR_RETURN(bool keep, Eval(*stmt.where, bindings));
-      if (!keep) return Status::Ok();
-    }
-    Tuple row;
-    for (const auto& [which, column] : sources) {
-      row.Append(bindings[which].current->at(column));
-    }
-    if (stmt.unique && !seen.insert(row).second) return Status::Ok();
-    result.AppendUnchecked(std::move(row));
-    return Status::Ok();
-  };
-  auto recurse = [&](auto&& self, size_t depth) -> Status {
-    if (depth == bindings.size()) return emit();
-    for (const Tuple& t : bindings[depth].relation->rows()) {
-      bindings[depth].current = &t;
-      IQS_RETURN_IF_ERROR(self(self, depth + 1));
-    }
-    return Status::Ok();
-  };
-  IQS_RETURN_IF_ERROR(recurse(recurse, 0));
+  // Columnar fast path: a qualified single-variable retrieve over a
+  // stored relation runs as a batch scan over the columnar snapshot.
+  ExecutionResult out;
+  bool scanned = false;
+  if (bindings.size() == 1 && stmt.where != nullptr && ColumnarEnabled()) {
+    IQS_ASSIGN_OR_RETURN(
+        scanned,
+        TryColumnarRetrieve(stmt, bindings[0], sources, &result, &out));
+  }
+
+  if (!scanned) {
+    // Iterate the cross product of the bindings.
+    std::set<Tuple> seen;
+    auto emit = [&]() -> Status {
+      if (stmt.where != nullptr) {
+        IQS_ASSIGN_OR_RETURN(bool keep, Eval(*stmt.where, bindings));
+        if (!keep) return Status::Ok();
+      }
+      Tuple row;
+      for (const auto& [which, column] : sources) {
+        row.Append(bindings[which].current->at(column));
+      }
+      if (stmt.unique && !seen.insert(row).second) return Status::Ok();
+      result.AppendUnchecked(std::move(row));
+      return Status::Ok();
+    };
+    auto recurse = [&](auto&& self, size_t depth) -> Status {
+      if (depth == bindings.size()) return emit();
+      for (const Tuple& t : bindings[depth].relation->rows()) {
+        bindings[depth].current = &t;
+        IQS_RETURN_IF_ERROR(self(self, depth + 1));
+      }
+      return Status::Ok();
+    };
+    IQS_RETURN_IF_ERROR(recurse(recurse, 0));
+  }
 
   // sort by: each ref must correspond to a target column.
   if (!stmt.sort_by.empty()) {
@@ -261,7 +371,6 @@ Result<QuelSession::ExecutionResult> QuelSession::ExecuteRetrieve(
     }
     IQS_RETURN_IF_ERROR(db_->AddRelation(result));
   }
-  ExecutionResult out;
   out.relation = std::move(result);
   return out;
 }

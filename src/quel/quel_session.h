@@ -7,6 +7,7 @@
 
 #include "quel/quel_ast.h"
 #include "relational/database.h"
+#include "relational/predicate.h"
 
 namespace iqs {
 
@@ -34,6 +35,10 @@ class QuelSession {
   struct ExecutionResult {
     Relation relation;    // retrieve output; empty otherwise
     size_t affected = 0;  // deleted / appended tuple count
+    // Columnar fast-path accounting for this statement (zero when the
+    // row path ran): zone-map blocks considered and skipped.
+    size_t columnar_blocks_total = 0;
+    size_t columnar_blocks_pruned = 0;
   };
 
   Result<ExecutionResult> Execute(const QuelStatement& statement);
@@ -70,6 +75,22 @@ class QuelSession {
   static Result<Value> EvalOperand(const QuelExpr::Operand& operand,
                                    const std::vector<Binding>& bindings,
                                    const QuelExpr::Operand& other);
+
+  // Columnar fast path for a single-variable qualified retrieve: the
+  // qualification is converted to a bound Predicate over the variable's
+  // relation (replicating EvalOperand's raw-spelling coercion exactly)
+  // and run as a zone-map-pruned batch scan. Appends the admitted
+  // target tuples to `*result` (honoring `unique`) and returns true; a
+  // false return means nothing was appended and the row path must run.
+  static bool TryConvertOperand(const QuelExpr::Operand& operand,
+                                const Binding& binding,
+                                const QuelExpr::Operand& other, ExprPtr* out);
+  static bool TryConvertExpr(const QuelExpr& expr, const Binding& binding,
+                             PredicatePtr* out);
+  Result<bool> TryColumnarRetrieve(
+      const QuelRetrieveStatement& stmt, const Binding& binding,
+      const std::vector<std::pair<size_t, size_t>>& sources, Relation* result,
+      ExecutionResult* counters) const;
 
   Database* db_;
   std::map<std::string, std::string> ranges_;  // lower(var) -> relation

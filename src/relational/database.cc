@@ -124,6 +124,32 @@ std::vector<std::string> Database::IndexedAttributes(
   return out;
 }
 
+Result<std::shared_ptr<const ColumnarRelation>> Database::ColumnarSnapshot(
+    const std::string& name) const {
+  IQS_ASSIGN_OR_RETURN(const Relation* rel, Get(name));
+  // Read the epoch before transposing: if a mutation lands mid-build it
+  // bumps the epoch, so the entry cached under `at_epoch` is retired at
+  // the next lookup rather than served for the new contents.
+  uint64_t at_epoch = epoch();
+  std::string key = ToLower(name);
+  {
+    std::lock_guard<std::mutex> lock(columnar_mu_);
+    auto it = columnar_.find(key);
+    if (it != columnar_.end() && it->second.epoch == at_epoch) {
+      return it->second.snapshot;
+    }
+  }
+  auto snapshot = std::make_shared<const ColumnarRelation>(
+      ColumnarRelation::FromRelation(*rel));
+  std::lock_guard<std::mutex> lock(columnar_mu_);
+  ColumnarEntry& entry = columnar_[key];
+  if (entry.snapshot == nullptr || entry.epoch != at_epoch) {
+    entry.epoch = at_epoch;
+    entry.snapshot = std::move(snapshot);
+  }
+  return entry.snapshot;
+}
+
 void Database::RegisterVirtualProvider(
     const VirtualRelationProvider* provider) {
   for (const std::string& name : provider->RelationNames()) {

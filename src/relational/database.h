@@ -5,10 +5,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "relational/column_store.h"
 #include "relational/index.h"
 #include "relational/relation.h"
 #include "relational/virtual_relation.h"
@@ -31,6 +33,7 @@ class Database {
         indexes_(std::move(other.indexes_)),
         virtual_relations_(std::move(other.virtual_relations_)),
         virtual_order_(std::move(other.virtual_order_)),
+        columnar_(std::move(other.columnar_)),
         epoch_(other.epoch_.load(std::memory_order_relaxed)) {}
   Database& operator=(Database&& other) noexcept {
     relations_ = std::move(other.relations_);
@@ -38,6 +41,7 @@ class Database {
     indexes_ = std::move(other.indexes_);
     virtual_relations_ = std::move(other.virtual_relations_);
     virtual_order_ = std::move(other.virtual_order_);
+    columnar_ = std::move(other.columnar_);
     epoch_.store(other.epoch_.load(std::memory_order_relaxed),
                  std::memory_order_relaxed);
     return *this;
@@ -86,6 +90,18 @@ class Database {
   std::vector<std::string> IndexedAttributes(
       const std::string& relation) const;
 
+  // ---- columnar snapshots --------------------------------------------
+
+  // The columnar snapshot of the named base relation (DESIGN.md §14),
+  // built on first use and cached keyed by the data epoch — any
+  // mutation retires it the same way it retires cached answers. The
+  // returned shared_ptr stays valid across later mutations (it is a
+  // snapshot, not a view). NotFound for unknown (including virtual)
+  // names; virtual relations are materialized fresh per statement and
+  // never reach this cache.
+  Result<std::shared_ptr<const ColumnarRelation>> ColumnarSnapshot(
+      const std::string& name) const;
+
   // ---- virtual relations (sys.* catalog) -----------------------------
 
   // Registers a provider of read-only virtual relations. The provider
@@ -119,6 +135,15 @@ class Database {
            std::pair<const VirtualRelationProvider*, std::string>>
       virtual_relations_;
   std::vector<std::string> virtual_order_;
+  // Lower-cased name -> columnar snapshot and the epoch it was built
+  // at. Lazily filled by ColumnarSnapshot (hence mutable); the mutex
+  // only guards the map, never the build.
+  struct ColumnarEntry {
+    uint64_t epoch = 0;
+    std::shared_ptr<const ColumnarRelation> snapshot;
+  };
+  mutable std::mutex columnar_mu_;
+  mutable std::map<std::string, ColumnarEntry> columnar_;
   std::atomic<uint64_t> epoch_{0};
 };
 

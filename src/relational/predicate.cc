@@ -22,15 +22,42 @@ const char* CompareOpSymbol(CompareOp op) {
   return "?";
 }
 
+namespace {
+
+// Bytes occupied by the UTF-8 code point starting at text[t]: the lead
+// byte plus however many of its declared continuation bytes are actually
+// present. A stray continuation byte or truncated sequence counts as a
+// single one-byte character.
+size_t Utf8CharLen(const std::string& text, size_t t) {
+  unsigned char lead = static_cast<unsigned char>(text[t]);
+  size_t want = 1;
+  if ((lead & 0xE0) == 0xC0) {
+    want = 2;
+  } else if ((lead & 0xF0) == 0xE0) {
+    want = 3;
+  } else if ((lead & 0xF8) == 0xF0) {
+    want = 4;
+  }
+  size_t len = 1;
+  while (len < want && t + len < text.size() &&
+         (static_cast<unsigned char>(text[t + len]) & 0xC0) == 0x80) {
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace
+
 bool LikeMatch(const std::string& text, const std::string& pattern) {
   // Iterative greedy matcher with backtracking over the last '%': the
   // classic O(n*m) wildcard algorithm, sufficient for catalog queries.
+  // '_' consumes one UTF-8 code point of the text, not one byte.
   size_t t = 0, p = 0;
   size_t star_p = std::string::npos, star_t = 0;
   while (t < text.size()) {
     if (p < pattern.size() &&
         (pattern[p] == '_' || pattern[p] == text[t])) {
-      ++t;
+      t += pattern[p] == '_' ? Utf8CharLen(text, t) : 1;
       ++p;
     } else if (p < pattern.size() && pattern[p] == '%') {
       star_p = p++;

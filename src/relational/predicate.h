@@ -27,7 +27,9 @@ enum class CompareOp {
 
 const char* CompareOpSymbol(CompareOp op);
 
-// SQL LIKE semantics: does `text` match `pattern`?
+// SQL LIKE semantics: does `text` match `pattern`? Text is treated as
+// UTF-8: '_' consumes one code point, not one byte (a malformed byte
+// counts as one character).
 bool LikeMatch(const std::string& text, const std::string& pattern);
 
 // Applies `op` to two values. Comparisons involving null are false (a
@@ -49,6 +51,7 @@ class ConstantExpr : public Expr {
   explicit ConstantExpr(Value value) : value_(std::move(value)) {}
   Result<Value> Eval(const Tuple&) const override { return value_; }
   std::string ToString(const Schema*) const override;
+  const Value& value() const { return value_; }
 
  private:
   Value value_;
@@ -105,6 +108,9 @@ class AndPredicate : public Predicate {
       : lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
   Result<bool> Eval(const Tuple& tuple) const override;
   std::string ToString(const Schema* schema) const override;
+
+  const PredicatePtr& lhs() const { return lhs_; }
+  const PredicatePtr& rhs() const { return rhs_; }
 
  private:
   PredicatePtr lhs_;

@@ -10,6 +10,7 @@
 #include "exec/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "relational/algebra.h"
 #include "sql/sql_parser.h"
 
 namespace iqs {
@@ -221,6 +222,37 @@ Result<Relation> SqlExecutor::ExecuteMeasured(const SelectStatement& stmt,
   return result;
 }
 
+Result<bool> SqlExecutor::TryColumnarScan(const TableRef& ref,
+                                          const SelectStatement& stmt,
+                                          Relation* qualified) const {
+  Result<std::shared_ptr<const ColumnarRelation>> snap =
+      db_->ColumnarSnapshot(ref.name);
+  if (!snap.ok()) return false;  // relation vanished: let the row path report
+  // Single-table binding happens against the qualified schema, whose
+  // attribute order matches the base relation — so bound column indexes
+  // address the snapshot's columns directly. A bind error here is the
+  // same error the row path would surface (nothing can fail in between
+  // for a one-table FROM).
+  IQS_ASSIGN_OR_RETURN(PredicatePtr pred,
+                       BindExpr(qualified->schema(), *stmt.where));
+  ExtractedConjuncts split = ExtractColumnConditions(pred, **snap);
+  if (split.conditions.empty()) return false;
+  ColumnarScanStats scan_stats;
+  IQS_ASSIGN_OR_RETURN(std::vector<uint32_t> admitted,
+                       ColumnarScan(**snap, split.conditions,
+                                    split.residual.get(), &scan_stats));
+  for (uint32_t r : admitted) {
+    qualified->AppendUnchecked((*snap)->MaterializeRow(r));
+  }
+  ++stats_.columnar_tables;
+  stats_.columnar_blocks_total += scan_stats.blocks_total;
+  stats_.columnar_blocks_pruned += scan_stats.blocks_pruned;
+  IQS_COUNTER_INC("sql.execute.columnar_path");
+  IQS_COUNTER_ADD("sql.execute.columnar_blocks_pruned",
+                  scan_stats.blocks_pruned);
+  return true;
+}
+
 Result<Relation> SqlExecutor::ExecuteInternal(const SelectStatement& stmt,
                                               bool schema_only) const {
   if (stmt.from.empty()) {
@@ -337,6 +369,7 @@ Result<Relation> SqlExecutor::ExecuteInternal(const SelectStatement& stmt,
   // the fast path only applies to stored relations.
   std::vector<Relation> tables;
   std::set<std::string> names;
+  bool where_filtered = false;
   for (const TableRef& ref : stmt.from) {
     std::optional<Relation> materialized;
     const Relation* rel = nullptr;
@@ -369,10 +402,25 @@ Result<Relation> SqlExecutor::ExecuteInternal(const SelectStatement& stmt,
       for (size_t r : *admitted) filtered.AppendUnchecked(rel->row(r));
       stats_.base_rows_loaded += filtered.size();
       tables.push_back(QualifyFor(filtered, effective));
-    } else {
-      stats_.base_rows_loaded += rel->size();
-      tables.push_back(QualifyFor(*rel, effective));
+      continue;
     }
+    stats_.base_rows_loaded += rel->size();
+    // Columnar fast path: a one-table restriction with no usable index
+    // runs as a zone-map-pruned batch scan over the columnar snapshot
+    // and arrives here already WHERE-filtered.
+    if (stmt.from.size() == 1 && stmt.where != nullptr &&
+        !materialized.has_value() && ColumnarEnabled()) {
+      Relation empty(rel->name(), rel->schema());
+      Relation qualified = QualifyFor(empty, effective);
+      IQS_ASSIGN_OR_RETURN(bool scanned,
+                           TryColumnarScan(ref, stmt, &qualified));
+      if (scanned) {
+        tables.push_back(std::move(qualified));
+        where_filtered = true;
+        continue;
+      }
+    }
+    tables.push_back(QualifyFor(*rel, effective));
   }
 
   // Collect equi-join conditions (column = column across two tables).
@@ -459,10 +507,11 @@ Result<Relation> SqlExecutor::ExecuteInternal(const SelectStatement& stmt,
     }
   }
 
-  // Filter with the full WHERE clause. Partitioned scan: chunks keep
-  // local row vectors concatenated in chunk order, so row order and the
-  // first reported error match the serial scan.
-  if (stmt.where != nullptr) {
+  // Filter with the full WHERE clause (unless the columnar scan already
+  // applied it). Partitioned scan: chunks keep local row vectors
+  // concatenated in chunk order, so row order and the first reported
+  // error match the serial scan.
+  if (stmt.where != nullptr && !where_filtered) {
     IQS_ASSIGN_OR_RETURN(PredicatePtr pred,
                          BindExpr(working.schema(), *stmt.where));
     const std::vector<Tuple>& rows = working.rows();

@@ -42,6 +42,13 @@ class SqlExecutor {
     size_t index_prefiltered_tables = 0;
     size_t base_rows_loaded = 0;  // rows materialized across FROM tables
     size_t rows_returned = 0;     // result cardinality
+    // Columnar fast path (DESIGN.md §14): tables answered from the
+    // columnar snapshot, and its zone-map block accounting.
+    // base_rows_loaded still counts the full relation size for a
+    // columnar table — pruning shows up here, not there.
+    size_t columnar_tables = 0;
+    size_t columnar_blocks_total = 0;
+    size_t columnar_blocks_pruned = 0;
   };
   // Stats of the last query executed ON THE CALLING THREAD. The slot is
   // thread-local so one executor can serve concurrent queries without the
@@ -69,6 +76,18 @@ class SqlExecutor {
   // Copies `relation` with attributes renamed "<effective>.<attr>".
   static Relation QualifyFor(const Relation& relation,
                              const std::string& effective_name);
+
+  // Columnar fast path for a single-table SELECT with a WHERE clause
+  // and no index-admitted prefilter: binds the predicate against
+  // `qualified`'s schema, splits out the column-vs-constant conjunct
+  // prefix, and runs the zone-map-pruned batch scan over the cached
+  // columnar snapshot. On success appends the admitted rows to
+  // `*qualified` and returns true — the WHERE clause is then fully
+  // applied. Returns false (appending nothing) when no conjunct is
+  // extractable and the row scan should run instead.
+  Result<bool> TryColumnarScan(const TableRef& ref,
+                               const SelectStatement& stmt,
+                               Relation* qualified) const;
 
   // Hash equi-join of two working relations on the named columns.
   static Result<Relation> JoinOn(const Relation& left,

@@ -129,6 +129,33 @@ TEST(LikeMatchTest, WildcardSemantics) {
   EXPECT_TRUE(LikeMatch("query.count", "%.%"));
 }
 
+TEST(LikeMatchTest, UnderscoreConsumesOneCodePoint) {
+  // '_' matches one UTF-8 code point, not one byte: "Ké" is K (1 byte)
+  // plus U+00E9 (2 bytes), and "日本" is two 3-byte code points.
+  EXPECT_TRUE(LikeMatch("K\xC3\xA9", "K_"));
+  EXPECT_TRUE(LikeMatch("\xC3\xA9", "_"));
+  EXPECT_FALSE(LikeMatch("\xC3\xA9", "__"));
+  EXPECT_TRUE(LikeMatch("\xE6\x97\xA5\xE6\x9C\xAC", "__"));
+  EXPECT_FALSE(LikeMatch("\xE6\x97\xA5\xE6\x9C\xAC", "_"));
+  EXPECT_TRUE(LikeMatch("\xF0\x9F\x98\x80", "_"));  // U+1F600, 4 bytes
+  // Mixed with literals and '%': one '_' skips exactly the accented char.
+  EXPECT_TRUE(LikeMatch("caf\xC3\xA9 au lait", "caf_ au %"));
+  EXPECT_TRUE(LikeMatch("\xE6\x97\xA5\xE6\x9C\xAC\xE8\xAA\x9E", "_%\xE8\xAA\x9E"));
+  EXPECT_TRUE(LikeMatch("a\xC3\xA9z", "a_z"));
+  EXPECT_FALSE(LikeMatch("a\xC3\xA9\xC3\xA9z", "a_z"));
+  EXPECT_TRUE(LikeMatch("a\xC3\xA9\xC3\xA9z", "a__z"));
+}
+
+TEST(LikeMatchTest, MalformedBytesDegradeToSingleBytes) {
+  // A lead byte with its continuation bytes truncated never consumes
+  // past what is present; stray continuation bytes count one each.
+  EXPECT_TRUE(LikeMatch("\xC3", "_"));          // truncated 2-byte seq
+  EXPECT_TRUE(LikeMatch("\xE6\x97", "_"));      // truncated 3-byte seq
+  EXPECT_TRUE(LikeMatch("\x80", "_"));          // bare continuation byte
+  EXPECT_TRUE(LikeMatch("\x80\x80", "__"));
+  EXPECT_FALSE(LikeMatch("\xC3", "__"));
+}
+
 TEST(LikeMatchTest, BacktracksAcrossGreedyWildcards) {
   // The first '%' must give characters back for the suffix to land.
   EXPECT_TRUE(LikeMatch("ababab", "%ab"));

@@ -175,6 +175,82 @@ TEST(WireFuzzTest, JsonParserSurvivesRandomAndMutatedInput) {
   }
 }
 
+TEST(WireFuzzTest, SurrogatePairsDecodeToUtf8NotCesu8) {
+  // \uD83D\uDE00 is U+1F600: one 4-byte UTF-8 sequence, not the two
+  // 3-byte halves (CESU-8) a naive per-escape encoder emits.
+  auto parsed = net::JsonValue::Parse("\"\\uD83D\\uDE00\"");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "\xF0\x9F\x98\x80");
+  // The encoder passes the raw bytes through, so the value round-trips.
+  auto again = net::JsonValue::Parse(parsed->Dump());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->AsString(), "\xF0\x9F\x98\x80");
+
+  // Highest and lowest pairable code points.
+  auto first = net::JsonValue::Parse("\"\\uD800\\uDC00\"");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->AsString(), "\xF0\x90\x80\x80");  // U+10000
+  auto last = net::JsonValue::Parse("\"\\uDBFF\\uDFFF\"");
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last->AsString(), "\xF4\x8F\xBF\xBF");  // U+10FFFF
+}
+
+TEST(WireFuzzTest, UnpairedSurrogatesBecomeReplacementCharacter) {
+  const char* kFffd = "\xEF\xBF\xBD";
+  // Lone high half, lone low half, and a high half followed by a
+  // non-surrogate escape (which must still decode on its own).
+  auto high = net::JsonValue::Parse("\"\\uD83Dx\"");
+  ASSERT_TRUE(high.ok());
+  EXPECT_EQ(high->AsString(), std::string(kFffd) + "x");
+  auto low = net::JsonValue::Parse("\"\\uDE00\"");
+  ASSERT_TRUE(low.ok());
+  EXPECT_EQ(low->AsString(), kFffd);
+  auto split = net::JsonValue::Parse("\"\\uD83D\\u0041\"");
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->AsString(), std::string(kFffd) + "A");
+  // Two high halves: each replaced independently.
+  auto two_high = net::JsonValue::Parse("\"\\uD800\\uD800\\uDC00\"");
+  ASSERT_TRUE(two_high.ok());
+  EXPECT_EQ(two_high->AsString(), std::string(kFffd) + "\xF0\x90\x80\x80");
+  // A malformed second escape is still a parse error, not a silent pair.
+  EXPECT_FALSE(net::JsonValue::Parse("\"\\uD83D\\uZZZZ\"").ok());
+  // BMP escapes are untouched by the surrogate logic.
+  auto bmp = net::JsonValue::Parse("\"\\u00E9\\u65E5\"");
+  ASSERT_TRUE(bmp.ok());
+  EXPECT_EQ(bmp->AsString(), "\xC3\xA9\xE6\x97\xA5");
+}
+
+TEST(WireFuzzTest, IntegerOverflowIsATypedErrorNotADouble) {
+  // INT64_MAX and INT64_MIN parse exactly.
+  auto max = net::JsonValue::Parse("9223372036854775807");
+  ASSERT_TRUE(max.ok());
+  ASSERT_TRUE(max->is_int());
+  EXPECT_EQ(max->AsInt(), INT64_MAX);
+  auto min = net::JsonValue::Parse("-9223372036854775808");
+  ASSERT_TRUE(min.ok());
+  ASSERT_TRUE(min->is_int());
+  EXPECT_EQ(min->AsInt(), INT64_MIN);
+  // One past either end must fail loudly — falling back to double would
+  // silently round 9223372036854775808 to 2^63.0.
+  for (const char* text :
+       {"9223372036854775808", "-9223372036854775809",
+        "99999999999999999999999999"}) {
+    auto out = net::JsonValue::Parse(text);
+    ASSERT_FALSE(out.ok()) << text;
+    EXPECT_NE(out.status().message().find("out of int64 range"),
+              std::string::npos)
+        << out.status().message();
+  }
+  // Non-integral spellings of large magnitudes still take the double
+  // path.
+  auto dbl = net::JsonValue::Parse("9223372036854775808.0");
+  ASSERT_TRUE(dbl.ok());
+  EXPECT_FALSE(dbl->is_int());
+  auto exp = net::JsonValue::Parse("92233720368547758e2");
+  ASSERT_TRUE(exp.ok());
+  EXPECT_FALSE(exp->is_int());
+}
+
 // ---- request router (socket-free) ------------------------------------
 
 class RouterFuzzTest : public ::testing::Test {

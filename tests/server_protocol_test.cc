@@ -391,6 +391,38 @@ TEST_F(ServerProtocolTest, InvalidJsonPayloadYieldsTypedError) {
   EXPECT_TRUE(IsOk(alive));
 }
 
+TEST_F(ServerProtocolTest, OutOfRangeIntegerPayloadYieldsTypedError) {
+  BlockingClient client = Connect(*harness_);
+  // 2^63 cannot be an int64; the parser must answer with a typed error
+  // instead of silently rounding the id to a double.
+  auto response =
+      client.Call(R"({"verb":"ping","id":9223372036854775808})");
+  ASSERT_TRUE(response.ok()) << response.status();
+  auto parsed = net::JsonValue::Parse(*response);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(IsOk(*parsed));
+  EXPECT_EQ(ErrorCode(*parsed), "ParseError");
+  const JsonValue* error = parsed->Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_NE(GetString(*error, "message").find("out of int64 range"),
+            std::string::npos);
+  // INT64_MAX itself is fine and echoes exactly, and the connection
+  // still serves.
+  JsonValue max = CallParsed(
+      client, R"({"verb":"ping","id":9223372036854775807})");
+  EXPECT_TRUE(IsOk(max));
+  EXPECT_EQ(GetInt(max, "id"), INT64_MAX);
+  // An escaped surrogate pair survives a request/response round trip as
+  // one 4-byte code point, not CESU-8 (the echo arrives via the id).
+  JsonValue astral = CallParsed(
+      client, R"({"verb":"ping","id":"\uD83D\uDE00"})");
+  EXPECT_TRUE(IsOk(astral));
+  const JsonValue* id = astral.Find("id");
+  ASSERT_NE(id, nullptr);
+  ASSERT_TRUE(id->is_string());
+  EXPECT_EQ(id->AsString(), "\xF0\x9F\x98\x80");
+}
+
 TEST_F(ServerProtocolTest, UnknownVerbAndMissingVerbAreTypedErrors) {
   BlockingClient client = Connect(*harness_);
   JsonValue unknown = CallParsed(client, BuildRequest("frobnicate", 5));
