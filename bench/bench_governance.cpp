@@ -1,0 +1,172 @@
+// Governance experiment (E16, DESIGN.md §15): what does resource
+// governance cost the queries that behave? A workload where 5% of
+// queries are poison — governed so tightly (1kb memory budget, 1ms
+// deadline) that they die with a typed error at their first
+// materialization charge — runs against the same workload with no
+// poison at all. The acceptance bar: the p99 latency of the *healthy*
+// queries degrades by less than 20% when the poison is present, every
+// poison query dies typed (never a crash, a wedge, or a silent wrong
+// answer), and the governed memory pool drains back to zero.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_report.h"
+#include "core/system.h"
+#include "exec/exec_context.h"
+#include "testbed/ship_db.h"
+
+namespace {
+
+struct QuerySpec {
+  const char* label;
+  std::string sql;
+};
+
+// The join materializes enough rows that a 1kb budget genuinely
+// overruns — the poison dies at a real charge site, exercising the full
+// cancel-and-unwind path every time.
+constexpr char kPoisonSql[] =
+    "SELECT SUBMARINE.Id FROM SUBMARINE, CLASS "
+    "WHERE SUBMARINE.Class = CLASS.Class";
+
+const std::vector<QuerySpec>& Workload() {
+  static const std::vector<QuerySpec>* queries = new std::vector<QuerySpec>{
+      {"rule_hit", "SELECT Id FROM SUBMARINE WHERE SUBMARINE.Class = '0204'"},
+      {"scan", "SELECT Id FROM SUBMARINE"},
+      {"join",
+       "SELECT SUBMARINE.Id FROM SUBMARINE, CLASS "
+       "WHERE SUBMARINE.Class = CLASS.Class"},
+      {"aggregate", "SELECT COUNT(*) FROM SUBMARINE"},
+  };
+  return *queries;
+}
+
+double Quantile(std::vector<double> micros, double q) {
+  if (micros.empty()) return 0;
+  std::sort(micros.begin(), micros.end());
+  size_t index = static_cast<size_t>(q * static_cast<double>(micros.size()));
+  if (index >= micros.size()) index = micros.size() - 1;
+  return micros[index];
+}
+
+}  // namespace
+
+int main() {
+  auto system_or = iqs::BuildShipSystem();
+  if (!system_or.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 system_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<iqs::IqsSystem> system = std::move(system_or).value();
+  iqs::InductionConfig induction;
+  induction.min_support = 3;
+  if (auto s = system->Induce(induction); !s.ok()) {
+    std::fprintf(stderr, "induction failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  constexpr int kRounds = 250;
+  constexpr int kPoisonEvery = 20;  // 5% of queries
+
+  // Cache bypass keeps every round on the full pipeline — the cost being
+  // measured is the governance checkpoints, not cache hits.
+  iqs::QueryOptions healthy_options;
+  healthy_options.use_cache = false;
+  iqs::QueryOptions poison_options;
+  poison_options.use_cache = false;
+  poison_options.max_memory_kb = 1;
+
+  auto run_phase = [&](bool with_poison, std::vector<double>* healthy_us,
+                       int* poison_total, int* poison_typed) {
+    int issued = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      for (const QuerySpec& q : Workload()) {
+        const bool poison = with_poison && (++issued % kPoisonEvery == 0);
+        if (poison) {
+          ++*poison_total;
+          auto result = system->Query(kPoisonSql, poison_options);
+          const bool typed =
+              !result.ok() &&
+              (result.status().code() ==
+                   iqs::StatusCode::kDeadlineExceeded ||
+               result.status().code() ==
+                   iqs::StatusCode::kResourceExhausted);
+          if (typed) ++*poison_typed;
+          continue;
+        }
+        auto start = std::chrono::steady_clock::now();
+        auto result = system->Query(q.sql, healthy_options);
+        auto end = std::chrono::steady_clock::now();
+        if (!result.ok()) {
+          std::fprintf(stderr, "healthy query failed: %s\n",
+                       result.status().ToString().c_str());
+          continue;
+        }
+        healthy_us->push_back(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+                .count() /
+            1000.0);
+      }
+    }
+  };
+
+  // Warmup, then the two phases.
+  for (const QuerySpec& q : Workload()) {
+    (void)system->Query(q.sql, healthy_options);
+  }
+
+  // Alternate the two phases so machine drift (frequency scaling, other
+  // tenants) lands on both sides of the comparison instead of one.
+  std::vector<double> baseline_us;
+  std::vector<double> mixed_us;
+  int poison_total = 0, poison_typed = 0;
+  constexpr int kReps = 4;
+  for (int rep = 0; rep < kReps; ++rep) {
+    int unused_total = 0, unused_typed = 0;
+    run_phase(false, &baseline_us, &unused_total, &unused_typed);
+    run_phase(true, &mixed_us, &poison_total, &poison_typed);
+  }
+
+  const double baseline_p99 = Quantile(baseline_us, 0.99);
+  const double mixed_p99 = Quantile(mixed_us, 0.99);
+  const double degradation_pct =
+      baseline_p99 <= 0 ? 0 : (mixed_p99 - baseline_p99) / baseline_p99 * 100;
+  const double typed_pct =
+      poison_total == 0
+          ? 100
+          : 100.0 * static_cast<double>(poison_typed) / poison_total;
+  const uint64_t leaked =
+      iqs::exec::GovernedMemoryPool::Global().used_bytes();
+
+  std::printf("E16 resource governance (%d rounds, %zu-query workload, "
+              "1-in-%d poison)\n",
+              kRounds * kReps, Workload().size(), kPoisonEvery);
+  std::printf("  healthy p50/p99 without poison: %8.1f / %8.1f us\n",
+              Quantile(baseline_us, 0.5), baseline_p99);
+  std::printf("  healthy p50/p99 with    poison: %8.1f / %8.1f us\n",
+              Quantile(mixed_us, 0.5), mixed_p99);
+  std::printf("  healthy p99 degradation:        %8.1f %%  (bar: < 20%%)\n",
+              degradation_pct);
+  std::printf("  poison queries typed-failed:    %6d/%d (%.1f%%)\n",
+              poison_typed, poison_total, typed_pct);
+  std::printf("  governed pool after run:        %8llu bytes (bar: 0)\n",
+              static_cast<unsigned long long>(leaked));
+  if (degradation_pct >= 20) {
+    std::printf("  WARNING: degradation bar exceeded\n");
+  }
+
+  iqs::bench::BenchReport report("governance");
+  report.Add("healthy_p99_us_baseline", baseline_p99, "us");
+  report.Add("healthy_p99_us_with_poison", mixed_p99, "us");
+  report.Add("healthy_p50_us_baseline", Quantile(baseline_us, 0.5), "us");
+  report.Add("healthy_p50_us_with_poison", Quantile(mixed_us, 0.5), "us");
+  report.Add("healthy_p99_degradation", degradation_pct, "percent");
+  report.Add("poison_typed", typed_pct, "percent");
+  report.Add("pool_leaked", static_cast<double>(leaked), "bytes");
+  return report.Write() ? 0 : 1;
+}

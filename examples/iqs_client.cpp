@@ -23,9 +23,11 @@ namespace {
 
 void PrintUsage(const char* argv0) {
   std::cout << "usage: " << argv0
-            << " [--host <ip>] [--port <n>] [request ...]\n"
-            << "  request     '{...}' raw protocol JSON, else SQL for a "
+            << " [--host <ip>] [--port <n>] [--timeout-ms <n>] [request ...]\n"
+            << "  request      '{...}' raw protocol JSON, else SQL for a "
                "query verb\n"
+            << "  --timeout-ms bound on connect and each response "
+               "(default 10000)\n"
             << "  (no requests: read one request per stdin line)\n";
 }
 
@@ -77,6 +79,7 @@ std::string WrapRequest(const std::string& text, uint64_t id) {
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   long port = 7461;
+  long timeout_ms = 10000;
   std::vector<std::string> requests;
 
   for (int i = 1; i < argc; ++i) {
@@ -88,6 +91,8 @@ int main(int argc, char** argv) {
       host = argv[++i];
     } else if (flag == "--port" && i + 1 < argc) {
       port = std::strtol(argv[++i], nullptr, 10);
+    } else if (flag == "--timeout-ms" && i + 1 < argc) {
+      timeout_ms = std::strtol(argv[++i], nullptr, 10);
     } else {
       requests.push_back(flag);
     }
@@ -96,8 +101,13 @@ int main(int argc, char** argv) {
     std::cerr << "--port must be 1..65535\n";
     return 2;
   }
+  if (timeout_ms <= 0) {
+    std::cerr << "--timeout-ms must be positive\n";
+    return 2;
+  }
 
   iqs::net::BlockingClient client;
+  client.set_timeout_ms(static_cast<int>(timeout_ms));
   if (auto s = client.Connect(host, static_cast<uint16_t>(port)); !s.ok()) {
     std::cerr << s << "\n";
     return 1;

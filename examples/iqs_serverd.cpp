@@ -39,6 +39,14 @@ void PrintUsage(const char* argv0) {
          "(default 16)\n"
       << "  --idle-timeout-ms <n> reap sessions idle this long "
          "(default 60000)\n"
+      << "  --default-deadline-ms <n>\n"
+      << "                        per-query deadline seeded into every "
+         "session; 0 = none (default 0)\n"
+      << "  --max-query-memory-kb <n>\n"
+      << "                        per-query memory budget seeded into every "
+         "session; 0 = none (default 0)\n"
+      << "  --watchdog-period-ms <n>\n"
+      << "                        overdue-query sweep period (default 50)\n"
       << "  --allow-failpoints    permit `set failpoint` over the wire\n"
       << "  --help                this message\n";
 }
@@ -87,7 +95,9 @@ int main(int argc, char** argv) {
       testbed = v;
     } else if (flag == "--port" || flag == "--max-sessions" ||
                flag == "--queue-depth" || flag == "--idle-timeout-ms" ||
-               flag == "--nc") {
+               flag == "--default-deadline-ms" ||
+               flag == "--max-query-memory-kb" ||
+               flag == "--watchdog-period-ms" || flag == "--nc") {
       const char* v = next();
       if (v == nullptr || !ParseSizeFlag(v, &value)) {
         std::cerr << flag << " needs a non-negative number\n";
@@ -101,6 +111,12 @@ int main(int argc, char** argv) {
         config.queue_depth = static_cast<size_t>(value);
       } else if (flag == "--idle-timeout-ms") {
         config.idle_timeout_ms = static_cast<int>(value);
+      } else if (flag == "--default-deadline-ms") {
+        config.default_deadline_ms = static_cast<int64_t>(value);
+      } else if (flag == "--max-query-memory-kb") {
+        config.max_query_memory_kb = static_cast<uint64_t>(value);
+      } else if (flag == "--watchdog-period-ms") {
+        config.watchdog_period_ms = static_cast<int>(value);
       } else {
         nc = value;
       }

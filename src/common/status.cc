@@ -26,6 +26,12 @@ const char* StatusCodeName(StatusCode code) {
       return "Corruption";
     case StatusCode::kOverloaded:
       return "Overloaded";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -24,6 +24,12 @@ enum class StatusCode {
                       // retryable — recovery picks another snapshot
   kOverloaded,        // admission control shed the request; retry later
                       // against a less-loaded server (see src/net/)
+  kDeadlineExceeded,  // the query overran its deadline and was
+                      // cooperatively unwound (see src/exec/exec_context.h)
+  kCancelled,         // an explicit cancel (wire verb, session teardown,
+                      // or watchdog) unwound the query
+  kResourceExhausted, // the query's memory budget was exceeded; the
+                      // partial work was discarded and the arena freed
 };
 
 // Returns a short stable name such as "NotFound" for diagnostics.
@@ -75,6 +81,15 @@ class [[nodiscard]] Status {
   }
   static Status Overloaded(std::string msg) {
     return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

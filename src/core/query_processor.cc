@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/string_util.h"
+#include "exec/exec_context.h"
 #include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/query_log.h"
@@ -226,6 +227,30 @@ Result<QueryResult> IntensionalQueryProcessor::Process(
 
 Result<QueryResult> IntensionalQueryProcessor::Process(
     const std::string& sql, const QueryOptions& options) const {
+  // Governance: a deadline, budget, or wire identity runs the whole
+  // pipeline under an ExecContext. The context is shared with the
+  // registry so the cancel verb and the watchdog can reach it; the
+  // registration drops before the context, and the context destructor
+  // returns every charged byte to the global pool.
+  std::shared_ptr<exec::ExecContext> gov;
+  std::optional<exec::ScopedExecContext> gov_scope;
+  std::optional<exec::ScopedQueryRegistration> gov_registration;
+  if (options.deadline_ms > 0 || options.max_memory_kb > 0 ||
+      options.session_id != 0) {
+    exec::ExecContext::Config config;
+    if (options.deadline_ms > 0) {
+      config.deadline = std::chrono::milliseconds(options.deadline_ms);
+    }
+    config.max_memory_bytes = options.max_memory_kb * 1024;
+    config.session_id = options.session_id;
+    config.request_id = options.request_id;
+    config.statement = sql;
+    gov = std::make_shared<exec::ExecContext>(std::move(config));
+    gov_scope.emplace(gov.get());
+    gov_registration.emplace(gov);
+    IQS_COUNTER_INC("gov.queries");
+  }
+
   // Snapshot: concurrent re-induction swaps the set; this query keeps
   // reading the version it started with. When the snapshot load faults
   // the query degrades to extensional-only instead of failing.
@@ -253,6 +278,13 @@ Result<QueryResult> IntensionalQueryProcessor::Process(
   if (result.ok() && versioned) {
     result->rule_epoch = epochs.rule_epoch;
     result->db_epoch = epochs.db_epoch;
+  }
+  if (result.ok() && gov != nullptr) {
+    result->stats.gov_deadline_ms = gov->deadline_ms();
+    result->stats.gov_mem_peak_kb = (gov->peak_bytes() + 1023) / 1024;
+    if (gov->cancelled()) {
+      result->stats.gov_cancelled = StatusCodeName(gov->cancel_code());
+    }
   }
   RecordOutcome(result);
   LogQuery(sql, options.mode, epochs.rule_epoch, epochs.db_epoch, result);

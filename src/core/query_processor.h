@@ -62,6 +62,17 @@ struct QueryOptions {
   // false bypasses the plan + answer caches for this call only (lookups
   // and inserts); the uncached path serves the identical answer.
   bool use_cache = true;
+  // Resource governance (DESIGN.md §15). A nonzero deadline or budget
+  // (or a wire identity, which the cancel verb needs) makes Process run
+  // the whole pipeline under an ExecContext: governance checkpoints trip
+  // with typed errors, the query registers in GovernanceRegistry (so
+  // sys.sessions shows it and cancel/watchdog can reach it), and peak
+  // memory lands in QueryStats. All zero = ungoverned, the pre-existing
+  // behavior.
+  int64_t deadline_ms = 0;      // 0 = no deadline
+  uint64_t max_memory_kb = 0;   // 0 = no budget
+  uint64_t session_id = 0;      // 0 = not a wire request
+  std::string request_id;       // wire identity for `cancel`
 };
 
 // The intensional query processing system (paper §5.1, Figure 6): a

@@ -28,12 +28,15 @@ Result<std::unique_ptr<IqsSystem>> IqsSystem::Create(
       system->dictionary_.get(), std::move(formatter_options));
   system->obs_catalog_ = std::make_unique<obs::ObsCatalogProvider>();
   system->fault_catalog_ = std::make_unique<fault::FaultCatalogProvider>();
+  system->governance_catalog_ =
+      std::make_unique<exec::GovernanceCatalogProvider>();
   system->cache_catalog_ = std::make_unique<cache::CacheCatalogProvider>(
       &system->processor_->cache());
   system->dictionary_catalog_ = std::make_unique<DictionaryCatalogProvider>(
       system->dictionary_.get());
   system->db_->RegisterVirtualProvider(system->obs_catalog_.get());
   system->db_->RegisterVirtualProvider(system->fault_catalog_.get());
+  system->db_->RegisterVirtualProvider(system->governance_catalog_.get());
   system->db_->RegisterVirtualProvider(system->cache_catalog_.get());
   system->db_->RegisterVirtualProvider(system->dictionary_catalog_.get());
   return system;

@@ -8,6 +8,7 @@
 #include "core/answer_formatter.h"
 #include "core/query_processor.h"
 #include "dictionary/dictionary_catalog.h"
+#include "exec/governance_catalog.h"
 #include "fault/fault_catalog.h"
 #include "induction/ils.h"
 #include "obs/sys_catalog.h"
@@ -84,6 +85,7 @@ class IqsSystem {
   // state. Owned here because Database keeps raw pointers to them.
   std::unique_ptr<obs::ObsCatalogProvider> obs_catalog_;
   std::unique_ptr<fault::FaultCatalogProvider> fault_catalog_;
+  std::unique_ptr<exec::GovernanceCatalogProvider> governance_catalog_;
   std::unique_ptr<cache::CacheCatalogProvider> cache_catalog_;
   std::unique_ptr<DictionaryCatalogProvider> dictionary_catalog_;
 };

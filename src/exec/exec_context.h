@@ -1,0 +1,293 @@
+#ifndef IQS_EXEC_EXEC_CONTEXT_H_
+#define IQS_EXEC_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace iqs {
+namespace exec {
+
+// Per-query resource governance (DESIGN.md §15). One ExecContext is
+// created per query (or induction run) and installed thread-locally via
+// ScopedExecContext; every pipeline stage calls IQS_GOV_CHECKPOINT at
+// block/batch granularity, which evaluates the context — deadline,
+// cooperative cancel flag, memory budget — and unwinds with a typed
+// Status (kDeadlineExceeded / kCancelled / kResourceExhausted) when a
+// limit is breached. Cancellation is strictly cooperative: nothing is
+// killed, the query's own stack unwinds through the ordinary Status
+// plumbing, so destructors run and no state is torn.
+//
+// Memory is accounted, not hooked: stages charge estimated bytes at the
+// points where they materialize rows (qualified copies, join outputs,
+// transposes, induction views). Charges accumulate in the context and in
+// a process-wide pool; the context destructor returns its total to the
+// pool, so "pool drains to zero after the query" is the leak check the
+// governance sweep asserts.
+
+// Process-wide sum of bytes charged by live query contexts. Drains to
+// zero when no query is in flight — asserted by the governance tests.
+class GovernedMemoryPool {
+ public:
+  static GovernedMemoryPool& Global();
+
+  void Charge(uint64_t bytes) {
+    used_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void Release(uint64_t bytes) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+  uint64_t used_bytes() const { return used_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> used_{0};
+};
+
+class ExecContext {
+ public:
+  struct Config {
+    // Relative deadline; nullopt = none. Anchored at construction.
+    std::optional<std::chrono::milliseconds> deadline;
+    uint64_t max_memory_bytes = 0;  // 0 = unlimited
+    // Wire identity, for the cancel verb and sys.sessions. session_id 0
+    // means "not a wire request" (shell, tests, induction).
+    uint64_t session_id = 0;
+    std::string request_id;
+    std::string statement;  // shown in sys.sessions
+  };
+
+  explicit ExecContext(Config config);
+  ~ExecContext();
+
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  // Requests cooperative unwinding: the next Check() on any thread
+  // running under this context returns a Status with `code`. First
+  // cancel wins; later calls are no-ops.
+  void Cancel(StatusCode code, const std::string& reason);
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  // The typed code the context was cancelled with; meaningful only once
+  // cancelled() is true.
+  StatusCode cancel_code() const {
+    return static_cast<StatusCode>(
+        cancel_code_.load(std::memory_order_acquire));
+  }
+
+  // The governance checkpoint body: returns non-OK once the context is
+  // cancelled, past its deadline, or over its memory budget. `checkpoint`
+  // names the calling site for the error message and metrics.
+  Status Check(const char* checkpoint);
+
+  // Accounts `bytes` of materialized data against the budget (and the
+  // global pool). Over-budget charges cancel the whole context with
+  // kResourceExhausted so sibling worker threads unwind too. The bytes
+  // stay charged either way until the context dies — the data they
+  // estimate is freed by the unwinding destructors, not here.
+  Status Charge(const char* checkpoint, uint64_t bytes);
+
+  uint64_t used_bytes() const { return used_.load(std::memory_order_relaxed); }
+  uint64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+
+  int64_t elapsed_ms() const;
+  // The relative deadline in ms, -1 when none.
+  int64_t deadline_ms() const;
+  bool past_deadline() const;
+
+  uint64_t session_id() const { return config_.session_id; }
+  const std::string& request_id() const { return config_.request_id; }
+  const std::string& statement() const { return config_.statement; }
+
+  // The thread's installed context, null outside any governed query.
+  static ExecContext* Current();
+
+ private:
+  friend class ScopedExecContext;
+
+  const Config config_;
+  const std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point deadline_at_{};  // valid iff config_.deadline
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int> cancel_code_{0};
+  mutable std::mutex reason_mu_;
+  std::string cancel_reason_;
+
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> peak_{0};
+};
+
+// Installs `context` as the thread's current ExecContext for the scope.
+// Null is allowed (installs "no context"); nesting restores the previous
+// context on destruction. ParallelReduce captures the submitting thread's
+// context and installs it in every pool task, so chunk bodies on worker
+// threads see the same governance state as the serial path.
+class ScopedExecContext {
+ public:
+  explicit ScopedExecContext(ExecContext* context);
+  ~ScopedExecContext();
+
+  ScopedExecContext(const ScopedExecContext&) = delete;
+  ScopedExecContext& operator=(const ScopedExecContext&) = delete;
+
+ private:
+  ExecContext* previous_;
+};
+
+// ---------------------------------------------------------------------------
+// Checkpoints
+
+// Every governance checkpoint wired through the pipeline, for the sweep
+// test (tests/governance_sweep_test.cc) which arms exec.slow_block at
+// each name and proves clean typed unwinding. Adding a checkpoint here
+// without sweep coverage fails that test's completeness assertion.
+struct CheckpointInfo {
+  const char* name;
+  const char* description;
+};
+const std::vector<CheckpointInfo>& CheckpointManifest();
+
+// Hits recorded for `name` since process start (0 if never hit).
+uint64_t CheckpointHits(const std::string& name);
+
+// Evaluates the named checkpoint: applies any armed exec.slow_block /
+// exec.alloc_spike failpoint targeting it (injected stall / allocation
+// spike), then evaluates the current ExecContext. OK when no context is
+// installed. Use the IQS_GOV_CHECKPOINT macro where early-return fits.
+Status Checkpoint(const char* name);
+
+// Estimated heap bytes of one materialized row of `width` columns —
+// deliberately coarse (Tuple header + per-Value footprint); governance
+// accounting needs proportionality, not allocator truth.
+inline uint64_t ApproxRowBytes(size_t width) {
+  return 48 + 40 * static_cast<uint64_t>(width);
+}
+
+// Charges `rows` newly materialized rows of `width` columns to the
+// current context (no-op without one), then evaluates the checkpoint.
+// The one-liner for materialization loops: batch up rows, call this
+// every few hundred.
+Status ChargeRows(const char* checkpoint, size_t rows, size_t width);
+
+// ---------------------------------------------------------------------------
+// Governance registry: live sessions + in-flight queries, the cancel
+// verb's lookup path, and the server watchdog.
+
+struct SessionSnapshot {
+  uint64_t session_id = 0;
+  std::string peer;
+  int64_t age_ms = 0;
+  uint64_t requests = 0;
+  // In-flight query, if any.
+  bool active = false;
+  std::string request_id;
+  std::string statement;
+  int64_t elapsed_ms = 0;
+  int64_t deadline_ms = -1;  // -1 = none
+  uint64_t mem_used_kb = 0;
+  uint64_t mem_peak_kb = 0;
+};
+
+class GovernanceRegistry {
+ public:
+  static GovernanceRegistry& Global();
+
+  // Sessions (the network layer registers one per connection; the shell
+  // and tests typically don't).
+  void AddSession(uint64_t session_id, const std::string& peer);
+  void NoteRequest(uint64_t session_id);
+  void RemoveSession(uint64_t session_id);
+
+  // In-flight queries. AddQuery returns a registry handle for
+  // RemoveQuery; the context must stay alive until removed.
+  uint64_t AddQuery(std::shared_ptr<ExecContext> context);
+  void RemoveQuery(uint64_t handle);
+
+  // Cancels the in-flight query with this wire identity. False when no
+  // such query is running (already finished, or never existed).
+  bool CancelQuery(uint64_t session_id, const std::string& request_id,
+                   StatusCode code, const std::string& reason);
+
+  // Cancels every in-flight query registered under `session_id` (client
+  // disconnect mid-query). Returns the number cancelled.
+  size_t CancelSession(uint64_t session_id, const std::string& reason);
+
+  // One watchdog sweep: cancels (never kills) every live query past its
+  // deadline. Returns the number newly cancelled.
+  size_t CancelOverdue();
+
+  // Starts/stops the background watchdog thread that runs CancelOverdue
+  // every `period`. Idempotent; the server owns the lifecycle.
+  void StartWatchdog(std::chrono::milliseconds period);
+  void StopWatchdog();
+
+  // Joined sessions × in-flight queries view for sys.sessions. Queries
+  // with session_id 0 (shell/tests) appear as sessions with id 0.
+  std::vector<SessionSnapshot> Sessions() const;
+
+  size_t live_queries() const;
+
+ private:
+  GovernanceRegistry() = default;
+
+  struct SessionEntry {
+    std::string peer;
+    std::chrono::steady_clock::time_point start;
+    uint64_t requests = 0;
+  };
+  struct QueryEntry {
+    std::shared_ptr<ExecContext> context;
+  };
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, SessionEntry> sessions_;
+  std::map<uint64_t, QueryEntry> queries_;
+  uint64_t next_handle_ = 1;
+
+  std::mutex watchdog_mu_;
+  std::thread watchdog_;
+  std::atomic<bool> watchdog_stop_{false};
+};
+
+// RAII registration of one in-flight query, for QueryProcessor::Process.
+class ScopedQueryRegistration {
+ public:
+  explicit ScopedQueryRegistration(std::shared_ptr<ExecContext> context)
+      : handle_(GovernanceRegistry::Global().AddQuery(std::move(context))) {}
+  ~ScopedQueryRegistration() {
+    GovernanceRegistry::Global().RemoveQuery(handle_);
+  }
+  ScopedQueryRegistration(const ScopedQueryRegistration&) = delete;
+  ScopedQueryRegistration& operator=(const ScopedQueryRegistration&) = delete;
+
+ private:
+  uint64_t handle_;
+};
+
+}  // namespace exec
+}  // namespace iqs
+
+// Evaluates the named governance checkpoint and propagates its typed
+// error (kDeadlineExceeded / kCancelled / kResourceExhausted) to the
+// caller. Place at block/batch granularity — roughly once per 256–1024
+// rows of work — never inside a tight per-row loop.
+#define IQS_GOV_CHECKPOINT(name)                               \
+  do {                                                         \
+    ::iqs::Status iqs_gov_status_ = ::iqs::exec::Checkpoint(name); \
+    if (!iqs_gov_status_.ok()) return iqs_gov_status_;         \
+  } while (0)
+
+#endif  // IQS_EXEC_EXEC_CONTEXT_H_

@@ -1,0 +1,76 @@
+#include "exec/governance_catalog.h"
+
+#include "common/string_util.h"
+#include "exec/exec_context.h"
+
+namespace iqs {
+namespace exec {
+
+namespace {
+
+Schema SessionsSchema() {
+  return Schema({{"session_id", ValueType::kInt, false},
+                 {"peer", ValueType::kString, false},
+                 {"age_ms", ValueType::kInt, false},
+                 {"requests", ValueType::kInt, false},
+                 {"active", ValueType::kInt, false},
+                 {"request_id", ValueType::kString, false},
+                 {"statement", ValueType::kString, false},
+                 {"elapsed_ms", ValueType::kInt, false},
+                 {"deadline_ms", ValueType::kInt, false},
+                 {"mem_used_kb", ValueType::kInt, false},
+                 {"mem_peak_kb", ValueType::kInt, false}});
+}
+
+Relation MaterializeSessions(const std::string& name) {
+  Relation rel(name, SessionsSchema());
+  for (const SessionSnapshot& s : GovernanceRegistry::Global().Sessions()) {
+    rel.AppendUnchecked(
+        Tuple{Value::Int(static_cast<int64_t>(s.session_id)),
+              Value::String(s.peer), Value::Int(s.age_ms),
+              Value::Int(static_cast<int64_t>(s.requests)),
+              Value::Int(s.active ? 1 : 0), Value::String(s.request_id),
+              Value::String(s.statement), Value::Int(s.elapsed_ms),
+              Value::Int(s.deadline_ms),
+              Value::Int(static_cast<int64_t>(s.mem_used_kb)),
+              Value::Int(static_cast<int64_t>(s.mem_peak_kb))});
+  }
+  return rel;
+}
+
+Schema CheckpointsSchema() {
+  return Schema({{"name", ValueType::kString, false},
+                 {"hits", ValueType::kInt, false},
+                 {"description", ValueType::kString, false}});
+}
+
+Relation MaterializeCheckpoints(const std::string& name) {
+  Relation rel(name, CheckpointsSchema());
+  for (const CheckpointInfo& info : CheckpointManifest()) {
+    rel.AppendUnchecked(
+        Tuple{Value::String(info.name),
+              Value::Int(static_cast<int64_t>(CheckpointHits(info.name))),
+              Value::String(info.description)});
+  }
+  return rel;
+}
+
+}  // namespace
+
+std::vector<std::string> GovernanceCatalogProvider::RelationNames() const {
+  return {"sys.sessions", "sys.checkpoints"};
+}
+
+Result<Relation> GovernanceCatalogProvider::Materialize(
+    const std::string& name) const {
+  if (EqualsIgnoreCase(name, "sys.sessions")) {
+    return MaterializeSessions(name);
+  }
+  if (EqualsIgnoreCase(name, "sys.checkpoints")) {
+    return MaterializeCheckpoints(name);
+  }
+  return Status::NotFound("governance catalog does not serve '" + name + "'");
+}
+
+}  // namespace exec
+}  // namespace iqs

@@ -1,0 +1,25 @@
+#ifndef IQS_EXEC_GOVERNANCE_CATALOG_H_
+#define IQS_EXEC_GOVERNANCE_CATALOG_H_
+
+#include "relational/virtual_relation.h"
+
+namespace iqs {
+namespace exec {
+
+// Catalog provider for the resource-governance layer (DESIGN.md §15):
+//
+//   sys.sessions     live wire sessions joined with their in-flight
+//                    queries (elapsed time, deadline, memory budget use),
+//                    from GovernanceRegistry::Global()
+//   sys.checkpoints  the governance checkpoint manifest with lifetime
+//                    hit counts, so coverage is queryable
+class GovernanceCatalogProvider : public VirtualRelationProvider {
+ public:
+  std::vector<std::string> RelationNames() const override;
+  Result<Relation> Materialize(const std::string& name) const override;
+};
+
+}  // namespace exec
+}  // namespace iqs
+
+#endif  // IQS_EXEC_GOVERNANCE_CATALOG_H_

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/exec_context.h"
 #include "exec/thread_pool.h"
 #include "fault/degrade.h"
 #include "fault/failpoint.h"
@@ -122,8 +123,13 @@ T ParallelReduce(const char* region, size_t n, size_t min_chunk, T acc,
   std::vector<std::optional<T>> parts(ranges.size());
   std::vector<std::function<void()>> tasks;
   tasks.reserve(ranges.size());
+  // Propagate the submitting thread's governance context into every pool
+  // task, so chunk bodies on worker threads hit the same deadline/cancel/
+  // budget checks the serial path would.
+  ExecContext* gov_context = ExecContext::Current();
   for (size_t i = 0; i < ranges.size(); ++i) {
-    tasks.push_back([&parts, &ranges, &chunk_fn, i] {
+    tasks.push_back([&parts, &ranges, &chunk_fn, gov_context, i] {
+      ScopedExecContext gov_scope(gov_context);
       parts[i].emplace(chunk_fn(ranges[i].first, ranges[i].second));
     });
   }

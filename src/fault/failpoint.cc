@@ -54,6 +54,12 @@ constexpr ManifestEntry kManifest[] = {
      "connection frame write (response send)"},
     {"net.overload", Policy::kFailFast,
      "server admission-control check"},
+    {"exec.slow_block", Policy::kCancelQuery,
+     "governance checkpoint stall (sleep(checkpoint,ms)) — makes a query "
+     "overrun its deadline"},
+    {"exec.alloc_spike", Policy::kCancelQuery,
+     "governance allocation spike (alloc(checkpoint,kb)) — makes a query "
+     "blow its memory budget"},
 };
 
 Result<StatusCode> CodeFromName(const std::string& name) {
@@ -76,6 +82,15 @@ Result<StatusCode> CodeFromName(const std::string& name) {
     return StatusCode::kCorruption;
   }
   if (lower == "overloaded") return StatusCode::kOverloaded;
+  if (lower == "deadline" || lower == "deadlineexceeded") {
+    return StatusCode::kDeadlineExceeded;
+  }
+  if (lower == "cancelled" || lower == "canceled") {
+    return StatusCode::kCancelled;
+  }
+  if (lower == "resource" || lower == "resourceexhausted") {
+    return StatusCode::kResourceExhausted;
+  }
   return Status::InvalidArgument("unknown failpoint error code '" + name +
                                  "'");
 }
@@ -161,6 +176,8 @@ const char* PolicyName(Policy policy) {
       return "snapshot-fallback";
     case Policy::kSkipRewrite:
       return "skip-rewrite";
+    case Policy::kCancelQuery:
+      return "cancel-query";
   }
   return "unknown";
 }
@@ -214,6 +231,31 @@ Result<FailpointSpec> FailpointSpec::Parse(const std::string& text) {
     }
     spec.action = Action::kTornWrite;
     spec.bytes = static_cast<uint64_t>(bytes);
+    return spec;
+  }
+  if (StartsWith(action, "sleep(") || StartsWith(action, "alloc(")) {
+    bool sleep = StartsWith(action, "sleep(");
+    IQS_ASSIGN_OR_RETURN(std::string args,
+                         ParenArgs(action, sleep ? "sleep" : "alloc"));
+    size_t comma = args.rfind(',');
+    if (comma == std::string::npos) {
+      return Status::InvalidArgument(
+          std::string(sleep ? "sleep" : "alloc") +
+          " action needs (checkpoint, " + (sleep ? "ms" : "kb") + "): '" +
+          action + "'");
+    }
+    spec.file = std::string(StripWhitespace(args.substr(0, comma)));
+    std::string count(StripWhitespace(args.substr(comma + 1)));
+    char* end = nullptr;
+    long amount = std::strtol(count.c_str(), &end, 10);
+    if (spec.file.empty() || end == nullptr || *end != '\0' || amount < 0) {
+      return Status::InvalidArgument(
+          std::string(sleep ? "sleep" : "alloc") +
+          " action needs (checkpoint, " + (sleep ? "ms" : "kb") + "): '" +
+          action + "'");
+    }
+    spec.action = sleep ? Action::kSleep : Action::kAlloc;
+    spec.bytes = static_cast<uint64_t>(amount);
     return spec;
   }
   if (StartsWith(action, "corrupt(")) {
@@ -272,9 +314,12 @@ Status Site::Hit() {
   std::lock_guard<std::mutex> lock(mu_);
   if (!armed_.load(std::memory_order_relaxed)) return Status::Ok();
   if (spec_.action == FailpointSpec::Action::kTornWrite ||
-      spec_.action == FailpointSpec::Action::kCorruptWrite) {
-    // Write faults only fire from the durable-write path (HitForWrite);
-    // the trigger is not consumed by ordinary hits.
+      spec_.action == FailpointSpec::Action::kCorruptWrite ||
+      spec_.action == FailpointSpec::Action::kSleep ||
+      spec_.action == FailpointSpec::Action::kAlloc) {
+    // Write and governance faults only fire from their dedicated paths
+    // (HitForWrite / HitForCheckpoint); ordinary hits do not consume the
+    // trigger.
     return Status::Ok();
   }
   if (!EvalTriggerLocked()) return Status::Ok();
@@ -303,6 +348,28 @@ WriteFault Site::HitForWrite(const std::string& file_name) {
   NoteFireLocked();
   fault.kind = torn ? WriteFault::Kind::kTorn : WriteFault::Kind::kCorrupt;
   fault.bytes = spec_.bytes;
+  return fault;
+}
+
+CheckpointFault Site::HitForCheckpoint(const std::string& checkpoint) {
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  CheckpointFault fault;
+  if (!armed_.load(std::memory_order_acquire)) return fault;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return fault;
+  bool sleep = spec_.action == FailpointSpec::Action::kSleep;
+  bool alloc = spec_.action == FailpointSpec::Action::kAlloc;
+  if (!sleep && !alloc) return fault;
+  if (spec_.file != "*" && ToLower(spec_.file) != ToLower(checkpoint)) {
+    return fault;
+  }
+  if (!EvalTriggerLocked()) return fault;
+  NoteFireLocked();
+  if (sleep) {
+    fault.sleep_ms = spec_.bytes;
+  } else {
+    fault.alloc_kb = spec_.bytes;
+  }
   return fault;
 }
 
@@ -439,6 +506,12 @@ Status Hit(const std::string& site) {
 WriteFault HitWriteFault(const std::string& site,
                          const std::string& file_name) {
   return FailpointRegistry::Global().GetSite(site)->HitForWrite(file_name);
+}
+
+CheckpointFault HitCheckpointFault(const std::string& site,
+                                   const std::string& checkpoint) {
+  return FailpointRegistry::Global().GetSite(site)->HitForCheckpoint(
+      checkpoint);
 }
 
 }  // namespace fault

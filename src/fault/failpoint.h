@@ -44,6 +44,9 @@ enum class Policy {
                        // recovers the previous intact snapshot
   kSkipRewrite,        // semantic rewrite pass skipped; the query runs
                        // unoptimized and the answer is unchanged
+  kCancelQuery,        // the governance layer cancels the query with a
+                       // typed error; session and engine state survive
+                       // (see src/exec/exec_context.h)
 };
 
 const char* PolicyName(Policy policy);
@@ -53,8 +56,10 @@ const char* PolicyName(Policy policy);
 //   trigger := "once" | "after(N)" | "times(N)" | "prob(P,SEED)"
 //   action  := "error(code[,message])" | "crash"
 //            | "torn(file,bytes)" | "corrupt(file)"
+//            | "sleep(checkpoint,ms)" | "alloc(checkpoint,kb)"
 //   code    := unavailable | internal | notfound | invalid | parse |
-//              type | constraint | exists | corruption | overloaded
+//              type | constraint | exists | corruption | overloaded |
+//              deadline | cancelled | resource
 // "once" fires on the first hit only; "after(N)" passes N hits then fires
 // on every later one; "times(N)" fires on the first N hits then passes;
 // "prob(P,SEED)" fires each hit with probability P, deterministically
@@ -70,9 +75,18 @@ const char* PolicyName(Policy policy);
 //     basename being written and then truncates the payload to `bytes`
 //     (torn) or flips one byte (corrupt) — simulating a torn sector or
 //     bit rot that only an integrity check can catch later.
+//   * "sleep(checkpoint,ms)" / "alloc(checkpoint,kb)" are governance
+//     faults fired from exec::Checkpoint (Site::HitForCheckpoint): the
+//     spec's checkpoint name ("*" = every checkpoint) is matched against
+//     the governance checkpoint being evaluated, and a matching hit
+//     stalls the block for `ms` milliseconds (modeling a pathological
+//     scan that must overrun its deadline) or charges `kb` kilobytes to
+//     the running query's memory budget (modeling an allocation spike).
 struct FailpointSpec {
   enum class Trigger { kAlways, kOnce, kAfter, kTimes, kProb };
-  enum class Action { kError, kCrash, kTornWrite, kCorruptWrite };
+  enum class Action {
+    kError, kCrash, kTornWrite, kCorruptWrite, kSleep, kAlloc
+  };
 
   Trigger trigger = Trigger::kAlways;
   uint64_t n = 0;            // after(N) / times(N)
@@ -81,8 +95,10 @@ struct FailpointSpec {
   Action action = Action::kError;
   StatusCode code = StatusCode::kInternal;
   std::string message;  // empty -> "failpoint '<site>' fired"
-  std::string file;     // torn()/corrupt() target basename
-  uint64_t bytes = 0;   // torn(): prefix length that reaches the disk
+  std::string file;     // torn()/corrupt() basename, sleep()/alloc()
+                        // checkpoint name ("*" matches every checkpoint)
+  uint64_t bytes = 0;   // torn(): prefix length that reaches the disk;
+                        // sleep(): milliseconds; alloc(): kilobytes
   std::string text;     // original spelling, for listings
 
   static Result<FailpointSpec> Parse(const std::string& text);
@@ -97,6 +113,13 @@ struct WriteFault {
   enum class Kind { kNone, kTorn, kCorrupt };
   Kind kind = Kind::kNone;
   uint64_t bytes = 0;  // kTorn: how many payload bytes reach the disk
+};
+
+// Outcome of evaluating a governance-fault site (exec.slow_block /
+// exec.alloc_spike) against one checkpoint hit.
+struct CheckpointFault {
+  uint64_t sleep_ms = 0;  // stall the block this long
+  uint64_t alloc_kb = 0;  // charge this much to the query's budget
 };
 
 // One injection site. Hit() is the only hot call: a relaxed counter add
@@ -123,6 +146,12 @@ class Site {
   // `file_name` (case-insensitive basename); error/crash specs and
   // non-matching files pass without consuming the trigger.
   WriteFault HitForWrite(const std::string& file_name);
+
+  // Evaluates the site against one governance checkpoint hit. Fires only
+  // when the armed spec is a sleep/alloc fault whose checkpoint matches
+  // `checkpoint` (case-insensitive, "*" matches all); other specs and
+  // non-matching checkpoints pass without consuming the trigger.
+  CheckpointFault HitForCheckpoint(const std::string& checkpoint);
 
   void Arm(FailpointSpec spec);
   void Disarm();
@@ -209,6 +238,12 @@ Status Hit(const std::string& site);
 // against the basename of a file about to be written.
 WriteFault HitWriteFault(const std::string& site,
                          const std::string& file_name);
+
+// Evaluates a governance-fault site (exec.slow_block / exec.alloc_spike)
+// against the named checkpoint. One registry lookup per call — callers
+// on the hot path cache the Site* instead (see exec::Checkpoint).
+CheckpointFault HitCheckpointFault(const std::string& site,
+                                   const std::string& checkpoint);
 
 // RAII arm/disarm, for tests:
 //   ScopedFailpoint fp("infer.fire", "error(unavailable,offline)");

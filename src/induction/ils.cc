@@ -26,8 +26,16 @@ Result<std::vector<Rule>> InduceSlots(
     const char* region, size_t n,
     const std::function<Result<std::vector<Rule>>(size_t)>& fn) {
   std::vector<std::optional<Result<std::vector<Rule>>>> slots(n);
-  exec::ParallelFor(region, n, 1,
-                    [&slots, &fn](size_t i) { slots[i].emplace(fn(i)); });
+  exec::ParallelFor(region, n, 1, [&slots, &fn](size_t i) {
+    // One governance checkpoint per slot: a cancelled induction run stops
+    // taking new schemes and unwinds via the ordered merge below, which
+    // is what lets IqsSystem::Induce keep the previous rule base intact.
+    if (Status gov = exec::Checkpoint("ils.induce"); !gov.ok()) {
+      slots[i].emplace(std::move(gov));
+      return;
+    }
+    slots[i].emplace(fn(i));
+  });
   std::vector<Rule> out;
   for (std::optional<Result<std::vector<Rule>>>& slot : slots) {
     IQS_ASSIGN_OR_RETURN(std::vector<Rule> rules, std::move(*slot));
@@ -135,7 +143,9 @@ Result<std::vector<Rule>> InductiveLearningSubsystem::InduceInterObject(
   // and share the columns across every candidate pair.
   std::optional<ColumnarRelation> view_columns;
   if (ColumnarEnabled()) {
-    view_columns.emplace(ColumnarRelation::FromRelation(view));
+    IQS_ASSIGN_OR_RETURN(ColumnarRelation transposed,
+                         ColumnarRelation::Transpose(view));
+    view_columns.emplace(std::move(transposed));
   }
   IQS_ASSIGN_OR_RETURN(
       std::vector<Rule> out,

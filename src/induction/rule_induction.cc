@@ -306,8 +306,10 @@ Result<std::vector<Rule>> InduceSchemeWithStats(const Relation& relation,
                                                 const InductionConfig& config,
                                                 InductionStats* stats) {
   if (ColumnarEnabled()) {
-    return InduceSchemeColumnarWithStats(ColumnarRelation::FromRelation(relation),
-                                         x_attr, y_attr, config, stats);
+    IQS_ASSIGN_OR_RETURN(ColumnarRelation transposed,
+                         ColumnarRelation::Transpose(relation));
+    return InduceSchemeColumnarWithStats(transposed, x_attr, y_attr, config,
+                                         stats);
   }
   return InduceSchemeRowsWithStats(relation, x_attr, y_attr, config, stats);
 }
@@ -329,11 +331,12 @@ Result<std::vector<Rule>> InduceSchemeRowsWithStats(
   // ordered containers, so the result is partition-independent.
   const std::vector<Tuple>& all_rows = relation.rows();
   using PairMap = std::map<Value, std::set<Value>>;
-  PairMap ys_of_x = exec::ParallelReduce<PairMap>(
-      "exec.induce.pairs", all_rows.size(), 512, {},
-      [&all_rows, xi, yi](size_t begin, size_t end) {
+  Result<PairMap> paired = exec::ParallelReduce<Result<PairMap>>(
+      "exec.induce.pairs", all_rows.size(), 512, PairMap{},
+      [&all_rows, xi, yi](size_t begin, size_t end) -> Result<PairMap> {
         PairMap local;
         for (size_t i = begin; i < end; ++i) {
+          if (((i - begin) & 1023) == 0) IQS_GOV_CHECKPOINT("ils.segment");
           const Value& x = all_rows[i].at(xi);
           const Value& y = all_rows[i].at(yi);
           if (x.is_null() || y.is_null()) continue;
@@ -341,11 +344,18 @@ Result<std::vector<Rule>> InduceSchemeRowsWithStats(
         }
         return local;
       },
-      [](PairMap* acc, PairMap&& part) {
-        for (auto& [x, ys] : part) {
-          (*acc)[x].merge(ys);
+      [](Result<PairMap>* acc, Result<PairMap>&& part) {
+        if (!acc->ok()) return;
+        if (!part.ok()) {
+          *acc = std::move(part);
+          return;
+        }
+        for (auto& [x, ys] : *part) {
+          (**acc)[x].merge(ys);
         }
       });
+  IQS_RETURN_IF_ERROR(paired.status());
+  PairMap& ys_of_x = *paired;
   for (const auto& [x, ys] : ys_of_x) {
     stats->distinct_pairs += ys.size();
   }
@@ -390,12 +400,15 @@ Result<std::vector<Rule>> InduceSchemeRowsWithStats(
   // conjunction keeps support honest.)
   // Per-partition support counters summed per run index: integer adds,
   // so the totals are partition-independent.
-  std::vector<int64_t> support = exec::ParallelReduce<std::vector<int64_t>>(
+  using SupportVec = std::vector<int64_t>;
+  Result<SupportVec> supported = exec::ParallelReduce<Result<SupportVec>>(
       "exec.induce.support", all_rows.size(), 512,
-      std::vector<int64_t>(runs.size(), 0),
-      [&all_rows, &runs, xi, yi](size_t begin, size_t end) {
-        std::vector<int64_t> local(runs.size(), 0);
+      SupportVec(runs.size(), 0),
+      [&all_rows, &runs, xi, yi](size_t begin,
+                                 size_t end) -> Result<SupportVec> {
+        SupportVec local(runs.size(), 0);
         for (size_t i = begin; i < end; ++i) {
+          if (((i - begin) & 1023) == 0) IQS_GOV_CHECKPOINT("ils.segment");
           const Value& x = all_rows[i].at(xi);
           const Value& y = all_rows[i].at(yi);
           if (x.is_null() || y.is_null()) continue;
@@ -415,9 +428,16 @@ Result<std::vector<Rule>> InduceSchemeRowsWithStats(
         }
         return local;
       },
-      [](std::vector<int64_t>* acc, std::vector<int64_t>&& part) {
-        for (size_t i = 0; i < part.size(); ++i) (*acc)[i] += part[i];
+      [](Result<SupportVec>* acc, Result<SupportVec>&& part) {
+        if (!acc->ok()) return;
+        if (!part.ok()) {
+          *acc = std::move(part);
+          return;
+        }
+        for (size_t i = 0; i < part->size(); ++i) (**acc)[i] += (*part)[i];
       });
+  IQS_RETURN_IF_ERROR(supported.status());
+  SupportVec& support = *supported;
 
   std::set<Value> inconsistent_ys;
   for (const auto& [x, ys] : ys_of_x) {
@@ -456,10 +476,15 @@ Result<std::vector<Rule>> InduceSchemeColumnarWithStats(
   Segmented seg;
   seg.ids.reserve(relation.row_count());
   for (size_t r = 0; r < relation.row_count(); ++r) {
+    if ((r & 8191) == 0) IQS_GOV_CHECKPOINT("ils.segment");
     if (xcol.IsNull(r) || ycol.IsNull(r)) continue;
     seg.ids.push_back(static_cast<uint32_t>(r));
   }
+  // The sort itself is uninterruptible; bound it with checkpoints on
+  // either side so a cancelled scheme never starts it.
+  IQS_GOV_CHECKPOINT("ils.segment");
   SortAndSegmentTyped(&seg, xcol, ycol);
+  IQS_GOV_CHECKPOINT("ils.segment");
   const size_t n_groups = seg.group_x.size();
   auto group_width = [&seg](size_t g) {
     return seg.group_begin[g + 1] - seg.group_begin[g];

@@ -113,6 +113,10 @@ Result<std::vector<Fact>> InferenceEngine::Forward(
     if (++iterations > 64) {
       return Status::Internal("forward inference did not reach a fixpoint");
     }
+    // One governance checkpoint per fixpoint pass; a cancelled inference
+    // unwinds here and QueryProcessor degrades the answer to
+    // extensional-only rather than failing the query.
+    IQS_GOV_CHECKPOINT("infer.fire");
     changed = false;
     // Known range clauses: every range fact (query conditions included).
     std::vector<Clause> known;
@@ -136,6 +140,7 @@ Result<std::vector<Fact>> InferenceEngine::Forward(
                                              AttributeMatch::kBaseName);
         });
     for (size_t i = 0; i < all_rules.size(); ++i) {
+      if ((i & 63) == 0) IQS_GOV_CHECKPOINT("infer.match");
       if (!matched[i]) continue;
       const Rule& rule = all_rules[i];
       // Skip-and-log: a faulting rule firing is dropped, the rest of the
@@ -218,6 +223,7 @@ Result<std::vector<IntensionalStatement>> InferenceEngine::Backward(
 
   std::vector<IntensionalStatement> out;
   for (const Fact& target : targets) {
+    IQS_GOV_CHECKPOINT("infer.match");
     for (const Rule& rule : rules.rules()) {
       if (rule.lhs.empty()) continue;
       if (!RhsImplies(rule, target, hierarchy)) continue;

@@ -16,7 +16,9 @@ namespace iqs {
 namespace net {
 
 BlockingClient::BlockingClient(BlockingClient&& other) noexcept
-    : fd_(other.fd_), decoder_(std::move(other.decoder_)) {
+    : fd_(other.fd_),
+      timeout_ms_(other.timeout_ms_),
+      decoder_(std::move(other.decoder_)) {
   other.fd_ = -1;
 }
 
@@ -24,6 +26,7 @@ BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
+    timeout_ms_ = other.timeout_ms_;
     decoder_ = std::move(other.decoder_);
     other.fd_ = -1;
   }
@@ -44,14 +47,35 @@ Status BlockingClient::Connect(const std::string& host, uint16_t port) {
     return Status::InvalidArgument("client host must be an IPv4 address, "
                                    "got '" + host + "'");
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    const Status s = Status::Unavailable(std::string("connect ") + host +
-                                         ":" + std::to_string(port) + ": " +
-                                         std::strerror(errno));
+  // Non-blocking connect + poll bounds the handshake by the client
+  // timeout; the socket is restored to blocking afterwards so send()
+  // keeps its simple semantics.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  auto fail = [&](const std::string& what) {
+    const Status s = Status::Unavailable("connect " + host + ":" +
+                                         std::to_string(port) + ": " + what);
     ::close(fd);
     return s;
+  };
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) return fail(std::strerror(errno));
+    pollfd pfd{fd, POLLOUT, 0};
+    int n;
+    do {
+      n = ::poll(&pfd, 1, timeout_ms_);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) return fail(std::string("poll: ") + std::strerror(errno));
+    if (n == 0) return fail("timed out");
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+        so_error != 0) {
+      return fail(std::strerror(so_error != 0 ? so_error : errno));
+    }
   }
+  ::fcntl(fd, F_SETFL, flags);
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   ::fcntl(fd, F_SETFD, FD_CLOEXEC);
@@ -89,6 +113,7 @@ Status BlockingClient::SendRaw(const std::string& bytes) {
 
 Result<std::string> BlockingClient::ReadFrame(int timeout_ms) {
   if (fd_ < 0) return Status::Unavailable("client not connected");
+  if (timeout_ms < 0) timeout_ms = timeout_ms_;
   for (;;) {
     std::string payload;
     Status error;

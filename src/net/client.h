@@ -26,9 +26,17 @@ class BlockingClient {
   BlockingClient(BlockingClient&& other) noexcept;
   BlockingClient& operator=(BlockingClient&& other) noexcept;
 
+  // Connects within the client timeout: the TCP handshake is bounded by
+  // poll, not left to the kernel's minutes-long default, so a black-holed
+  // server address fails fast with kUnavailable.
   Status Connect(const std::string& host, uint16_t port);
   bool connected() const { return fd_ >= 0; }
   void Close();
+
+  // Default bound for Connect and every ReadFrame/Call that does not
+  // pass an explicit timeout (iqs_client's --timeout-ms lands here).
+  void set_timeout_ms(int timeout_ms) { timeout_ms_ = timeout_ms; }
+  int timeout_ms() const { return timeout_ms_; }
 
   // Frames `payload` and writes it fully.
   Status SendFrame(const std::string& payload);
@@ -37,17 +45,17 @@ class BlockingClient {
   // this to put malformed data on the wire.
   Status SendRaw(const std::string& bytes);
 
-  // Blocks up to `timeout_ms` for one response frame. NotFound on clean
-  // EOF at a frame boundary (server closed the session), Unavailable on
-  // timeout or a torn stream.
-  Result<std::string> ReadFrame(int timeout_ms = 10000);
+  // Blocks up to `timeout_ms` for one response frame (negative = use the
+  // client default). NotFound on clean EOF at a frame boundary (server
+  // closed the session), Unavailable on timeout or a torn stream.
+  Result<std::string> ReadFrame(int timeout_ms = -1);
 
   // SendFrame + ReadFrame.
-  Result<std::string> Call(const std::string& payload,
-                           int timeout_ms = 10000);
+  Result<std::string> Call(const std::string& payload, int timeout_ms = -1);
 
  private:
   int fd_ = -1;
+  int timeout_ms_ = 10000;
   FrameDecoder decoder_{kDefaultMaxFrameBytes};
 };
 

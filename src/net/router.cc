@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/snapshot.h"
+#include "exec/exec_context.h"
 #include "exec/thread_pool.h"
 #include "fault/failpoint.h"
 #include "induction/induction_config.h"
@@ -68,7 +69,24 @@ void WriteSessionOptions(JsonWriter& w, const Session& session) {
   w.Field("mode", std::string(InferenceModeName(session.mode)));
   w.Field("sqo", std::string(SqoModeName(session.sqo)));
   w.Field("cache", session.use_cache);
+  w.Field("deadline_ms", session.deadline_ms);
+  w.Field("max_memory_kb", session.max_memory_kb);
   w.EndObject();
+}
+
+// Pulls an optional non-negative integer member (for the per-request
+// deadline_ms / max_memory_kb overrides); leaves *out untouched when the
+// member is absent.
+Status OptionalNonNegative(const JsonValue& request, const std::string& key,
+                           int64_t* out) {
+  const JsonValue* v = request.Find(key);
+  if (v == nullptr) return Status::Ok();
+  if (!v->is_number() || v->AsInt() < 0) {
+    return Status::InvalidArgument("\"" + key +
+                                   "\" must be a non-negative number");
+  }
+  *out = v->AsInt();
+  return Status::Ok();
 }
 
 void WriteBudget(JsonWriter& w, const Session& session) {
@@ -126,7 +144,7 @@ std::string RequestRouter::Handle(const std::string& payload,
   // names also cannot use the caching macros.
   static const std::set<std::string> kVerbs = {
       "ping",    "query", "explain", "describe", "induce", "rules",
-      "fsck",    "metrics", "sys",   "set",      "session"};
+      "fsck",    "metrics", "sys",   "set",      "session", "cancel"};
   const std::string counter_verb =
       kVerbs.count(verb) ? verb : std::string("unknown");
   auto fail = [&](const Status& status) {
@@ -165,6 +183,21 @@ std::string RequestRouter::Handle(const std::string& payload,
       if (!mode.ok()) return fail(mode.status());
       options.mode = *mode;
     }
+    // Per-request governance overrides, on top of the session defaults.
+    // The request id (echoed in responses) is also the cancel handle.
+    if (Status s = OptionalNonNegative(*parsed, "deadline_ms",
+                                       &options.deadline_ms);
+        !s.ok()) {
+      return fail(s);
+    }
+    int64_t max_memory_kb = static_cast<int64_t>(options.max_memory_kb);
+    if (Status s =
+            OptionalNonNegative(*parsed, "max_memory_kb", &max_memory_kb);
+        !s.ok()) {
+      return fail(s);
+    }
+    options.max_memory_kb = static_cast<uint64_t>(max_memory_kb);
+    options.request_id = id_json;
 
     auto result = system_->Query(*sql, options);
     if (!result.ok()) {
@@ -412,6 +445,18 @@ std::string RequestRouter::Handle(const std::string& payload,
       }
       session.use_cache = (*value == "on");
       applied = *value;
+    } else if (*option == "deadline_ms" || *option == "max_memory_kb") {
+      const JsonValue* n = parsed->Find("value");
+      if (n == nullptr || !n->is_number() || n->AsInt() < 0) {
+        return fail(Status::InvalidArgument(
+            "\"" + *option + "\" takes a non-negative number (0 = none)"));
+      }
+      if (*option == "deadline_ms") {
+        session.deadline_ms = n->AsInt();
+      } else {
+        session.max_memory_kb = static_cast<uint64_t>(n->AsInt());
+      }
+      applied = std::to_string(n->AsInt());
     } else if (*option == "threads") {
       const JsonValue* n = parsed->Find("value");
       if (n == nullptr || !n->is_number() || n->AsInt() < 1 ||
@@ -444,7 +489,7 @@ std::string RequestRouter::Handle(const std::string& payload,
     } else {
       return fail(Status::InvalidArgument(
           "unknown option '" + *option +
-          "' (mode|sqo|cache|threads|failpoint)"));
+          "' (mode|sqo|cache|deadline_ms|max_memory_kb|threads|failpoint)"));
     }
 
     JsonWriter w;
@@ -465,10 +510,39 @@ std::string RequestRouter::Handle(const std::string& payload,
     if (!id_json.empty()) w.RawField("id", id_json);
     w.Field("ok", true);
     w.Field("session_id", session.id);
-    w.Field("requests", session.requests);
-    w.Field("errors", session.errors);
+    w.Field("requests", session.requests.load(std::memory_order_relaxed));
+    w.Field("errors", session.errors.load(std::memory_order_relaxed));
     WriteSessionOptions(w, session);
     WriteBudget(w, session);
+    w.EndObject();
+    return w.Take();
+  }
+
+  // ---- cancel --------------------------------------------------------
+  // Cooperatively cancels this session's in-flight request whose id
+  // equals "target" (any JSON value, compared by canonical spelling).
+  // The server routes cancel frames inline while the handler thread is
+  // mid-query, which is the whole point: the cancelled query unwinds
+  // with a typed kCancelled on its own thread and still gets a
+  // well-formed error response. cancelled=false means no such request
+  // is running (already finished, or never existed) — not an error.
+  if (verb == "cancel") {
+    const JsonValue* target = parsed->Find("target");
+    if (target == nullptr) {
+      return fail(Status::InvalidArgument(
+          "cancel requires a \"target\" member (the request id to abort)"));
+    }
+    const bool cancelled = exec::GovernanceRegistry::Global().CancelQuery(
+        session.id, target->Dump(), StatusCode::kCancelled,
+        "cancelled by client request");
+    obs::GlobalMetrics()
+        .GetCounter(cancelled ? "net.cancel.hit" : "net.cancel.miss")
+        ->Increment(1);
+    JsonWriter w;
+    w.BeginObject();
+    if (!id_json.empty()) w.RawField("id", id_json);
+    w.Field("ok", true);
+    w.Field("cancelled", cancelled);
     w.EndObject();
     return w.Take();
   }
@@ -476,7 +550,7 @@ std::string RequestRouter::Handle(const std::string& payload,
   return fail(Status::InvalidArgument(
       "unknown verb '" + verb +
       "' (ping|query|explain|describe|induce|rules|fsck|metrics|sys|set|"
-      "session)"));
+      "session|cancel)"));
 }
 
 }  // namespace net

@@ -5,12 +5,30 @@
 
 #include <utility>
 
+#include "exec/exec_context.h"
 #include "fault/failpoint.h"
 #include "net/connection.h"
+#include "net/json.h"
 #include "obs/metrics.h"
 
 namespace iqs {
 namespace net {
+
+namespace {
+
+// True when the frame is a `cancel` request — the one verb the read loop
+// handles inline, concurrent with the handler thread, so it can land
+// mid-query (DESIGN.md §15). A frame that fails to parse is not a cancel;
+// it goes to the handler like any other request and gets its typed parse
+// error there.
+bool IsCancelFrame(const std::string& payload) {
+  Result<JsonValue> parsed = JsonValue::Parse(payload);
+  if (!parsed.ok() || !parsed->is_object()) return false;
+  const JsonValue* verb = parsed->Find("verb");
+  return verb != nullptr && verb->is_string() && verb->AsString() == "cancel";
+}
+
+}  // namespace
 
 IqsServer::IqsServer(IqsSystem* system, ServerConfig config)
     : system_(system),
@@ -39,6 +57,11 @@ Status IqsServer::Start() {
     return s;
   }
   accept_thread_ = std::thread(&IqsServer::AcceptLoop, this);
+  // The watchdog enforces deadlines even when a query never reaches its
+  // next checkpoint promptly: it cancels (never kills) overdue contexts,
+  // and the query unwinds at its next checkpoint.
+  exec::GovernanceRegistry::Global().StartWatchdog(
+      std::chrono::milliseconds(config_.watchdog_period_ms));
   IQS_COUNTER_INC("net.server.starts");
   return Status::Ok();
 }
@@ -125,37 +148,81 @@ void IqsServer::ReapFinishedLocked() {
 }
 
 void IqsServer::SessionLoop(int fd, uint64_t session_id) {
+  exec::GovernanceRegistry::Global().AddSession(session_id,
+                                                "fd:" + std::to_string(fd));
   {
     Connection conn(fd, config_.max_frame_bytes);
     Session session;
     session.id = session_id;
+    session.deadline_ms = config_.default_deadline_ms;
+    session.max_memory_kb = config_.max_query_memory_kb;
 
-    while (!shutting_down_.load(std::memory_order_acquire)) {
+    // Long verbs run on one handler thread so the read loop stays free to
+    // receive `cancel` frames mid-query (DESIGN.md §15). At most one
+    // handler is ever live: every non-cancel frame joins the previous
+    // handler first, so the Session's non-atomic fields (`set` options,
+    // error budget) stay effectively single-threaded. Responses from both
+    // threads are serialized by write_mu.
+    std::thread handler;
+    std::mutex write_mu;
+    std::atomic<bool> handler_busy{false};
+    std::atomic<bool> write_failed{false};
+
+    auto write_frame = [&](const std::string& response) {
+      std::lock_guard<std::mutex> lock(write_mu);
+      if (!conn.WriteFrame(response, config_.write_timeout_ms).ok()) {
+        write_failed.store(true, std::memory_order_release);
+      }
+    };
+    auto join_handler = [&handler] {
+      if (handler.joinable()) handler.join();
+    };
+
+    while (!shutting_down_.load(std::memory_order_acquire) &&
+           !write_failed.load(std::memory_order_acquire)) {
       std::string payload;
       Status error;
       const Connection::ReadEvent event =
           conn.ReadFrame(&payload, &error, config_.idle_timeout_ms,
                          config_.read_timeout_ms, wake_pipe_[0]);
       if (event == Connection::ReadEvent::kFrame) {
-        const std::string response = router_.Handle(payload, session);
-        if (!conn.WriteFrame(response, config_.write_timeout_ms).ok()) break;
+        exec::GovernanceRegistry::Global().NoteRequest(session_id);
+        if (IsCancelFrame(payload)) {
+          // Inline on the read thread: the router's cancel path touches
+          // only atomic counters and the global registry, so it is safe
+          // concurrent with the handler serving a query.
+          write_frame(router_.Handle(payload, session));
+          continue;
+        }
+        join_handler();
+        handler_busy.store(true, std::memory_order_release);
+        handler = std::thread([&, payload] {
+          write_frame(router_.Handle(payload, session));
+          handler_busy.store(false, std::memory_order_release);
+        });
         continue;
       }
       if (event == Connection::ReadEvent::kBadFrame) {
         // Recoverable: answer the violation, keep the session.
-        if (!conn.WriteFrame(RequestRouter::FramingError(error),
-                             config_.write_timeout_ms)
-                 .ok()) {
-          break;
-        }
+        write_frame(RequestRouter::FramingError(error));
         continue;
       }
       if (event == Connection::ReadEvent::kTimeout) {
+        // Idle only counts between requests: while the handler is mid-
+        // query the client is legitimately silent, waiting for us.
+        if (handler_busy.load(std::memory_order_acquire)) continue;
         IQS_COUNTER_INC("net.sessions.reaped");
       }
       break;  // kClosed / kTimeout / kWoken all end the session
     }
+
+    // A disconnecting client's in-flight query is cancelled — never
+    // killed — and the handler joined once it unwinds at a checkpoint.
+    exec::GovernanceRegistry::Global().CancelSession(session_id,
+                                                     "client disconnected");
+    join_handler();
   }  // Connection closes fd here, before the slot frees up.
+  exec::GovernanceRegistry::Global().RemoveSession(session_id);
 
   std::lock_guard<std::mutex> lock(mu_);
   --active_sessions_;
@@ -208,6 +275,8 @@ void IqsServer::Shutdown() {
     if (grab.empty()) break;
     for (auto& entry : grab) entry.second.join();
   }
+
+  exec::GovernanceRegistry::Global().StopWatchdog();
 }
 
 }  // namespace net

@@ -40,6 +40,15 @@ struct ServerConfig {
 
   // Gates `set failpoint` over the wire (see RouterConfig).
   bool allow_failpoints = false;
+
+  // Resource governance (DESIGN.md §15): per-query defaults seeded into
+  // every session (0 = none; sessions/requests can override), and the
+  // sweep period of the watchdog thread that cancels — never kills —
+  // queries past their deadline. Started in Start(), stopped in
+  // Shutdown().
+  int64_t default_deadline_ms = 0;
+  uint64_t max_query_memory_kb = 0;
+  int watchdog_period_ms = 50;
 };
 
 // The iqs_serverd core: accept loop + one thread per admitted session,

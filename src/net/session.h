@@ -1,6 +1,7 @@
 #ifndef IQS_NET_SESSION_H_
 #define IQS_NET_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -19,11 +20,13 @@ namespace net {
 // options travel to the processor per call via QueryOptions, never
 // through processor-wide knobs.
 //
-// A Session is confined to its connection thread; nothing here needs
-// locking. The error budget tracks this client's recent outcomes over a
-// sliding window (fault::ErrorBudget semantics: exhaustion is a signal
-// surfaced in responses, not a gate — extensional answers are always
-// worth serving).
+// A Session is owned by its connection, but is no longer strictly
+// thread-confined: long verbs (query/explain/induce) run on the session's
+// handler thread while `cancel` frames are routed inline on the read
+// thread (DESIGN.md §15). The request counters are atomic for that
+// overlap; everything else is still serialized — the read loop joins the
+// handler before dispatching any non-cancel verb, so `set` mutations and
+// option reads never race.
 struct Session {
   uint64_t id = 0;
 
@@ -35,19 +38,30 @@ struct Session {
   // for this session's queries only.
   bool use_cache = true;
 
-  // Lifetime request counters for the `session` verb.
-  uint64_t requests = 0;
-  uint64_t errors = 0;
+  // `set deadline_ms N` / `set max_memory_kb N` — per-query governance
+  // defaults (0 = none), seeded from the server's --default-deadline-ms /
+  // --max-query-memory-kb flags and overridable per request.
+  int64_t deadline_ms = 0;
+  uint64_t max_memory_kb = 0;
+
+  // Lifetime request counters for the `session` verb. Atomic: an inline
+  // `cancel` bumps them while the handler thread serves a query.
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> errors{0};
 
   // Sliding-window error budget over this client's query outcomes.
   fault::ErrorBudget budget{/*window=*/64, /*threshold=*/0.5};
 
   // The per-call options this session's current settings translate to.
+  // The wire identity (request id) is stamped on top by the router.
   QueryOptions query_options() const {
     QueryOptions options;
     options.mode = mode;
     options.sqo = sqo;
     options.use_cache = use_cache;
+    options.deadline_ms = deadline_ms;
+    options.max_memory_kb = max_memory_kb;
+    options.session_id = id;
     return options;
   }
 };

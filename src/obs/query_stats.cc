@@ -57,6 +57,15 @@ std::string QueryStats::ToString() const {
                   static_cast<unsigned long long>(degraded_events));
     out += buf;
   }
+  if (gov_deadline_ms >= 0 || gov_mem_peak_kb > 0 || !gov_cancelled.empty()) {
+    std::snprintf(buf, sizeof(buf),
+                  "governance: deadline %lld ms, peak memory %llu kb%s%s%s\n",
+                  static_cast<long long>(gov_deadline_ms),
+                  static_cast<unsigned long long>(gov_mem_peak_kb),
+                  gov_cancelled.empty() ? "" : ", cancelled (",
+                  gov_cancelled.c_str(), gov_cancelled.empty() ? "" : ")");
+    out += buf;
+  }
   if (coverage >= 0.0) {
     std::snprintf(buf, sizeof(buf),
                   "coverage: %.3f of extensional answer (checked in %lld us)\n",
@@ -82,6 +91,8 @@ std::string QueryStats::ToJson() const {
       "\"plan_cache_hit\": %s, \"answer_cache_hit\": %s, "
       "\"sqo_eliminated\": %llu, \"sqo_narrowed\": %llu, "
       "\"sqo_empty_proven\": %s, \"sqo_intensional_only\": %s, "
+      "\"gov_deadline_ms\": %lld, \"gov_mem_peak_kb\": %llu, "
+      "\"gov_cancelled\": \"%s\", "
       "\"coverage\": %.6f, \"coverage_micros\": %lld}",
       static_cast<long long>(parse_micros),
       static_cast<long long>(execute_micros),
@@ -104,8 +115,11 @@ std::string QueryStats::ToJson() const {
       static_cast<unsigned long long>(sqo_eliminated),
       static_cast<unsigned long long>(sqo_narrowed),
       sqo_empty_proven ? "true" : "false",
-      sqo_intensional_only ? "true" : "false", coverage,
-      static_cast<long long>(coverage_micros));
+      sqo_intensional_only ? "true" : "false",
+      static_cast<long long>(gov_deadline_ms),
+      static_cast<unsigned long long>(gov_mem_peak_kb),
+      gov_cancelled.c_str(),  // a StatusCodeName, never needs escaping
+      coverage, static_cast<long long>(coverage_micros));
   return buf;
 }
 

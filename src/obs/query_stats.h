@@ -56,6 +56,17 @@ struct QueryStats {
   bool sqo_empty_proven = false;
   bool sqo_intensional_only = false;
 
+  // Resource governance (DESIGN.md §15): the deadline this query ran
+  // under (-1 = none), the peak estimated bytes charged against its
+  // budget (in KB), and — when governance cancelled a stage — the typed
+  // status code name ("DeadlineExceeded", "Cancelled",
+  // "ResourceExhausted"; empty on an ungoverned or clean run). A
+  // nonempty gov_cancelled on a successful result means the inference
+  // half was cancelled and the answer degraded to extensional-only.
+  int64_t gov_deadline_ms = -1;
+  uint64_t gov_mem_peak_kb = 0;
+  std::string gov_cancelled;
+
   // Cost and value of the backward-coverage check (paper Example 2): how
   // completely the best exact backward statement covers the extensional
   // answer, and what computing that cost. coverage stays -1 when no

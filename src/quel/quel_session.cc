@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/string_util.h"
+#include "exec/exec_context.h"
 #include "quel/quel_parser.h"
 #include "relational/algebra.h"
 
@@ -318,9 +319,18 @@ Result<QuelSession::ExecutionResult> QuelSession::ExecuteRetrieve(
   }
 
   if (!scanned) {
-    // Iterate the cross product of the bindings.
+    // Iterate the cross product of the bindings. Governed per 1024
+    // candidate combinations, with the freshly kept rows charged — a
+    // multi-variable retrieve is QUEL's runaway shape.
     std::set<Tuple> seen;
+    size_t visited = 0;
+    size_t charged_rows = 0;
     auto emit = [&]() -> Status {
+      if ((visited++ & 1023) == 0) {
+        IQS_RETURN_IF_ERROR(exec::ChargeRows(
+            "quel.scan", result.size() - charged_rows, sources.size()));
+        charged_rows = result.size();
+      }
       if (stmt.where != nullptr) {
         IQS_ASSIGN_OR_RETURN(bool keep, Eval(*stmt.where, bindings));
         if (!keep) return Status::Ok();
@@ -400,6 +410,7 @@ Result<QuelSession::ExecutionResult> QuelSession::ExecuteDelete(
   // satisfy the qualification?
   std::vector<bool> doomed(target->size(), false);
   for (size_t row = 0; row < target->size(); ++row) {
+    if ((row & 1023) == 0) IQS_GOV_CHECKPOINT("quel.scan");
     bindings[0].current = &target->row(row);
     if (stmt.where == nullptr) {
       doomed[row] = true;

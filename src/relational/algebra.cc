@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/string_util.h"
+#include "exec/exec_context.h"
 #include "exec/parallel.h"
 
 namespace iqs {
@@ -61,6 +62,7 @@ Result<Relation> Select(const Relation& input, const Predicate& pred) {
       [&rows, &pred](size_t begin, size_t end) -> Part {
         std::vector<Tuple> local;
         for (size_t i = begin; i < end; ++i) {
+          if (((i - begin) & 1023) == 0) IQS_GOV_CHECKPOINT("sql.scan");
           IQS_ASSIGN_OR_RETURN(bool keep, pred.Eval(rows[i]));
           if (keep) local.push_back(rows[i]);
         }
@@ -600,6 +602,9 @@ Result<std::vector<uint32_t>> ColumnarScan(
       [&](size_t bfirst, size_t bend) -> Part {
         Acc local;
         for (size_t b = bfirst; b < bend; ++b) {
+          // One governance check per 1024-row block — pruned or scanned,
+          // the deadline is observed at block cadence.
+          IQS_GOV_CHECKPOINT("columnar.scan");
           bool pruned = false;
           for (size_t i = 0; i < prunable_prefix && !pruned; ++i) {
             pruned = BlockPrunable(rel, conditions[i], b);

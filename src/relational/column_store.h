@@ -97,7 +97,15 @@ class Column {
 class ColumnarRelation {
  public:
   // Transposes `rel` into typed per-attribute arrays and computes the
-  // zone maps. O(rows * columns).
+  // zone maps. O(rows * columns), parallelized per column over the exec
+  // pool. Governed: charges the transposed bytes to the current
+  // ExecContext and unwinds with a typed error at the
+  // "columnar.transpose" checkpoint, so an over-deadline query can't
+  // hide inside snapshot construction.
+  static Result<ColumnarRelation> Transpose(const Relation& rel);
+
+  // Infallible transpose for tests and benches: same bytes as
+  // Transpose, evaluated outside any governance context.
   static ColumnarRelation FromRelation(const Relation& rel);
 
   // Materializes back into a row Relation byte-identical to the source
@@ -134,6 +142,11 @@ class ColumnarRelation {
   Result<std::pair<Value, Value>> ColumnMinMax(size_t i) const;
 
  private:
+  // Builds column `c` (storage detection, typed fill, zone-map slice) —
+  // the unit of per-column parallelism in Transpose. Non-OK only from
+  // governance checkpoints.
+  Status BuildColumn(const Relation& rel, size_t c);
+
   std::string name_;
   Schema schema_;
   size_t row_count_ = 0;

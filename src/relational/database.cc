@@ -139,8 +139,10 @@ Result<std::shared_ptr<const ColumnarRelation>> Database::ColumnarSnapshot(
       return it->second.snapshot;
     }
   }
-  auto snapshot = std::make_shared<const ColumnarRelation>(
-      ColumnarRelation::FromRelation(*rel));
+  IQS_ASSIGN_OR_RETURN(ColumnarRelation transposed,
+                       ColumnarRelation::Transpose(*rel));
+  auto snapshot =
+      std::make_shared<const ColumnarRelation>(std::move(transposed));
   std::lock_guard<std::mutex> lock(columnar_mu_);
   ColumnarEntry& entry = columnar_[key];
   if (entry.snapshot == nullptr || entry.epoch != at_epoch) {

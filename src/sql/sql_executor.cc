@@ -1,5 +1,6 @@
 #include "sql/sql_executor.h"
 
+#include <algorithm>
 #include <chrono>
 #include <map>
 #include <optional>
@@ -7,6 +8,7 @@
 
 #include "common/string_util.h"
 #include "fault/failpoint.h"
+#include "exec/exec_context.h"
 #include "exec/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -110,7 +112,18 @@ Result<Relation> SqlExecutor::JoinOn(const Relation& left,
     const Value& v = right.row(r).at(ri);
     if (!v.is_null()) index.emplace(v.ToString(), r);
   }
-  for (const Tuple& lt : left.rows()) {
+  // Governed at probe-batch granularity: every 256 probe rows the join
+  // charges its freshly materialized output and re-checks the context,
+  // so a runaway many-to-many join unwinds instead of filling memory.
+  size_t width = out.schema().size();
+  size_t last_size = 0;
+  for (size_t l = 0; l < left.size(); ++l) {
+    if ((l & 255) == 0) {
+      IQS_RETURN_IF_ERROR(
+          exec::ChargeRows("sql.join", out.size() - last_size, width));
+      last_size = out.size();
+    }
+    const Tuple& lt = left.row(l);
     const Value& v = lt.at(li);
     if (v.is_null()) continue;
     auto [begin, end] = index.equal_range(v.ToString());
@@ -119,6 +132,8 @@ Result<Relation> SqlExecutor::JoinOn(const Relation& left,
       out.AppendUnchecked(Tuple::Concat(lt, right.row(it->second)));
     }
   }
+  IQS_RETURN_IF_ERROR(
+      exec::ChargeRows("sql.join", out.size() - last_size, width));
   return out;
 }
 
@@ -241,8 +256,15 @@ Result<bool> SqlExecutor::TryColumnarScan(const TableRef& ref,
   IQS_ASSIGN_OR_RETURN(std::vector<uint32_t> admitted,
                        ColumnarScan(**snap, split.conditions,
                                     split.residual.get(), &scan_stats));
+  size_t materialized = 0;
   for (uint32_t r : admitted) {
+    if ((materialized & 1023) == 0) {
+      IQS_RETURN_IF_ERROR(exec::ChargeRows(
+          "columnar.scan", std::min<size_t>(1024, admitted.size() - materialized),
+          qualified->schema().size()));
+    }
     qualified->AppendUnchecked((*snap)->MaterializeRow(r));
+    ++materialized;
   }
   ++stats_.columnar_tables;
   stats_.columnar_blocks_total += scan_stats.blocks_total;
@@ -402,6 +424,8 @@ Result<Relation> SqlExecutor::ExecuteInternal(const SelectStatement& stmt,
       for (size_t r : *admitted) filtered.AppendUnchecked(rel->row(r));
       stats_.base_rows_loaded += filtered.size();
       tables.push_back(QualifyFor(filtered, effective));
+      IQS_RETURN_IF_ERROR(exec::ChargeRows("sql.scan", tables.back().size(),
+                                           tables.back().schema().size()));
       continue;
     }
     stats_.base_rows_loaded += rel->size();
@@ -421,6 +445,10 @@ Result<Relation> SqlExecutor::ExecuteInternal(const SelectStatement& stmt,
       }
     }
     tables.push_back(QualifyFor(*rel, effective));
+    // The qualified copy is the scan stage's big materialization — the
+    // whole base relation duplicated under qualified names.
+    IQS_RETURN_IF_ERROR(exec::ChargeRows("sql.scan", tables.back().size(),
+                                         tables.back().schema().size()));
   }
 
   // Collect equi-join conditions (column = column across two tables).
@@ -494,7 +522,13 @@ Result<Relation> SqlExecutor::ExecuteInternal(const SelectStatement& stmt,
         IQS_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(attrs)));
         Relation crossed(working.name() + "x" + tables[t].name(),
                          std::move(schema));
+        // Cross products are the canonical runaway materialization; one
+        // governance charge per outer row bounds the damage to a single
+        // inner sweep.
+        size_t crossed_width = crossed.schema().size();
         for (const Tuple& lt : working.rows()) {
+          IQS_RETURN_IF_ERROR(exec::ChargeRows("sql.join", tables[t].size(),
+                                               crossed_width));
           for (const Tuple& rt : tables[t].rows()) {
             crossed.AppendUnchecked(Tuple::Concat(lt, rt));
           }
@@ -521,6 +555,7 @@ Result<Relation> SqlExecutor::ExecuteInternal(const SelectStatement& stmt,
         [&rows, &pred](size_t begin, size_t end) -> Part {
           std::vector<Tuple> local;
           for (size_t i = begin; i < end; ++i) {
+            if (((i - begin) & 1023) == 0) IQS_GOV_CHECKPOINT("sql.scan");
             IQS_ASSIGN_OR_RETURN(bool keep, pred->Eval(rows[i]));
             if (keep) local.push_back(rows[i]);
           }
@@ -734,12 +769,14 @@ Result<Relation> SqlExecutor::ExecuteAggregate(const Relation& working,
   // order so each group's index list stays ascending; the per-group
   // accumulation below then visits rows in exactly the serial order
   // (which keeps even float SUM/AVG byte-identical).
-  using GroupMap = std::map<Tuple, std::vector<size_t>>;
-  GroupMap groups = exec::ParallelReduce<GroupMap>(
-      "exec.aggregate", working.size(), 512, {},
-      [&working, &group_cols](size_t begin, size_t end) {
-        GroupMap local;
+  using GroupMap = Result<std::map<Tuple, std::vector<size_t>>>;
+  GroupMap grouped = exec::ParallelReduce<GroupMap>(
+      "exec.aggregate", working.size(), 512,
+      std::map<Tuple, std::vector<size_t>>{},
+      [&working, &group_cols](size_t begin, size_t end) -> GroupMap {
+        std::map<Tuple, std::vector<size_t>> local;
         for (size_t r = begin; r < end; ++r) {
+          if (((r - begin) & 1023) == 0) IQS_GOV_CHECKPOINT("sql.aggregate");
           Tuple key;
           for (size_t g : group_cols) key.Append(working.row(r).at(g));
           local[std::move(key)].push_back(r);
@@ -747,14 +784,23 @@ Result<Relation> SqlExecutor::ExecuteAggregate(const Relation& working,
         return local;
       },
       [](GroupMap* acc, GroupMap&& part) {
-        for (auto& [key, rows] : part) {
-          std::vector<size_t>& dst = (*acc)[key];
+        if (!acc->ok()) return;
+        if (!part.ok()) {
+          *acc = std::move(part);
+          return;
+        }
+        for (auto& [key, rows] : *part) {
+          std::vector<size_t>& dst = (**acc)[key];
           dst.insert(dst.end(), rows.begin(), rows.end());
         }
       });
+  if (!grouped.ok()) return grouped.status();
+  std::map<Tuple, std::vector<size_t>>& groups = *grouped;
   if (group_cols.empty() && groups.empty()) groups[Tuple()] = {};
 
+  size_t emitted_groups = 0;
   for (const auto& [key, rows] : groups) {
+    if ((emitted_groups++ & 255) == 0) IQS_GOV_CHECKPOINT("sql.aggregate");
     Tuple result_row;
     for (const BoundItem& bound : items) {
       const SelectItem& item = *bound.item;

@@ -17,6 +17,7 @@
 #include "cache/query_cache.h"
 #include "core/persistence.h"
 #include "core/snapshot.h"
+#include "exec/exec_context.h"
 #include "exec/parallel.h"
 #include "exec/thread_pool.h"
 #include "fault/degrade.h"
@@ -494,6 +495,37 @@ TEST_F(FaultMatrixTest, EveryManifestSiteDegradesAsDeclared) {
                              << pong.status();
       server.Shutdown();
 
+    } else if (site.name == "exec.slow_block") {
+      // kCancelQuery: the injected stall makes the 1ms deadline fire at
+      // the next checkpoint; the query unwinds with a typed
+      // kDeadlineExceeded, charged bytes drain, and the engine answers
+      // the very next (ungoverned) query normally.
+      EXPECT_EQ(site.policy, Policy::kCancelQuery);
+      ScopedFailpoint fp(site.name, "sleep(*,30)");
+      ASSERT_TRUE(fp.ok());
+      QueryOptions options;
+      options.deadline_ms = 1;
+      auto result = ship_->Query(kRuleQuery, options);
+      ASSERT_FALSE(result.ok());
+      EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+      EXPECT_EQ(exec::GovernedMemoryPool::Global().used_bytes(), 0u);
+      EXPECT_TRUE(ship_->Query(kRuleQuery).ok());
+
+    } else if (site.name == "exec.alloc_spike") {
+      // kCancelQuery: the injected allocation blows the 1mb budget; the
+      // query unwinds with kResourceExhausted and every charged byte is
+      // returned to the pool.
+      EXPECT_EQ(site.policy, Policy::kCancelQuery);
+      ScopedFailpoint fp(site.name, "alloc(*,4096)");
+      ASSERT_TRUE(fp.ok());
+      QueryOptions options;
+      options.max_memory_kb = 1024;
+      auto result = ship_->Query(kRuleQuery, options);
+      ASSERT_FALSE(result.ok());
+      EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+      EXPECT_EQ(exec::GovernedMemoryPool::Global().used_bytes(), 0u);
+      EXPECT_TRUE(ship_->Query(kRuleQuery).ok());
+
     } else {
       ADD_FAILURE() << "manifest site '" << site.name
                     << "' has no fault-matrix driver — add one here";
@@ -501,7 +533,7 @@ TEST_F(FaultMatrixTest, EveryManifestSiteDegradesAsDeclared) {
     FailpointRegistry::Global().ClearAll();
   }
   // Sanity: the manifest did not shrink out from under the matrix.
-  EXPECT_GE(driven, 24u);
+  EXPECT_GE(driven, 26u);
 }
 
 // With any single intensional-side failpoint active, every golden query

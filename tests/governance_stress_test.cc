@@ -1,0 +1,377 @@
+// Governance chaos battery (DESIGN.md §15): concurrent cancels racing
+// governed queries, mutators, watchdog sweeps, and registry snapshots
+// inside one process (run under -DIQS_SANITIZE=thread via check-tsan);
+// plus the over-the-wire contracts — per-request and session-default
+// deadlines, the cancel verb aborting an in-flight request on the same
+// session, a cancel storm, and sys.sessions visibility — against a live
+// loopback server.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "fault/failpoint.h"
+#include "gtest/gtest.h"
+#include "tests/net_test_util.h"
+#include "tests/test_util.h"
+
+namespace iqs {
+namespace {
+
+using exec::GovernedMemoryPool;
+using fault::FailpointRegistry;
+using fault::ScopedFailpoint;
+
+constexpr char kRuleQuery[] =
+    "SELECT Id FROM SUBMARINE WHERE SUBMARINE.Class = '0204'";
+
+bool IsGovernanceCode(StatusCode code) {
+  return code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kCancelled ||
+         code == StatusCode::kResourceExhausted;
+}
+
+// ---------------------------------------------------------------------------
+// In-process chaos: every combination of outcome a governed query can
+// have (finish, deadline, cancel, budget) races explicit cancels, a
+// schema-epoch mutator, the watchdog, and sys.sessions snapshots. The
+// invariants: no status outside the typed governance set, no leaked
+// arena bytes once quiet, and a healthy engine afterwards.
+
+TEST(GovernanceStressTest, ConcurrentCancelsVsGovernedQueriesAndMutators) {
+  std::unique_ptr<IqsSystem> system = testing_util::ShipSystemOrFail();
+  ASSERT_NE(system, nullptr);
+  InductionConfig nc3;
+  nc3.min_support = 3;
+  ASSERT_OK(system->Induce(nc3));
+
+  exec::GovernanceRegistry::Global().StartWatchdog(
+      std::chrono::milliseconds(1));
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  auto note_failure = [&](const std::string& what) {
+    if (failures.fetch_add(1) == 0) ADD_FAILURE() << what;
+  };
+
+  constexpr int kQuerySessions = 4;
+  constexpr int kIterations = 40;
+  std::vector<std::thread> threads;
+
+  for (int t = 1; t <= kQuerySessions; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIterations && failures.load() == 0; ++i) {
+        QueryOptions options;
+        options.session_id = static_cast<uint64_t>(t);
+        options.request_id = "\"q" + std::to_string(i % 4) + "\"";
+        if (i % 3 == 0) options.deadline_ms = 2;
+        if (i % 5 == 0) options.max_memory_kb = 8;
+        if (i % 7 == 0) options.use_cache = false;
+        auto result = system->Query(kRuleQuery, options);
+        if (!result.ok() && !IsGovernanceCode(result.status().code())) {
+          note_failure("governed query -> " + result.status().ToString());
+        }
+      }
+    });
+  }
+  // Cancellers: sweep every (session, request) identity that can exist,
+  // plus whole-session cancels — most miss, some land mid-flight.
+  threads.emplace_back([&] {
+    while (!stop.load()) {
+      for (int t = 1; t <= kQuerySessions; ++t) {
+        for (int q = 0; q < 4; ++q) {
+          exec::GovernanceRegistry::Global().CancelQuery(
+              static_cast<uint64_t>(t), "\"q" + std::to_string(q) + "\"",
+              StatusCode::kCancelled, "chaos cancel");
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  threads.emplace_back([&] {
+    while (!stop.load()) {
+      exec::GovernanceRegistry::Global().CancelSession(2, "chaos session");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  // Mutator: epoch bumps invalidate columnar snapshots and caches, so
+  // governed queries keep re-transposing under fire.
+  threads.emplace_back([&] {
+    while (!stop.load()) {
+      auto mutated = system->database().GetMutable("SUBMARINE");
+      if (!mutated.ok()) {
+        note_failure("GetMutable -> " + mutated.status().ToString());
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+  // Snapshotter: sys.sessions' backing view and the pool gauge, read
+  // concurrently with every mutation above.
+  threads.emplace_back([&] {
+    while (!stop.load()) {
+      (void)exec::GovernanceRegistry::Global().Sessions();
+      (void)GovernedMemoryPool::Global().used_bytes();
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  });
+
+  for (int t = 0; t < kQuerySessions; ++t) threads[t].join();
+  stop.store(true);
+  for (size_t t = kQuerySessions; t < threads.size(); ++t) threads[t].join();
+  exec::GovernanceRegistry::Global().StopWatchdog();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(GovernedMemoryPool::Global().used_bytes(), 0u);
+  EXPECT_EQ(exec::GovernanceRegistry::Global().live_queries(), 0u);
+  system->processor().cache().Clear();
+  auto healthy = system->Query(kRuleQuery);
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+  EXPECT_GT(healthy->intensional.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Over the wire.
+
+class GovernanceWireTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Global().ClearAll(); }
+
+  static std::string QueryRequest(int64_t id, const std::string& extra = "") {
+    return std::string("{\"verb\":\"query\",\"sql\":\"") + kRuleQuery +
+           "\",\"id\":" + std::to_string(id) + extra + "}";
+  }
+};
+
+// A per-request deadline turns a stalled query into a typed
+// kDeadlineExceeded response, promptly, and the same session keeps
+// serving once the stall is gone.
+TEST_F(GovernanceWireTest, PerRequestDeadlineYieldsTypedErrorPromptly) {
+  auto harness = net_testing::StartShipServer();
+  ASSERT_NE(harness, nullptr);
+  auto client = net_testing::Connect(*harness);
+
+  {
+    ScopedFailpoint slow("exec.slow_block", "sleep(*,30)");
+    ASSERT_TRUE(slow.ok());
+    harness->system->processor().cache().Clear();
+    const auto start = std::chrono::steady_clock::now();
+    auto response = net_testing::CallParsed(
+        client, QueryRequest(1, ",\"deadline_ms\":1"));
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_FALSE(net_testing::IsOk(response));
+    EXPECT_EQ(net_testing::ErrorCode(response), "DeadlineExceeded");
+    // Cancellation is cooperative — the in-flight stalled block finishes
+    // before the unwind — but the response must still arrive promptly,
+    // not after the query runs to completion un-governed.
+    EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                  .count(),
+              5000);
+  }
+  EXPECT_EQ(GovernedMemoryPool::Global().used_bytes(), 0u);
+
+  harness->system->processor().cache().Clear();
+  auto healthy = net_testing::CallParsed(client, QueryRequest(2));
+  EXPECT_TRUE(net_testing::IsOk(healthy))
+      << "session unusable after deadline error";
+}
+
+// `set deadline_ms` installs a session default; the server's
+// --default-deadline-ms seeds the same field at admission.
+TEST_F(GovernanceWireTest, SessionAndServerDefaultDeadlinesApply) {
+  net::ServerConfig config;
+  config.default_deadline_ms = 1;
+  auto harness = net_testing::StartShipServer(config);
+  ASSERT_NE(harness, nullptr);
+  auto client = net_testing::Connect(*harness);
+
+  ScopedFailpoint slow("exec.slow_block", "sleep(*,30)");
+  ASSERT_TRUE(slow.ok());
+  harness->system->processor().cache().Clear();
+
+  // Seeded default: no per-request member, still governed.
+  auto seeded = net_testing::CallParsed(client, QueryRequest(1));
+  EXPECT_FALSE(net_testing::IsOk(seeded));
+  EXPECT_EQ(net_testing::ErrorCode(seeded), "DeadlineExceeded");
+
+  // `set deadline_ms 0` lifts it for this session only.
+  auto lifted = net_testing::CallParsed(
+      client,
+      "{\"verb\":\"set\",\"id\":2,\"option\":\"deadline_ms\",\"value\":0}");
+  EXPECT_TRUE(net_testing::IsOk(lifted)) << "set deadline_ms 0 failed";
+  harness->system->processor().cache().Clear();
+  auto ungoverned = net_testing::CallParsed(client, QueryRequest(3));
+  EXPECT_TRUE(net_testing::IsOk(ungoverned));
+
+  // And `set deadline_ms 1` re-arms it.
+  auto rearmed = net_testing::CallParsed(
+      client,
+      "{\"verb\":\"set\",\"id\":4,\"option\":\"deadline_ms\",\"value\":1}");
+  EXPECT_TRUE(net_testing::IsOk(rearmed));
+  harness->system->processor().cache().Clear();
+  auto governed = net_testing::CallParsed(client, QueryRequest(5));
+  EXPECT_FALSE(net_testing::IsOk(governed));
+  EXPECT_EQ(net_testing::ErrorCode(governed), "DeadlineExceeded");
+}
+
+// A per-request memory budget produces kResourceExhausted over the wire.
+// The join materializes enough rows that a 1kb budget genuinely
+// overruns (the rule query's columnar fast path admits too few).
+TEST_F(GovernanceWireTest, PerRequestMemoryBudgetYieldsTypedError) {
+  auto harness = net_testing::StartShipServer();
+  ASSERT_NE(harness, nullptr);
+  auto client = net_testing::Connect(*harness);
+  harness->system->processor().cache().Clear();
+  auto response = net_testing::CallParsed(
+      client,
+      "{\"verb\":\"query\",\"sql\":\"SELECT SUBMARINE.Id FROM SUBMARINE, "
+      "CLASS WHERE SUBMARINE.Class = CLASS.Class\",\"id\":1,"
+      "\"max_memory_kb\":1}");
+  EXPECT_FALSE(net_testing::IsOk(response));
+  EXPECT_EQ(net_testing::ErrorCode(response), "ResourceExhausted");
+  EXPECT_EQ(GovernedMemoryPool::Global().used_bytes(), 0u);
+  auto healthy = net_testing::CallParsed(client, QueryRequest(2));
+  EXPECT_TRUE(net_testing::IsOk(healthy));
+}
+
+// The cancel verb: a malformed cancel is a typed argument error, a miss
+// reports cancelled:false, and a hit aborts the named in-flight request
+// on the same session while the session itself survives.
+TEST_F(GovernanceWireTest, CancelVerbAbortsInFlightRequest) {
+  auto harness = net_testing::StartShipServer();
+  ASSERT_NE(harness, nullptr);
+  auto client = net_testing::Connect(*harness);
+
+  // No target member.
+  auto malformed =
+      net_testing::CallParsed(client, "{\"verb\":\"cancel\",\"id\":1}");
+  EXPECT_FALSE(net_testing::IsOk(malformed));
+  EXPECT_EQ(net_testing::ErrorCode(malformed), "InvalidArgument");
+
+  // Miss: nothing in flight with that id.
+  auto miss = net_testing::CallParsed(
+      client, "{\"verb\":\"cancel\",\"id\":2,\"target\":999}");
+  EXPECT_TRUE(net_testing::IsOk(miss));
+  const net::JsonValue* cancelled = miss.Find("cancelled");
+  ASSERT_NE(cancelled, nullptr);
+  EXPECT_FALSE(cancelled->AsBool());
+
+  // Hit: stall the query so the cancel lands mid-flight. Both frames go
+  // out back-to-back; the read loop dispatches the query to the handler
+  // thread and serves the cancel inline.
+  ScopedFailpoint slow("exec.slow_block", "sleep(*,15)");
+  ASSERT_TRUE(slow.ok());
+  harness->system->processor().cache().Clear();
+  ASSERT_OK(client.SendFrame(QueryRequest(10)));
+  ASSERT_OK(client.SendFrame(
+      "{\"verb\":\"cancel\",\"id\":11,\"target\":10}"));
+
+  bool query_ok = false;
+  bool query_cancelled = false;
+  bool cancel_hit = false;
+  for (int i = 0; i < 2; ++i) {
+    auto frame = client.ReadFrame(/*timeout_ms=*/20000);
+    ASSERT_TRUE(frame.ok()) << frame.status();
+    auto parsed = net::JsonValue::Parse(*frame);
+    ASSERT_TRUE(parsed.ok()) << *frame;
+    const net::JsonValue* id = parsed->Find("id");
+    ASSERT_NE(id, nullptr);
+    if (id->AsInt() == 10) {
+      query_ok = net_testing::IsOk(*parsed);
+      query_cancelled = !query_ok &&
+                        net_testing::ErrorCode(*parsed) == "Cancelled";
+    } else {
+      ASSERT_EQ(id->AsInt(), 11);
+      const net::JsonValue* hit = parsed->Find("cancelled");
+      ASSERT_NE(hit, nullptr);
+      cancel_hit = hit->AsBool();
+    }
+  }
+  // The race has only coherent shapes: a landed cancel either unwound
+  // the query (Cancelled) or caught it past its last checkpoint (ok); a
+  // missed cancel means the query had already finished cleanly.
+  if (cancel_hit) {
+    EXPECT_TRUE(query_cancelled || query_ok);
+  } else {
+    EXPECT_TRUE(query_ok);
+  }
+
+  FailpointRegistry::Global().ClearAll();
+  harness->system->processor().cache().Clear();
+  auto healthy = net_testing::CallParsed(client, QueryRequest(12));
+  EXPECT_TRUE(net_testing::IsOk(healthy))
+      << "session unusable after cancel";
+  EXPECT_EQ(GovernedMemoryPool::Global().used_bytes(), 0u);
+}
+
+// Cancel storm: many query/cancel pairs in a row on one session. Every
+// exchange resolves to a coherent pair of responses, nothing wedges,
+// nothing leaks, and the session still serves at the end.
+TEST_F(GovernanceWireTest, CancelStormLeavesSessionAndPoolClean) {
+  auto harness = net_testing::StartShipServer();
+  ASSERT_NE(harness, nullptr);
+  auto client = net_testing::Connect(*harness);
+  ScopedFailpoint slow("exec.slow_block", "sleep(*,5)");
+  ASSERT_TRUE(slow.ok());
+
+  constexpr int kRounds = 15;
+  for (int round = 0; round < kRounds; ++round) {
+    const int64_t query_id = 100 + 2 * round;
+    const int64_t cancel_id = query_id + 1;
+    harness->system->processor().cache().Clear();
+    ASSERT_OK(client.SendFrame(QueryRequest(query_id)));
+    ASSERT_OK(client.SendFrame(
+        "{\"verb\":\"cancel\",\"id\":" + std::to_string(cancel_id) +
+        ",\"target\":" + std::to_string(query_id) + "}"));
+    bool saw_query = false;
+    bool saw_cancel = false;
+    for (int i = 0; i < 2; ++i) {
+      auto frame = client.ReadFrame(/*timeout_ms=*/20000);
+      ASSERT_TRUE(frame.ok()) << "round " << round << ": " << frame.status();
+      auto parsed = net::JsonValue::Parse(*frame);
+      ASSERT_TRUE(parsed.ok()) << *frame;
+      const net::JsonValue* id = parsed->Find("id");
+      ASSERT_NE(id, nullptr);
+      if (id->AsInt() == query_id) {
+        saw_query = true;
+        if (!net_testing::IsOk(*parsed)) {
+          EXPECT_EQ(net_testing::ErrorCode(*parsed), "Cancelled")
+              << "round " << round;
+        }
+      } else if (id->AsInt() == cancel_id) {
+        saw_cancel = true;
+        EXPECT_TRUE(net_testing::IsOk(*parsed)) << "round " << round;
+      } else {
+        FAIL() << "unexpected response id " << id->AsInt();
+      }
+    }
+    EXPECT_TRUE(saw_query && saw_cancel) << "round " << round;
+  }
+
+  FailpointRegistry::Global().ClearAll();
+  harness->system->processor().cache().Clear();
+  auto healthy = net_testing::CallParsed(client, QueryRequest(999));
+  EXPECT_TRUE(net_testing::IsOk(healthy));
+  EXPECT_EQ(GovernedMemoryPool::Global().used_bytes(), 0u);
+}
+
+// sys.sessions, queried over the wire, shows the asking session itself
+// (registered at admission with its fd-based peer name).
+TEST_F(GovernanceWireTest, SysSessionsShowsLiveWireSession) {
+  auto harness = net_testing::StartShipServer();
+  ASSERT_NE(harness, nullptr);
+  auto client = net_testing::Connect(*harness);
+  auto response = net_testing::CallParsed(
+      client,
+      "{\"verb\":\"query\",\"sql\":\"SELECT session_id, peer, requests "
+      "FROM sys.sessions\",\"id\":1}");
+  ASSERT_TRUE(net_testing::IsOk(response));
+  const std::string table = net_testing::GetString(response, "table");
+  EXPECT_NE(table.find("fd:"), std::string::npos)
+      << "own session missing from sys.sessions:\n" << table;
+}
+
+}  // namespace
+}  // namespace iqs

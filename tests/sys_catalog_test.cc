@@ -57,7 +57,8 @@ TEST_F(SysCatalogTest, EveryCatalogRelationScansAndExplains) {
   const std::vector<std::string> expected = {
       "sys.metrics",   "sys.histograms",   "sys.traces",
       "sys.spans",     "sys.query_log",    "sys.cache",
-      "sys.rules",     "sys.degradations", "sys.failpoints"};
+      "sys.rules",     "sys.degradations", "sys.failpoints",
+      "sys.sessions",  "sys.checkpoints"};
   std::vector<std::string> registered =
       system_->database().VirtualRelationNames();
   for (const std::string& name : expected) {
